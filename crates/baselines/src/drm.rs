@@ -1,0 +1,212 @@
+//! DRM — Dual Role Model baseline (Xu, Ji & Wang, SIGIR'12).
+//!
+//! Models worker skills as a **multinomial** over latent categories,
+//! estimated with PLSA (paper Section 7.2.1): a worker's skill vector is the
+//! average of the topic mixtures of the tasks they answered, so
+//! `Σ_k w_k^i = 1` for everyone — the normalization the paper criticizes.
+
+use crate::plsa::{Doc, Plsa, PlsaConfig};
+use crate::selector::CrowdSelector;
+use crowd_core::selection::{top_k, RankedWorker};
+use crowd_store::{CrowdDb, TaskId, WorkerId};
+use crowd_text::BagOfWords;
+use std::collections::HashMap;
+
+/// Fold-in iterations used when projecting a query task.
+const FOLD_IN_ITERS: usize = 15;
+
+/// The fitted DRM selector.
+#[derive(Debug, Clone)]
+pub struct DrmSelector {
+    plsa: Plsa,
+    profiles: HashMap<WorkerId, Vec<f64>>,
+    /// Fitted topic mixtures of the training tasks (for
+    /// [`CrowdSelector::rank_trained`]).
+    trained_tasks: HashMap<TaskId, Vec<f64>>,
+}
+
+impl DrmSelector {
+    /// Fits PLSA on the resolved tasks of `db` and derives multinomial
+    /// worker profiles.
+    pub fn fit(db: &CrowdDb, num_topics: usize, seed: u64) -> Self {
+        let resolved = db.resolved_tasks();
+        let docs: Vec<Doc> = resolved
+            .iter()
+            .map(|rt| rt.bow.iter().map(|(t, c)| (t.index(), c)).collect())
+            .collect();
+        let cfg = PlsaConfig {
+            num_topics,
+            seed,
+            ..PlsaConfig::default()
+        };
+        let plsa = Plsa::fit(&docs, db.vocab().len(), &cfg);
+
+        let profiles = worker_profiles(
+            num_topics,
+            resolved
+                .iter()
+                .enumerate()
+                .flat_map(|(d, rt)| rt.scores.iter().map(move |&(w, _)| (w, d))),
+            |d| plsa.doc_topics(d).to_vec(),
+        );
+        let trained_tasks = resolved
+            .iter()
+            .enumerate()
+            .map(|(d, rt)| (rt.task, plsa.doc_topics(d).to_vec()))
+            .collect();
+        DrmSelector {
+            plsa,
+            profiles,
+            trained_tasks,
+        }
+    }
+
+    /// The multinomial skill profile of a worker, if known.
+    pub fn profile(&self, worker: WorkerId) -> Option<&[f64]> {
+        self.profiles.get(&worker).map(Vec::as_slice)
+    }
+
+    /// The underlying PLSA model.
+    pub fn plsa(&self) -> &Plsa {
+        &self.plsa
+    }
+}
+
+impl CrowdSelector for DrmSelector {
+    fn name(&self) -> &'static str {
+        "DRM"
+    }
+
+    fn rank(&self, task: &BagOfWords, candidates: &[WorkerId]) -> Vec<RankedWorker> {
+        let doc: Doc = task.iter().map(|(t, c)| (t.index(), c)).collect();
+        let c = self.plsa.fold_in(&doc, FOLD_IN_ITERS);
+        self.rank_against(&c, candidates)
+    }
+
+    fn rank_trained(
+        &self,
+        task: TaskId,
+        bow: &BagOfWords,
+        candidates: &[WorkerId],
+    ) -> Vec<RankedWorker> {
+        match self.trained_tasks.get(&task) {
+            Some(c) => self.rank_against(c, candidates),
+            None => self.rank(bow, candidates),
+        }
+    }
+}
+
+impl DrmSelector {
+    fn rank_against(&self, c: &[f64], candidates: &[WorkerId]) -> Vec<RankedWorker> {
+        let scored = candidates.iter().map(|&w| {
+            let score = self
+                .profiles
+                .get(&w)
+                .map(|p| p.iter().zip(c).map(|(a, b)| a * b).sum())
+                .unwrap_or(0.0);
+            (w, score)
+        });
+        top_k(scored, candidates.len())
+    }
+}
+
+/// Averages per-document topic vectors into per-worker multinomial profiles.
+///
+/// Shared by DRM (PLSA mixtures) and TSPM (LDA posterior means).
+pub(crate) fn worker_profiles(
+    k: usize,
+    assignments: impl Iterator<Item = (WorkerId, usize)>,
+    doc_topics: impl Fn(usize) -> Vec<f64>,
+) -> HashMap<WorkerId, Vec<f64>> {
+    let mut acc: HashMap<WorkerId, (Vec<f64>, usize)> = HashMap::new();
+    for (w, d) in assignments {
+        let topics = doc_topics(d);
+        let entry = acc.entry(w).or_insert_with(|| (vec![0.0; k], 0));
+        for (slot, t) in entry.0.iter_mut().zip(&topics) {
+            *slot += t;
+        }
+        entry.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(w, (mut sum, n))| {
+            for x in &mut sum {
+                *x /= n as f64;
+            }
+            (w, sum)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_text::tokenize_filtered;
+
+    /// Two specialists on disjoint vocabularies.
+    pub(crate) fn specialist_db() -> (CrowdDb, Vec<WorkerId>) {
+        let mut db = CrowdDb::new();
+        let dba = db.add_worker("dba");
+        let stat = db.add_worker("stat");
+        for i in 0..10 {
+            let (text, who) = if i % 2 == 0 {
+                ("btree page split index buffer disk", dba)
+            } else {
+                ("gaussian prior posterior likelihood variance", stat)
+            };
+            let t = db.add_task(text);
+            db.assign(who, t).unwrap();
+            db.record_feedback(who, t, 3.0).unwrap();
+        }
+        (db, vec![dba, stat])
+    }
+
+    fn bag(db: &mut CrowdDb, text: &str) -> BagOfWords {
+        BagOfWords::from_tokens(&tokenize_filtered(text), db.vocab_mut())
+    }
+
+    #[test]
+    fn profiles_are_multinomial() {
+        let (db, workers) = specialist_db();
+        let drm = DrmSelector::fit(&db, 2, 1);
+        for w in workers {
+            let p = drm.profile(w).unwrap();
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "profile sums to 1: {p:?}");
+        }
+    }
+
+    #[test]
+    fn routes_tasks_to_specialists() {
+        let (mut db, workers) = specialist_db();
+        let drm = DrmSelector::fit(&db, 2, 1);
+        let dbtask = bag(&mut db, "btree index page");
+        let ranked = drm.rank(&dbtask, &workers);
+        assert_eq!(ranked[0].worker, workers[0]);
+        let stattask = bag(&mut db, "posterior gaussian variance");
+        let ranked = drm.rank(&stattask, &workers);
+        assert_eq!(ranked[0].worker, workers[1]);
+    }
+
+    #[test]
+    fn unknown_candidates_score_zero() {
+        let (mut db, _) = specialist_db();
+        let drm = DrmSelector::fit(&db, 2, 1);
+        let task = bag(&mut db, "btree");
+        let ranked = drm.rank(&task, &[WorkerId(42)]);
+        assert_eq!(ranked[0].score, 0.0);
+    }
+
+    #[test]
+    fn profile_average_is_correct() {
+        // Worker answers docs 0 and 1 with topic vectors (1,0) and (0,1).
+        let docs: Vec<Vec<f64>> = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let profiles = worker_profiles(
+            2,
+            vec![(WorkerId(0), 0), (WorkerId(0), 1)].into_iter(),
+            |d| docs[d].clone(),
+        );
+        let p = &profiles[&WorkerId(0)];
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,289 @@
+//! Latent Dirichlet Allocation with mean-field variational inference
+//! (Blei, Ng & Jordan, JMLR'03).
+//!
+//! Substrate for the TSPM baseline. Per-document variational Dirichlet
+//! parameters `γ` and word responsibilities `φ` are optimized against topic
+//! distributions `β`; `β` is re-estimated each EM iteration.
+
+use crowd_math::special::{digamma, normalize_in_place};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A document as `(term index, count)` pairs.
+pub type Doc = Vec<(usize, u32)>;
+
+/// Fitted LDA model.
+#[derive(Debug, Clone)]
+pub struct Lda {
+    /// Per training document Dirichlet parameters `γ_d` (length `K`).
+    gammas: Vec<Vec<f64>>,
+    /// `p(v|z)`: `K` rows of vocabulary distributions.
+    topic_words: Vec<Vec<f64>>,
+    /// Symmetric Dirichlet prior `α`.
+    alpha: f64,
+    vocab_size: usize,
+}
+
+/// Training options for [`Lda::fit`].
+#[derive(Debug, Clone)]
+pub struct LdaConfig {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// Outer EM iterations.
+    pub iterations: usize,
+    /// Inner variational iterations per document.
+    pub doc_iterations: usize,
+    /// Symmetric Dirichlet prior on topic mixtures.
+    pub alpha: f64,
+    /// Additive smoothing on `β` (acts as the `η` prior).
+    pub eta: f64,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        LdaConfig {
+            num_topics: 10,
+            iterations: 30,
+            doc_iterations: 10,
+            alpha: 0.1,
+            eta: 1e-2,
+            seed: 23,
+        }
+    }
+}
+
+impl Lda {
+    /// Fits LDA on `docs` over a vocabulary of `vocab_size` terms.
+    pub fn fit(docs: &[Doc], vocab_size: usize, cfg: &LdaConfig) -> Self {
+        let k = cfg.num_topics.max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut topic_words: Vec<Vec<f64>> = (0..k)
+            .map(|_| {
+                let mut row: Vec<f64> = (0..vocab_size.max(1))
+                    .map(|_| rng.random_range(0.5..1.5))
+                    .collect();
+                normalize_in_place(&mut row);
+                row
+            })
+            .collect();
+
+        let mut gammas = vec![vec![cfg.alpha + 1.0; k]; docs.len()];
+        for _ in 0..cfg.iterations {
+            let mut beta_acc = vec![vec![cfg.eta; vocab_size]; k];
+            for (d, doc) in docs.iter().enumerate() {
+                let gamma = infer_document(doc, &topic_words, cfg, Some(&mut beta_acc));
+                gammas[d] = gamma;
+            }
+            for row in &mut beta_acc {
+                normalize_in_place(row);
+            }
+            topic_words = beta_acc;
+        }
+
+        Lda {
+            gammas,
+            topic_words,
+            alpha: cfg.alpha,
+            vocab_size,
+        }
+    }
+
+    /// Number of topics `K`.
+    pub fn num_topics(&self) -> usize {
+        self.topic_words.len()
+    }
+
+    /// Vocabulary size the model was fitted on.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Variational Dirichlet parameters of training document `d`.
+    pub fn gamma(&self, d: usize) -> &[f64] {
+        &self.gammas[d]
+    }
+
+    /// Posterior-mean topic proportions of training document `d`
+    /// (`(γ_k) / Σ γ`, the standard point estimate).
+    pub fn doc_topics(&self, d: usize) -> Vec<f64> {
+        let mut theta = self.gammas[d].clone();
+        normalize_in_place(&mut theta);
+        theta
+    }
+
+    /// `p(v|z)` for topic `z`.
+    pub fn topic_words(&self, z: usize) -> &[f64] {
+        &self.topic_words[z]
+    }
+
+    /// Infers topic proportions for an unseen document with `β` frozen.
+    pub fn infer(&self, doc: &[(usize, u32)], doc_iterations: usize) -> Vec<f64> {
+        let cfg = LdaConfig {
+            num_topics: self.num_topics(),
+            doc_iterations,
+            alpha: self.alpha,
+            ..LdaConfig::default()
+        };
+        let mut gamma = infer_document(doc, &self.topic_words, &cfg, None);
+        normalize_in_place(&mut gamma);
+        gamma
+    }
+}
+
+/// Runs the per-document variational loop; returns `γ` and optionally
+/// accumulates `Σ n φ` into `beta_acc` (the M-step statistics).
+fn infer_document(
+    doc: &[(usize, u32)],
+    topic_words: &[Vec<f64>],
+    cfg: &LdaConfig,
+    beta_acc: Option<&mut Vec<Vec<f64>>>,
+) -> Vec<f64> {
+    let k = topic_words.len();
+    let vocab_size = topic_words.first().map_or(0, Vec::len);
+    let total: f64 = doc
+        .iter()
+        .filter(|&&(v, _)| v < vocab_size)
+        .map(|&(_, c)| c as f64)
+        .sum();
+    let mut gamma = vec![cfg.alpha + total / k as f64; k];
+    let mut phi_row = vec![0.0; k];
+    let mut phis: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..cfg.doc_iterations.max(1) {
+        let exp_elog: Vec<f64> = gamma.iter().map(|&g| digamma(g).exp()).collect();
+        let mut new_gamma = vec![cfg.alpha; k];
+        phis.clear();
+        for &(v, cnt) in doc {
+            if v >= vocab_size {
+                continue;
+            }
+            let mut sum = 0.0;
+            for z in 0..k {
+                phi_row[z] = exp_elog[z] * topic_words[z][v].max(1e-300);
+                sum += phi_row[z];
+            }
+            if sum <= 0.0 {
+                continue;
+            }
+            for z in 0..k {
+                phi_row[z] /= sum;
+                new_gamma[z] += cnt as f64 * phi_row[z];
+            }
+            phis.push(phi_row.clone());
+        }
+        gamma = new_gamma;
+    }
+    if let Some(acc) = beta_acc {
+        let mut slot = 0;
+        for &(v, cnt) in doc {
+            if v >= vocab_size {
+                continue;
+            }
+            let phi = &phis[slot];
+            slot += 1;
+            for z in 0..k {
+                acc[z][v] += cnt as f64 * phi[z];
+            }
+        }
+    }
+    gamma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted_docs() -> Vec<Doc> {
+        let mut docs = Vec::new();
+        for i in 0..24 {
+            if i % 2 == 0 {
+                docs.push(vec![(0, 4), (1, 3), (2, 3)]);
+            } else {
+                docs.push(vec![(3, 4), (4, 3), (5, 3)]);
+            }
+        }
+        docs
+    }
+
+    fn cfg(k: usize) -> LdaConfig {
+        LdaConfig {
+            num_topics: k,
+            iterations: 40,
+            ..LdaConfig::default()
+        }
+    }
+
+    #[test]
+    fn topic_rows_are_distributions() {
+        let docs = planted_docs();
+        let lda = Lda::fit(&docs, 6, &cfg(2));
+        for z in 0..2 {
+            let s: f64 = lda.topic_words(z).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        for d in 0..docs.len() {
+            let theta = lda.doc_topics(d);
+            let s: f64 = theta.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_planted_structure() {
+        let docs = planted_docs();
+        let lda = Lda::fit(&docs, 6, &cfg(2));
+        let argmax = |xs: &[f64]| {
+            xs.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
+        };
+        let t0 = lda.doc_topics(0);
+        let t1 = lda.doc_topics(1);
+        assert_ne!(argmax(&t0), argmax(&t1));
+        assert!(t0[argmax(&t0)] > 0.8, "dominant mass: {t0:?}");
+        // Topic aligned with doc 0 puts most mass on terms 0–2.
+        let z0 = argmax(&t0);
+        let mass_low: f64 = lda.topic_words(z0)[0..3].iter().sum();
+        assert!(mass_low > 0.8, "low-term mass: {mass_low}");
+    }
+
+    #[test]
+    fn infer_agrees_with_training_docs() {
+        let docs = planted_docs();
+        let lda = Lda::fit(&docs, 6, &cfg(2));
+        let argmax = |xs: &[f64]| {
+            xs.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
+        };
+        let inferred = lda.infer(&[(0, 3), (2, 3)], 20);
+        assert_eq!(argmax(&inferred), argmax(&lda.doc_topics(0)));
+    }
+
+    #[test]
+    fn infer_empty_doc_is_uniformish() {
+        let docs = planted_docs();
+        let lda = Lda::fit(&docs, 6, &cfg(2));
+        let inferred = lda.infer(&[], 5);
+        // γ = α for each topic → normalized uniform.
+        for x in &inferred {
+            assert!((x - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn out_of_vocab_terms_ignored() {
+        let docs = planted_docs();
+        let lda = Lda::fit(&docs, 6, &cfg(2));
+        let a = lda.infer(&[(0, 2), (99, 7)], 10);
+        let b = lda.infer(&[(0, 2)], 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

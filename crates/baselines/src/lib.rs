@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Baseline crowd-selection algorithms (paper Section 7.2.1).
+//!
+//! The paper compares TDPM against three baselines, all implemented here
+//! from scratch:
+//!
+//! - [`VsmSelector`] — Vector Space Model: cosine similarity between the task
+//!   and the union bag-of-words of each worker's answering history.
+//! - [`DrmSelector`] — Dual Role Model (Xu et al., SIGIR'12): multinomial
+//!   worker skills estimated with **PLSA** ([`plsa::Plsa`]).
+//! - [`TspmSelector`] — Topic-Sensitive Probabilistic Model (Guo et al.,
+//!   CIKM'08 / Zhou et al., CIKM'12): multinomial skills estimated with
+//!   **LDA** ([`lda::Lda`]).
+//!
+//! Both probabilistic baselines score a worker by `w^i (c^j)ᵀ` where the
+//! skill vector is constrained to the simplex — exactly the normalization
+//! the paper argues makes skills incomparable across workers (Section 1).
+//! [`TdpmSelector`] adapts the trained TDPM model to the same interface so
+//! the evaluation harness can treat all four uniformly.
+
+pub mod drm;
+pub mod lda;
+pub mod plsa;
+pub mod selector;
+pub mod tdpm;
+pub mod tspm;
+pub mod vsm;
+
+pub use drm::DrmSelector;
+pub use lda::Lda;
+pub use plsa::Plsa;
+pub use selector::CrowdSelector;
+pub use tdpm::TdpmSelector;
+pub use tspm::TspmSelector;
+pub use vsm::VsmSelector;

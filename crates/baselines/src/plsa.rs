@@ -1,0 +1,276 @@
+//! Probabilistic Latent Semantic Analysis (Hofmann, SIGIR'99).
+//!
+//! Substrate for the DRM baseline: documents (tasks) get multinomial topic
+//! mixtures `p(z|d)` and topics get word distributions `p(v|z)`, fitted by
+//! EM on the term-count matrix.
+
+use crowd_math::special::normalize_in_place;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A document as `(term index, count)` pairs.
+pub type Doc = Vec<(usize, u32)>;
+
+/// Fitted PLSA model.
+#[derive(Debug, Clone)]
+pub struct Plsa {
+    /// `p(z|d)`: per training document, a distribution over `K` topics.
+    doc_topics: Vec<Vec<f64>>,
+    /// `p(v|z)`: `K` rows of vocabulary distributions.
+    topic_words: Vec<Vec<f64>>,
+    vocab_size: usize,
+}
+
+/// Training options for [`Plsa::fit`].
+#[derive(Debug, Clone)]
+pub struct PlsaConfig {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// EM iterations.
+    pub iterations: usize,
+    /// Additive smoothing applied to `p(v|z)` at each M-step.
+    pub smoothing: f64,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl Default for PlsaConfig {
+    fn default() -> Self {
+        PlsaConfig {
+            num_topics: 10,
+            iterations: 50,
+            smoothing: 1e-3,
+            seed: 17,
+        }
+    }
+}
+
+impl Plsa {
+    /// Fits PLSA on `docs` over a vocabulary of `vocab_size` terms.
+    pub fn fit(docs: &[Doc], vocab_size: usize, cfg: &PlsaConfig) -> Self {
+        let k = cfg.num_topics.max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut doc_topics: Vec<Vec<f64>> = (0..docs.len())
+            .map(|_| random_simplex(k, &mut rng))
+            .collect();
+        let mut topic_words: Vec<Vec<f64>> = (0..k)
+            .map(|_| random_simplex(vocab_size.max(1), &mut rng))
+            .collect();
+
+        let mut resp = vec![0.0; k];
+        for _ in 0..cfg.iterations {
+            // Accumulators for the M-step.
+            let mut new_doc_topics = vec![vec![0.0; k]; docs.len()];
+            let mut new_topic_words = vec![vec![cfg.smoothing; vocab_size]; k];
+            for (d, doc) in docs.iter().enumerate() {
+                for &(v, cnt) in doc {
+                    if v >= vocab_size {
+                        continue;
+                    }
+                    // E-step: r(z|d,v) ∝ p(z|d) p(v|z).
+                    let mut sum = 0.0;
+                    for z in 0..k {
+                        resp[z] = doc_topics[d][z] * topic_words[z][v];
+                        sum += resp[z];
+                    }
+                    if sum <= 0.0 {
+                        continue;
+                    }
+                    let w = cnt as f64 / sum;
+                    for z in 0..k {
+                        let r = resp[z] * w;
+                        new_doc_topics[d][z] += r;
+                        new_topic_words[z][v] += r;
+                    }
+                }
+            }
+            for row in &mut new_doc_topics {
+                normalize_in_place(row);
+            }
+            for row in &mut new_topic_words {
+                normalize_in_place(row);
+            }
+            doc_topics = new_doc_topics;
+            topic_words = new_topic_words;
+        }
+
+        Plsa {
+            doc_topics,
+            topic_words,
+            vocab_size,
+        }
+    }
+
+    /// Number of topics `K`.
+    pub fn num_topics(&self) -> usize {
+        self.topic_words.len()
+    }
+
+    /// `p(z|d)` for training document `d`.
+    pub fn doc_topics(&self, d: usize) -> &[f64] {
+        &self.doc_topics[d]
+    }
+
+    /// `p(v|z)` for topic `z`.
+    pub fn topic_words(&self, z: usize) -> &[f64] {
+        &self.topic_words[z]
+    }
+
+    /// Folds a new document into the topic space: EM iterations updating only
+    /// its `p(z|d)` with `p(v|z)` frozen (the standard PLSA fold-in).
+    pub fn fold_in(&self, doc: &[(usize, u32)], iterations: usize) -> Vec<f64> {
+        let k = self.num_topics();
+        let mut theta = vec![1.0 / k as f64; k];
+        let mut resp = vec![0.0; k];
+        for _ in 0..iterations.max(1) {
+            let mut acc = vec![0.0; k];
+            for &(v, cnt) in doc {
+                if v >= self.vocab_size {
+                    continue;
+                }
+                let mut sum = 0.0;
+                for z in 0..k {
+                    resp[z] = theta[z] * self.topic_words[z][v];
+                    sum += resp[z];
+                }
+                if sum <= 0.0 {
+                    continue;
+                }
+                for z in 0..k {
+                    acc[z] += cnt as f64 * resp[z] / sum;
+                }
+            }
+            normalize_in_place(&mut acc);
+            theta = acc;
+        }
+        theta
+    }
+
+    /// Training-corpus log likelihood `Σ_{d,v} n(d,v) log Σ_z p(z|d) p(v|z)`.
+    pub fn log_likelihood(&self, docs: &[Doc]) -> f64 {
+        let k = self.num_topics();
+        let mut ll = 0.0;
+        for (d, doc) in docs.iter().enumerate() {
+            for &(v, cnt) in doc {
+                if v >= self.vocab_size {
+                    continue;
+                }
+                let p: f64 = (0..k)
+                    .map(|z| self.doc_topics[d][z] * self.topic_words[z][v])
+                    .sum();
+                ll += cnt as f64 * p.max(1e-300).ln();
+            }
+        }
+        ll
+    }
+}
+
+fn random_simplex(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..1.5)).collect();
+    normalize_in_place(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two planted topics: terms 0–2 vs terms 3–5.
+    fn planted_docs() -> Vec<Doc> {
+        let mut docs = Vec::new();
+        for i in 0..20 {
+            if i % 2 == 0 {
+                docs.push(vec![(0, 3), (1, 2), (2, 3)]);
+            } else {
+                docs.push(vec![(3, 3), (4, 2), (5, 3)]);
+            }
+        }
+        docs
+    }
+
+    fn cfg(k: usize) -> PlsaConfig {
+        PlsaConfig {
+            num_topics: k,
+            iterations: 60,
+            ..PlsaConfig::default()
+        }
+    }
+
+    #[test]
+    fn rows_are_distributions() {
+        let docs = planted_docs();
+        let plsa = Plsa::fit(&docs, 6, &cfg(2));
+        for d in 0..docs.len() {
+            let s: f64 = plsa.doc_topics(d).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        for z in 0..2 {
+            let s: f64 = plsa.topic_words(z).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_planted_topics() {
+        let docs = planted_docs();
+        let plsa = Plsa::fit(&docs, 6, &cfg(2));
+        // Doc 0 and doc 1 are from different topics → their dominant topics
+        // must differ, and be near one-hot.
+        let t0 = plsa.doc_topics(0);
+        let t1 = plsa.doc_topics(1);
+        let argmax = |xs: &[f64]| {
+            xs.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
+        };
+        assert_ne!(argmax(t0), argmax(t1));
+        assert!(t0[argmax(t0)] > 0.9, "dominant mass: {t0:?}");
+    }
+
+    #[test]
+    fn log_likelihood_improves_with_iterations() {
+        let docs = planted_docs();
+        let short = Plsa::fit(&docs, 6, &PlsaConfig { iterations: 1, ..cfg(2) });
+        let long = Plsa::fit(&docs, 6, &PlsaConfig { iterations: 60, ..cfg(2) });
+        assert!(long.log_likelihood(&docs) > short.log_likelihood(&docs));
+    }
+
+    #[test]
+    fn fold_in_matches_training_topics() {
+        let docs = planted_docs();
+        let plsa = Plsa::fit(&docs, 6, &cfg(2));
+        let folded = plsa.fold_in(&[(0, 2), (1, 2)], 20);
+        let trained = plsa.doc_topics(0);
+        let argmax = |xs: &[f64]| {
+            xs.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
+        };
+        assert_eq!(argmax(&folded), argmax(trained));
+        let s: f64 = folded.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fold_in_ignores_out_of_vocab() {
+        let docs = planted_docs();
+        let plsa = Plsa::fit(&docs, 6, &cfg(2));
+        let folded = plsa.fold_in(&[(100, 5)], 10);
+        // No usable evidence → uniform (normalize_in_place of zeros).
+        for x in &folded {
+            assert!((x - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_topic_degenerates_gracefully() {
+        let docs = planted_docs();
+        let plsa = Plsa::fit(&docs, 6, &cfg(1));
+        assert_eq!(plsa.num_topics(), 1);
+        assert!((plsa.doc_topics(0)[0] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,172 @@
+//! TSPM — Topic-Sensitive Probabilistic Model baseline
+//! (Guo et al., CIKM'08; Zhou et al., CIKM'12).
+//!
+//! Like DRM, skills are **multinomial**, but topic estimation uses LDA
+//! instead of PLSA (paper Section 7.2.1).
+
+use crate::drm::worker_profiles;
+use crate::lda::{Doc, Lda, LdaConfig};
+use crate::selector::CrowdSelector;
+use crowd_core::selection::{top_k, RankedWorker};
+use crowd_store::{CrowdDb, TaskId, WorkerId};
+use crowd_text::BagOfWords;
+use std::collections::HashMap;
+
+/// Variational iterations when projecting a query task.
+const INFER_ITERS: usize = 15;
+
+/// The fitted TSPM selector.
+#[derive(Debug, Clone)]
+pub struct TspmSelector {
+    lda: Lda,
+    profiles: HashMap<WorkerId, Vec<f64>>,
+    /// Fitted topic proportions of the training tasks (for
+    /// [`CrowdSelector::rank_trained`]).
+    trained_tasks: HashMap<TaskId, Vec<f64>>,
+}
+
+impl TspmSelector {
+    /// Fits LDA on the resolved tasks of `db` and derives multinomial worker
+    /// profiles from the per-document posterior means.
+    pub fn fit(db: &CrowdDb, num_topics: usize, seed: u64) -> Self {
+        let resolved = db.resolved_tasks();
+        let docs: Vec<Doc> = resolved
+            .iter()
+            .map(|rt| rt.bow.iter().map(|(t, c)| (t.index(), c)).collect())
+            .collect();
+        let cfg = LdaConfig {
+            num_topics,
+            seed,
+            ..LdaConfig::default()
+        };
+        let lda = Lda::fit(&docs, db.vocab().len(), &cfg);
+
+        let profiles = worker_profiles(
+            num_topics,
+            resolved
+                .iter()
+                .enumerate()
+                .flat_map(|(d, rt)| rt.scores.iter().map(move |&(w, _)| (w, d))),
+            |d| lda.doc_topics(d),
+        );
+        let trained_tasks = resolved
+            .iter()
+            .enumerate()
+            .map(|(d, rt)| (rt.task, lda.doc_topics(d)))
+            .collect();
+        TspmSelector {
+            lda,
+            profiles,
+            trained_tasks,
+        }
+    }
+
+    /// The multinomial skill profile of a worker, if known.
+    pub fn profile(&self, worker: WorkerId) -> Option<&[f64]> {
+        self.profiles.get(&worker).map(Vec::as_slice)
+    }
+
+    /// The underlying LDA model.
+    pub fn lda(&self) -> &Lda {
+        &self.lda
+    }
+}
+
+impl CrowdSelector for TspmSelector {
+    fn name(&self) -> &'static str {
+        "TSPM"
+    }
+
+    fn rank(&self, task: &BagOfWords, candidates: &[WorkerId]) -> Vec<RankedWorker> {
+        let doc: Doc = task.iter().map(|(t, c)| (t.index(), c)).collect();
+        let c = self.lda.infer(&doc, INFER_ITERS);
+        self.rank_against(&c, candidates)
+    }
+
+    fn rank_trained(
+        &self,
+        task: TaskId,
+        bow: &BagOfWords,
+        candidates: &[WorkerId],
+    ) -> Vec<RankedWorker> {
+        match self.trained_tasks.get(&task) {
+            Some(c) => self.rank_against(c, candidates),
+            None => self.rank(bow, candidates),
+        }
+    }
+}
+
+impl TspmSelector {
+    fn rank_against(&self, c: &[f64], candidates: &[WorkerId]) -> Vec<RankedWorker> {
+        let scored = candidates.iter().map(|&w| {
+            let score = self
+                .profiles
+                .get(&w)
+                .map(|p| p.iter().zip(c).map(|(a, b)| a * b).sum())
+                .unwrap_or(0.0);
+            (w, score)
+        });
+        top_k(scored, candidates.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_text::tokenize_filtered;
+
+    fn specialist_db() -> (CrowdDb, Vec<WorkerId>) {
+        let mut db = CrowdDb::new();
+        let dba = db.add_worker("dba");
+        let stat = db.add_worker("stat");
+        for i in 0..10 {
+            let (text, who) = if i % 2 == 0 {
+                ("btree page split index buffer disk", dba)
+            } else {
+                ("gaussian prior posterior likelihood variance", stat)
+            };
+            let t = db.add_task(text);
+            db.assign(who, t).unwrap();
+            db.record_feedback(who, t, 3.0).unwrap();
+        }
+        (db, vec![dba, stat])
+    }
+
+    fn bag(db: &mut CrowdDb, text: &str) -> BagOfWords {
+        BagOfWords::from_tokens(&tokenize_filtered(text), db.vocab_mut())
+    }
+
+    #[test]
+    fn profiles_are_multinomial() {
+        let (db, workers) = specialist_db();
+        let tspm = TspmSelector::fit(&db, 2, 1);
+        for w in workers {
+            let p = tspm.profile(w).unwrap();
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "profile sums to 1: {p:?}");
+        }
+    }
+
+    #[test]
+    fn routes_tasks_to_specialists() {
+        let (mut db, workers) = specialist_db();
+        let tspm = TspmSelector::fit(&db, 2, 1);
+        let dbtask = bag(&mut db, "btree index page");
+        let ranked = tspm.rank(&dbtask, &workers);
+        assert_eq!(ranked[0].worker, workers[0]);
+        let stattask = bag(&mut db, "posterior gaussian variance");
+        let ranked = tspm.rank(&stattask, &workers);
+        assert_eq!(ranked[0].worker, workers[1]);
+    }
+
+    #[test]
+    fn scores_are_bounded_by_simplex_geometry() {
+        // With both profile and category on the simplex, scores are in [0,1].
+        let (mut db, workers) = specialist_db();
+        let tspm = TspmSelector::fit(&db, 2, 1);
+        let task = bag(&mut db, "btree gaussian");
+        for r in tspm.rank(&task, &workers) {
+            assert!((0.0..=1.0).contains(&r.score), "score {}", r.score);
+        }
+    }
+}

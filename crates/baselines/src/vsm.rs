@@ -1,0 +1,137 @@
+//! The Vector Space Model baseline (paper Section 7.2.1).
+
+use crate::selector::CrowdSelector;
+use crowd_core::selection::{top_k, RankedWorker};
+use crowd_store::{CrowdDb, WorkerId};
+use crowd_text::similarity::cosine;
+use crowd_text::BagOfWords;
+use std::collections::HashMap;
+
+/// VSM selects workers by the cosine similarity between the task and the
+/// worker's historical vocabulary union:
+///
+/// ```text
+/// s_ij = (t_j)ᵀ t_w^i / (‖t_j‖ ‖t_w^i‖),   t_w^i = ∪_{j : a_ij = 1} t_j
+/// ```
+#[derive(Debug, Clone)]
+pub struct VsmSelector {
+    profiles: HashMap<WorkerId, BagOfWords>,
+}
+
+impl VsmSelector {
+    /// Builds worker profiles from every assignment in `db`.
+    pub fn fit(db: &CrowdDb) -> Self {
+        let profiles = db
+            .worker_ids()
+            .map(|w| (w, db.worker_history_bow(w)))
+            .collect();
+        VsmSelector { profiles }
+    }
+
+    /// Number of workers with a (possibly empty) profile.
+    pub fn num_workers(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The profile bag for a worker, if known.
+    pub fn profile(&self, worker: WorkerId) -> Option<&BagOfWords> {
+        self.profiles.get(&worker)
+    }
+}
+
+impl CrowdSelector for VsmSelector {
+    fn name(&self) -> &'static str {
+        "VSM"
+    }
+
+    fn rank(&self, task: &BagOfWords, candidates: &[WorkerId]) -> Vec<RankedWorker> {
+        let scored = candidates.iter().map(|&w| {
+            let score = self
+                .profiles
+                .get(&w)
+                .map(|p| cosine(task, p))
+                .unwrap_or(0.0);
+            (w, score)
+        });
+        top_k(scored, candidates.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_text::tokenize_filtered;
+
+    fn db() -> (CrowdDb, Vec<WorkerId>) {
+        let mut db = CrowdDb::new();
+        let dba = db.add_worker("dba");
+        let stat = db.add_worker("stat");
+        let texts_dba = [
+            "btree page split write amplification",
+            "btree index range scan buffer",
+        ];
+        let texts_stat = [
+            "gaussian prior posterior inference",
+            "variational bayes gaussian approximation",
+        ];
+        for t in texts_dba {
+            let id = db.add_task(t);
+            db.assign(dba, id).unwrap();
+            db.record_feedback(dba, id, 1.0).unwrap();
+        }
+        for t in texts_stat {
+            let id = db.add_task(t);
+            db.assign(stat, id).unwrap();
+            db.record_feedback(stat, id, 1.0).unwrap();
+        }
+        (db, vec![dba, stat])
+    }
+
+    fn bag(db: &mut CrowdDb, text: &str) -> BagOfWords {
+        BagOfWords::from_tokens(&tokenize_filtered(text), db.vocab_mut())
+    }
+
+    #[test]
+    fn routes_by_vocabulary_overlap() {
+        let (mut db, workers) = db();
+        let vsm = VsmSelector::fit(&db);
+        let dbtask = bag(&mut db, "why does a btree split a page");
+        let ranked = vsm.rank(&dbtask, &workers);
+        assert_eq!(ranked[0].worker, workers[0], "btree task → DBA");
+        assert!(ranked[0].score > ranked[1].score);
+
+        let stattask = bag(&mut db, "posterior under a gaussian prior");
+        let ranked = vsm.rank(&stattask, &workers);
+        assert_eq!(ranked[0].worker, workers[1]);
+    }
+
+    #[test]
+    fn unknown_worker_scores_zero() {
+        let (mut db, mut workers) = db();
+        let vsm = VsmSelector::fit(&db);
+        workers.push(WorkerId(99));
+        let task = bag(&mut db, "btree page");
+        let ranked = vsm.rank(&task, &workers);
+        let unknown = ranked.iter().find(|r| r.worker == WorkerId(99)).unwrap();
+        assert_eq!(unknown.score, 0.0);
+    }
+
+    #[test]
+    fn empty_task_ranks_all_zero() {
+        let (db, workers) = db();
+        let vsm = VsmSelector::fit(&db);
+        let ranked = vsm.rank(&BagOfWords::new(), &workers);
+        assert!(ranked.iter().all(|r| r.score == 0.0));
+        assert_eq!(ranked.len(), 2);
+    }
+
+    #[test]
+    fn profiles_cover_all_workers() {
+        let (db, workers) = db();
+        let vsm = VsmSelector::fit(&db);
+        assert_eq!(vsm.num_workers(), 2);
+        for w in workers {
+            assert!(vsm.profile(w).is_some());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 4: running time of Top-1 / Top-2 crowd-selection in Quora,
+//! per algorithm and worker group.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_bench::{bench_platform, fit_selectors, group_workloads, run_query};
+use crowd_sim::PlatformKind;
+use std::hint::black_box;
+
+fn fig4(c: &mut Criterion) {
+    let platform = bench_platform(PlatformKind::Quora);
+    let selectors = fit_selectors(&platform, 10);
+    let workloads = group_workloads(&platform, &[1, 3, 5], 50);
+
+    for k in [1usize, 2] {
+        let mut group = c.benchmark_group(format!("fig4_quora_top{k}"));
+        group.sample_size(20);
+        for (threshold, questions) in &workloads {
+            for selector in &selectors {
+                group.bench_with_input(
+                    BenchmarkId::new(selector.name(), format!("Quora{threshold}")),
+                    questions,
+                    |b, qs| {
+                        let mut i = 0;
+                        b.iter(|| {
+                            let q = &qs[i % qs.len()];
+                            i += 1;
+                            black_box(run_query(selector.as_ref(), q, k))
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the math kernels the inference hot path relies on:
+//! Cholesky factor+solve (worker update, Eq. 10), conjugate gradient (task
+//! update, Eq. 14) and softmax (logistic link, Eq. 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_math::optimize::{minimize_cg, CgOptions};
+use crowd_math::special::softmax;
+use crowd_math::{Cholesky, Matrix, Vector};
+use std::hint::black_box;
+
+fn spd(n: usize) -> Matrix {
+    let mut a = Matrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            a[(i, j)] += 0.5 * v;
+        }
+    }
+    a.symmetrize();
+    a
+}
+
+fn math_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_factor_solve");
+    for n in [10usize, 20, 50] {
+        let a = spd(n);
+        let b = Vector::from_fn(n, |i| (i as f64).sin());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let chol = Cholesky::factor(&a).unwrap();
+                black_box(chol.solve(&b).unwrap())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("conjugate_gradient_quadratic");
+    for n in [10usize, 50] {
+        let scales: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let f = |x: &Vector, g: &mut Vector| {
+                let mut v = 0.0;
+                for i in 0..n {
+                    let d = x[i] - 1.0;
+                    v += 0.5 * scales[i] * d * d;
+                    g[i] = scales[i] * d;
+                }
+                v
+            };
+            let x0 = Vector::zeros(n);
+            let opts = CgOptions::default();
+            bench.iter(|| black_box(minimize_cg(&f, &x0, &opts).value))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("softmax");
+    for n in [10usize, 50, 200] {
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |bench, xs| {
+            bench.iter(|| black_box(softmax(xs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, math_kernels);
+criterion_main!(benches);

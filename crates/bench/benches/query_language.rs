@@ -1,0 +1,61 @@
+//! Query-language benchmarks: parsing cost and end-to-end `SELECT WORKERS`
+//! execution against a fitted engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_query::{parse, QueryEngine};
+use std::hint::black_box;
+
+fn query_language(c: &mut Criterion) {
+    c.bench_function("parse_select_full", |b| {
+        let stmt = "SELECT WORKERS FOR TASK 'why does a btree split pages on insert' \
+                    LIMIT 3 USING tdpm WHERE GROUP >= 5";
+        b.iter(|| black_box(parse(stmt).unwrap()))
+    });
+
+    c.bench_function("parse_feedback", |b| {
+        b.iter(|| black_box(parse("FEEDBACK WORKER 3 ON TASK 7 SCORE 4.5").unwrap()))
+    });
+
+    // End-to-end SELECT against a trained engine.
+    let mut engine = QueryEngine::new();
+    engine.run("INSERT WORKER 'dba'").unwrap();
+    engine.run("INSERT WORKER 'stat'").unwrap();
+    for i in 0..20 {
+        let (text, good, bad) = if i % 2 == 0 {
+            ("btree page split index buffer disk", 0, 1)
+        } else {
+            ("gaussian prior posterior likelihood variance", 1, 0)
+        };
+        engine.run(&format!("INSERT TASK '{text}'")).unwrap();
+        engine
+            .run(&format!("ASSIGN WORKER {good} TO TASK {i}"))
+            .unwrap();
+        engine
+            .run(&format!("ASSIGN WORKER {bad} TO TASK {i}"))
+            .unwrap();
+        engine
+            .run(&format!("FEEDBACK WORKER {good} ON TASK {i} SCORE 4"))
+            .unwrap();
+        engine
+            .run(&format!("FEEDBACK WORKER {bad} ON TASK {i} SCORE 0.5"))
+            .unwrap();
+    }
+    engine.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+
+    c.bench_function("select_workers_tdpm_end_to_end", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .run("SELECT WORKERS FOR TASK 'btree page buffer' LIMIT 2")
+                    .unwrap(),
+            )
+        })
+    });
+
+    c.bench_function("show_stats", |b| {
+        b.iter(|| black_box(engine.run("SHOW STATS").unwrap()))
+    });
+}
+
+criterion_group!(benches, query_language);
+criterion_main!(benches);

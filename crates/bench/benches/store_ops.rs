@@ -1,0 +1,68 @@
+//! Crowd-database micro-benchmarks: the insert/assign/feedback hot path,
+//! group extraction (Figures 3/5/7 machinery) and snapshot round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_sim::{PlatformGenerator, SimConfig};
+use crowd_store::snapshot::Snapshot;
+use crowd_store::{CrowdDb, WorkerGroup};
+use std::hint::black_box;
+
+fn store_ops(c: &mut Criterion) {
+    // Insert/assign/feedback pipeline throughput on an empty database.
+    c.bench_function("store_insert_assign_feedback_x100", |b| {
+        b.iter(|| {
+            let mut db = CrowdDb::new();
+            let workers: Vec<_> = (0..10).map(|i| db.add_worker(format!("w{i}"))).collect();
+            for t in 0..100u32 {
+                let task = db.add_task("some question text with a few words");
+                let w = workers[(t as usize) % workers.len()];
+                db.assign(w, task).unwrap();
+                db.record_feedback(w, task, f64::from(t % 7)).unwrap();
+            }
+            black_box(db.num_resolved())
+        })
+    });
+
+    // Group extraction + coverage on a realistic platform.
+    let platform = PlatformGenerator::new(SimConfig::quora(0.2, 77)).generate();
+    let mut group = c.benchmark_group("group_extraction");
+    for threshold in [1usize, 5, 9] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &n| {
+                b.iter(|| {
+                    let g = WorkerGroup::extract(&platform.db, n);
+                    black_box(g.coverage(&platform.db))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Snapshot capture + restore round-trip.
+    c.bench_function("snapshot_roundtrip", |b| {
+        b.iter(|| {
+            let snap = Snapshot::capture(&platform.db);
+            let json = snap.to_json().unwrap();
+            let restored = Snapshot::from_json(&json).unwrap().restore();
+            black_box(restored.num_tasks())
+        })
+    });
+
+    // The VSM profile build (worker history union) — the most merge-heavy
+    // read path in the store.
+    c.bench_function("worker_history_bow_all", |b| {
+        b.iter(|| {
+            let total: u64 = platform
+                .db
+                .worker_ids()
+                .map(|w| platform.db.worker_history_bow(w).total_tokens())
+                .sum();
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, store_ops);
+criterion_main!(benches);

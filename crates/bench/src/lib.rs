@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Shared setup for the Criterion benchmarks.
+//!
+//! Each `fig*` bench regenerates one of the paper's running-time figures
+//! (Figures 4, 6, 8): mean latency of Top-k crowd-selection per worker
+//! group, for all four algorithms. The remaining benches are ablations
+//! motivated in DESIGN.md (inference scaling, incremental vs batch).
+
+use crowd_baselines::{CrowdSelector, DrmSelector, TdpmSelector, TspmSelector, VsmSelector};
+use crowd_eval::protocol::{EvalProtocol, TestQuestion};
+use crowd_sim::{GeneratedPlatform, PlatformGenerator, PlatformKind, SimConfig};
+use crowd_store::WorkerGroup;
+
+/// Benchmark-sized platform (small enough for Criterion's warm-ups).
+pub fn bench_platform(kind: PlatformKind) -> GeneratedPlatform {
+    let cfg = match kind {
+        PlatformKind::Quora => SimConfig::quora(0.08, 404),
+        PlatformKind::Yahoo => SimConfig::yahoo(0.08, 404),
+        PlatformKind::StackOverflow => SimConfig::stack_overflow(0.08, 404),
+    };
+    PlatformGenerator::new(cfg).generate()
+}
+
+/// Fits the four selectors (VSM, TSPM, DRM, TDPM) with `k` categories.
+pub fn fit_selectors(platform: &GeneratedPlatform, k: usize) -> Vec<Box<dyn CrowdSelector>> {
+    let db = &platform.db;
+    vec![
+        Box::new(VsmSelector::fit(db)),
+        Box::new(TspmSelector::fit(db, k, 404)),
+        Box::new(DrmSelector::fit(db, k, 404)),
+        Box::new(TdpmSelector::fit(db, k, 404).expect("resolved tasks exist")),
+    ]
+}
+
+/// Builds the per-group query workloads used by the selection benches.
+pub fn group_workloads(
+    platform: &GeneratedPlatform,
+    thresholds: &[usize],
+    questions_per_group: usize,
+) -> Vec<(usize, Vec<TestQuestion>)> {
+    let protocol = EvalProtocol::new(questions_per_group, 99);
+    thresholds
+        .iter()
+        .map(|&n| {
+            let group = WorkerGroup::extract(&platform.db, n);
+            (n, protocol.test_questions(&platform.db, &group))
+        })
+        .filter(|(_, qs)| !qs.is_empty())
+        .collect()
+}
+
+/// One full selection query: rank the candidates, keep the top-k.
+pub fn run_query(selector: &dyn CrowdSelector, question: &TestQuestion, k: usize) -> usize {
+    selector.select(&question.bow, &question.candidates, k).len()
+}

@@ -1,0 +1,127 @@
+//! Training configuration.
+
+use crowd_math::optimize::CgOptions;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters and stopping criteria for [`crate::TdpmTrainer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TdpmConfig {
+    /// Number of latent categories `K`.
+    pub num_categories: usize,
+    /// Maximum variational EM iterations (`n_max` in Algorithm 2).
+    pub max_em_iters: usize,
+    /// Stop when the ELBO improves by less than this (relative).
+    pub elbo_rel_tol: f64,
+    /// Inner coordinate-ascent rounds per task per E-step.
+    pub task_inner_iters: usize,
+    /// Maximum CG iterations for each task-mean update.
+    pub cg_max_iters: usize,
+    /// Assume independent skills / categories: keep `Σ_w` and `Σ_c`
+    /// diagonal (the paper's "special case" in Section 4.3.1).
+    pub diagonal_covariance: bool,
+    /// Additive smoothing for the topic-word distributions `β`.
+    pub beta_smoothing: f64,
+    /// Floor for the feedback noise `τ²` (prevents degenerate certainty).
+    pub min_tau2: f64,
+    /// EM iterations during which `τ` is held at its initial value.
+    ///
+    /// Updating the noise too early lets `τ²` absorb the full score variance
+    /// before skills and categories have grown, freezing the model in a
+    /// trust-free local optimum.
+    pub tau_warmup_iters: usize,
+    /// Ridge added to covariance estimates to keep them SPD.
+    pub covariance_ridge: f64,
+    /// RNG seed for symmetry-breaking initialization.
+    pub seed: u64,
+    /// Threads for the task E-step (`1` = sequential). Task posteriors are
+    /// independent given the worker posteriors, so the per-task coordinate
+    /// ascent parallelizes without changing results — the split is by
+    /// contiguous task ranges and every thread runs the same deterministic
+    /// updates.
+    pub num_threads: usize,
+}
+
+impl Default for TdpmConfig {
+    fn default() -> Self {
+        TdpmConfig {
+            num_categories: 10,
+            max_em_iters: 30,
+            elbo_rel_tol: 1e-5,
+            task_inner_iters: 3,
+            cg_max_iters: 40,
+            diagonal_covariance: false,
+            beta_smoothing: 1e-2,
+            min_tau2: 1e-4,
+            tau_warmup_iters: 3,
+            covariance_ridge: 1e-6,
+            seed: 42,
+            num_threads: 1,
+        }
+    }
+}
+
+impl TdpmConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.num_categories == 0 {
+            return Err(crate::CoreError::InvalidConfig("num_categories must be ≥ 1"));
+        }
+        if self.max_em_iters == 0 {
+            return Err(crate::CoreError::InvalidConfig("max_em_iters must be ≥ 1"));
+        }
+        if self.beta_smoothing <= 0.0 || self.beta_smoothing.is_nan() {
+            return Err(crate::CoreError::InvalidConfig("beta_smoothing must be > 0"));
+        }
+        if self.min_tau2 <= 0.0 || self.min_tau2.is_nan() {
+            return Err(crate::CoreError::InvalidConfig("min_tau2 must be > 0"));
+        }
+        Ok(())
+    }
+
+    /// CG options for the task-mean updates, derived from this config.
+    pub fn cg_options(&self) -> CgOptions {
+        CgOptions {
+            max_iters: self.cg_max_iters,
+            grad_tol: 1e-5,
+            f_tol: 1e-9,
+            ..CgOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(TdpmConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_categories_rejected() {
+        let cfg = TdpmConfig {
+            num_categories: 0,
+            ..TdpmConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_iters_rejected() {
+        let cfg = TdpmConfig {
+            max_em_iters: 0,
+            ..TdpmConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn nonpositive_smoothing_rejected() {
+        let cfg = TdpmConfig {
+            beta_smoothing: 0.0,
+            ..TdpmConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

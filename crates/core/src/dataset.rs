@@ -1,0 +1,239 @@
+//! Compact training representation of resolved tasks.
+
+use crowd_store::{CrowdDb, TaskId, WorkerId};
+use crowd_text::BagOfWords;
+use std::collections::HashMap;
+
+/// One training task: its distinct terms with counts, plus scored jobs
+/// referencing *dense* worker indexes.
+#[derive(Debug, Clone)]
+pub struct TaskData {
+    /// Originating task id in the store.
+    pub task: TaskId,
+    /// `(term index, count)` pairs; term indexes address `β` columns.
+    pub words: Vec<(usize, u32)>,
+    /// Total token count `L`.
+    pub num_tokens: f64,
+    /// Scored assignments as `(dense worker index, s_ij)`.
+    pub scores: Vec<(usize, f64)>,
+}
+
+/// The training view `(T, A, S)` with dense indexes on both sides.
+///
+/// Workers are compacted: only ids that appear in the store are mapped, so
+/// skill vectors can live in flat `Vec`s during inference. The mapping is
+/// retained for translating back to [`WorkerId`]s at selection time.
+#[derive(Debug, Clone)]
+pub struct TrainingSet {
+    tasks: Vec<TaskData>,
+    worker_ids: Vec<WorkerId>,
+    worker_index: HashMap<WorkerId, usize>,
+    vocab_size: usize,
+}
+
+impl TrainingSet {
+    /// Builds the training set from every resolved task in `db`.
+    ///
+    /// All registered workers get a dense index (workers without feedback
+    /// simply keep their prior as posterior), so incremental updates after
+    /// training never meet an unknown worker.
+    pub fn from_db(db: &CrowdDb) -> Self {
+        let worker_ids: Vec<WorkerId> = db.worker_ids().collect();
+        let worker_index: HashMap<WorkerId, usize> = worker_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, i))
+            .collect();
+        let tasks = db
+            .resolved_tasks()
+            .into_iter()
+            .map(|rt| {
+                let words: Vec<(usize, u32)> =
+                    rt.bow.iter().map(|(t, c)| (t.index(), c)).collect();
+                let num_tokens = rt.bow.total_tokens() as f64;
+                let scores = rt
+                    .scores
+                    .iter()
+                    .map(|&(w, s)| (worker_index[&w], s))
+                    .collect();
+                TaskData {
+                    task: rt.task,
+                    words,
+                    num_tokens,
+                    scores,
+                }
+            })
+            .collect();
+        TrainingSet {
+            tasks,
+            worker_ids,
+            worker_index,
+            vocab_size: db.vocab().len(),
+        }
+    }
+
+    /// Builds a training set directly (used by tests and the generative
+    /// round-trip). `scores` use dense worker indexes `< num_workers`.
+    pub fn from_parts(
+        tasks: Vec<TaskData>,
+        num_workers: usize,
+        vocab_size: usize,
+    ) -> Self {
+        let worker_ids: Vec<WorkerId> = (0..num_workers as u32).map(WorkerId).collect();
+        let worker_index = worker_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, i))
+            .collect();
+        TrainingSet {
+            tasks,
+            worker_ids,
+            worker_index,
+            vocab_size,
+        }
+    }
+
+    /// Training tasks.
+    pub fn tasks(&self) -> &[TaskData] {
+        &self.tasks
+    }
+
+    /// Number of training tasks `N`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of workers `M` (all registered, not just scored).
+    pub fn num_workers(&self) -> usize {
+        self.worker_ids.len()
+    }
+
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Dense index for a worker id.
+    pub fn worker_dense(&self, w: WorkerId) -> Option<usize> {
+        self.worker_index.get(&w).copied()
+    }
+
+    /// Worker id for a dense index.
+    pub fn worker_id(&self, dense: usize) -> WorkerId {
+        self.worker_ids[dense]
+    }
+
+    /// All worker ids in dense order.
+    pub fn worker_ids(&self) -> &[WorkerId] {
+        &self.worker_ids
+    }
+
+    /// For each worker (dense), the `(task index, score)` pairs — the
+    /// transpose of the per-task score lists, needed by the worker E-step.
+    pub fn scores_by_worker(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut by_worker = vec![Vec::new(); self.num_workers()];
+        for (j, t) in self.tasks.iter().enumerate() {
+            for &(i, s) in &t.scores {
+                by_worker[i].push((j, s));
+            }
+        }
+        by_worker
+    }
+
+    /// Total number of scored `(worker, task)` pairs `|A|`.
+    pub fn num_scored_pairs(&self) -> usize {
+        self.tasks.iter().map(|t| t.scores.len()).sum()
+    }
+
+    /// Builds a [`BagOfWords`]-free word histogram over the whole corpus
+    /// (used for β initialization diagnostics).
+    pub fn corpus_term_counts(&self) -> Vec<f64> {
+        let mut counts = vec![0.0; self.vocab_size];
+        for t in &self.tasks {
+            for &(v, c) in &t.words {
+                counts[v] += c as f64;
+            }
+        }
+        counts
+    }
+}
+
+/// Converts a [`BagOfWords`] into the `(term index, count)` pairs used in
+/// [`TaskData::words`].
+pub fn bow_to_words(bow: &BagOfWords) -> Vec<(usize, u32)> {
+    bow.iter().map(|(t, c)| (t.index(), c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> CrowdDb {
+        let mut db = CrowdDb::new();
+        let w0 = db.add_worker("a");
+        let w1 = db.add_worker("b");
+        let _idle = db.add_worker("idle");
+        let t0 = db.add_task("b+ tree index structure");
+        let t1 = db.add_task("normal distribution priors");
+        let t2 = db.add_task("unanswered question");
+        db.assign(w0, t0).unwrap();
+        db.assign(w1, t0).unwrap();
+        db.assign(w0, t1).unwrap();
+        db.assign(w1, t2).unwrap(); // never scored
+        db.record_feedback(w0, t0, 4.0).unwrap();
+        db.record_feedback(w1, t0, 1.0).unwrap();
+        db.record_feedback(w0, t1, 2.0).unwrap();
+        db
+    }
+
+    #[test]
+    fn only_resolved_tasks_included() {
+        let ts = TrainingSet::from_db(&db());
+        assert_eq!(ts.num_tasks(), 2);
+        assert_eq!(ts.num_workers(), 3, "idle workers still get indexes");
+        assert_eq!(ts.num_scored_pairs(), 3);
+    }
+
+    #[test]
+    fn dense_mapping_roundtrips() {
+        let ts = TrainingSet::from_db(&db());
+        for w in ts.worker_ids().to_vec() {
+            let dense = ts.worker_dense(w).unwrap();
+            assert_eq!(ts.worker_id(dense), w);
+        }
+        assert_eq!(ts.worker_dense(WorkerId(99)), None);
+    }
+
+    #[test]
+    fn scores_by_worker_transposes() {
+        let ts = TrainingSet::from_db(&db());
+        let by_worker = ts.scores_by_worker();
+        let w0 = ts.worker_dense(WorkerId(0)).unwrap();
+        let w2 = ts.worker_dense(WorkerId(2)).unwrap();
+        assert_eq!(by_worker[w0].len(), 2);
+        assert!(by_worker[w2].is_empty());
+        // Cross-check total.
+        let total: usize = by_worker.iter().map(Vec::len).sum();
+        assert_eq!(total, ts.num_scored_pairs());
+    }
+
+    #[test]
+    fn word_counts_match_bow() {
+        let source = db();
+        let ts = TrainingSet::from_db(&source);
+        let t = &ts.tasks()[0];
+        let expected = source.task(t.task).unwrap().bow.total_tokens() as f64;
+        assert_eq!(t.num_tokens, expected);
+        let sum: u32 = t.words.iter().map(|&(_, c)| c).sum();
+        assert_eq!(sum as f64, expected);
+    }
+
+    #[test]
+    fn corpus_term_counts_sum_to_total_tokens() {
+        let ts = TrainingSet::from_db(&db());
+        let counts = ts.corpus_term_counts();
+        let total: f64 = counts.iter().sum();
+        let expected: f64 = ts.tasks().iter().map(|t| t.num_tokens).sum();
+        assert_eq!(total, expected);
+    }
+}

@@ -1,0 +1,269 @@
+//! The generative process (paper Section 4.3, Algorithm 1).
+//!
+//! Sampling from the model serves two purposes: it documents the model's
+//! semantics executably, and it provides planted ground truth for recovery
+//! tests — fit the variational algorithm on generated data and check that
+//! the inferred skills reproduce the planted ordering.
+
+use crate::dataset::{TaskData, TrainingSet};
+use crate::params::ModelParams;
+use crate::Result;
+use crowd_math::{Vector};
+use crowd_store::TaskId;
+use rand::{Rng, RngExt};
+use rand_distr::{Distribution, Normal};
+
+/// Shape of the data to generate.
+#[derive(Debug, Clone)]
+pub struct GenerativeConfig {
+    /// Number of workers `M`.
+    pub num_workers: usize,
+    /// Number of tasks `N`.
+    pub num_tasks: usize,
+    /// Tokens per task `L`.
+    pub tokens_per_task: usize,
+    /// Workers assigned (and scored) per task.
+    pub workers_per_task: usize,
+}
+
+/// Output of [`generate`]: planted latents plus the observable training set.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// Planted worker skills `W` (Algorithm 1, lines 1–3).
+    pub worker_skills: Vec<Vector>,
+    /// Planted task categories `C` (line 5).
+    pub task_categories: Vec<Vector>,
+    /// The observable `(T, A, S)` triple.
+    pub training: TrainingSet,
+}
+
+/// Runs Algorithm 1: generates worker skills, task categories, vocabularies
+/// and feedback scores from `params`.
+pub fn generate(
+    params: &ModelParams,
+    cfg: &GenerativeConfig,
+    rng: &mut impl Rng,
+) -> Result<GeneratedData> {
+    let k = params.num_categories();
+    let v = params.vocab_size();
+    let chol_w = params.sigma_w_chol()?;
+    let chol_c = params.sigma_c_chol()?;
+    let std_normal = Normal::new(0.0, 1.0).expect("valid parameters");
+
+    // Lines 1–3: w^i ~ Normal(μ_w, Σ_w)  (Eq. 2)
+    let worker_skills: Vec<Vector> = (0..cfg.num_workers)
+        .map(|_| {
+            let z = Vector::from_fn(k, |_| std_normal.sample(rng));
+            let mut w = chol_w.l_matvec(&z).expect("dims");
+            w.add_assign(&params.mu_w).expect("dims");
+            w
+        })
+        .collect();
+
+    let mut task_categories = Vec::with_capacity(cfg.num_tasks);
+    let mut tasks = Vec::with_capacity(cfg.num_tasks);
+    let noise = Normal::new(0.0, params.tau).expect("tau > 0");
+
+    for j in 0..cfg.num_tasks {
+        // Line 5: c^j ~ Normal(μ_c, Σ_c)  (Eq. 3)
+        let z = Vector::from_fn(k, |_| std_normal.sample(rng));
+        let mut c = chol_c.l_matvec(&z).expect("dims");
+        c.add_assign(&params.mu_c).expect("dims");
+
+        // Lines 6–9: for each token, z ~ Discrete(logistic(c)) (Eq. 4),
+        // v ~ β_z (Eq. 5).
+        let topic_probs = crowd_math::special::softmax(c.as_slice());
+        let mut counts = vec![0u32; v];
+        for _ in 0..cfg.tokens_per_task {
+            let topic = sample_discrete(topic_probs.as_slice(), rng);
+            let term = sample_discrete(params.beta.row(topic), rng);
+            counts[term] += 1;
+        }
+        let words: Vec<(usize, u32)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(t, &c)| (t, c))
+            .collect();
+
+        // Lines 11–15: assign workers and draw s_ij ~ Normal(w·c, τ) (Eq. 6).
+        let assigned = sample_workers(cfg.num_workers, cfg.workers_per_task, rng);
+        let scores = assigned
+            .into_iter()
+            .map(|i| {
+                let mean = worker_skills[i].dot(&c).expect("dims");
+                (i, mean + noise.sample(rng))
+            })
+            .collect();
+
+        task_categories.push(c);
+        tasks.push(TaskData {
+            task: TaskId(j as u32),
+            words,
+            num_tokens: cfg.tokens_per_task as f64,
+            scores,
+        });
+    }
+
+    let training = TrainingSet::from_parts(tasks, cfg.num_workers, v);
+    Ok(GeneratedData {
+        worker_skills,
+        task_categories,
+        training,
+    })
+}
+
+/// Samples an index from an unnormalized non-negative weight slice.
+fn sample_discrete(weights: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len().max(1));
+    }
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Samples `count` distinct worker indexes (partial Fisher–Yates).
+fn sample_workers(num_workers: usize, count: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let count = count.min(num_workers);
+    let mut pool: Vec<usize> = (0..num_workers).collect();
+    for i in 0..count {
+        let j = rng.random_range(i..num_workers);
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo_params() -> ModelParams {
+        let mut p = ModelParams::neutral(2, 6);
+        // Two sharply separated topics over six terms.
+        for v in 0..6 {
+            p.beta[(0, v)] = if v < 3 { 0.3 } else { 0.0333333333333 };
+            p.beta[(1, v)] = if v >= 3 { 0.3 } else { 0.0333333333333 };
+        }
+        p.tau = 0.3;
+        p
+    }
+
+    #[test]
+    fn shapes_are_respected() {
+        let params = demo_params();
+        let cfg = GenerativeConfig {
+            num_workers: 5,
+            num_tasks: 8,
+            tokens_per_task: 12,
+            workers_per_task: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = generate(&params, &cfg, &mut rng).unwrap();
+        assert_eq!(data.worker_skills.len(), 5);
+        assert_eq!(data.task_categories.len(), 8);
+        assert_eq!(data.training.num_tasks(), 8);
+        for t in data.training.tasks() {
+            assert_eq!(t.num_tokens, 12.0);
+            assert_eq!(t.scores.len(), 3);
+            let total: u32 = t.words.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, 12);
+        }
+    }
+
+    #[test]
+    fn scores_track_planted_skill_dot_products() {
+        let params = demo_params();
+        let cfg = GenerativeConfig {
+            num_workers: 4,
+            num_tasks: 200,
+            tokens_per_task: 5,
+            workers_per_task: 4,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = generate(&params, &cfg, &mut rng).unwrap();
+        // Correlation between planted w·c and observed s must be strong.
+        let mut predicted = Vec::new();
+        let mut observed = Vec::new();
+        for (j, t) in data.training.tasks().iter().enumerate() {
+            for &(i, s) in &t.scores {
+                predicted.push(
+                    data.worker_skills[i]
+                        .dot(&data.task_categories[j])
+                        .unwrap(),
+                );
+                observed.push(s);
+            }
+        }
+        let corr = crowd_math::stats::pearson(&predicted, &observed).unwrap();
+        assert!(corr > 0.9, "correlation {corr}");
+    }
+
+    #[test]
+    fn tokens_follow_topic_language_models() {
+        // A task whose category is pinned to topic 0 must mostly use terms 0–2.
+        let mut params = demo_params();
+        params.mu_c = Vector::from_vec(vec![5.0, -5.0]); // softmax → topic 0
+        params.sigma_c.scale(1e-6);
+        params.sigma_c.add_ridge(1e-9);
+        let cfg = GenerativeConfig {
+            num_workers: 1,
+            num_tasks: 30,
+            tokens_per_task: 20,
+            workers_per_task: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = generate(&params, &cfg, &mut rng).unwrap();
+        let mut low = 0u32;
+        let mut high = 0u32;
+        for t in data.training.tasks() {
+            for &(v, c) in &t.words {
+                if v < 3 {
+                    low += c;
+                } else {
+                    high += c;
+                }
+            }
+        }
+        assert!(
+            low as f64 > 5.0 * high as f64,
+            "topic-0 terms dominate: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn sample_discrete_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = [0u32; 3];
+        for _ in 0..3000 {
+            hits[sample_discrete(&[0.1, 0.0, 0.9], &mut rng)] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        assert!(hits[2] > hits[0] * 5);
+    }
+
+    #[test]
+    fn sample_workers_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let w = sample_workers(10, 4, &mut rng);
+            assert_eq!(w.len(), 4);
+            let mut sorted = w.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "workers must be distinct");
+            assert!(w.iter().all(|&i| i < 10));
+        }
+        // Requesting more than available clamps.
+        assert_eq!(sample_workers(3, 9, &mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! The evidence lower bound `L'(q)` (paper Section 5.2).
+
+use super::estep::expected_word_ll;
+use super::EStepContext;
+use crate::dataset::TrainingSet;
+use crate::inference::mstep::expected_sq_residual;
+use crate::variational::VariationalState;
+use crowd_math::Vector;
+
+/// Additive breakdown of the bound; useful for debugging which term moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElboBreakdown {
+    /// `−Σ_i KL(q(w_i) ‖ p(w_i))`.
+    pub worker_prior: f64,
+    /// `−Σ_j KL(q(c_j) ‖ p(c_j))`.
+    pub task_prior: f64,
+    /// `E[log p(Z|C)] + E[log p(V|Z,β)] − E[log q(Z)]` (with Taylor bound).
+    pub words: f64,
+    /// `E[log p(S|W Cᵀ, τ)]`.
+    pub feedback: f64,
+}
+
+impl ElboBreakdown {
+    /// The total bound.
+    pub fn total(&self) -> f64 {
+        self.worker_prior + self.task_prior + self.words + self.feedback
+    }
+}
+
+/// Computes the full bound for the current state.
+pub fn elbo(state: &VariationalState, ts: &TrainingSet, ctx: &EStepContext) -> ElboBreakdown {
+    let k = state.num_categories();
+
+    // −KL(q‖p) for every worker.
+    let mut worker_prior = 0.0;
+    for i in 0..ts.num_workers() {
+        worker_prior -= gaussian_kl(
+            &state.lambda_w[i],
+            &state.nu2_w[i],
+            &ctx.mu_w,
+            &ctx.sigma_w_inv,
+            ctx.log_det_sigma_w,
+        );
+    }
+
+    let mut task_prior = 0.0;
+    let mut words = 0.0;
+    let mut feedback = 0.0;
+    let ln_2pi_tau2 = (2.0 * std::f64::consts::PI * ctx.tau2).ln();
+
+    for (j, task) in ts.tasks().iter().enumerate() {
+        task_prior -= gaussian_kl(
+            &state.lambda_c[j],
+            &state.nu2_c[j],
+            &ctx.mu_c,
+            &ctx.sigma_c_inv,
+            ctx.log_det_sigma_c,
+        );
+
+        words += expected_word_ll(
+            &task.words,
+            task.num_tokens,
+            &state.lambda_c[j],
+            &state.nu2_c[j],
+            &state.phi[j],
+            state.epsilon[j],
+            &ctx.log_beta,
+            k,
+        );
+
+        for &(i, s) in &task.scores {
+            let resid = expected_sq_residual(
+                s,
+                &state.lambda_w[i],
+                &state.nu2_w[i],
+                &state.lambda_c[j],
+                &state.nu2_c[j],
+            );
+            feedback += -0.5 * ln_2pi_tau2 - resid / (2.0 * ctx.tau2);
+        }
+    }
+
+    ElboBreakdown {
+        worker_prior,
+        task_prior,
+        words,
+        feedback,
+    }
+}
+
+/// `KL(Normal(λ, diag(ν²)) ‖ Normal(μ, Σ))` given `Σ⁻¹` and `log det Σ`:
+///
+/// `½ [ tr(Σ⁻¹ diag(ν²)) + (λ−μ)ᵀ Σ⁻¹ (λ−μ) − K + log det Σ − Σ_k ln ν²_k ]`
+pub fn gaussian_kl(
+    lambda: &Vector,
+    nu2: &Vector,
+    mu: &Vector,
+    sigma_inv: &crowd_math::Matrix,
+    log_det_sigma: f64,
+) -> f64 {
+    let k = lambda.len() as f64;
+    let mut trace = 0.0;
+    let mut log_nu2_sum = 0.0;
+    for i in 0..lambda.len() {
+        trace += sigma_inv[(i, i)] * nu2[i];
+        log_nu2_sum += nu2[i].max(1e-300).ln();
+    }
+    let diff = lambda.sub(mu).expect("dims");
+    let quad = sigma_inv.quad_form(&diff).expect("dims");
+    0.5 * (trace + quad - k + log_det_sigma - log_nu2_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TaskData;
+    use crate::params::ModelParams;
+    use crowd_math::Matrix;
+    use crowd_store::TaskId;
+
+    #[test]
+    fn kl_of_matching_gaussians_is_zero() {
+        let lambda = Vector::from_vec(vec![0.3, -0.7]);
+        let nu2 = Vector::from_vec(vec![2.0, 0.5]);
+        let sigma = Matrix::from_diag(&nu2);
+        let inv = crowd_math::Cholesky::factor(&sigma).unwrap().inverse().unwrap();
+        let log_det = crowd_math::Cholesky::factor(&sigma).unwrap().log_det();
+        let kl = gaussian_kl(&lambda, &nu2, &lambda, &inv, log_det);
+        assert!(kl.abs() < 1e-10, "kl = {kl}");
+    }
+
+    #[test]
+    fn kl_is_positive_for_distinct_gaussians() {
+        let lambda = Vector::from_vec(vec![1.0, 1.0]);
+        let nu2 = Vector::from_vec(vec![1.0, 1.0]);
+        let mu = Vector::zeros(2);
+        let inv = Matrix::identity(2);
+        let kl = gaussian_kl(&lambda, &nu2, &mu, &inv, 0.0);
+        // KL = ½ (μ distance)² = 1 here.
+        assert!((kl - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn elbo_is_finite_on_fresh_state() {
+        let tasks = vec![TaskData {
+            task: TaskId(0),
+            words: vec![(0, 1), (1, 1)],
+            num_tokens: 2.0,
+            scores: vec![(0, 1.0)],
+        }];
+        let ts = TrainingSet::from_parts(tasks, 1, 2);
+        let params = ModelParams::neutral(2, 2);
+        let ctx = EStepContext::new(&params).unwrap();
+        let state = VariationalState::init(&ts, 2, 0);
+        let b = elbo(&state, &ts, &ctx);
+        assert!(b.total().is_finite());
+        assert!(b.worker_prior <= 1e-9, "KL terms are ≤ 0: {b:?}");
+        assert!(b.task_prior <= 1e-9);
+    }
+}

@@ -1,0 +1,274 @@
+//! Variational M-step: closed-form model-parameter updates (Eqs. 16–21).
+
+use crate::config::TdpmConfig;
+use crate::dataset::TrainingSet;
+use crate::params::ModelParams;
+use crate::variational::VariationalState;
+use crate::Result;
+use crowd_math::{stats, Matrix, Vector};
+
+/// Recomputes every model parameter from the current variational state.
+///
+/// - `μ_w = 1/M Σ λ_w^i` (Eq. 16), `μ_c = 1/N Σ λ_c^j` (Eq. 18)
+/// - `Σ_w = 1/M Σ (diag(ν_w²) + (λ_w − μ_w)(λ_w − μ_w)ᵀ)` (Eq. 17), same
+///   shape for `Σ_c` (Eq. 19); a small ridge keeps the estimates SPD and the
+///   `diagonal_covariance` flag implements the paper's independent-skill
+///   special case (Section 4.3.1)
+/// - `τ²` = mean expected squared residual over scored pairs (Eq. 20)
+/// - `β_{k,v} ∝ smoothing + Σ_j Σ_p φ_{j,p,k} 1[v_p = v]` (Eq. 21)
+pub fn update_params(
+    params: &mut ModelParams,
+    state: &VariationalState,
+    ts: &TrainingSet,
+    cfg: &TdpmConfig,
+    update_tau: bool,
+) -> Result<()> {
+    let k = cfg.num_categories;
+
+    // --- Priors over worker skills (Eqs. 16–17) -----------------------------
+    params.mu_w = stats::mean(&state.lambda_w)?;
+    params.sigma_w = moment_covariance(
+        &state.lambda_w,
+        &state.nu2_w,
+        &params.mu_w,
+        cfg.covariance_ridge,
+        cfg.diagonal_covariance,
+    )?;
+
+    // --- Priors over task categories (Eqs. 18–19) ---------------------------
+    if !state.lambda_c.is_empty() {
+        params.mu_c = stats::mean(&state.lambda_c)?;
+        params.sigma_c = moment_covariance(
+            &state.lambda_c,
+            &state.nu2_c,
+            &params.mu_c,
+            cfg.covariance_ridge,
+            cfg.diagonal_covariance,
+        )?;
+    }
+
+    // --- Feedback noise τ² (Eq. 20) -----------------------------------------
+    // Held fixed during warm-up (see `TdpmConfig::tau_warmup_iters`).
+    if update_tau {
+        let mut sq_sum = 0.0;
+        let mut count = 0usize;
+        for (j, task) in ts.tasks().iter().enumerate() {
+            for &(i, s) in &task.scores {
+                sq_sum += expected_sq_residual(
+                    s,
+                    &state.lambda_w[i],
+                    &state.nu2_w[i],
+                    &state.lambda_c[j],
+                    &state.nu2_c[j],
+                );
+                count += 1;
+            }
+        }
+        if count > 0 {
+            params.tau = (sq_sum / count as f64).max(cfg.min_tau2).sqrt();
+        }
+    }
+
+    // --- Language model β (Eq. 21) ------------------------------------------
+    let v_size = ts.vocab_size();
+    if v_size > 0 {
+        let mut beta = Matrix::from_fn(k, v_size, |_, _| cfg.beta_smoothing);
+        for (j, task) in ts.tasks().iter().enumerate() {
+            let phi = &state.phi[j];
+            for (slot, &(v, cnt)) in task.words.iter().enumerate() {
+                for kk in 0..k {
+                    beta[(kk, v)] += cnt as f64 * phi[slot * k + kk];
+                }
+            }
+        }
+        for kk in 0..k {
+            crowd_math::special::normalize_in_place(beta.row_mut(kk));
+        }
+        params.beta = beta;
+    }
+
+    Ok(())
+}
+
+/// `1/n Σ (diag(ν²) + (λ − μ)(λ − μ)ᵀ) + ridge·I`, optionally diagonalized.
+fn moment_covariance(
+    means: &[Vector],
+    variances: &[Vector],
+    mu: &Vector,
+    ridge: f64,
+    diagonal: bool,
+) -> Result<Matrix> {
+    let mut cov = stats::covariance_about(means, mu)?;
+    let n = means.len() as f64;
+    let mut mean_var = Vector::zeros(mu.len());
+    for v in variances {
+        mean_var.add_assign(v)?;
+    }
+    mean_var.scale(1.0 / n);
+    cov.add_diag(&mean_var)?;
+    cov.add_ridge(ridge);
+    if diagonal {
+        let d = cov.diag();
+        cov = Matrix::from_diag(&d);
+    }
+    Ok(cov)
+}
+
+/// `E_q[(s − wᵀc)²]` for one scored pair — the expectation in Eq. 20:
+///
+/// ```text
+/// s² − 2 s λ_wᵀλ_c + (λ_wᵀλ_c)²
+///   + Σ_k [ ν²_w,k λ²_c,k + ν²_c,k λ²_w,k + ν²_w,k ν²_c,k ]
+/// ```
+pub fn expected_sq_residual(
+    s: f64,
+    lambda_w: &Vector,
+    nu2_w: &Vector,
+    lambda_c: &Vector,
+    nu2_c: &Vector,
+) -> f64 {
+    let dot = lambda_w.dot(lambda_c).expect("dims");
+    let mut second = dot * dot;
+    for kk in 0..lambda_w.len() {
+        second += nu2_w[kk] * lambda_c[kk] * lambda_c[kk]
+            + nu2_c[kk] * lambda_w[kk] * lambda_w[kk]
+            + nu2_w[kk] * nu2_c[kk];
+    }
+    s * s - 2.0 * s * dot + second
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TaskData;
+    use crowd_store::TaskId;
+
+    fn toy_state() -> (TrainingSet, VariationalState, TdpmConfig) {
+        let tasks = vec![TaskData {
+            task: TaskId(0),
+            words: vec![(0, 1), (1, 2)],
+            num_tokens: 3.0,
+            scores: vec![(0, 2.0), (1, 0.0)],
+        }];
+        let ts = TrainingSet::from_parts(tasks, 2, 2);
+        let cfg = TdpmConfig {
+            num_categories: 2,
+            ..TdpmConfig::default()
+        };
+        let state = VariationalState::init(&ts, 2, 3);
+        (ts, state, cfg)
+    }
+
+    #[test]
+    fn mu_is_mean_of_lambdas() {
+        let (ts, mut state, cfg) = toy_state();
+        state.lambda_w[0] = Vector::from_vec(vec![1.0, 0.0]);
+        state.lambda_w[1] = Vector::from_vec(vec![3.0, 2.0]);
+        let mut params = ModelParams::neutral(2, 2);
+        update_params(&mut params, &state, &ts, &cfg, true).unwrap();
+        assert!((params.mu_w[0] - 2.0).abs() < 1e-12);
+        assert!((params.mu_w[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_includes_variational_variance() {
+        let (ts, mut state, cfg) = toy_state();
+        // Identical means → scatter 0; covariance must equal mean ν² (+ridge).
+        state.lambda_w[0] = Vector::zeros(2);
+        state.lambda_w[1] = Vector::zeros(2);
+        state.nu2_w[0] = Vector::from_vec(vec![0.5, 0.5]);
+        state.nu2_w[1] = Vector::from_vec(vec![1.5, 1.5]);
+        let mut params = ModelParams::neutral(2, 2);
+        update_params(&mut params, &state, &ts, &cfg, true).unwrap();
+        assert!((params.sigma_w[(0, 0)] - (1.0 + cfg.covariance_ridge)).abs() < 1e-9);
+        assert!(params.sigma_w[(0, 1)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_mode_zeroes_off_diagonals() {
+        let (ts, mut state, _) = toy_state();
+        state.lambda_w[0] = Vector::from_vec(vec![1.0, 1.0]);
+        state.lambda_w[1] = Vector::from_vec(vec![-1.0, -1.0]);
+        let cfg = TdpmConfig {
+            num_categories: 2,
+            diagonal_covariance: true,
+            ..TdpmConfig::default()
+        };
+        let mut params = ModelParams::neutral(2, 2);
+        update_params(&mut params, &state, &ts, &cfg, true).unwrap();
+        assert_eq!(params.sigma_w[(0, 1)], 0.0);
+        assert!(params.sigma_w[(0, 0)] > 1.0, "scatter present on diagonal");
+    }
+
+    #[test]
+    fn beta_rows_are_distributions_weighted_by_phi() {
+        let (ts, mut state, cfg) = toy_state();
+        // Put all responsibility for both words on topic 0.
+        state.phi[0] = vec![1.0, 0.0, 1.0, 0.0];
+        let mut params = ModelParams::neutral(2, 2);
+        update_params(&mut params, &state, &ts, &cfg, true).unwrap();
+        for kk in 0..2 {
+            let sum: f64 = params.beta.row(kk).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        // Topic 0 saw term 1 twice and term 0 once → β_{0,1} > β_{0,0}.
+        assert!(params.beta[(0, 1)] > params.beta[(0, 0)]);
+        // Topic 1 saw nothing → near-uniform (smoothing only).
+        assert!((params.beta[(1, 0)] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_matches_hand_computed_residual() {
+        let (ts, mut state, cfg) = toy_state();
+        // Deterministic posteriors: w0 = (1,0), w1 = (0,1), c = (2,0),
+        // variances ~0 → residuals: (2 − 2)² = 0 and (0 − 0)² = 0 … make it
+        // nontrivial: s0 = 3 → (3−2)² = 1; s1 = 1 → (1−0)² = 1. Mean = 1.
+        state.lambda_w[0] = Vector::from_vec(vec![1.0, 0.0]);
+        state.lambda_w[1] = Vector::from_vec(vec![0.0, 1.0]);
+        state.nu2_w[0] = Vector::filled(2, 0.0);
+        state.nu2_w[1] = Vector::filled(2, 0.0);
+        state.lambda_c[0] = Vector::from_vec(vec![2.0, 0.0]);
+        state.nu2_c[0] = Vector::filled(2, 0.0);
+        let tasks = vec![TaskData {
+            task: TaskId(0),
+            words: vec![(0, 1)],
+            num_tokens: 1.0,
+            scores: vec![(0, 3.0), (1, 1.0)],
+        }];
+        let ts2 = TrainingSet::from_parts(tasks, 2, 2);
+        let mut params = ModelParams::neutral(2, 2);
+        update_params(&mut params, &state, &ts2, &cfg, true).unwrap();
+        assert!((params.tau2() - 1.0).abs() < 1e-9, "tau² = {}", params.tau2());
+        let _ = ts;
+    }
+
+    #[test]
+    fn expected_residual_reduces_to_plain_square_without_variance() {
+        let lw = Vector::from_vec(vec![1.0, 2.0]);
+        let lc = Vector::from_vec(vec![0.5, 0.5]);
+        let zero = Vector::zeros(2);
+        let r = expected_sq_residual(2.0, &lw, &zero, &lc, &zero);
+        // wᵀc = 1.5 → (2 − 1.5)² = 0.25.
+        assert!((r - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_floor_is_respected() {
+        let (_, mut state, cfg) = toy_state();
+        state.lambda_w[0] = Vector::from_vec(vec![1.0, 0.0]);
+        state.nu2_w[0] = Vector::filled(2, 0.0);
+        state.lambda_c[0] = Vector::from_vec(vec![2.0, 0.0]);
+        state.nu2_c[0] = Vector::filled(2, 0.0);
+        // Perfect prediction → residual 0 → floor kicks in.
+        let tasks = vec![TaskData {
+            task: TaskId(0),
+            words: vec![(0, 1)],
+            num_tokens: 1.0,
+            scores: vec![(0, 2.0)],
+        }];
+        let ts = TrainingSet::from_parts(tasks, 2, 2);
+        let mut params = ModelParams::neutral(2, 2);
+        update_params(&mut params, &state, &ts, &cfg, true).unwrap();
+        assert!((params.tau2() - cfg.min_tau2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Model parameters `ϕ = {μ_w, Σ_w, μ_c, Σ_c, τ, β}` (paper Section 4.3).
+
+use crowd_math::{Cholesky, Matrix, Result as MathResult, Vector};
+use serde::{Deserialize, Serialize};
+
+/// The global parameters of the TDPM generative model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Prior mean of worker skills, `μ_w ∈ R^K`.
+    pub mu_w: Vector,
+    /// Prior covariance of worker skills, `Σ_w ∈ R^{K×K}` (SPD).
+    pub sigma_w: Matrix,
+    /// Prior mean of task categories, `μ_c ∈ R^K`.
+    pub mu_c: Vector,
+    /// Prior covariance of task categories, `Σ_c ∈ R^{K×K}` (SPD).
+    pub sigma_c: Matrix,
+    /// Feedback noise standard deviation `τ`.
+    pub tau: f64,
+    /// Topic–word distributions: `beta[(k, v)] = p(v | z = k)`, rows sum to 1.
+    pub beta: Matrix,
+}
+
+impl ModelParams {
+    /// Neutral initial parameters: zero means, identity covariances, unit
+    /// noise, uniform language model over `vocab_size` terms.
+    pub fn neutral(k: usize, vocab_size: usize) -> Self {
+        let uniform = if vocab_size > 0 {
+            1.0 / vocab_size as f64
+        } else {
+            0.0
+        };
+        ModelParams {
+            mu_w: Vector::zeros(k),
+            sigma_w: Matrix::identity(k),
+            mu_c: Vector::zeros(k),
+            sigma_c: Matrix::identity(k),
+            tau: 1.0,
+            beta: Matrix::from_fn(k, vocab_size, |_, _| uniform),
+        }
+    }
+
+    /// Number of latent categories `K`.
+    pub fn num_categories(&self) -> usize {
+        self.mu_w.len()
+    }
+
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.beta.cols()
+    }
+
+    /// `τ²`.
+    pub fn tau2(&self) -> f64 {
+        self.tau * self.tau
+    }
+
+    /// Cholesky factor of `Σ_w` (jittered if needed).
+    pub fn sigma_w_chol(&self) -> MathResult<Cholesky> {
+        Cholesky::factor_with_jitter(&self.sigma_w, 1e-10, 40)
+    }
+
+    /// Cholesky factor of `Σ_c` (jittered if needed).
+    pub fn sigma_c_chol(&self) -> MathResult<Cholesky> {
+        Cholesky::factor_with_jitter(&self.sigma_c, 1e-10, 40)
+    }
+
+    /// `log β` with the zero entries floored at a tiny value — the word
+    /// updates and the ELBO need logs, and a topic that never emitted a term
+    /// must not produce `-inf` (it produces a very small finite penalty).
+    pub fn log_beta(&self) -> Matrix {
+        Matrix::from_fn(self.beta.rows(), self.beta.cols(), |k, v| {
+            self.beta[(k, v)].max(1e-300).ln()
+        })
+    }
+
+    /// Sanity check: every β row is a probability distribution, covariances
+    /// are square of matching size, `τ > 0`.
+    pub fn validate(&self) -> bool {
+        let k = self.num_categories();
+        if self.mu_c.len() != k
+            || self.sigma_w.rows() != k
+            || self.sigma_w.cols() != k
+            || self.sigma_c.rows() != k
+            || self.sigma_c.cols() != k
+            || self.beta.rows() != k
+            || self.tau <= 0.0
+        {
+            return false;
+        }
+        if self.vocab_size() == 0 {
+            return true;
+        }
+        (0..k).all(|row| {
+            let s: f64 = self.beta.row(row).iter().sum();
+            (s - 1.0).abs() < 1e-6 && self.beta.row(row).iter().all(|&p| p >= 0.0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_params_are_valid() {
+        let p = ModelParams::neutral(4, 100);
+        assert!(p.validate());
+        assert_eq!(p.num_categories(), 4);
+        assert_eq!(p.vocab_size(), 100);
+        assert_eq!(p.tau2(), 1.0);
+    }
+
+    #[test]
+    fn neutral_with_empty_vocab() {
+        let p = ModelParams::neutral(2, 0);
+        assert!(p.validate());
+        assert_eq!(p.vocab_size(), 0);
+    }
+
+    #[test]
+    fn invalid_tau_detected() {
+        let mut p = ModelParams::neutral(2, 3);
+        p.tau = 0.0;
+        assert!(!p.validate());
+    }
+
+    #[test]
+    fn non_normalized_beta_detected() {
+        let mut p = ModelParams::neutral(2, 3);
+        p.beta[(0, 0)] = 0.9;
+        assert!(!p.validate());
+    }
+
+    #[test]
+    fn log_beta_is_finite_even_with_zeros() {
+        let mut p = ModelParams::neutral(1, 2);
+        p.beta[(0, 0)] = 0.0;
+        p.beta[(0, 1)] = 1.0;
+        let lb = p.log_beta();
+        assert!(lb[(0, 0)].is_finite());
+        assert_eq!(lb[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_of_identity_priors() {
+        let p = ModelParams::neutral(3, 1);
+        assert!(p.sigma_w_chol().is_ok());
+        assert!(p.sigma_c_chol().is_ok());
+    }
+}

@@ -1,0 +1,162 @@
+//! Variational parameters `ϕ' = {λ_w, ν_w², λ_c, ν_c², φ, ε}` (Section 5.1).
+
+use crate::dataset::TrainingSet;
+use crowd_math::Vector;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Mean-field variational state over workers, tasks and word assignments.
+///
+/// - `q(w^i) = Normal(λ_w^i, diag(ν_w^i²))`
+/// - `q(c^j) = Normal(λ_c^j, diag(ν_c^j²))`
+/// - `q(z_p^j) = Discrete(φ_p^j)` — stored per *distinct term* of each task
+///   (identical occurrences share identical responsibilities), flattened as
+///   `phi[j][term_slot * K + k]`
+/// - `ε_j` — the Taylor-expansion parameter for the softmax log-normalizer
+#[derive(Debug, Clone)]
+pub struct VariationalState {
+    /// Worker skill means, `M × K`.
+    pub lambda_w: Vec<Vector>,
+    /// Worker skill variances (diagonal), `M × K`.
+    pub nu2_w: Vec<Vector>,
+    /// Task category means, `N × K`.
+    pub lambda_c: Vec<Vector>,
+    /// Task category variances (diagonal), `N × K`.
+    pub nu2_c: Vec<Vector>,
+    /// Word responsibilities per task, flattened `(distinct terms) × K`.
+    pub phi: Vec<Vec<f64>>,
+    /// Taylor parameters, one per task.
+    pub epsilon: Vec<f64>,
+}
+
+impl VariationalState {
+    /// Initializes the state for a training set with `k` latent categories.
+    ///
+    /// Means get small seeded Gaussian noise to break the symmetry between
+    /// latent categories (with exactly uniform starts every category would
+    /// receive identical updates and the model could never specialize).
+    pub fn init(ts: &TrainingSet, k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut noise_vec = |scale: f64| -> Vector {
+            Vector::from_fn(k, |_| {
+                // Box–Muller-free: sum of uniforms is plenty for tie-breaking.
+                let u: f64 = rng.random_range(-1.0..1.0);
+                u * scale
+            })
+        };
+
+        // Worker means start at prior scale (w ~ Normal(0, I)); near-zero
+        // starts sit in a collapsed fixed point where τ² absorbs all score
+        // variance and skills never separate.
+        let lambda_w = (0..ts.num_workers()).map(|_| noise_vec(1.0)).collect();
+        let nu2_w = (0..ts.num_workers()).map(|_| Vector::filled(k, 1.0)).collect();
+        let lambda_c = (0..ts.num_tasks()).map(|_| noise_vec(0.1)).collect();
+        let nu2_c = (0..ts.num_tasks()).map(|_| Vector::filled(k, 1.0)).collect();
+
+        let phi = ts
+            .tasks()
+            .iter()
+            .map(|t| vec![1.0 / k as f64; t.words.len() * k])
+            .collect();
+        let epsilon = vec![k as f64; ts.num_tasks()]; // Σ exp(0 + 1/2) ≈ k·e^½; any positive start works
+
+        VariationalState {
+            lambda_w,
+            nu2_w,
+            lambda_c,
+            nu2_c,
+            phi,
+            epsilon,
+        }
+    }
+
+    /// Number of latent categories.
+    pub fn num_categories(&self) -> usize {
+        self.lambda_w.first().map_or(0, Vector::len)
+    }
+
+    /// `true` when every stored quantity is finite and variances positive.
+    pub fn is_sane(&self) -> bool {
+        let finite_vecs =
+            |vs: &[Vector]| vs.iter().all(Vector::is_finite);
+        let positive = |vs: &[Vector]| {
+            vs.iter()
+                .all(|v| v.as_slice().iter().all(|&x| x > 0.0 && x.is_finite()))
+        };
+        finite_vecs(&self.lambda_w)
+            && finite_vecs(&self.lambda_c)
+            && positive(&self.nu2_w)
+            && positive(&self.nu2_c)
+            && self.epsilon.iter().all(|&e| e > 0.0 && e.is_finite())
+            && self
+                .phi
+                .iter()
+                .all(|p| p.iter().all(|&x| x.is_finite() && x >= 0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TaskData;
+    use crowd_store::TaskId;
+
+    fn tiny_ts() -> TrainingSet {
+        let tasks = vec![
+            TaskData {
+                task: TaskId(0),
+                words: vec![(0, 2), (1, 1)],
+                num_tokens: 3.0,
+                scores: vec![(0, 4.0), (1, 1.0)],
+            },
+            TaskData {
+                task: TaskId(1),
+                words: vec![(2, 1)],
+                num_tokens: 1.0,
+                scores: vec![(0, 2.0)],
+            },
+        ];
+        TrainingSet::from_parts(tasks, 2, 3)
+    }
+
+    #[test]
+    fn shapes_match_training_set() {
+        let ts = tiny_ts();
+        let s = VariationalState::init(&ts, 4, 7);
+        assert_eq!(s.lambda_w.len(), 2);
+        assert_eq!(s.lambda_c.len(), 2);
+        assert_eq!(s.num_categories(), 4);
+        assert_eq!(s.phi[0].len(), 2 * 4);
+        assert_eq!(s.phi[1].len(), 4);
+        assert_eq!(s.epsilon.len(), 2);
+    }
+
+    #[test]
+    fn init_is_sane_and_deterministic() {
+        let ts = tiny_ts();
+        let a = VariationalState::init(&ts, 3, 9);
+        let b = VariationalState::init(&ts, 3, 9);
+        assert!(a.is_sane());
+        assert_eq!(a.lambda_w[0].as_slice(), b.lambda_w[0].as_slice());
+        // Different seeds give different noise.
+        let c = VariationalState::init(&ts, 3, 10);
+        assert_ne!(a.lambda_w[0].as_slice(), c.lambda_w[0].as_slice());
+    }
+
+    #[test]
+    fn phi_rows_start_uniform() {
+        let ts = tiny_ts();
+        let s = VariationalState::init(&ts, 4, 0);
+        for x in &s.phi[0] {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sanity_detects_bad_values() {
+        let ts = tiny_ts();
+        let mut s = VariationalState::init(&ts, 2, 0);
+        s.nu2_c[0][1] = -1.0;
+        assert!(!s.is_sane());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for selection and inference plumbing.
+
+use crowd_core::dataset::{TaskData, TrainingSet};
+use crowd_core::selection::{rank_of, top_k};
+use crowd_core::{TdpmConfig, TdpmTrainer};
+use crowd_store::{TaskId, WorkerId};
+use proptest::prelude::*;
+
+fn arb_scored() -> impl Strategy<Value = Vec<(WorkerId, f64)>> {
+    prop::collection::vec((0u32..40, -100.0f64..100.0), 0..40).prop_map(|mut v| {
+        // Distinct worker ids.
+        v.sort_by_key(|&(w, _)| w);
+        v.dedup_by_key(|&mut (w, _)| w);
+        v.into_iter().map(|(w, s)| (WorkerId(w), s)).collect()
+    })
+}
+
+/// A small random—but always trainable—training set.
+fn arb_training_set() -> impl Strategy<Value = TrainingSet> {
+    let task = (
+        prop::collection::vec((0usize..12, 1u32..4), 1..6),
+        prop::collection::vec((0usize..4, -3.0f64..6.0), 1..4),
+    );
+    prop::collection::vec(task, 2..8).prop_map(|tasks| {
+        let tasks = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(j, (words, mut scores))| {
+                scores.sort_by_key(|&(w, _)| w);
+                scores.dedup_by_key(|&mut (w, _)| w);
+                let num_tokens = words.iter().map(|&(_, c)| c as f64).sum();
+                TaskData {
+                    task: TaskId(j as u32),
+                    words,
+                    num_tokens,
+                    scores,
+                }
+            })
+            .collect();
+        TrainingSet::from_parts(tasks, 4, 12)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn top_k_agrees_with_full_sort(scored in arb_scored(), k in 0usize..10) {
+        let fast = top_k(scored.clone(), k);
+        let mut naive = scored.clone();
+        naive.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        naive.truncate(k);
+        prop_assert_eq!(fast.len(), naive.len());
+        for (f, n) in fast.iter().zip(&naive) {
+            prop_assert_eq!(f.worker, n.0);
+        }
+    }
+
+    #[test]
+    fn top_k_scores_are_sorted_descending(scored in arb_scored(), k in 1usize..10) {
+        let out = top_k(scored, k);
+        for w in out.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn rank_of_consistent_with_top_k(scored in arb_scored()) {
+        prop_assume!(!scored.is_empty());
+        let n = scored.len();
+        let full = top_k(scored.clone(), n);
+        for (pos, r) in full.iter().enumerate() {
+            prop_assert_eq!(rank_of(scored.clone(), r.worker), Some(pos + 1));
+        }
+        prop_assert_eq!(rank_of(scored, WorkerId(999)), None);
+    }
+
+    /// Training never panics, never produces NaN skills, and the ELBO trace
+    /// is non-decreasing (within numerical slack) on arbitrary small inputs.
+    #[test]
+    fn training_is_robust_on_random_data(ts in arb_training_set(), k in 1usize..4) {
+        let cfg = TdpmConfig {
+            num_categories: k,
+            max_em_iters: 6,
+            seed: 5,
+            ..TdpmConfig::default()
+        };
+        let (model, report) = TdpmTrainer::new(cfg).fit_training_set(&ts).unwrap();
+        for &w in model.worker_ids() {
+            let skill = model.skill(w).unwrap();
+            prop_assert!(skill.mean.is_finite(), "finite skills");
+            prop_assert!(skill.variance.as_slice().iter().all(|&v| v > 0.0));
+        }
+        for w in report.elbo_trace.windows(2) {
+            let slack = 1e-4 * w[0].abs().max(1.0);
+            prop_assert!(w[1] >= w[0] - slack, "ELBO non-decreasing: {:?}", report.elbo_trace);
+        }
+        // Projection of arbitrary (even out-of-vocab) words never panics.
+        let p = model.project_words(&[(0, 1), (999, 3)]);
+        prop_assert!(p.lambda.is_finite());
+    }
+}

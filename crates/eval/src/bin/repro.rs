@@ -1,0 +1,210 @@
+//! Regenerates every table and figure of the paper's evaluation (Section 7).
+//!
+//! ```text
+//! repro --exp all                  # everything (slow)
+//! repro --exp table3               # one experiment
+//! repro --exp table3 --scale 0.1   # smaller synthetic platform
+//! repro --exp fig4 --json out.json # machine-readable output too
+//! ```
+//!
+//! Experiment ids: table2, fig3, table3, table4, fig4 (Quora);
+//! fig5, table5, table6, fig6 (Yahoo); fig7, table7, table8, fig8 (Stack
+//! Overflow); all.
+
+use crowd_eval::experiments::{ExperimentSettings, PlatformExperiments};
+use crowd_eval::protocol::EvalMode;
+use crowd_eval::tables;
+use crowd_sim::PlatformKind;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Args {
+    exp: String,
+    scale: f64,
+    seed: u64,
+    questions: usize,
+    em_iters: usize,
+    sweep: Vec<usize>,
+    json: Option<String>,
+    mode: EvalMode,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        exp: "all".into(),
+        scale: 0.2,
+        seed: 2015,
+        questions: 300,
+        em_iters: 12,
+        sweep: vec![10, 20, 30, 40, 50],
+        json: None,
+        mode: EvalMode::Reconstruct,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--exp" => args.exp = value("--exp")?,
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--questions" => {
+                args.questions = value("--questions")?
+                    .parse()
+                    .map_err(|e| format!("--questions: {e}"))?
+            }
+            "--em-iters" => {
+                args.em_iters = value("--em-iters")?
+                    .parse()
+                    .map_err(|e| format!("--em-iters: {e}"))?
+            }
+            "--sweep" => {
+                args.sweep = value("--sweep")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--sweep: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "reconstruct" => EvalMode::Reconstruct,
+                    "project" => EvalMode::Project,
+                    other => return Err(format!("--mode: expected reconstruct|project, got {other}")),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--exp ID] [--scale F] [--seed N] [--questions N] \
+                     [--em-iters N] [--sweep 10,20,...] [--mode reconstruct|project] [--json FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn settings(args: &Args) -> ExperimentSettings {
+    ExperimentSettings {
+        scale: args.scale,
+        seed: args.seed,
+        max_questions: args.questions,
+        category_sweep: args.sweep.clone(),
+        recall_categories: *args.sweep.first().unwrap_or(&10),
+        em_iters: args.em_iters,
+        mode: args.mode,
+    }
+}
+
+fn platform_for(exp: &str) -> Option<PlatformKind> {
+    match exp {
+        "fig3" | "table3" | "table4" | "fig4" => Some(PlatformKind::Quora),
+        "fig5" | "table5" | "table6" | "fig6" => Some(PlatformKind::Yahoo),
+        "fig7" | "table7" | "table8" | "fig8" => Some(PlatformKind::StackOverflow),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let all_exps = [
+        "table2", "fig3", "table3", "table4", "fig4", "fig5", "table5", "table6", "fig6",
+        "fig7", "table7", "table8", "fig8",
+    ];
+    let selected: Vec<&str> = if args.exp == "all" {
+        all_exps.to_vec()
+    } else if all_exps.contains(&args.exp.as_str()) {
+        vec![args.exp.as_str()]
+    } else {
+        eprintln!("error: unknown experiment {:?}", args.exp);
+        return ExitCode::FAILURE;
+    };
+
+    let cfg = settings(&args);
+    let mut cache: BTreeMap<&'static str, PlatformExperiments> = BTreeMap::new();
+    let mut json_out: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+
+    for exp in selected {
+        println!("==> {exp}");
+        if exp == "table2" {
+            let mut rows = Vec::new();
+            for kind in [
+                PlatformKind::Quora,
+                PlatformKind::Yahoo,
+                PlatformKind::StackOverflow,
+            ] {
+                let e = cache
+                    .entry(kind.name())
+                    .or_insert_with(|| PlatformExperiments::new(kind, cfg.clone()));
+                rows.push(e.dataset_stats());
+            }
+            print!("{}", tables::render_dataset_stats(&rows));
+            json_out.insert("table2".into(), serde_json::to_value(&rows).unwrap());
+            println!();
+            continue;
+        }
+
+        let kind = platform_for(exp).expect("validated above");
+        let e = cache
+            .entry(kind.name())
+            .or_insert_with(|| PlatformExperiments::new(kind, cfg.clone()));
+        let name = kind.name();
+        match exp {
+            "fig3" | "fig5" | "fig7" => {
+                let rows = e.group_stats();
+                print!("{}", tables::render_group_stats(name, &rows));
+                json_out.insert(exp.into(), serde_json::to_value(&rows).unwrap());
+            }
+            "table3" | "table5" | "table7" => {
+                let cells = e.precision_table();
+                print!("{}", tables::render_precision(name, &cells));
+                json_out.insert(exp.into(), serde_json::to_value(&cells).unwrap());
+            }
+            "table4" | "table6" | "table8" => {
+                let cells = e.recall_table();
+                print!("{}", tables::render_recall(name, &cells));
+                json_out.insert(exp.into(), serde_json::to_value(&cells).unwrap());
+            }
+            "fig4" | "fig6" | "fig8" => {
+                let cells = e.runtime_figure();
+                print!("{}", tables::render_runtime(name, &cells));
+                json_out.insert(exp.into(), serde_json::to_value(&cells).unwrap());
+            }
+            _ => unreachable!(),
+        }
+        println!();
+    }
+
+    if let Some(path) = &args.json {
+        match serde_json::to_string_pretty(&json_out)
+            .map_err(|e| e.to_string())
+            .and_then(|s| std::fs::write(path, s).map_err(|e| e.to_string()))
+        {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Evaluation harness: the paper's metrics, experiment protocol, and the
+//! reproduction of every table and figure in Section 7.
+//!
+//! - [`metrics`]: **ACCU** (precision) and **TopK** (recall) exactly as
+//!   defined in Section 7.2.2, plus aggregation helpers.
+//! - [`protocol`]: test-question selection ("the right worker for each
+//!   testing question must be in the group"), candidate construction, and
+//!   the query loop shared by all experiments.
+//! - [`experiments`]: one driver per table/figure (Tables 3–8, Figures 3–8)
+//!   producing printable, serializable results.
+//! - [`tables`]: paper-style text rendering.
+//!
+//! The `repro` binary ties it together:
+//!
+//! ```text
+//! cargo run --release -p crowd-eval --bin repro -- --exp table3
+//! cargo run --release -p crowd-eval --bin repro -- --exp all --scale 0.2
+//! ```
+
+pub mod experiments;
+pub mod metrics;
+pub mod protocol;
+pub mod significance;
+pub mod tables;
+
+pub use experiments::{ExperimentSettings, PlatformExperiments};
+pub use metrics::{accu, EvalAccumulator};
+pub use protocol::{EvalMode, EvalProtocol, TestQuestion};
+pub use significance::{paired_bootstrap, BootstrapResult};

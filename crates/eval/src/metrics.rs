@@ -1,0 +1,202 @@
+//! ACCU and TopK metrics (paper Section 7.2.2).
+
+/// ACCU: the precision of a single ranking.
+///
+/// The paper defines `ACCU = (|R| − R_best − 1)/(|R| − 1)`; as printed this
+/// gives `(|R|−2)/(|R|−1) < 1` for a *perfect* ranking (`R_best = 1`), so we
+/// take it as the obvious typo for
+///
+/// ```text
+/// ACCU = (|R| − R_best) / (|R| − 1)
+/// ```
+///
+/// which is 1.0 when the right worker ranks first and 0.0 when they rank
+/// last. For a single-candidate ranking (`|R| = 1`) the right worker is
+/// trivially first: ACCU = 1.0.
+pub fn accu(rank_of_right: usize, num_candidates: usize) -> f64 {
+    debug_assert!(rank_of_right >= 1 && rank_of_right <= num_candidates);
+    if num_candidates <= 1 {
+        return 1.0;
+    }
+    (num_candidates - rank_of_right) as f64 / (num_candidates - 1) as f64
+}
+
+/// Mean reciprocal rank contribution of one ranking: `1 / R_best`.
+///
+/// A standard IR complement to the paper's ACCU/TopK — it rewards putting
+/// the right worker *first* more sharply than ACCU does.
+pub fn reciprocal_rank(rank_of_right: usize) -> f64 {
+    debug_assert!(rank_of_right >= 1);
+    1.0 / rank_of_right as f64
+}
+
+/// NDCG@k for a single-relevant-item ranking: `1 / log₂(1 + R_best)` when
+/// `R_best ≤ k`, else 0 (the ideal DCG of one relevant item is 1).
+pub fn ndcg_at_k(rank_of_right: usize, k: usize) -> f64 {
+    debug_assert!(rank_of_right >= 1);
+    if rank_of_right > k {
+        return 0.0;
+    }
+    1.0 / ((1.0 + rank_of_right as f64).log2())
+}
+
+/// Accumulates per-question outcomes into precision / recall aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct EvalAccumulator {
+    accu_sum: f64,
+    mrr_sum: f64,
+    ndcg5_sum: f64,
+    top1_hits: usize,
+    top2_hits: usize,
+    questions: usize,
+    latency_nanos: u128,
+}
+
+impl EvalAccumulator {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        EvalAccumulator::default()
+    }
+
+    /// Records one evaluated question.
+    pub fn record(&mut self, rank_of_right: usize, num_candidates: usize, latency_nanos: u128) {
+        self.accu_sum += accu(rank_of_right, num_candidates);
+        self.mrr_sum += reciprocal_rank(rank_of_right);
+        self.ndcg5_sum += ndcg_at_k(rank_of_right, 5);
+        if rank_of_right <= 1 {
+            self.top1_hits += 1;
+        }
+        if rank_of_right <= 2 {
+            self.top2_hits += 1;
+        }
+        self.questions += 1;
+        self.latency_nanos += latency_nanos;
+    }
+
+    /// Number of evaluated questions.
+    pub fn num_questions(&self) -> usize {
+        self.questions
+    }
+
+    /// Mean ACCU (the paper's precision columns).
+    pub fn precision(&self) -> f64 {
+        if self.questions == 0 {
+            return 0.0;
+        }
+        self.accu_sum / self.questions as f64
+    }
+
+    /// TopK recall: fraction of questions whose right worker ranked ≤ k.
+    pub fn top_k(&self, k: usize) -> f64 {
+        if self.questions == 0 {
+            return 0.0;
+        }
+        let hits = match k {
+            0 => 0,
+            1 => self.top1_hits,
+            _ => self.top2_hits,
+        };
+        hits as f64 / self.questions as f64
+    }
+
+    /// Mean reciprocal rank.
+    pub fn mrr(&self) -> f64 {
+        if self.questions == 0 {
+            return 0.0;
+        }
+        self.mrr_sum / self.questions as f64
+    }
+
+    /// Mean NDCG@5.
+    pub fn ndcg5(&self) -> f64 {
+        if self.questions == 0 {
+            return 0.0;
+        }
+        self.ndcg5_sum / self.questions as f64
+    }
+
+    /// Mean per-question selection latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.questions == 0 {
+            return 0.0;
+        }
+        self.latency_nanos as f64 / self.questions as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accu_boundary_values() {
+        assert_eq!(accu(1, 10), 1.0);
+        assert_eq!(accu(10, 10), 0.0);
+        assert_eq!(accu(1, 1), 1.0);
+        assert!((accu(2, 3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accu_monotone_in_rank() {
+        for r in 1..10 {
+            assert!(accu(r, 10) > accu(r + 1, 10));
+        }
+    }
+
+    #[test]
+    fn accumulator_aggregates() {
+        let mut acc = EvalAccumulator::new();
+        acc.record(1, 5, 1_000_000); // accu 1.0, top1+top2
+        acc.record(2, 5, 3_000_000); // accu 0.75, top2
+        acc.record(5, 5, 2_000_000); // accu 0.0
+        assert_eq!(acc.num_questions(), 3);
+        assert!((acc.precision() - (1.0 + 0.75) / 3.0).abs() < 1e-12);
+        assert!((acc.top_k(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((acc.top_k(2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((acc.mean_latency_ms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let acc = EvalAccumulator::new();
+        assert_eq!(acc.precision(), 0.0);
+        assert_eq!(acc.top_k(1), 0.0);
+        assert_eq!(acc.mean_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn reciprocal_rank_values() {
+        assert_eq!(reciprocal_rank(1), 1.0);
+        assert_eq!(reciprocal_rank(4), 0.25);
+    }
+
+    #[test]
+    fn ndcg_values() {
+        assert_eq!(ndcg_at_k(1, 5), 1.0);
+        assert!((ndcg_at_k(2, 5) - 1.0 / 3f64.log2()).abs() < 1e-12);
+        assert_eq!(ndcg_at_k(6, 5), 0.0, "beyond the cutoff scores zero");
+        // Monotone decreasing within the cutoff.
+        for r in 1..5 {
+            assert!(ndcg_at_k(r, 5) > ndcg_at_k(r + 1, 5));
+        }
+    }
+
+    #[test]
+    fn accumulator_tracks_mrr_and_ndcg() {
+        let mut acc = EvalAccumulator::new();
+        acc.record(1, 4, 0);
+        acc.record(2, 4, 0);
+        assert!((acc.mrr() - 0.75).abs() < 1e-12);
+        let expected = (1.0 + 1.0 / 3f64.log2()) / 2.0;
+        assert!((acc.ndcg5() - expected).abs() < 1e-12);
+        assert_eq!(EvalAccumulator::new().mrr(), 0.0);
+        assert_eq!(EvalAccumulator::new().ndcg5(), 0.0);
+    }
+
+    #[test]
+    fn top_zero_is_zero() {
+        let mut acc = EvalAccumulator::new();
+        acc.record(1, 2, 0);
+        assert_eq!(acc.top_k(0), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Paired bootstrap significance testing for selector comparisons.
+//!
+//! The paper reports point estimates; a credible comparison of two
+//! selectors on the same test questions should also say whether the gap
+//! survives resampling. [`paired_bootstrap`] resamples questions with
+//! replacement and reports how often algorithm A beats algorithm B.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Result of a paired bootstrap comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapResult {
+    /// Mean of A's per-question scores.
+    pub mean_a: f64,
+    /// Mean of B's per-question scores.
+    pub mean_b: f64,
+    /// Fraction of bootstrap resamples where A's mean strictly exceeded
+    /// B's. Values near 1.0 (or 0.0) indicate a stable direction; ~0.5
+    /// means the gap is noise.
+    pub prob_a_beats_b: f64,
+    /// 95% bootstrap interval for the mean difference `A − B`.
+    pub diff_ci: (f64, f64),
+}
+
+/// Runs a paired bootstrap over per-question scores of two algorithms.
+///
+/// `scores_a[i]` and `scores_b[i]` must refer to the *same* question `i`
+/// (e.g. per-question ACCU values from
+/// [`crate::protocol::EvalProtocol::evaluate`]-style runs). Resampling is
+/// paired: each bootstrap replicate draws question indexes and evaluates
+/// both algorithms on the identical sample.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty, or `resamples == 0` —
+/// all programmer errors.
+pub fn paired_bootstrap(
+    scores_a: &[f64],
+    scores_b: &[f64],
+    resamples: usize,
+    seed: u64,
+) -> BootstrapResult {
+    assert_eq!(scores_a.len(), scores_b.len(), "paired scores required");
+    assert!(!scores_a.is_empty(), "need at least one question");
+    assert!(resamples > 0, "need at least one resample");
+    let n = scores_a.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut diffs = Vec::with_capacity(resamples);
+    let mut wins = 0usize;
+    for _ in 0..resamples {
+        let mut sum_a = 0.0;
+        let mut sum_b = 0.0;
+        for _ in 0..n {
+            let i = rng.random_range(0..n);
+            sum_a += scores_a[i];
+            sum_b += scores_b[i];
+        }
+        if sum_a > sum_b {
+            wins += 1;
+        }
+        diffs.push((sum_a - sum_b) / n as f64);
+    }
+    diffs.sort_by(f64::total_cmp);
+    let lo = diffs[(resamples as f64 * 0.025) as usize];
+    let hi = diffs[((resamples as f64 * 0.975) as usize).min(resamples - 1)];
+
+    BootstrapResult {
+        mean_a: scores_a.iter().sum::<f64>() / n as f64,
+        mean_b: scores_b.iter().sum::<f64>() / n as f64,
+        prob_a_beats_b: wins as f64 / resamples as f64,
+        diff_ci: (lo, hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_winner_is_detected() {
+        let a: Vec<f64> = (0..200).map(|i| 0.8 + 0.001 * (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| 0.5 + 0.001 * (i % 7) as f64).collect();
+        let r = paired_bootstrap(&a, &b, 500, 1);
+        assert!(r.prob_a_beats_b > 0.99, "{r:?}");
+        assert!(r.diff_ci.0 > 0.0, "CI excludes zero: {r:?}");
+        assert!((r.mean_a - 0.802).abs() < 0.01);
+    }
+
+    #[test]
+    fn identical_scores_are_a_tossup() {
+        let a: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+        let r = paired_bootstrap(&a, &a, 400, 2);
+        assert_eq!(r.prob_a_beats_b, 0.0, "no strict wins on identical data");
+        assert!(r.diff_ci.0 <= 0.0 && r.diff_ci.1 >= 0.0);
+    }
+
+    #[test]
+    fn noisy_tiny_gap_is_uncertain() {
+        // Same distribution with a tiny offset far below its spread.
+        let a: Vec<f64> = (0..50).map(|i| ((i * 37) % 50) as f64 / 50.0 + 0.001).collect();
+        let b: Vec<f64> = (0..50).map(|i| ((i * 17 + 3) % 50) as f64 / 50.0).collect();
+        let r = paired_bootstrap(&a, &b, 500, 3);
+        assert!(
+            r.prob_a_beats_b > 0.05 && r.prob_a_beats_b < 0.95,
+            "uncertain outcome expected: {r:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = vec![0.9, 0.7, 0.8];
+        let b = vec![0.4, 0.6, 0.5];
+        let x = paired_bootstrap(&a, &b, 100, 9);
+        let y = paired_bootstrap(&a, &b, 100, 9);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired scores required")]
+    fn mismatched_lengths_panic() {
+        paired_bootstrap(&[1.0], &[1.0, 2.0], 10, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Paper-style text rendering of experiment results.
+
+use crate::experiments::{
+    DatasetStats, PrecisionCell, RecallCell, RuntimeCell, ALGORITHMS,
+};
+use crowd_store::GroupStats;
+use std::fmt::Write as _;
+
+/// Renders a Table-2-style dataset statistics block.
+pub fn render_dataset_stats(rows: &[DatasetStats]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>12}",
+        "Dataset", "Questions", "Users", "Answers"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:<10} {:>12} {:>12} {:>12}",
+            r.platform, r.questions, r.users, r.answers
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders a Figures-3/5/7-style group statistics block.
+pub fn render_group_stats(platform: &str, rows: &[GroupStats]) -> String {
+    let mut out = String::new();
+    writeln!(out, "{:<12} {:>10} {:>10}", "Group", "Size", "Coverage").unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:<12} {:>10} {:>10.3}",
+            format!("{platform}{}", r.threshold),
+            r.size,
+            r.coverage
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders a Tables-3/5/7-style precision table: algorithms × (group, K).
+pub fn render_precision(platform: &str, cells: &[PrecisionCell]) -> String {
+    let mut groups: Vec<usize> = cells.iter().map(|c| c.group).collect();
+    groups.sort_unstable();
+    groups.dedup();
+    let mut ks: Vec<usize> = cells.iter().filter(|c| c.k > 0).map(|c| c.k).collect();
+    ks.sort_unstable();
+    ks.dedup();
+
+    let mut out = String::new();
+    write!(out, "{:<10}", "Algorithm").unwrap();
+    for &g in &groups {
+        for &k in &ks {
+            write!(out, " {:>10}", format!("{platform}{g}/K{k}")).unwrap();
+        }
+    }
+    writeln!(out).unwrap();
+    for algo in ALGORITHMS {
+        write!(out, "{algo:<10}").unwrap();
+        for &g in &groups {
+            for &k in &ks {
+                let cell = cells.iter().find(|c| {
+                    c.algo == algo && c.group == g && (c.k == k || (algo == "VSM" && c.k == 0))
+                });
+                match cell {
+                    Some(c) => write!(out, " {:>10.3}", c.precision).unwrap(),
+                    None => write!(out, " {:>10}", "-").unwrap(),
+                }
+            }
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Renders a Tables-4/6/8-style recall table: algorithms × group × Top1/Top2.
+pub fn render_recall(platform: &str, cells: &[RecallCell]) -> String {
+    let mut groups: Vec<usize> = cells.iter().map(|c| c.group).collect();
+    groups.sort_unstable();
+    groups.dedup();
+
+    let mut out = String::new();
+    write!(out, "{:<10}", "Algorithm").unwrap();
+    for &g in &groups {
+        write!(out, " {:>12} {:>12}", format!("{platform}{g}/Top1"), format!("{platform}{g}/Top2")).unwrap();
+    }
+    writeln!(out).unwrap();
+    for algo in ALGORITHMS {
+        write!(out, "{algo:<10}").unwrap();
+        for &g in &groups {
+            match cells.iter().find(|c| c.algo == algo && c.group == g) {
+                Some(c) => write!(out, " {:>12.3} {:>12.3}", c.top1, c.top2).unwrap(),
+                None => write!(out, " {:>12} {:>12}", "-", "-").unwrap(),
+            }
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Renders a Figures-4/6/8-style running-time block (ms per selection).
+pub fn render_runtime(platform: &str, cells: &[RuntimeCell]) -> String {
+    let mut groups: Vec<usize> = cells.iter().map(|c| c.group).collect();
+    groups.sort_unstable();
+    groups.dedup();
+
+    let mut out = String::new();
+    write!(out, "{:<10}", "Algorithm").unwrap();
+    for &g in &groups {
+        write!(
+            out,
+            " {:>14} {:>14}",
+            format!("{platform}{g}/Top1ms"),
+            format!("{platform}{g}/Top2ms")
+        )
+        .unwrap();
+    }
+    writeln!(out).unwrap();
+    for algo in ALGORITHMS {
+        write!(out, "{algo:<10}").unwrap();
+        for &g in &groups {
+            match cells.iter().find(|c| c.algo == algo && c.group == g) {
+                Some(c) => write!(out, " {:>14.4} {:>14.4}", c.top1_ms, c.top2_ms).unwrap(),
+                None => write!(out, " {:>14} {:>14}", "-", "-").unwrap(),
+            }
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_stats_renders_all_rows() {
+        let rows = vec![DatasetStats {
+            platform: "Quora".into(),
+            questions: 10,
+            users: 5,
+            answers: 20,
+        }];
+        let s = render_dataset_stats(&rows);
+        assert!(s.contains("Quora"));
+        assert!(s.contains("20"));
+    }
+
+    #[test]
+    fn precision_table_places_vsm_and_tdpm() {
+        let cells = vec![
+            PrecisionCell {
+                algo: "VSM".into(),
+                group: 1,
+                k: 0,
+                precision: 0.5,
+                questions: 10,
+            },
+            PrecisionCell {
+                algo: "TDPM".into(),
+                group: 1,
+                k: 10,
+                precision: 0.9,
+                questions: 10,
+            },
+        ];
+        let s = render_precision("Quora", &cells);
+        assert!(s.contains("VSM"));
+        assert!(s.contains("0.900"));
+        assert!(s.contains("0.500"), "VSM value replicated across K: {s}");
+    }
+
+    #[test]
+    fn recall_table_renders_groups() {
+        let cells = vec![RecallCell {
+            algo: "DRM".into(),
+            group: 3,
+            top1: 0.4,
+            top2: 0.6,
+            questions: 9,
+        }];
+        let s = render_recall("Stack", &cells);
+        assert!(s.contains("Stack3/Top1"));
+        assert!(s.contains("0.400"));
+        assert!(s.contains("0.600"));
+    }
+
+    #[test]
+    fn runtime_renders_milliseconds() {
+        let cells = vec![RuntimeCell {
+            algo: "TSPM".into(),
+            group: 1,
+            top1_ms: 1.25,
+            top2_ms: 1.5,
+        }];
+        let s = render_runtime("Yahoo", &cells);
+        assert!(s.contains("1.2500"));
+    }
+
+    #[test]
+    fn group_stats_renders() {
+        let rows = vec![GroupStats {
+            threshold: 5,
+            size: 100,
+            coverage: 0.92,
+        }];
+        let s = render_group_stats("Quora", &rows);
+        assert!(s.contains("Quora5"));
+        assert!(s.contains("0.920"));
+    }
+}

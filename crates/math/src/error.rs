@@ -1,0 +1,103 @@
+//! Error type shared by the math kernels.
+
+use std::fmt;
+
+/// Errors raised by linear-algebra and optimization routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimension seen on the left-hand side.
+        left: usize,
+        /// Dimension seen on the right-hand side.
+        right: usize,
+    },
+    /// A matrix expected to be symmetric positive-definite was not.
+    NotPositiveDefinite {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative routine exhausted its iteration budget without converging.
+    DidNotConverge {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// An argument was outside the routine's domain (e.g. `digamma(0)`).
+    DomainError {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Description of the violated precondition.
+        message: &'static str,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DimensionMismatch { op, left, right } => {
+                write!(f, "dimension mismatch in {op}: {left} vs {right}")
+            }
+            MathError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            MathError::DidNotConverge {
+                routine,
+                iterations,
+            } => {
+                write!(f, "{routine} did not converge after {iterations} iterations")
+            }
+            MathError::DomainError { routine, message } => {
+                write!(f, "domain error in {routine}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = MathError::DimensionMismatch {
+            op: "dot",
+            left: 3,
+            right: 4,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch in dot: 3 vs 4");
+
+        let e = MathError::NotPositiveDefinite { pivot: 2 };
+        assert!(e.to_string().contains("pivot 2"));
+
+        let e = MathError::DidNotConverge {
+            routine: "cg",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("cg"));
+        assert!(e.to_string().contains("100"));
+
+        let e = MathError::DomainError {
+            routine: "digamma",
+            message: "x must be positive",
+        };
+        assert!(e.to_string().contains("digamma"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            MathError::NotPositiveDefinite { pivot: 1 },
+            MathError::NotPositiveDefinite { pivot: 1 }
+        );
+        assert_ne!(
+            MathError::NotPositiveDefinite { pivot: 1 },
+            MathError::NotPositiveDefinite { pivot: 2 }
+        );
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Small dense linear algebra, optimizers and special functions.
+//!
+//! The TDPM inference engine works with `K`-dimensional latent vectors and
+//! `K × K` covariance matrices where `K` (the number of latent categories) is
+//! small — typically 10 to 50. This crate provides exactly the kernels that
+//! workload needs, implemented from scratch:
+//!
+//! - [`Vector`] and [`Matrix`]: dense, row-major, `f64` containers with the
+//!   arithmetic the variational updates use (dot, outer product, `axpy`,
+//!   matrix–vector products, …).
+//! - [`Cholesky`]: factorization of symmetric positive-definite matrices with
+//!   solve / inverse / log-determinant, used for the closed-form worker-skill
+//!   updates (paper Eq. 10) and for sampling from multivariate normals.
+//! - [`optimize`]: a nonlinear conjugate-gradient minimizer (Polak–Ribière
+//!   with backtracking line search) and a safeguarded 1-D Newton iteration,
+//!   used for the latent-category updates (paper Eqs. 14–15, 22–23).
+//! - [`special`]: `lgamma`, `digamma`, `logsumexp`, `softmax` — required by
+//!   the LDA baseline and the logistic-normal topic link.
+//! - [`stats`]: sample means / covariances for the M-step (paper Eqs. 16–19).
+
+pub mod cholesky;
+pub mod error;
+pub mod matrix;
+pub mod optimize;
+pub mod special;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::MathError;
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+/// Convenience result alias for fallible math routines.
+pub type Result<T> = std::result::Result<T, MathError>;

@@ -1,0 +1,262 @@
+//! Nonlinear conjugate gradient (Polak–Ribière⁺) with Armijo backtracking.
+
+use super::Objective;
+use crate::Vector;
+
+/// Tuning knobs for [`minimize_cg`].
+#[derive(Debug, Clone)]
+pub struct CgOptions {
+    /// Maximum outer CG iterations.
+    pub max_iters: usize,
+    /// Stop when the gradient ∞-norm falls below this.
+    pub grad_tol: f64,
+    /// Stop when the objective improves by less than this (absolute).
+    pub f_tol: f64,
+    /// Initial step length tried by the line search.
+    pub initial_step: f64,
+    /// Armijo sufficient-decrease constant (0 < c1 < 1).
+    pub armijo_c1: f64,
+    /// Line-search shrink factor (0 < ρ < 1).
+    pub shrink: f64,
+    /// Maximum backtracking steps per line search.
+    pub max_backtracks: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            max_iters: 200,
+            grad_tol: 1e-6,
+            f_tol: 1e-10,
+            initial_step: 1.0,
+            armijo_c1: 1e-4,
+            shrink: 0.5,
+            max_backtracks: 40,
+        }
+    }
+}
+
+/// Why [`minimize_cg`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgOutcome {
+    /// Gradient norm fell below `grad_tol`.
+    GradientConverged,
+    /// Objective decrease fell below `f_tol`.
+    ValueConverged,
+    /// The line search could not find a descent step (flat or non-smooth
+    /// region); the best iterate so far is returned.
+    LineSearchStalled,
+    /// Iteration budget exhausted; the best iterate so far is returned.
+    MaxIterations,
+}
+
+/// Result of a CG minimization.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// The minimizing argument found.
+    pub x: Vector,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Stopping reason.
+    pub outcome: CgOutcome,
+}
+
+/// Minimizes `f` starting from `x0` using Polak–Ribière⁺ conjugate gradient.
+///
+/// The PR⁺ variant clamps the conjugacy coefficient `β` at zero, which makes
+/// the method globally convergent with an inexact (Armijo) line search — it
+/// silently degrades to steepest descent when the quadratic model is poor.
+pub fn minimize_cg(f: &impl Objective, x0: &Vector, opts: &CgOptions) -> CgResult {
+    let n = x0.len();
+    let mut x = x0.clone();
+    let mut grad = Vector::zeros(n);
+    let mut value = f.value_and_grad(&x, &mut grad);
+
+    // Direction starts as steepest descent.
+    let mut dir = grad.map(|g| -g);
+    let mut step_hint = opts.initial_step;
+    // Consecutive tiny-improvement steps. A single tiny step can be a CG
+    // zigzag rather than convergence; after one we restart with steepest
+    // descent and only declare value convergence on a second stall.
+    let mut stalls = 0usize;
+
+    for iter in 0..opts.max_iters {
+        let gnorm = grad.as_slice().iter().fold(0.0f64, |m, g| m.max(g.abs()));
+        if gnorm < opts.grad_tol {
+            return CgResult {
+                x,
+                value,
+                iterations: iter,
+                outcome: CgOutcome::GradientConverged,
+            };
+        }
+
+        // Ensure `dir` is a descent direction; restart to steepest descent
+        // otherwise (can happen after a poorly scaled β).
+        let mut slope = grad.dot(&dir).expect("dims fixed");
+        if slope >= 0.0 {
+            dir = grad.map(|g| -g);
+            slope = grad.dot(&dir).expect("dims fixed");
+            if slope >= 0.0 {
+                // Gradient is exactly zero (handled above) or NaN.
+                return CgResult {
+                    x,
+                    value,
+                    iterations: iter,
+                    outcome: CgOutcome::LineSearchStalled,
+                };
+            }
+        }
+
+        // Armijo backtracking line search along `dir`.
+        let mut step = step_hint;
+        let mut trial = Vector::zeros(n);
+        let mut trial_grad = Vector::zeros(n);
+        let mut accepted = false;
+        let mut trial_value = value;
+        for _ in 0..opts.max_backtracks {
+            trial = x.clone();
+            trial.axpy(step, &dir).expect("dims fixed");
+            trial_value = f.value_and_grad(&trial, &mut trial_grad);
+            if trial_value.is_finite() && trial_value <= value + opts.armijo_c1 * step * slope {
+                accepted = true;
+                break;
+            }
+            step *= opts.shrink;
+        }
+        if !accepted {
+            return CgResult {
+                x,
+                value,
+                iterations: iter,
+                outcome: CgOutcome::LineSearchStalled,
+            };
+        }
+
+        let improvement = value - trial_value;
+        x = trial;
+        let grad_prev = std::mem::replace(&mut grad, trial_grad);
+        // Reuse a slightly enlarged accepted step as the next initial guess;
+        // this adapts the search to the local scale of the objective.
+        step_hint = (step * 2.0).min(opts.initial_step.max(1.0));
+
+        if improvement.abs() < opts.f_tol {
+            stalls += 1;
+            if stalls >= 2 {
+                return CgResult {
+                    x,
+                    value: trial_value,
+                    iterations: iter + 1,
+                    outcome: CgOutcome::ValueConverged,
+                };
+            }
+            // Try once more from steepest descent before giving up.
+            value = trial_value;
+            dir = grad.map(|g| -g);
+            continue;
+        }
+        stalls = 0;
+        value = trial_value;
+
+        // Polak–Ribière⁺ coefficient.
+        let gg_prev = grad_prev.dot(&grad_prev).expect("dims fixed");
+        let diff = grad.sub(&grad_prev).expect("dims fixed");
+        let beta = if gg_prev > 0.0 {
+            (grad.dot(&diff).expect("dims fixed") / gg_prev).max(0.0)
+        } else {
+            0.0
+        };
+        // Periodic restart keeps directions conjugate on nonquadratics.
+        let beta = if (iter + 1) % (n.max(1) * 4) == 0 { 0.0 } else { beta };
+        let mut new_dir = grad.map(|g| -g);
+        new_dir.axpy(beta, &dir).expect("dims fixed");
+        dir = new_dir;
+    }
+
+    CgResult {
+        iterations: opts.max_iters,
+        outcome: CgOutcome::MaxIterations,
+        value,
+        x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_convex_quadratic() {
+        // f(x) = ½ Σ a_i (x_i - b_i)²
+        let a = [1.0, 10.0, 100.0];
+        let b = [3.0, -2.0, 0.5];
+        let f = |x: &Vector, g: &mut Vector| {
+            let mut v = 0.0;
+            for i in 0..3 {
+                let d = x[i] - b[i];
+                v += 0.5 * a[i] * d * d;
+                g[i] = a[i] * d;
+            }
+            v
+        };
+        let r = minimize_cg(&f, &Vector::zeros(3), &CgOptions::default());
+        for (i, target) in b.iter().enumerate() {
+            assert!((r.x[i] - target).abs() < 1e-4, "coord {i}: {}", r.x[i]);
+        }
+        assert!(r.value < 1e-8);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        // Classic nonconvex test; minimum at (1, 1).
+        let f = |x: &Vector, g: &mut Vector| {
+            let (a, b) = (x[0], x[1]);
+            g[0] = -2.0 * (1.0 - a) - 400.0 * a * (b - a * a);
+            g[1] = 200.0 * (b - a * a);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let opts = CgOptions {
+            max_iters: 20_000,
+            grad_tol: 1e-8,
+            f_tol: 1e-16,
+            ..CgOptions::default()
+        };
+        let r = minimize_cg(&f, &Vector::from_vec(vec![-1.2, 1.0]), &opts);
+        assert!(
+            (r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3,
+            "got {:?} after {} iters ({:?})",
+            r.x.as_slice(),
+            r.iterations,
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn converged_at_start_returns_immediately() {
+        let f = |x: &Vector, g: &mut Vector| {
+            g[0] = 2.0 * x[0];
+            x[0] * x[0]
+        };
+        let r = minimize_cg(&f, &Vector::zeros(1), &CgOptions::default());
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.outcome, CgOutcome::GradientConverged);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let f = |x: &Vector, g: &mut Vector| {
+            g[0] = 2.0 * (x[0] - 5.0);
+            (x[0] - 5.0) * (x[0] - 5.0)
+        };
+        let opts = CgOptions {
+            max_iters: 1,
+            grad_tol: 0.0,
+            f_tol: 0.0,
+            ..CgOptions::default()
+        };
+        let r = minimize_cg(&f, &Vector::zeros(1), &opts);
+        assert!(r.iterations <= 1);
+    }
+}

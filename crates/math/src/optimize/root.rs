@@ -1,0 +1,110 @@
+//! Bracketed root finding for strictly decreasing scalar functions.
+
+use crate::{MathError, Result};
+
+/// Finds the root of a strictly decreasing function `f` on `(0, ∞)`.
+///
+/// The stationarity condition for the variational variances `ν²` (paper
+/// Eq. 15 / 23) has exactly this shape: the derivative of the ELBO with
+/// respect to `ν²_k` decreases monotonically from `+∞` (as `ν² → 0⁺`, driven
+/// by the entropy term `1/(2ν²)`) to negative values, so a unique positive
+/// root exists whenever the function changes sign.
+///
+/// The search brackets the root by geometric expansion from `x0`, then
+/// bisects to a relative tolerance of `tol`. Bisection is preferred over
+/// Newton here because the exponential term in the ELBO derivative makes
+/// Newton steps wildly overshoot from the left of the root.
+pub fn solve_decreasing(f: impl Fn(f64) -> f64, x0: f64, tol: f64) -> Result<f64> {
+    debug_assert!(x0 > 0.0, "initial guess must be positive");
+    let mut lo = x0;
+    let mut hi = x0;
+
+    // Expand downward until f(lo) > 0.
+    let mut flo = f(lo);
+    let mut tries = 0;
+    while flo <= 0.0 {
+        lo *= 0.5;
+        flo = f(lo);
+        tries += 1;
+        if tries > 200 || lo < 1e-300 {
+            return Err(MathError::DidNotConverge {
+                routine: "solve_decreasing (lower bracket)",
+                iterations: tries,
+            });
+        }
+    }
+    // Expand upward until f(hi) < 0.
+    let mut fhi = f(hi);
+    tries = 0;
+    while fhi >= 0.0 {
+        hi *= 2.0;
+        fhi = f(hi);
+        tries += 1;
+        if tries > 200 || hi > 1e300 {
+            return Err(MathError::DidNotConverge {
+                routine: "solve_decreasing (upper bracket)",
+                iterations: tries,
+            });
+        }
+    }
+
+    // Bisection: ~60 halvings reach f64 relative precision from any bracket.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if (hi - lo) <= tol * mid.max(1e-12) {
+            return Ok(mid);
+        }
+        let fm = f(mid);
+        if fm > 0.0 {
+            lo = mid;
+        } else if fm < 0.0 {
+            hi = mid;
+        } else {
+            return Ok(mid);
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_root() {
+        // f(x) = 5 − x, root at 5.
+        let r = solve_decreasing(|x| 5.0 - x, 1.0, 1e-12).unwrap();
+        assert!((r - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elbo_like_shape() {
+        // 1/(2x) − a − b·e^{x/2}: the actual ν² stationarity shape.
+        let (a, b) = (0.7, 0.3);
+        let f = |x: f64| 1.0 / (2.0 * x) - a - b * (x / 2.0).exp();
+        let r = solve_decreasing(f, 1.0, 1e-12).unwrap();
+        assert!(f(r).abs() < 1e-8, "residual {}", f(r));
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn bracket_expands_in_both_directions() {
+        // Root far above the initial guess.
+        let r = solve_decreasing(|x| 1e6 - x, 1.0, 1e-10).unwrap();
+        assert!((r - 1e6).abs() / 1e6 < 1e-8);
+        // Root far below the initial guess.
+        let r = solve_decreasing(|x| 1e-6 - x, 1.0, 1e-12).unwrap();
+        assert!((r - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_negative_function_errors() {
+        // f(x) = −1 never changes sign: no positive root.
+        assert!(solve_decreasing(|_| -1.0, 1.0, 1e-10).is_err());
+    }
+
+    #[test]
+    fn all_positive_function_errors() {
+        assert!(solve_decreasing(|_| 1.0, 1.0, 1e-10).is_err());
+    }
+}

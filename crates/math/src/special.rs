@@ -1,0 +1,184 @@
+//! Special functions: `lgamma`, `digamma`, `logsumexp`, `softmax`.
+//!
+//! The LDA baseline (TSPM) needs `digamma`/`lgamma` for its variational
+//! Dirichlet updates; the logistic-normal link in TDPM needs numerically
+//! stable `softmax`/`logsumexp`.
+
+use crate::Vector;
+
+/// Natural log of the Gamma function via the Lanczos approximation (g = 7,
+/// n = 9 coefficients). Accurate to ~1e-13 for positive arguments.
+pub fn lgamma(x: f64) -> f64 {
+    // Coefficients from the standard g=7 Lanczos expansion.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_1,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - lgamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + 7.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Digamma (ψ) function: derivative of `lgamma`.
+///
+/// Uses the recurrence `ψ(x) = ψ(x+1) − 1/x` to push the argument above 6,
+/// then an asymptotic series. Accurate to ~1e-12 for positive arguments.
+pub fn digamma(mut x: f64) -> f64 {
+    debug_assert!(x > 0.0, "digamma requires a positive argument");
+    let mut result = 0.0;
+    while x < 10.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result += x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))));
+    result
+}
+
+/// Numerically stable `log Σ exp(x_i)`.
+///
+/// Returns `NEG_INFINITY` for an empty slice.
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m; // all -inf (or empty) → -inf; propagates +inf as-is
+    }
+    let s: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Numerically stable softmax; the output sums to 1.
+///
+/// This is the paper's `logistic(c)` transform (Eq. 4) mapping a latent
+/// category vector to a discrete distribution over categories.
+pub fn softmax(xs: &[f64]) -> Vector {
+    let lse = logsumexp(xs);
+    Vector::from_fn(xs.len(), |i| (xs[i] - lse).exp())
+}
+
+/// In-place normalization of a non-negative slice to sum to one.
+///
+/// Leaves a uniform distribution if the input sums to zero (all-zero row),
+/// which is the conventional smoothing choice for empty topic rows.
+pub fn normalize_in_place(xs: &mut [f64]) {
+    let s: f64 = xs.iter().sum();
+    if s > 0.0 && s.is_finite() {
+        for x in xs.iter_mut() {
+            *x /= s;
+        }
+    } else if !xs.is_empty() {
+        let u = 1.0 / xs.len() as f64;
+        for x in xs.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lgamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        for (n, fact) in [(1.0, 1.0f64), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
+            assert!(
+                (lgamma(n) - fact.ln()).abs() < 1e-10,
+                "lgamma({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn lgamma_half() {
+        // Γ(1/2) = √π
+        assert!((lgamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn digamma_known_values() {
+        // ψ(1) = −γ (Euler–Mascheroni)
+        let gamma = 0.577_215_664_901_532_9;
+        assert!((digamma(1.0) + gamma).abs() < 1e-10);
+        // ψ(2) = 1 − γ
+        assert!((digamma(2.0) - (1.0 - gamma)).abs() < 1e-10);
+        // ψ(1/2) = −γ − 2 ln 2
+        assert!((digamma(0.5) + gamma + 2.0 * (2.0f64).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn digamma_is_lgamma_derivative() {
+        let h = 1e-6;
+        for x in [0.3, 1.0, 2.5, 10.0, 100.0] {
+            let numeric = (lgamma(x + h) - lgamma(x - h)) / (2.0 * h);
+            assert!(
+                (digamma(x) - numeric).abs() < 1e-5,
+                "digamma({x}): {} vs {numeric}",
+                digamma(x)
+            );
+        }
+    }
+
+    #[test]
+    fn logsumexp_is_shift_invariant() {
+        let xs = [1.0, 2.0, 3.0];
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 100.0).collect();
+        assert!((logsumexp(&shifted) - (logsumexp(&xs) + 100.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn logsumexp_handles_extremes() {
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+        assert_eq!(logsumexp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        // Huge values must not overflow.
+        let v = logsumexp(&[1e308f64.ln(), 1e308f64.ln()]);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let s = softmax(&[1.0, 2.0, 3.0]);
+        assert!((s.sum() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_inputs() {
+        let s = softmax(&[1000.0, 1000.0]);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_handles_zero_row() {
+        let mut xs = [0.0, 0.0, 0.0, 0.0];
+        normalize_in_place(&mut xs);
+        for x in xs {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+        let mut ys = [1.0, 3.0];
+        normalize_in_place(&mut ys);
+        assert!((ys[0] - 0.25).abs() < 1e-12);
+        assert!((ys[1] - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,311 @@
+//! Dense `f64` vector with the operations the variational updates need.
+
+use crate::{MathError, Result};
+use serde::{Deserialize, Serialize};
+use std::ops::{Index, IndexMut};
+
+/// A dense, heap-allocated `f64` vector.
+///
+/// `Vector` deliberately exposes a small, allocation-conscious API: in-place
+/// operations (`add_assign`, `scale`, `axpy`) are preferred over operator
+/// overloads that would allocate on every call inside inference loops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector of `n` copies of `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Vector {
+            data: vec![value; n],
+        }
+    }
+
+    /// Wraps an existing `Vec<f64>`.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+
+    /// Builds a vector by evaluating `f` at each index.
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> f64) -> Self {
+        Vector {
+            data: (0..n).map(f).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Dot product `self · other`.
+    pub fn dot(&self, other: &Vector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(MathError::DimensionMismatch {
+                op: "Vector::dot",
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest element, or `f64::NEG_INFINITY` for an empty vector.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Vector) -> Result<()> {
+        self.zip_apply(other, "Vector::add_assign", |a, b| *a += b)
+    }
+
+    /// In-place `self -= other`.
+    pub fn sub_assign(&mut self, other: &Vector) -> Result<()> {
+        self.zip_apply(other, "Vector::sub_assign", |a, b| *a -= b)
+    }
+
+    /// In-place `self *= s` (elementwise scaling).
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// In-place `self += alpha * other` (the BLAS `axpy` primitive).
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) -> Result<()> {
+        self.zip_apply(other, "Vector::axpy", |a, b| *a += alpha * b)
+    }
+
+    /// Returns `self - other` as a new vector.
+    pub fn sub(&self, other: &Vector) -> Result<Vector> {
+        let mut out = self.clone();
+        out.sub_assign(other)?;
+        Ok(out)
+    }
+
+    /// Returns `self + other` as a new vector.
+    pub fn add(&self, other: &Vector) -> Result<Vector> {
+        let mut out = self.clone();
+        out.add_assign(other)?;
+        Ok(out)
+    }
+
+    /// Elementwise product `self ⊙ other` as a new vector.
+    pub fn hadamard(&self, other: &Vector) -> Result<Vector> {
+        if self.len() != other.len() {
+            return Err(MathError::DimensionMismatch {
+                op: "Vector::hadamard",
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        Ok(Vector::from_fn(self.len(), |i| self.data[i] * other.data[i]))
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Returns a new vector with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// `true` if every element is finite (no NaN / ±inf).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    fn zip_apply(
+        &mut self,
+        other: &Vector,
+        op: &'static str,
+        f: impl Fn(&mut f64, f64),
+    ) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(MathError::DimensionMismatch {
+                op,
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            f(a, b);
+        }
+        Ok(())
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        let z = Vector::zeros(3);
+        assert_eq!(z.as_slice(), &[0.0, 0.0, 0.0]);
+        let f = Vector::filled(2, 1.5);
+        assert_eq!(f.as_slice(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from_vec(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn dot_dimension_mismatch() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        assert!(matches!(
+            a.dot(&b),
+            Err(MathError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn norm_is_euclidean() {
+        let v = Vector::from_vec(vec![3.0, 4.0]);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Vector::from_vec(vec![1.0, 1.0]);
+        let b = Vector::from_vec(vec![2.0, 3.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Vector::from_vec(vec![1.0, 2.0]);
+        let b = Vector::from_vec(vec![0.5, -0.5]);
+        let c = a.add(&b).unwrap().sub(&b).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = Vector::from_vec(vec![2.0, 3.0]);
+        let b = Vector::from_vec(vec![4.0, 5.0]);
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[8.0, 15.0]);
+    }
+
+    #[test]
+    fn map_and_map_inplace_agree() {
+        let a = Vector::from_vec(vec![1.0, 4.0, 9.0]);
+        let mapped = a.map(f64::sqrt);
+        let mut inplace = a.clone();
+        inplace.map_inplace(f64::sqrt);
+        assert_eq!(mapped, inplace);
+    }
+
+    #[test]
+    fn max_and_sum() {
+        let v = Vector::from_vec(vec![1.0, -2.0, 3.0]);
+        assert_eq!(v.max(), 3.0);
+        assert_eq!(v.sum(), 2.0);
+        assert_eq!(Vector::zeros(0).max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut v = Vector::zeros(2);
+        assert!(v.is_finite());
+        v[1] = f64::NAN;
+        assert!(!v.is_finite());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+}

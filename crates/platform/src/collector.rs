@@ -1,0 +1,179 @@
+//! The answer collector: receives answers and routes feedback.
+
+use crate::events::{AnswerEvent, FeedbackEvent};
+use crate::manager::{CrowdManager, ManagerError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Collects answers from workers and applies feedback to the manager.
+///
+/// The collector owns the receiving end of the answer channel ("the system
+/// keeps collecting the answers returned by the selected workers",
+/// Section 2). Feedback arrives on its own channel — on real platforms it
+/// comes later, from askers/voters, not from the answer itself.
+pub struct AnswerCollector {
+    answer_tx: Sender<AnswerEvent>,
+    answer_rx: Receiver<AnswerEvent>,
+    feedback_tx: Sender<FeedbackEvent>,
+    feedback_rx: Receiver<FeedbackEvent>,
+}
+
+/// Totals from a drain pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Answers persisted.
+    pub answers: usize,
+    /// Feedback scores applied.
+    pub feedback: usize,
+    /// Events that failed (unknown pairs, model errors).
+    pub errors: usize,
+}
+
+impl Default for AnswerCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnswerCollector {
+    /// Creates a collector with fresh channels.
+    pub fn new() -> Self {
+        let (answer_tx, answer_rx) = unbounded();
+        let (feedback_tx, feedback_rx) = unbounded();
+        AnswerCollector {
+            answer_tx,
+            answer_rx,
+            feedback_tx,
+            feedback_rx,
+        }
+    }
+
+    /// Sender handle workers use to submit answers.
+    pub fn answer_sender(&self) -> Sender<AnswerEvent> {
+        self.answer_tx.clone()
+    }
+
+    /// Sender handle askers/voters use to submit feedback.
+    pub fn feedback_sender(&self) -> Sender<FeedbackEvent> {
+        self.feedback_tx.clone()
+    }
+
+    /// Drains every queued answer and feedback event into the manager.
+    ///
+    /// Returns counts; individual event failures are tallied, not fatal —
+    /// a malformed event must not wedge the pipeline.
+    pub fn drain_into(&self, manager: &CrowdManager) -> DrainStats {
+        let mut stats = DrainStats::default();
+        while let Ok(answer) = self.answer_rx.try_recv() {
+            match manager.record_answer(answer.worker, answer.task, &answer.text) {
+                Ok(()) => stats.answers += 1,
+                Err(ManagerError::Store(_)) => stats.errors += 1,
+                Err(_) => stats.errors += 1,
+            }
+        }
+        while let Ok(fb) = self.feedback_rx.try_recv() {
+            match manager.record_feedback(fb.worker, fb.task, fb.score) {
+                Ok(()) => stats.feedback += 1,
+                Err(_) => stats.errors += 1,
+            }
+        }
+        stats
+    }
+
+    /// Number of answers waiting in the queue.
+    pub fn pending_answers(&self) -> usize {
+        self.answer_rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ManagerConfig;
+    use crowd_core::TdpmConfig;
+    use crowd_store::{CrowdDb, SharedCrowdDb, TaskId, WorkerId};
+
+    fn trained_manager() -> (CrowdManager, WorkerId, TaskId) {
+        let mut db = CrowdDb::new();
+        let w = db.add_worker("w");
+        let t = db.add_task("btree page split question");
+        db.assign(w, t).unwrap();
+        db.record_feedback(w, t, 2.0).unwrap();
+        let manager = CrowdManager::new(
+            SharedCrowdDb::new(db),
+            ManagerConfig {
+                top_k: 1,
+                tdpm: TdpmConfig {
+                    num_categories: 2,
+                    max_em_iters: 5,
+                    ..TdpmConfig::default()
+                },
+                retrain_every: None,
+            },
+        );
+        manager.train().unwrap();
+        manager.set_online(w);
+        (manager, w, t)
+    }
+
+    #[test]
+    fn answers_and_feedback_flow_through() {
+        let (manager, w, _) = trained_manager();
+        let (task, _) = manager.submit_task("another btree question").unwrap();
+        let collector = AnswerCollector::new();
+        collector
+            .answer_sender()
+            .send(AnswerEvent {
+                worker: w,
+                task,
+                text: "an answer".into(),
+            })
+            .unwrap();
+        collector
+            .feedback_sender()
+            .send(FeedbackEvent {
+                worker: w,
+                task,
+                score: 3.0,
+            })
+            .unwrap();
+        assert_eq!(collector.pending_answers(), 1);
+        let stats = collector.drain_into(&manager);
+        assert_eq!(stats.answers, 1);
+        assert_eq!(stats.feedback, 1);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(manager.db().read().feedback(w, task), Some(3.0));
+    }
+
+    #[test]
+    fn bad_events_count_as_errors() {
+        let (manager, _, _) = trained_manager();
+        let collector = AnswerCollector::new();
+        // Answer for a pair that was never assigned.
+        collector
+            .answer_sender()
+            .send(AnswerEvent {
+                worker: WorkerId(77),
+                task: TaskId(0),
+                text: "ghost".into(),
+            })
+            .unwrap();
+        collector
+            .feedback_sender()
+            .send(FeedbackEvent {
+                worker: WorkerId(77),
+                task: TaskId(0),
+                score: 1.0,
+            })
+            .unwrap();
+        let stats = collector.drain_into(&manager);
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.answers, 0);
+    }
+
+    #[test]
+    fn drain_on_empty_channels_is_noop() {
+        let (manager, _, _) = trained_manager();
+        let collector = AnswerCollector::new();
+        assert_eq!(collector.drain_into(&manager), DrainStats::default());
+    }
+}

@@ -1,0 +1,155 @@
+//! The task dispatcher: delivers assignments to workers over channels.
+
+use crate::events::Dispatch;
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use crowd_store::WorkerId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Routes [`Dispatch`] messages to per-worker inboxes.
+///
+/// Workers register to obtain a [`Receiver`]; the crowd manager (or the
+/// pipeline driving it) dispatches selected assignments here. Unregistered
+/// or disconnected workers are reported rather than silently dropped.
+#[derive(Default)]
+pub struct TaskDispatcher {
+    inboxes: Mutex<HashMap<WorkerId, Sender<Dispatch>>>,
+}
+
+/// Dispatch outcome per worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchOutcome {
+    /// Message delivered to the worker's inbox.
+    Delivered,
+    /// The worker never registered an inbox.
+    NotRegistered,
+    /// The worker's receiver was dropped (worker shut down).
+    Disconnected,
+}
+
+impl TaskDispatcher {
+    /// Creates an empty dispatcher.
+    pub fn new() -> Self {
+        TaskDispatcher::default()
+    }
+
+    /// Registers a worker, returning their inbox receiver.
+    ///
+    /// Re-registering replaces the previous inbox (the old receiver keeps
+    /// its already-queued messages but gets nothing new).
+    pub fn register(&self, worker: WorkerId) -> Receiver<Dispatch> {
+        let (tx, rx) = unbounded();
+        self.inboxes.lock().insert(worker, tx);
+        rx
+    }
+
+    /// Removes a worker's inbox.
+    pub fn unregister(&self, worker: WorkerId) {
+        self.inboxes.lock().remove(&worker);
+    }
+
+    /// Number of registered workers.
+    pub fn num_registered(&self) -> usize {
+        self.inboxes.lock().len()
+    }
+
+    /// Sends a dispatch to one worker.
+    pub fn dispatch(&self, worker: WorkerId, message: Dispatch) -> DispatchOutcome {
+        let inboxes = self.inboxes.lock();
+        match inboxes.get(&worker) {
+            None => DispatchOutcome::NotRegistered,
+            Some(tx) => match tx.try_send(message) {
+                Ok(()) => DispatchOutcome::Delivered,
+                Err(TrySendError::Disconnected(_)) => DispatchOutcome::Disconnected,
+                Err(TrySendError::Full(_)) => unreachable!("unbounded channel"),
+            },
+        }
+    }
+
+    /// Dispatches to several workers, returning per-worker outcomes.
+    pub fn dispatch_all(
+        &self,
+        workers: &[WorkerId],
+        message: &Dispatch,
+    ) -> Vec<(WorkerId, DispatchOutcome)> {
+        workers
+            .iter()
+            .map(|&w| (w, self.dispatch(w, message.clone())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_store::TaskId;
+
+    fn msg(id: u32) -> Dispatch {
+        Dispatch {
+            task: TaskId(id),
+            text: format!("task {id}"),
+        }
+    }
+
+    #[test]
+    fn register_and_deliver() {
+        let d = TaskDispatcher::new();
+        let rx = d.register(WorkerId(1));
+        assert_eq!(d.num_registered(), 1);
+        assert_eq!(d.dispatch(WorkerId(1), msg(0)), DispatchOutcome::Delivered);
+        assert_eq!(rx.recv().unwrap().task, TaskId(0));
+    }
+
+    #[test]
+    fn unregistered_worker_reported() {
+        let d = TaskDispatcher::new();
+        assert_eq!(
+            d.dispatch(WorkerId(9), msg(0)),
+            DispatchOutcome::NotRegistered
+        );
+    }
+
+    #[test]
+    fn dropped_receiver_reported() {
+        let d = TaskDispatcher::new();
+        let rx = d.register(WorkerId(1));
+        drop(rx);
+        assert_eq!(
+            d.dispatch(WorkerId(1), msg(0)),
+            DispatchOutcome::Disconnected
+        );
+    }
+
+    #[test]
+    fn unregister_removes_inbox() {
+        let d = TaskDispatcher::new();
+        let _rx = d.register(WorkerId(1));
+        d.unregister(WorkerId(1));
+        assert_eq!(d.num_registered(), 0);
+        assert_eq!(
+            d.dispatch(WorkerId(1), msg(0)),
+            DispatchOutcome::NotRegistered
+        );
+    }
+
+    #[test]
+    fn dispatch_all_returns_mixed_outcomes() {
+        let d = TaskDispatcher::new();
+        let _rx = d.register(WorkerId(0));
+        let outcomes = d.dispatch_all(&[WorkerId(0), WorkerId(1)], &msg(3));
+        assert_eq!(outcomes[0].1, DispatchOutcome::Delivered);
+        assert_eq!(outcomes[1].1, DispatchOutcome::NotRegistered);
+    }
+
+    #[test]
+    fn messages_queue_in_order() {
+        let d = TaskDispatcher::new();
+        let rx = d.register(WorkerId(0));
+        for i in 0..5 {
+            d.dispatch(WorkerId(0), msg(i));
+        }
+        for i in 0..5 {
+            assert_eq!(rx.recv().unwrap().task, TaskId(i));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Messages exchanged between the pipeline components.
+
+use crowd_store::{TaskId, WorkerId};
+
+/// A task handed to a worker by the dispatcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatch {
+    /// The assigned task.
+    pub task: TaskId,
+    /// Task text as shown to the worker.
+    pub text: String,
+}
+
+/// An answer returned by a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerEvent {
+    /// The answering worker.
+    pub worker: WorkerId,
+    /// The answered task.
+    pub task: TaskId,
+    /// Answer text.
+    pub text: String,
+}
+
+/// Feedback assigned to a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackEvent {
+    /// The scored worker.
+    pub worker: WorkerId,
+    /// The scored task.
+    pub task: TaskId,
+    /// The feedback score `s_ij`.
+    pub score: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_cloneable_and_comparable() {
+        let d = Dispatch {
+            task: TaskId(1),
+            text: "t".into(),
+        };
+        assert_eq!(d.clone(), d);
+        let a = AnswerEvent {
+            worker: WorkerId(0),
+            task: TaskId(1),
+            text: "a".into(),
+        };
+        assert_eq!(a.clone(), a);
+        let f = FeedbackEvent {
+            worker: WorkerId(0),
+            task: TaskId(1),
+            score: 2.0,
+        };
+        assert_eq!(f.clone(), f);
+    }
+}

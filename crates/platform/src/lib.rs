@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! The task-driven crowd-selection system of Figure 1.
+//!
+//! The paper's architecture has four moving parts, reproduced here:
+//!
+//! - the **crowd databases** ([`crowd_store::SharedCrowdDb`]) holding
+//!   tasks, assignments and feedback,
+//! - the **crowd manager** ([`CrowdManager`]) running both data flows:
+//!   the *red* path (batch latent-skill inference + incremental skill
+//!   updates on new feedback) and the *blue* path (project an incoming
+//!   task, pick the top-k online workers),
+//! - the **task dispatcher** ([`TaskDispatcher`]) delivering assignments
+//!   to workers over channels,
+//! - the **answer collector** ([`AnswerCollector`]) receiving answers and
+//!   routing feedback back into the database and the model.
+//!
+//! [`Pipeline`] wires everything together with simulated workers on real
+//! threads, which is how the end-to-end examples and tests drive the
+//! system.
+
+pub mod collector;
+pub mod dispatcher;
+pub mod events;
+pub mod manager;
+pub mod pipeline;
+
+pub use collector::AnswerCollector;
+pub use dispatcher::TaskDispatcher;
+pub use events::{AnswerEvent, Dispatch, FeedbackEvent};
+pub use manager::{CrowdManager, ManagerConfig, ManagerError};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};

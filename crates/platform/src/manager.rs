@@ -1,0 +1,398 @@
+//! The crowd manager: latent-skill inference plus online crowd-selection.
+
+use crowd_core::selection::RankedWorker;
+use crowd_core::{CoreError, FitReport, TaskProjection, TdpmConfig, TdpmModel, TdpmTrainer};
+use crowd_store::{OnlineRegistry, SharedCrowdDb, StoreError, TaskId, WorkerId};
+use crowd_text::{tokenize_filtered, BagOfWords};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Crowd-manager configuration.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Workers selected per incoming task (Eq. 1's `k`).
+    pub top_k: usize,
+    /// Model hyper-parameters for (re)training.
+    pub tdpm: TdpmConfig,
+    /// Automatic batch retraining: after this many feedback events since the
+    /// last `train()`, the next [`CrowdManager::record_feedback`] triggers a
+    /// full refit (the paper's red data flow). `None` disables auto-retrain
+    /// (incremental updates only).
+    pub retrain_every: Option<usize>,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            top_k: 2,
+            tdpm: TdpmConfig::default(),
+            retrain_every: None,
+        }
+    }
+}
+
+/// Errors surfaced by the crowd manager.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManagerError {
+    /// No model has been trained yet (call [`CrowdManager::train`] first).
+    NotTrained,
+    /// Nobody is online to receive the task.
+    NoWorkersOnline,
+    /// Underlying store failure.
+    Store(StoreError),
+    /// Underlying model failure.
+    Model(String),
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::NotTrained => write!(f, "crowd model not trained yet"),
+            ManagerError::NoWorkersOnline => write!(f, "no workers online"),
+            ManagerError::Store(e) => write!(f, "store error: {e}"),
+            ManagerError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ManagerError {}
+
+impl From<StoreError> for ManagerError {
+    fn from(e: StoreError) -> Self {
+        ManagerError::Store(e)
+    }
+}
+
+impl From<CoreError> for ManagerError {
+    fn from(e: CoreError) -> Self {
+        ManagerError::Model(e.to_string())
+    }
+}
+
+/// The core component of the system (paper Section 2): infers latent skills
+/// from resolved tasks (red data flow) and answers selection queries for
+/// incoming tasks (blue data flow).
+///
+/// Thread-safe: selection queries take read locks; training and feedback
+/// take write locks.
+pub struct CrowdManager {
+    db: SharedCrowdDb,
+    online: Mutex<OnlineRegistry>,
+    model: RwLock<Option<TdpmModel>>,
+    projections: Mutex<HashMap<TaskId, TaskProjection>>,
+    config: ManagerConfig,
+    feedback_since_train: std::sync::atomic::AtomicUsize,
+}
+
+impl CrowdManager {
+    /// Creates a manager over a shared crowd database.
+    pub fn new(db: SharedCrowdDb, config: ManagerConfig) -> Self {
+        CrowdManager {
+            db,
+            online: Mutex::new(OnlineRegistry::new()),
+            model: RwLock::new(None),
+            projections: Mutex::new(HashMap::new()),
+            config,
+            feedback_since_train: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Feedback events recorded since the last full training run.
+    pub fn feedback_since_train(&self) -> usize {
+        self.feedback_since_train
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The shared database handle.
+    pub fn db(&self) -> &SharedCrowdDb {
+        &self.db
+    }
+
+    /// Marks a worker online (candidate for selection).
+    pub fn set_online(&self, worker: WorkerId) {
+        self.online.lock().set_online(worker);
+        // Workers who joined after training start at the prior.
+        if let Some(model) = self.model.write().as_mut() {
+            model.add_worker(worker);
+        }
+    }
+
+    /// Marks a worker offline.
+    pub fn set_offline(&self, worker: WorkerId) {
+        self.online.lock().set_offline(worker);
+    }
+
+    /// Number of online workers.
+    pub fn num_online(&self) -> usize {
+        self.online.lock().len()
+    }
+
+    /// Red path: batch latent-skill inference over all resolved tasks
+    /// (Algorithm 2). Replaces the current model.
+    pub fn train(&self) -> Result<FitReport, ManagerError> {
+        let ts = {
+            let db = self.db.read();
+            crowd_core::TrainingSet::from_db(&db)
+        };
+        let (model, report) = TdpmTrainer::new(self.config.tdpm.clone())
+            .fit_training_set(&ts)
+            .map_err(|e| ManagerError::Model(e.to_string()))?;
+        *self.model.write() = Some(model);
+        self.projections.lock().clear();
+        self.feedback_since_train
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// `true` once a model is available.
+    pub fn is_trained(&self) -> bool {
+        self.model.read().is_some()
+    }
+
+    /// Blue path: accepts a new task, projects it onto the latent category
+    /// space (Algorithm 3), stores it, and returns the top-k *online*
+    /// workers (Eq. 1).
+    pub fn submit_task(&self, text: &str) -> Result<(TaskId, Vec<RankedWorker>), ManagerError> {
+        let model_guard = self.model.read();
+        let model = model_guard.as_ref().ok_or(ManagerError::NotTrained)?;
+
+        let (task, bow) = {
+            let mut db = self.db.write();
+            let tokens = tokenize_filtered(text);
+            let bow = BagOfWords::from_tokens(&tokens, db.vocab_mut());
+            let task = db.add_task_raw(text.to_owned(), bow.clone());
+            (task, bow)
+        };
+
+        let projection = model.project_bow(&bow);
+        let candidates: Vec<WorkerId> = self.online.lock().online_workers().collect();
+        if candidates.is_empty() {
+            return Err(ManagerError::NoWorkersOnline);
+        }
+        let selected = model.select_top_k(&projection, candidates, self.config.top_k);
+
+        {
+            let mut db = self.db.write();
+            for r in &selected {
+                db.assign(r.worker, task)?;
+            }
+        }
+        self.projections.lock().insert(task, projection);
+        Ok((task, selected))
+    }
+
+    /// Stores a worker's answer text for a dispatched task.
+    pub fn record_answer(
+        &self,
+        worker: WorkerId,
+        task: TaskId,
+        text: &str,
+    ) -> Result<(), ManagerError> {
+        self.db.write().record_answer(worker, task, text)?;
+        Ok(())
+    }
+
+    /// Records feedback: persists the score and incrementally updates the
+    /// worker's posterior skill (Section 4.2's "after solving the task, the
+    /// skills of workers involved can be updated").
+    pub fn record_feedback(
+        &self,
+        worker: WorkerId,
+        task: TaskId,
+        score: f64,
+    ) -> Result<(), ManagerError> {
+        self.db.write().record_feedback(worker, task, score)?;
+        let projection = self.projections.lock().get(&task).cloned();
+        if let (Some(projection), Some(model)) = (projection, self.model.write().as_mut()) {
+            model.add_worker(worker);
+            model
+                .record_feedback(worker, &projection, score)
+                .map_err(|e| ManagerError::Model(e.to_string()))?;
+        }
+        let n = self
+            .feedback_since_train
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        if let Some(every) = self.config.retrain_every {
+            if n >= every && self.is_trained() {
+                self.train()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read access to the current model (e.g. to inspect skills).
+    pub fn with_model<T>(
+        &self,
+        f: impl FnOnce(&TdpmModel) -> T,
+    ) -> Result<T, ManagerError> {
+        self.model
+            .read()
+            .as_ref()
+            .map(f)
+            .ok_or(ManagerError::NotTrained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_store::CrowdDb;
+
+    /// A db with two clearly separated specialists.
+    fn seeded_manager(k: usize) -> (CrowdManager, WorkerId, WorkerId) {
+        let mut db = CrowdDb::new();
+        let dba = db.add_worker("dba");
+        let stat = db.add_worker("stat");
+        for i in 0..8 {
+            let (text, good, bad) = if i % 2 == 0 {
+                ("btree page split index buffer disk", dba, stat)
+            } else {
+                ("gaussian prior posterior likelihood variance", stat, dba)
+            };
+            let t = db.add_task(text);
+            db.assign(good, t).unwrap();
+            db.assign(bad, t).unwrap();
+            db.record_feedback(good, t, 4.0).unwrap();
+            db.record_feedback(bad, t, 0.5).unwrap();
+        }
+        let cfg = ManagerConfig {
+            top_k: 1,
+            tdpm: TdpmConfig {
+                num_categories: k,
+                max_em_iters: 20,
+                seed: 7,
+                ..TdpmConfig::default()
+            },
+            retrain_every: None,
+        };
+        let manager = CrowdManager::new(SharedCrowdDb::new(db), cfg);
+        (manager, dba, stat)
+    }
+
+    #[test]
+    fn untrained_manager_rejects_tasks() {
+        let (manager, dba, _) = seeded_manager(2);
+        manager.set_online(dba);
+        assert_eq!(
+            manager.submit_task("anything").unwrap_err(),
+            ManagerError::NotTrained
+        );
+    }
+
+    #[test]
+    fn no_online_workers_is_an_error() {
+        let (manager, _, _) = seeded_manager(2);
+        manager.train().unwrap();
+        assert_eq!(
+            manager.submit_task("btree index").unwrap_err(),
+            ManagerError::NoWorkersOnline
+        );
+    }
+
+    #[test]
+    fn selection_routes_to_online_specialist() {
+        let (manager, dba, stat) = seeded_manager(2);
+        manager.train().unwrap();
+        assert!(manager.is_trained());
+        manager.set_online(dba);
+        manager.set_online(stat);
+        assert_eq!(manager.num_online(), 2);
+
+        let (task, selected) = manager.submit_task("btree page buffer").unwrap();
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].worker, dba);
+        // The selected worker was assigned in the database.
+        assert!(manager.db().read().is_assigned(dba, task));
+    }
+
+    #[test]
+    fn offline_specialist_is_skipped() {
+        let (manager, _dba, stat) = seeded_manager(2);
+        manager.train().unwrap();
+        manager.set_online(stat); // the DBA is offline
+        let (_, selected) = manager.submit_task("btree page buffer").unwrap();
+        assert_eq!(selected[0].worker, stat, "only online workers qualify");
+    }
+
+    #[test]
+    fn feedback_round_trip_updates_model() {
+        let (manager, dba, stat) = seeded_manager(2);
+        manager.train().unwrap();
+        manager.set_online(dba);
+        manager.set_online(stat);
+
+        let newbie = manager.db().write().add_worker("newbie");
+        manager.set_online(newbie);
+
+        // Newbie crushes several statistics questions.
+        for _ in 0..6 {
+            let (task, _) = manager
+                .submit_task("gaussian posterior variance prior likelihood")
+                .unwrap();
+            // Even if not selected, the newbie answers (self-assign path):
+            let mut db = manager.db().write();
+            if !db.is_assigned(newbie, task) {
+                db.assign(newbie, task).unwrap();
+            }
+            drop(db);
+            manager.record_answer(newbie, task, "an excellent answer").unwrap();
+            manager.record_feedback(newbie, task, 6.0).unwrap();
+        }
+        // The newbie's skill on the stats direction should now be strong
+        // enough to win a stats task.
+        let (_, selected) = manager
+            .submit_task("prior posterior gaussian variance")
+            .unwrap();
+        assert_eq!(selected[0].worker, newbie, "selected: {selected:?}");
+    }
+
+    #[test]
+    fn auto_retrain_fires_after_threshold() {
+        let (manager, dba, stat) = seeded_manager(2);
+        // Rebuild with a retrain policy of 3 feedback events.
+        let manager = {
+            let db = manager.db().clone();
+            CrowdManager::new(
+                db,
+                ManagerConfig {
+                    top_k: 1,
+                    tdpm: TdpmConfig {
+                        num_categories: 2,
+                        max_em_iters: 5,
+                        seed: 7,
+                        ..TdpmConfig::default()
+                    },
+                    retrain_every: Some(3),
+                },
+            )
+        };
+        manager.train().unwrap();
+        manager.set_online(dba);
+        manager.set_online(stat);
+        assert_eq!(manager.feedback_since_train(), 0);
+
+        for i in 0..5 {
+            let (task, selected) = manager.submit_task("btree page split").unwrap();
+            manager
+                .record_feedback(selected[0].worker, task, 2.0)
+                .unwrap();
+            // Counter resets when the threshold (3) is crossed.
+            let n = manager.feedback_since_train();
+            assert!(n < 3, "after event {i}: counter {n} must stay below 3");
+        }
+    }
+
+    #[test]
+    fn answers_are_persisted() {
+        let (manager, dba, stat) = seeded_manager(2);
+        manager.train().unwrap();
+        manager.set_online(dba);
+        manager.set_online(stat);
+        let (task, selected) = manager.submit_task("btree split page").unwrap();
+        let w = selected[0].worker;
+        manager.record_answer(w, task, "split at the median key").unwrap();
+        assert!(manager.db().read().answer(w, task).is_some());
+    }
+}

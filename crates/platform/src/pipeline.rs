@@ -1,0 +1,319 @@
+//! End-to-end pipeline: manager + dispatcher + simulated workers +
+//! collector, on real threads.
+
+use crate::collector::AnswerCollector;
+use crate::dispatcher::{DispatchOutcome, TaskDispatcher};
+use crate::events::{AnswerEvent, Dispatch, FeedbackEvent};
+use crate::manager::{CrowdManager, ManagerConfig, ManagerError};
+use crowd_core::TdpmConfig;
+use crowd_store::{CrowdDb, SharedCrowdDb, WorkerId};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a simulated worker answers a dispatched task.
+pub type AnswerFn = dyn Fn(WorkerId, &Dispatch) -> String + Send + Sync;
+
+/// How the (simulated) asker scores a returned answer.
+pub type ScoreFn = dyn Fn(WorkerId, &Dispatch, &str) -> f64 + Send + Sync;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Workers selected per task.
+    pub top_k: usize,
+    /// Model hyper-parameters.
+    pub tdpm: TdpmConfig,
+    /// Upper bound on waiting for a task's answers before moving on.
+    pub answer_timeout: Duration,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            top_k: 2,
+            tdpm: TdpmConfig::default(),
+            answer_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Outcome of a pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Tasks accepted by the manager.
+    pub tasks_submitted: usize,
+    /// Dispatches that reached a worker inbox.
+    pub dispatches_delivered: usize,
+    /// Answers persisted.
+    pub answers_collected: usize,
+    /// Feedback scores applied (db + incremental model update).
+    pub feedback_applied: usize,
+    /// Tasks that timed out waiting for answers.
+    pub timeouts: usize,
+    /// Event-level errors.
+    pub errors: usize,
+}
+
+/// The wired-up system of Figure 1.
+pub struct Pipeline {
+    manager: Arc<CrowdManager>,
+    dispatcher: Arc<TaskDispatcher>,
+    collector: AnswerCollector,
+    worker_threads: Vec<JoinHandle<()>>,
+    workers: Vec<WorkerId>,
+}
+
+impl Pipeline {
+    /// Builds the pipeline over an existing database, trains the initial
+    /// model (red path) and spawns one thread per registered worker.
+    pub fn start(
+        db: CrowdDb,
+        config: PipelineConfig,
+        answer_fn: Arc<AnswerFn>,
+    ) -> Result<Self, ManagerError> {
+        let workers: Vec<WorkerId> = db.worker_ids().collect();
+        let manager = Arc::new(CrowdManager::new(
+            SharedCrowdDb::new(db),
+            ManagerConfig {
+                top_k: config.top_k,
+                tdpm: config.tdpm.clone(),
+                retrain_every: None,
+            },
+        ));
+        manager.train()?;
+
+        let dispatcher = Arc::new(TaskDispatcher::new());
+        let collector = AnswerCollector::new();
+
+        let mut worker_threads = Vec::with_capacity(workers.len());
+        for &w in &workers {
+            manager.set_online(w);
+            let inbox = dispatcher.register(w);
+            let answers = collector.answer_sender();
+            let behave = Arc::clone(&answer_fn);
+            worker_threads.push(std::thread::spawn(move || {
+                // The worker loop: answer every dispatched task until the
+                // dispatcher drops our inbox sender.
+                while let Ok(dispatch) = inbox.recv() {
+                    let text = behave(w, &dispatch);
+                    if answers
+                        .send(AnswerEvent {
+                            worker: w,
+                            task: dispatch.task,
+                            text,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }));
+        }
+
+        Ok(Pipeline {
+            manager,
+            dispatcher,
+            collector,
+            worker_threads,
+            workers,
+        })
+    }
+
+    /// The crowd manager (for inspection).
+    pub fn manager(&self) -> &CrowdManager {
+        &self.manager
+    }
+
+    /// Processes a stream of task texts: select → dispatch → collect →
+    /// score → feedback, per task.
+    pub fn run(&self, tasks: &[&str], score_fn: &ScoreFn) -> PipelineReport {
+        let mut report = PipelineReport::default();
+        for &text in tasks {
+            let Ok((task, selected)) = self.manager.submit_task(text) else {
+                report.errors += 1;
+                continue;
+            };
+            report.tasks_submitted += 1;
+            let dispatch = Dispatch {
+                task,
+                text: text.to_owned(),
+            };
+            let selected_ids: Vec<WorkerId> = selected.iter().map(|r| r.worker).collect();
+            let outcomes = self.dispatcher.dispatch_all(&selected_ids, &dispatch);
+            let delivered = outcomes
+                .iter()
+                .filter(|(_, o)| *o == DispatchOutcome::Delivered)
+                .count();
+            report.dispatches_delivered += delivered;
+
+            // Wait for the workers' answers (they run on real threads).
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while self.collector.pending_answers() < delivered && Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            if self.collector.pending_answers() < delivered {
+                report.timeouts += 1;
+            }
+
+            // Persist answers, then score them and apply feedback.
+            let drained = self.collector.drain_into(&self.manager);
+            report.answers_collected += drained.answers;
+            report.errors += drained.errors;
+
+            for &w in &selected_ids {
+                let answer_text = self
+                    .manager
+                    .db()
+                    .read()
+                    .answer(w, task)
+                    .map(|bag| format!("{} terms", bag.distinct_terms()))
+                    .unwrap_or_default();
+                let score = score_fn(w, &dispatch, &answer_text);
+                let fb = FeedbackEvent {
+                    worker: w,
+                    task,
+                    score,
+                };
+                let _ = self.collector.feedback_sender().send(fb);
+            }
+            let drained = self.collector.drain_into(&self.manager);
+            report.feedback_applied += drained.feedback;
+            report.errors += drained.errors;
+        }
+        report
+    }
+
+    /// Shuts down worker threads and returns the manager.
+    pub fn shutdown(mut self) -> Arc<CrowdManager> {
+        for &w in &self.workers {
+            self.dispatcher.unregister(w);
+        }
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+        Arc::clone(&self.manager)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specialist_db() -> (CrowdDb, WorkerId, WorkerId) {
+        let mut db = CrowdDb::new();
+        let dba = db.add_worker("dba");
+        let stat = db.add_worker("stat");
+        for i in 0..8 {
+            let (text, good, bad) = if i % 2 == 0 {
+                ("btree page split index buffer disk", dba, stat)
+            } else {
+                ("gaussian prior posterior likelihood variance", stat, dba)
+            };
+            let t = db.add_task(text);
+            db.assign(good, t).unwrap();
+            db.assign(bad, t).unwrap();
+            db.record_feedback(good, t, 4.0).unwrap();
+            db.record_feedback(bad, t, 0.5).unwrap();
+        }
+        (db, dba, stat)
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig {
+            top_k: 1,
+            tdpm: TdpmConfig {
+                num_categories: 2,
+                max_em_iters: 15,
+                seed: 7,
+                ..TdpmConfig::default()
+            },
+            answer_timeout: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn full_loop_processes_all_tasks() {
+        let (db, dba, _) = specialist_db();
+        let answer_fn: Arc<AnswerFn> =
+            Arc::new(|w, d| format!("answer to {} from {w}", d.task));
+        let pipeline = Pipeline::start(db, config(), answer_fn).unwrap();
+
+        let tasks = vec![
+            "btree page buffer question",
+            "gaussian variance question",
+            "btree index split question",
+        ];
+        let score_fn: Box<ScoreFn> = Box::new(|_, _, _| 1.0);
+        let report = pipeline.run(&tasks, &*score_fn);
+
+        assert_eq!(report.tasks_submitted, 3);
+        assert_eq!(report.dispatches_delivered, 3, "top_k = 1 per task");
+        assert_eq!(report.answers_collected, 3);
+        assert_eq!(report.feedback_applied, 3);
+        assert_eq!(report.timeouts, 0);
+        assert_eq!(report.errors, 0);
+
+        let manager = pipeline.shutdown();
+        // The db task (first) should have gone to the DBA.
+        let db = manager.db().read();
+        let btree_task = crowd_store::TaskId((db.num_tasks() - 3) as u32);
+        assert!(db.is_assigned(dba, btree_task));
+        assert_eq!(db.feedback(dba, btree_task), Some(1.0));
+    }
+
+    #[test]
+    fn shutdown_joins_worker_threads() {
+        let (db, _, _) = specialist_db();
+        let answer_fn: Arc<AnswerFn> = Arc::new(|_, _| "ok".into());
+        let pipeline = Pipeline::start(db, config(), answer_fn).unwrap();
+        let manager = pipeline.shutdown();
+        assert!(manager.is_trained());
+    }
+
+    #[test]
+    fn feedback_flows_into_model_updates() {
+        let (db, dba, stat) = specialist_db();
+        let answer_fn: Arc<AnswerFn> = Arc::new(|_, _| "useful answer text".into());
+        let pipeline = Pipeline::start(db, config(), answer_fn).unwrap();
+
+        let stats_text = "gaussian posterior variance prior";
+        let before = pipeline
+            .manager()
+            .with_model(|m| {
+                let bow = crowd_text::BagOfWords::from_tokens(
+                    &crowd_text::tokenize_filtered(stats_text),
+                    pipeline.manager().db().write().vocab_mut(),
+                );
+                let p = m.project_bow(&bow);
+                m.score(stat, &p).unwrap()
+            })
+            .unwrap();
+
+        // With top_k = 1 the stat expert wins the stats questions — and then
+        // receives terrible feedback, which the incremental update must fold
+        // back into their skill estimate.
+        let score_fn: Box<ScoreFn> = Box::new(move |w, _, _| if w == dba { 8.0 } else { 0.1 });
+        let stats_tasks: Vec<&str> = std::iter::repeat_n(stats_text, 8).collect();
+        let report = pipeline.run(&stats_tasks, &*score_fn);
+        assert_eq!(report.tasks_submitted, 8);
+        assert_eq!(report.feedback_applied, 8);
+
+        let manager = pipeline.shutdown();
+        let after = manager
+            .with_model(|m| {
+                let bow = crowd_text::BagOfWords::from_tokens(
+                    &crowd_text::tokenize_filtered(stats_text),
+                    manager.db().write().vocab_mut(),
+                );
+                let p = m.project_bow(&bow);
+                m.score(stat, &p).unwrap()
+            })
+            .unwrap();
+        assert!(
+            after < before - 0.3,
+            "repeated 0.1-score feedback must erode the stat expert's \
+             predicted performance: before {before}, after {after}"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Abstract syntax of the crowd-query language.
+
+use crowd_store::{TaskId, WorkerId};
+
+/// Which ranking algorithm a `SELECT WORKERS` query uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// The task-driven probabilistic model (default; requires `TRAIN MODEL`).
+    #[default]
+    Tdpm,
+    /// Cosine similarity against worker history.
+    Vsm,
+    /// PLSA-based Dual Role Model.
+    Drm,
+    /// LDA-based Topic-Sensitive Probabilistic Model.
+    Tspm,
+}
+
+impl Algorithm {
+    /// Parses an algorithm name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "tdpm" => Some(Algorithm::Tdpm),
+            "vsm" => Some(Algorithm::Vsm),
+            "drm" => Some(Algorithm::Drm),
+            "tspm" => Some(Algorithm::Tspm),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Tdpm => "TDPM",
+            Algorithm::Vsm => "VSM",
+            Algorithm::Drm => "DRM",
+            Algorithm::Tspm => "TSPM",
+        }
+    }
+}
+
+/// Target of a `SHOW` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShowTarget {
+    /// `SHOW STATS` — database totals.
+    Stats,
+    /// `SHOW WORKER n` — roster entry, participation, learned skills.
+    Worker(WorkerId),
+    /// `SHOW TASK n` — task text and its scored answers.
+    Task(TaskId),
+    /// `SHOW GROUPS a, b, c` — group sizes and coverage per threshold.
+    Groups(Vec<usize>),
+    /// `SHOW SIMILAR 'text' LIMIT n` — most similar stored tasks by cosine
+    /// over the inverted index.
+    Similar {
+        /// Query text.
+        text: String,
+        /// Maximum results.
+        limit: usize,
+    },
+}
+
+/// One parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `INSERT WORKER 'handle'`
+    InsertWorker {
+        /// Display handle.
+        handle: String,
+    },
+    /// `INSERT TASK 'text'`
+    InsertTask {
+        /// Task text.
+        text: String,
+    },
+    /// `ASSIGN WORKER w TO TASK t`
+    Assign {
+        /// The worker.
+        worker: WorkerId,
+        /// The task.
+        task: TaskId,
+    },
+    /// `FEEDBACK WORKER w ON TASK t SCORE s`
+    Feedback {
+        /// The worker.
+        worker: WorkerId,
+        /// The task.
+        task: TaskId,
+        /// The score `s_ij`.
+        score: f64,
+    },
+    /// `ANSWER WORKER w ON TASK t TEXT 'answer'`
+    Answer {
+        /// The worker.
+        worker: WorkerId,
+        /// The task.
+        task: TaskId,
+        /// Answer text.
+        text: String,
+    },
+    /// `TRAIN MODEL [WITH k CATEGORIES]`
+    TrainModel {
+        /// Latent category count (default 10).
+        categories: usize,
+    },
+    /// `SELECT WORKERS FOR TASK 'text' [LIMIT k] [USING algo] [WHERE GROUP >= n]`
+    SelectWorkers {
+        /// The query task text.
+        text: String,
+        /// Top-k (default 1).
+        limit: usize,
+        /// Ranking algorithm.
+        algorithm: Algorithm,
+        /// Restrict candidates to workers with ≥ n resolved tasks.
+        min_group: Option<usize>,
+    },
+    /// `SHOW …`
+    Show(ShowTarget),
+}
+
+impl std::fmt::Display for Statement {
+    /// Renders the statement back into parseable query text (quotes in
+    /// string literals are escaped as `''`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let quote = |s: &str| format!("'{}'", s.replace('\'', "''"));
+        match self {
+            Statement::InsertWorker { handle } => write!(f, "INSERT WORKER {}", quote(handle)),
+            Statement::InsertTask { text } => write!(f, "INSERT TASK {}", quote(text)),
+            Statement::Assign { worker, task } => {
+                write!(f, "ASSIGN WORKER {} TO TASK {}", worker.0, task.0)
+            }
+            Statement::Feedback {
+                worker,
+                task,
+                score,
+            } => write!(
+                f,
+                "FEEDBACK WORKER {} ON TASK {} SCORE {}",
+                worker.0, task.0, score
+            ),
+            Statement::Answer { worker, task, text } => write!(
+                f,
+                "ANSWER WORKER {} ON TASK {} TEXT {}",
+                worker.0,
+                task.0,
+                quote(text)
+            ),
+            Statement::TrainModel { categories } => {
+                write!(f, "TRAIN MODEL WITH {categories} CATEGORIES")
+            }
+            Statement::SelectWorkers {
+                text,
+                limit,
+                algorithm,
+                min_group,
+            } => {
+                write!(
+                    f,
+                    "SELECT WORKERS FOR TASK {} LIMIT {} USING {}",
+                    quote(text),
+                    limit,
+                    algorithm.name().to_lowercase()
+                )?;
+                if let Some(n) = min_group {
+                    write!(f, " WHERE GROUP >= {n}")?;
+                }
+                Ok(())
+            }
+            Statement::Show(target) => match target {
+                ShowTarget::Stats => write!(f, "SHOW STATS"),
+                ShowTarget::Worker(w) => write!(f, "SHOW WORKER {}", w.0),
+                ShowTarget::Task(t) => write!(f, "SHOW TASK {}", t.0),
+                ShowTarget::Groups(ns) => {
+                    write!(f, "SHOW GROUPS ")?;
+                    for (i, n) in ns.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{n}")?;
+                    }
+                    Ok(())
+                }
+                ShowTarget::Similar { text, limit } => {
+                    write!(f, "SHOW SIMILAR {} LIMIT {}", quote(text), limit)
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_roundtrip() {
+        for a in [Algorithm::Tdpm, Algorithm::Vsm, Algorithm::Drm, Algorithm::Tspm] {
+            assert_eq!(Algorithm::from_name(a.name()), Some(a));
+            assert_eq!(Algorithm::from_name(&a.name().to_lowercase()), Some(a));
+        }
+        assert_eq!(Algorithm::from_name("nope"), None);
+    }
+
+    #[test]
+    fn default_algorithm_is_tdpm() {
+        assert_eq!(Algorithm::default(), Algorithm::Tdpm);
+    }
+}

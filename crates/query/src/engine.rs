@@ -1,0 +1,583 @@
+//! Query execution over a crowd database.
+
+use crate::ast::{Algorithm, ShowTarget, Statement};
+use crate::output::{QueryOutput, SelectedWorker};
+use crate::QueryError;
+use crowd_baselines::{CrowdSelector, DrmSelector, TdpmSelector, TspmSelector, VsmSelector};
+use crowd_core::{TdpmConfig, TdpmTrainer, TrainingSet};
+use crowd_store::groups::group_stats_sweep;
+use crowd_store::{CrowdDb, LoggedDb, TaskId, WorkerId};
+use crowd_text::{tokenize_filtered, BagOfWords};
+use std::path::Path;
+
+/// Storage behind the engine: plain in-memory, or write-ahead-logged.
+enum Backend {
+    Plain(CrowdDb),
+    Logged(LoggedDb),
+}
+
+impl Backend {
+    fn db(&self) -> &CrowdDb {
+        match self {
+            Backend::Plain(db) => db,
+            Backend::Logged(db) => db.db(),
+        }
+    }
+
+    fn add_worker(&mut self, handle: String) -> crowd_store::Result<WorkerId> {
+        match self {
+            Backend::Plain(db) => Ok(db.add_worker(handle)),
+            Backend::Logged(db) => db.add_worker(handle),
+        }
+    }
+
+    fn add_task(&mut self, text: String) -> crowd_store::Result<TaskId> {
+        match self {
+            Backend::Plain(db) => Ok(db.add_task(text)),
+            Backend::Logged(db) => db.add_task(text),
+        }
+    }
+
+    fn assign(&mut self, worker: WorkerId, task: TaskId) -> crowd_store::Result<()> {
+        match self {
+            Backend::Plain(db) => db.assign(worker, task),
+            Backend::Logged(db) => db.assign(worker, task),
+        }
+    }
+
+    fn record_feedback(
+        &mut self,
+        worker: WorkerId,
+        task: TaskId,
+        score: f64,
+    ) -> crowd_store::Result<()> {
+        match self {
+            Backend::Plain(db) => db.record_feedback(worker, task, score),
+            Backend::Logged(db) => db.record_feedback(worker, task, score),
+        }
+    }
+
+    fn record_answer(
+        &mut self,
+        worker: WorkerId,
+        task: TaskId,
+        text: &str,
+    ) -> crowd_store::Result<()> {
+        match self {
+            Backend::Plain(db) => db.record_answer(worker, task, text),
+            Backend::Logged(db) => db.record_answer(worker, task, text),
+        }
+    }
+}
+
+/// Executes parsed statements against an owned [`CrowdDb`].
+///
+/// Baseline selectors (VSM / DRM / TSPM) are fitted lazily on first use and
+/// cached; any write statement invalidates the cache. The TDPM model is only
+/// built by an explicit `TRAIN MODEL` (it is the expensive one, and the
+/// paper's architecture retrains it deliberately on the red path).
+pub struct QueryEngine {
+    backend: Backend,
+    model: Option<TdpmSelector>,
+    model_categories: usize,
+    vsm: Option<VsmSelector>,
+    drm: Option<DrmSelector>,
+    tspm: Option<TspmSelector>,
+    baseline_categories: usize,
+    seed: u64,
+}
+
+impl QueryEngine {
+    /// Creates an engine over an empty database.
+    pub fn new() -> Self {
+        QueryEngine::with_db(CrowdDb::new())
+    }
+
+    /// Creates an engine whose mutations are write-ahead logged to `path`;
+    /// existing log entries are replayed first (see [`crowd_store::wal`]).
+    pub fn open_logged(path: impl AsRef<Path>) -> Result<Self, QueryError> {
+        let logged = LoggedDb::open(path)?;
+        let mut e = QueryEngine::with_db(CrowdDb::new());
+        e.backend = Backend::Logged(logged);
+        Ok(e)
+    }
+
+    /// Creates an engine over an existing database.
+    pub fn with_db(db: CrowdDb) -> Self {
+        QueryEngine {
+            backend: Backend::Plain(db),
+            model: None,
+            model_categories: 0,
+            vsm: None,
+            drm: None,
+            tspm: None,
+            baseline_categories: 10,
+            seed: 42,
+        }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &CrowdDb {
+        self.backend.db()
+    }
+
+    /// Parses and executes one statement.
+    pub fn run(&mut self, input: &str) -> Result<QueryOutput, QueryError> {
+        let stmt = crate::parse(input)?;
+        self.execute(stmt)
+    }
+
+    /// Executes a parsed statement.
+    pub fn execute(&mut self, stmt: Statement) -> Result<QueryOutput, QueryError> {
+        match stmt {
+            Statement::InsertWorker { handle } => {
+                let id = self.backend.add_worker(handle)?;
+                self.invalidate();
+                Ok(QueryOutput::WorkerInserted(id))
+            }
+            Statement::InsertTask { text } => {
+                let id = self.backend.add_task(text)?;
+                self.invalidate();
+                Ok(QueryOutput::TaskInserted(id))
+            }
+            Statement::Assign { worker, task } => {
+                self.backend.assign(worker, task)?;
+                self.invalidate();
+                Ok(QueryOutput::Ack(format!("assigned {worker} to {task}")))
+            }
+            Statement::Feedback {
+                worker,
+                task,
+                score,
+            } => {
+                self.backend.record_feedback(worker, task, score)?;
+                self.invalidate();
+                Ok(QueryOutput::Ack(format!(
+                    "recorded score {score} for {worker} on {task}"
+                )))
+            }
+            Statement::Answer { worker, task, text } => {
+                self.backend.record_answer(worker, task, &text)?;
+                self.invalidate();
+                Ok(QueryOutput::Ack(format!(
+                    "stored answer from {worker} on {task}"
+                )))
+            }
+            Statement::TrainModel { categories } => self.train(categories),
+            Statement::SelectWorkers {
+                text,
+                limit,
+                algorithm,
+                min_group,
+            } => self.select_workers(&text, limit, algorithm, min_group),
+            Statement::Show(target) => self.show(target),
+        }
+    }
+
+    fn train(&mut self, categories: usize) -> Result<QueryOutput, QueryError> {
+        let ts = TrainingSet::from_db(self.db());
+        let cfg = TdpmConfig {
+            num_categories: categories,
+            seed: self.seed,
+            ..TdpmConfig::default()
+        };
+        let (model, report) = TdpmTrainer::new(cfg).fit_training_set(&ts)?;
+        self.model = Some(TdpmSelector::new(model));
+        self.model_categories = categories;
+        Ok(QueryOutput::Trained {
+            iterations: report.iterations,
+            elbo: report.elbo_trace.last().copied().unwrap_or(f64::NAN),
+            converged: report.converged,
+        })
+    }
+
+    fn select_workers(
+        &mut self,
+        text: &str,
+        limit: usize,
+        algorithm: Algorithm,
+        min_group: Option<usize>,
+    ) -> Result<QueryOutput, QueryError> {
+        let tokens = tokenize_filtered(text);
+        let bow = BagOfWords::from_known_tokens(&tokens, self.db().vocab());
+
+        let db = self.db();
+        let candidates: Vec<WorkerId> = match min_group {
+            None => db.worker_ids().collect(),
+            Some(n) => db
+                .worker_ids()
+                .filter(|&w| db.worker_task_count(w) >= n)
+                .collect(),
+        };
+        if candidates.is_empty() {
+            return Err(QueryError::Execution(
+                "no candidate workers match the WHERE clause".into(),
+            ));
+        }
+
+        let ranked = match algorithm {
+            Algorithm::Tdpm => {
+                let model = self.model.as_ref().ok_or_else(|| {
+                    QueryError::Execution("no model: run TRAIN MODEL first".into())
+                })?;
+                model.select(&bow, &candidates, limit)
+            }
+            Algorithm::Vsm => {
+                if self.vsm.is_none() {
+                    self.vsm = Some(VsmSelector::fit(self.db()));
+                }
+                self.vsm.as_ref().unwrap().select(&bow, &candidates, limit)
+            }
+            Algorithm::Drm => {
+                if self.drm.is_none() {
+                    self.ensure_resolved("DRM")?;
+                    self.drm = Some(DrmSelector::fit(
+                        self.db(),
+                        self.baseline_categories,
+                        self.seed,
+                    ));
+                }
+                self.drm.as_ref().unwrap().select(&bow, &candidates, limit)
+            }
+            Algorithm::Tspm => {
+                if self.tspm.is_none() {
+                    self.ensure_resolved("TSPM")?;
+                    self.tspm = Some(TspmSelector::fit(
+                        self.db(),
+                        self.baseline_categories,
+                        self.seed,
+                    ));
+                }
+                self.tspm.as_ref().unwrap().select(&bow, &candidates, limit)
+            }
+        };
+
+        let rows = ranked
+            .into_iter()
+            .map(|r| SelectedWorker {
+                worker: r.worker,
+                handle: self
+                    .db()
+                    .worker(r.worker)
+                    .map(|w| w.handle.clone())
+                    .unwrap_or_default(),
+                score: r.score,
+            })
+            .collect();
+        Ok(QueryOutput::Workers(rows))
+    }
+
+    fn show(&self, target: ShowTarget) -> Result<QueryOutput, QueryError> {
+        match target {
+            ShowTarget::Stats => Ok(QueryOutput::Stats {
+                workers: self.db().num_workers(),
+                tasks: self.db().num_tasks(),
+                assignments: self.db().num_assignments(),
+                resolved: self.db().num_resolved(),
+                vocab: self.db().vocab().len(),
+                trained: self.model.is_some(),
+            }),
+            ShowTarget::Worker(worker) => {
+                let rec = self.db().worker(worker)?;
+                let skills = self
+                    .model
+                    .as_ref()
+                    .and_then(|m| m.model().skill(worker))
+                    .map(|s| s.mean.as_slice().to_vec())
+                    .unwrap_or_default();
+                Ok(QueryOutput::WorkerDetail {
+                    worker,
+                    handle: rec.handle.clone(),
+                    resolved_tasks: self.db().worker_task_count(worker),
+                    skills,
+                })
+            }
+            ShowTarget::Task(task) => {
+                let rec = self.db().task(task)?;
+                let scores = self
+                    .db()
+                    .workers_of(task)
+                    .filter_map(|(w, s)| s.map(|s| (w, s)))
+                    .collect();
+                Ok(QueryOutput::TaskDetail {
+                    task,
+                    text: rec.text.clone(),
+                    scores,
+                })
+            }
+            ShowTarget::Groups(thresholds) => {
+                Ok(QueryOutput::Groups(group_stats_sweep(self.db(), &thresholds)))
+            }
+            ShowTarget::Similar { text, limit } => {
+                let db = self.db();
+                let tokens = tokenize_filtered(&text);
+                let bow = BagOfWords::from_known_tokens(&tokens, db.vocab());
+                let rows = db
+                    .similar_tasks(&bow, limit)
+                    .into_iter()
+                    .map(|(t, sim)| {
+                        let text = db.task(t).map(|r| r.text.clone()).unwrap_or_default();
+                        (t, text, sim)
+                    })
+                    .collect();
+                Ok(QueryOutput::SimilarTasks(rows))
+            }
+        }
+    }
+
+    fn ensure_resolved(&self, algo: &str) -> Result<(), QueryError> {
+        if self.db().num_resolved() == 0 {
+            return Err(QueryError::Execution(format!(
+                "{algo} needs resolved tasks with feedback scores"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Drops cached selectors after a write (they are fitted on stale data).
+    /// The TDPM model is kept: retraining is explicit (`TRAIN MODEL`), like
+    /// the red data-flow in the paper's architecture.
+    fn invalidate(&mut self) {
+        self.vsm = None;
+        self.drm = None;
+        self.tspm = None;
+    }
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        QueryEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a two-specialist database entirely through the query language.
+    fn seeded_engine() -> QueryEngine {
+        let mut e = QueryEngine::new();
+        e.run("INSERT WORKER 'dba'").unwrap();
+        e.run("INSERT WORKER 'stat'").unwrap();
+        let tasks = [
+            ("btree page split index buffer disk", 0, 1),
+            ("gaussian prior posterior likelihood variance", 1, 0),
+            ("btree range scan clustered index", 0, 1),
+            ("variational bayes gaussian inference", 1, 0),
+            ("btree write amplification buffer pool", 0, 1),
+            ("posterior variance of a gaussian", 1, 0),
+        ];
+        for (i, (text, good, bad)) in tasks.iter().enumerate() {
+            e.run(&format!("INSERT TASK '{text}'")).unwrap();
+            e.run(&format!("ASSIGN WORKER {good} TO TASK {i}")).unwrap();
+            e.run(&format!("ASSIGN WORKER {bad} TO TASK {i}")).unwrap();
+            e.run(&format!("FEEDBACK WORKER {good} ON TASK {i} SCORE 4"))
+                .unwrap();
+            e.run(&format!("FEEDBACK WORKER {bad} ON TASK {i} SCORE 0.5"))
+                .unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn inserts_return_dense_ids() {
+        let mut e = QueryEngine::new();
+        assert_eq!(
+            e.run("INSERT WORKER 'a'").unwrap(),
+            QueryOutput::WorkerInserted(WorkerId(0))
+        );
+        assert_eq!(
+            e.run("INSERT WORKER 'b'").unwrap(),
+            QueryOutput::WorkerInserted(WorkerId(1))
+        );
+        assert!(matches!(
+            e.run("INSERT TASK 'hello world'").unwrap(),
+            QueryOutput::TaskInserted(_)
+        ));
+    }
+
+    #[test]
+    fn full_session_routes_to_specialist() {
+        let mut e = seeded_engine();
+        let out = e.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+        assert!(matches!(out, QueryOutput::Trained { iterations, .. } if iterations >= 1));
+
+        let out = e
+            .run("SELECT WORKERS FOR TASK 'why does a btree split pages' LIMIT 1")
+            .unwrap();
+        let QueryOutput::Workers(rows) = out else {
+            panic!("expected workers")
+        };
+        assert_eq!(rows[0].handle, "dba");
+
+        let out = e
+            .run("SELECT WORKERS FOR TASK 'prior for a gaussian variance' LIMIT 2")
+            .unwrap();
+        let QueryOutput::Workers(rows) = out else {
+            panic!("expected workers")
+        };
+        assert_eq!(rows[0].handle, "stat");
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn tdpm_requires_training() {
+        let mut e = seeded_engine();
+        let err = e.run("SELECT WORKERS FOR TASK 'q'").unwrap_err();
+        assert!(err.to_string().contains("TRAIN MODEL"), "{err}");
+    }
+
+    #[test]
+    fn baselines_work_without_training() {
+        let mut e = seeded_engine();
+        for algo in ["vsm", "drm", "tspm"] {
+            let out = e
+                .run(&format!(
+                    "SELECT WORKERS FOR TASK 'btree index buffer' LIMIT 1 USING {algo}"
+                ))
+                .unwrap();
+            let QueryOutput::Workers(rows) = out else {
+                panic!("expected workers")
+            };
+            assert_eq!(rows[0].handle, "dba", "{algo} routes the db task");
+        }
+    }
+
+    #[test]
+    fn where_group_filters_candidates() {
+        let mut e = seeded_engine();
+        // A third worker with no resolved tasks.
+        e.run("INSERT WORKER 'lurker'").unwrap();
+        let out = e
+            .run("SELECT WORKERS FOR TASK 'btree' LIMIT 10 USING vsm WHERE GROUP >= 1")
+            .unwrap();
+        let QueryOutput::Workers(rows) = out else {
+            panic!("expected workers")
+        };
+        assert_eq!(rows.len(), 2, "lurker excluded by GROUP >= 1");
+        assert!(rows.iter().all(|r| r.handle != "lurker"));
+
+        let err = e
+            .run("SELECT WORKERS FOR TASK 'btree' USING vsm WHERE GROUP >= 99")
+            .unwrap_err();
+        assert!(err.to_string().contains("no candidate workers"));
+    }
+
+    #[test]
+    fn select_does_not_grow_vocabulary() {
+        let mut e = seeded_engine();
+        let before = e.db().vocab().len();
+        e.run("SELECT WORKERS FOR TASK 'completely novel words zzz' USING vsm")
+            .unwrap();
+        assert_eq!(e.db().vocab().len(), before);
+    }
+
+    #[test]
+    fn show_statements_report_state() {
+        let mut e = seeded_engine();
+        let QueryOutput::Stats {
+            workers,
+            tasks,
+            resolved,
+            trained,
+            ..
+        } = e.run("SHOW STATS").unwrap()
+        else {
+            panic!("expected stats")
+        };
+        assert_eq!((workers, tasks, resolved, trained), (2, 6, 12, false));
+
+        e.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+        let QueryOutput::WorkerDetail {
+            handle,
+            resolved_tasks,
+            skills,
+            ..
+        } = e.run("SHOW WORKER 0").unwrap()
+        else {
+            panic!("expected worker detail")
+        };
+        assert_eq!(handle, "dba");
+        assert_eq!(resolved_tasks, 6);
+        assert_eq!(skills.len(), 2, "skills visible after training");
+
+        let QueryOutput::TaskDetail { scores, .. } = e.run("SHOW TASK 0").unwrap() else {
+            panic!("expected task detail")
+        };
+        assert_eq!(scores.len(), 2);
+
+        let QueryOutput::Groups(rows) = e.run("SHOW GROUPS 1, 5, 99").unwrap() else {
+            panic!("expected groups")
+        };
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].size, 2);
+        assert_eq!(rows[2].size, 0);
+    }
+
+    #[test]
+    fn execution_errors_surface() {
+        let mut e = QueryEngine::new();
+        assert!(e.run("ASSIGN WORKER 0 TO TASK 0").is_err());
+        assert!(e.run("SHOW WORKER 5").is_err());
+        e.run("INSERT WORKER 'a'").unwrap();
+        e.run("INSERT TASK 'x'").unwrap();
+        assert!(e.run("FEEDBACK WORKER 0 ON TASK 0 SCORE 1").is_err(), "not assigned");
+    }
+
+    #[test]
+    fn logged_engine_survives_restart() {
+        let dir = std::env::temp_dir().join("crowd_query_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("engine_{}.log", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        {
+            let mut e = QueryEngine::open_logged(&path).unwrap();
+            e.run("INSERT WORKER 'ada'").unwrap();
+            e.run("INSERT TASK 'btree splits'").unwrap();
+            e.run("ASSIGN WORKER 0 TO TASK 0").unwrap();
+            e.run("FEEDBACK WORKER 0 ON TASK 0 SCORE 4").unwrap();
+        }
+        // "Restart": reopen from the log alone.
+        let mut e = QueryEngine::open_logged(&path).unwrap();
+        let QueryOutput::Stats {
+            workers,
+            tasks,
+            resolved,
+            ..
+        } = e.run("SHOW STATS").unwrap()
+        else {
+            panic!("expected stats")
+        };
+        assert_eq!((workers, tasks, resolved), (1, 1, 1));
+        // And keeps accepting new statements.
+        e.run("INSERT WORKER 'carl'").unwrap();
+        assert_eq!(e.db().num_workers(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn show_similar_finds_related_tasks() {
+        let mut e = seeded_engine();
+        let out = e.run("SHOW SIMILAR 'btree index buffer' LIMIT 2").unwrap();
+        let QueryOutput::SimilarTasks(rows) = out else {
+            panic!("expected similar tasks")
+        };
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].1.contains("btree"), "{rows:?}");
+        assert!(rows[0].2 >= rows[1].2);
+        // Query with no known terms returns nothing.
+        let out = e.run("SHOW SIMILAR 'zzz qqq'").unwrap();
+        assert_eq!(out, QueryOutput::SimilarTasks(vec![]));
+    }
+
+    #[test]
+    fn answers_are_stored() {
+        let mut e = seeded_engine();
+        e.run("ANSWER WORKER 0 ON TASK 0 TEXT 'split at the median key'")
+            .unwrap();
+        assert!(e
+            .db()
+            .answer(WorkerId(0), crowd_store::TaskId(0))
+            .is_some());
+    }
+}

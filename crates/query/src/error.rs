@@ -1,0 +1,72 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The input could not be tokenized.
+    Lex {
+        /// Byte position of the offending character.
+        position: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// The token stream does not form a valid statement.
+    Parse {
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// Execution failed (store error, missing model, unknown ids…).
+    Execution(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            QueryError::Parse { expected, found } => {
+                write!(f, "parse error: expected {expected}, found {found}")
+            }
+            QueryError::Execution(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<crowd_store::StoreError> for QueryError {
+    fn from(e: crowd_store::StoreError) -> Self {
+        QueryError::Execution(e.to_string())
+    }
+}
+
+impl From<crowd_core::CoreError> for QueryError {
+    fn from(e: crowd_core::CoreError) -> Self {
+        QueryError::Execution(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = QueryError::Lex {
+            position: 3,
+            message: "bad char".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+        let e = QueryError::Parse {
+            expected: "a number".into(),
+            found: "'x'".into(),
+        };
+        assert!(e.to_string().contains("expected a number"));
+        assert!(QueryError::Execution("boom".into()).to_string().contains("boom"));
+    }
+}

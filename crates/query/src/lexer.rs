@@ -1,0 +1,184 @@
+//! Tokenizer for the crowd-query language.
+
+use crate::QueryError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare word (keyword or identifier); stored uppercased for keywords
+    /// matching, original case kept alongside.
+    Word(String),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped to `'`).
+    Str(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `,`
+    Comma,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+impl Token {
+    /// Human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Word(w) => format!("'{w}'"),
+            Token::Str(s) => format!("string '{s}'"),
+            Token::Number(n) => format!("number {n}"),
+            Token::Comma => "','".into(),
+            Token::Ge => "'>='".into(),
+            Token::Eq => "'='".into(),
+        }
+    }
+}
+
+/// Tokenizes one statement.
+pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == ',' {
+            tokens.push(Token::Comma);
+            i += 1;
+        } else if c == '=' {
+            tokens.push(Token::Eq);
+            i += 1;
+        } else if c == '>' {
+            if bytes.get(i + 1) == Some(&'=') {
+                tokens.push(Token::Ge);
+                i += 2;
+            } else {
+                return Err(QueryError::Lex {
+                    position: i,
+                    message: "'>' must be followed by '=' (only >= is supported)".into(),
+                });
+            }
+        } else if c == '\'' {
+            // String literal with '' escaping.
+            let mut s = String::new();
+            let mut j = i + 1;
+            loop {
+                match bytes.get(j) {
+                    None => {
+                        return Err(QueryError::Lex {
+                            position: i,
+                            message: "unterminated string literal".into(),
+                        })
+                    }
+                    Some('\'') if bytes.get(j + 1) == Some(&'\'') => {
+                        s.push('\'');
+                        j += 2;
+                    }
+                    Some('\'') => {
+                        j += 1;
+                        break;
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        j += 1;
+                    }
+                }
+            }
+            tokens.push(Token::Str(s));
+            i = j;
+        } else if c.is_ascii_digit() || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let n = text.parse::<f64>().map_err(|e| QueryError::Lex {
+                position: start,
+                message: format!("bad number {text:?}: {e}"),
+            })?;
+            tokens.push(Token::Number(n));
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token::Word(bytes[start..i].iter().collect()));
+        } else {
+            return Err(QueryError::Lex {
+                position: i,
+                message: format!("unexpected character {c:?}"),
+            });
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_numbers_and_strings() {
+        let toks = lex("SELECT workers 'b+ tree' 3 2.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Word("workers".into()),
+                Token::Str("b+ tree".into()),
+                Token::Number(3.0),
+                Token::Number(2.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_commas() {
+        let toks = lex("GROUP >= 5, 9 = x").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("GROUP".into()),
+                Token::Ge,
+                Token::Number(5.0),
+                Token::Comma,
+                Token::Number(9.0),
+                Token::Eq,
+                Token::Word("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn quote_escaping() {
+        let toks = lex("'it''s quoted'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's quoted".into())]);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(lex("-2.5").unwrap(), vec![Token::Number(-2.5)]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("'oops"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn bare_gt_errors() {
+        assert!(matches!(lex("GROUP > 5"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn weird_character_errors() {
+        assert!(matches!(lex("SELECT ;"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(lex("   ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! A small crowd-selection query language over the crowdsourcing database.
+//!
+//! The paper frames crowd-selection as *query processing in crowdsourcing
+//! databases*; this crate makes that literal. A SQL-flavoured language
+//! covers the operations of Figure 1 — crowd insertion, crowd update,
+//! crowd retrieval, model training and top-k selection queries:
+//!
+//! ```text
+//! INSERT WORKER 'ada'
+//! INSERT TASK 'advantages of b+ tree over b tree'
+//! ASSIGN WORKER 0 TO TASK 0
+//! FEEDBACK WORKER 0 ON TASK 0 SCORE 4
+//! TRAIN MODEL WITH 8 CATEGORIES
+//! SELECT WORKERS FOR TASK 'why does a btree split pages' LIMIT 2
+//! SELECT WORKERS FOR TASK 'gc pauses in my service' LIMIT 3 USING vsm WHERE GROUP >= 5
+//! SHOW STATS
+//! SHOW WORKER 0
+//! SHOW GROUPS 1, 5, 9
+//! ```
+//!
+//! Pipeline: [`parse`] → [`Statement`] → [`QueryEngine::execute`] →
+//! [`QueryOutput`]. The engine owns a [`crowd_store::CrowdDb`] and, once
+//! `TRAIN MODEL` has run, a fitted [`crowd_core::TdpmModel`]; `USING`
+//! selects among the four ranking algorithms.
+
+pub mod ast;
+pub mod engine;
+pub mod error;
+pub mod lexer;
+pub mod output;
+pub mod parser;
+
+pub use ast::{Algorithm, ShowTarget, Statement};
+pub use engine::QueryEngine;
+pub use error::QueryError;
+pub use output::QueryOutput;
+pub use parser::parse;

@@ -1,0 +1,215 @@
+//! Query results.
+
+use crowd_store::{GroupStats, TaskId, WorkerId};
+use std::fmt;
+
+/// One ranked worker row from a `SELECT WORKERS` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectedWorker {
+    /// The worker.
+    pub worker: WorkerId,
+    /// Display handle.
+    pub handle: String,
+    /// Predicted performance score.
+    pub score: f64,
+}
+
+/// What a statement produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// A new worker id from `INSERT WORKER`.
+    WorkerInserted(WorkerId),
+    /// A new task id from `INSERT TASK`.
+    TaskInserted(TaskId),
+    /// Acknowledgement with a short description (assign/feedback/answer).
+    Ack(String),
+    /// `TRAIN MODEL` finished: iterations and final ELBO.
+    Trained {
+        /// EM iterations run.
+        iterations: usize,
+        /// Final evidence lower bound.
+        elbo: f64,
+        /// Whether the tolerance fired.
+        converged: bool,
+    },
+    /// Ranked workers from `SELECT WORKERS`.
+    Workers(Vec<SelectedWorker>),
+    /// `SHOW STATS` totals.
+    Stats {
+        /// Worker count.
+        workers: usize,
+        /// Task count.
+        tasks: usize,
+        /// Assignment count.
+        assignments: usize,
+        /// Scored-assignment count.
+        resolved: usize,
+        /// Distinct vocabulary size.
+        vocab: usize,
+        /// Whether a trained model is loaded.
+        trained: bool,
+    },
+    /// `SHOW WORKER` detail.
+    WorkerDetail {
+        /// The worker.
+        worker: WorkerId,
+        /// Handle.
+        handle: String,
+        /// Resolved-task participation count.
+        resolved_tasks: usize,
+        /// Learned latent skills (empty before `TRAIN MODEL`).
+        skills: Vec<f64>,
+    },
+    /// `SHOW TASK` detail.
+    TaskDetail {
+        /// The task.
+        task: TaskId,
+        /// Stored text.
+        text: String,
+        /// Scored answers `(worker, score)`.
+        scores: Vec<(WorkerId, f64)>,
+    },
+    /// `SHOW GROUPS` rows.
+    Groups(Vec<GroupStats>),
+    /// `SHOW SIMILAR` rows: `(task, text, cosine similarity)`.
+    SimilarTasks(Vec<(TaskId, String, f64)>),
+}
+
+impl fmt::Display for QueryOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryOutput::WorkerInserted(w) => write!(f, "inserted worker {w}"),
+            QueryOutput::TaskInserted(t) => write!(f, "inserted task {t}"),
+            QueryOutput::Ack(msg) => write!(f, "ok: {msg}"),
+            QueryOutput::Trained {
+                iterations,
+                elbo,
+                converged,
+            } => write!(
+                f,
+                "model trained: {iterations} iterations, ELBO {elbo:.3}{}",
+                if *converged { " (converged)" } else { "" }
+            ),
+            QueryOutput::Workers(rows) => {
+                writeln!(f, "{:<8} {:<20} {:>10}", "worker", "handle", "score")?;
+                for r in rows {
+                    writeln!(f, "{:<8} {:<20} {:>10.4}", r.worker.to_string(), r.handle, r.score)?;
+                }
+                Ok(())
+            }
+            QueryOutput::Stats {
+                workers,
+                tasks,
+                assignments,
+                resolved,
+                vocab,
+                trained,
+            } => write!(
+                f,
+                "workers {workers} | tasks {tasks} | assignments {assignments} | \
+                 resolved {resolved} | vocab {vocab} | model {}",
+                if *trained { "trained" } else { "untrained" }
+            ),
+            QueryOutput::WorkerDetail {
+                worker,
+                handle,
+                resolved_tasks,
+                skills,
+            } => {
+                write!(
+                    f,
+                    "{worker} '{handle}': {resolved_tasks} resolved tasks; skills {:?}",
+                    skills
+                        .iter()
+                        .map(|s| (s * 1000.0).round() / 1000.0)
+                        .collect::<Vec<_>>()
+                )
+            }
+            QueryOutput::TaskDetail { task, text, scores } => {
+                writeln!(f, "{task}: {text:?}")?;
+                for (w, s) in scores {
+                    writeln!(f, "  {w} scored {s}")?;
+                }
+                Ok(())
+            }
+            QueryOutput::SimilarTasks(rows) => {
+                writeln!(f, "{:<8} {:>10}  text", "task", "cosine")?;
+                for (t, text, sim) in rows {
+                    writeln!(f, "{:<8} {:>10.3}  {:?}", t.to_string(), sim, text)?;
+                }
+                Ok(())
+            }
+            QueryOutput::Groups(rows) => {
+                writeln!(f, "{:<12} {:>8} {:>10}", "threshold", "size", "coverage")?;
+                for g in rows {
+                    writeln!(f, "{:<12} {:>8} {:>10.3}", g.threshold, g.size, g.coverage)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_every_variant() {
+        let outputs = vec![
+            QueryOutput::WorkerInserted(WorkerId(1)),
+            QueryOutput::TaskInserted(TaskId(2)),
+            QueryOutput::Ack("assigned".into()),
+            QueryOutput::Trained {
+                iterations: 5,
+                elbo: -12.5,
+                converged: true,
+            },
+            QueryOutput::Workers(vec![SelectedWorker {
+                worker: WorkerId(0),
+                handle: "ada".into(),
+                score: 1.25,
+            }]),
+            QueryOutput::Stats {
+                workers: 1,
+                tasks: 2,
+                assignments: 3,
+                resolved: 2,
+                vocab: 10,
+                trained: false,
+            },
+            QueryOutput::WorkerDetail {
+                worker: WorkerId(0),
+                handle: "ada".into(),
+                resolved_tasks: 4,
+                skills: vec![0.5, 1.5],
+            },
+            QueryOutput::TaskDetail {
+                task: TaskId(0),
+                text: "q".into(),
+                scores: vec![(WorkerId(0), 3.0)],
+            },
+            QueryOutput::Groups(vec![GroupStats {
+                threshold: 5,
+                size: 10,
+                coverage: 0.9,
+            }]),
+        ];
+        for o in outputs {
+            assert!(!o.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn workers_table_contains_scores() {
+        let o = QueryOutput::Workers(vec![SelectedWorker {
+            worker: WorkerId(3),
+            handle: "carl".into(),
+            score: 2.0,
+        }]);
+        let s = o.to_string();
+        assert!(s.contains("w3"));
+        assert!(s.contains("carl"));
+        assert!(s.contains("2.0000"));
+    }
+}

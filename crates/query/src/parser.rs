@@ -1,0 +1,412 @@
+//! Recursive-descent parser for the crowd-query language.
+
+use crate::ast::{Algorithm, ShowTarget, Statement};
+use crate::lexer::{lex, Token};
+use crate::QueryError;
+use crowd_store::{TaskId, WorkerId};
+
+/// Parses one statement.
+pub fn parse(input: &str) -> Result<Statement, QueryError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn statement(&mut self) -> Result<Statement, QueryError> {
+        let head = self.expect_word("a statement keyword")?;
+        match head.to_ascii_uppercase().as_str() {
+            "INSERT" => self.insert(),
+            "ASSIGN" => self.assign(),
+            "FEEDBACK" => self.feedback(),
+            "ANSWER" => self.answer(),
+            "TRAIN" => self.train(),
+            "SELECT" => self.select(),
+            "SHOW" => self.show(),
+            other => Err(self.err(
+                "INSERT, ASSIGN, FEEDBACK, ANSWER, TRAIN, SELECT or SHOW",
+                &format!("'{other}'"),
+            )),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement, QueryError> {
+        let kind = self.expect_word("WORKER or TASK")?;
+        match kind.to_ascii_uppercase().as_str() {
+            "WORKER" => Ok(Statement::InsertWorker {
+                handle: self.expect_string("a quoted worker handle")?,
+            }),
+            "TASK" => Ok(Statement::InsertTask {
+                text: self.expect_string("a quoted task text")?,
+            }),
+            other => Err(self.err("WORKER or TASK", &format!("'{other}'"))),
+        }
+    }
+
+    fn assign(&mut self) -> Result<Statement, QueryError> {
+        self.expect_keyword("WORKER")?;
+        let worker = WorkerId(self.expect_integer("a worker id")? as u32);
+        self.expect_keyword("TO")?;
+        self.expect_keyword("TASK")?;
+        let task = TaskId(self.expect_integer("a task id")? as u32);
+        Ok(Statement::Assign { worker, task })
+    }
+
+    fn feedback(&mut self) -> Result<Statement, QueryError> {
+        self.expect_keyword("WORKER")?;
+        let worker = WorkerId(self.expect_integer("a worker id")? as u32);
+        self.expect_keyword("ON")?;
+        self.expect_keyword("TASK")?;
+        let task = TaskId(self.expect_integer("a task id")? as u32);
+        self.expect_keyword("SCORE")?;
+        let score = self.expect_number("a score")?;
+        Ok(Statement::Feedback {
+            worker,
+            task,
+            score,
+        })
+    }
+
+    fn answer(&mut self) -> Result<Statement, QueryError> {
+        self.expect_keyword("WORKER")?;
+        let worker = WorkerId(self.expect_integer("a worker id")? as u32);
+        self.expect_keyword("ON")?;
+        self.expect_keyword("TASK")?;
+        let task = TaskId(self.expect_integer("a task id")? as u32);
+        self.expect_keyword("TEXT")?;
+        let text = self.expect_string("a quoted answer text")?;
+        Ok(Statement::Answer { worker, task, text })
+    }
+
+    fn train(&mut self) -> Result<Statement, QueryError> {
+        self.expect_keyword("MODEL")?;
+        let mut categories = 10usize;
+        if self.peek_keyword("WITH") {
+            self.advance();
+            categories = self.expect_integer("a category count")? as usize;
+            self.expect_keyword("CATEGORIES")?;
+        }
+        Ok(Statement::TrainModel { categories })
+    }
+
+    fn select(&mut self) -> Result<Statement, QueryError> {
+        self.expect_keyword("WORKERS")?;
+        self.expect_keyword("FOR")?;
+        self.expect_keyword("TASK")?;
+        let text = self.expect_string("a quoted task text")?;
+        let mut limit = 1usize;
+        let mut algorithm = Algorithm::default();
+        let mut min_group = None;
+        loop {
+            if self.peek_keyword("LIMIT") {
+                self.advance();
+                limit = self.expect_integer("a limit")? as usize;
+            } else if self.peek_keyword("USING") {
+                self.advance();
+                let name = self.expect_word("an algorithm name")?;
+                algorithm = Algorithm::from_name(&name).ok_or_else(|| QueryError::Parse {
+                    expected: "one of tdpm, vsm, drm, tspm".into(),
+                    found: format!("'{name}'"),
+                })?;
+            } else if self.peek_keyword("WHERE") {
+                self.advance();
+                self.expect_keyword("GROUP")?;
+                self.expect(Token::Ge, "'>='")?;
+                min_group = Some(self.expect_integer("a group threshold")? as usize);
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::SelectWorkers {
+            text,
+            limit,
+            algorithm,
+            min_group,
+        })
+    }
+
+    fn show(&mut self) -> Result<Statement, QueryError> {
+        let what = self.expect_word("STATS, WORKER, TASK, GROUPS or SIMILAR")?;
+        let target = match what.to_ascii_uppercase().as_str() {
+            "STATS" => ShowTarget::Stats,
+            "WORKER" => ShowTarget::Worker(WorkerId(self.expect_integer("a worker id")? as u32)),
+            "TASK" => ShowTarget::Task(TaskId(self.expect_integer("a task id")? as u32)),
+            "GROUPS" => {
+                let mut thresholds = vec![self.expect_integer("a threshold")? as usize];
+                while matches!(self.peek(), Some(Token::Comma)) {
+                    self.advance();
+                    thresholds.push(self.expect_integer("a threshold")? as usize);
+                }
+                ShowTarget::Groups(thresholds)
+            }
+            "SIMILAR" => {
+                let text = self.expect_string("a quoted query text")?;
+                let mut limit = 5usize;
+                if self.peek_keyword("LIMIT") {
+                    self.advance();
+                    limit = self.expect_integer("a limit")? as usize;
+                }
+                ShowTarget::Similar { text, limit }
+            }
+            other => {
+                return Err(self.err(
+                    "STATS, WORKER, TASK, GROUPS or SIMILAR",
+                    &format!("'{other}'"),
+                ))
+            }
+        };
+        Ok(Statement::Show(target))
+    }
+
+    // --- primitives ----------------------------------------------------------
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect(&mut self, token: Token, expected: &str) -> Result<(), QueryError> {
+        match self.peek() {
+            Some(t) if *t == token => {
+                self.advance();
+                Ok(())
+            }
+            other => Err(self.err(expected, &describe_opt(other))),
+        }
+    }
+
+    fn expect_word(&mut self, expected: &str) -> Result<String, QueryError> {
+        match self.peek().cloned() {
+            Some(Token::Word(w)) => {
+                self.advance();
+                Ok(w)
+            }
+            other => Err(self.err(expected, &describe_opt(other.as_ref()))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        let w = self.expect_word(kw)?;
+        if w.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(self.err(kw, &format!("'{w}'")))
+        }
+    }
+
+    fn expect_string(&mut self, expected: &str) -> Result<String, QueryError> {
+        match self.peek().cloned() {
+            Some(Token::Str(s)) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.err(expected, &describe_opt(other.as_ref()))),
+        }
+    }
+
+    fn expect_number(&mut self, expected: &str) -> Result<f64, QueryError> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.advance();
+                Ok(n)
+            }
+            other => Err(self.err(expected, &describe_opt(other.as_ref()))),
+        }
+    }
+
+    fn expect_integer(&mut self, expected: &str) -> Result<u64, QueryError> {
+        let n = self.expect_number(expected)?;
+        if n.fract() != 0.0 || n < 0.0 || n > u32::MAX as f64 {
+            return Err(QueryError::Parse {
+                expected: format!("{expected} (a non-negative integer)"),
+                found: format!("number {n}"),
+            });
+        }
+        Ok(n as u64)
+    }
+
+    fn expect_end(&mut self) -> Result<(), QueryError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(self.err("end of statement", &t.describe())),
+        }
+    }
+
+    fn err(&self, expected: &str, found: &str) -> QueryError {
+        QueryError::Parse {
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+}
+
+fn describe_opt(t: Option<&Token>) -> String {
+    t.map(Token::describe)
+        .unwrap_or_else(|| "end of statement".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_statements() {
+        assert_eq!(
+            parse("INSERT WORKER 'ada'").unwrap(),
+            Statement::InsertWorker {
+                handle: "ada".into()
+            }
+        );
+        assert_eq!(
+            parse("insert task 'b+ tree question'").unwrap(),
+            Statement::InsertTask {
+                text: "b+ tree question".into()
+            }
+        );
+    }
+
+    #[test]
+    fn assign_and_feedback() {
+        assert_eq!(
+            parse("ASSIGN WORKER 3 TO TASK 7").unwrap(),
+            Statement::Assign {
+                worker: WorkerId(3),
+                task: TaskId(7)
+            }
+        );
+        assert_eq!(
+            parse("FEEDBACK WORKER 3 ON TASK 7 SCORE 4.5").unwrap(),
+            Statement::Feedback {
+                worker: WorkerId(3),
+                task: TaskId(7),
+                score: 4.5
+            }
+        );
+    }
+
+    #[test]
+    fn answer_statement() {
+        assert_eq!(
+            parse("ANSWER WORKER 1 ON TASK 2 TEXT 'split at the median'").unwrap(),
+            Statement::Answer {
+                worker: WorkerId(1),
+                task: TaskId(2),
+                text: "split at the median".into()
+            }
+        );
+    }
+
+    #[test]
+    fn train_with_default_and_explicit_k() {
+        assert_eq!(
+            parse("TRAIN MODEL").unwrap(),
+            Statement::TrainModel { categories: 10 }
+        );
+        assert_eq!(
+            parse("TRAIN MODEL WITH 25 CATEGORIES").unwrap(),
+            Statement::TrainModel { categories: 25 }
+        );
+    }
+
+    #[test]
+    fn select_minimal_and_full() {
+        assert_eq!(
+            parse("SELECT WORKERS FOR TASK 'q'").unwrap(),
+            Statement::SelectWorkers {
+                text: "q".into(),
+                limit: 1,
+                algorithm: Algorithm::Tdpm,
+                min_group: None
+            }
+        );
+        assert_eq!(
+            parse("SELECT WORKERS FOR TASK 'q' LIMIT 3 USING vsm WHERE GROUP >= 5").unwrap(),
+            Statement::SelectWorkers {
+                text: "q".into(),
+                limit: 3,
+                algorithm: Algorithm::Vsm,
+                min_group: Some(5)
+            }
+        );
+    }
+
+    #[test]
+    fn select_clause_order_is_flexible() {
+        let a = parse("SELECT WORKERS FOR TASK 'q' USING drm LIMIT 2").unwrap();
+        let b = parse("SELECT WORKERS FOR TASK 'q' LIMIT 2 USING drm").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn show_statements() {
+        assert_eq!(parse("SHOW STATS").unwrap(), Statement::Show(ShowTarget::Stats));
+        assert_eq!(
+            parse("SHOW WORKER 4").unwrap(),
+            Statement::Show(ShowTarget::Worker(WorkerId(4)))
+        );
+        assert_eq!(
+            parse("SHOW TASK 9").unwrap(),
+            Statement::Show(ShowTarget::Task(TaskId(9)))
+        );
+        assert_eq!(
+            parse("SHOW GROUPS 1, 5, 9").unwrap(),
+            Statement::Show(ShowTarget::Groups(vec![1, 5, 9]))
+        );
+    }
+
+    #[test]
+    fn show_similar() {
+        assert_eq!(
+            parse("SHOW SIMILAR 'btree split' LIMIT 3").unwrap(),
+            Statement::Show(ShowTarget::Similar {
+                text: "btree split".into(),
+                limit: 3
+            })
+        );
+        // Default limit.
+        assert_eq!(
+            parse("SHOW SIMILAR 'x'").unwrap(),
+            Statement::Show(ShowTarget::Similar {
+                text: "x".into(),
+                limit: 5
+            })
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = parse("SELECT WORKERS FOR TASK").unwrap_err();
+        assert!(e.to_string().contains("quoted task text"), "{e}");
+        let e = parse("FEEDBACK WORKER x").unwrap_err();
+        assert!(e.to_string().contains("worker id"), "{e}");
+        let e = parse("SELECT WORKERS FOR TASK 'q' USING magic").unwrap_err();
+        assert!(e.to_string().contains("tdpm"), "{e}");
+        let e = parse("SHOW NOTHING").unwrap_err();
+        assert!(e.to_string().contains("STATS"), "{e}");
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse("SHOW STATS extra").is_err());
+    }
+
+    #[test]
+    fn fractional_ids_rejected() {
+        assert!(parse("ASSIGN WORKER 1.5 TO TASK 2").is_err());
+        assert!(parse("SHOW WORKER -1").is_err());
+    }
+}

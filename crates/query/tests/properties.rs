@@ -1,0 +1,95 @@
+//! Property tests: every renderable statement parses back to itself.
+
+use crowd_query::ast::{Algorithm, ShowTarget, Statement};
+use crowd_query::parse;
+use crowd_store::{TaskId, WorkerId};
+use proptest::prelude::*;
+
+/// Text safe inside our single-quoted literals (printable, no control chars;
+/// quotes are escaped by Display).
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 +#'_.,?-]{1,40}"
+}
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Tdpm),
+        Just(Algorithm::Vsm),
+        Just(Algorithm::Drm),
+        Just(Algorithm::Tspm),
+    ]
+}
+
+fn arb_statement() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        arb_text().prop_map(|handle| Statement::InsertWorker { handle }),
+        arb_text().prop_map(|text| Statement::InsertTask { text }),
+        (0u32..100, 0u32..100).prop_map(|(w, t)| Statement::Assign {
+            worker: WorkerId(w),
+            task: TaskId(t)
+        }),
+        // Scores rendered via Display must re-parse exactly: stick to values
+        // with short decimal expansions.
+        (0u32..100, 0u32..100, 0i32..200).prop_map(|(w, t, s)| Statement::Feedback {
+            worker: WorkerId(w),
+            task: TaskId(t),
+            score: f64::from(s) / 4.0,
+        }),
+        (0u32..100, 0u32..100, arb_text()).prop_map(|(w, t, text)| Statement::Answer {
+            worker: WorkerId(w),
+            task: TaskId(t),
+            text
+        }),
+        (1usize..100).prop_map(|categories| Statement::TrainModel { categories }),
+        (arb_text(), 1usize..20, arb_algorithm(), prop::option::of(0usize..50)).prop_map(
+            |(text, limit, algorithm, min_group)| Statement::SelectWorkers {
+                text,
+                limit,
+                algorithm,
+                min_group
+            }
+        ),
+        Just(Statement::Show(ShowTarget::Stats)),
+        (0u32..100).prop_map(|w| Statement::Show(ShowTarget::Worker(WorkerId(w)))),
+        (0u32..100).prop_map(|t| Statement::Show(ShowTarget::Task(TaskId(t)))),
+        prop::collection::vec(0usize..50, 1..6)
+            .prop_map(|ns| Statement::Show(ShowTarget::Groups(ns))),
+        (arb_text(), 1usize..20).prop_map(|(text, limit)| {
+            Statement::Show(ShowTarget::Similar { text, limit })
+        }),
+    ]
+}
+
+proptest! {
+    /// Display → parse is the identity on the AST.
+    #[test]
+    fn render_parse_roundtrip(stmt in arb_statement()) {
+        let rendered = stmt.to_string();
+        let parsed = parse(&rendered)
+            .map_err(|e| TestCaseError::fail(format!("{rendered:?}: {e}")))?;
+        prop_assert_eq!(parsed, stmt, "rendered: {}", rendered);
+    }
+
+    /// The parser never panics on arbitrary input — it returns errors.
+    #[test]
+    fn parser_never_panics(input in ".{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// Keyword case does not matter.
+    #[test]
+    fn keywords_are_case_insensitive(upper in proptest::bool::ANY) {
+        let stmt = "select workers for task 'q' limit 2 using drm where group >= 3";
+        let text = if upper { stmt.to_uppercase().replace("'Q'", "'q'") } else { stmt.into() };
+        let parsed = parse(&text).unwrap();
+        prop_assert_eq!(
+            parsed,
+            Statement::SelectWorkers {
+                text: "q".into(),
+                limit: 2,
+                algorithm: Algorithm::Drm,
+                min_group: Some(3),
+            }
+        );
+    }
+}

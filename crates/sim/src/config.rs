@@ -1,0 +1,185 @@
+//! Platform presets mirroring the paper's three datasets (Table 2), scaled.
+
+use serde::{Deserialize, Serialize};
+
+/// Which crowdsourcing platform to emulate. Controls the feedback mechanism
+/// and the shape parameters of the generated workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// Thumbs-up feedback, medium-length questions, broad topics.
+    Quora,
+    /// Best-answer feedback (1.0 for the best answerer, Jaccard similarity
+    /// to the best answer otherwise), short questions, many casual workers.
+    Yahoo,
+    /// Thumbs-up (vote score) feedback, longer questions, deep expertise
+    /// concentration ("users trust workers with high reputation").
+    StackOverflow,
+}
+
+impl PlatformKind {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformKind::Quora => "Quora",
+            PlatformKind::Yahoo => "Yahoo",
+            PlatformKind::StackOverflow => "Stack",
+        }
+    }
+}
+
+/// Generator parameters.
+///
+/// The paper's corpora are ~1000× larger (Table 2: Quora 444k questions /
+/// 95k users / 887k answers; Yahoo 8.9M/1.0M/26.9M; Stack Overflow
+/// 83k/15k/236k); presets keep the *ratios* (answers per question, workers
+/// per question) and shrink absolute counts by `scale`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Which platform to emulate.
+    pub kind: PlatformKind,
+    /// Number of workers `M`.
+    pub num_workers: usize,
+    /// Number of tasks `N`.
+    pub num_tasks: usize,
+    /// Vocabulary size `V`.
+    pub vocab_size: usize,
+    /// Number of planted latent categories.
+    pub num_categories: usize,
+    /// Mean answers per task (Poisson, min 1).
+    pub avg_answers_per_task: f64,
+    /// Mean content tokens per task (Poisson, min 3).
+    pub tokens_per_task: f64,
+    /// Zipf exponent of worker activity (higher → steeper head).
+    pub activity_exponent: f64,
+    /// How strongly workers prefer tasks matching their expertise (0 = no
+    /// preference; 2–4 = strong homophily).
+    pub affinity_strength: f64,
+    /// Noise standard deviation on true answer quality.
+    pub quality_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Quora-like preset (scale 1.0 ≈ 1/250 of the paper's crawl).
+    pub fn quora(scale: f64, seed: u64) -> Self {
+        SimConfig {
+            kind: PlatformKind::Quora,
+            num_workers: scaled(400, scale),
+            num_tasks: scaled(1800, scale),
+            vocab_size: scaled(1500, scale).max(300),
+            num_categories: 8,
+            avg_answers_per_task: 2.0,
+            tokens_per_task: 14.0,
+            activity_exponent: 1.1,
+            affinity_strength: 2.5,
+            quality_noise: 0.5,
+            seed,
+        }
+    }
+
+    /// Yahoo!-Answers-like preset: short questions, ~3 answers each, a huge
+    /// casual tail.
+    pub fn yahoo(scale: f64, seed: u64) -> Self {
+        SimConfig {
+            kind: PlatformKind::Yahoo,
+            num_workers: scaled(700, scale),
+            num_tasks: scaled(2400, scale),
+            vocab_size: scaled(1200, scale).max(300),
+            num_categories: 8,
+            avg_answers_per_task: 3.0,
+            tokens_per_task: 8.0,
+            activity_exponent: 1.3,
+            affinity_strength: 1.5,
+            quality_noise: 0.45,
+            seed,
+        }
+    }
+
+    /// Stack-Overflow-like preset: longer tagged questions, concentrated
+    /// expertise, popular questions attract many answerers.
+    pub fn stack_overflow(scale: f64, seed: u64) -> Self {
+        SimConfig {
+            kind: PlatformKind::StackOverflow,
+            num_workers: scaled(250, scale),
+            num_tasks: scaled(1200, scale),
+            vocab_size: scaled(1000, scale).max(300),
+            num_categories: 8,
+            avg_answers_per_task: 2.8,
+            tokens_per_task: 22.0,
+            activity_exponent: 0.9,
+            affinity_strength: 3.5,
+            quality_noise: 0.4,
+            seed,
+        }
+    }
+
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_workers == 0 || self.num_tasks == 0 {
+            return Err("num_workers and num_tasks must be ≥ 1".into());
+        }
+        if self.num_categories == 0 {
+            return Err("num_categories must be ≥ 1".into());
+        }
+        if self.vocab_size < self.num_categories {
+            return Err("vocab_size must be ≥ num_categories".into());
+        }
+        if self.avg_answers_per_task < 1.0 {
+            return Err("avg_answers_per_task must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for cfg in [
+            SimConfig::quora(1.0, 0),
+            SimConfig::yahoo(1.0, 0),
+            SimConfig::stack_overflow(1.0, 0),
+        ] {
+            assert!(cfg.validate().is_ok(), "{:?}", cfg.kind);
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_counts_with_floors() {
+        let big = SimConfig::quora(1.0, 0);
+        let small = SimConfig::quora(0.1, 0);
+        assert!(small.num_workers < big.num_workers);
+        assert!(small.num_tasks < big.num_tasks);
+        assert!(small.vocab_size >= 300, "vocab floor holds");
+        let tiny = SimConfig::quora(0.0001, 0);
+        assert!(tiny.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let mut cfg = SimConfig::quora(1.0, 0);
+        cfg.num_tasks = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::quora(1.0, 0);
+        cfg.avg_answers_per_task = 0.2;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::quora(1.0, 0);
+        cfg.vocab_size = 2;
+        cfg.num_categories = 8;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn platform_names() {
+        assert_eq!(PlatformKind::Quora.name(), "Quora");
+        assert_eq!(PlatformKind::Yahoo.name(), "Yahoo");
+        assert_eq!(PlatformKind::StackOverflow.name(), "Stack");
+    }
+}

@@ -1,0 +1,394 @@
+//! Materializes a synthetic platform into a [`CrowdDb`].
+
+use crate::config::{PlatformKind, SimConfig};
+use crate::topics::TopicSpace;
+use crate::workers::WorkerPool;
+use crowd_store::{CrowdDb, TaskId, WorkerId};
+use crowd_text::similarity::jaccard;
+use crowd_text::{BagOfWords, TermId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, Normal, Poisson};
+
+/// Tokens per simulated answer (Yahoo! Jaccard feedback path).
+const ANSWER_TOKENS: usize = 28;
+/// Steepness of the quality → on-topic-fidelity link for simulated answers.
+/// Sharp enough that a non-best answer's Jaccard similarity to the best
+/// answer actually tracks the answerer's quality — on real platforms good
+/// answers resemble the best answer, poor ones drift off topic.
+const FIDELITY_SLOPE: f64 = 2.0;
+/// Quality at which answer fidelity crosses 50%.
+const FIDELITY_MIDPOINT: f64 = 1.0;
+/// Thumbs-up intensity: votes ~ Poisson(THUMBS_RATE · softplus(quality)).
+const THUMBS_RATE: f64 = 1.5;
+
+/// A fully generated platform: the observable database plus planted truth.
+#[derive(Debug)]
+pub struct GeneratedPlatform {
+    /// The observable crowdsourcing database `(T, A, S)`.
+    pub db: CrowdDb,
+    /// The configuration that produced it.
+    pub config: SimConfig,
+    /// Planted worker skills (`true_skills[i][k]`).
+    pub true_skills: Vec<Vec<f64>>,
+    /// Planted per-task category mixtures.
+    pub true_mixtures: Vec<Vec<f64>>,
+}
+
+/// Generates platforms from [`SimConfig`]s.
+#[derive(Debug, Clone)]
+pub struct PlatformGenerator {
+    config: SimConfig,
+}
+
+impl PlatformGenerator {
+    /// Creates a generator; panics on an invalid config (programmer error).
+    pub fn new(config: SimConfig) -> Self {
+        config.validate().expect("invalid SimConfig");
+        PlatformGenerator { config }
+    }
+
+    /// Runs the full generation pipeline.
+    pub fn generate(&self) -> GeneratedPlatform {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let topics = TopicSpace::generate(
+            cfg.num_categories,
+            cfg.vocab_size,
+            0.9,
+            cfg.seed ^ 0xA5A5_5A5A,
+        );
+        let pool = WorkerPool::generate(
+            cfg.num_workers,
+            cfg.num_categories,
+            cfg.activity_exponent,
+            cfg.seed ^ 0x0F0F_F0F0,
+        );
+
+        let mut db = CrowdDb::new();
+        // Intern the full vocabulary up front so term index == TermId.
+        for term in topics.vocab() {
+            db.vocab_mut().intern(term);
+        }
+        let workers: Vec<WorkerId> = (0..cfg.num_workers)
+            .map(|i| db.add_worker(format!("worker{i:05}")))
+            .collect();
+
+        let token_dist = Poisson::new(cfg.tokens_per_task).expect("positive mean");
+        let answer_dist = Poisson::new((cfg.avg_answers_per_task - 1.0).max(0.05))
+            .expect("positive mean");
+        let noise = Normal::new(0.0, cfg.quality_noise.max(1e-9)).expect("valid parameters");
+
+        let mut true_mixtures = Vec::with_capacity(cfg.num_tasks);
+        for _ in 0..cfg.num_tasks {
+            let mixture = topics.sample_mixture(0.85, &mut rng);
+            let num_tokens = (token_dist.sample(&mut rng) as usize).max(3);
+            let task_id = self.emit_task(&mut db, &topics, &mixture, num_tokens, &mut rng);
+
+            let num_answerers = (answer_dist.sample(&mut rng) as usize + 1).min(cfg.num_workers);
+            let answerers =
+                pool.sample_answerers(&mixture, num_answerers, cfg.affinity_strength, &mut rng);
+
+            // True qualities with observation noise.
+            let qualities: Vec<f64> = answerers
+                .iter()
+                .map(|&i| pool.quality(i, &mixture) + noise.sample(&mut rng))
+                .collect();
+
+            for &i in &answerers {
+                db.assign(workers[i], task_id).expect("fresh assignment");
+            }
+
+            match cfg.kind {
+                PlatformKind::Quora | PlatformKind::StackOverflow => {
+                    self.emit_thumbs_feedback(&mut db, task_id, &answerers, &qualities, &workers, &mut rng);
+                }
+                PlatformKind::Yahoo => {
+                    self.emit_best_answer_feedback(
+                        &mut db, &topics, &mixture, task_id, &answerers, &qualities, &workers,
+                        &mut rng,
+                    );
+                }
+            }
+            true_mixtures.push(mixture);
+        }
+
+        let true_skills = (0..cfg.num_workers).map(|i| pool.skill(i).to_vec()).collect();
+        GeneratedPlatform {
+            db,
+            config: self.config.clone(),
+            true_skills,
+            true_mixtures,
+        }
+    }
+
+    fn emit_task(
+        &self,
+        db: &mut CrowdDb,
+        topics: &TopicSpace,
+        mixture: &[f64],
+        num_tokens: usize,
+        rng: &mut StdRng,
+    ) -> TaskId {
+        let mut counts = vec![0u32; topics.vocab_size()];
+        let mut token_order = Vec::with_capacity(num_tokens);
+        for _ in 0..num_tokens {
+            let v = topics.sample_term(mixture, rng);
+            counts[v] += 1;
+            token_order.push(v);
+        }
+        let text = token_order
+            .iter()
+            .map(|&v| topics.vocab()[v].as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let bow = BagOfWords::from_counts(
+            counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(v, &c)| (TermId(v as u32), c))
+                .collect(),
+        );
+        db.add_task_raw(text, bow)
+    }
+
+    /// Quora / Stack Overflow: thumbs-up counts, Poisson around a softplus of
+    /// the answer quality (good answers attract votes, bad ones get none).
+    fn emit_thumbs_feedback(
+        &self,
+        db: &mut CrowdDb,
+        task: TaskId,
+        answerers: &[usize],
+        qualities: &[f64],
+        workers: &[WorkerId],
+        rng: &mut StdRng,
+    ) {
+        for (&i, &q) in answerers.iter().zip(qualities) {
+            let rate = THUMBS_RATE * softplus(q);
+            let votes = if rate > 0.0 {
+                Poisson::new(rate).map(|d| d.sample(rng)).unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            db.record_feedback(workers[i], task, votes).expect("assigned");
+        }
+    }
+
+    /// Yahoo! Answers: the asker marks the highest-quality answer as best
+    /// (score 1.0); every other answer scores its Jaccard similarity to the
+    /// best answer (paper Section 4.1.5).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_best_answer_feedback(
+        &self,
+        db: &mut CrowdDb,
+        topics: &TopicSpace,
+        mixture: &[f64],
+        task: TaskId,
+        answerers: &[usize],
+        qualities: &[f64],
+        workers: &[WorkerId],
+        rng: &mut StdRng,
+    ) {
+        // Simulate answer texts: high-quality answers stay on topic, low
+        // quality answers drift to random vocabulary.
+        let answer_bags: Vec<BagOfWords> = qualities
+            .iter()
+            .map(|&q| {
+                let fidelity = sigmoid(FIDELITY_SLOPE * (q - FIDELITY_MIDPOINT));
+                let mut counts = vec![0u32; topics.vocab_size()];
+                for _ in 0..ANSWER_TOKENS {
+                    let v = if rng.random::<f64>() < fidelity {
+                        topics.sample_term(mixture, rng)
+                    } else {
+                        rng.random_range(0..topics.vocab_size())
+                    };
+                    counts[v] += 1;
+                }
+                BagOfWords::from_counts(
+                    counts
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &c)| c > 0)
+                        .map(|(v, &c)| (TermId(v as u32), c))
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let best = qualities
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(slot, _)| slot)
+            .expect("at least one answerer");
+
+        for (slot, &i) in answerers.iter().enumerate() {
+            db.record_answer_bow(workers[i], task, answer_bags[slot].clone())
+                .expect("assigned");
+            let score = if slot == best {
+                1.0
+            } else {
+                jaccard(&answer_bags[slot], &answer_bags[best])
+            };
+            db.record_feedback(workers[i], task, score).expect("assigned");
+        }
+    }
+}
+
+impl GeneratedPlatform {
+    /// The "right worker" for a resolved task: the answerer with the highest
+    /// recorded feedback (best answerer), ties toward the smaller id —
+    /// exactly the ground truth the paper's ACCU / TopK metrics use
+    /// (Section 7.2.2).
+    pub fn right_worker(&self, task: TaskId) -> Option<WorkerId> {
+        self.db
+            .workers_of(task)
+            .filter_map(|(w, s)| s.map(|s| (w, s)))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(w, _)| w)
+    }
+
+    /// Table-2-style statistics: `(questions, users, answers)`.
+    pub fn stats(&self) -> (usize, usize, usize) {
+        (
+            self.db.num_tasks(),
+            self.db.num_workers(),
+            self.db.num_assignments(),
+        )
+    }
+}
+
+fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+
+    fn tiny(kind: fn(f64, u64) -> SimConfig) -> GeneratedPlatform {
+        PlatformGenerator::new(kind(0.05, 9)).generate()
+    }
+
+    #[test]
+    fn quora_platform_has_expected_shape() {
+        let p = tiny(SimConfig::quora);
+        let (q, u, a) = p.stats();
+        assert_eq!(q, p.config.num_tasks);
+        assert_eq!(u, p.config.num_workers);
+        assert!(a >= q, "every task has ≥ 1 answer");
+        assert_eq!(p.db.num_resolved(), a, "all assignments scored");
+        assert_eq!(p.true_skills.len(), u);
+        assert_eq!(p.true_mixtures.len(), q);
+    }
+
+    #[test]
+    fn thumbs_scores_are_nonnegative_counts() {
+        let p = tiny(SimConfig::quora);
+        for rt in p.db.resolved_tasks() {
+            for &(_, s) in &rt.scores {
+                assert!(s >= 0.0 && s == s.trunc(), "vote count, got {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn yahoo_scores_are_best_answer_jaccard() {
+        let p = tiny(SimConfig::yahoo);
+        for rt in p.db.resolved_tasks() {
+            let max = rt
+                .scores
+                .iter()
+                .map(|&(_, s)| s)
+                .fold(f64::MIN, f64::max);
+            assert!((max - 1.0).abs() < 1e-12, "best answer scores 1.0");
+            for &(w, s) in &rt.scores {
+                assert!((0.0..=1.0).contains(&s));
+                // Every scored answer stored its answer text bag.
+                assert!(p.db.answer(w, rt.task).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn right_worker_has_max_feedback() {
+        let p = tiny(SimConfig::stack_overflow);
+        let rts = p.db.resolved_tasks();
+        let rt = &rts[0];
+        let right = p.right_worker(rt.task).unwrap();
+        let max = rt.scores.iter().map(|&(_, s)| s).fold(f64::MIN, f64::max);
+        let right_score = rt.scores.iter().find(|&&(w, _)| w == right).unwrap().1;
+        assert_eq!(right_score, max);
+    }
+
+    #[test]
+    fn better_workers_get_better_feedback_on_average() {
+        let p = tiny(SimConfig::quora);
+        // Correlate planted quality with recorded feedback across all pairs.
+        let mut quality = Vec::new();
+        let mut feedback = Vec::new();
+        for (j, rt) in p.db.resolved_tasks().iter().enumerate() {
+            let mixture = &p.true_mixtures[j];
+            for &(w, s) in &rt.scores {
+                let planted: f64 = p.true_skills[w.index()]
+                    .iter()
+                    .zip(mixture)
+                    .map(|(a, b)| a * b)
+                    .sum();
+                quality.push(planted);
+                feedback.push(s);
+            }
+        }
+        let corr = crowd_math::stats::pearson(&quality, &feedback).unwrap();
+        assert!(corr > 0.3, "feedback tracks planted quality: r = {corr}");
+    }
+
+    #[test]
+    fn participation_is_heavy_tailed() {
+        let p = tiny(SimConfig::yahoo);
+        let mut counts: Vec<usize> = p
+            .db
+            .worker_ids()
+            .map(|w| p.db.worker_task_count(w))
+            .collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let head: usize = counts[..counts.len() / 10].iter().sum();
+        let total: usize = counts.iter().sum();
+        assert!(
+            head * 3 > total,
+            "top 10% of workers answer > a third of the questions ({head}/{total})"
+        );
+        // And the most active worker dwarfs the median one.
+        assert!(counts[0] >= 4 * counts[counts.len() / 2].max(1));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PlatformGenerator::new(SimConfig::quora(0.03, 5)).generate();
+        let b = PlatformGenerator::new(SimConfig::quora(0.03, 5)).generate();
+        assert_eq!(a.stats(), b.stats());
+        let ta = a.db.task(TaskId(0)).unwrap();
+        let tb = b.db.task(TaskId(0)).unwrap();
+        assert_eq!(ta.text, tb.text);
+    }
+
+    #[test]
+    fn task_text_roundtrips_through_vocab() {
+        let p = tiny(SimConfig::quora);
+        let t = p.db.task(TaskId(0)).unwrap();
+        // Every token in the text is in the vocabulary.
+        for tok in crowd_text::tokenize(&t.text) {
+            assert!(p.db.vocab().get(&tok).is_some(), "token {tok} interned");
+        }
+    }
+}

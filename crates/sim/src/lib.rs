@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Synthetic crowdsourcing platform generators.
+//!
+//! The paper evaluates on crawls of Quora, Yahoo! Answers and Stack Overflow
+//! (Table 2). Those crawls are not redistributable, so this crate builds
+//! *synthetic equivalents* that exercise the same code paths:
+//!
+//! - a planted [`TopicSpace`] with Zipfian topic–word distributions,
+//! - a [`WorkerPool`] with sparse multi-category expertise and power-law
+//!   activity (a small core of very active workers, a long tail of
+//!   one-question users — the structure Figures 3/5/7 measure),
+//! - a [`PlatformGenerator`] that materializes a full [`crowd_store::CrowdDb`]
+//!   with tasks, assignments, answers and **platform-specific feedback**:
+//!   thumbs-up counts for Quora / Stack Overflow, best-answer + Jaccard
+//!   similarity for Yahoo! Answers (Section 4.1.5).
+//!
+//! Because skills and categories are planted, the generator provides the
+//! ground truth the paper's metrics need (who the "right worker" is) while
+//! keeping every selector honest — they only ever see `(T, A, S)`.
+
+pub mod config;
+pub mod generator;
+pub mod topics;
+pub mod workers;
+
+pub use config::{PlatformKind, SimConfig};
+pub use generator::{GeneratedPlatform, PlatformGenerator};
+pub use topics::TopicSpace;
+pub use workers::WorkerPool;

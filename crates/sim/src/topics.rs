@@ -1,0 +1,189 @@
+//! Planted topic space: categories with Zipfian word distributions.
+
+use crowd_math::special::normalize_in_place;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// A planted set of latent categories over a synthetic vocabulary.
+///
+/// Each category owns a block of "core" terms with Zipf-decaying weights and
+/// leaks a small probability mass onto the full vocabulary (real categories
+/// share function words). Term strings are `term0000`, `term0001`, … so
+/// generated tasks can round-trip through the real tokenizer.
+#[derive(Debug, Clone)]
+pub struct TopicSpace {
+    /// `word_dist[k][v] = p(v | category k)`, rows normalized.
+    word_dist: Vec<Vec<f64>>,
+    vocab: Vec<String>,
+}
+
+impl TopicSpace {
+    /// Builds `num_categories` planted categories over `vocab_size` terms.
+    ///
+    /// `concentration ∈ (0, 1]` is the fraction of each category's mass on
+    /// its own core block (0.9 → sharply separated categories).
+    pub fn generate(
+        num_categories: usize,
+        vocab_size: usize,
+        concentration: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_categories >= 1 && vocab_size >= num_categories);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let block = vocab_size / num_categories;
+        let mut word_dist = Vec::with_capacity(num_categories);
+        for k in 0..num_categories {
+            let mut row = vec![0.0; vocab_size];
+            // Background mass: uniform with jitter.
+            let bg = (1.0 - concentration) / vocab_size as f64;
+            for w in row.iter_mut() {
+                *w = bg * rng.random_range(0.5..1.5);
+            }
+            // Core block: Zipf-decaying weights over this category's terms.
+            let start = k * block;
+            let end = if k + 1 == num_categories {
+                vocab_size
+            } else {
+                start + block
+            };
+            let mut core: Vec<f64> = (0..end - start)
+                .map(|r| 1.0 / (1.0 + r as f64).powf(1.07))
+                .collect();
+            let core_sum: f64 = core.iter().sum();
+            for c in core.iter_mut() {
+                *c *= concentration / core_sum;
+            }
+            for (i, &c) in core.iter().enumerate() {
+                row[start + i] += c;
+            }
+            normalize_in_place(&mut row);
+            word_dist.push(row);
+        }
+        let vocab = (0..vocab_size).map(|v| format!("term{v:04}")).collect();
+        TopicSpace { word_dist, vocab }
+    }
+
+    /// Number of categories.
+    pub fn num_categories(&self) -> usize {
+        self.word_dist.len()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The synthetic term strings, indexable by term id.
+    pub fn vocab(&self) -> &[String] {
+        &self.vocab
+    }
+
+    /// `p(v | category k)`.
+    pub fn word_dist(&self, k: usize) -> &[f64] {
+        &self.word_dist[k]
+    }
+
+    /// Samples one term id from a *mixture* of categories.
+    pub fn sample_term(&self, mixture: &[f64], rng: &mut impl Rng) -> usize {
+        let k = sample_index(mixture, rng);
+        sample_index(&self.word_dist[k], rng)
+    }
+
+    /// Samples a sparse category mixture: one dominant category plus noise.
+    ///
+    /// Real Q&A questions are mostly single-topic; `dominance` is the mass on
+    /// the primary category (e.g. 0.85).
+    pub fn sample_mixture(&self, dominance: f64, rng: &mut impl Rng) -> Vec<f64> {
+        let k = self.num_categories();
+        let primary = rng.random_range(0..k);
+        let mut m = vec![(1.0 - dominance) / k.max(1) as f64; k];
+        m[primary] += dominance;
+        normalize_in_place(&mut m);
+        m
+    }
+}
+
+/// Samples an index proportional to non-negative `weights`.
+pub fn sample_index(weights: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len().max(1));
+    }
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_distributions() {
+        let ts = TopicSpace::generate(4, 100, 0.9, 1);
+        assert_eq!(ts.num_categories(), 4);
+        assert_eq!(ts.vocab_size(), 100);
+        for k in 0..4 {
+            let s: f64 = ts.word_dist(k).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn categories_concentrate_on_their_blocks() {
+        let ts = TopicSpace::generate(4, 100, 0.9, 2);
+        for k in 0..4 {
+            let block_mass: f64 = ts.word_dist(k)[k * 25..(k + 1) * 25].iter().sum();
+            assert!(block_mass > 0.85, "category {k} block mass {block_mass}");
+        }
+    }
+
+    #[test]
+    fn sampled_terms_respect_category() {
+        let ts = TopicSpace::generate(2, 50, 0.95, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mixture = vec![1.0, 0.0];
+        let mut in_block = 0;
+        for _ in 0..500 {
+            if ts.sample_term(&mixture, &mut rng) < 25 {
+                in_block += 1;
+            }
+        }
+        assert!(in_block > 430, "{in_block}/500 in category-0 block");
+    }
+
+    #[test]
+    fn mixtures_are_sparse_distributions() {
+        let ts = TopicSpace::generate(5, 100, 0.9, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let m = ts.sample_mixture(0.85, &mut rng);
+            let s: f64 = m.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            let max = m.iter().copied().fold(0.0, f64::max);
+            assert!(max > 0.8, "dominant category mass {max}");
+        }
+    }
+
+    #[test]
+    fn vocab_strings_tokenize_cleanly() {
+        let ts = TopicSpace::generate(2, 10, 0.9, 7);
+        for term in ts.vocab() {
+            let toks = crowd_text::tokenize(term);
+            assert_eq!(toks.len(), 1);
+            assert_eq!(&toks[0], term);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TopicSpace::generate(3, 60, 0.9, 9);
+        let b = TopicSpace::generate(3, 60, 0.9, 9);
+        assert_eq!(a.word_dist(0), b.word_dist(0));
+    }
+}

@@ -1,0 +1,257 @@
+//! Synthetic worker population: sparse expertise + power-law activity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+
+/// A generated worker population.
+///
+/// - **Expertise**: every worker has positive skill on all categories (base
+///   competence) plus 1–2 specialties with log-normally distributed
+///   strength. Skills are *not* normalized — the planted truth matches
+///   TDPM's modeling assumption, and the multinomial baselines must cope.
+/// - **Activity**: Zipf-distributed participation weight; a small head of
+///   power users answers most questions, matching the group-size curves in
+///   Figures 3(b)/5(b)/7(b).
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    /// `skills[i][k]` = planted skill of worker `i` on category `k`.
+    skills: Vec<Vec<f64>>,
+    /// Unnormalized activity weights (higher ⇒ answers more questions).
+    activity: Vec<f64>,
+}
+
+impl WorkerPool {
+    /// Generates `num_workers` workers over `num_categories` categories.
+    ///
+    /// `activity_exponent` is the Zipf exponent of the activity ranking.
+    pub fn generate(
+        num_workers: usize,
+        num_categories: usize,
+        activity_exponent: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let specialty_strength = LogNormal::new(1.1, 0.45).expect("valid parameters");
+        let base_strength = LogNormal::new(-1.2, 0.5).expect("valid parameters");
+
+        let skills = (0..num_workers)
+            .map(|_| {
+                let mut s: Vec<f64> = (0..num_categories)
+                    .map(|_| base_strength.sample(&mut rng))
+                    .collect();
+                let num_specialties = if rng.random::<f64>() < 0.35 { 2 } else { 1 };
+                for _ in 0..num_specialties.min(num_categories) {
+                    let k = rng.random_range(0..num_categories);
+                    s[k] += specialty_strength.sample(&mut rng);
+                }
+                s
+            })
+            .collect();
+
+        // Deterministic power law over activity ranks (activity of the
+        // rank-r worker ∝ 1/(r+1)^s), with ranks randomly permuted so worker
+        // id carries no information. A sampled Zipf flattens out at small
+        // populations; the deterministic form keeps the head/tail contrast
+        // at every scale.
+        let mut ranks: Vec<usize> = (0..num_workers).collect();
+        for i in (1..num_workers).rev() {
+            let j = rng.random_range(0..=i);
+            ranks.swap(i, j);
+        }
+        let s = activity_exponent.max(0.01);
+        let activity: Vec<f64> = ranks
+            .iter()
+            .map(|&r| 1.0 / (1.0 + r as f64).powf(s))
+            .collect();
+        WorkerPool { skills, activity }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.skills.len()
+    }
+
+    /// `true` when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.skills.is_empty()
+    }
+
+    /// Planted skill vector of worker `i`.
+    pub fn skill(&self, i: usize) -> &[f64] {
+        &self.skills[i]
+    }
+
+    /// Activity weight of worker `i` (in `(0, 1]`).
+    pub fn activity(&self, i: usize) -> f64 {
+        self.activity[i]
+    }
+
+    /// Planted quality of worker `i` on a task with category `mixture`:
+    /// `skill_i · mixture`.
+    pub fn quality(&self, i: usize, mixture: &[f64]) -> f64 {
+        self.skills[i]
+            .iter()
+            .zip(mixture)
+            .map(|(s, m)| s * m)
+            .sum()
+    }
+
+    /// Applies multiplicative skill drift in place: each skill entry is
+    /// scaled by `exp(rate · z)` with `z ~ Normal(0, 1)`.
+    ///
+    /// Models expertise changing over time (workers learn new areas, go
+    /// stale in old ones) — the workload for the incremental-update
+    /// experiments motivated by the paper's "Incremental Crowd-Selection".
+    pub fn apply_drift(&mut self, rate: f64, rng: &mut impl Rng) {
+        let noise = LogNormal::new(0.0, rate.max(1e-12)).expect("valid parameters");
+        for skill in &mut self.skills {
+            for s in skill.iter_mut() {
+                *s *= noise.sample(rng);
+            }
+        }
+    }
+
+    /// Samples `count` distinct answerers for a task, weighted by
+    /// `activity × exp(affinity_strength × normalized_quality)` — active and
+    /// on-topic workers answer more, like on real platforms.
+    pub fn sample_answerers(
+        &self,
+        mixture: &[f64],
+        count: usize,
+        affinity_strength: f64,
+        rng: &mut impl Rng,
+    ) -> Vec<usize> {
+        let n = self.len();
+        let count = count.min(n);
+        let qualities: Vec<f64> = (0..n).map(|i| self.quality(i, mixture)).collect();
+        let qmax = qualities.iter().copied().fold(f64::MIN, f64::max);
+        let qmin = qualities.iter().copied().fold(f64::MAX, f64::min);
+        let range = (qmax - qmin).max(1e-9);
+        let mut weights: Vec<f64> = (0..n)
+            .map(|i| {
+                let affinity = (qualities[i] - qmin) / range; // ∈ [0,1]
+                self.activity[i] * (affinity_strength * affinity).exp()
+            })
+            .collect();
+
+        let mut chosen = Vec::with_capacity(count);
+        for _ in 0..count {
+            let idx = crate::topics::sample_index(&weights, rng);
+            chosen.push(idx);
+            weights[idx] = 0.0; // without replacement
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skills_are_positive_and_specialized() {
+        let pool = WorkerPool::generate(50, 4, 1.1, 1);
+        assert_eq!(pool.len(), 50);
+        for i in 0..50 {
+            let s = pool.skill(i);
+            assert!(s.iter().all(|&x| x > 0.0));
+            let max = s.iter().copied().fold(0.0, f64::max);
+            let min = s.iter().copied().fold(f64::MAX, f64::min);
+            assert!(max > min, "some specialization exists");
+        }
+    }
+
+    #[test]
+    fn activity_is_heavy_tailed() {
+        let pool = WorkerPool::generate(300, 4, 1.2, 2);
+        let mut acts: Vec<f64> = (0..300).map(|i| pool.activity(i)).collect();
+        acts.sort_by(|a, b| b.total_cmp(a));
+        // The top decile should dwarf the bottom half in total activity.
+        let head: f64 = acts[..30].iter().sum();
+        let tail: f64 = acts[150..].iter().sum();
+        assert!(head > tail, "head {head} vs tail {tail}");
+        assert!(acts.iter().all(|&a| a > 0.0 && a <= 1.0));
+    }
+
+    #[test]
+    fn quality_is_dot_product() {
+        let pool = WorkerPool::generate(5, 3, 1.0, 3);
+        let m = vec![1.0, 0.0, 0.0];
+        assert!((pool.quality(0, &m) - pool.skill(0)[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn answerers_are_distinct_and_skilled() {
+        let pool = WorkerPool::generate(100, 4, 1.0, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mixture = vec![1.0, 0.0, 0.0, 0.0];
+        let mut selected_quality = 0.0;
+        let mut random_quality = 0.0;
+        let rounds = 200;
+        for _ in 0..rounds {
+            let picked = pool.sample_answerers(&mixture, 3, 3.0, &mut rng);
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "distinct answerers");
+            selected_quality += picked
+                .iter()
+                .map(|&i| pool.quality(i, &mixture))
+                .sum::<f64>()
+                / 3.0;
+            random_quality += (0..3)
+                .map(|_| pool.quality(rng.random_range(0..100), &mixture))
+                .sum::<f64>()
+                / 3.0;
+        }
+        assert!(
+            selected_quality > random_quality,
+            "affinity sampling picks better workers: {selected_quality} vs {random_quality}"
+        );
+    }
+
+    #[test]
+    fn requesting_more_answerers_than_workers_clamps() {
+        let pool = WorkerPool::generate(3, 2, 1.0, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let picked = pool.sample_answerers(&[0.5, 0.5], 10, 1.0, &mut rng);
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn drift_changes_skills_but_keeps_them_positive() {
+        let mut pool = WorkerPool::generate(20, 3, 1.0, 8);
+        let before: Vec<f64> = (0..20).map(|i| pool.skill(i)[0]).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        pool.apply_drift(0.3, &mut rng);
+        let mut changed = 0;
+        for (i, prev) in before.iter().enumerate() {
+            let s = pool.skill(i);
+            assert!(s.iter().all(|&x| x > 0.0), "skills stay positive");
+            if (s[0] - prev).abs() > 1e-12 {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 19, "drift moved nearly every worker: {changed}");
+    }
+
+    #[test]
+    fn zero_rate_drift_is_negligible() {
+        let mut pool = WorkerPool::generate(5, 2, 1.0, 8);
+        let before: Vec<f64> = (0..5).map(|i| pool.skill(i)[0]).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        pool.apply_drift(0.0, &mut rng);
+        for (i, prev) in before.iter().enumerate() {
+            assert!((pool.skill(i)[0] - prev).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WorkerPool::generate(10, 3, 1.0, 42);
+        let b = WorkerPool::generate(10, 3, 1.0, 42);
+        assert_eq!(a.skill(5), b.skill(5));
+        assert_eq!(a.activity(5), b.activity(5));
+    }
+}

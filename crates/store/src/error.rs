@@ -1,0 +1,54 @@
+//! Errors for the crowdsourcing database.
+
+use crate::{TaskId, WorkerId};
+use std::fmt;
+
+/// Errors raised by [`crate::CrowdDb`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Referenced a worker id that was never inserted.
+    UnknownWorker(WorkerId),
+    /// Referenced a task id that was never inserted.
+    UnknownTask(TaskId),
+    /// Attempted to record feedback for a pair with no assignment.
+    NotAssigned(WorkerId, TaskId),
+    /// Attempted to assign the same worker to the same task twice.
+    AlreadyAssigned(WorkerId, TaskId),
+    /// Feedback score was NaN or infinite.
+    InvalidScore(f64),
+    /// Snapshot (de)serialization failed.
+    Snapshot(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            StoreError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            StoreError::NotAssigned(w, t) => write!(f, "{w} is not assigned to {t}"),
+            StoreError::AlreadyAssigned(w, t) => write!(f, "{w} already assigned to {t}"),
+            StoreError::InvalidScore(s) => write!(f, "invalid feedback score {s}"),
+            StoreError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            StoreError::UnknownWorker(WorkerId(1)).to_string(),
+            "unknown worker w1"
+        );
+        assert_eq!(
+            StoreError::NotAssigned(WorkerId(2), TaskId(3)).to_string(),
+            "w2 is not assigned to t3"
+        );
+        assert!(StoreError::InvalidScore(f64::NAN).to_string().contains("NaN"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Assignment + feedback entries (the paper's tables `A` and `S`).
+
+use crate::{TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// One `(worker, task)` assignment with its answer and feedback state.
+///
+/// The paper treats `A` (assignment) and `S` (score) as separate matrices;
+/// operationally a score only exists where an assignment does, so the store
+/// keeps one entry per assigned pair and models the not-yet-scored state with
+/// `Option`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Feedback {
+    /// The worker the task was assigned to.
+    pub worker: WorkerId,
+    /// The assigned task.
+    pub task: TaskId,
+    /// Feedback score `s_ij`, if the job has been evaluated.
+    ///
+    /// Semantics depend on the platform: thumbs-up count (Quora / Stack
+    /// Overflow) or best-answer / Jaccard similarity in `[0, 1]` (Yahoo!).
+    pub score: Option<f64>,
+    /// Logical time of the assignment.
+    pub assigned_at: u64,
+}
+
+impl Feedback {
+    /// `true` once a feedback score has been recorded.
+    pub fn is_resolved(&self) -> bool {
+        self.score.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_state() {
+        let mut f = Feedback {
+            worker: WorkerId(0),
+            task: TaskId(0),
+            score: None,
+            assigned_at: 0,
+        };
+        assert!(!f.is_resolved());
+        f.score = Some(3.0);
+        assert!(f.is_resolved());
+    }
+}

@@ -1,0 +1,166 @@
+//! Worker participation groups and task coverage (paper Figs. 3, 5, 7).
+
+use crate::{CrowdDb, TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A group of workers selected by participation threshold.
+///
+/// The paper denotes "the group of workers who solve ≥ n tasks in Quora" as
+/// `Quora_n` (Section 7.3.1; `Quora_1` contains *all* workers, so the
+/// threshold is inclusive).
+#[derive(Debug, Clone)]
+pub struct WorkerGroup {
+    /// Minimum number of resolved tasks required for membership.
+    pub threshold: usize,
+    /// Member ids in ascending order.
+    pub members: Vec<WorkerId>,
+}
+
+/// Summary statistics of a [`WorkerGroup`] against a database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// The participation threshold `n`.
+    pub threshold: usize,
+    /// Number of member workers (Figures 3(b), 5(b), 7(b)).
+    pub size: usize,
+    /// Fraction of distinct tasks solvable by the group
+    /// (Figures 3(a), 5(a), 7(a)).
+    pub coverage: f64,
+}
+
+impl WorkerGroup {
+    /// Extracts the group of workers with ≥ `threshold` resolved tasks.
+    pub fn extract(db: &CrowdDb, threshold: usize) -> Self {
+        let members = db
+            .worker_ids()
+            .filter(|&w| db.worker_task_count(w) >= threshold)
+            .collect();
+        WorkerGroup { threshold, members }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// `true` if `worker` belongs to the group.
+    pub fn contains(&self, worker: WorkerId) -> bool {
+        self.members.binary_search(&worker).is_ok()
+    }
+
+    /// Task coverage: |distinct resolved tasks touched by members| / |tasks|.
+    pub fn coverage(&self, db: &CrowdDb) -> f64 {
+        if db.num_tasks() == 0 {
+            return 0.0;
+        }
+        let mut covered: HashSet<TaskId> = HashSet::new();
+        for &w in &self.members {
+            for (t, score) in db.tasks_of(w) {
+                if score.is_some() {
+                    covered.insert(t);
+                }
+            }
+        }
+        covered.len() as f64 / db.num_tasks() as f64
+    }
+
+    /// Convenience: group stats for Figures 3 / 5 / 7.
+    pub fn stats(&self, db: &CrowdDb) -> GroupStats {
+        GroupStats {
+            threshold: self.threshold,
+            size: self.len(),
+            coverage: self.coverage(db),
+        }
+    }
+}
+
+/// Extracts stats for each threshold in `thresholds` in one sweep.
+pub fn group_stats_sweep(db: &CrowdDb, thresholds: &[usize]) -> Vec<GroupStats> {
+    thresholds
+        .iter()
+        .map(|&n| WorkerGroup::extract(db, n).stats(db))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 workers: w0 resolves 3 tasks, w1 resolves 2, w2 resolves 0.
+    fn db() -> CrowdDb {
+        let mut db = CrowdDb::new();
+        let w: Vec<_> = (0..3).map(|i| db.add_worker(format!("u{i}"))).collect();
+        let t: Vec<_> = (0..4).map(|i| db.add_task(format!("task number {i}"))).collect();
+        for &ti in &t[0..3] {
+            db.assign(w[0], ti).unwrap();
+            db.record_feedback(w[0], ti, 1.0).unwrap();
+        }
+        for &ti in &t[0..2] {
+            db.assign(w[1], ti).unwrap();
+            db.record_feedback(w[1], ti, 1.0).unwrap();
+        }
+        db.assign(w[2], t[3]).unwrap(); // unresolved
+        db
+    }
+
+    #[test]
+    fn threshold_one_includes_active_workers_only() {
+        let db = db();
+        let g = WorkerGroup::extract(&db, 1);
+        assert_eq!(g.members, vec![WorkerId(0), WorkerId(1)]);
+        assert!(g.contains(WorkerId(0)));
+        assert!(!g.contains(WorkerId(2)));
+    }
+
+    #[test]
+    fn threshold_zero_includes_everyone() {
+        let db = db();
+        let g = WorkerGroup::extract(&db, 0);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn higher_thresholds_shrink_monotonically() {
+        let db = db();
+        let sizes: Vec<usize> = (0..=4)
+            .map(|n| WorkerGroup::extract(&db, n).len())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "sizes must be non-increasing: {sizes:?}");
+        }
+        assert_eq!(sizes, vec![3, 2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn coverage_counts_distinct_resolved_tasks() {
+        let db = db();
+        // Group {w0, w1} resolved tasks {0,1,2} of 4 → 0.75.
+        let g = WorkerGroup::extract(&db, 1);
+        assert!((g.coverage(&db) - 0.75).abs() < 1e-12);
+        // Group {w0} also covers {0,1,2} → same coverage with fewer workers.
+        let g3 = WorkerGroup::extract(&db, 3);
+        assert!((g3.coverage(&db) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_of_empty_db_is_zero() {
+        let db = CrowdDb::new();
+        let g = WorkerGroup::extract(&db, 0);
+        assert_eq!(g.coverage(&db), 0.0);
+    }
+
+    #[test]
+    fn sweep_matches_individual_extraction() {
+        let db = db();
+        let sweep = group_stats_sweep(&db, &[1, 2, 3]);
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0], WorkerGroup::extract(&db, 1).stats(&db));
+        assert_eq!(sweep[2].size, 1);
+    }
+}

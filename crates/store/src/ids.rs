@@ -1,0 +1,61 @@
+//! Dense identifiers for workers and tasks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a worker (`w_i` in the paper). Dense: assigned 0, 1, 2, …
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+/// Identifier of a crowdsourced task (`t_j` in the paper). Dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl WorkerId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TaskId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(WorkerId(3).to_string(), "w3");
+        assert_eq!(TaskId(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(WorkerId(1) < WorkerId(2));
+        assert!(TaskId(0) < TaskId(10));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(WorkerId(42).index(), 42);
+        assert_eq!(TaskId(42).index(), 42);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! The crowdsourcing database.
+//!
+//! The paper (Figure 1) centres on a *crowd database* that "supports crowd
+//! insertion, crowd update and crowd retrieval" and stores the four tables of
+//! Figure 2:
+//!
+//! | Paper table | Here |
+//! |---|---|
+//! | `T` — tasks as bags of vocabularies | [`TaskRecord`] in [`CrowdDb::tasks`] |
+//! | `W` — worker latent skills | owned by the model crates; the store keeps the worker roster ([`WorkerRecord`]) |
+//! | `A` — binary task assignment | adjacency lists inside [`CrowdDb`] |
+//! | `S` — feedback scores | [`Feedback`] entries inside [`CrowdDb`] |
+//!
+//! The store also tracks answers (needed to derive Yahoo!-style feedback from
+//! best answers), an online-worker registry for the selection path, and
+//! participation groups / task coverage (Figures 3, 5, 7).
+//!
+//! [`CrowdDb`] is a single-writer structure; [`SharedCrowdDb`] wraps it in a
+//! `parking_lot::RwLock` for the concurrent platform pipeline.
+
+pub mod db;
+pub mod error;
+pub mod feedback;
+pub mod groups;
+pub mod ids;
+pub mod online;
+pub mod shared;
+pub mod snapshot;
+pub mod task;
+pub mod wal;
+pub mod worker;
+
+pub use db::{CrowdDb, ResolvedTask};
+pub use error::StoreError;
+pub use feedback::Feedback;
+pub use groups::{GroupStats, WorkerGroup};
+pub use ids::{TaskId, WorkerId};
+pub use online::OnlineRegistry;
+pub use shared::SharedCrowdDb;
+pub use task::TaskRecord;
+pub use wal::LoggedDb;
+pub use worker::WorkerRecord;
+
+/// Convenience result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,85 @@
+//! Online-worker registry.
+//!
+//! The crowd manager "returns the workers online as the candidate crowd"
+//! (paper Section 2) — selection only ranks workers who are currently
+//! available. This registry tracks that availability.
+
+use crate::WorkerId;
+use std::collections::BTreeSet;
+
+/// Tracks which workers are currently online.
+///
+/// Backed by a `BTreeSet` so `online_workers` iterates in a deterministic
+/// order — determinism matters for reproducible experiments.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineRegistry {
+    online: BTreeSet<WorkerId>,
+}
+
+impl OnlineRegistry {
+    /// Creates an empty registry (everyone offline).
+    pub fn new() -> Self {
+        OnlineRegistry::default()
+    }
+
+    /// Marks a worker online. Returns `true` if they were offline before.
+    pub fn set_online(&mut self, worker: WorkerId) -> bool {
+        self.online.insert(worker)
+    }
+
+    /// Marks a worker offline. Returns `true` if they were online before.
+    pub fn set_offline(&mut self, worker: WorkerId) -> bool {
+        self.online.remove(&worker)
+    }
+
+    /// `true` if the worker is currently online.
+    pub fn is_online(&self, worker: WorkerId) -> bool {
+        self.online.contains(&worker)
+    }
+
+    /// Number of online workers.
+    pub fn len(&self) -> usize {
+        self.online.len()
+    }
+
+    /// `true` when nobody is online.
+    pub fn is_empty(&self) -> bool {
+        self.online.is_empty()
+    }
+
+    /// Iterates online workers in ascending id order.
+    pub fn online_workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        self.online.iter().copied()
+    }
+
+    /// Marks every worker in `workers` online.
+    pub fn set_all_online(&mut self, workers: impl IntoIterator<Item = WorkerId>) {
+        self.online.extend(workers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_offline_transitions() {
+        let mut reg = OnlineRegistry::new();
+        assert!(!reg.is_online(WorkerId(1)));
+        assert!(reg.set_online(WorkerId(1)));
+        assert!(!reg.set_online(WorkerId(1)), "second insert is a no-op");
+        assert!(reg.is_online(WorkerId(1)));
+        assert!(reg.set_offline(WorkerId(1)));
+        assert!(!reg.set_offline(WorkerId(1)));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut reg = OnlineRegistry::new();
+        reg.set_all_online([WorkerId(5), WorkerId(1), WorkerId(3)]);
+        let ids: Vec<u32> = reg.online_workers().map(|w| w.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert_eq!(reg.len(), 3);
+    }
+}

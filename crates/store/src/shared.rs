@@ -1,0 +1,90 @@
+//! Thread-safe wrapper around [`CrowdDb`].
+
+use crate::CrowdDb;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle to a [`CrowdDb`].
+///
+/// Reads (selection-path lookups) take a shared lock; writes (new tasks,
+/// assignments, feedback) take an exclusive lock. The platform pipeline
+/// holds one of these per component.
+#[derive(Clone, Default)]
+pub struct SharedCrowdDb {
+    inner: Arc<RwLock<CrowdDb>>,
+}
+
+impl SharedCrowdDb {
+    /// Wraps a database.
+    pub fn new(db: CrowdDb) -> Self {
+        SharedCrowdDb {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, CrowdDb> {
+        self.inner.read()
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, CrowdDb> {
+        self.inner.write()
+    }
+
+    /// Runs a closure under the read lock.
+    pub fn with_read<T>(&self, f: impl FnOnce(&CrowdDb) -> T) -> T {
+        f(&self.read())
+    }
+
+    /// Runs a closure under the write lock.
+    pub fn with_write<T>(&self, f: impl FnOnce(&mut CrowdDb) -> T) -> T {
+        f(&mut self.write())
+    }
+}
+
+impl std::fmt::Debug for SharedCrowdDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let db = self.read();
+        f.debug_struct("SharedCrowdDb")
+            .field("workers", &db.num_workers())
+            .field("tasks", &db.num_tasks())
+            .field("assignments", &db.num_assignments())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn concurrent_reads_and_writes() {
+        let shared = SharedCrowdDb::new(CrowdDb::new());
+        let w = shared.with_write(|db| db.add_worker("a"));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let s = shared.clone();
+                thread::spawn(move || {
+                    let t = s.with_write(|db| db.add_task(format!("task {i}")));
+                    s.with_write(|db| db.assign(w, t)).unwrap();
+                    s.with_read(|db| db.num_tasks())
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap() >= 1);
+        }
+        assert_eq!(shared.read().num_tasks(), 4);
+        assert_eq!(shared.read().num_assignments(), 4);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedCrowdDb::new(CrowdDb::new());
+        let b = a.clone();
+        a.with_write(|db| db.add_worker("x"));
+        assert_eq!(b.read().num_workers(), 1);
+    }
+}

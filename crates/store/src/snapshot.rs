@@ -1,0 +1,158 @@
+//! JSON snapshots of the crowd database.
+//!
+//! Snapshots make generated datasets reproducible artefacts: an experiment
+//! can persist the exact `(T, A, S)` triple it trained on and reload it
+//! later. Tuple-keyed maps are flattened to entry lists because JSON objects
+//! require string keys.
+
+use crate::{CrowdDb, Feedback, Result, StoreError, TaskId, TaskRecord, WorkerId, WorkerRecord};
+use crowd_text::{BagOfWords, Vocabulary};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Flat, serde-friendly image of a [`CrowdDb`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    vocab: Vocabulary,
+    workers: Vec<WorkerRecord>,
+    tasks: Vec<TaskRecord>,
+    entries: Vec<Feedback>,
+    answers: Vec<(WorkerId, TaskId, BagOfWords)>,
+    clock: u64,
+}
+
+impl Snapshot {
+    /// Captures the current state of `db`.
+    pub fn capture(db: &CrowdDb) -> Self {
+        let mut answers: Vec<(WorkerId, TaskId, BagOfWords)> = db
+            .answers_map()
+            .iter()
+            .map(|(&(w, t), bag)| (w, t, bag.clone()))
+            .collect();
+        answers.sort_unstable_by_key(|&(w, t, _)| (w, t));
+        Snapshot {
+            vocab: db.vocab().clone(),
+            workers: db.worker_ids().map(|w| db.worker(w).unwrap().clone()).collect(),
+            tasks: db.task_ids().map(|t| db.task(t).unwrap().clone()).collect(),
+            entries: db.entries().to_vec(),
+            answers,
+            clock: db.clock(),
+        }
+    }
+
+    /// Rebuilds a database (indexes are reconstructed).
+    pub fn restore(mut self) -> CrowdDb {
+        self.vocab.rebuild_index();
+        let answers: HashMap<(WorkerId, TaskId), BagOfWords> = self
+            .answers
+            .into_iter()
+            .map(|(w, t, bag)| ((w, t), bag))
+            .collect();
+        CrowdDb::restore(
+            self.vocab,
+            self.workers,
+            self.tasks,
+            self.entries,
+            answers,
+            self.clock,
+        )
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| StoreError::Snapshot(e.to_string()))
+    }
+
+    /// Parses from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| StoreError::Snapshot(e.to_string()))
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| StoreError::Snapshot(e.to_string()))
+    }
+
+    /// Reads a snapshot from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        Snapshot::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_db() -> CrowdDb {
+        let mut db = CrowdDb::new();
+        let w0 = db.add_worker("alice");
+        let w1 = db.add_worker("bob");
+        let t0 = db.add_task("b+ tree vs b tree");
+        let t1 = db.add_task("variational inference basics");
+        db.assign(w0, t0).unwrap();
+        db.assign(w1, t0).unwrap();
+        db.assign(w0, t1).unwrap();
+        db.record_feedback(w0, t0, 4.0).unwrap();
+        db.record_answer(w1, t0, "prefer b+ trees for range queries").unwrap();
+        db
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let db = populated_db();
+        let snap = Snapshot::capture(&db);
+        let json = snap.to_json().unwrap();
+        let restored = Snapshot::from_json(&json).unwrap().restore();
+
+        assert_eq!(restored.num_workers(), db.num_workers());
+        assert_eq!(restored.num_tasks(), db.num_tasks());
+        assert_eq!(restored.num_assignments(), db.num_assignments());
+        assert_eq!(restored.num_resolved(), db.num_resolved());
+        assert_eq!(restored.clock(), db.clock());
+        assert_eq!(
+            restored.feedback(WorkerId(0), TaskId(0)),
+            db.feedback(WorkerId(0), TaskId(0))
+        );
+        assert_eq!(
+            restored.answer(WorkerId(1), TaskId(0)),
+            db.answer(WorkerId(1), TaskId(0))
+        );
+        // Vocabulary index is rebuilt: interning an existing word resolves.
+        assert_eq!(restored.vocab().get("tree"), db.vocab().get("tree"));
+    }
+
+    #[test]
+    fn restored_db_accepts_new_writes() {
+        let db = populated_db();
+        let mut restored = Snapshot::capture(&db).restore();
+        let w = restored.add_worker("carol");
+        let t = restored.add_task("brand new question");
+        restored.assign(w, t).unwrap();
+        restored.record_feedback(w, t, 2.0).unwrap();
+        assert_eq!(restored.feedback(w, t), Some(2.0));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = populated_db();
+        let dir = std::env::temp_dir().join("crowd_store_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        Snapshot::capture(&db).save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap().restore();
+        assert_eq!(back.num_tasks(), db.num_tasks());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(matches!(
+            Snapshot::from_json("{not json"),
+            Err(StoreError::Snapshot(_))
+        ));
+    }
+}

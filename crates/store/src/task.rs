@@ -1,0 +1,43 @@
+//! Task records: text plus its bag-of-vocabularies representation.
+
+use crowd_text::BagOfWords;
+use serde::{Deserialize, Serialize};
+
+/// A stored crowdsourced task.
+///
+/// The raw text is retained for display and for re-tokenization under a
+/// different vocabulary; all inference operates on the [`BagOfWords`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Original question / task text.
+    pub text: String,
+    /// Sparse token counts over the store's vocabulary.
+    pub bow: BagOfWords,
+    /// Logical insertion time (monotone counter maintained by the store).
+    pub created_at: u64,
+}
+
+impl TaskRecord {
+    /// Total token count `L` of the task.
+    pub fn num_tokens(&self) -> u64 {
+        self.bow.total_tokens()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_text::{tokenize, Vocabulary};
+
+    #[test]
+    fn num_tokens_delegates_to_bow() {
+        let mut v = Vocabulary::new();
+        let bow = BagOfWords::from_tokens(&tokenize("b tree b tree"), &mut v);
+        let rec = TaskRecord {
+            text: "b tree b tree".into(),
+            bow,
+            created_at: 0,
+        };
+        assert_eq!(rec.num_tokens(), 4);
+    }
+}

@@ -1,0 +1,362 @@
+//! Write-ahead logging: a durable, replayable operation log for the
+//! crowd database.
+//!
+//! The in-memory [`CrowdDb`] is the paper's "crowd databases" box; real
+//! deployments need it to survive restarts. [`LoggedDb`] writes every
+//! mutation as one JSON line to an append-only log *before* applying it
+//! (WAL ordering), and [`replay`] rebuilds the database from the log —
+//! tolerating a torn final line from a crash mid-append.
+
+use crate::{CrowdDb, Result, StoreError, TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Register a worker.
+    AddWorker {
+        /// Display handle.
+        handle: String,
+    },
+    /// Insert a task from raw text.
+    AddTask {
+        /// Task text (re-tokenized on replay).
+        text: String,
+    },
+    /// Assign a task to a worker.
+    Assign {
+        /// The worker.
+        worker: WorkerId,
+        /// The task.
+        task: TaskId,
+    },
+    /// Record a feedback score.
+    Feedback {
+        /// The worker.
+        worker: WorkerId,
+        /// The task.
+        task: TaskId,
+        /// The score.
+        score: f64,
+    },
+    /// Record an answer text.
+    Answer {
+        /// The worker.
+        worker: WorkerId,
+        /// The task.
+        task: TaskId,
+        /// Answer text.
+        text: String,
+    },
+}
+
+/// Applies one operation to a database.
+pub fn apply(db: &mut CrowdDb, op: &Op) -> Result<()> {
+    match op {
+        Op::AddWorker { handle } => {
+            db.add_worker(handle.clone());
+            Ok(())
+        }
+        Op::AddTask { text } => {
+            db.add_task(text.clone());
+            Ok(())
+        }
+        Op::Assign { worker, task } => db.assign(*worker, *task),
+        Op::Feedback {
+            worker,
+            task,
+            score,
+        } => db.record_feedback(*worker, *task, *score),
+        Op::Answer { worker, task, text } => db.record_answer(*worker, *task, text),
+    }
+}
+
+/// Rebuilds a database by replaying a log file.
+///
+/// A torn (non-JSON) *final* line is ignored — that is the expected state
+/// after a crash during an append. A malformed line anywhere else is data
+/// corruption and errors out.
+pub fn replay(path: impl AsRef<Path>) -> Result<CrowdDb> {
+    let file = File::open(path).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+    let reader = BufReader::new(file);
+    let mut db = CrowdDb::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A previously unparseable line followed by more content means real
+        // corruption, not a torn tail.
+        if let Some((bad_line, _)) = pending.take() {
+            return Err(StoreError::Snapshot(format!(
+                "corrupt WAL entry at line {}",
+                bad_line + 1
+            )));
+        }
+        match serde_json::from_str::<Op>(&line) {
+            Ok(op) => apply(&mut db, &op)?,
+            Err(_) => pending = Some((lineno, line)),
+        }
+    }
+    // `pending` here = torn final line → ignored by design.
+    Ok(db)
+}
+
+/// A crowd database with write-ahead logging.
+///
+/// Mutations are appended (and flushed) to the log before touching the
+/// in-memory state, so a crash between the two replays cleanly.
+pub struct LoggedDb {
+    db: CrowdDb,
+    log: BufWriter<File>,
+}
+
+impl LoggedDb {
+    /// Opens (or creates) a log at `path`, replaying any existing entries.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let db = if path.exists() {
+            replay(path)?
+        } else {
+            CrowdDb::new()
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        Ok(LoggedDb {
+            db,
+            log: BufWriter::new(file),
+        })
+    }
+
+    /// Read access to the database.
+    pub fn db(&self) -> &CrowdDb {
+        &self.db
+    }
+
+    /// Registers a worker (logged).
+    pub fn add_worker(&mut self, handle: impl Into<String>) -> Result<WorkerId> {
+        let handle = handle.into();
+        self.append(&Op::AddWorker {
+            handle: handle.clone(),
+        })?;
+        Ok(self.db.add_worker(handle))
+    }
+
+    /// Inserts a task (logged).
+    pub fn add_task(&mut self, text: impl Into<String>) -> Result<TaskId> {
+        let text = text.into();
+        self.append(&Op::AddTask { text: text.clone() })?;
+        Ok(self.db.add_task(text))
+    }
+
+    /// Assigns a task (logged).
+    pub fn assign(&mut self, worker: WorkerId, task: TaskId) -> Result<()> {
+        // Validate against in-memory state *before* logging: a rejected
+        // operation must not pollute the log.
+        if !(worker.index() < self.db.num_workers() && task.index() < self.db.num_tasks()) {
+            return self.db.assign(worker, task); // yields the right error
+        }
+        if self.db.is_assigned(worker, task) {
+            return Err(StoreError::AlreadyAssigned(worker, task));
+        }
+        self.append(&Op::Assign { worker, task })?;
+        self.db.assign(worker, task)
+    }
+
+    /// Records feedback (logged).
+    pub fn record_feedback(&mut self, worker: WorkerId, task: TaskId, score: f64) -> Result<()> {
+        if !score.is_finite() {
+            return Err(StoreError::InvalidScore(score));
+        }
+        if !self.db.is_assigned(worker, task) {
+            return Err(StoreError::NotAssigned(worker, task));
+        }
+        self.append(&Op::Feedback {
+            worker,
+            task,
+            score,
+        })?;
+        self.db.record_feedback(worker, task, score)
+    }
+
+    /// Records an answer (logged).
+    pub fn record_answer(&mut self, worker: WorkerId, task: TaskId, text: &str) -> Result<()> {
+        if !self.db.is_assigned(worker, task) {
+            return Err(StoreError::NotAssigned(worker, task));
+        }
+        self.append(&Op::Answer {
+            worker,
+            task,
+            text: text.to_owned(),
+        })?;
+        self.db.record_answer(worker, task, text)
+    }
+
+    /// Flushes buffered log entries to the OS.
+    pub fn flush(&mut self) -> Result<()> {
+        self.log
+            .flush()
+            .map_err(|e| StoreError::Snapshot(e.to_string()))
+    }
+
+    fn append(&mut self, op: &Op) -> Result<()> {
+        let line = serde_json::to_string(op).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        self.log
+            .write_all(line.as_bytes())
+            .and_then(|()| self.log.write_all(b"\n"))
+            .and_then(|()| self.log.flush())
+            .map_err(|e| StoreError::Snapshot(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("crowd_store_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}_{}.log", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    fn populate(logged: &mut LoggedDb) {
+        let w0 = logged.add_worker("ada").unwrap();
+        let w1 = logged.add_worker("carl").unwrap();
+        let t0 = logged.add_task("btree page split").unwrap();
+        let t1 = logged.add_task("gaussian prior variance").unwrap();
+        logged.assign(w0, t0).unwrap();
+        logged.assign(w1, t1).unwrap();
+        logged.record_feedback(w0, t0, 4.0).unwrap();
+        logged.record_feedback(w1, t1, 3.0).unwrap();
+        logged.record_answer(w0, t0, "split at the median").unwrap();
+    }
+
+    #[test]
+    fn replay_reproduces_the_database() {
+        let path = temp_log("replay");
+        {
+            let mut logged = LoggedDb::open(&path).unwrap();
+            populate(&mut logged);
+        }
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.num_workers(), 2);
+        assert_eq!(replayed.num_tasks(), 2);
+        assert_eq!(replayed.num_resolved(), 2);
+        assert_eq!(replayed.feedback(WorkerId(0), TaskId(0)), Some(4.0));
+        assert!(replayed.answer(WorkerId(0), TaskId(0)).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopening_continues_the_log() {
+        let path = temp_log("reopen");
+        {
+            let mut logged = LoggedDb::open(&path).unwrap();
+            populate(&mut logged);
+        }
+        {
+            let mut logged = LoggedDb::open(&path).unwrap();
+            assert_eq!(logged.db().num_workers(), 2, "state recovered");
+            let w2 = logged.add_worker("newbie").unwrap();
+            assert_eq!(w2, WorkerId(2), "ids continue densely");
+        }
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.num_workers(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated() {
+        let path = temp_log("torn");
+        {
+            let mut logged = LoggedDb::open(&path).unwrap();
+            populate(&mut logged);
+        }
+        // Simulate a crash mid-append.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"Feedback\":{\"worker\":0,\"ta").unwrap();
+        drop(file);
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.num_workers(), 2, "intact prefix replays");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_in_the_middle_errors() {
+        let path = temp_log("corrupt");
+        {
+            let mut logged = LoggedDb::open(&path).unwrap();
+            populate(&mut logged);
+        }
+        // Corrupt a middle line.
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = content.lines().collect();
+        lines[1] = "GARBAGE NOT JSON";
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let err = replay(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Snapshot(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejected_operations_do_not_pollute_the_log() {
+        let path = temp_log("reject");
+        {
+            let mut logged = LoggedDb::open(&path).unwrap();
+            let w = logged.add_worker("a").unwrap();
+            let t = logged.add_task("x").unwrap();
+            logged.assign(w, t).unwrap();
+            assert!(logged.assign(w, t).is_err(), "double assign rejected");
+            assert!(logged
+                .record_feedback(w, TaskId(99), 1.0)
+                .is_err());
+            assert!(logged.record_feedback(w, t, f64::NAN).is_err());
+            assert!(logged.record_answer(WorkerId(9), t, "hi").is_err());
+        }
+        // Replay must succeed (no bad entries made it to disk).
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.num_assignments(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn op_serde_roundtrip() {
+        let ops = vec![
+            Op::AddWorker { handle: "x".into() },
+            Op::AddTask { text: "y z".into() },
+            Op::Assign {
+                worker: WorkerId(1),
+                task: TaskId(2),
+            },
+            Op::Feedback {
+                worker: WorkerId(1),
+                task: TaskId(2),
+                score: 2.5,
+            },
+            Op::Answer {
+                worker: WorkerId(1),
+                task: TaskId(2),
+                text: "a".into(),
+            },
+        ];
+        for op in ops {
+            let json = serde_json::to_string(&op).unwrap();
+            let back: Op = serde_json::from_str(&json).unwrap();
+            assert_eq!(op, back);
+        }
+    }
+
+    #[test]
+    fn replay_of_missing_file_errors() {
+        assert!(replay("/nonexistent/path/to.log").is_err());
+    }
+}

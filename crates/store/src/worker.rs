@@ -1,0 +1,31 @@
+//! Worker roster records.
+
+use serde::{Deserialize, Serialize};
+
+/// A registered crowd worker.
+///
+/// Latent skills live in the model crates (they are *inferred*, not stored
+/// facts); the store keeps the durable roster data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerRecord {
+    /// Display handle (platform username).
+    pub handle: String,
+    /// Logical registration time.
+    pub joined_at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip() {
+        let w = WorkerRecord {
+            handle: "ada".into(),
+            joined_at: 7,
+        };
+        let json = serde_json::to_string(&w).unwrap();
+        let back: WorkerRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the crowd database.
+
+use crowd_store::{CrowdDb, StoreError, TaskId, WorkerId};
+use proptest::prelude::*;
+
+/// A random sequence of valid operations on a small db.
+#[derive(Debug, Clone)]
+enum Op {
+    AddWorker,
+    AddTask,
+    Assign(u32, u32),
+    Feedback(u32, u32, f64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Op::AddWorker),
+            Just(Op::AddTask),
+            (0u32..8, 0u32..8).prop_map(|(w, t)| Op::Assign(w, t)),
+            (0u32..8, 0u32..8, 0.0f64..10.0).prop_map(|(w, t, s)| Op::Feedback(w, t, s)),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    /// Whatever sequence of operations runs, the secondary indexes stay
+    /// consistent with the primary data.
+    #[test]
+    fn indexes_always_consistent(ops in arb_ops()) {
+        let mut db = CrowdDb::new();
+        let mut expected_pairs: Vec<(WorkerId, TaskId)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::AddWorker => {
+                    db.add_worker("w");
+                }
+                Op::AddTask => {
+                    db.add_task("some question text here");
+                }
+                Op::Assign(w, t) => {
+                    let (w, t) = (WorkerId(w), TaskId(t));
+                    let fresh = w.index() < db.num_workers()
+                        && t.index() < db.num_tasks()
+                        && !db.is_assigned(w, t);
+                    match db.assign(w, t) {
+                        Ok(()) => {
+                            prop_assert!(fresh);
+                            expected_pairs.push((w, t));
+                        }
+                        Err(_) => prop_assert!(!fresh),
+                    }
+                }
+                Op::Feedback(w, t, s) => {
+                    let (w, t) = (WorkerId(w), TaskId(t));
+                    let assigned = db.is_assigned(w, t);
+                    match db.record_feedback(w, t, s) {
+                        Ok(()) => {
+                            prop_assert!(assigned);
+                            prop_assert_eq!(db.feedback(w, t), Some(s));
+                        }
+                        Err(e) => {
+                            prop_assert!(!assigned, "unexpected error {e}");
+                        }
+                    }
+                }
+            }
+        }
+
+        // Assignment count matches what succeeded.
+        prop_assert_eq!(db.num_assignments(), expected_pairs.len());
+        // Both directions of the index agree with the pair list.
+        for &(w, t) in &expected_pairs {
+            prop_assert!(db.tasks_of(w).any(|(tt, _)| tt == t));
+            prop_assert!(db.workers_of(t).any(|(ww, _)| ww == w));
+        }
+        // resolved_tasks is exactly the set of scored pairs grouped by task.
+        let resolved_pairs: usize = db.resolved_tasks().iter().map(|rt| rt.scores.len()).sum();
+        prop_assert_eq!(resolved_pairs, db.num_resolved());
+    }
+
+    /// Snapshot round-trips preserve observable state for arbitrary dbs.
+    #[test]
+    fn snapshot_roundtrip(ops in arb_ops()) {
+        let mut db = CrowdDb::new();
+        for op in ops {
+            match op {
+                Op::AddWorker => { db.add_worker("w"); }
+                Op::AddTask => { db.add_task("alpha beta gamma delta"); }
+                Op::Assign(w, t) => { let _ = db.assign(WorkerId(w), TaskId(t)); }
+                Op::Feedback(w, t, s) => {
+                    let _ = db.record_feedback(WorkerId(w), TaskId(t), s);
+                }
+            }
+        }
+        let snap = crowd_store::snapshot::Snapshot::capture(&db);
+        let restored = crowd_store::snapshot::Snapshot::from_json(&snap.to_json().unwrap())
+            .unwrap()
+            .restore();
+        prop_assert_eq!(restored.num_workers(), db.num_workers());
+        prop_assert_eq!(restored.num_tasks(), db.num_tasks());
+        prop_assert_eq!(restored.num_assignments(), db.num_assignments());
+        prop_assert_eq!(restored.num_resolved(), db.num_resolved());
+        for w in db.worker_ids() {
+            for (t, s) in db.tasks_of(w) {
+                prop_assert_eq!(restored.feedback(w, t), s);
+            }
+        }
+    }
+
+    /// Feedback scores must be finite; NaN/inf are always rejected and leave
+    /// no trace.
+    #[test]
+    fn invalid_scores_never_stored(bad in prop_oneof![
+        Just(f64::NAN), Just(f64::INFINITY), Just(f64::NEG_INFINITY)
+    ]) {
+        let mut db = CrowdDb::new();
+        let w = db.add_worker("w");
+        let t = db.add_task("q");
+        db.assign(w, t).unwrap();
+        let r = db.record_feedback(w, t, bad);
+        prop_assert!(matches!(r, Err(StoreError::InvalidScore(_))));
+        prop_assert_eq!(db.feedback(w, t), None);
+        prop_assert_eq!(db.num_resolved(), 0);
+    }
+
+    /// Worker groups are nested: group(n+1) ⊆ group(n), and coverage is
+    /// monotone non-increasing.
+    #[test]
+    fn groups_are_nested(ops in arb_ops()) {
+        let mut db = CrowdDb::new();
+        for op in ops {
+            match op {
+                Op::AddWorker => { db.add_worker("w"); }
+                Op::AddTask => { db.add_task("q r s"); }
+                Op::Assign(w, t) => { let _ = db.assign(WorkerId(w), TaskId(t)); }
+                Op::Feedback(w, t, s) => {
+                    let _ = db.record_feedback(WorkerId(w), TaskId(t), s);
+                }
+            }
+        }
+        use crowd_store::WorkerGroup;
+        let mut prev: Option<WorkerGroup> = None;
+        for n in 0..5 {
+            let g = WorkerGroup::extract(&db, n);
+            if let Some(p) = &prev {
+                for &m in &g.members {
+                    prop_assert!(p.contains(m), "group({n}) ⊆ group({})", n - 1);
+                }
+                prop_assert!(g.coverage(&db) <= p.coverage(&db) + 1e-12);
+            }
+            prev = Some(g);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Sparse bag-of-words counts over interned terms.
+
+use crate::{TermId, Vocabulary};
+use serde::{Deserialize, Serialize};
+
+/// A sparse term-count vector, sorted by [`TermId`].
+///
+/// This is the paper's task representation `t_j = {(v_p, #v_p)}`
+/// (Section 4.1.1). Entries are kept sorted so that merge-style operations
+/// (cosine, Jaccard, union) run in linear time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BagOfWords {
+    entries: Vec<(TermId, u32)>,
+}
+
+impl BagOfWords {
+    /// An empty bag.
+    pub fn new() -> Self {
+        BagOfWords::default()
+    }
+
+    /// Builds a bag from raw tokens, interning each through `vocab`.
+    ///
+    /// Tokens the vocabulary rejects (frozen + unseen) are silently skipped —
+    /// exactly the behaviour the incremental projection path needs.
+    pub fn from_tokens<S: AsRef<str>>(tokens: &[S], vocab: &mut Vocabulary) -> Self {
+        let mut ids: Vec<TermId> = tokens
+            .iter()
+            .filter_map(|t| vocab.intern(t.as_ref()))
+            .collect();
+        ids.sort_unstable();
+        let mut entries: Vec<(TermId, u32)> = Vec::new();
+        for id in ids {
+            match entries.last_mut() {
+                Some((last, count)) if *last == id => *count += 1,
+                _ => entries.push((id, 1)),
+            }
+        }
+        BagOfWords { entries }
+    }
+
+    /// Builds a bag from raw tokens against a *read-only* vocabulary:
+    /// unknown tokens are skipped, nothing is interned.
+    ///
+    /// This is the query path — ranking a prospective task must not mutate
+    /// the database's vocabulary.
+    pub fn from_known_tokens<S: AsRef<str>>(tokens: &[S], vocab: &Vocabulary) -> Self {
+        BagOfWords::from_counts(
+            tokens
+                .iter()
+                .filter_map(|t| vocab.get(t.as_ref()))
+                .map(|id| (id, 1))
+                .collect(),
+        )
+    }
+
+    /// Builds a bag from `(TermId, count)` pairs (need not be sorted; counts
+    /// for duplicate ids are summed, zero counts dropped).
+    pub fn from_counts(mut pairs: Vec<(TermId, u32)>) -> Self {
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let mut entries: Vec<(TermId, u32)> = Vec::new();
+        for (id, c) in pairs {
+            if c == 0 {
+                continue;
+            }
+            match entries.last_mut() {
+                Some((last, count)) if *last == id => *count += c,
+                _ => entries.push((id, c)),
+            }
+        }
+        BagOfWords { entries }
+    }
+
+    /// Number of distinct terms.
+    pub fn distinct_terms(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total token count `L = Σ #v_p`.
+    pub fn total_tokens(&self) -> u64 {
+        self.entries.iter().map(|&(_, c)| c as u64).sum()
+    }
+
+    /// `true` when the bag holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Count for a specific term (0 when absent).
+    pub fn count(&self, id: TermId) -> u32 {
+        match self.entries.binary_search_by_key(&id, |&(t, _)| t) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterates `(TermId, count)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Merges another bag into this one (counts add).
+    pub fn merge(&mut self, other: &BagOfWords) {
+        if other.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, ca) = self.entries[i];
+            let (b, cb) = other.entries[j];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    merged.push((a, ca));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((b, cb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((a, ca + cb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.entries[i..]);
+        merged.extend_from_slice(&other.entries[j..]);
+        self.entries = merged;
+    }
+
+    /// L2 norm of the count vector.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, c)| (c as f64) * (c as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl FromIterator<(TermId, u32)> for BagOfWords {
+    fn from_iter<I: IntoIterator<Item = (TermId, u32)>>(iter: I) -> Self {
+        BagOfWords::from_counts(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    fn bag(text: &str) -> (BagOfWords, Vocabulary) {
+        let mut v = Vocabulary::new();
+        let toks = tokenize(text);
+        let b = BagOfWords::from_tokens(&toks, &mut v);
+        (b, v)
+    }
+
+    #[test]
+    fn paper_example_counts() {
+        // "advantage, B, B+, over, tree×2, what" per the paper's Section 4.1.1.
+        let (b, v) = bag("What advantage B+ tree over B tree");
+        assert_eq!(b.total_tokens(), 7);
+        assert_eq!(b.distinct_terms(), 6);
+        let tree = v.get("tree").unwrap();
+        assert_eq!(b.count(tree), 2);
+        let bplus = v.get("b+").unwrap();
+        assert_eq!(b.count(bplus), 1);
+    }
+
+    #[test]
+    fn entries_sorted_by_id() {
+        let (b, _) = bag("z a m a z z");
+        let ids: Vec<u32> = b.iter().map(|(t, _)| t.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn from_counts_dedupes_and_drops_zeros() {
+        let b = BagOfWords::from_counts(vec![
+            (TermId(2), 1),
+            (TermId(0), 3),
+            (TermId(2), 2),
+            (TermId(5), 0),
+        ]);
+        assert_eq!(b.distinct_terms(), 2);
+        assert_eq!(b.count(TermId(2)), 3);
+        assert_eq!(b.count(TermId(0)), 3);
+        assert_eq!(b.count(TermId(5)), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = BagOfWords::from_counts(vec![(TermId(0), 1), (TermId(2), 2)]);
+        let b = BagOfWords::from_counts(vec![(TermId(1), 5), (TermId(2), 1)]);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(TermId(0)), 1);
+        assert_eq!(m.count(TermId(1)), 5);
+        assert_eq!(m.count(TermId(2)), 3);
+        assert_eq!(m.total_tokens(), a.total_tokens() + b.total_tokens());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = BagOfWords::from_counts(vec![(TermId(3), 2)]);
+        let mut m = a.clone();
+        m.merge(&BagOfWords::new());
+        assert_eq!(m, a);
+        let mut e = BagOfWords::new();
+        e.merge(&a);
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn from_known_tokens_never_interns() {
+        let mut v = Vocabulary::new();
+        v.intern("tree");
+        let before = v.len();
+        let b = BagOfWords::from_known_tokens(&["tree", "tree", "unknown"], &v);
+        assert_eq!(v.len(), before, "vocabulary untouched");
+        assert_eq!(b.total_tokens(), 2);
+        assert_eq!(b.distinct_terms(), 1);
+    }
+
+    #[test]
+    fn frozen_vocab_skips_unknown_tokens() {
+        let mut v = Vocabulary::new();
+        v.intern("tree");
+        v.freeze();
+        let b = BagOfWords::from_tokens(&["tree", "quantum", "tree"], &mut v);
+        assert_eq!(b.total_tokens(), 2);
+        assert_eq!(b.distinct_terms(), 1);
+    }
+
+    #[test]
+    fn norm_known_value() {
+        let b = BagOfWords::from_counts(vec![(TermId(0), 3), (TermId(1), 4)]);
+        assert!((b.norm() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Text utilities for crowdsourced tasks.
+//!
+//! The paper represents a crowdsourced task as a *bag of vocabularies*
+//! (Section 4.1.1): `t_j = {(v_1, #v_1), …, (v_L, #v_L)}`. This crate
+//! provides the plumbing to get there from raw question text:
+//!
+//! - [`tokenize`]: a deterministic tokenizer tuned for Q&A text (it keeps
+//!   `b+`, `c++`, `c#` and similar programming terms intact),
+//! - [`Vocabulary`]: a string interner mapping terms to dense [`TermId`]s,
+//! - [`BagOfWords`]: the sparse count vector used throughout inference,
+//! - [`similarity`]: cosine and Jaccard measures (the VSM baseline and the
+//!   Yahoo!-Answers feedback-score rule both need them),
+//! - [`TfIdf`]: corpus statistics for the weighted VSM variant.
+
+pub mod bow;
+pub mod similarity;
+pub mod stem;
+pub mod stopwords;
+pub mod tfidf;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use bow::BagOfWords;
+pub use tfidf::TfIdf;
+pub use stem::{stem, tokenize_stemmed};
+pub use tokenizer::{tokenize, tokenize_filtered};
+pub use vocab::{TermId, Vocabulary};

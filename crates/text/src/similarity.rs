@@ -1,0 +1,163 @@
+//! Similarity measures over bags of words.
+
+use crate::BagOfWords;
+
+/// Cosine similarity between two count vectors.
+///
+/// This is the VSM baseline's ranking score (paper Section 7.2.1):
+/// `s = (tᵀ t_w) / (‖t‖ ‖t_w‖)`. Returns 0.0 when either bag is empty.
+pub fn cosine(a: &BagOfWords, b: &BagOfWords) -> f64 {
+    let na = a.norm();
+    let nb = b.norm();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let mut dot = 0.0;
+    let mut ia = a.iter().peekable();
+    let mut ib = b.iter().peekable();
+    while let (Some(&(ta, ca)), Some(&(tb, cb))) = (ia.peek(), ib.peek()) {
+        match ta.cmp(&tb) {
+            std::cmp::Ordering::Less => {
+                ia.next();
+            }
+            std::cmp::Ordering::Greater => {
+                ib.next();
+            }
+            std::cmp::Ordering::Equal => {
+                dot += (ca as f64) * (cb as f64);
+                ia.next();
+                ib.next();
+            }
+        }
+    }
+    dot / (na * nb)
+}
+
+/// Jaccard similarity of the *term sets* (counts ignored).
+///
+/// `|A ∩ B| / |A ∪ B|`; 1.0 when both bags are empty (identical sets).
+pub fn jaccard(a: &BagOfWords, b: &BagOfWords) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut intersection = 0usize;
+    let mut union = 0usize;
+    let mut ia = a.iter().peekable();
+    let mut ib = b.iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(&(ta, _)), Some(&(tb, _))) => match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => {
+                    union += 1;
+                    ia.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    union += 1;
+                    ib.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    intersection += 1;
+                    union += 1;
+                    ia.next();
+                    ib.next();
+                }
+            },
+            (Some(_), None) => {
+                union += 1;
+                ia.next();
+            }
+            (None, Some(_)) => {
+                union += 1;
+                ib.next();
+            }
+            (None, None) => break,
+        }
+    }
+    intersection as f64 / union as f64
+}
+
+/// Jaccard *distance*: `1 − jaccard(a, b)`.
+///
+/// The paper's Yahoo! Answers feedback rule scores a non-best answer by its
+/// Jaccard distance to the best answer (Section 4.1.5); we expose the
+/// similarity form (`1 − distance`) through [`jaccard`] and this helper for
+/// the distance itself.
+pub fn jaccard_distance(a: &BagOfWords, b: &BagOfWords) -> f64 {
+    1.0 - jaccard(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tokenize, Vocabulary};
+
+    fn bags(x: &str, y: &str) -> (BagOfWords, BagOfWords) {
+        let mut v = Vocabulary::new();
+        let a = BagOfWords::from_tokens(&tokenize(x), &mut v);
+        let b = BagOfWords::from_tokens(&tokenize(y), &mut v);
+        (a, b)
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let (a, b) = bags("b tree index", "b tree index");
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_disjoint_is_zero() {
+        let (a, b) = bags("apples oranges", "trains planes");
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_empty_is_zero() {
+        let (a, _) = bags("x", "");
+        assert_eq!(cosine(&a, &BagOfWords::new()), 0.0);
+        assert_eq!(cosine(&BagOfWords::new(), &BagOfWords::new()), 0.0);
+    }
+
+    #[test]
+    fn cosine_known_value() {
+        // a = {x:1, y:1}, b = {x:1}: cos = 1/√2
+        let (a, b) = bags("x y", "x");
+        assert!((cosine(&a, &b) - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_is_symmetric() {
+        let (a, b) = bags("b tree over b tree", "tree balance rotation");
+        assert!((cosine(&a, &b) - cosine(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        let (a, b) = bags("x y z", "y z w");
+        // intersection {y,z}=2, union {x,y,z,w}=4
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((jaccard_distance(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_ignores_counts() {
+        let (a, b) = bags("x x x y", "x y y y");
+        assert!((jaccard(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_empty_conventions() {
+        let empty = BagOfWords::new();
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        let (a, _) = bags("x", "");
+        assert_eq!(jaccard(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        let (a, b) = bags("a b c d e", "c d e f g h");
+        let c = cosine(&a, &b);
+        let j = jaccard(&a, &b);
+        assert!((0.0..=1.0).contains(&c));
+        assert!((0.0..=1.0).contains(&j));
+    }
+}

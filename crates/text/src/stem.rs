@@ -1,0 +1,382 @@
+//! The Porter stemming algorithm (Porter, 1980).
+//!
+//! Conflates inflected forms ("split", "splits", "splitting") so that
+//! vocabulary-overlap signals (VSM, Jaccard feedback, the inverted index)
+//! see through morphology. Implemented from the original paper's five-step
+//! rule set; only lowercase ASCII alphabetic input is stemmed — anything
+//! else (numbers, `c++`, `b+`) is returned unchanged, which is exactly what
+//! Q&A text needs.
+
+/// Stems one lowercase token.
+///
+/// Non-alphabetic tokens and tokens shorter than 3 characters are returned
+/// unchanged.
+pub fn stem(word: &str) -> String {
+    if word.len() < 3 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let mut w: Vec<u8> = word.as_bytes().to_vec();
+    step_1a(&mut w);
+    step_1b(&mut w);
+    step_1c(&mut w);
+    step_2(&mut w);
+    step_3(&mut w);
+    step_4(&mut w);
+    step_5a(&mut w);
+    step_5b(&mut w);
+    String::from_utf8(w).expect("ascii in, ascii out")
+}
+
+/// Convenience: [`crate::tokenize_filtered`] followed by stemming.
+pub fn tokenize_stemmed(text: &str) -> Vec<String> {
+    crate::tokenize_filtered(text)
+        .into_iter()
+        .map(|t| stem(&t))
+        .collect()
+}
+
+/// Is `w[i]` a consonant (Porter's definition: `y` is a consonant after a
+/// vowel position rule)?
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(w, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Porter's measure `m`: the number of VC sequences in `w[..len]`.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Vowel run.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Consonant run → one VC.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// `*v*`: the stem `w[..len]` contains a vowel.
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// `*d`: stem ends in a double consonant.
+fn ends_double_consonant(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_consonant(w, len - 1)
+}
+
+/// `*o`: stem ends consonant-vowel-consonant, where the final consonant is
+/// not `w`, `x` or `y`.
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    len >= 3
+        && is_consonant(w, len - 3)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// If the word ends with `suffix` and the remaining stem has measure > `min_m`,
+/// replace the suffix with `replacement` and return true.
+fn replace_if_m(w: &mut Vec<u8>, suffix: &str, replacement: &str, min_m: usize) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > min_m {
+        w.truncate(stem_len);
+        w.extend_from_slice(replacement.as_bytes());
+        true
+    } else {
+        false
+    }
+}
+
+fn step_1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") {
+        w.truncate(w.len() - 2); // sses → ss
+    } else if ends_with(w, "ies") {
+        w.truncate(w.len() - 2); // ies → i
+    } else if ends_with(w, "ss") {
+        // unchanged
+    } else if ends_with(w, "s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step_1b(w: &mut Vec<u8>) {
+    let mut cleanup = false;
+    if ends_with(w, "eed") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 0 {
+            w.truncate(w.len() - 1); // eed → ee
+        }
+    } else if ends_with(w, "ed") {
+        let stem_len = w.len() - 2;
+        if has_vowel(w, stem_len) {
+            w.truncate(stem_len);
+            cleanup = true;
+        }
+    } else if ends_with(w, "ing") {
+        let stem_len = w.len() - 3;
+        if has_vowel(w, stem_len) {
+            w.truncate(stem_len);
+            cleanup = true;
+        }
+    }
+    if cleanup {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e'); // conflat(ed) → conflate
+        } else if ends_double_consonant(w, w.len())
+            && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
+        {
+            w.truncate(w.len() - 1); // hopp(ing) → hop
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e'); // fil(ing) → file
+        }
+    }
+}
+
+fn step_1c(w: &mut [u8]) {
+    let len = w.len();
+    if len >= 2 && w[len - 1] == b'y' && has_vowel(w, len - 1) {
+        w[len - 1] = b'i'; // happy → happi
+    }
+}
+
+fn step_2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for &(suffix, replacement) in RULES {
+        if ends_with(w, suffix) {
+            replace_if_m(w, suffix, replacement, 0);
+            return;
+        }
+    }
+}
+
+fn step_3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for &(suffix, replacement) in RULES {
+        if ends_with(w, suffix) {
+            replace_if_m(w, suffix, replacement, 0);
+            return;
+        }
+    }
+}
+
+fn step_4(w: &mut Vec<u8>) {
+    const SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" is special: preceding char must be s or t.
+    if ends_with(w, "ion") {
+        let stem_len = w.len() - 3;
+        if stem_len >= 1
+            && matches!(w[stem_len - 1], b's' | b't')
+            && measure(w, stem_len) > 1
+        {
+            w.truncate(stem_len);
+        }
+        return;
+    }
+    for &suffix in SUFFIXES {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step_5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step_5b(w: &mut Vec<u8>) {
+    let len = w.len();
+    if len >= 2 && w[len - 1] == b'l' && w[len - 2] == b'l' && measure(w, len) > 1 {
+        w.truncate(len - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference pairs from Porter's published examples.
+    #[test]
+    fn porter_reference_pairs() {
+        let pairs = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in pairs {
+            assert_eq!(stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn qa_inflections_conflate() {
+        assert_eq!(stem("splitting"), stem("splits"));
+        assert_eq!(stem("indexes"), stem("index"));
+        assert_eq!(stem("queried"), stem("queries"));
+        assert_eq!(stem("optimization"), stem("optimize"));
+    }
+
+    #[test]
+    fn non_alpha_tokens_untouched() {
+        for t in ["c++", "b+", "404", "b2b", "c#", "ab"] {
+            assert_eq!(stem(t), t);
+        }
+    }
+
+    #[test]
+    fn tokenize_stemmed_pipeline() {
+        let toks = tokenize_stemmed("why does the btree keep splitting its pages");
+        assert!(toks.contains(&"split".to_string()), "{toks:?}");
+        assert!(toks.contains(&"page".to_string()), "{toks:?}");
+        assert!(!toks.contains(&"the".to_string()), "stopwords removed");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in ["split", "page", "index", "relat", "oper", "hope"] {
+            assert_eq!(stem(&stem(w)), stem(w), "{w}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! A compact English stopword list for question text.
+
+/// Common English stopwords, sorted, lowercase.
+///
+/// The list is intentionally small: question words ("what", "how") carry no
+/// topical signal, but domain terms must never be dropped, so we stay far
+/// away from aggressive IR stoplists.
+static STOPWORDS: &[&str] = &[
+    "a", "about", "after", "all", "also", "am", "an", "and", "any", "are", "as", "at", "be",
+    "because", "been", "before", "being", "between", "both", "but", "by", "can", "could", "did",
+    "do", "does", "doing", "down", "during", "each", "few", "for", "from", "further", "had",
+    "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in",
+    "into", "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over", "own",
+    "same", "she", "should", "so", "some", "such", "than", "that", "the", "their", "theirs",
+    "them", "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
+    "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while",
+    "who", "whom", "why", "will", "with", "would", "you", "your", "yours",
+];
+
+/// Returns `true` if `term` (already lowercased) is a stopword.
+pub fn is_stopword(term: &str) -> bool {
+    STOPWORDS.binary_search(&term).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted");
+    }
+
+    #[test]
+    fn common_words_match() {
+        for w in ["the", "what", "is", "of", "a"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_do_not_match() {
+        for w in ["tree", "database", "b+", "advantages", "rust"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Corpus-level document-frequency statistics and TF-IDF weighting.
+
+use crate::{BagOfWords, TermId};
+use serde::{Deserialize, Serialize};
+
+/// Document-frequency statistics over a corpus of bags.
+///
+/// Supports the weighted variant of the VSM baseline: raw count cosine is
+/// what the paper describes, but TF-IDF weighting is the standard
+/// strengthening and is exposed for the ablation benches.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TfIdf {
+    /// `df[t]` = number of documents containing term `t`.
+    doc_freq: Vec<u32>,
+    /// Total number of documents observed.
+    num_docs: u64,
+}
+
+impl TfIdf {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        TfIdf::default()
+    }
+
+    /// Builds statistics from a corpus in one pass.
+    pub fn from_corpus<'a>(docs: impl IntoIterator<Item = &'a BagOfWords>) -> Self {
+        let mut t = TfIdf::new();
+        for d in docs {
+            t.observe(d);
+        }
+        t
+    }
+
+    /// Folds one document into the statistics.
+    pub fn observe(&mut self, doc: &BagOfWords) {
+        self.num_docs += 1;
+        for (term, _) in doc.iter() {
+            let idx = term.index();
+            if idx >= self.doc_freq.len() {
+                self.doc_freq.resize(idx + 1, 0);
+            }
+            self.doc_freq[idx] += 1;
+        }
+    }
+
+    /// Number of observed documents.
+    pub fn num_docs(&self) -> u64 {
+        self.num_docs
+    }
+
+    /// Document frequency of `term` (0 when unseen).
+    pub fn doc_freq(&self, term: TermId) -> u32 {
+        self.doc_freq.get(term.index()).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency: `ln((1 + N) / (1 + df)) + 1`.
+    ///
+    /// The `+1` smoothing keeps idf strictly positive so unseen query terms
+    /// do not zero out a document's score entirely.
+    pub fn idf(&self, term: TermId) -> f64 {
+        let n = self.num_docs as f64;
+        let df = self.doc_freq(term) as f64;
+        ((1.0 + n) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// TF-IDF weighted cosine similarity between two bags.
+    pub fn weighted_cosine(&self, a: &BagOfWords, b: &BagOfWords) -> f64 {
+        let wa = self.weighted_norm(a);
+        let wb = self.weighted_norm(b);
+        if wa == 0.0 || wb == 0.0 {
+            return 0.0;
+        }
+        let mut dot = 0.0;
+        let mut ia = a.iter().peekable();
+        let mut ib = b.iter().peekable();
+        while let (Some(&(ta, ca)), Some(&(tb, cb))) = (ia.peek(), ib.peek()) {
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => {
+                    ia.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    ib.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    let idf = self.idf(ta);
+                    dot += (ca as f64 * idf) * (cb as f64 * idf);
+                    ia.next();
+                    ib.next();
+                }
+            }
+        }
+        dot / (wa * wb)
+    }
+
+    fn weighted_norm(&self, bag: &BagOfWords) -> f64 {
+        bag.iter()
+            .map(|(t, c)| {
+                let w = c as f64 * self.idf(t);
+                w * w
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tokenize, Vocabulary};
+
+    fn corpus(texts: &[&str]) -> (Vec<BagOfWords>, Vocabulary) {
+        let mut v = Vocabulary::new();
+        let bags = texts
+            .iter()
+            .map(|t| BagOfWords::from_tokens(&tokenize(t), &mut v))
+            .collect();
+        (bags, v)
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_tokens() {
+        let (bags, v) = corpus(&["tree tree tree", "tree index", "btree"]);
+        let t = TfIdf::from_corpus(&bags);
+        assert_eq!(t.num_docs(), 3);
+        assert_eq!(t.doc_freq(v.get("tree").unwrap()), 2);
+        assert_eq!(t.doc_freq(v.get("btree").unwrap()), 1);
+    }
+
+    #[test]
+    fn idf_rewards_rarity() {
+        let (bags, v) = corpus(&["common rare1", "common rare2", "common rare3"]);
+        let t = TfIdf::from_corpus(&bags);
+        let common = t.idf(v.get("common").unwrap());
+        let rare = t.idf(v.get("rare1").unwrap());
+        assert!(rare > common);
+        assert!(common > 0.0);
+    }
+
+    #[test]
+    fn idf_of_unseen_term_is_maximal() {
+        let (bags, _) = corpus(&["a b", "a c"]);
+        let t = TfIdf::from_corpus(&bags);
+        let unseen = t.idf(TermId(999));
+        assert!(unseen >= t.idf(TermId(0)));
+    }
+
+    #[test]
+    fn weighted_cosine_downweights_common_terms() {
+        // Query shares the *common* term with d1 and the *rare* term with d2.
+        let (bags, v) = corpus(&[
+            "common rare",  // query
+            "common xxx",   // d1 shares only the common term
+            "rare yyy",     // d2 shares only the rare term
+            "common zzz1", "common zzz2", "common zzz3", // make "common" common
+        ]);
+        let t = TfIdf::from_corpus(&bags);
+        let s1 = t.weighted_cosine(&bags[0], &bags[1]);
+        let s2 = t.weighted_cosine(&bags[0], &bags[2]);
+        assert!(
+            s2 > s1,
+            "rare overlap ({s2}) should beat common overlap ({s1})"
+        );
+        let _ = v;
+    }
+
+    #[test]
+    fn weighted_cosine_bounds_and_self() {
+        let (bags, _) = corpus(&["a b c", "a b c", "x y"]);
+        let t = TfIdf::from_corpus(&bags);
+        let self_sim = t.weighted_cosine(&bags[0], &bags[1]);
+        assert!((self_sim - 1.0).abs() < 1e-12);
+        assert_eq!(t.weighted_cosine(&bags[0], &BagOfWords::new()), 0.0);
+    }
+}

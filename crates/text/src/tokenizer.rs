@@ -1,0 +1,111 @@
+//! Deterministic tokenizer for question text.
+
+use crate::stopwords::is_stopword;
+
+/// Splits `text` into lowercase tokens.
+///
+/// Rules, chosen so the paper's running example — *"What are the advantages
+/// of B+ Tree over B Tree?"* — tokenizes into `what are the advantages of
+/// b+ tree over b tree`:
+///
+/// - Unicode alphanumeric runs form tokens.
+/// - Trailing `+` / `#` runs attach to the preceding alphanumeric token
+///   (`b+`, `c++`, `c#`, `f#`), since these are meaningful in programming
+///   Q&A; a `+`/`#` with no preceding token is dropped.
+/// - Everything else is a separator.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if (ch == '+' || ch == '#') && !current.is_empty() {
+            current.push(ch);
+        } else {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Like [`tokenize`], additionally dropping English stopwords and bare
+/// single-character alphabetic tokens other than programming-language names.
+///
+/// Single letters are kept when followed by `+`/`#` (handled in [`tokenize`])
+/// or when they are common language names (`c`, `r`, `b`); the paper's B-tree
+/// example depends on `b` surviving.
+pub fn tokenize_filtered(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !is_stopword(t))
+        .filter(|t| t.chars().count() > 1 || matches!(t.as_str(), "c" | "r" | "b") || t.chars().all(|c| c.is_numeric()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_running_example() {
+        let toks = tokenize("What are the advantages of B+ Tree over B Tree?");
+        assert_eq!(
+            toks,
+            vec!["what", "are", "the", "advantages", "of", "b+", "tree", "over", "b", "tree"]
+        );
+    }
+
+    #[test]
+    fn programming_terms_survive() {
+        assert_eq!(tokenize("C++ vs C# vs F#"), vec!["c++", "vs", "c#", "vs", "f#"]);
+    }
+
+    #[test]
+    fn punctuation_is_separator() {
+        assert_eq!(tokenize("foo,bar;baz.qux"), vec!["foo", "bar", "baz", "qux"]);
+    }
+
+    #[test]
+    fn leading_plus_dropped() {
+        assert_eq!(tokenize("+ +x y+"), vec!["x", "y+"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t \n ").is_empty());
+    }
+
+    #[test]
+    fn numbers_kept() {
+        assert_eq!(tokenize("b2b 404 errors"), vec!["b2b", "404", "errors"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Größe MATTERS"), vec!["größe", "matters"]);
+    }
+
+    #[test]
+    fn filtered_drops_stopwords() {
+        let toks = tokenize_filtered("What are the advantages of B+ Tree over B Tree?");
+        assert_eq!(toks, vec!["advantages", "b+", "tree", "b", "tree"]);
+    }
+
+    #[test]
+    fn filtered_keeps_language_names() {
+        assert_eq!(tokenize_filtered("r vs c, x"), vec!["r", "vs", "c"]);
+    }
+
+    #[test]
+    fn tokenize_is_idempotent_on_its_output() {
+        let toks = tokenize("Hello, World! c++ b+ 42");
+        let rejoined = toks.join(" ");
+        assert_eq!(tokenize(&rejoined), toks);
+    }
+}

@@ -1,0 +1,170 @@
+//! String interning: terms ↔ dense integer ids.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense identifier of an interned term.
+///
+/// `u32` keeps bag-of-words entries at 8 bytes; real Q&A vocabularies are a
+/// few hundred thousand terms, far below the 4 B limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional term interner.
+///
+/// `Vocabulary` can be *frozen* once model training starts: a frozen
+/// vocabulary maps unseen terms to `None` instead of growing, which is what
+/// the incremental crowd-selection path needs (a new task must be projected
+/// onto the **existing** latent space; paper Section 6).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, TermId>,
+    frozen: bool,
+}
+
+impl Vocabulary {
+    /// Creates an empty, growable vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns `term`, returning its id.
+    ///
+    /// On a frozen vocabulary, unknown terms return `None`.
+    pub fn intern(&mut self, term: &str) -> Option<TermId> {
+        if let Some(&id) = self.index.get(term) {
+            return Some(id);
+        }
+        if self.frozen {
+            return None;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.to_owned());
+        self.index.insert(term.to_owned(), id);
+        Some(id)
+    }
+
+    /// Looks up an already interned term without mutating.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.index.get(term).copied()
+    }
+
+    /// The term text for an id, if the id is in range.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.index()).map(String::as_str)
+    }
+
+    /// Freezes the vocabulary; subsequent unknown terms intern to `None`.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// `true` if [`freeze`](Self::freeze) has been called.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Iterates `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+    }
+
+    /// Rebuilds the term → id index (needed after deserialization, since the
+    /// index is skipped by serde).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), TermId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("tree").unwrap();
+        let b = v.intern("tree").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("a").unwrap();
+        let b = v.intern("b").unwrap();
+        let c = v.intern("c").unwrap();
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn frozen_vocab_rejects_new_terms() {
+        let mut v = Vocabulary::new();
+        v.intern("known");
+        v.freeze();
+        assert!(v.is_frozen());
+        assert_eq!(v.intern("known").map(|t| t.0), Some(0));
+        assert_eq!(v.intern("unknown"), None);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn term_lookup_roundtrip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("b+").unwrap();
+        assert_eq!(v.term(id), Some("b+"));
+        assert_eq!(v.get("b+"), Some(id));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.term(TermId(99)), None);
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocabulary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("x"), None, "index is skipped by serde");
+        back.rebuild_index();
+        assert_eq!(back.get("x"), Some(TermId(0)));
+        assert_eq!(back.get("y"), Some(TermId(1)));
+    }
+
+    #[test]
+    fn iter_visits_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern("p");
+        v.intern("q");
+        let collected: Vec<_> = v.iter().map(|(id, t)| (id.0, t.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "p".to_owned()), (1, "q".to_owned())]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for tokenizer, bags and similarities.
+
+use crowd_text::similarity::{cosine, jaccard};
+use crowd_text::{tokenize, BagOfWords, TermId, Vocabulary};
+use proptest::prelude::*;
+
+fn arb_bag() -> impl Strategy<Value = BagOfWords> {
+    prop::collection::vec((0u32..64, 1u32..5), 0..24)
+        .prop_map(|pairs| BagOfWords::from_counts(pairs.into_iter().map(|(t, c)| (TermId(t), c)).collect()))
+}
+
+proptest! {
+    #[test]
+    fn tokenize_output_is_lowercase(text in ".{0,80}") {
+        // "Lowercase" in the Unicode sense: a second to_lowercase is a no-op.
+        for tok in tokenize(&text) {
+            prop_assert_eq!(tok.to_lowercase(), tok.clone(), "token {}", tok);
+        }
+    }
+
+    #[test]
+    fn tokenize_stable_under_rejoin(words in prop::collection::vec("[a-z0-9]{1,8}", 0..12)) {
+        let text = words.join(" ");
+        let toks = tokenize(&text);
+        prop_assert_eq!(toks, words);
+    }
+
+    #[test]
+    fn bag_total_tokens_matches_input(words in prop::collection::vec("[a-z]{1,4}", 0..30)) {
+        let mut v = Vocabulary::new();
+        let b = BagOfWords::from_tokens(&words, &mut v);
+        prop_assert_eq!(b.total_tokens(), words.len() as u64);
+    }
+
+    #[test]
+    fn cosine_symmetric_and_bounded(a in arb_bag(), b in arb_bag()) {
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&ab));
+    }
+
+    #[test]
+    fn cosine_self_is_one(a in arb_bag()) {
+        prop_assume!(!a.is_empty());
+        prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_symmetric_bounded_self_one(a in arb_bag(), b in arb_bag()) {
+        let ab = jaccard(&a, &b);
+        prop_assert!((ab - jaccard(&b, &a)).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stemming_never_lengthens_or_empties(word in "[a-z]{1,15}") {
+        let stemmed = crowd_text::stem(&word);
+        prop_assert!(!stemmed.is_empty());
+        prop_assert!(stemmed.len() <= word.len() + 1, "{word} → {stemmed}");
+        prop_assert!(stemmed.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn stemming_is_deterministic(word in "[a-z]{1,15}") {
+        prop_assert_eq!(crowd_text::stem(&word), crowd_text::stem(&word));
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_bag(), b in arb_bag()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_total_is_sum(a in arb_bag(), b in arb_bag()) {
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert_eq!(m.total_tokens(), a.total_tokens() + b.total_tokens());
+    }
+}

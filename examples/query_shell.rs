@@ -1,0 +1,105 @@
+//! An interactive crowd-selection query shell.
+//!
+//! ```text
+//! cargo run --release --example query_shell                    # interactive
+//! cargo run --release --example query_shell -- --demo          # scripted demo
+//! cargo run --release --example query_shell -- --db crowd.log  # durable (WAL)
+//! ```
+//!
+//! Statements (end with Enter; `quit` to leave):
+//!
+//! ```text
+//! INSERT WORKER 'ada'
+//! INSERT TASK 'advantages of b+ tree over b tree'
+//! ASSIGN WORKER 0 TO TASK 0
+//! FEEDBACK WORKER 0 ON TASK 0 SCORE 4
+//! TRAIN MODEL WITH 8 CATEGORIES
+//! SELECT WORKERS FOR TASK 'why does a btree split' LIMIT 2
+//! SELECT WORKERS FOR TASK '…' USING vsm WHERE GROUP >= 2
+//! SHOW STATS | SHOW WORKER 0 | SHOW TASK 0 | SHOW GROUPS 1, 5
+//! SHOW SIMILAR 'btree split' LIMIT 3
+//! ```
+
+use crowdselect::query::QueryEngine;
+use std::io::{BufRead, Write};
+
+const DEMO_SCRIPT: &[&str] = &[
+    "INSERT WORKER 'dba'",
+    "INSERT WORKER 'statistician'",
+    "INSERT TASK 'btree page split index buffer disk'",
+    "INSERT TASK 'gaussian prior posterior likelihood variance'",
+    "INSERT TASK 'btree range scan clustered index'",
+    "INSERT TASK 'variational bayes gaussian inference'",
+    "ASSIGN WORKER 0 TO TASK 0",
+    "ASSIGN WORKER 1 TO TASK 0",
+    "ASSIGN WORKER 1 TO TASK 1",
+    "ASSIGN WORKER 0 TO TASK 1",
+    "ASSIGN WORKER 0 TO TASK 2",
+    "ASSIGN WORKER 1 TO TASK 3",
+    "FEEDBACK WORKER 0 ON TASK 0 SCORE 5",
+    "FEEDBACK WORKER 1 ON TASK 0 SCORE 1",
+    "FEEDBACK WORKER 1 ON TASK 1 SCORE 4",
+    "FEEDBACK WORKER 0 ON TASK 1 SCORE 0.5",
+    "FEEDBACK WORKER 0 ON TASK 2 SCORE 4",
+    "FEEDBACK WORKER 1 ON TASK 3 SCORE 4",
+    "SHOW STATS",
+    "TRAIN MODEL WITH 2 CATEGORIES",
+    "SHOW WORKER 0",
+    "SHOW WORKER 1",
+    "SELECT WORKERS FOR TASK 'why does my btree split pages' LIMIT 2",
+    "SELECT WORKERS FOR TASK 'choosing a prior for the variance' LIMIT 2",
+    "SELECT WORKERS FOR TASK 'btree buffer pool' LIMIT 1 USING vsm",
+    "SHOW GROUPS 1, 2, 3",
+    "SHOW SIMILAR 'btree index' LIMIT 2",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let demo = args.iter().any(|a| a == "--demo");
+    let db_path = args
+        .iter()
+        .position(|a| a == "--db")
+        .and_then(|i| args.get(i + 1));
+    let mut engine = match db_path {
+        Some(path) => {
+            println!("write-ahead logging to {path}");
+            QueryEngine::open_logged(path).expect("open WAL")
+        }
+        None => QueryEngine::new(),
+    };
+
+    if demo {
+        for stmt in DEMO_SCRIPT {
+            println!("crowd> {stmt}");
+            run_one(&mut engine, stmt);
+        }
+        return;
+    }
+
+    println!("crowd-selection query shell — type statements, or 'quit' to exit.");
+    println!("try: INSERT WORKER 'ada'   /   SHOW STATS   /   --demo for a scripted tour\n");
+    let stdin = std::io::stdin();
+    loop {
+        print!("crowd> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        run_one(&mut engine, line);
+    }
+}
+
+fn run_one(engine: &mut QueryEngine, stmt: &str) {
+    match engine.run(stmt) {
+        Ok(output) => println!("{output}"),
+        Err(e) => println!("error: {e}"),
+    }
+}

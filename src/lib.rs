@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! # crowdselect
+//!
+//! A task-driven crowd-selection system for crowdsourcing databases — a
+//! from-scratch Rust reproduction of *"Crowd-Selection Query Processing in
+//! Crowdsourcing Databases: A Task-Driven Approach"* (EDBT 2015).
+//!
+//! This facade re-exports the workspace crates under stable paths:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`math`] | `crowd-math` | dense linear algebra, optimizers, special functions |
+//! | [`text`] | `crowd-text` | tokenizer, vocabulary, bags of words, similarities |
+//! | [`store`] | `crowd-store` | the crowdsourcing database (tasks/workers/assignments/feedback) |
+//! | [`model`] | `crowd-core` | TDPM: generative model, variational inference, selection |
+//! | [`baselines`] | `crowd-baselines` | VSM, DRM (PLSA), TSPM (LDA) |
+//! | [`sim`] | `crowd-sim` | synthetic Quora / Yahoo / Stack Overflow platforms |
+//! | [`platform`] | `crowd-platform` | crowd manager, dispatcher, collector, pipeline |
+//! | [`query`] | `crowd-query` | SQL-like crowd-selection query language |
+//! | [`eval`] | `crowd-eval` | ACCU / TopK metrics and the experiment harness |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use crowdselect::prelude::*;
+//!
+//! // 1. Record some history in the crowd database.
+//! let mut db = CrowdDb::new();
+//! let ada = db.add_worker("ada");
+//! let carl = db.add_worker("carl");
+//! for i in 0..6 {
+//!     let (text, good, bad) = if i % 2 == 0 {
+//!         ("btree index page buffer pool", ada, carl)
+//!     } else {
+//!         ("gaussian prior posterior variance", carl, ada)
+//!     };
+//!     let t = db.add_task(text);
+//!     db.assign(good, t).unwrap();
+//!     db.assign(bad, t).unwrap();
+//!     db.record_feedback(good, t, 4.0).unwrap();
+//!     db.record_feedback(bad, t, 0.5).unwrap();
+//! }
+//!
+//! // 2. Infer "who knows what" (variational EM).
+//! let config = TdpmConfig { num_categories: 2, seed: 7, ..TdpmConfig::default() };
+//! let model = TdpmTrainer::new(config).fit(&db).unwrap();
+//!
+//! // 3. Route a fresh question to the right expert.
+//! let question = db.add_task("why does a btree split pages");
+//! let projection = model.project_bow(&db.task(question).unwrap().bow);
+//! let best = model.select_top_k(&projection, db.worker_ids(), 1);
+//! assert_eq!(best[0].worker, ada);
+//! ```
+
+pub use crowd_baselines as baselines;
+pub use crowd_core as model;
+pub use crowd_eval as eval;
+pub use crowd_math as math;
+pub use crowd_platform as platform;
+pub use crowd_query as query;
+pub use crowd_sim as sim;
+pub use crowd_store as store;
+pub use crowd_text as text;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crowd_baselines::{CrowdSelector, DrmSelector, TdpmSelector, TspmSelector, VsmSelector};
+    pub use crowd_core::{TaskProjection, TdpmConfig, TdpmModel, TdpmTrainer};
+    pub use crowd_platform::{CrowdManager, ManagerConfig, Pipeline, PipelineConfig};
+    pub use crowd_query::QueryEngine;
+    pub use crowd_sim::{PlatformGenerator, PlatformKind, SimConfig};
+    pub use crowd_store::{CrowdDb, SharedCrowdDb, TaskId, WorkerGroup, WorkerId};
+    pub use crowd_text::{tokenize_filtered, BagOfWords, Vocabulary};
+}
