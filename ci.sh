@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# The full local CI gate — exactly what .github/workflows/ci.yml runs.
+#
+# Works offline: every step passes CARGO_NET_OFFLINE so a warmed-up
+# vendor/registry cache (or a fully local path-dependency workspace) is
+# enough; nothing here needs network access.
+set -eu
+
+export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
+export CARGO_TERM_COLOR="${CARGO_TERM_COLOR:-always}"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release
+run cargo test -q
+
+echo "==> ci.sh: all green"

@@ -1,0 +1,183 @@
+//! [`SelectorBackend`] factories for the baseline algorithms, and the
+//! standard registry wiring all four `USING <backend>` names.
+//!
+//! All three baselines are *lazily fittable*: they are cheap enough for the
+//! query engine to fit on demand the first time a `SELECT … USING vsm`
+//! arrives. The probabilistic baselines (DRM, TSPM) refuse to fit on a
+//! database without resolved tasks — there is nothing to estimate topics
+//! from — with an error naming the missing ingredient.
+
+use crate::drm::DrmSelector;
+use crate::tspm::TspmSelector;
+use crate::vsm::VsmSelector;
+use crowd_core::backend::TdpmBackend;
+use crowd_select::{
+    FitDiagnostics, FitOptions, FitOutcome, SelectError, SelectorBackend, SelectorRegistry,
+};
+use crowd_store::CrowdDb;
+
+/// Default latent-category count for the topic baselines when
+/// [`FitOptions::categories`] is unset (matches the query engine's
+/// `TRAIN MODEL` default).
+pub const DEFAULT_CATEGORIES: usize = 10;
+
+/// Default seed when [`FitOptions::seed`] is unset.
+pub const DEFAULT_SEED: u64 = 42;
+
+fn require_resolved(db: &CrowdDb, backend: &'static str) -> Result<(), SelectError> {
+    if db.resolved_tasks().is_empty() {
+        return Err(SelectError::NeedsData {
+            backend: backend.into(),
+            reason: "needs resolved tasks with feedback scores".into(),
+        });
+    }
+    Ok(())
+}
+
+/// The `"vsm"` backend: cosine similarity against historical vocabulary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VsmBackend;
+
+impl SelectorBackend for VsmBackend {
+    fn name(&self) -> &'static str {
+        "vsm"
+    }
+
+    fn fit(&self, db: &CrowdDb, _opts: &FitOptions) -> Result<FitOutcome, SelectError> {
+        Ok(FitOutcome::new(
+            Box::new(VsmSelector::fit(db)),
+            FitDiagnostics::closed_form(),
+        ))
+    }
+}
+
+/// The `"drm"` backend: multinomial skills from PLSA topic mixtures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrmBackend;
+
+impl SelectorBackend for DrmBackend {
+    fn name(&self) -> &'static str {
+        "drm"
+    }
+
+    fn fit(&self, db: &CrowdDb, opts: &FitOptions) -> Result<FitOutcome, SelectError> {
+        require_resolved(db, "drm")?;
+        let k = opts.categories.unwrap_or(DEFAULT_CATEGORIES);
+        let seed = opts.seed.unwrap_or(DEFAULT_SEED);
+        Ok(FitOutcome::new(
+            Box::new(DrmSelector::fit(db, k, seed)),
+            FitDiagnostics::closed_form(),
+        ))
+    }
+}
+
+/// The `"tspm"` backend: multinomial skills from LDA posterior means.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TspmBackend;
+
+impl SelectorBackend for TspmBackend {
+    fn name(&self) -> &'static str {
+        "tspm"
+    }
+
+    fn fit(&self, db: &CrowdDb, opts: &FitOptions) -> Result<FitOutcome, SelectError> {
+        require_resolved(db, "tspm")?;
+        let k = opts.categories.unwrap_or(DEFAULT_CATEGORIES);
+        let seed = opts.seed.unwrap_or(DEFAULT_SEED);
+        Ok(FitOutcome::new(
+            Box::new(TspmSelector::fit(db, k, seed)),
+            FitDiagnostics::closed_form(),
+        ))
+    }
+}
+
+/// The registry every dispatch layer starts from: `tdpm` (explicit-fit),
+/// `vsm`, `drm` and `tspm` (lazily fittable).
+pub fn standard_registry() -> SelectorRegistry {
+    let mut registry = SelectorRegistry::new();
+    registry.register(Box::new(TdpmBackend::new()));
+    registry.register(Box::new(VsmBackend));
+    registry.register(Box::new(DrmBackend));
+    registry.register(Box::new(TspmBackend));
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_store::WorkerId;
+    use crowd_text::{tokenize_filtered, BagOfWords};
+
+    fn specialist_db() -> (CrowdDb, Vec<WorkerId>) {
+        let mut db = CrowdDb::new();
+        let dba = db.add_worker("dba");
+        let stat = db.add_worker("stat");
+        for i in 0..10 {
+            let (text, who) = if i % 2 == 0 {
+                ("btree page split index buffer disk", dba)
+            } else {
+                ("gaussian prior posterior likelihood variance", stat)
+            };
+            let t = db.add_task(text);
+            db.assign(who, t).unwrap();
+            db.record_feedback(who, t, 3.0).unwrap();
+        }
+        (db, vec![dba, stat])
+    }
+
+    #[test]
+    fn standard_registry_knows_all_four_names() {
+        let r = standard_registry();
+        assert_eq!(r.names(), vec!["tdpm", "vsm", "drm", "tspm"]);
+        assert!(!r.get("tdpm").unwrap().lazy_fit());
+        for lazy in ["vsm", "drm", "tspm"] {
+            assert!(r.get(lazy).unwrap().lazy_fit(), "{lazy} should be lazy");
+        }
+    }
+
+    #[test]
+    fn every_lazy_backend_fits_and_routes() {
+        let (mut db, workers) = specialist_db();
+        let r = standard_registry();
+        let task = BagOfWords::from_tokens(&tokenize_filtered("btree index page"), db.vocab_mut());
+        for name in ["vsm", "drm", "tspm"] {
+            let fitted = r.fit(name, &db, &FitOptions::with(2, 1)).unwrap();
+            assert_eq!(fitted.backend(), name);
+            assert!(fitted.diagnostics().converged);
+            let ranked = fitted.selector().rank(&task, &workers);
+            assert_eq!(ranked[0].worker, workers[0], "{name} routes btree → dba");
+        }
+    }
+
+    #[test]
+    fn topic_backends_require_resolved_tasks() {
+        let mut db = CrowdDb::new();
+        db.add_worker("lonely");
+        db.add_task("a task nobody answered");
+        for name in ["drm", "tspm"] {
+            let err = match standard_registry().fit(name, &db, &FitOptions::default()) {
+                Ok(_) => panic!("{name} should refuse an unresolved db"),
+                Err(e) => e,
+            };
+            let msg = err.to_string();
+            assert!(
+                msg.contains("needs resolved tasks with feedback scores"),
+                "{msg}"
+            );
+            assert!(msg.contains(name), "{msg}");
+        }
+    }
+
+    #[test]
+    fn vsm_fits_even_on_an_empty_db() {
+        let db = CrowdDb::new();
+        let fitted = standard_registry()
+            .fit("vsm", &db, &FitOptions::default())
+            .unwrap();
+        assert!(fitted
+            .selector()
+            .rank(&BagOfWords::new(), &[WorkerId(0)])
+            .iter()
+            .all(|r| r.score == 0.0));
+    }
+}

@@ -7,7 +7,7 @@
 
 use crate::plsa::{Doc, Plsa, PlsaConfig};
 use crate::selector::CrowdSelector;
-use crowd_core::selection::{top_k, RankedWorker};
+use crowd_select::{top_k, RankedWorker};
 use crowd_store::{CrowdDb, TaskId, WorkerId};
 use crowd_text::BagOfWords;
 use std::collections::HashMap;

@@ -19,6 +19,7 @@
 //! [`TdpmSelector`] adapts the trained TDPM model to the same interface so
 //! the evaluation harness can treat all four uniformly.
 
+pub mod backends;
 pub mod drm;
 pub mod lda;
 pub mod plsa;
@@ -27,6 +28,7 @@ pub mod tdpm;
 pub mod tspm;
 pub mod vsm;
 
+pub use backends::{standard_registry, DrmBackend, TspmBackend, VsmBackend};
 pub use drm::DrmSelector;
 pub use lda::Lda;
 pub use plsa::Plsa;

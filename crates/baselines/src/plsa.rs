@@ -232,8 +232,22 @@ mod tests {
     #[test]
     fn log_likelihood_improves_with_iterations() {
         let docs = planted_docs();
-        let short = Plsa::fit(&docs, 6, &PlsaConfig { iterations: 1, ..cfg(2) });
-        let long = Plsa::fit(&docs, 6, &PlsaConfig { iterations: 60, ..cfg(2) });
+        let short = Plsa::fit(
+            &docs,
+            6,
+            &PlsaConfig {
+                iterations: 1,
+                ..cfg(2)
+            },
+        );
+        let long = Plsa::fit(
+            &docs,
+            6,
+            &PlsaConfig {
+                iterations: 60,
+                ..cfg(2)
+            },
+        );
         assert!(long.log_likelihood(&docs) > short.log_likelihood(&docs));
     }
 

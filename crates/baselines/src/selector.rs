@@ -1,80 +1,7 @@
 //! The uniform crowd-selection interface used by the evaluation harness.
+//!
+//! The trait itself now lives in the backend-agnostic `crowd-select` crate;
+//! this module re-exports it under its historical path so downstream code
+//! (and the paper-shaped evaluation harness) keeps compiling unchanged.
 
-use crowd_core::selection::RankedWorker;
-use crowd_store::{TaskId, WorkerId};
-use crowd_text::BagOfWords;
-
-/// A fitted crowd-selection algorithm, queryable per task.
-///
-/// A selector is *fitted once* on the historical `(T, A, S)` data and then
-/// queried per incoming task — mirroring the paper's architecture where the
-/// crowd manager answers selection queries online (Section 2). The task is
-/// presented as a bag of words over the same vocabulary the selector was
-/// fitted on.
-pub trait CrowdSelector: Send + Sync {
-    /// Short display name ("VSM", "TSPM", "DRM", "TDPM").
-    fn name(&self) -> &'static str;
-
-    /// Ranks all `candidates` for `task`, best first.
-    ///
-    /// Candidates unknown to the selector score as 0 / worst.
-    fn rank(&self, task: &BagOfWords, candidates: &[WorkerId]) -> Vec<RankedWorker>;
-
-    /// Returns the top-`k` workers (default: truncate [`rank`](Self::rank)).
-    fn select(&self, task: &BagOfWords, candidates: &[WorkerId], k: usize) -> Vec<RankedWorker> {
-        let mut ranked = self.rank(task, candidates);
-        ranked.truncate(k);
-        ranked
-    }
-
-    /// Ranks candidates for a *resolved training task*, identified by its
-    /// store id, using the latent representation learned during fitting.
-    ///
-    /// The paper evaluates on historical questions; for those, a model's
-    /// fitted per-task posterior is available and — crucially for TDPM —
-    /// feedback-informed. The default falls back to content-only
-    /// [`rank`](Self::rank), which is also the behaviour for tasks the
-    /// selector never trained on.
-    fn rank_trained(
-        &self,
-        task: TaskId,
-        bow: &BagOfWords,
-        candidates: &[WorkerId],
-    ) -> Vec<RankedWorker> {
-        let _ = task;
-        self.rank(bow, candidates)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// A trivial selector for exercising the default `select`.
-    struct ById;
-    impl CrowdSelector for ById {
-        fn name(&self) -> &'static str {
-            "BYID"
-        }
-        fn rank(&self, _task: &BagOfWords, candidates: &[WorkerId]) -> Vec<RankedWorker> {
-            let scored = candidates.iter().map(|&w| (w, f64::from(w.0)));
-            crowd_core::selection::top_k(scored, candidates.len())
-        }
-    }
-
-    #[test]
-    fn default_select_truncates_rank() {
-        let s = ById;
-        let candidates = vec![WorkerId(1), WorkerId(5), WorkerId(3)];
-        let top2 = s.select(&BagOfWords::new(), &candidates, 2);
-        assert_eq!(top2.len(), 2);
-        assert_eq!(top2[0].worker, WorkerId(5));
-        assert_eq!(top2[1].worker, WorkerId(3));
-    }
-
-    #[test]
-    fn trait_objects_work() {
-        let s: Box<dyn CrowdSelector> = Box::new(ById);
-        assert_eq!(s.name(), "BYID");
-    }
-}
+pub use crowd_select::CrowdSelector;

@@ -1,124 +1,9 @@
 //! Adapter exposing the trained TDPM model through [`CrowdSelector`].
+//!
+//! The adapter moved into `crowd-core` (`crowd_core::backend`) when the
+//! selection abstraction was extracted into `crowd-select`; this module
+//! re-exports it under its historical path.
+//!
+//! [`CrowdSelector`]: crowd_select::CrowdSelector
 
-use crate::selector::CrowdSelector;
-use crowd_core::selection::RankedWorker;
-use crowd_core::{TdpmConfig, TdpmModel, TdpmTrainer};
-use crowd_store::{CrowdDb, WorkerId};
-use crowd_text::BagOfWords;
-
-/// TDPM behind the uniform selector interface.
-///
-/// Selection uses the deterministic posterior-mean category (the paper's
-/// Algorithm 3 samples it; the mean is the expectation of that procedure and
-/// keeps the evaluation reproducible).
-#[derive(Debug, Clone)]
-pub struct TdpmSelector {
-    model: TdpmModel,
-}
-
-impl TdpmSelector {
-    /// Wraps an already trained model.
-    pub fn new(model: TdpmModel) -> Self {
-        TdpmSelector { model }
-    }
-
-    /// Trains a model on `db` with `num_topics` latent categories.
-    pub fn fit(db: &CrowdDb, num_topics: usize, seed: u64) -> crowd_core::Result<Self> {
-        let cfg = TdpmConfig {
-            num_categories: num_topics,
-            seed,
-            ..TdpmConfig::default()
-        };
-        let model = TdpmTrainer::new(cfg).fit(db)?;
-        Ok(TdpmSelector { model })
-    }
-
-    /// The underlying model.
-    pub fn model(&self) -> &TdpmModel {
-        &self.model
-    }
-
-    /// Mutable access (for incremental updates in the platform pipeline).
-    pub fn model_mut(&mut self) -> &mut TdpmModel {
-        &mut self.model
-    }
-}
-
-impl CrowdSelector for TdpmSelector {
-    fn name(&self) -> &'static str {
-        "TDPM"
-    }
-
-    fn rank(&self, task: &BagOfWords, candidates: &[WorkerId]) -> Vec<RankedWorker> {
-        let projection = self.model.project_bow(task);
-        self.model
-            .rank_all(&projection, candidates.iter().copied())
-    }
-
-    fn rank_trained(
-        &self,
-        task: crowd_store::TaskId,
-        bow: &BagOfWords,
-        candidates: &[WorkerId],
-    ) -> Vec<RankedWorker> {
-        match self.model.trained_projection(task) {
-            Some(projection) => self.model.rank_all(projection, candidates.iter().copied()),
-            None => self.rank(bow, candidates),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crowd_text::tokenize_filtered;
-
-    #[test]
-    fn end_to_end_selector_routes_correctly() {
-        let mut db = CrowdDb::new();
-        let dba = db.add_worker("dba");
-        let stat = db.add_worker("stat");
-        for i in 0..10 {
-            let (text, good, bad) = if i % 2 == 0 {
-                ("btree page split index buffer disk", dba, stat)
-            } else {
-                ("gaussian prior posterior likelihood variance", stat, dba)
-            };
-            let t = db.add_task(text);
-            db.assign(good, t).unwrap();
-            db.assign(bad, t).unwrap();
-            db.record_feedback(good, t, 4.0).unwrap();
-            db.record_feedback(bad, t, 0.5).unwrap();
-        }
-        let tdpm = TdpmSelector::fit(&db, 2, 7).unwrap();
-        assert_eq!(tdpm.name(), "TDPM");
-
-        let task = BagOfWords::from_tokens(
-            &tokenize_filtered("btree page buffer"),
-            db.vocab_mut(),
-        );
-        let ranked = tdpm.rank(&task, &[dba, stat]);
-        assert_eq!(ranked[0].worker, dba);
-
-        let task = BagOfWords::from_tokens(
-            &tokenize_filtered("posterior variance prior"),
-            db.vocab_mut(),
-        );
-        let top = tdpm.select(&task, &[dba, stat], 1);
-        assert_eq!(top[0].worker, stat);
-    }
-
-    #[test]
-    fn unknown_candidates_dropped() {
-        let mut db = CrowdDb::new();
-        let w = db.add_worker("only");
-        let t = db.add_task("single task words here");
-        db.assign(w, t).unwrap();
-        db.record_feedback(w, t, 1.0).unwrap();
-        let tdpm = TdpmSelector::fit(&db, 2, 1).unwrap();
-        let task = db.task(t).unwrap().bow.clone();
-        let ranked = tdpm.rank(&task, &[w, WorkerId(99)]);
-        assert_eq!(ranked.len(), 1);
-        assert_eq!(ranked[0].worker, w);
-    }
-}
+pub use crowd_core::backend::TdpmSelector;

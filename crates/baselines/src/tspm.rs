@@ -7,7 +7,7 @@
 use crate::drm::worker_profiles;
 use crate::lda::{Doc, Lda, LdaConfig};
 use crate::selector::CrowdSelector;
-use crowd_core::selection::{top_k, RankedWorker};
+use crowd_select::{top_k, RankedWorker};
 use crowd_store::{CrowdDb, TaskId, WorkerId};
 use crowd_text::BagOfWords;
 use std::collections::HashMap;

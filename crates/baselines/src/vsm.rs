@@ -1,7 +1,7 @@
 //! The Vector Space Model baseline (paper Section 7.2.1).
 
 use crate::selector::CrowdSelector;
-use crowd_core::selection::{top_k, RankedWorker};
+use crowd_select::{top_k, RankedWorker};
 use crowd_store::{CrowdDb, WorkerId};
 use crowd_text::similarity::cosine;
 use crowd_text::BagOfWords;

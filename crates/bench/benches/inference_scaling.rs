@@ -27,11 +27,9 @@ fn inference_scaling(c: &mut Criterion) {
     for scale in [0.02, 0.04, 0.08] {
         let platform = PlatformGenerator::new(SimConfig::quora(scale, 7)).generate();
         let ts = TrainingSet::from_db(&platform.db);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(ts.num_tasks()),
-            &ts,
-            |b, ts| b.iter(|| fit(ts, 8)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(ts.num_tasks()), &ts, |b, ts| {
+            b.iter(|| fit(ts, 8))
+        });
     }
     group.finish();
 

@@ -54,6 +54,36 @@ fn math_kernels(c: &mut Criterion) {
     }
     group.finish();
 
+    // The worker E-step resets a precision matrix and RHS to the prior for
+    // every worker each EM iteration. Contrast the old per-worker clone with
+    // the EStepScratch pattern: reuse one allocation via copy_from.
+    let mut group = c.benchmark_group("estep_buffer_reset");
+    for k in [10usize, 50] {
+        let prior_prec = spd(k);
+        let prior_rhs = Vector::from_fn(k, |i| (i as f64).cos());
+        group.bench_with_input(BenchmarkId::new("clone", k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut prec = prior_prec.clone();
+                let mut rhs = prior_rhs.clone();
+                prec[(0, 0)] += 1.0;
+                rhs[0] += 1.0;
+                black_box((prec, rhs))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("copy_from", k), &k, |bench, _| {
+            let mut prec = prior_prec.clone();
+            let mut rhs = prior_rhs.clone();
+            bench.iter(|| {
+                prec.copy_from(&prior_prec).unwrap();
+                rhs.copy_from(&prior_rhs).unwrap();
+                prec[(0, 0)] += 1.0;
+                rhs[0] += 1.0;
+                black_box((&mut prec, &mut rhs));
+            })
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("softmax");
     for n in [10usize, 50, 200] {
         let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();

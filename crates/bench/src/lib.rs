@@ -52,5 +52,7 @@ pub fn group_workloads(
 
 /// One full selection query: rank the candidates, keep the top-k.
 pub fn run_query(selector: &dyn CrowdSelector, question: &TestQuestion, k: usize) -> usize {
-    selector.select(&question.bow, &question.candidates, k).len()
+    selector
+        .select(&question.bow, &question.candidates, k)
+        .len()
 }

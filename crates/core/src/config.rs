@@ -64,13 +64,17 @@ impl TdpmConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> crate::Result<()> {
         if self.num_categories == 0 {
-            return Err(crate::CoreError::InvalidConfig("num_categories must be ≥ 1"));
+            return Err(crate::CoreError::InvalidConfig(
+                "num_categories must be ≥ 1",
+            ));
         }
         if self.max_em_iters == 0 {
             return Err(crate::CoreError::InvalidConfig("max_em_iters must be ≥ 1"));
         }
         if self.beta_smoothing <= 0.0 || self.beta_smoothing.is_nan() {
-            return Err(crate::CoreError::InvalidConfig("beta_smoothing must be > 0"));
+            return Err(crate::CoreError::InvalidConfig(
+                "beta_smoothing must be > 0",
+            ));
         }
         if self.min_tau2 <= 0.0 || self.min_tau2.is_nan() {
             return Err(crate::CoreError::InvalidConfig("min_tau2 must be > 0"));

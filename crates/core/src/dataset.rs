@@ -48,8 +48,7 @@ impl TrainingSet {
             .resolved_tasks()
             .into_iter()
             .map(|rt| {
-                let words: Vec<(usize, u32)> =
-                    rt.bow.iter().map(|(t, c)| (t.index(), c)).collect();
+                let words: Vec<(usize, u32)> = rt.bow.iter().map(|(t, c)| (t.index(), c)).collect();
                 let num_tokens = rt.bow.total_tokens() as f64;
                 let scores = rt
                     .scores
@@ -74,11 +73,7 @@ impl TrainingSet {
 
     /// Builds a training set directly (used by tests and the generative
     /// round-trip). `scores` use dense worker indexes `< num_workers`.
-    pub fn from_parts(
-        tasks: Vec<TaskData>,
-        num_workers: usize,
-        vocab_size: usize,
-    ) -> Self {
+    pub fn from_parts(tasks: Vec<TaskData>, num_workers: usize, vocab_size: usize) -> Self {
         let worker_ids: Vec<WorkerId> = (0..num_workers as u32).map(WorkerId).collect();
         let worker_index = worker_ids
             .iter()

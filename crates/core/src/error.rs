@@ -41,7 +41,9 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(CoreError::EmptyTrainingSet.to_string().contains("resolved"));
-        assert!(CoreError::InvalidConfig("k = 0").to_string().contains("k = 0"));
+        assert!(CoreError::InvalidConfig("k = 0")
+            .to_string()
+            .contains("k = 0"));
     }
 
     #[test]

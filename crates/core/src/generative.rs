@@ -8,7 +8,7 @@
 use crate::dataset::{TaskData, TrainingSet};
 use crate::params::ModelParams;
 use crate::Result;
-use crowd_math::{Vector};
+use crowd_math::Vector;
 use crowd_store::TaskId;
 use rand::{Rng, RngExt};
 use rand_distr::{Distribution, Normal};
@@ -196,11 +196,7 @@ mod tests {
         let mut observed = Vec::new();
         for (j, t) in data.training.tasks().iter().enumerate() {
             for &(i, s) in &t.scores {
-                predicted.push(
-                    data.worker_skills[i]
-                        .dot(&data.task_categories[j])
-                        .unwrap(),
-                );
+                predicted.push(data.worker_skills[i].dot(&data.task_categories[j]).unwrap());
                 observed.push(s);
             }
         }

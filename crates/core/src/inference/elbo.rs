@@ -62,7 +62,7 @@ pub fn elbo(state: &VariationalState, ts: &TrainingSet, ctx: &EStepContext) -> E
             task.num_tokens,
             &state.lambda_c[j],
             &state.nu2_c[j],
-            &state.phi[j],
+            state.phi.row(j),
             state.epsilon[j],
             &ctx.log_beta,
             k,
@@ -123,7 +123,10 @@ mod tests {
         let lambda = Vector::from_vec(vec![0.3, -0.7]);
         let nu2 = Vector::from_vec(vec![2.0, 0.5]);
         let sigma = Matrix::from_diag(&nu2);
-        let inv = crowd_math::Cholesky::factor(&sigma).unwrap().inverse().unwrap();
+        let inv = crowd_math::Cholesky::factor(&sigma)
+            .unwrap()
+            .inverse()
+            .unwrap();
         let log_det = crowd_math::Cholesky::factor(&sigma).unwrap().log_det();
         let kl = gaussian_kl(&lambda, &nu2, &lambda, &inv, log_det);
         assert!(kl.abs() < 1e-10, "kl = {kl}");

@@ -8,6 +8,36 @@ use crate::{CoreError, Result};
 use crowd_math::optimize::{minimize_cg, solve_decreasing};
 use crowd_math::{Cholesky, Matrix, Vector};
 
+/// Reusable buffers for the worker E-step.
+///
+/// Every worker update starts from the same prior precision and right-hand
+/// side; cloning them per worker (the old hot path) costs two heap
+/// allocations per worker per EM iteration. The scratch holds one set of
+/// buffers that are *overwritten* with the prior instead — the arithmetic is
+/// unchanged, so results stay bit-identical to the allocating version.
+#[derive(Debug, Clone)]
+pub struct EStepScratch {
+    precision: Matrix,
+    rhs: Vector,
+    diag_acc: Vector,
+}
+
+impl EStepScratch {
+    /// Buffers for a `k`-category model.
+    pub fn new(k: usize) -> Self {
+        EStepScratch {
+            precision: Matrix::zeros(k, k),
+            rhs: Vector::zeros(k),
+            diag_acc: Vector::zeros(k),
+        }
+    }
+
+    /// Number of latent categories the buffers are sized for.
+    pub fn num_categories(&self) -> usize {
+        self.rhs.len()
+    }
+}
+
 /// Updates every worker posterior `q(w^i)` (Eqs. 10–11).
 ///
 /// For worker `i` with scored tasks `J_i`:
@@ -19,21 +49,27 @@ use crowd_math::{Cholesky, Matrix, Vector};
 /// ```
 ///
 /// Workers without feedback keep the mean-field projection of the prior
-/// (both formulas with empty sums).
+/// (both formulas with empty sums). `scratch` carries the per-worker
+/// accumulators across calls so the loop allocates nothing but the solved
+/// means.
 #[allow(clippy::needless_range_loop)] // indexes address several parallel arrays
 pub fn update_workers(
     state: &mut VariationalState,
     ts: &TrainingSet,
     ctx: &EStepContext,
     by_worker: &[Vec<(usize, f64)>],
+    scratch: &mut EStepScratch,
 ) -> Result<()> {
     let k = state.num_categories();
     let inv_tau2 = 1.0 / ctx.tau2;
     for i in 0..ts.num_workers() {
         let jobs = &by_worker[i];
-        let mut precision = ctx.sigma_w_inv.clone();
-        let mut rhs = ctx.prior_rhs_w.clone();
-        let mut diag_acc = Vector::zeros(k);
+        let precision = &mut scratch.precision;
+        let rhs = &mut scratch.rhs;
+        let diag_acc = &mut scratch.diag_acc;
+        precision.copy_from(&ctx.sigma_w_inv)?;
+        rhs.copy_from(&ctx.prior_rhs_w)?;
+        diag_acc.as_mut_slice().fill(0.0);
         for &(j, s) in jobs {
             let lc = &state.lambda_c[j];
             let nc2 = &state.nu2_c[j];
@@ -45,9 +81,9 @@ pub fn update_workers(
                 diag_acc[kk] += (lc[kk] * lc[kk] + nc2[kk]) * inv_tau2;
             }
         }
-        let chol = Cholesky::factor_with_jitter(&precision, 1e-10, 40)
+        let chol = Cholesky::factor_with_jitter(precision, 1e-10, 40)
             .map_err(|e| CoreError::Numerical(format!("worker {i} precision: {e}")))?;
-        state.lambda_w[i] = chol.solve(&rhs)?;
+        state.lambda_w[i] = chol.solve(rhs)?;
         for kk in 0..k {
             state.nu2_w[i][kk] = 1.0 / (diag_acc[kk] + ctx.sigma_w_inv[(kk, kk)]);
         }
@@ -115,8 +151,9 @@ pub struct TaskPosterior<'a> {
     pub lambda: &'a mut Vector,
     /// `ν_c^j²`.
     pub nu2: &'a mut Vector,
-    /// Flattened `(distinct terms) × K` responsibilities.
-    pub phi: &'a mut Vec<f64>,
+    /// Flattened `(distinct terms) × K` responsibilities — one row of the
+    /// state's contiguous [`crate::variational::PhiMatrix`].
+    pub phi: &'a mut [f64],
     /// Taylor parameter `ε_j`.
     pub epsilon: &'a mut f64,
 }
@@ -187,8 +224,7 @@ pub fn update_task(
         // --- ν_c² update (Eq. 15 / 23) ---------------------------------------
         // Root of 1/(2x) − ½ (Σ_c⁻¹)_kk − τ⁻²/2 A_kk − (L/2ε) e^{λ_k + x/2}.
         for kk in 0..k {
-            let q = 0.5 * ctx.sigma_c_inv[(kk, kk)]
-                + 0.5 * inv_tau2 * update.feedback.a[(kk, kk)];
+            let q = 0.5 * ctx.sigma_c_inv[(kk, kk)] + 0.5 * inv_tau2 * update.feedback.a[(kk, kk)];
             let lam = post.lambda[kk];
             let word_scale = if update.num_tokens > 0.0 {
                 update.num_tokens / (2.0 * *post.epsilon)
@@ -353,7 +389,8 @@ mod tests {
         let mut state = VariationalState::init(&ts, 2, 0);
         // Worker 0 with no jobs at all:
         let by_worker = vec![vec![], vec![]];
-        update_workers(&mut state, &ts, &ctx, &by_worker).unwrap();
+        let mut scratch = EStepScratch::new(2);
+        update_workers(&mut state, &ts, &ctx, &by_worker, &mut scratch).unwrap();
         for kk in 0..2 {
             assert!((state.lambda_w[0][kk] - params.mu_w[kk]).abs() < 1e-10);
             assert!((state.nu2_w[0][kk] - 1.0).abs() < 1e-10, "identity prior");
@@ -369,7 +406,8 @@ mod tests {
         state.lambda_c[0] = Vector::from_vec(vec![2.0, 0.0]);
         state.nu2_c[0] = Vector::from_vec(vec![0.01, 0.01]);
         let by_worker = ts.scores_by_worker();
-        update_workers(&mut state, &ts, &ctx, &by_worker).unwrap();
+        let mut scratch = EStepScratch::new(2);
+        update_workers(&mut state, &ts, &ctx, &by_worker, &mut scratch).unwrap();
         // Worker 0 scored 3.0 on task 0 → skill along axis 0 must be positive
         // and larger than worker 1's (scored 0.5 on the same task).
         assert!(state.lambda_w[0][0] > state.lambda_w[1][0]);
@@ -400,13 +438,9 @@ mod tests {
         let (ts, params, cfg) = toy();
         let ctx = EStepContext::new(&params).unwrap();
         let mut state = VariationalState::init(&ts, 2, 1);
-        let stats = TaskFeedbackStats::gather(
-            &ts.tasks()[0].scores,
-            &state.lambda_w,
-            &state.nu2_w,
-            2,
-        )
-        .unwrap();
+        let stats =
+            TaskFeedbackStats::gather(&ts.tasks()[0].scores, &state.lambda_w, &state.nu2_w, 2)
+                .unwrap();
         let update = TaskUpdate {
             words: &ts.tasks()[0].words,
             num_tokens: ts.tasks()[0].num_tokens,
@@ -417,7 +451,7 @@ mod tests {
         let mut post = TaskPosterior {
             lambda: lc,
             nu2: &mut state.nu2_c[0],
-            phi: &mut state.phi[0],
+            phi: state.phi.row_mut(0),
             epsilon: &mut state.epsilon[0],
         };
         update_task(&update, &mut post, &ctx, &cfg).unwrap();
@@ -440,8 +474,7 @@ mod tests {
         let nu2 = Vector::from_vec(vec![0.8, 1.2, 0.5]);
         let lambda_w = vec![Vector::from_vec(vec![1.0, -0.5, 0.3])];
         let nu2_w = vec![Vector::filled(3, 0.4)];
-        let feedback =
-            TaskFeedbackStats::gather(&[(0, 2.0)], &lambda_w, &nu2_w, 3).unwrap();
+        let feedback = TaskFeedbackStats::gather(&[(0, 2.0)], &lambda_w, &nu2_w, 3).unwrap();
         let objective = TaskMeanObjective {
             ctx: &ctx,
             phi_sum: &phi_sum,
@@ -480,13 +513,9 @@ mod tests {
         let (ts, params, cfg) = toy();
         let ctx = EStepContext::new(&params).unwrap();
         let mut state = VariationalState::init(&ts, 2, 5);
-        let stats = TaskFeedbackStats::gather(
-            &ts.tasks()[0].scores,
-            &state.lambda_w,
-            &state.nu2_w,
-            2,
-        )
-        .unwrap();
+        let stats =
+            TaskFeedbackStats::gather(&ts.tasks()[0].scores, &state.lambda_w, &state.nu2_w, 2)
+                .unwrap();
         let update = TaskUpdate {
             words: &ts.tasks()[0].words,
             num_tokens: ts.tasks()[0].num_tokens,
@@ -500,7 +529,7 @@ mod tests {
         let mut post = TaskPosterior {
             lambda: &mut state.lambda_c[0],
             nu2: &mut state.nu2_c[0],
-            phi: &mut state.phi[0],
+            phi: state.phi.row_mut(0),
             epsilon: &mut state.epsilon[0],
         };
         update_task(&update, &mut post, &ctx, &cfg).unwrap();
@@ -542,12 +571,12 @@ mod tests {
         };
         let mut lambda = Vector::zeros(2);
         let mut nu2 = Vector::filled(2, 1.0);
-        let mut phi = vec![0.5; 2];
+        let mut phi = [0.5; 2];
         let mut eps = 2.0;
         let mut post = TaskPosterior {
             lambda: &mut lambda,
             nu2: &mut nu2,
-            phi: &mut phi,
+            phi: &mut phi[..],
             epsilon: &mut eps,
         };
         update_task(&update, &mut post, &ctx, &cfg).unwrap();

@@ -179,11 +179,7 @@ fn log_posterior_c(
 /// Draws `x ~ Normal(mean, P⁻¹)` given the Cholesky factor `L` of the
 /// precision `P = L Lᵀ`: solve `Lᵀ x₀ = z` for standard-normal `z`, then
 /// `x = mean + x₀` (cov(x₀) = L⁻ᵀ L⁻¹ = P⁻¹).
-fn sample_from_precision(
-    chol: &Cholesky,
-    mean: &Vector,
-    rng: &mut StdRng,
-) -> Result<Vector> {
+fn sample_from_precision(chol: &Cholesky, mean: &Vector, rng: &mut StdRng) -> Result<Vector> {
     let n = chol.dim();
     let z = Vector::from_fn(n, |_| standard_normal(rng));
     // Back substitution against Lᵀ.
@@ -226,7 +222,11 @@ mod tests {
                 let a = j % 2 == 0;
                 TaskData {
                     task: TaskId(j),
-                    words: if a { vec![(0, 3), (1, 2)] } else { vec![(2, 3), (3, 2)] },
+                    words: if a {
+                        vec![(0, 3), (1, 2)]
+                    } else {
+                        vec![(2, 3), (3, 2)]
+                    },
                     num_tokens: 5.0,
                     scores: if a {
                         vec![(0, 2.5), (1, 0.2)]
@@ -289,8 +289,7 @@ mod tests {
         };
         let (model, _) = crate::TdpmTrainer::new(cfg).fit_training_set(&ts).unwrap();
         let _ = params;
-        let summary =
-            sample_posterior(model.params(), &ts, &quick_cfg()).unwrap();
+        let summary = sample_posterior(model.params(), &ts, &quick_cfg()).unwrap();
 
         let mut variational = Vec::new();
         let mut mcmc = Vec::new();
@@ -322,10 +321,7 @@ mod tests {
         let (params, ts) = planted();
         let a = sample_posterior(&params, &ts, &quick_cfg()).unwrap();
         let b = sample_posterior(&params, &ts, &quick_cfg()).unwrap();
-        assert_eq!(
-            a.worker_means[0].as_slice(),
-            b.worker_means[0].as_slice()
-        );
+        assert_eq!(a.worker_means[0].as_slice(), b.worker_means[0].as_slice());
         assert_eq!(a.acceptance_rate, b.acceptance_rate);
     }
 }

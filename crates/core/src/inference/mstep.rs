@@ -74,7 +74,7 @@ pub fn update_params(
     if v_size > 0 {
         let mut beta = Matrix::from_fn(k, v_size, |_, _| cfg.beta_smoothing);
         for (j, task) in ts.tasks().iter().enumerate() {
-            let phi = &state.phi[j];
+            let phi = state.phi.row(j);
             for (slot, &(v, cnt)) in task.words.iter().enumerate() {
                 for kk in 0..k {
                     beta[(kk, v)] += cnt as f64 * phi[slot * k + kk];
@@ -204,7 +204,7 @@ mod tests {
     fn beta_rows_are_distributions_weighted_by_phi() {
         let (ts, mut state, cfg) = toy_state();
         // Put all responsibility for both words on topic 0.
-        state.phi[0] = vec![1.0, 0.0, 1.0, 0.0];
+        state.phi.row_mut(0).copy_from_slice(&[1.0, 0.0, 1.0, 0.0]);
         let mut params = ModelParams::neutral(2, 2);
         update_params(&mut params, &state, &ts, &cfg, true).unwrap();
         for kk in 0..2 {
@@ -238,7 +238,11 @@ mod tests {
         let ts2 = TrainingSet::from_parts(tasks, 2, 2);
         let mut params = ModelParams::neutral(2, 2);
         update_params(&mut params, &state, &ts2, &cfg, true).unwrap();
-        assert!((params.tau2() - 1.0).abs() < 1e-9, "tau² = {}", params.tau2());
+        assert!(
+            (params.tau2() - 1.0).abs() < 1e-9,
+            "tau² = {}",
+            params.tau2()
+        );
         let _ = ts;
     }
 

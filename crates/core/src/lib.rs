@@ -41,6 +41,7 @@
 //! assert_eq!(ranked.len(), 1);
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod dataset;
 pub mod error;
@@ -53,7 +54,9 @@ pub mod selection;
 pub mod trainer;
 pub mod variational;
 
+pub use backend::{TdpmBackend, TdpmSelector};
 pub use config::TdpmConfig;
+pub use crowd_select::CrowdSelector;
 pub use dataset::TrainingSet;
 pub use error::CoreError;
 pub use model::{TaskProjection, TdpmModel};

@@ -208,11 +208,8 @@ impl TdpmModel {
     pub fn project_words(&self, words: &[(usize, u32)]) -> TaskProjection {
         let k = self.num_categories();
         let vocab = self.params.vocab_size();
-        let filtered: Vec<(usize, u32)> = words
-            .iter()
-            .copied()
-            .filter(|&(v, _)| v < vocab)
-            .collect();
+        let filtered: Vec<(usize, u32)> =
+            words.iter().copied().filter(|&(v, _)| v < vocab).collect();
         let num_tokens: f64 = filtered.iter().map(|&(_, c)| c as f64).sum();
 
         let mut lambda = self.ctx.mu_c.clone();
@@ -233,7 +230,7 @@ impl TdpmModel {
             let mut post = TaskPosterior {
                 lambda: &mut lambda,
                 nu2: &mut nu2,
-                phi: &mut phi,
+                phi: &mut phi[..],
                 epsilon: &mut epsilon,
             };
             // Projection failures only happen on degenerate numerics; fall
@@ -263,9 +260,9 @@ impl TdpmModel {
         candidates: impl IntoIterator<Item = WorkerId>,
         k: usize,
     ) -> Vec<RankedWorker> {
-        let scored = candidates.into_iter().filter_map(|w| {
-            self.score(w, projection).map(|s| (w, s))
-        });
+        let scored = candidates
+            .into_iter()
+            .filter_map(|w| self.score(w, projection).map(|s| (w, s)));
         top_k(scored, k)
     }
 
@@ -310,10 +307,9 @@ impl TdpmModel {
         rng: &mut impl Rng,
     ) -> Vec<RankedWorker> {
         let c = projection.sample(rng);
-        let scored = candidates.into_iter().filter_map(|w| {
-            self.skill(w)
-                .map(|s| (w, s.mean.dot(&c).expect("dims")))
-        });
+        let scored = candidates
+            .into_iter()
+            .filter_map(|w| self.skill(w).map(|s| (w, s.mean.dot(&c).expect("dims"))));
         top_k(scored, k)
     }
 
@@ -510,7 +506,11 @@ mod tests {
         let proj = model.project_words(&[(0, 8)]);
         model.record_feedback(WorkerId(2), &proj, 5.0).unwrap();
         let after = model.skill(WorkerId(2)).unwrap();
-        assert!(after.mean[0] > 0.5, "CS coordinate rose: {:?}", after.mean.as_slice());
+        assert!(
+            after.mean[0] > 0.5,
+            "CS coordinate rose: {:?}",
+            after.mean.as_slice()
+        );
         assert!(after.mean[0] > after.mean[1]);
         assert_eq!(after.num_jobs(), 1);
         // Posterior variance shrank along the informative direction.
@@ -525,9 +525,7 @@ mod tests {
             model.record_feedback(WorkerId(42), &proj, 1.0),
             Err(CoreError::UnknownWorker(_))
         ));
-        assert!(model
-            .record_feedback(WorkerId(0), &proj, f64::NAN)
-            .is_err());
+        assert!(model.record_feedback(WorkerId(0), &proj, f64::NAN).is_err());
     }
 
     #[test]
@@ -590,9 +588,7 @@ mod tests {
         model.add_worker(WorkerId(9));
         let p = model.project_words(&[(0, 5)]);
         let bonus = |m: &TdpmModel| {
-            let opt = m
-                .select_top_k_optimistic(&p, vec![WorkerId(9)], 1, 1.0)[0]
-                .score;
+            let opt = m.select_top_k_optimistic(&p, vec![WorkerId(9)], 1, 1.0)[0].score;
             let mean = m.score(WorkerId(9), &p).unwrap();
             opt - mean
         };

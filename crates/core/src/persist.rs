@@ -200,9 +200,7 @@ mod tests {
     #[test]
     fn restored_model_accepts_incremental_updates() {
         let model = trained_model();
-        let mut restored = ModelSnapshot::capture(&model)
-            .restore()
-            .unwrap();
+        let mut restored = ModelSnapshot::capture(&model).restore().unwrap();
         let before = restored.skill(WorkerId(1)).unwrap().num_jobs();
         let p = restored.project_words(&[(0, 3)]);
         restored

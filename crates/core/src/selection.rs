@@ -1,179 +1,7 @@
 //! Top-k worker selection (paper Eq. 1).
+//!
+//! The primitives now live in the backend-agnostic `crowd-select` crate so
+//! every selection algorithm (TDPM and the baselines) shares them; this
+//! module re-exports them under their historical paths.
 
-use crowd_store::WorkerId;
-
-/// A worker together with its predicted performance on a task.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RankedWorker {
-    /// The worker.
-    pub worker: WorkerId,
-    /// Predicted performance `w^i (c^j)ᵀ`.
-    pub score: f64,
-}
-
-/// Selects the `k` highest-scoring workers, descending by score.
-///
-/// Eq. 1 asks for `argmax_{|R|=k} Σ_{i∈R} w^i (c^j)ᵀ`; because the objective
-/// is a sum of independent per-worker terms, the optimal subset is exactly
-/// the `k` largest scores. A bounded min-heap keeps this `O(n log k)`.
-///
-/// Ties break toward the smaller [`WorkerId`] for determinism; NaN scores
-/// are skipped.
-pub fn top_k(
-    scored: impl IntoIterator<Item = (WorkerId, f64)>,
-    k: usize,
-) -> Vec<RankedWorker> {
-    use std::cmp::Ordering;
-    use std::collections::BinaryHeap;
-
-    if k == 0 {
-        return Vec::new();
-    }
-
-    // Min-heap via reversed ordering; entry = (score, worker).
-    #[derive(PartialEq)]
-    struct Entry(f64, WorkerId);
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            // The heap pops its greatest element, so "greater" must mean
-            // "worse": lower score, then (on ties) larger worker id.
-            other
-                .0
-                .total_cmp(&self.0)
-                .then_with(|| self.1.cmp(&other.1))
-        }
-    }
-
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
-    for (worker, score) in scored {
-        if score.is_nan() {
-            continue;
-        }
-        heap.push(Entry(score, worker));
-        if heap.len() > k {
-            heap.pop(); // evicts the current worst
-        }
-    }
-    let mut out: Vec<RankedWorker> = heap
-        .into_iter()
-        .map(|Entry(score, worker)| RankedWorker { worker, score })
-        .collect();
-    out.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| a.worker.cmp(&b.worker))
-    });
-    out
-}
-
-/// Rank position (1-based) of `target` in a full descending ranking of
-/// `scored`. Returns `None` if the target is absent.
-///
-/// Used by the evaluation metrics (ACCU needs "the rank of the right
-/// worker", Section 7.2.2).
-pub fn rank_of(
-    scored: impl IntoIterator<Item = (WorkerId, f64)>,
-    target: WorkerId,
-) -> Option<usize> {
-    let mut target_score: Option<f64> = None;
-    let mut all: Vec<(WorkerId, f64)> = Vec::new();
-    for (w, s) in scored {
-        if w == target {
-            target_score = Some(s);
-        }
-        all.push((w, s));
-    }
-    let ts = target_score?;
-    // Rank = 1 + number of strictly better workers (+ tie-break by id).
-    let better = all
-        .iter()
-        .filter(|&&(w, s)| {
-            s.total_cmp(&ts) == std::cmp::Ordering::Greater
-                || (s.total_cmp(&ts) == std::cmp::Ordering::Equal && w < target)
-        })
-        .count();
-    Some(better + 1)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn scored(xs: &[(u32, f64)]) -> Vec<(WorkerId, f64)> {
-        xs.iter().map(|&(w, s)| (WorkerId(w), s)).collect()
-    }
-
-    #[test]
-    fn picks_k_largest_descending() {
-        let out = top_k(scored(&[(0, 1.0), (1, 5.0), (2, 3.0), (3, 4.0)]), 2);
-        assert_eq!(out.len(), 2);
-        assert_eq!(out[0].worker, WorkerId(1));
-        assert_eq!(out[1].worker, WorkerId(3));
-    }
-
-    #[test]
-    fn k_larger_than_candidates_returns_all() {
-        let out = top_k(scored(&[(0, 1.0), (1, 2.0)]), 10);
-        assert_eq!(out.len(), 2);
-        assert_eq!(out[0].worker, WorkerId(1));
-    }
-
-    #[test]
-    fn k_zero_returns_empty() {
-        assert!(top_k(scored(&[(0, 1.0)]), 0).is_empty());
-    }
-
-    #[test]
-    fn ties_break_by_smaller_id() {
-        let out = top_k(scored(&[(5, 1.0), (2, 1.0), (9, 1.0)]), 2);
-        assert_eq!(out[0].worker, WorkerId(2));
-        assert_eq!(out[1].worker, WorkerId(5));
-    }
-
-    #[test]
-    fn nan_scores_are_skipped() {
-        let out = top_k(scored(&[(0, f64::NAN), (1, 1.0)]), 2);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].worker, WorkerId(1));
-    }
-
-    #[test]
-    fn matches_naive_sort_on_larger_input() {
-        let xs: Vec<(WorkerId, f64)> = (0..100)
-            .map(|i| (WorkerId(i), ((i * 37) % 41) as f64))
-            .collect();
-        let fast = top_k(xs.clone(), 7);
-        let mut naive = xs;
-        naive.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        for (f, n) in fast.iter().zip(naive.iter().take(7)) {
-            assert_eq!(f.worker, n.0);
-        }
-    }
-
-    #[test]
-    fn rank_of_positions() {
-        let xs = scored(&[(0, 3.0), (1, 5.0), (2, 1.0)]);
-        assert_eq!(rank_of(xs.clone(), WorkerId(1)), Some(1));
-        assert_eq!(rank_of(xs.clone(), WorkerId(0)), Some(2));
-        assert_eq!(rank_of(xs.clone(), WorkerId(2)), Some(3));
-        assert_eq!(rank_of(xs, WorkerId(9)), None);
-    }
-
-    #[test]
-    fn rank_of_with_ties_is_consistent_with_top_k() {
-        let xs = scored(&[(3, 2.0), (1, 2.0), (2, 2.0)]);
-        // Order by id on ties: 1, 2, 3.
-        assert_eq!(rank_of(xs.clone(), WorkerId(1)), Some(1));
-        assert_eq!(rank_of(xs.clone(), WorkerId(2)), Some(2));
-        assert_eq!(rank_of(xs.clone(), WorkerId(3)), Some(3));
-        let top = top_k(xs, 3);
-        assert_eq!(top[0].worker, WorkerId(1));
-        assert_eq!(top[2].worker, WorkerId(3));
-    }
-}
+pub use crowd_select::{rank_of, top_k, RankedWorker};

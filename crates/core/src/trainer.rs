@@ -4,7 +4,7 @@ use crate::config::TdpmConfig;
 use crate::dataset::TrainingSet;
 use crate::inference::elbo::elbo;
 use crate::inference::estep::{
-    update_task, update_workers, TaskFeedbackStats, TaskPosterior, TaskUpdate,
+    update_task, update_workers, EStepScratch, TaskFeedbackStats, TaskPosterior, TaskUpdate,
 };
 use crate::inference::mstep::update_params;
 use crate::inference::EStepContext;
@@ -53,7 +53,7 @@ fn update_all_tasks(
     let run_range = |tasks: &[crate::dataset::TaskData],
                      lambda_c: &mut [crowd_math::Vector],
                      nu2_c: &mut [crowd_math::Vector],
-                     phi: &mut [Vec<f64>],
+                     mut phi: crate::variational::PhiRowsMut<'_>,
                      epsilon: &mut [f64]|
      -> Result<()> {
         for (j, task) in tasks.iter().enumerate() {
@@ -66,7 +66,7 @@ fn update_all_tasks(
             let mut post = TaskPosterior {
                 lambda: &mut lambda_c[j],
                 nu2: &mut nu2_c[j],
-                phi: &mut phi[j],
+                phi: phi.row_mut(j),
                 epsilon: &mut epsilon[j],
             };
             update_task(&update, &mut post, ctx, config)?;
@@ -79,12 +79,14 @@ fn update_all_tasks(
             ts.tasks(),
             &mut state.lambda_c,
             &mut state.nu2_c,
-            &mut state.phi,
+            state.phi.rows_mut(),
             &mut state.epsilon,
         );
     }
 
-    // Split all five aligned arrays into the same contiguous chunks.
+    // Split all five aligned arrays into the same contiguous chunks. The
+    // responsibilities are one flat buffer; PhiRowsMut::split_at_mut hands
+    // each thread its disjoint contiguous block of it.
     let n = ts.num_tasks();
     let chunk = n.div_ceil(threads);
     let mut results: Vec<Result<()>> = Vec::new();
@@ -93,7 +95,7 @@ fn update_all_tasks(
         let mut tasks_rest = ts.tasks();
         let mut lc_rest: &mut [crowd_math::Vector] = &mut state.lambda_c;
         let mut nc_rest: &mut [crowd_math::Vector] = &mut state.nu2_c;
-        let mut phi_rest: &mut [Vec<f64>] = &mut state.phi;
+        let mut phi_rest = state.phi.rows_mut();
         let mut eps_rest: &mut [f64] = &mut state.epsilon;
         while !tasks_rest.is_empty() {
             let take = chunk.min(tasks_rest.len());
@@ -107,9 +109,8 @@ fn update_all_tasks(
             nc_rest = n_rest;
             phi_rest = p_rest;
             eps_rest = e_rest;
-            handles.push(scope.spawn(move |_| {
-                run_range(tasks_now, lc_now, nc_now, phi_now, eps_now)
-            }));
+            handles
+                .push(scope.spawn(move |_| run_range(tasks_now, lc_now, nc_now, phi_now, eps_now)));
         }
         results = handles
             .into_iter()
@@ -161,6 +162,9 @@ impl TdpmTrainer {
         let mut trace = Vec::with_capacity(self.config.max_em_iters);
         let mut converged = false;
         let mut iterations = 0;
+        // One scratch for the whole EM run: the worker E-step resets it per
+        // worker instead of cloning fresh precision/RHS buffers each time.
+        let mut scratch = EStepScratch::new(k);
 
         for _ in 0..self.config.max_em_iters {
             iterations += 1;
@@ -173,7 +177,7 @@ impl TdpmTrainer {
             update_all_tasks(ts, &mut state, &ctx, &self.config)?;
 
             // E-step (b): worker posteriors, Eqs. 10–11.
-            update_workers(&mut state, ts, &ctx, &by_worker)?;
+            update_workers(&mut state, ts, &ctx, &by_worker, &mut scratch)?;
 
             let bound = elbo(&state, ts, &ctx).total();
             let improved = trace
@@ -211,8 +215,8 @@ impl TdpmTrainer {
                     sum_cc.add_diag(&state.nu2_c[j]).expect("square matrix");
                     sum_sc.axpy(s, &state.lambda_c[j]).expect("dims");
                     for kk in 0..k {
-                        sum_diag[kk] += state.lambda_c[j][kk] * state.lambda_c[j][kk]
-                            + state.nu2_c[j][kk];
+                        sum_diag[kk] +=
+                            state.lambda_c[j][kk] * state.lambda_c[j][kk] + state.nu2_c[j][kk];
                     }
                 }
                 TdpmModel::skill_from_training(

@@ -5,13 +5,120 @@ use crowd_math::Vector;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// Word responsibilities `φ` for every task, stored in one contiguous
+/// row-major buffer.
+///
+/// Conceptually this is a jagged `N × (distinct terms × K)` matrix — one row
+/// per task, each row the flattened `(term_slot, k)` responsibilities of that
+/// task. Storing the rows back-to-back in a single allocation (with an
+/// offsets table, CSR-style) keeps the per-iteration E-step sweep walking a
+/// single cache-friendly buffer instead of chasing `Vec<Vec<f64>>` pointers,
+/// and lets the parallel trainer split the state into contiguous per-thread
+/// blocks with no copying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhiMatrix {
+    data: Vec<f64>,
+    /// `offsets[j]..offsets[j + 1]` is task `j`'s row; `len = rows + 1`.
+    offsets: Vec<usize>,
+}
+
+impl PhiMatrix {
+    /// Builds a matrix with the given row lengths, every entry `value`.
+    pub fn filled(row_lens: impl IntoIterator<Item = usize>, value: f64) -> Self {
+        let mut offsets = vec![0usize];
+        for len in row_lens {
+            offsets.push(offsets.last().unwrap() + len);
+        }
+        PhiMatrix {
+            data: vec![value; *offsets.last().unwrap()],
+            offsets,
+        }
+    }
+
+    /// Number of rows (tasks).
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Task `j`'s flattened `(distinct terms) × K` responsibilities.
+    pub fn row(&self, j: usize) -> &[f64] {
+        &self.data[self.offsets[j]..self.offsets[j + 1]]
+    }
+
+    /// Mutable access to task `j`'s row.
+    pub fn row_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[self.offsets[j]..self.offsets[j + 1]]
+    }
+
+    /// Every stored value, across all rows.
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A mutable view over all rows that can be recursively split into
+    /// contiguous row blocks (the parallel E-step's partitioning primitive).
+    pub fn rows_mut(&mut self) -> PhiRowsMut<'_> {
+        PhiRowsMut {
+            data: &mut self.data,
+            offsets: &self.offsets,
+        }
+    }
+}
+
+/// A borrowed block of consecutive [`PhiMatrix`] rows.
+///
+/// Behaves like `&mut [row]`: [`PhiRowsMut::split_at_mut`] cuts the block in
+/// two at a row boundary, so scoped threads can each own a disjoint
+/// contiguous block of the underlying buffer.
+pub struct PhiRowsMut<'a> {
+    data: &'a mut [f64],
+    /// Absolute offsets of the covered rows (`len = rows + 1`); `offsets[0]`
+    /// is the base of `data` within the full matrix.
+    offsets: &'a [usize],
+}
+
+impl<'a> PhiRowsMut<'a> {
+    /// Rows in this block.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` when the block covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mutable access to local row `j` (relative to the block start).
+    pub fn row_mut(&mut self, j: usize) -> &mut [f64] {
+        let base = self.offsets[0];
+        &mut self.data[self.offsets[j] - base..self.offsets[j + 1] - base]
+    }
+
+    /// Splits the block into rows `[0, mid)` and `[mid, len)`.
+    pub fn split_at_mut(self, mid: usize) -> (PhiRowsMut<'a>, PhiRowsMut<'a>) {
+        let base = self.offsets[0];
+        let cut = self.offsets[mid] - base;
+        let (left, right) = self.data.split_at_mut(cut);
+        (
+            PhiRowsMut {
+                data: left,
+                offsets: &self.offsets[..=mid],
+            },
+            PhiRowsMut {
+                data: right,
+                offsets: &self.offsets[mid..],
+            },
+        )
+    }
+}
+
 /// Mean-field variational state over workers, tasks and word assignments.
 ///
 /// - `q(w^i) = Normal(λ_w^i, diag(ν_w^i²))`
 /// - `q(c^j) = Normal(λ_c^j, diag(ν_c^j²))`
 /// - `q(z_p^j) = Discrete(φ_p^j)` — stored per *distinct term* of each task
 ///   (identical occurrences share identical responsibilities), flattened as
-///   `phi[j][term_slot * K + k]`
+///   `phi.row(j)[term_slot * K + k]`
 /// - `ε_j` — the Taylor-expansion parameter for the softmax log-normalizer
 #[derive(Debug, Clone)]
 pub struct VariationalState {
@@ -23,8 +130,8 @@ pub struct VariationalState {
     pub lambda_c: Vec<Vector>,
     /// Task category variances (diagonal), `N × K`.
     pub nu2_c: Vec<Vector>,
-    /// Word responsibilities per task, flattened `(distinct terms) × K`.
-    pub phi: Vec<Vec<f64>>,
+    /// Word responsibilities, one contiguous row per task.
+    pub phi: PhiMatrix,
     /// Taylor parameters, one per task.
     pub epsilon: Vec<f64>,
 }
@@ -49,15 +156,15 @@ impl VariationalState {
         // starts sit in a collapsed fixed point where τ² absorbs all score
         // variance and skills never separate.
         let lambda_w = (0..ts.num_workers()).map(|_| noise_vec(1.0)).collect();
-        let nu2_w = (0..ts.num_workers()).map(|_| Vector::filled(k, 1.0)).collect();
-        let lambda_c = (0..ts.num_tasks()).map(|_| noise_vec(0.1)).collect();
-        let nu2_c = (0..ts.num_tasks()).map(|_| Vector::filled(k, 1.0)).collect();
-
-        let phi = ts
-            .tasks()
-            .iter()
-            .map(|t| vec![1.0 / k as f64; t.words.len() * k])
+        let nu2_w = (0..ts.num_workers())
+            .map(|_| Vector::filled(k, 1.0))
             .collect();
+        let lambda_c = (0..ts.num_tasks()).map(|_| noise_vec(0.1)).collect();
+        let nu2_c = (0..ts.num_tasks())
+            .map(|_| Vector::filled(k, 1.0))
+            .collect();
+
+        let phi = PhiMatrix::filled(ts.tasks().iter().map(|t| t.words.len() * k), 1.0 / k as f64);
         let epsilon = vec![k as f64; ts.num_tasks()]; // Σ exp(0 + 1/2) ≈ k·e^½; any positive start works
 
         VariationalState {
@@ -77,8 +184,7 @@ impl VariationalState {
 
     /// `true` when every stored quantity is finite and variances positive.
     pub fn is_sane(&self) -> bool {
-        let finite_vecs =
-            |vs: &[Vector]| vs.iter().all(Vector::is_finite);
+        let finite_vecs = |vs: &[Vector]| vs.iter().all(Vector::is_finite);
         let positive = |vs: &[Vector]| {
             vs.iter()
                 .all(|v| v.as_slice().iter().all(|&x| x > 0.0 && x.is_finite()))
@@ -88,10 +194,7 @@ impl VariationalState {
             && positive(&self.nu2_w)
             && positive(&self.nu2_c)
             && self.epsilon.iter().all(|&e| e > 0.0 && e.is_finite())
-            && self
-                .phi
-                .iter()
-                .all(|p| p.iter().all(|&x| x.is_finite() && x >= 0.0))
+            && self.phi.values().iter().all(|&x| x.is_finite() && x >= 0.0)
     }
 }
 
@@ -126,8 +229,9 @@ mod tests {
         assert_eq!(s.lambda_w.len(), 2);
         assert_eq!(s.lambda_c.len(), 2);
         assert_eq!(s.num_categories(), 4);
-        assert_eq!(s.phi[0].len(), 2 * 4);
-        assert_eq!(s.phi[1].len(), 4);
+        assert_eq!(s.phi.num_rows(), 2);
+        assert_eq!(s.phi.row(0).len(), 2 * 4);
+        assert_eq!(s.phi.row(1).len(), 4);
         assert_eq!(s.epsilon.len(), 2);
     }
 
@@ -147,9 +251,38 @@ mod tests {
     fn phi_rows_start_uniform() {
         let ts = tiny_ts();
         let s = VariationalState::init(&ts, 4, 0);
-        for x in &s.phi[0] {
+        for x in s.phi.row(0) {
             assert!((x - 0.25).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn phi_blocks_partition_the_buffer() {
+        let mut phi = PhiMatrix::filled([4usize, 2, 6, 2], 0.0);
+        // Stamp each row with its index through the block API…
+        let rows = phi.rows_mut();
+        let (mut left, rest) = rows.split_at_mut(1);
+        let (mut mid, mut right) = rest.split_at_mut(2);
+        assert_eq!((left.len(), mid.len(), right.len()), (1, 2, 1));
+        left.row_mut(0).fill(0.0);
+        mid.row_mut(0).fill(1.0);
+        mid.row_mut(1).fill(2.0);
+        right.row_mut(0).fill(3.0);
+        // …and read it back through the whole-matrix API.
+        for (j, want) in [0.0, 1.0, 2.0, 3.0].into_iter().enumerate() {
+            assert!(phi.row(j).iter().all(|&x| x == want), "row {j}");
+        }
+        assert_eq!(phi.values().len(), 14);
+    }
+
+    #[test]
+    fn empty_phi_split_is_fine() {
+        let mut phi = PhiMatrix::filled(std::iter::empty(), 0.5);
+        assert_eq!(phi.num_rows(), 0);
+        let rows = phi.rows_mut();
+        assert!(rows.is_empty());
+        let (a, b) = rows.split_at_mut(0);
+        assert!(a.is_empty() && b.is_empty());
     }
 
     #[test]

@@ -2,9 +2,12 @@
 
 use crowd_core::dataset::{TaskData, TrainingSet};
 use crowd_core::selection::{rank_of, top_k};
-use crowd_core::{TdpmConfig, TdpmTrainer};
+use crowd_core::{TaskProjection, TdpmConfig, TdpmTrainer};
+use crowd_math::Vector;
 use crowd_store::{TaskId, WorkerId};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn arb_scored() -> impl Strategy<Value = Vec<(WorkerId, f64)>> {
     prop::collection::vec((0u32..40, -100.0f64..100.0), 0..40).prop_map(|mut v| {
@@ -98,5 +101,49 @@ proptest! {
         // Projection of arbitrary (even out-of-vocab) words never panics.
         let p = model.project_words(&[(0, 1), (999, 3)]);
         prop_assert!(p.lambda.is_finite());
+    }
+
+    /// The three selection strategies — greedy (Eq. 1), optimistic with zero
+    /// exploration bonus, and Algorithm 3's sampled variant on a
+    /// zero-variance posterior — are the same ranking in disguise: with
+    /// `ν_c² = 0` the sampled category collapses to the mean and with
+    /// `β = 0` the UCB bonus vanishes, so all three must return the same
+    /// top-k workers in the same order.
+    #[test]
+    fn selection_strategies_agree_on_top_k(
+        ts in arb_training_set(),
+        lambda in prop::collection::vec(-4.0f64..4.0, 3),
+        k_select in 1usize..5,
+        rng_seed in 0u64..1000,
+    ) {
+        let cfg = TdpmConfig {
+            num_categories: 3,
+            max_em_iters: 4,
+            seed: 11,
+            ..TdpmConfig::default()
+        };
+        let (model, _) = TdpmTrainer::new(cfg).fit_training_set(&ts).unwrap();
+        let projection = TaskProjection {
+            lambda: Vector::from_vec(lambda),
+            nu2: Vector::zeros(3),
+            num_tokens: 1.0,
+        };
+        let candidates: Vec<WorkerId> = model.worker_ids().to_vec();
+
+        let greedy = model.select_top_k(&projection, candidates.clone(), k_select);
+        let optimistic =
+            model.select_top_k_optimistic(&projection, candidates.clone(), k_select, 0.0);
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let sampled =
+            model.select_top_k_sampled(&projection, candidates, k_select, &mut rng);
+
+        let workers = |rs: &[crowd_core::RankedWorker]| -> Vec<WorkerId> {
+            rs.iter().map(|r| r.worker).collect()
+        };
+        prop_assert_eq!(workers(&greedy), workers(&optimistic));
+        prop_assert_eq!(workers(&greedy), workers(&sampled));
+        for (g, o) in greedy.iter().zip(&optimistic) {
+            prop_assert!((g.score - o.score).abs() < 1e-15);
+        }
     }
 }

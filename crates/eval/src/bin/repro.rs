@@ -43,10 +43,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--exp" => args.exp = value("--exp")?,
             "--scale" => {
@@ -80,7 +77,9 @@ fn parse_args() -> Result<Args, String> {
                 args.mode = match value("--mode")?.as_str() {
                     "reconstruct" => EvalMode::Reconstruct,
                     "project" => EvalMode::Project,
-                    other => return Err(format!("--mode: expected reconstruct|project, got {other}")),
+                    other => {
+                        return Err(format!("--mode: expected reconstruct|project, got {other}"))
+                    }
                 }
             }
             "--help" | "-h" => {
@@ -127,8 +126,8 @@ fn main() -> ExitCode {
     };
 
     let all_exps = [
-        "table2", "fig3", "table3", "table4", "fig4", "fig5", "table5", "table6", "fig6",
-        "fig7", "table7", "table8", "fig8",
+        "table2", "fig3", "table3", "table4", "fig4", "fig5", "table5", "table6", "fig6", "fig7",
+        "table7", "table8", "fig8",
     ];
     let selected: Vec<&str> = if args.exp == "all" {
         all_exps.to_vec()

@@ -140,11 +140,7 @@ impl PlatformExperiments {
     /// coverage figures up to 6.
     pub fn group_thresholds(&self) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
         match self.platform.config.kind {
-            PlatformKind::Quora => (
-                vec![1, 5, 9],
-                vec![1, 2, 3, 4, 5],
-                vec![1, 2, 3, 4, 5, 9],
-            ),
+            PlatformKind::Quora => (vec![1, 5, 9], vec![1, 2, 3, 4, 5], vec![1, 2, 3, 4, 5, 9]),
             PlatformKind::Yahoo => (
                 vec![10, 15, 20],
                 vec![10, 15, 20, 25, 30],

@@ -134,9 +134,7 @@ impl EvalProtocol {
             .iter()
             .map(|q| {
                 let ranked = match self.mode {
-                    EvalMode::Reconstruct => {
-                        selector.rank_trained(q.task, &q.bow, &q.candidates)
-                    }
+                    EvalMode::Reconstruct => selector.rank_trained(q.task, &q.bow, &q.candidates),
                     EvalMode::Project => selector.rank(&q.bow, &q.candidates),
                 };
                 let rank = ranked
@@ -309,9 +307,7 @@ mod tests {
                 // Drops the lexicographically smallest candidate entirely.
                 let min = c.iter().min().copied();
                 top_k(
-                    c.iter()
-                        .filter(|&&w| Some(w) != min)
-                        .map(|&w| (w, 1.0)),
+                    c.iter().filter(|&&w| Some(w) != min).map(|&w| (w, 1.0)),
                     c.len(),
                 )
             }

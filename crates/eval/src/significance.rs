@@ -99,7 +99,9 @@ mod tests {
     #[test]
     fn noisy_tiny_gap_is_uncertain() {
         // Same distribution with a tiny offset far below its spread.
-        let a: Vec<f64> = (0..50).map(|i| ((i * 37) % 50) as f64 / 50.0 + 0.001).collect();
+        let a: Vec<f64> = (0..50)
+            .map(|i| ((i * 37) % 50) as f64 / 50.0 + 0.001)
+            .collect();
         let b: Vec<f64> = (0..50).map(|i| ((i * 17 + 3) % 50) as f64 / 50.0).collect();
         let r = paired_bootstrap(&a, &b, 500, 3);
         assert!(

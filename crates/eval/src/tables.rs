@@ -1,8 +1,6 @@
 //! Paper-style text rendering of experiment results.
 
-use crate::experiments::{
-    DatasetStats, PrecisionCell, RecallCell, RuntimeCell, ALGORITHMS,
-};
+use crate::experiments::{DatasetStats, PrecisionCell, RecallCell, RuntimeCell, ALGORITHMS};
 use crowd_store::GroupStats;
 use std::fmt::Write as _;
 
@@ -87,7 +85,13 @@ pub fn render_recall(platform: &str, cells: &[RecallCell]) -> String {
     let mut out = String::new();
     write!(out, "{:<10}", "Algorithm").unwrap();
     for &g in &groups {
-        write!(out, " {:>12} {:>12}", format!("{platform}{g}/Top1"), format!("{platform}{g}/Top2")).unwrap();
+        write!(
+            out,
+            " {:>12} {:>12}",
+            format!("{platform}{g}/Top1"),
+            format!("{platform}{g}/Top2")
+        )
+        .unwrap();
     }
     writeln!(out).unwrap();
     for algo in ALGORITHMS {

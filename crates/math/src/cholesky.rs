@@ -5,7 +5,7 @@
 //! precision matrix is SPD by construction, so a Cholesky solve is both the
 //! fastest and the most numerically robust option at these sizes.
 
-use crate::{Matrix, MathError, Result, Vector};
+use crate::{MathError, Matrix, Result, Vector};
 
 /// A lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
 #[derive(Debug, Clone)]
@@ -218,12 +218,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = B Bᵀ + I for B = [[1,0,0],[2,1,0],[1,2,3]] is SPD.
-        Matrix::from_rows(
-            3,
-            3,
-            vec![2.0, 2.0, 1.0, 2.0, 6.0, 4.0, 1.0, 4.0, 15.0],
-        )
-        .unwrap()
+        Matrix::from_rows(3, 3, vec![2.0, 2.0, 1.0, 2.0, 6.0, 4.0, 1.0, 4.0, 15.0]).unwrap()
     }
 
     #[test]
@@ -305,7 +300,12 @@ mod tests {
         let xa = updated.solve(&b).unwrap();
         let xb = fresh.solve(&b).unwrap();
         for i in 0..3 {
-            assert!((xa[i] - xb[i]).abs() < 1e-9, "coord {i}: {} vs {}", xa[i], xb[i]);
+            assert!(
+                (xa[i] - xb[i]).abs() < 1e-9,
+                "coord {i}: {} vs {}",
+                xa[i],
+                xb[i]
+            );
         }
         assert!((updated.log_det() - fresh.log_det()).abs() < 1e-9);
     }
@@ -342,7 +342,9 @@ mod tests {
         assert!((updated.log_det() - fresh.log_det()).abs() < 1e-9);
         // Negative increments rejected.
         let mut c = Cholesky::factor(&a).unwrap();
-        assert!(c.diag_update(&Vector::from_vec(vec![-1.0, 0.0, 0.0])).is_err());
+        assert!(c
+            .diag_update(&Vector::from_vec(vec![-1.0, 0.0, 0.0]))
+            .is_err());
     }
 
     #[test]

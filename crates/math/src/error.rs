@@ -48,7 +48,10 @@ impl fmt::Display for MathError {
                 routine,
                 iterations,
             } => {
-                write!(f, "{routine} did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
             }
             MathError::DomainError { routine, message } => {
                 write!(f, "domain error in {routine}: {message}")

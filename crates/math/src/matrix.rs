@@ -84,6 +84,22 @@ impl Matrix {
         self.rows == self.cols
     }
 
+    /// Overwrites `self` with the contents of `other` without reallocating.
+    ///
+    /// Lets inference loops reset a scratch precision matrix to a prior
+    /// instead of cloning the prior on every update.
+    pub fn copy_from(&mut self, other: &Matrix) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MathError::DimensionMismatch {
+                op: "Matrix::copy_from",
+                left: self.rows * self.cols,
+                right: other.rows * other.cols,
+            });
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
     /// Immutable row slice.
     pub fn row(&self, r: usize) -> &[f64] {
         &self.data[r * self.cols..(r + 1) * self.cols]

@@ -169,7 +169,11 @@ pub fn minimize_cg(f: &impl Objective, x0: &Vector, opts: &CgOptions) -> CgResul
             0.0
         };
         // Periodic restart keeps directions conjugate on nonquadratics.
-        let beta = if (iter + 1) % (n.max(1) * 4) == 0 { 0.0 } else { beta };
+        let beta = if (iter + 1) % (n.max(1) * 4) == 0 {
+            0.0
+        } else {
+            beta
+        };
         let mut new_dir = grad.map(|g| -g);
         new_dir.axpy(beta, &dir).expect("dims fixed");
         dir = new_dir;

@@ -49,10 +49,9 @@ pub fn digamma(mut x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result += x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))));
+    result += x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))));
     result
 }
 
@@ -102,11 +101,14 @@ mod tests {
     #[test]
     fn lgamma_matches_factorials() {
         // Γ(n) = (n-1)!
-        for (n, fact) in [(1.0, 1.0f64), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
-            assert!(
-                (lgamma(n) - fact.ln()).abs() < 1e-10,
-                "lgamma({n})"
-            );
+        for (n, fact) in [
+            (1.0, 1.0f64),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (7.0, 720.0),
+        ] {
+            assert!((lgamma(n) - fact.ln()).abs() < 1e-10, "lgamma({n})");
         }
     }
 

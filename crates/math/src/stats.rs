@@ -1,6 +1,6 @@
 //! Sample statistics used by the variational M-step (paper Eqs. 16–19).
 
-use crate::{Matrix, MathError, Result, Vector};
+use crate::{MathError, Matrix, Result, Vector};
 
 /// Mean of a collection of equally sized vectors.
 ///

@@ -64,6 +64,22 @@ impl Vector {
         self.data
     }
 
+    /// Overwrites `self` with the contents of `other` without reallocating.
+    ///
+    /// The buffer-reuse primitive of the E-step hot path: resetting a
+    /// right-hand side to the prior each iteration must not allocate.
+    pub fn copy_from(&mut self, other: &Vector) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(MathError::DimensionMismatch {
+                op: "Vector::copy_from",
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
     /// Dot product `self · other`.
     pub fn dot(&self, other: &Vector) -> Result<f64> {
         if self.len() != other.len() {
@@ -73,12 +89,7 @@ impl Vector {
                 right: other.len(),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
     }
 
     /// Euclidean (L2) norm.
@@ -141,7 +152,9 @@ impl Vector {
                 right: other.len(),
             });
         }
-        Ok(Vector::from_fn(self.len(), |i| self.data[i] * other.data[i]))
+        Ok(Vector::from_fn(self.len(), |i| {
+            self.data[i] * other.data[i]
+        }))
     }
 
     /// Applies `f` to every element in place.

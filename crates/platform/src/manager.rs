@@ -1,11 +1,12 @@
 //! The crowd manager: latent-skill inference plus online crowd-selection.
 
-use crowd_core::selection::RankedWorker;
-use crowd_core::{CoreError, FitReport, TaskProjection, TdpmConfig, TdpmModel, TdpmTrainer};
+use crowd_core::{CoreError, TdpmBackend, TdpmConfig, TdpmModel};
+use crowd_select::{
+    FitDiagnostics, FitOptions, FittedSelector, RankedWorker, SelectError, SelectorBackend,
+};
 use crowd_store::{OnlineRegistry, SharedCrowdDb, StoreError, TaskId, WorkerId};
 use crowd_text::{tokenize_filtered, BagOfWords};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Crowd-manager configuration.
@@ -13,7 +14,9 @@ use std::fmt;
 pub struct ManagerConfig {
     /// Workers selected per incoming task (Eq. 1's `k`).
     pub top_k: usize,
-    /// Model hyper-parameters for (re)training.
+    /// Model hyper-parameters for (re)training with the default TDPM
+    /// backend (ignored by custom backends passed to
+    /// [`CrowdManager::with_backend`]).
     pub tdpm: TdpmConfig,
     /// Automatic batch retraining: after this many feedback events since the
     /// last `train()`, the next [`CrowdManager::record_feedback`] triggers a
@@ -70,31 +73,59 @@ impl From<CoreError> for ManagerError {
     }
 }
 
+impl From<SelectError> for ManagerError {
+    fn from(e: SelectError) -> Self {
+        ManagerError::Model(e.to_string())
+    }
+}
+
 /// The core component of the system (paper Section 2): infers latent skills
 /// from resolved tasks (red data flow) and answers selection queries for
 /// incoming tasks (blue data flow).
+///
+/// The manager is generic over the selection algorithm: it holds one
+/// [`SelectorBackend`] (TDPM by default, any backend via
+/// [`CrowdManager::with_backend`]) and serves queries from the
+/// [`FittedSelector`] snapshot the backend produced, touching the selector
+/// only through the `dyn CrowdSelector` interface — ranking via
+/// [`crowd_select::CrowdSelector::select`], incremental maintenance via
+/// [`crowd_select::CrowdSelector::observe_feedback`].
 ///
 /// Thread-safe: selection queries take read locks; training and feedback
 /// take write locks.
 pub struct CrowdManager {
     db: SharedCrowdDb,
     online: Mutex<OnlineRegistry>,
-    model: RwLock<Option<TdpmModel>>,
-    projections: Mutex<HashMap<TaskId, TaskProjection>>,
+    backend: Box<dyn SelectorBackend>,
+    fitted: RwLock<Option<FittedSelector>>,
     config: ManagerConfig,
     feedback_since_train: std::sync::atomic::AtomicUsize,
+    epoch: std::sync::atomic::AtomicU64,
 }
 
 impl CrowdManager {
-    /// Creates a manager over a shared crowd database.
+    /// Creates a manager over a shared crowd database, selecting with the
+    /// paper's TDPM model (configured by `config.tdpm`).
     pub fn new(db: SharedCrowdDb, config: ManagerConfig) -> Self {
+        let backend = Box::new(TdpmBackend::with_config(config.tdpm.clone()));
+        CrowdManager::with_backend(db, config, backend)
+    }
+
+    /// Creates a manager that trains and serves an arbitrary selection
+    /// backend (e.g. `crowd_baselines::VsmBackend`).
+    pub fn with_backend(
+        db: SharedCrowdDb,
+        config: ManagerConfig,
+        backend: Box<dyn SelectorBackend>,
+    ) -> Self {
         CrowdManager {
             db,
             online: Mutex::new(OnlineRegistry::new()),
-            model: RwLock::new(None),
-            projections: Mutex::new(HashMap::new()),
+            backend,
+            fitted: RwLock::new(None),
             config,
             feedback_since_train: std::sync::atomic::AtomicUsize::new(0),
+            epoch: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -109,12 +140,17 @@ impl CrowdManager {
         &self.db
     }
 
+    /// Canonical name of the selection backend this manager serves.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
     /// Marks a worker online (candidate for selection).
     pub fn set_online(&self, worker: WorkerId) {
         self.online.lock().set_online(worker);
         // Workers who joined after training start at the prior.
-        if let Some(model) = self.model.write().as_mut() {
-            model.add_worker(worker);
+        if let Some(fitted) = self.fitted.write().as_mut() {
+            fitted.selector_mut().add_worker(worker);
         }
     }
 
@@ -128,34 +164,36 @@ impl CrowdManager {
         self.online.lock().len()
     }
 
-    /// Red path: batch latent-skill inference over all resolved tasks
-    /// (Algorithm 2). Replaces the current model.
-    pub fn train(&self) -> Result<FitReport, ManagerError> {
-        let ts = {
+    /// Red path: batch skill inference over all resolved tasks (Algorithm 2
+    /// for TDPM; whatever fit the configured backend implements otherwise).
+    /// Replaces the current serving snapshot.
+    pub fn train(&self) -> Result<FitDiagnostics, ManagerError> {
+        let outcome = {
             let db = self.db.read();
-            crowd_core::TrainingSet::from_db(&db)
+            self.backend.fit(&db, &FitOptions::default())?
         };
-        let (model, report) = TdpmTrainer::new(self.config.tdpm.clone())
-            .fit_training_set(&ts)
-            .map_err(|e| ManagerError::Model(e.to_string()))?;
-        *self.model.write() = Some(model);
-        self.projections.lock().clear();
+        let epoch = self
+            .epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        let fitted = FittedSelector::new(self.backend.name(), outcome).with_epoch(epoch);
+        let diagnostics = fitted.diagnostics().clone();
+        *self.fitted.write() = Some(fitted);
         self.feedback_since_train
             .store(0, std::sync::atomic::Ordering::Relaxed);
-        Ok(report)
+        Ok(diagnostics)
     }
 
-    /// `true` once a model is available.
+    /// `true` once a fitted selector is serving.
     pub fn is_trained(&self) -> bool {
-        self.model.read().is_some()
+        self.fitted.read().is_some()
     }
 
-    /// Blue path: accepts a new task, projects it onto the latent category
-    /// space (Algorithm 3), stores it, and returns the top-k *online*
-    /// workers (Eq. 1).
+    /// Blue path: accepts a new task, stores it, and returns the top-k
+    /// *online* workers (Eq. 1) ranked by the serving selector.
     pub fn submit_task(&self, text: &str) -> Result<(TaskId, Vec<RankedWorker>), ManagerError> {
-        let model_guard = self.model.read();
-        let model = model_guard.as_ref().ok_or(ManagerError::NotTrained)?;
+        let fitted_guard = self.fitted.read();
+        let fitted = fitted_guard.as_ref().ok_or(ManagerError::NotTrained)?;
 
         let (task, bow) = {
             let mut db = self.db.write();
@@ -165,12 +203,13 @@ impl CrowdManager {
             (task, bow)
         };
 
-        let projection = model.project_bow(&bow);
         let candidates: Vec<WorkerId> = self.online.lock().online_workers().collect();
         if candidates.is_empty() {
             return Err(ManagerError::NoWorkersOnline);
         }
-        let selected = model.select_top_k(&projection, candidates, self.config.top_k);
+        let selected = fitted
+            .selector()
+            .select(&bow, &candidates, self.config.top_k);
 
         {
             let mut db = self.db.write();
@@ -178,7 +217,6 @@ impl CrowdManager {
                 db.assign(r.worker, task)?;
             }
         }
-        self.projections.lock().insert(task, projection);
         Ok((task, selected))
     }
 
@@ -193,9 +231,10 @@ impl CrowdManager {
         Ok(())
     }
 
-    /// Records feedback: persists the score and incrementally updates the
-    /// worker's posterior skill (Section 4.2's "after solving the task, the
-    /// skills of workers involved can be updated").
+    /// Records feedback: persists the score and lets the serving selector
+    /// fold it into the worker's skill estimate (Section 4.2's "after
+    /// solving the task, the skills of workers involved can be updated";
+    /// backends without incremental maintenance ignore it).
     pub fn record_feedback(
         &self,
         worker: WorkerId,
@@ -203,12 +242,11 @@ impl CrowdManager {
         score: f64,
     ) -> Result<(), ManagerError> {
         self.db.write().record_feedback(worker, task, score)?;
-        let projection = self.projections.lock().get(&task).cloned();
-        if let (Some(projection), Some(model)) = (projection, self.model.write().as_mut()) {
-            model.add_worker(worker);
-            model
-                .record_feedback(worker, &projection, score)
-                .map_err(|e| ManagerError::Model(e.to_string()))?;
+        let bow = self.db.read().task(task)?.bow.clone();
+        if let Some(fitted) = self.fitted.write().as_mut() {
+            fitted
+                .selector_mut()
+                .observe_feedback(worker, task, &bow, score)?;
         }
         let n = self
             .feedback_since_train
@@ -222,15 +260,25 @@ impl CrowdManager {
         Ok(())
     }
 
-    /// Read access to the current model (e.g. to inspect skills).
-    pub fn with_model<T>(
-        &self,
-        f: impl FnOnce(&TdpmModel) -> T,
-    ) -> Result<T, ManagerError> {
-        self.model
+    /// Read access to the serving snapshot (backend name, epoch,
+    /// diagnostics, the selector itself).
+    pub fn with_fitted<T>(&self, f: impl FnOnce(&FittedSelector) -> T) -> Result<T, ManagerError> {
+        self.fitted
             .read()
             .as_ref()
             .map(f)
+            .ok_or(ManagerError::NotTrained)
+    }
+
+    /// Read access to the concrete TDPM model, when this manager serves the
+    /// TDPM backend (e.g. to inspect skills). Fails with
+    /// [`ManagerError::NotTrained`] when untrained *or* when the serving
+    /// selector is not a TDPM model.
+    pub fn with_model<T>(&self, f: impl FnOnce(&TdpmModel) -> T) -> Result<T, ManagerError> {
+        self.fitted
+            .read()
+            .as_ref()
+            .and_then(|fitted| fitted.downcast_ref::<TdpmModel>().map(f))
             .ok_or(ManagerError::NotTrained)
     }
 }
@@ -238,10 +286,11 @@ impl CrowdManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crowd_baselines::VsmBackend;
     use crowd_store::CrowdDb;
 
     /// A db with two clearly separated specialists.
-    fn seeded_manager(k: usize) -> (CrowdManager, WorkerId, WorkerId) {
+    fn seeded_db() -> (CrowdDb, WorkerId, WorkerId) {
         let mut db = CrowdDb::new();
         let dba = db.add_worker("dba");
         let stat = db.add_worker("stat");
@@ -257,6 +306,11 @@ mod tests {
             db.record_feedback(good, t, 4.0).unwrap();
             db.record_feedback(bad, t, 0.5).unwrap();
         }
+        (db, dba, stat)
+    }
+
+    fn seeded_manager(k: usize) -> (CrowdManager, WorkerId, WorkerId) {
+        let (db, dba, stat) = seeded_db();
         let cfg = ManagerConfig {
             top_k: 1,
             tdpm: TdpmConfig {
@@ -294,8 +348,10 @@ mod tests {
     #[test]
     fn selection_routes_to_online_specialist() {
         let (manager, dba, stat) = seeded_manager(2);
-        manager.train().unwrap();
+        let report = manager.train().unwrap();
+        assert!(report.iterations >= 1);
         assert!(manager.is_trained());
+        assert_eq!(manager.backend_name(), "tdpm");
         manager.set_online(dba);
         manager.set_online(stat);
         assert_eq!(manager.num_online(), 2);
@@ -337,7 +393,9 @@ mod tests {
                 db.assign(newbie, task).unwrap();
             }
             drop(db);
-            manager.record_answer(newbie, task, "an excellent answer").unwrap();
+            manager
+                .record_answer(newbie, task, "an excellent answer")
+                .unwrap();
             manager.record_feedback(newbie, task, 6.0).unwrap();
         }
         // The newbie's skill on the stats direction should now be strong
@@ -392,7 +450,50 @@ mod tests {
         manager.set_online(stat);
         let (task, selected) = manager.submit_task("btree split page").unwrap();
         let w = selected[0].worker;
-        manager.record_answer(w, task, "split at the median key").unwrap();
+        manager
+            .record_answer(w, task, "split at the median key")
+            .unwrap();
         assert!(manager.db().read().answer(w, task).is_some());
+    }
+
+    #[test]
+    fn epochs_count_trainings() {
+        let (manager, _, _) = seeded_manager(2);
+        manager.train().unwrap();
+        manager.train().unwrap();
+        let epoch = manager.with_fitted(|f| f.epoch()).unwrap();
+        assert_eq!(epoch, 2);
+    }
+
+    #[test]
+    fn manager_serves_a_non_tdpm_backend() {
+        let (db, dba, stat) = seeded_db();
+        let manager = CrowdManager::with_backend(
+            SharedCrowdDb::new(db),
+            ManagerConfig {
+                top_k: 1,
+                ..ManagerConfig::default()
+            },
+            Box::new(VsmBackend),
+        );
+        assert_eq!(manager.backend_name(), "vsm");
+        let report = manager.train().unwrap();
+        assert!(report.converged, "VSM fits in closed form");
+        manager.set_online(dba);
+        manager.set_online(stat);
+
+        let (task, selected) = manager.submit_task("btree page buffer index").unwrap();
+        assert_eq!(selected[0].worker, dba, "VSM routes the db question");
+        assert!(manager.db().read().is_assigned(dba, task));
+        // Feedback flows through the trait without error even though VSM has
+        // no incremental update.
+        manager.record_feedback(dba, task, 3.0).unwrap();
+        // The concrete-model escape hatch correctly reports "not a TDPM".
+        assert_eq!(
+            manager.with_model(|_| ()).unwrap_err(),
+            ManagerError::NotTrained
+        );
+        // But the snapshot interface still exposes the backend.
+        assert_eq!(manager.with_fitted(|f| f.backend()).unwrap(), "vsm");
     }
 }

@@ -5,7 +5,8 @@ use crate::collector::AnswerCollector;
 use crate::dispatcher::{DispatchOutcome, TaskDispatcher};
 use crate::events::{AnswerEvent, Dispatch, FeedbackEvent};
 use crate::manager::{CrowdManager, ManagerConfig, ManagerError};
-use crowd_core::TdpmConfig;
+use crowd_core::{TdpmBackend, TdpmConfig};
+use crowd_select::SelectorBackend;
 use crowd_store::{CrowdDb, SharedCrowdDb, WorkerId};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -66,20 +67,33 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// Builds the pipeline over an existing database, trains the initial
-    /// model (red path) and spawns one thread per registered worker.
+    /// TDPM model (red path) and spawns one thread per registered worker.
     pub fn start(
         db: CrowdDb,
         config: PipelineConfig,
         answer_fn: Arc<AnswerFn>,
     ) -> Result<Self, ManagerError> {
+        let backend = Box::new(TdpmBackend::with_config(config.tdpm.clone()));
+        Pipeline::start_with_backend(db, config, answer_fn, backend)
+    }
+
+    /// Like [`Pipeline::start`], but selecting with an arbitrary backend
+    /// (e.g. `crowd_baselines::VsmBackend`) instead of TDPM.
+    pub fn start_with_backend(
+        db: CrowdDb,
+        config: PipelineConfig,
+        answer_fn: Arc<AnswerFn>,
+        backend: Box<dyn SelectorBackend>,
+    ) -> Result<Self, ManagerError> {
         let workers: Vec<WorkerId> = db.worker_ids().collect();
-        let manager = Arc::new(CrowdManager::new(
+        let manager = Arc::new(CrowdManager::with_backend(
             SharedCrowdDb::new(db),
             ManagerConfig {
                 top_k: config.top_k,
                 tdpm: config.tdpm.clone(),
                 retrain_every: None,
             },
+            backend,
         ));
         manager.train()?;
 
@@ -235,8 +249,7 @@ mod tests {
     #[test]
     fn full_loop_processes_all_tasks() {
         let (db, dba, _) = specialist_db();
-        let answer_fn: Arc<AnswerFn> =
-            Arc::new(|w, d| format!("answer to {} from {w}", d.task));
+        let answer_fn: Arc<AnswerFn> = Arc::new(|w, d| format!("answer to {} from {w}", d.task));
         let pipeline = Pipeline::start(db, config(), answer_fn).unwrap();
 
         let tasks = vec![

@@ -1,0 +1,98 @@
+//! The platform is backend-agnostic: the full pipeline (manager +
+//! dispatcher + worker threads + collector) runs unchanged over a non-TDPM
+//! selection backend.
+
+use crowd_baselines::{standard_registry, VsmBackend};
+use crowd_platform::pipeline::AnswerFn;
+use crowd_platform::{Pipeline, PipelineConfig};
+use crowd_store::{CrowdDb, WorkerId};
+use std::sync::Arc;
+
+fn specialist_db() -> (CrowdDb, WorkerId, WorkerId) {
+    let mut db = CrowdDb::new();
+    let dba = db.add_worker("dba");
+    let stat = db.add_worker("stat");
+    for i in 0..8 {
+        let (text, who) = if i % 2 == 0 {
+            ("btree page split index buffer disk", dba)
+        } else {
+            ("gaussian prior posterior likelihood variance", stat)
+        };
+        let t = db.add_task(text);
+        db.assign(who, t).unwrap();
+        db.record_feedback(who, t, 3.0).unwrap();
+    }
+    (db, dba, stat)
+}
+
+#[test]
+fn pipeline_serves_vsm_end_to_end() {
+    let (db, dba, stat) = specialist_db();
+    let answer_fn: Arc<AnswerFn> = Arc::new(|w, d| format!("answer to {} from {w}", d.task));
+    let pipeline = Pipeline::start_with_backend(
+        db,
+        PipelineConfig {
+            top_k: 1,
+            ..PipelineConfig::default()
+        },
+        answer_fn,
+        Box::new(VsmBackend),
+    )
+    .unwrap();
+    assert_eq!(pipeline.manager().backend_name(), "vsm");
+
+    let tasks = vec![
+        "btree page buffer question",
+        "gaussian variance question",
+        "btree index split question",
+    ];
+    let report = pipeline.run(&tasks, &|_, _, _| 1.0);
+    assert_eq!(report.tasks_submitted, 3);
+    assert_eq!(report.dispatches_delivered, 3);
+    assert_eq!(report.answers_collected, 3);
+    assert_eq!(report.feedback_applied, 3);
+    assert_eq!(report.errors, 0);
+
+    let manager = pipeline.shutdown();
+    let db = manager.db().read();
+    let n = db.num_tasks();
+    // VSM routes by vocabulary overlap: db questions to the dba, the stats
+    // question to the statistician.
+    let btree_task = crowd_store::TaskId((n - 3) as u32);
+    let stats_task = crowd_store::TaskId((n - 2) as u32);
+    assert!(db.is_assigned(dba, btree_task));
+    assert!(db.is_assigned(stat, stats_task));
+}
+
+#[test]
+fn any_registry_backend_can_drive_the_manager() {
+    // Every lazily-fittable backend in the standard registry works as the
+    // platform's selection engine — the manager only sees `dyn CrowdSelector`.
+    use crowd_platform::{CrowdManager, ManagerConfig};
+    use crowd_store::SharedCrowdDb;
+
+    for name in ["vsm", "drm", "tspm"] {
+        let (db, dba, stat) = specialist_db();
+        let registry = standard_registry();
+        // Re-wrap the registry entry as an owned backend box.
+        let backend: Box<dyn crowd_select::SelectorBackend> = match name {
+            "vsm" => Box::new(VsmBackend),
+            "drm" => Box::new(crowd_baselines::DrmBackend),
+            _ => Box::new(crowd_baselines::TspmBackend),
+        };
+        assert!(registry.contains(name));
+        let manager = CrowdManager::with_backend(
+            SharedCrowdDb::new(db),
+            ManagerConfig {
+                top_k: 1,
+                ..ManagerConfig::default()
+            },
+            backend,
+        );
+        manager.train().unwrap();
+        manager.set_online(dba);
+        manager.set_online(stat);
+        let (_, selected) = manager.submit_task("btree page buffer index").unwrap();
+        assert_eq!(selected[0].worker, dba, "{name} routes the db question");
+    }
+}

@@ -2,40 +2,45 @@
 
 use crowd_store::{TaskId, WorkerId};
 
-/// Which ranking algorithm a `SELECT WORKERS` query uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Algorithm {
-    /// The task-driven probabilistic model (default; requires `TRAIN MODEL`).
-    #[default]
-    Tdpm,
-    /// Cosine similarity against worker history.
-    Vsm,
-    /// PLSA-based Dual Role Model.
-    Drm,
-    /// LDA-based Topic-Sensitive Probabilistic Model.
-    Tspm,
-}
+/// Canonical (lowercase) name of the selection backend a `SELECT WORKERS`
+/// query uses.
+///
+/// The query language no longer hard-codes an algorithm enum: any registered
+/// `crowd_select::SelectorBackend` can serve a `USING <backend>` clause, so
+/// the AST carries the name verbatim and the engine resolves it against its
+/// registry at execution time (unknown names fail there, with the list of
+/// known backends).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BackendName(String);
 
-impl Algorithm {
-    /// Parses an algorithm name (case-insensitive).
-    pub fn from_name(name: &str) -> Option<Self> {
-        match name.to_ascii_lowercase().as_str() {
-            "tdpm" => Some(Algorithm::Tdpm),
-            "vsm" => Some(Algorithm::Vsm),
-            "drm" => Some(Algorithm::Drm),
-            "tspm" => Some(Algorithm::Tspm),
-            _ => None,
-        }
+impl BackendName {
+    /// Wraps a backend name, canonicalizing to lowercase.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        BackendName(name.as_ref().to_ascii_lowercase())
     }
 
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::Tdpm => "TDPM",
-            Algorithm::Vsm => "VSM",
-            Algorithm::Drm => "DRM",
-            Algorithm::Tspm => "TSPM",
-        }
+    /// The canonical name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for BackendName {
+    /// The task-driven probabilistic model (requires `TRAIN MODEL`).
+    fn default() -> Self {
+        BackendName("tdpm".into())
+    }
+}
+
+impl std::fmt::Display for BackendName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for BackendName {
+    fn from(name: &str) -> Self {
+        BackendName::new(name)
     }
 }
 
@@ -103,14 +108,14 @@ pub enum Statement {
         /// Latent category count (default 10).
         categories: usize,
     },
-    /// `SELECT WORKERS FOR TASK 'text' [LIMIT k] [USING algo] [WHERE GROUP >= n]`
+    /// `SELECT WORKERS FOR TASK 'text' [LIMIT k] [USING backend] [WHERE GROUP >= n]`
     SelectWorkers {
         /// The query task text.
         text: String,
         /// Top-k (default 1).
         limit: usize,
-        /// Ranking algorithm.
-        algorithm: Algorithm,
+        /// Selection backend, resolved against the engine's registry.
+        backend: BackendName,
         /// Restrict candidates to workers with ≥ n resolved tasks.
         min_group: Option<usize>,
     },
@@ -151,7 +156,7 @@ impl std::fmt::Display for Statement {
             Statement::SelectWorkers {
                 text,
                 limit,
-                algorithm,
+                backend,
                 min_group,
             } => {
                 write!(
@@ -159,7 +164,7 @@ impl std::fmt::Display for Statement {
                     "SELECT WORKERS FOR TASK {} LIMIT {} USING {}",
                     quote(text),
                     limit,
-                    algorithm.name().to_lowercase()
+                    backend
                 )?;
                 if let Some(n) = min_group {
                     write!(f, " WHERE GROUP >= {n}")?;
@@ -193,16 +198,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn algorithm_names_roundtrip() {
-        for a in [Algorithm::Tdpm, Algorithm::Vsm, Algorithm::Drm, Algorithm::Tspm] {
-            assert_eq!(Algorithm::from_name(a.name()), Some(a));
-            assert_eq!(Algorithm::from_name(&a.name().to_lowercase()), Some(a));
+    fn backend_names_canonicalize_to_lowercase() {
+        for name in ["tdpm", "vsm", "drm", "tspm"] {
+            assert_eq!(BackendName::new(name.to_uppercase()).as_str(), name);
+            assert_eq!(BackendName::from(name), BackendName::new(name));
         }
-        assert_eq!(Algorithm::from_name("nope"), None);
+        assert_eq!(
+            BackendName::new("MyCustomBackend").as_str(),
+            "mycustombackend"
+        );
     }
 
     #[test]
-    fn default_algorithm_is_tdpm() {
-        assert_eq!(Algorithm::default(), Algorithm::Tdpm);
+    fn default_backend_is_tdpm() {
+        assert_eq!(BackendName::default().as_str(), "tdpm");
     }
 }

@@ -1,47 +1,48 @@
 //! Query execution over a crowd database.
 
-use crate::ast::{Algorithm, ShowTarget, Statement};
+use crate::ast::{BackendName, ShowTarget, Statement};
 use crate::output::{QueryOutput, SelectedWorker};
 use crate::QueryError;
-use crowd_baselines::{CrowdSelector, DrmSelector, TdpmSelector, TspmSelector, VsmSelector};
-use crowd_core::{TdpmConfig, TdpmTrainer, TrainingSet};
+use crowd_baselines::standard_registry;
+use crowd_select::{FitOptions, FittedSelector, SelectorRegistry};
 use crowd_store::groups::group_stats_sweep;
 use crowd_store::{CrowdDb, LoggedDb, TaskId, WorkerId};
 use crowd_text::{tokenize_filtered, BagOfWords};
+use std::collections::HashMap;
 use std::path::Path;
 
 /// Storage behind the engine: plain in-memory, or write-ahead-logged.
-enum Backend {
+enum Storage {
     Plain(CrowdDb),
     Logged(LoggedDb),
 }
 
-impl Backend {
+impl Storage {
     fn db(&self) -> &CrowdDb {
         match self {
-            Backend::Plain(db) => db,
-            Backend::Logged(db) => db.db(),
+            Storage::Plain(db) => db,
+            Storage::Logged(db) => db.db(),
         }
     }
 
     fn add_worker(&mut self, handle: String) -> crowd_store::Result<WorkerId> {
         match self {
-            Backend::Plain(db) => Ok(db.add_worker(handle)),
-            Backend::Logged(db) => db.add_worker(handle),
+            Storage::Plain(db) => Ok(db.add_worker(handle)),
+            Storage::Logged(db) => db.add_worker(handle),
         }
     }
 
     fn add_task(&mut self, text: String) -> crowd_store::Result<TaskId> {
         match self {
-            Backend::Plain(db) => Ok(db.add_task(text)),
-            Backend::Logged(db) => db.add_task(text),
+            Storage::Plain(db) => Ok(db.add_task(text)),
+            Storage::Logged(db) => db.add_task(text),
         }
     }
 
     fn assign(&mut self, worker: WorkerId, task: TaskId) -> crowd_store::Result<()> {
         match self {
-            Backend::Plain(db) => db.assign(worker, task),
-            Backend::Logged(db) => db.assign(worker, task),
+            Storage::Plain(db) => db.assign(worker, task),
+            Storage::Logged(db) => db.assign(worker, task),
         }
     }
 
@@ -52,8 +53,8 @@ impl Backend {
         score: f64,
     ) -> crowd_store::Result<()> {
         match self {
-            Backend::Plain(db) => db.record_feedback(worker, task, score),
-            Backend::Logged(db) => db.record_feedback(worker, task, score),
+            Storage::Plain(db) => db.record_feedback(worker, task, score),
+            Storage::Logged(db) => db.record_feedback(worker, task, score),
         }
     }
 
@@ -64,27 +65,30 @@ impl Backend {
         text: &str,
     ) -> crowd_store::Result<()> {
         match self {
-            Backend::Plain(db) => db.record_answer(worker, task, text),
-            Backend::Logged(db) => db.record_answer(worker, task, text),
+            Storage::Plain(db) => db.record_answer(worker, task, text),
+            Storage::Logged(db) => db.record_answer(worker, task, text),
         }
     }
 }
 
 /// Executes parsed statements against an owned [`CrowdDb`].
 ///
-/// Baseline selectors (VSM / DRM / TSPM) are fitted lazily on first use and
-/// cached; any write statement invalidates the cache. The TDPM model is only
-/// built by an explicit `TRAIN MODEL` (it is the expensive one, and the
-/// paper's architecture retrains it deliberately on the red path).
+/// `USING <backend>` clauses are resolved by name against a
+/// [`SelectorRegistry`] — the engine never matches on concrete selector
+/// types, so registering a new backend makes it queryable with no engine
+/// changes. Lazily fittable backends (VSM / DRM / TSPM) are fitted on first
+/// use and the [`FittedSelector`] snapshot cached; any write statement
+/// invalidates those snapshots. Backends that opt out of lazy fitting (TDPM
+/// — it is the expensive one, and the paper's architecture retrains it
+/// deliberately on the red path) are only fitted by an explicit
+/// `TRAIN MODEL`, and their snapshots survive writes until the next train.
 pub struct QueryEngine {
-    backend: Backend,
-    model: Option<TdpmSelector>,
-    model_categories: usize,
-    vsm: Option<VsmSelector>,
-    drm: Option<DrmSelector>,
-    tspm: Option<TspmSelector>,
+    storage: Storage,
+    registry: SelectorRegistry,
+    fitted: HashMap<String, FittedSelector>,
     baseline_categories: usize,
     seed: u64,
+    epoch: u64,
 }
 
 impl QueryEngine {
@@ -98,27 +102,43 @@ impl QueryEngine {
     pub fn open_logged(path: impl AsRef<Path>) -> Result<Self, QueryError> {
         let logged = LoggedDb::open(path)?;
         let mut e = QueryEngine::with_db(CrowdDb::new());
-        e.backend = Backend::Logged(logged);
+        e.storage = Storage::Logged(logged);
         Ok(e)
     }
 
-    /// Creates an engine over an existing database.
+    /// Creates an engine over an existing database, with the standard
+    /// backend registry (`tdpm`, `vsm`, `drm`, `tspm`).
     pub fn with_db(db: CrowdDb) -> Self {
+        QueryEngine::with_db_and_registry(db, standard_registry())
+    }
+
+    /// Creates an engine over an existing database and a custom backend
+    /// registry, making additional selection algorithms addressable from
+    /// `USING` clauses.
+    pub fn with_db_and_registry(db: CrowdDb, registry: SelectorRegistry) -> Self {
         QueryEngine {
-            backend: Backend::Plain(db),
-            model: None,
-            model_categories: 0,
-            vsm: None,
-            drm: None,
-            tspm: None,
+            storage: Storage::Plain(db),
+            registry,
+            fitted: HashMap::new(),
             baseline_categories: 10,
             seed: 42,
+            epoch: 0,
         }
     }
 
     /// The underlying database.
     pub fn db(&self) -> &CrowdDb {
-        self.backend.db()
+        self.storage.db()
+    }
+
+    /// The backend registry serving `USING` clauses.
+    pub fn registry(&self) -> &SelectorRegistry {
+        &self.registry
+    }
+
+    /// The cached fit for `backend`, if one is currently serving.
+    pub fn fitted(&self, backend: &str) -> Option<&FittedSelector> {
+        self.fitted.get(&backend.to_ascii_lowercase())
     }
 
     /// Parses and executes one statement.
@@ -131,17 +151,17 @@ impl QueryEngine {
     pub fn execute(&mut self, stmt: Statement) -> Result<QueryOutput, QueryError> {
         match stmt {
             Statement::InsertWorker { handle } => {
-                let id = self.backend.add_worker(handle)?;
+                let id = self.storage.add_worker(handle)?;
                 self.invalidate();
                 Ok(QueryOutput::WorkerInserted(id))
             }
             Statement::InsertTask { text } => {
-                let id = self.backend.add_task(text)?;
+                let id = self.storage.add_task(text)?;
                 self.invalidate();
                 Ok(QueryOutput::TaskInserted(id))
             }
             Statement::Assign { worker, task } => {
-                self.backend.assign(worker, task)?;
+                self.storage.assign(worker, task)?;
                 self.invalidate();
                 Ok(QueryOutput::Ack(format!("assigned {worker} to {task}")))
             }
@@ -150,14 +170,14 @@ impl QueryEngine {
                 task,
                 score,
             } => {
-                self.backend.record_feedback(worker, task, score)?;
+                self.storage.record_feedback(worker, task, score)?;
                 self.invalidate();
                 Ok(QueryOutput::Ack(format!(
                     "recorded score {score} for {worker} on {task}"
                 )))
             }
             Statement::Answer { worker, task, text } => {
-                self.backend.record_answer(worker, task, &text)?;
+                self.storage.record_answer(worker, task, &text)?;
                 self.invalidate();
                 Ok(QueryOutput::Ack(format!(
                     "stored answer from {worker} on {task}"
@@ -167,35 +187,58 @@ impl QueryEngine {
             Statement::SelectWorkers {
                 text,
                 limit,
-                algorithm,
+                backend,
                 min_group,
-            } => self.select_workers(&text, limit, algorithm, min_group),
+            } => self.select_workers(&text, limit, &backend, min_group),
             Statement::Show(target) => self.show(target),
         }
     }
 
     fn train(&mut self, categories: usize) -> Result<QueryOutput, QueryError> {
-        let ts = TrainingSet::from_db(self.db());
-        let cfg = TdpmConfig {
-            num_categories: categories,
-            seed: self.seed,
-            ..TdpmConfig::default()
-        };
-        let (model, report) = TdpmTrainer::new(cfg).fit_training_set(&ts)?;
-        self.model = Some(TdpmSelector::new(model));
-        self.model_categories = categories;
+        self.epoch += 1;
+        let fitted = self
+            .registry
+            .fit("tdpm", self.db(), &FitOptions::with(categories, self.seed))?
+            .with_epoch(self.epoch);
+        let diag = fitted.diagnostics().clone();
+        self.fitted.insert("tdpm".into(), fitted);
         Ok(QueryOutput::Trained {
-            iterations: report.iterations,
-            elbo: report.elbo_trace.last().copied().unwrap_or(f64::NAN),
-            converged: report.converged,
+            iterations: diag.iterations,
+            elbo: diag.objective().unwrap_or(f64::NAN),
+            converged: diag.converged,
         })
+    }
+
+    /// Returns the serving snapshot for `backend`, fitting it on demand if
+    /// the backend allows lazy fits.
+    fn resolve_fitted(&mut self, backend: &BackendName) -> Result<&FittedSelector, QueryError> {
+        let name = backend.as_str();
+        if !self.fitted.contains_key(name) {
+            let b = self.registry.get(name)?;
+            if !b.lazy_fit() {
+                return Err(QueryError::Execution(
+                    "no model: run TRAIN MODEL first".into(),
+                ));
+            }
+            self.epoch += 1;
+            let fitted = self
+                .registry
+                .fit(
+                    name,
+                    self.db(),
+                    &FitOptions::with(self.baseline_categories, self.seed),
+                )?
+                .with_epoch(self.epoch);
+            self.fitted.insert(name.to_string(), fitted);
+        }
+        Ok(&self.fitted[name])
     }
 
     fn select_workers(
         &mut self,
         text: &str,
         limit: usize,
-        algorithm: Algorithm,
+        backend: &BackendName,
         min_group: Option<usize>,
     ) -> Result<QueryOutput, QueryError> {
         let tokens = tokenize_filtered(text);
@@ -215,42 +258,10 @@ impl QueryEngine {
             ));
         }
 
-        let ranked = match algorithm {
-            Algorithm::Tdpm => {
-                let model = self.model.as_ref().ok_or_else(|| {
-                    QueryError::Execution("no model: run TRAIN MODEL first".into())
-                })?;
-                model.select(&bow, &candidates, limit)
-            }
-            Algorithm::Vsm => {
-                if self.vsm.is_none() {
-                    self.vsm = Some(VsmSelector::fit(self.db()));
-                }
-                self.vsm.as_ref().unwrap().select(&bow, &candidates, limit)
-            }
-            Algorithm::Drm => {
-                if self.drm.is_none() {
-                    self.ensure_resolved("DRM")?;
-                    self.drm = Some(DrmSelector::fit(
-                        self.db(),
-                        self.baseline_categories,
-                        self.seed,
-                    ));
-                }
-                self.drm.as_ref().unwrap().select(&bow, &candidates, limit)
-            }
-            Algorithm::Tspm => {
-                if self.tspm.is_none() {
-                    self.ensure_resolved("TSPM")?;
-                    self.tspm = Some(TspmSelector::fit(
-                        self.db(),
-                        self.baseline_categories,
-                        self.seed,
-                    ));
-                }
-                self.tspm.as_ref().unwrap().select(&bow, &candidates, limit)
-            }
-        };
+        let ranked = self
+            .resolve_fitted(backend)?
+            .selector()
+            .select(&bow, &candidates, limit);
 
         let rows = ranked
             .into_iter()
@@ -275,15 +286,14 @@ impl QueryEngine {
                 assignments: self.db().num_assignments(),
                 resolved: self.db().num_resolved(),
                 vocab: self.db().vocab().len(),
-                trained: self.model.is_some(),
+                trained: self.fitted.contains_key("tdpm"),
             }),
             ShowTarget::Worker(worker) => {
                 let rec = self.db().worker(worker)?;
                 let skills = self
-                    .model
-                    .as_ref()
-                    .and_then(|m| m.model().skill(worker))
-                    .map(|s| s.mean.as_slice().to_vec())
+                    .fitted
+                    .get("tdpm")
+                    .and_then(|f| f.selector().worker_profile(worker))
                     .unwrap_or_default();
                 Ok(QueryOutput::WorkerDetail {
                     worker,
@@ -305,9 +315,10 @@ impl QueryEngine {
                     scores,
                 })
             }
-            ShowTarget::Groups(thresholds) => {
-                Ok(QueryOutput::Groups(group_stats_sweep(self.db(), &thresholds)))
-            }
+            ShowTarget::Groups(thresholds) => Ok(QueryOutput::Groups(group_stats_sweep(
+                self.db(),
+                &thresholds,
+            ))),
             ShowTarget::Similar { text, limit } => {
                 let db = self.db();
                 let tokens = tokenize_filtered(&text);
@@ -325,22 +336,14 @@ impl QueryEngine {
         }
     }
 
-    fn ensure_resolved(&self, algo: &str) -> Result<(), QueryError> {
-        if self.db().num_resolved() == 0 {
-            return Err(QueryError::Execution(format!(
-                "{algo} needs resolved tasks with feedback scores"
-            )));
-        }
-        Ok(())
-    }
-
-    /// Drops cached selectors after a write (they are fitted on stale data).
-    /// The TDPM model is kept: retraining is explicit (`TRAIN MODEL`), like
-    /// the red data-flow in the paper's architecture.
+    /// Drops lazily fitted snapshots after a write (they are fitted on stale
+    /// data). Explicitly fitted backends (TDPM) are kept: retraining is
+    /// explicit (`TRAIN MODEL`), like the red data-flow in the paper's
+    /// architecture.
     fn invalidate(&mut self) {
-        self.vsm = None;
-        self.drm = None;
-        self.tspm = None;
+        let registry = &self.registry;
+        self.fitted
+            .retain(|name, _| registry.get(name).is_ok_and(|b| !b.lazy_fit()));
     }
 }
 
@@ -428,6 +431,37 @@ mod tests {
     }
 
     #[test]
+    fn unknown_backend_is_rejected_with_known_names() {
+        let mut e = seeded_engine();
+        let err = e
+            .run("SELECT WORKERS FOR TASK 'q' USING magic")
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("magic"), "{msg}");
+        for known in ["tdpm", "vsm", "drm", "tspm"] {
+            assert!(msg.contains(known), "{msg}");
+        }
+    }
+
+    #[test]
+    fn all_backends_route_through_the_registry() {
+        let mut e = seeded_engine();
+        e.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+        for backend in ["tdpm", "vsm", "drm", "tspm"] {
+            let out = e
+                .run(&format!(
+                    "SELECT WORKERS FOR TASK 'btree index buffer' LIMIT 1 USING {backend}"
+                ))
+                .unwrap();
+            let QueryOutput::Workers(rows) = out else {
+                panic!("expected workers")
+            };
+            assert_eq!(rows[0].handle, "dba", "{backend} routes the db task");
+            assert_eq!(e.fitted(backend).unwrap().backend(), backend);
+        }
+    }
+
+    #[test]
     fn baselines_work_without_training() {
         let mut e = seeded_engine();
         for algo in ["vsm", "drm", "tspm"] {
@@ -441,6 +475,37 @@ mod tests {
             };
             assert_eq!(rows[0].handle, "dba", "{algo} routes the db task");
         }
+    }
+
+    #[test]
+    fn topic_baselines_need_resolved_tasks() {
+        let mut e = QueryEngine::new();
+        e.run("INSERT WORKER 'a'").unwrap();
+        e.run("INSERT TASK 'btree'").unwrap();
+        for algo in ["drm", "tspm"] {
+            let err = e
+                .run(&format!("SELECT WORKERS FOR TASK 'q' USING {algo}"))
+                .unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("needs resolved tasks with feedback scores"),
+                "{msg}"
+            );
+            assert!(msg.contains(algo), "{msg}");
+        }
+    }
+
+    #[test]
+    fn writes_invalidate_lazy_fits_but_keep_the_trained_model() {
+        let mut e = seeded_engine();
+        e.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+        e.run("SELECT WORKERS FOR TASK 'btree' USING vsm").unwrap();
+        assert!(e.fitted("vsm").is_some());
+        assert!(e.fitted("tdpm").is_some());
+
+        e.run("INSERT WORKER 'newcomer'").unwrap();
+        assert!(e.fitted("vsm").is_none(), "lazy fit dropped on write");
+        assert!(e.fitted("tdpm").is_some(), "explicit fit survives writes");
     }
 
     #[test]
@@ -521,7 +586,10 @@ mod tests {
         assert!(e.run("SHOW WORKER 5").is_err());
         e.run("INSERT WORKER 'a'").unwrap();
         e.run("INSERT TASK 'x'").unwrap();
-        assert!(e.run("FEEDBACK WORKER 0 ON TASK 0 SCORE 1").is_err(), "not assigned");
+        assert!(
+            e.run("FEEDBACK WORKER 0 ON TASK 0 SCORE 1").is_err(),
+            "not assigned"
+        );
     }
 
     #[test]
@@ -575,9 +643,48 @@ mod tests {
         let mut e = seeded_engine();
         e.run("ANSWER WORKER 0 ON TASK 0 TEXT 'split at the median key'")
             .unwrap();
-        assert!(e
-            .db()
-            .answer(WorkerId(0), crowd_store::TaskId(0))
-            .is_some());
+        assert!(e.db().answer(WorkerId(0), crowd_store::TaskId(0)).is_some());
+    }
+
+    #[test]
+    fn custom_backends_are_queryable() {
+        use crowd_select::{
+            CrowdSelector, FitDiagnostics, FitOutcome, RankedWorker, SelectError, SelectorBackend,
+        };
+
+        /// Ranks whoever has the largest id — observably not VSM/TDPM.
+        struct ByIdSelector;
+        impl CrowdSelector for ByIdSelector {
+            fn name(&self) -> &'static str {
+                "BYID"
+            }
+            fn rank(&self, _task: &BagOfWords, candidates: &[WorkerId]) -> Vec<RankedWorker> {
+                let scored = candidates.iter().map(|&w| (w, f64::from(w.0)));
+                crowd_select::top_k(scored, candidates.len())
+            }
+        }
+        struct ByIdBackend;
+        impl SelectorBackend for ByIdBackend {
+            fn name(&self) -> &'static str {
+                "byid"
+            }
+            fn fit(&self, _db: &CrowdDb, _opts: &FitOptions) -> Result<FitOutcome, SelectError> {
+                Ok(FitOutcome::new(
+                    Box::new(ByIdSelector),
+                    FitDiagnostics::closed_form(),
+                ))
+            }
+        }
+
+        let mut registry = standard_registry();
+        registry.register(Box::new(ByIdBackend));
+        let mut e = QueryEngine::with_db_and_registry(CrowdDb::new(), registry);
+        e.run("INSERT WORKER 'a'").unwrap();
+        e.run("INSERT WORKER 'b'").unwrap();
+        let QueryOutput::Workers(rows) = e.run("SELECT WORKERS FOR TASK 'q' USING byid").unwrap()
+        else {
+            panic!("expected workers")
+        };
+        assert_eq!(rows[0].handle, "b", "largest id wins under byid");
     }
 }

@@ -51,6 +51,12 @@ impl From<crowd_core::CoreError> for QueryError {
     }
 }
 
+impl From<crowd_select::SelectError> for QueryError {
+    fn from(e: crowd_select::SelectError) -> Self {
+        QueryError::Execution(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +73,8 @@ mod tests {
             found: "'x'".into(),
         };
         assert!(e.to_string().contains("expected a number"));
-        assert!(QueryError::Execution("boom".into()).to_string().contains("boom"));
+        assert!(QueryError::Execution("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -87,7 +87,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
             }
             tokens.push(Token::Str(s));
             i = j;
-        } else if c.is_ascii_digit() || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) {
+        } else if c.is_ascii_digit()
+            || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()))
+        {
             let start = i;
             i += 1;
             while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {

@@ -21,9 +21,13 @@
 //! ```
 //!
 //! Pipeline: [`parse`] → [`Statement`] → [`QueryEngine::execute`] →
-//! [`QueryOutput`]. The engine owns a [`crowd_store::CrowdDb`] and, once
-//! `TRAIN MODEL` has run, a fitted [`crowd_core::TdpmModel`]; `USING`
-//! selects among the four ranking algorithms.
+//! [`QueryOutput`]. The engine owns a [`crowd_store::CrowdDb`] and a
+//! [`crowd_select::SelectorRegistry`]; a `USING <backend>` clause is
+//! resolved by name against the registry at execution time, so any
+//! registered [`crowd_select::SelectorBackend`] — the standard four
+//! (`tdpm`, `vsm`, `drm`, `tspm`) or a custom one passed to
+//! [`QueryEngine::with_db_and_registry`] — is queryable without engine
+//! changes.
 
 pub mod ast;
 pub mod engine;
@@ -32,7 +36,7 @@ pub mod lexer;
 pub mod output;
 pub mod parser;
 
-pub use ast::{Algorithm, ShowTarget, Statement};
+pub use ast::{BackendName, ShowTarget, Statement};
 pub use engine::QueryEngine;
 pub use error::QueryError;
 pub use output::QueryOutput;

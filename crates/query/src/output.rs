@@ -93,7 +93,13 @@ impl fmt::Display for QueryOutput {
             QueryOutput::Workers(rows) => {
                 writeln!(f, "{:<8} {:<20} {:>10}", "worker", "handle", "score")?;
                 for r in rows {
-                    writeln!(f, "{:<8} {:<20} {:>10.4}", r.worker.to_string(), r.handle, r.score)?;
+                    writeln!(
+                        f,
+                        "{:<8} {:<20} {:>10.4}",
+                        r.worker.to_string(),
+                        r.handle,
+                        r.score
+                    )?;
                 }
                 Ok(())
             }

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the crowd-query language.
 
-use crate::ast::{Algorithm, ShowTarget, Statement};
+use crate::ast::{BackendName, ShowTarget, Statement};
 use crate::lexer::{lex, Token};
 use crate::QueryError;
 use crowd_store::{TaskId, WorkerId};
@@ -102,7 +102,7 @@ impl Parser {
         self.expect_keyword("TASK")?;
         let text = self.expect_string("a quoted task text")?;
         let mut limit = 1usize;
-        let mut algorithm = Algorithm::default();
+        let mut backend = BackendName::default();
         let mut min_group = None;
         loop {
             if self.peek_keyword("LIMIT") {
@@ -110,11 +110,11 @@ impl Parser {
                 limit = self.expect_integer("a limit")? as usize;
             } else if self.peek_keyword("USING") {
                 self.advance();
-                let name = self.expect_word("an algorithm name")?;
-                algorithm = Algorithm::from_name(&name).ok_or_else(|| QueryError::Parse {
-                    expected: "one of tdpm, vsm, drm, tspm".into(),
-                    found: format!("'{name}'"),
-                })?;
+                // Any identifier is accepted here; the engine resolves it
+                // against its backend registry and rejects unknown names
+                // with the list of registered backends.
+                let name = self.expect_word("a backend name")?;
+                backend = BackendName::new(&name);
             } else if self.peek_keyword("WHERE") {
                 self.advance();
                 self.expect_keyword("GROUP")?;
@@ -127,7 +127,7 @@ impl Parser {
         Ok(Statement::SelectWorkers {
             text,
             limit,
-            algorithm,
+            backend,
             min_group,
         })
     }
@@ -329,7 +329,7 @@ mod tests {
             Statement::SelectWorkers {
                 text: "q".into(),
                 limit: 1,
-                algorithm: Algorithm::Tdpm,
+                backend: BackendName::default(),
                 min_group: None
             }
         );
@@ -338,8 +338,24 @@ mod tests {
             Statement::SelectWorkers {
                 text: "q".into(),
                 limit: 3,
-                algorithm: Algorithm::Vsm,
+                backend: BackendName::new("vsm"),
                 min_group: Some(5)
+            }
+        );
+    }
+
+    #[test]
+    fn using_accepts_any_identifier_and_lowercases_it() {
+        // Backend names are resolved by the engine's registry, not the
+        // parser — arbitrary identifiers parse fine and are canonicalized.
+        let stmt = parse("SELECT WORKERS FOR TASK 'q' USING MyBackend").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::SelectWorkers {
+                text: "q".into(),
+                limit: 1,
+                backend: BackendName::new("mybackend"),
+                min_group: None
             }
         );
     }
@@ -353,7 +369,10 @@ mod tests {
 
     #[test]
     fn show_statements() {
-        assert_eq!(parse("SHOW STATS").unwrap(), Statement::Show(ShowTarget::Stats));
+        assert_eq!(
+            parse("SHOW STATS").unwrap(),
+            Statement::Show(ShowTarget::Stats)
+        );
         assert_eq!(
             parse("SHOW WORKER 4").unwrap(),
             Statement::Show(ShowTarget::Worker(WorkerId(4)))
@@ -393,8 +412,8 @@ mod tests {
         assert!(e.to_string().contains("quoted task text"), "{e}");
         let e = parse("FEEDBACK WORKER x").unwrap_err();
         assert!(e.to_string().contains("worker id"), "{e}");
-        let e = parse("SELECT WORKERS FOR TASK 'q' USING magic").unwrap_err();
-        assert!(e.to_string().contains("tdpm"), "{e}");
+        let e = parse("SELECT WORKERS FOR TASK 'q' USING 42").unwrap_err();
+        assert!(e.to_string().contains("backend name"), "{e}");
         let e = parse("SHOW NOTHING").unwrap_err();
         assert!(e.to_string().contains("STATS"), "{e}");
     }

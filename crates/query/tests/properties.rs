@@ -1,6 +1,6 @@
 //! Property tests: every renderable statement parses back to itself.
 
-use crowd_query::ast::{Algorithm, ShowTarget, Statement};
+use crowd_query::ast::{BackendName, ShowTarget, Statement};
 use crowd_query::parse;
 use crowd_store::{TaskId, WorkerId};
 use proptest::prelude::*;
@@ -11,13 +11,10 @@ fn arb_text() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9 +#'_.,?-]{1,40}"
 }
 
-fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
-    prop_oneof![
-        Just(Algorithm::Tdpm),
-        Just(Algorithm::Vsm),
-        Just(Algorithm::Drm),
-        Just(Algorithm::Tspm),
-    ]
+/// Backend names round-trip through `USING <word>`: any lowercase identifier
+/// works, since the engine (not the parser) validates names.
+fn arb_backend() -> impl Strategy<Value = BackendName> {
+    "[a-z][a-z0-9_]{0,15}".prop_map(BackendName::new)
 }
 
 fn arb_statement() -> impl Strategy<Value = Statement> {
@@ -41,22 +38,27 @@ fn arb_statement() -> impl Strategy<Value = Statement> {
             text
         }),
         (1usize..100).prop_map(|categories| Statement::TrainModel { categories }),
-        (arb_text(), 1usize..20, arb_algorithm(), prop::option::of(0usize..50)).prop_map(
-            |(text, limit, algorithm, min_group)| Statement::SelectWorkers {
-                text,
-                limit,
-                algorithm,
-                min_group
-            }
-        ),
+        (
+            arb_text(),
+            1usize..20,
+            arb_backend(),
+            prop::option::of(0usize..50)
+        )
+            .prop_map(
+                |(text, limit, backend, min_group)| Statement::SelectWorkers {
+                    text,
+                    limit,
+                    backend,
+                    min_group
+                }
+            ),
         Just(Statement::Show(ShowTarget::Stats)),
         (0u32..100).prop_map(|w| Statement::Show(ShowTarget::Worker(WorkerId(w)))),
         (0u32..100).prop_map(|t| Statement::Show(ShowTarget::Task(TaskId(t)))),
         prop::collection::vec(0usize..50, 1..6)
             .prop_map(|ns| Statement::Show(ShowTarget::Groups(ns))),
-        (arb_text(), 1usize..20).prop_map(|(text, limit)| {
-            Statement::Show(ShowTarget::Similar { text, limit })
-        }),
+        (arb_text(), 1usize..20)
+            .prop_map(|(text, limit)| { Statement::Show(ShowTarget::Similar { text, limit }) }),
     ]
 }
 
@@ -87,7 +89,7 @@ proptest! {
             Statement::SelectWorkers {
                 text: "q".into(),
                 limit: 2,
-                algorithm: Algorithm::Drm,
+                backend: BackendName::new("drm"),
                 min_group: Some(3),
             }
         );

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! The backend-agnostic crowd-selection layer.
+//!
+//! Every selection algorithm in the workspace — the paper's TDPM as well as
+//! the VSM / DRM / TSPM baselines — answers the same question: *given a task
+//! and a candidate pool, who should work on it?* This crate owns that
+//! abstraction so the layers above (query language, platform, evaluation
+//! harness) never have to know which concrete algorithm is serving:
+//!
+//! - [`RankedWorker`], [`top_k`] and [`rank_of`] — the Eq. 1 selection
+//!   primitives shared by every backend.
+//! - [`CrowdSelector`] — the uniform "fitted algorithm" interface: rank,
+//!   select, and (optionally) absorb online feedback.
+//! - [`SelectorBackend`] / [`SelectorRegistry`] — named factories so callers
+//!   can resolve `USING <backend>` strings to fitted selectors.
+//! - [`FittedSelector`] — the fit → snapshot → serve lifecycle wrapper that
+//!   the crowd platform and the query engine cache.
+//!
+//! Dependency-wise this crate sits directly above the storage layer
+//! (`crowd-store`, `crowd-text`); `crowd-core` and `crowd-baselines` plug
+//! their algorithms in from above.
+
+pub mod ranking;
+pub mod registry;
+pub mod selector;
+
+pub use ranking::{rank_of, top_k, RankedWorker};
+pub use registry::{
+    FitDiagnostics, FitOptions, FitOutcome, FittedSelector, SelectError, SelectorBackend,
+    SelectorRegistry,
+};
+pub use selector::CrowdSelector;

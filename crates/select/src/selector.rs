@@ -1,0 +1,143 @@
+//! The uniform crowd-selection interface every backend implements.
+
+use crate::ranking::RankedWorker;
+use crowd_store::{TaskId, WorkerId};
+use crowd_text::BagOfWords;
+
+/// A fitted crowd-selection algorithm, queryable per task.
+///
+/// A selector is *fitted once* on the historical `(T, A, S)` data and then
+/// queried per incoming task — mirroring the paper's architecture where the
+/// crowd manager answers selection queries online (Section 2). The task is
+/// presented as a bag of words over the same vocabulary the selector was
+/// fitted on.
+///
+/// The online methods ([`add_worker`](Self::add_worker),
+/// [`observe_feedback`](Self::observe_feedback)) default to no-ops: batch
+/// baselines such as VSM simply serve a frozen snapshot, while incremental
+/// models (the paper's Algorithm 3 for TDPM) override them to fold new
+/// evidence in without refitting.
+pub trait CrowdSelector: Send + Sync {
+    /// Short display name ("VSM", "TSPM", "DRM", "TDPM").
+    fn name(&self) -> &'static str;
+
+    /// Ranks all `candidates` for `task`, best first.
+    ///
+    /// Candidates unknown to the selector score as 0 / worst.
+    fn rank(&self, task: &BagOfWords, candidates: &[WorkerId]) -> Vec<RankedWorker>;
+
+    /// Returns the top-`k` workers (default: truncate [`rank`](Self::rank)).
+    fn select(&self, task: &BagOfWords, candidates: &[WorkerId], k: usize) -> Vec<RankedWorker> {
+        let mut ranked = self.rank(task, candidates);
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Ranks candidates for a *resolved training task*, identified by its
+    /// store id, using the latent representation learned during fitting.
+    ///
+    /// The paper evaluates on historical questions; for those, a model's
+    /// fitted per-task posterior is available and — crucially for TDPM —
+    /// feedback-informed. The default falls back to content-only
+    /// [`rank`](Self::rank), which is also the behaviour for tasks the
+    /// selector never trained on.
+    fn rank_trained(
+        &self,
+        task: TaskId,
+        bow: &BagOfWords,
+        candidates: &[WorkerId],
+    ) -> Vec<RankedWorker> {
+        let _ = task;
+        self.rank(bow, candidates)
+    }
+
+    /// Registers a worker that joined after fitting, so it can be ranked
+    /// (at its prior) instead of being dropped. Default: no-op.
+    fn add_worker(&mut self, worker: WorkerId) {
+        let _ = worker;
+    }
+
+    /// Folds one observed feedback score into the fitted state
+    /// (the paper's incremental maintenance, Algorithm 3). Default: no-op —
+    /// batch baselines stay frozen until the next refit.
+    fn observe_feedback(
+        &mut self,
+        worker: WorkerId,
+        task: TaskId,
+        bow: &BagOfWords,
+        score: f64,
+    ) -> Result<(), crate::registry::SelectError> {
+        let _ = (worker, task, bow, score);
+        Ok(())
+    }
+
+    /// The latent skill profile of a worker, if the backend exposes one
+    /// (used by `SHOW WORKER`). Default: `None`.
+    fn worker_profile(&self, worker: WorkerId) -> Option<Vec<f64>> {
+        let _ = worker;
+        None
+    }
+
+    /// Escape hatch for callers that need the concrete model behind the
+    /// trait object (e.g. platform diagnostics). Backends that want to be
+    /// downcastable return `Some(self)`; the default hides the type.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::top_k;
+
+    /// A trivial selector for exercising the defaults.
+    struct ById;
+    impl CrowdSelector for ById {
+        fn name(&self) -> &'static str {
+            "BYID"
+        }
+        fn rank(&self, _task: &BagOfWords, candidates: &[WorkerId]) -> Vec<RankedWorker> {
+            let scored = candidates.iter().map(|&w| (w, f64::from(w.0)));
+            top_k(scored, candidates.len())
+        }
+    }
+
+    #[test]
+    fn default_select_truncates_rank() {
+        let s = ById;
+        let candidates = vec![WorkerId(1), WorkerId(5), WorkerId(3)];
+        let top2 = s.select(&BagOfWords::new(), &candidates, 2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].worker, WorkerId(5));
+        assert_eq!(top2[1].worker, WorkerId(3));
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let s: Box<dyn CrowdSelector> = Box::new(ById);
+        assert_eq!(s.name(), "BYID");
+    }
+
+    #[test]
+    fn default_rank_trained_falls_back_to_rank() {
+        let s = ById;
+        let candidates = vec![WorkerId(2), WorkerId(7), WorkerId(4)];
+        let bow = BagOfWords::new();
+        let via_trained = s.rank_trained(TaskId(99), &bow, &candidates);
+        let via_rank = s.rank(&bow, &candidates);
+        assert_eq!(via_trained, via_rank);
+        assert_eq!(via_trained[0].worker, WorkerId(7));
+    }
+
+    #[test]
+    fn default_online_methods_are_noops() {
+        let mut s = ById;
+        let bow = BagOfWords::new();
+        s.add_worker(WorkerId(1));
+        s.observe_feedback(WorkerId(1), TaskId(0), &bow, 3.0)
+            .unwrap();
+        assert!(s.worker_profile(WorkerId(1)).is_none());
+        assert!(s.as_any().is_none());
+    }
+}

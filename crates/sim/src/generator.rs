@@ -75,8 +75,8 @@ impl PlatformGenerator {
             .collect();
 
         let token_dist = Poisson::new(cfg.tokens_per_task).expect("positive mean");
-        let answer_dist = Poisson::new((cfg.avg_answers_per_task - 1.0).max(0.05))
-            .expect("positive mean");
+        let answer_dist =
+            Poisson::new((cfg.avg_answers_per_task - 1.0).max(0.05)).expect("positive mean");
         let noise = Normal::new(0.0, cfg.quality_noise.max(1e-9)).expect("valid parameters");
 
         let mut true_mixtures = Vec::with_capacity(cfg.num_tasks);
@@ -101,7 +101,9 @@ impl PlatformGenerator {
 
             match cfg.kind {
                 PlatformKind::Quora | PlatformKind::StackOverflow => {
-                    self.emit_thumbs_feedback(&mut db, task_id, &answerers, &qualities, &workers, &mut rng);
+                    self.emit_thumbs_feedback(
+                        &mut db, task_id, &answerers, &qualities, &workers, &mut rng,
+                    );
                 }
                 PlatformKind::Yahoo => {
                     self.emit_best_answer_feedback(
@@ -113,7 +115,9 @@ impl PlatformGenerator {
             true_mixtures.push(mixture);
         }
 
-        let true_skills = (0..cfg.num_workers).map(|i| pool.skill(i).to_vec()).collect();
+        let true_skills = (0..cfg.num_workers)
+            .map(|i| pool.skill(i).to_vec())
+            .collect();
         GeneratedPlatform {
             db,
             config: self.config.clone(),
@@ -171,7 +175,8 @@ impl PlatformGenerator {
             } else {
                 0.0
             };
-            db.record_feedback(workers[i], task, votes).expect("assigned");
+            db.record_feedback(workers[i], task, votes)
+                .expect("assigned");
         }
     }
 
@@ -231,7 +236,8 @@ impl PlatformGenerator {
             } else {
                 jaccard(&answer_bags[slot], &answer_bags[best])
             };
-            db.record_feedback(workers[i], task, score).expect("assigned");
+            db.record_feedback(workers[i], task, score)
+                .expect("assigned");
         }
     }
 }
@@ -306,11 +312,7 @@ mod tests {
     fn yahoo_scores_are_best_answer_jaccard() {
         let p = tiny(SimConfig::yahoo);
         for rt in p.db.resolved_tasks() {
-            let max = rt
-                .scores
-                .iter()
-                .map(|&(_, s)| s)
-                .fold(f64::MIN, f64::max);
+            let max = rt.scores.iter().map(|&(_, s)| s).fold(f64::MIN, f64::max);
             assert!((max - 1.0).abs() < 1e-12, "best answer scores 1.0");
             for &(w, s) in &rt.scores {
                 assert!((0.0..=1.0).contains(&s));
@@ -356,11 +358,10 @@ mod tests {
     #[test]
     fn participation_is_heavy_tailed() {
         let p = tiny(SimConfig::yahoo);
-        let mut counts: Vec<usize> = p
-            .db
-            .worker_ids()
-            .map(|w| p.db.worker_task_count(w))
-            .collect();
+        let mut counts: Vec<usize> =
+            p.db.worker_ids()
+                .map(|w| p.db.worker_task_count(w))
+                .collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let head: usize = counts[..counts.len() / 10].iter().sum();
         let total: usize = counts.iter().sum();

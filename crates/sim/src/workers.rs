@@ -90,11 +90,7 @@ impl WorkerPool {
     /// Planted quality of worker `i` on a task with category `mixture`:
     /// `skill_i · mixture`.
     pub fn quality(&self, i: usize, mixture: &[f64]) -> f64 {
-        self.skills[i]
-            .iter()
-            .zip(mixture)
-            .map(|(s, m)| s * m)
-            .sum()
+        self.skills[i].iter().zip(mixture).map(|(s, m)| s * m).sum()
     }
 
     /// Applies multiplicative skill drift in place: each skill entry is

@@ -193,7 +193,9 @@ impl CrowdDb {
 
     /// The task record, if stored.
     pub fn task(&self, id: TaskId) -> Result<&TaskRecord> {
-        self.tasks.get(id.index()).ok_or(StoreError::UnknownTask(id))
+        self.tasks
+            .get(id.index())
+            .ok_or(StoreError::UnknownTask(id))
     }
 
     /// The feedback score for a pair, if assigned and resolved.
@@ -557,8 +559,8 @@ mod tests {
         db.assign(w[0], t[0]).unwrap();
         db.assign(w[0], t[1]).unwrap();
         let hist = db.worker_history_bow(w[0]);
-        let expected = db.task(t[0]).unwrap().bow.total_tokens()
-            + db.task(t[1]).unwrap().bow.total_tokens();
+        let expected =
+            db.task(t[0]).unwrap().bow.total_tokens() + db.task(t[1]).unwrap().bow.total_tokens();
         assert_eq!(hist.total_tokens(), expected);
     }
 

@@ -49,6 +49,8 @@ mod tests {
             StoreError::NotAssigned(WorkerId(2), TaskId(3)).to_string(),
             "w2 is not assigned to t3"
         );
-        assert!(StoreError::InvalidScore(f64::NAN).to_string().contains("NaN"));
+        assert!(StoreError::InvalidScore(f64::NAN)
+            .to_string()
+            .contains("NaN"));
     }
 }

@@ -96,7 +96,9 @@ mod tests {
     fn db() -> CrowdDb {
         let mut db = CrowdDb::new();
         let w: Vec<_> = (0..3).map(|i| db.add_worker(format!("u{i}"))).collect();
-        let t: Vec<_> = (0..4).map(|i| db.add_task(format!("task number {i}"))).collect();
+        let t: Vec<_> = (0..4)
+            .map(|i| db.add_task(format!("task number {i}")))
+            .collect();
         for &ti in &t[0..3] {
             db.assign(w[0], ti).unwrap();
             db.record_feedback(w[0], ti, 1.0).unwrap();

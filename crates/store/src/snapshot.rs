@@ -33,7 +33,10 @@ impl Snapshot {
         answers.sort_unstable_by_key(|&(w, t, _)| (w, t));
         Snapshot {
             vocab: db.vocab().clone(),
-            workers: db.worker_ids().map(|w| db.worker(w).unwrap().clone()).collect(),
+            workers: db
+                .worker_ids()
+                .map(|w| db.worker(w).unwrap().clone())
+                .collect(),
             tasks: db.task_ids().map(|t| db.task(t).unwrap().clone()).collect(),
             entries: db.entries().to_vec(),
             answers,
@@ -97,7 +100,8 @@ mod tests {
         db.assign(w1, t0).unwrap();
         db.assign(w0, t1).unwrap();
         db.record_feedback(w0, t0, 4.0).unwrap();
-        db.record_answer(w1, t0, "prefer b+ trees for range queries").unwrap();
+        db.record_answer(w1, t0, "prefer b+ trees for range queries")
+            .unwrap();
         db
     }
 

@@ -316,9 +316,7 @@ mod tests {
             let t = logged.add_task("x").unwrap();
             logged.assign(w, t).unwrap();
             assert!(logged.assign(w, t).is_err(), "double assign rejected");
-            assert!(logged
-                .record_feedback(w, TaskId(99), 1.0)
-                .is_err());
+            assert!(logged.record_feedback(w, TaskId(99), 1.0).is_err());
             assert!(logged.record_feedback(w, t, f64::NAN).is_err());
             assert!(logged.record_answer(WorkerId(9), t, "hi").is_err());
         }

@@ -23,7 +23,7 @@ pub mod tokenizer;
 pub mod vocab;
 
 pub use bow::BagOfWords;
-pub use tfidf::TfIdf;
 pub use stem::{stem, tokenize_stemmed};
+pub use tfidf::TfIdf;
 pub use tokenizer::{tokenize, tokenize_filtered};
 pub use vocab::{TermId, Vocabulary};

@@ -153,8 +153,7 @@ fn step_1b(w: &mut Vec<u8>) {
     if cleanup {
         if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
             w.push(b'e'); // conflat(ed) → conflate
-        } else if ends_double_consonant(w, w.len())
-            && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
+        } else if ends_double_consonant(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
         {
             w.truncate(w.len() - 1); // hopp(ing) → hop
         } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
@@ -227,10 +226,7 @@ fn step_4(w: &mut Vec<u8>) {
     // "ion" is special: preceding char must be s or t.
     if ends_with(w, "ion") {
         let stem_len = w.len() - 3;
-        if stem_len >= 1
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len >= 1 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
         return;

@@ -148,10 +148,12 @@ mod tests {
     fn weighted_cosine_downweights_common_terms() {
         // Query shares the *common* term with d1 and the *rare* term with d2.
         let (bags, v) = corpus(&[
-            "common rare",  // query
-            "common xxx",   // d1 shares only the common term
-            "rare yyy",     // d2 shares only the rare term
-            "common zzz1", "common zzz2", "common zzz3", // make "common" common
+            "common rare", // query
+            "common xxx",  // d1 shares only the common term
+            "rare yyy",    // d2 shares only the rare term
+            "common zzz1",
+            "common zzz2",
+            "common zzz3", // make "common" common
         ]);
         let t = TfIdf::from_corpus(&bags);
         let s1 = t.weighted_cosine(&bags[0], &bags[1]);

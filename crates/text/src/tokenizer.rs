@@ -43,7 +43,11 @@ pub fn tokenize_filtered(text: &str) -> Vec<String> {
     tokenize(text)
         .into_iter()
         .filter(|t| !is_stopword(t))
-        .filter(|t| t.chars().count() > 1 || matches!(t.as_str(), "c" | "r" | "b") || t.chars().all(|c| c.is_numeric()))
+        .filter(|t| {
+            t.chars().count() > 1
+                || matches!(t.as_str(), "c" | "r" | "b")
+                || t.chars().all(|c| c.is_numeric())
+        })
         .collect()
 }
 
@@ -56,18 +60,35 @@ mod tests {
         let toks = tokenize("What are the advantages of B+ Tree over B Tree?");
         assert_eq!(
             toks,
-            vec!["what", "are", "the", "advantages", "of", "b+", "tree", "over", "b", "tree"]
+            vec![
+                "what",
+                "are",
+                "the",
+                "advantages",
+                "of",
+                "b+",
+                "tree",
+                "over",
+                "b",
+                "tree"
+            ]
         );
     }
 
     #[test]
     fn programming_terms_survive() {
-        assert_eq!(tokenize("C++ vs C# vs F#"), vec!["c++", "vs", "c#", "vs", "f#"]);
+        assert_eq!(
+            tokenize("C++ vs C# vs F#"),
+            vec!["c++", "vs", "c#", "vs", "f#"]
+        );
     }
 
     #[test]
     fn punctuation_is_separator() {
-        assert_eq!(tokenize("foo,bar;baz.qux"), vec!["foo", "bar", "baz", "qux"]);
+        assert_eq!(
+            tokenize("foo,bar;baz.qux"),
+            vec!["foo", "bar", "baz", "qux"]
+        );
     }
 
     #[test]

@@ -5,8 +5,9 @@ use crowd_text::{tokenize, BagOfWords, TermId, Vocabulary};
 use proptest::prelude::*;
 
 fn arb_bag() -> impl Strategy<Value = BagOfWords> {
-    prop::collection::vec((0u32..64, 1u32..5), 0..24)
-        .prop_map(|pairs| BagOfWords::from_counts(pairs.into_iter().map(|(t, c)| (TermId(t), c)).collect()))
+    prop::collection::vec((0u32..64, 1u32..5), 0..24).prop_map(|pairs| {
+        BagOfWords::from_counts(pairs.into_iter().map(|(t, c)| (TermId(t), c)).collect())
+    })
 }
 
 proptest! {

@@ -30,7 +30,12 @@ fn main() {
     for w in db.worker_ids() {
         train_db.add_worker(db.worker(w).unwrap().handle.clone());
     }
-    for term in (0..db.vocab().len()).map(|i| db.vocab().term(crowdselect::text::TermId(i as u32)).unwrap().to_owned()) {
+    for term in (0..db.vocab().len()).map(|i| {
+        db.vocab()
+            .term(crowdselect::text::TermId(i as u32))
+            .unwrap()
+            .to_owned()
+    }) {
         train_db.vocab_mut().intern(&term);
     }
     for rt in &all[..split] {
@@ -53,7 +58,9 @@ fn main() {
         seed: 3,
         ..TdpmConfig::default()
     };
-    let model = TdpmTrainer::new(config).fit(&train_db).expect("training data");
+    let model = TdpmTrainer::new(config)
+        .fit(&train_db)
+        .expect("training data");
 
     // Test: rank each held-out question's answerers; the ground truth is the
     // recorded best answerer.

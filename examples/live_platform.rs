@@ -69,16 +69,17 @@ fn main() {
     // the stream index (and thus the right specialist).
     let base = pipeline.manager().db().read().num_tasks();
     let expert_table = experts.clone();
-    let score_fn = move |w: WorkerId, d: &crowdselect::platform::events::Dispatch, _answer: &str| {
-        // The asker knows a good answer when they see one: the right
-        // specialist gets 4–5 thumbs, anyone else gets 0–1.
-        let idx = d.task.index().saturating_sub(base);
-        if idx < expert_table.len() && w == expert_table[idx] {
-            4.5
-        } else {
-            0.5
-        }
-    };
+    let score_fn =
+        move |w: WorkerId, d: &crowdselect::platform::events::Dispatch, _answer: &str| {
+            // The asker knows a good answer when they see one: the right
+            // specialist gets 4–5 thumbs, anyone else gets 0–1.
+            let idx = d.task.index().saturating_sub(base);
+            if idx < expert_table.len() && w == expert_table[idx] {
+                4.5
+            } else {
+                0.5
+            }
+        };
 
     let report = pipeline.run(&texts, &score_fn);
     println!("pipeline report: {report:?}\n");

@@ -62,7 +62,10 @@ fn main() {
 
     // Show one concrete routing decision.
     let sample = &questions[0];
-    println!("\nsample question: {:?}", db.task(sample.task).unwrap().text);
+    println!(
+        "\nsample question: {:?}",
+        db.task(sample.task).unwrap().text
+    );
     println!("right worker (best answerer): {}", sample.right);
     for s in &selectors {
         let top = s.select(&sample.bow, &sample.candidates, 2);

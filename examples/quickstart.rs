@@ -19,7 +19,13 @@ fn main() {
         ("btree page split and buffer pool", ada, 4.0, carl, 0.0),
         ("index range scan on clustered btree", ada, 4.0, carl, 1.0),
         ("posterior under a gaussian prior", carl, 5.0, ada, 0.5),
-        ("variational inference for latent models", carl, 4.0, ada, 1.0),
+        (
+            "variational inference for latent models",
+            carl,
+            4.0,
+            ada,
+            1.0,
+        ),
         ("variance of a gaussian likelihood", carl, 4.0, ada, 0.0),
     ];
     for (text, good, good_score, bad, bad_score) in history {
@@ -42,10 +48,15 @@ fn main() {
         seed: 7,
         ..TdpmConfig::default()
     };
-    let model = TdpmTrainer::new(config).fit(&db).expect("training data present");
+    let model = TdpmTrainer::new(config)
+        .fit(&db)
+        .expect("training data present");
     for (name, w) in [("ada", ada), ("carl", carl)] {
         let skill = model.skill(w).unwrap();
-        println!("{name:>5} latent skills: {:?}", rounded(skill.mean.as_slice()));
+        println!(
+            "{name:>5} latent skills: {:?}",
+            rounded(skill.mean.as_slice())
+        );
     }
 
     // 3. A brand-new question is projected onto the learned latent category
@@ -60,13 +71,7 @@ fn main() {
         let ranked = model.select_top_k(&projection, db.worker_ids(), 2);
         let names: Vec<String> = ranked
             .iter()
-            .map(|r| {
-                format!(
-                    "{} ({:.2})",
-                    db.worker(r.worker).unwrap().handle,
-                    r.score
-                )
-            })
+            .map(|r| format!("{} ({:.2})", db.worker(r.worker).unwrap().handle, r.score))
             .collect();
         println!("\nQ: {question}\n   ask: {}", names.join(", "));
     }

@@ -75,7 +75,10 @@ fn vsm_profile_matches_store_history() {
     let vsm = VsmSelector::fit(db);
     for w in db.worker_ids().take(20) {
         let profile = vsm.profile(w).unwrap();
-        assert_eq!(profile.total_tokens(), db.worker_history_bow(w).total_tokens());
+        assert_eq!(
+            profile.total_tokens(),
+            db.worker_history_bow(w).total_tokens()
+        );
     }
 }
 
