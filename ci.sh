@@ -19,4 +19,10 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test -q
 
+# Fault matrix: the lifecycle recovery counters must reproduce exactly
+# under every seed (see crates/platform/tests/fault_matrix.rs).
+for seed in 17 42 99; do
+    run env FAULT_SEED="$seed" cargo test -q -p crowd-platform --test fault_matrix
+done
+
 echo "==> ci.sh: all green"

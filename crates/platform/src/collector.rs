@@ -57,6 +57,36 @@ impl AnswerCollector {
         self.feedback_tx.clone()
     }
 
+    /// Submits one feedback event, surfacing a closed channel as a
+    /// [`ManagerError::ChannelClosed`] instead of panicking or silently
+    /// dropping the event.
+    pub fn send_feedback(&self, event: FeedbackEvent) -> Result<(), ManagerError> {
+        self.feedback_tx
+            .send(event)
+            .map_err(|_| ManagerError::ChannelClosed("feedback"))
+    }
+
+    /// Pops one queued answer, if any — the per-event path a lifecycle-
+    /// driven pipeline uses to attribute each answer to its assignment
+    /// before deciding quorum/reassignment.
+    pub fn try_recv_answer(&self) -> Option<AnswerEvent> {
+        self.answer_rx.try_recv().ok()
+    }
+
+    /// Drains only the feedback queue into the manager (answers stay
+    /// queued). Used when answers are consumed per-event via
+    /// [`AnswerCollector::try_recv_answer`].
+    pub fn drain_feedback_into(&self, manager: &CrowdManager) -> DrainStats {
+        let mut stats = DrainStats::default();
+        while let Ok(fb) = self.feedback_rx.try_recv() {
+            match manager.record_feedback(fb.worker, fb.task, fb.score) {
+                Ok(()) => stats.feedback += 1,
+                Err(_) => stats.errors += 1,
+            }
+        }
+        stats
+    }
+
     /// Drains every queued answer and feedback event into the manager.
     ///
     /// Returns counts; individual event failures are tallied, not fatal —
@@ -175,5 +205,36 @@ mod tests {
         let (manager, _, _) = trained_manager();
         let collector = AnswerCollector::new();
         assert_eq!(collector.drain_into(&manager), DrainStats::default());
+    }
+
+    #[test]
+    fn per_event_receive_and_feedback_only_drain() {
+        let (manager, w, _) = trained_manager();
+        let (task, _) = manager.submit_task("another btree question").unwrap();
+        let collector = AnswerCollector::new();
+        collector
+            .send_feedback(FeedbackEvent {
+                worker: w,
+                task,
+                score: 2.0,
+            })
+            .unwrap();
+        collector
+            .answer_sender()
+            .send(AnswerEvent {
+                worker: w,
+                task,
+                text: "an answer".into(),
+            })
+            .unwrap();
+        // Feedback-only drain leaves the answer queued…
+        let stats = collector.drain_feedback_into(&manager);
+        assert_eq!(stats.feedback, 1);
+        assert_eq!(stats.answers, 0);
+        assert_eq!(collector.pending_answers(), 1);
+        // …for the per-event path to consume.
+        let ev = collector.try_recv_answer().unwrap();
+        assert_eq!(ev.worker, w);
+        assert!(collector.try_recv_answer().is_none());
     }
 }

@@ -54,13 +54,21 @@ impl TaskDispatcher {
     }
 
     /// Sends a dispatch to one worker.
+    ///
+    /// A send to a dropped receiver both reports `Disconnected` *and*
+    /// prunes the dead `Sender` from the inbox map — a worker that went
+    /// away must not occupy a routing slot forever. Subsequent dispatches
+    /// to the same worker report `NotRegistered` until they re-register.
     pub fn dispatch(&self, worker: WorkerId, message: Dispatch) -> DispatchOutcome {
-        let inboxes = self.inboxes.lock();
+        let mut inboxes = self.inboxes.lock();
         match inboxes.get(&worker) {
             None => DispatchOutcome::NotRegistered,
             Some(tx) => match tx.try_send(message) {
                 Ok(()) => DispatchOutcome::Delivered,
-                Err(TrySendError::Disconnected(_)) => DispatchOutcome::Disconnected,
+                Err(TrySendError::Disconnected(_)) => {
+                    inboxes.remove(&worker);
+                    DispatchOutcome::Disconnected
+                }
                 Err(TrySendError::Full(_)) => unreachable!("unbounded channel"),
             },
         }
@@ -117,6 +125,25 @@ mod tests {
         assert_eq!(
             d.dispatch(WorkerId(1), msg(0)),
             DispatchOutcome::Disconnected
+        );
+    }
+
+    #[test]
+    fn dropped_receiver_is_pruned_from_the_inbox_map() {
+        let d = TaskDispatcher::new();
+        let rx = d.register(WorkerId(1));
+        let _rx2 = d.register(WorkerId(2));
+        drop(rx);
+        assert_eq!(d.num_registered(), 2, "dead sender still parked");
+        assert_eq!(
+            d.dispatch(WorkerId(1), msg(0)),
+            DispatchOutcome::Disconnected
+        );
+        assert_eq!(d.num_registered(), 1, "disconnect prunes the inbox");
+        assert_eq!(
+            d.dispatch(WorkerId(1), msg(1)),
+            DispatchOutcome::NotRegistered,
+            "a pruned worker must re-register to receive again"
         );
     }
 

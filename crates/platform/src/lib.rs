@@ -18,15 +18,24 @@
 //! [`Pipeline`] wires everything together with simulated workers on real
 //! threads, which is how the end-to-end examples and tests drive the
 //! system.
+//!
+//! On top of the paper's happy path sits a fault-tolerant task lifecycle
+//! ([`TaskLifecycle`]): per-assignment deadlines, automatic reassignment
+//! to the next-best ranked standby under bounded retries with exponential
+//! backoff, quorum completion (m-of-k answers), and graceful manager
+//! degradation (a failed refit keeps serving the last-good snapshot).
+//! See DESIGN.md §"Fault model" for the full policy.
 
 pub mod collector;
 pub mod dispatcher;
 pub mod events;
+pub mod lifecycle;
 pub mod manager;
 pub mod pipeline;
 
 pub use collector::AnswerCollector;
 pub use dispatcher::TaskDispatcher;
 pub use events::{AnswerEvent, Dispatch, FeedbackEvent};
-pub use manager::{CrowdManager, ManagerConfig, ManagerError};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use lifecycle::{Directive, LifecycleCounters, LifecyclePolicy, TaskLifecycle, TaskState};
+pub use manager::{CrowdManager, ManagerConfig, ManagerError, TaskSubmission};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, WorkerReply};

@@ -1,0 +1,462 @@
+//! Per-task lifecycle state machine: dispatched → answered / expired /
+//! reassigned / abandoned.
+//!
+//! The paper's Figure-1 loop assumes selected workers answer; real crowds
+//! no-show, straggle and disconnect. [`TaskLifecycle`] tracks one task's
+//! assignments against per-assignment deadlines and decides — purely as a
+//! function of the events fed to it — when to reassign to the next-best
+//! standby (bounded retries, exponential backoff), when the task is
+//! complete (quorum: m-of-k answers suffice), and when to give up
+//! (abandonment).
+//!
+//! The machine is deliberately free of clocks, threads and channels: the
+//! driver (the [`crate::Pipeline`] run loop, or a test) passes `Instant`s
+//! in and executes the returned [`Directive`]s. That keeps every recovery
+//! decision unit-testable without sleeping.
+
+use crowd_store::{TaskId, WorkerId};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Retry/completion policy for one task's lifecycle.
+#[derive(Debug, Clone)]
+pub struct LifecyclePolicy {
+    /// Valid answers that complete the task (clamped to ≥ 1).
+    pub quorum: usize,
+    /// Replacement assignments allowed before the task may be abandoned.
+    pub max_reassignments: usize,
+    /// Per-assignment answer deadline.
+    pub deadline: Duration,
+    /// Backoff before the first replacement dispatch; doubles per
+    /// reassignment round.
+    pub base_backoff: Duration,
+    /// Upper bound on the exponential backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for LifecyclePolicy {
+    fn default() -> Self {
+        LifecyclePolicy {
+            quorum: 1,
+            max_reassignments: 3,
+            deadline: Duration::from_secs(5),
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Where a task stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Still waiting for answers (assignments active or replacements in
+    /// flight).
+    Open,
+    /// Enough valid answers arrived.
+    Completed {
+        /// `true` when quorum cut the task short — assignments were still
+        /// outstanding (or in flight) when it completed.
+        via_quorum: bool,
+    },
+    /// Retry budget and standby pool exhausted before quorum.
+    Abandoned,
+}
+
+/// An action the driver must carry out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// Assign + dispatch `worker` as a replacement, after waiting out
+    /// `backoff` (exponential per reassignment round).
+    Reassign {
+        /// The standby worker to promote.
+        worker: WorkerId,
+        /// How long to wait before dispatching.
+        backoff: Duration,
+    },
+}
+
+/// Lifecycle event counts, summed into the pipeline report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleCounters {
+    /// Replacement assignments issued.
+    pub reassignments: usize,
+    /// Assignments whose deadline passed without an answer.
+    pub expired_assignments: usize,
+    /// Answers rejected as content-free.
+    pub garbage_answers: usize,
+    /// Dispatches that failed (worker unregistered or disconnected).
+    pub failed_dispatches: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveAssignment {
+    worker: WorkerId,
+    deadline: Instant,
+}
+
+/// The per-task state machine. See the module docs for the contract.
+#[derive(Debug)]
+pub struct TaskLifecycle {
+    task: TaskId,
+    policy: LifecyclePolicy,
+    /// Remaining standby workers, best first.
+    standbys: VecDeque<WorkerId>,
+    active: Vec<ActiveAssignment>,
+    answered: Vec<WorkerId>,
+    /// Reassign directives issued but not yet resolved by the driver
+    /// (via activate_reassigned / reassign_dispatch_failed).
+    in_flight: usize,
+    state: TaskState,
+    counters: LifecycleCounters,
+}
+
+impl TaskLifecycle {
+    /// Starts an open lifecycle for `task`. `standbys` is the ranked
+    /// reassignment pool (best first); the initially selected workers are
+    /// reported via [`TaskLifecycle::activate_initial`] /
+    /// [`TaskLifecycle::initial_dispatch_failed`] as the driver dispatches
+    /// them.
+    pub fn new(task: TaskId, policy: LifecyclePolicy, standbys: Vec<WorkerId>) -> Self {
+        let mut policy = policy;
+        policy.quorum = policy.quorum.max(1);
+        TaskLifecycle {
+            task,
+            policy,
+            standbys: standbys.into(),
+            active: Vec::new(),
+            answered: Vec::new(),
+            in_flight: 0,
+            state: TaskState::Open,
+            counters: LifecycleCounters::default(),
+        }
+    }
+
+    /// The task this lifecycle tracks.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TaskState {
+        self.state
+    }
+
+    /// `true` while the task awaits answers.
+    pub fn is_open(&self) -> bool {
+        self.state == TaskState::Open
+    }
+
+    /// Event counts so far.
+    pub fn counters(&self) -> LifecycleCounters {
+        self.counters
+    }
+
+    /// Workers whose valid answers were accepted, in arrival order.
+    pub fn answered(&self) -> &[WorkerId] {
+        &self.answered
+    }
+
+    /// `true` when `worker` currently holds an active (undecided)
+    /// assignment.
+    pub fn is_active(&self, worker: WorkerId) -> bool {
+        self.active.iter().any(|a| a.worker == worker)
+    }
+
+    /// Records a successfully dispatched *initial* assignment.
+    pub fn activate_initial(&mut self, worker: WorkerId, now: Instant) {
+        self.active.push(ActiveAssignment {
+            worker,
+            deadline: now + self.policy.deadline,
+        });
+    }
+
+    /// Records that an initial dispatch failed; may request a replacement.
+    pub fn initial_dispatch_failed(&mut self, _worker: WorkerId) -> Vec<Directive> {
+        self.counters.failed_dispatches += 1;
+        let directive = self.replacement();
+        self.settle();
+        directive.into_iter().collect()
+    }
+
+    /// Records a successfully dispatched *replacement* assignment.
+    pub fn activate_reassigned(&mut self, worker: WorkerId, now: Instant) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.active.push(ActiveAssignment {
+            worker,
+            deadline: now + self.policy.deadline,
+        });
+    }
+
+    /// Records that a replacement dispatch failed; may request another.
+    pub fn reassign_dispatch_failed(&mut self, _worker: WorkerId) -> Vec<Directive> {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.counters.failed_dispatches += 1;
+        let directive = self.replacement();
+        self.settle();
+        directive.into_iter().collect()
+    }
+
+    /// Accepts a valid answer from `worker`. Returns `false` when the
+    /// worker held no active assignment (late or unsolicited answer).
+    /// Reaching quorum completes the task.
+    pub fn on_valid_answer(&mut self, worker: WorkerId) -> bool {
+        if self.state != TaskState::Open {
+            return false;
+        }
+        let Some(idx) = self.active.iter().position(|a| a.worker == worker) else {
+            return false;
+        };
+        self.active.swap_remove(idx);
+        self.answered.push(worker);
+        if self.state == TaskState::Open && self.answered.len() >= self.policy.quorum {
+            self.state = TaskState::Completed {
+                via_quorum: !self.active.is_empty() || self.in_flight > 0,
+            };
+        }
+        true
+    }
+
+    /// Rejects `worker`'s answer as garbage: the assignment is spent and a
+    /// replacement may be requested. Returns an empty vec when the worker
+    /// held no active assignment.
+    pub fn on_garbage_answer(&mut self, worker: WorkerId) -> Vec<Directive> {
+        if self.state != TaskState::Open {
+            return Vec::new();
+        }
+        let Some(idx) = self.active.iter().position(|a| a.worker == worker) else {
+            return Vec::new();
+        };
+        self.active.swap_remove(idx);
+        self.counters.garbage_answers += 1;
+        let directive = self.replacement();
+        self.settle();
+        directive.into_iter().collect()
+    }
+
+    /// Expires every assignment whose deadline passed, requesting
+    /// replacements while budget and standbys allow. Call periodically
+    /// with the current time.
+    pub fn tick(&mut self, now: Instant) -> Vec<Directive> {
+        if self.state != TaskState::Open {
+            return Vec::new();
+        }
+        let mut directives = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].deadline <= now {
+                self.active.swap_remove(i);
+                self.counters.expired_assignments += 1;
+                directives.extend(self.replacement());
+            } else {
+                i += 1;
+            }
+        }
+        self.settle();
+        directives
+    }
+
+    /// Draws the next standby within budget; tracks it as in flight.
+    fn replacement(&mut self) -> Option<Directive> {
+        if self.state != TaskState::Open
+            || self.counters.reassignments >= self.policy.max_reassignments
+        {
+            return None;
+        }
+        let worker = self.standbys.pop_front()?;
+        let round = self.counters.reassignments as u32;
+        self.counters.reassignments += 1;
+        self.in_flight += 1;
+        let backoff = self
+            .policy
+            .base_backoff
+            .checked_mul(2u32.saturating_pow(round))
+            .map_or(self.policy.max_backoff, |b| b.min(self.policy.max_backoff));
+        Some(Directive::Reassign { worker, backoff })
+    }
+
+    /// Declares abandonment when nothing is active, nothing is in flight,
+    /// and no replacement can ever be issued.
+    fn settle(&mut self) {
+        if self.state == TaskState::Open
+            && self.active.is_empty()
+            && self.in_flight == 0
+            && self.answered.len() < self.policy.quorum
+        {
+            self.state = TaskState::Abandoned;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(quorum: usize, max_reassignments: usize) -> LifecyclePolicy {
+        LifecyclePolicy {
+            quorum,
+            max_reassignments,
+            deadline: Duration::from_millis(100),
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+        }
+    }
+
+    fn w(id: u32) -> WorkerId {
+        WorkerId(id)
+    }
+
+    #[test]
+    fn all_answers_complete_without_quorum_cut() {
+        let now = Instant::now();
+        let mut lc = TaskLifecycle::new(TaskId(0), policy(2, 3), vec![w(9)]);
+        lc.activate_initial(w(1), now);
+        lc.activate_initial(w(2), now);
+        assert!(lc.on_valid_answer(w(1)));
+        assert!(lc.is_open());
+        assert!(lc.on_valid_answer(w(2)));
+        assert_eq!(lc.state(), TaskState::Completed { via_quorum: false });
+        assert_eq!(lc.counters(), LifecycleCounters::default());
+    }
+
+    #[test]
+    fn quorum_completes_with_assignments_outstanding() {
+        let now = Instant::now();
+        let mut lc = TaskLifecycle::new(TaskId(0), policy(1, 3), vec![]);
+        lc.activate_initial(w(1), now);
+        lc.activate_initial(w(2), now);
+        assert!(lc.on_valid_answer(w(2)));
+        assert_eq!(lc.state(), TaskState::Completed { via_quorum: true });
+        // The straggler's eventual answer is late, not accepted.
+        assert!(!lc.on_valid_answer(w(1)));
+        assert_eq!(lc.answered(), &[w(2)]);
+    }
+
+    #[test]
+    fn expiry_reassigns_to_next_best_with_exponential_backoff() {
+        let now = Instant::now();
+        let mut lc = TaskLifecycle::new(TaskId(0), policy(2, 3), vec![w(10), w(11), w(12)]);
+        lc.activate_initial(w(1), now);
+        lc.activate_initial(w(2), now);
+
+        // Nothing expires before the deadline.
+        assert!(lc.tick(now + Duration::from_millis(50)).is_empty());
+        // Both expire at once → two replacements, backoff doubling.
+        let dirs = lc.tick(now + Duration::from_millis(150));
+        assert_eq!(
+            dirs,
+            vec![
+                Directive::Reassign {
+                    worker: w(10),
+                    backoff: Duration::from_millis(10),
+                },
+                Directive::Reassign {
+                    worker: w(11),
+                    backoff: Duration::from_millis(20),
+                },
+            ]
+        );
+        assert_eq!(lc.counters().expired_assignments, 2);
+        assert_eq!(lc.counters().reassignments, 2);
+        assert!(lc.is_open(), "replacements in flight keep the task open");
+
+        let later = now + Duration::from_millis(200);
+        lc.activate_reassigned(w(10), later);
+        lc.activate_reassigned(w(11), later);
+        assert!(lc.on_valid_answer(w(10)));
+        assert!(lc.on_valid_answer(w(11)));
+        assert_eq!(lc.state(), TaskState::Completed { via_quorum: false });
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let now = Instant::now();
+        let standbys = (10..20).map(w).collect();
+        let mut lc = TaskLifecycle::new(TaskId(0), policy(1, 8), standbys);
+        lc.activate_initial(w(1), now);
+        let mut t = now;
+        let mut last_backoff = Duration::ZERO;
+        for round in 0..5 {
+            t += Duration::from_millis(150);
+            let dirs = lc.tick(t);
+            assert_eq!(dirs.len(), 1, "round {round}");
+            let Directive::Reassign { worker, backoff } = dirs[0].clone();
+            last_backoff = backoff;
+            lc.activate_reassigned(worker, t);
+        }
+        assert_eq!(last_backoff, Duration::from_millis(80), "capped at max");
+    }
+
+    #[test]
+    fn budget_exhaustion_abandons() {
+        let now = Instant::now();
+        let mut lc = TaskLifecycle::new(TaskId(0), policy(1, 1), vec![w(10), w(11)]);
+        lc.activate_initial(w(1), now);
+        let dirs = lc.tick(now + Duration::from_millis(150));
+        assert_eq!(dirs.len(), 1, "one reassignment allowed");
+        lc.activate_reassigned(w(10), now + Duration::from_millis(150));
+        // The replacement also expires; the budget is spent → abandoned.
+        assert!(lc.tick(now + Duration::from_millis(300)).is_empty());
+        assert_eq!(lc.state(), TaskState::Abandoned);
+        assert_eq!(lc.counters().expired_assignments, 2);
+        assert_eq!(lc.counters().reassignments, 1);
+    }
+
+    #[test]
+    fn empty_standby_pool_abandons() {
+        let now = Instant::now();
+        let mut lc = TaskLifecycle::new(TaskId(0), policy(1, 5), vec![]);
+        lc.activate_initial(w(1), now);
+        assert!(lc.tick(now + Duration::from_millis(150)).is_empty());
+        assert_eq!(lc.state(), TaskState::Abandoned);
+    }
+
+    #[test]
+    fn garbage_answer_burns_the_assignment_and_reassigns() {
+        let now = Instant::now();
+        let mut lc = TaskLifecycle::new(TaskId(0), policy(1, 3), vec![w(10)]);
+        lc.activate_initial(w(1), now);
+        let dirs = lc.on_garbage_answer(w(1));
+        assert_eq!(dirs.len(), 1);
+        assert_eq!(lc.counters().garbage_answers, 1);
+        lc.activate_reassigned(w(10), now);
+        assert!(lc.on_valid_answer(w(10)));
+        assert_eq!(lc.state(), TaskState::Completed { via_quorum: false });
+    }
+
+    #[test]
+    fn failed_dispatch_falls_through_to_standby() {
+        let now = Instant::now();
+        let mut lc = TaskLifecycle::new(TaskId(0), policy(1, 3), vec![w(10), w(11)]);
+        lc.activate_initial(w(1), now);
+        // The second initial dispatch failed (disconnected worker).
+        let dirs = lc.initial_dispatch_failed(w(2));
+        assert_eq!(dirs.len(), 1);
+        assert_eq!(lc.counters().failed_dispatches, 1);
+        // That replacement's dispatch fails too → next standby.
+        let Directive::Reassign { worker, .. } = dirs[0].clone();
+        let dirs = lc.reassign_dispatch_failed(worker);
+        assert_eq!(dirs.len(), 1);
+        assert_eq!(lc.counters().reassignments, 2);
+        assert!(lc.is_open());
+    }
+
+    #[test]
+    fn garbage_from_inactive_worker_is_ignored() {
+        let now = Instant::now();
+        let mut lc = TaskLifecycle::new(TaskId(0), policy(1, 3), vec![]);
+        lc.activate_initial(w(1), now);
+        assert!(lc.on_garbage_answer(w(99)).is_empty());
+        assert_eq!(lc.counters().garbage_answers, 0);
+        assert!(lc.is_open());
+    }
+
+    #[test]
+    fn quorum_zero_is_clamped_to_one() {
+        let now = Instant::now();
+        let mut lc = TaskLifecycle::new(TaskId(0), policy(0, 0), vec![]);
+        lc.activate_initial(w(1), now);
+        assert!(lc.is_open());
+        assert!(lc.on_valid_answer(w(1)));
+        assert_eq!(lc.state(), TaskState::Completed { via_quorum: false });
+    }
+}

@@ -46,6 +46,10 @@ pub enum ManagerError {
     Store(StoreError),
     /// Underlying model failure.
     Model(String),
+    /// An event channel on the platform path closed (receiver dropped);
+    /// the named endpoint can no longer accept events. Surfaced as an
+    /// error so the pipeline degrades and counts it instead of panicking.
+    ChannelClosed(&'static str),
 }
 
 impl fmt::Display for ManagerError {
@@ -55,6 +59,7 @@ impl fmt::Display for ManagerError {
             ManagerError::NoWorkersOnline => write!(f, "no workers online"),
             ManagerError::Store(e) => write!(f, "store error: {e}"),
             ManagerError::Model(e) => write!(f, "model error: {e}"),
+            ManagerError::ChannelClosed(what) => write!(f, "{what} channel closed"),
         }
     }
 }
@@ -101,6 +106,22 @@ pub struct CrowdManager {
     config: ManagerConfig,
     feedback_since_train: std::sync::atomic::AtomicUsize,
     epoch: std::sync::atomic::AtomicU64,
+    degraded: std::sync::atomic::AtomicBool,
+    degraded_epochs: std::sync::atomic::AtomicU64,
+    last_fit_error: Mutex<Option<String>>,
+}
+
+/// What [`CrowdManager::submit_task_ranked`] returns: the stored task, the
+/// assigned top-k, and the rest of the online ranking — the reassignment
+/// pool a fault-tolerant pipeline falls back to when an assignee expires.
+#[derive(Debug, Clone)]
+pub struct TaskSubmission {
+    /// The stored task.
+    pub task: TaskId,
+    /// Top-k workers, assigned in the database.
+    pub selected: Vec<RankedWorker>,
+    /// Every remaining online candidate, best first — *not* assigned.
+    pub standbys: Vec<RankedWorker>,
 }
 
 impl CrowdManager {
@@ -126,6 +147,9 @@ impl CrowdManager {
             config,
             feedback_since_train: std::sync::atomic::AtomicUsize::new(0),
             epoch: std::sync::atomic::AtomicU64::new(0),
+            degraded: std::sync::atomic::AtomicBool::new(false),
+            degraded_epochs: std::sync::atomic::AtomicU64::new(0),
+            last_fit_error: Mutex::new(None),
         }
     }
 
@@ -167,10 +191,30 @@ impl CrowdManager {
     /// Red path: batch skill inference over all resolved tasks (Algorithm 2
     /// for TDPM; whatever fit the configured backend implements otherwise).
     /// Replaces the current serving snapshot.
+    ///
+    /// Graceful degradation: when the refit *fails* and a previous snapshot
+    /// is serving, that last-good [`FittedSelector`] stays in place and the
+    /// manager records the degraded state ([`CrowdManager::is_degraded`],
+    /// [`CrowdManager::degraded_epochs`], [`CrowdManager::last_fit_error`])
+    /// instead of dropping selection capability. The error is still
+    /// returned so explicit `train()` callers can react.
     pub fn train(&self) -> Result<FitDiagnostics, ManagerError> {
         let outcome = {
             let db = self.db.read();
-            self.backend.fit(&db, &FitOptions::default())?
+            self.backend.fit(&db, &FitOptions::default())
+        };
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                if self.is_trained() {
+                    self.degraded
+                        .store(true, std::sync::atomic::Ordering::Relaxed);
+                    self.degraded_epochs
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    *self.last_fit_error.lock() = Some(e.to_string());
+                }
+                return Err(e.into());
+            }
         };
         let epoch = self
             .epoch
@@ -181,7 +225,28 @@ impl CrowdManager {
         *self.fitted.write() = Some(fitted);
         self.feedback_since_train
             .store(0, std::sync::atomic::Ordering::Relaxed);
+        self.degraded
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        *self.last_fit_error.lock() = None;
         Ok(diagnostics)
+    }
+
+    /// `true` while the manager serves a stale snapshot because the most
+    /// recent refit failed.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// How many refits have failed while a last-good snapshot kept serving.
+    pub fn degraded_epochs(&self) -> u64 {
+        self.degraded_epochs
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The error message from the most recent failed refit, if the manager
+    /// is currently degraded.
+    pub fn last_fit_error(&self) -> Option<String> {
+        self.last_fit_error.lock().clone()
     }
 
     /// `true` once a fitted selector is serving.
@@ -192,6 +257,15 @@ impl CrowdManager {
     /// Blue path: accepts a new task, stores it, and returns the top-k
     /// *online* workers (Eq. 1) ranked by the serving selector.
     pub fn submit_task(&self, text: &str) -> Result<(TaskId, Vec<RankedWorker>), ManagerError> {
+        let submission = self.submit_task_ranked(text)?;
+        Ok((submission.task, submission.selected))
+    }
+
+    /// Like [`CrowdManager::submit_task`], but also returns the ranked
+    /// candidates *beyond* top-k as standbys. A fault-tolerant pipeline
+    /// reassigns an expired assignment to the next-best standby instead of
+    /// abandoning the task.
+    pub fn submit_task_ranked(&self, text: &str) -> Result<TaskSubmission, ManagerError> {
         let fitted_guard = self.fitted.read();
         let fitted = fitted_guard.as_ref().ok_or(ManagerError::NotTrained)?;
 
@@ -207,9 +281,13 @@ impl CrowdManager {
         if candidates.is_empty() {
             return Err(ManagerError::NoWorkersOnline);
         }
-        let selected = fitted
+        // One full ranking pass; the head is assigned, the tail is the
+        // reassignment pool.
+        let mut ranking = fitted
             .selector()
-            .select(&bow, &candidates, self.config.top_k);
+            .select(&bow, &candidates, candidates.len());
+        let standbys = ranking.split_off(self.config.top_k.min(ranking.len()));
+        let selected = ranking;
 
         {
             let mut db = self.db.write();
@@ -217,7 +295,20 @@ impl CrowdManager {
                 db.assign(r.worker, task)?;
             }
         }
-        Ok((task, selected))
+        Ok(TaskSubmission {
+            task,
+            selected,
+            standbys,
+        })
+    }
+
+    /// Assigns `worker` to `task` (the reassignment path). Idempotent:
+    /// re-assigning an already-assigned pair is not an error.
+    pub fn assign(&self, worker: WorkerId, task: TaskId) -> Result<(), ManagerError> {
+        match self.db.write().assign(worker, task) {
+            Ok(()) | Err(StoreError::AlreadyAssigned(_, _)) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Stores a worker's answer text for a dispatched task.
@@ -254,7 +345,10 @@ impl CrowdManager {
             + 1;
         if let Some(every) = self.config.retrain_every {
             if n >= every && self.is_trained() {
-                self.train()?;
+                // A failed background refit must not fail the feedback that
+                // triggered it: train() already recorded the degraded state
+                // and the last-good snapshot keeps serving.
+                let _ = self.train();
             }
         }
         Ok(())
@@ -463,6 +557,148 @@ mod tests {
         manager.train().unwrap();
         let epoch = manager.with_fitted(|f| f.epoch()).unwrap();
         assert_eq!(epoch, 2);
+    }
+
+    /// A backend whose fit can be forced to fail — the refit-failure
+    /// half of the graceful-degradation contract.
+    struct FlakyBackend {
+        inner: VsmBackend,
+        fail: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl crowd_select::SelectorBackend for FlakyBackend {
+        fn name(&self) -> &'static str {
+            "flaky-vsm"
+        }
+        fn fit(
+            &self,
+            db: &crowd_store::CrowdDb,
+            opts: &crowd_select::FitOptions,
+        ) -> std::result::Result<crowd_select::FitOutcome, SelectError> {
+            if self.fail.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(SelectError::Fit {
+                    backend: "flaky-vsm".to_string(),
+                    message: "injected fit failure".into(),
+                });
+            }
+            self.inner.fit(db, opts)
+        }
+    }
+
+    #[test]
+    fn failed_refit_keeps_serving_the_last_good_snapshot() {
+        let (db, dba, stat) = seeded_db();
+        let fail = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let manager = CrowdManager::with_backend(
+            SharedCrowdDb::new(db),
+            ManagerConfig {
+                top_k: 1,
+                ..ManagerConfig::default()
+            },
+            Box::new(FlakyBackend {
+                inner: VsmBackend,
+                fail: std::sync::Arc::clone(&fail),
+            }),
+        );
+        manager.train().unwrap();
+        manager.set_online(dba);
+        manager.set_online(stat);
+        assert!(!manager.is_degraded());
+        let epoch_before = manager.with_fitted(|f| f.epoch()).unwrap();
+
+        // The refit fails — but selection must keep working off the
+        // last-good snapshot, with the degradation recorded.
+        fail.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(manager.train().is_err());
+        assert!(manager.is_degraded());
+        assert_eq!(manager.degraded_epochs(), 1);
+        assert!(manager
+            .last_fit_error()
+            .unwrap()
+            .contains("injected fit failure"));
+        assert_eq!(
+            manager.with_fitted(|f| f.epoch()).unwrap(),
+            epoch_before,
+            "snapshot unchanged"
+        );
+        let (_, selected) = manager.submit_task("btree page buffer index").unwrap();
+        assert_eq!(selected[0].worker, dba, "stale snapshot still selects");
+
+        // Recovery: the next successful refit clears the degraded state.
+        fail.store(false, std::sync::atomic::Ordering::Relaxed);
+        manager.train().unwrap();
+        assert!(!manager.is_degraded());
+        assert_eq!(manager.last_fit_error(), None);
+        assert_eq!(manager.degraded_epochs(), 1, "history is kept");
+    }
+
+    #[test]
+    fn failed_auto_retrain_degrades_instead_of_failing_feedback() {
+        let (db, dba, stat) = seeded_db();
+        let fail = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let manager = CrowdManager::with_backend(
+            SharedCrowdDb::new(db),
+            ManagerConfig {
+                top_k: 1,
+                retrain_every: Some(2),
+                ..ManagerConfig::default()
+            },
+            Box::new(FlakyBackend {
+                inner: VsmBackend,
+                fail: std::sync::Arc::clone(&fail),
+            }),
+        );
+        manager.train().unwrap();
+        manager.set_online(dba);
+        manager.set_online(stat);
+
+        fail.store(true, std::sync::atomic::Ordering::Relaxed);
+        for _ in 0..4 {
+            let (task, selected) = manager.submit_task("btree page split").unwrap();
+            // The feedback that trips the auto-retrain threshold must
+            // still succeed even though the refit behind it fails.
+            manager
+                .record_feedback(selected[0].worker, task, 2.0)
+                .unwrap();
+        }
+        assert!(manager.is_degraded());
+        assert!(manager.degraded_epochs() >= 1);
+    }
+
+    #[test]
+    fn ranked_submission_exposes_the_standby_pool() {
+        let (db, _, _) = seeded_db();
+        let mut db = db;
+        let extra: Vec<WorkerId> = (0..3).map(|i| db.add_worker(format!("extra{i}"))).collect();
+        let manager = CrowdManager::with_backend(
+            SharedCrowdDb::new(db),
+            ManagerConfig {
+                top_k: 2,
+                ..ManagerConfig::default()
+            },
+            Box::new(VsmBackend),
+        );
+        manager.train().unwrap();
+        for w in manager.db().read().worker_ids().collect::<Vec<_>>() {
+            manager.set_online(w);
+        }
+        let sub = manager
+            .submit_task_ranked("btree page buffer index")
+            .unwrap();
+        assert_eq!(sub.selected.len(), 2);
+        assert_eq!(sub.standbys.len(), 3, "5 online − top 2 = 3 standbys");
+        // Standbys rank strictly below every selected worker and are NOT
+        // assigned yet.
+        let db = manager.db().read();
+        for s in &sub.standbys {
+            assert!(!db.is_assigned(s.worker, sub.task));
+            assert!(sub.selected.iter().all(|r| r.score >= s.score));
+        }
+        drop(db);
+        // The reassignment path assigns them on demand, idempotently.
+        manager.assign(extra[0], sub.task).unwrap();
+        manager.assign(extra[0], sub.task).unwrap();
+        assert!(manager.db().read().is_assigned(extra[0], sub.task));
     }
 
     #[test]

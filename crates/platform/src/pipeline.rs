@@ -1,19 +1,45 @@
 //! End-to-end pipeline: manager + dispatcher + simulated workers +
-//! collector, on real threads.
+//! collector, on real threads — now driven through the fault-tolerant
+//! [`TaskLifecycle`] state machine.
+//!
+//! Each submitted task is dispatched to the ranked top-k; assignments that
+//! expire, return garbage, or fail to deliver are reassigned to the
+//! next-best standby worker under bounded retries with exponential
+//! backoff, and a task completes as soon as a quorum of valid answers
+//! arrives. Every recovery event is counted in the [`PipelineReport`].
 
 use crate::collector::AnswerCollector;
 use crate::dispatcher::{DispatchOutcome, TaskDispatcher};
 use crate::events::{AnswerEvent, Dispatch, FeedbackEvent};
+use crate::lifecycle::{Directive, LifecyclePolicy, TaskLifecycle, TaskState};
 use crate::manager::{CrowdManager, ManagerConfig, ManagerError};
 use crowd_core::{TdpmBackend, TdpmConfig};
 use crowd_select::SelectorBackend;
-use crowd_store::{CrowdDb, SharedCrowdDb, WorkerId};
+use crowd_store::{CrowdDb, SharedCrowdDb, TaskId, WorkerId};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How a simulated worker answers a dispatched task.
 pub type AnswerFn = dyn Fn(WorkerId, &Dispatch) -> String + Send + Sync;
+
+/// Full behaviour of a simulated worker facing a dispatch — the knob a
+/// fault-injection harness (e.g. `crowd_sim::FaultPlan`) turns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerReply {
+    /// Answer immediately with this text.
+    Answer(String),
+    /// Never answer this dispatch (no-show).
+    Silent,
+    /// Sleep for the duration, then answer (straggler).
+    Delayed(Duration, String),
+    /// Drop the inbox and exit the worker thread (mid-run disconnect).
+    Disconnect,
+}
+
+/// Behaviour function: decides a [`WorkerReply`] per dispatch.
+pub type BehaviorFn = dyn Fn(WorkerId, &Dispatch) -> WorkerReply + Send + Sync;
 
 /// How the (simulated) asker scores a returned answer.
 pub type ScoreFn = dyn Fn(WorkerId, &Dispatch, &str) -> f64 + Send + Sync;
@@ -25,8 +51,21 @@ pub struct PipelineConfig {
     pub top_k: usize,
     /// Model hyper-parameters.
     pub tdpm: TdpmConfig,
-    /// Upper bound on waiting for a task's answers before moving on.
+    /// Per-assignment deadline: how long each dispatched worker gets to
+    /// answer before the assignment expires and is reassigned.
     pub answer_timeout: Duration,
+    /// Valid answers that complete a task (m-of-k). `None` requires an
+    /// answer from every initially dispatched worker.
+    pub quorum: Option<usize>,
+    /// Replacement assignments allowed per task before abandonment.
+    pub max_reassignments: usize,
+    /// Backoff before the first replacement dispatch; doubles per round.
+    pub base_backoff: Duration,
+    /// Cap on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Reject answers whose text tokenizes to nothing (garbage) and
+    /// reassign, instead of persisting them.
+    pub reject_garbage: bool,
 }
 
 impl Default for PipelineConfig {
@@ -35,6 +74,11 @@ impl Default for PipelineConfig {
             top_k: 2,
             tdpm: TdpmConfig::default(),
             answer_timeout: Duration::from_secs(5),
+            quorum: None,
+            max_reassignments: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            reject_garbage: true,
         }
     }
 }
@@ -44,16 +88,34 @@ impl Default for PipelineConfig {
 pub struct PipelineReport {
     /// Tasks accepted by the manager.
     pub tasks_submitted: usize,
-    /// Dispatches that reached a worker inbox.
+    /// Dispatches that reached a worker inbox (initial + reassigned).
     pub dispatches_delivered: usize,
     /// Answers persisted.
     pub answers_collected: usize,
     /// Feedback scores applied (db + incremental model update).
     pub feedback_applied: usize,
-    /// Tasks that timed out waiting for answers.
+    /// Tasks that failed to reach quorum (same tasks as `abandonments`;
+    /// kept for backward compatibility).
     pub timeouts: usize,
     /// Event-level errors.
     pub errors: usize,
+    /// Replacement assignments issued across all tasks.
+    pub reassignments: usize,
+    /// Tasks completed by quorum while assignments were still outstanding.
+    pub quorum_completions: usize,
+    /// Tasks abandoned after exhausting retries/standbys.
+    pub abandonments: usize,
+    /// Assignments whose deadline passed without an answer.
+    pub expired_assignments: usize,
+    /// Answers rejected as content-free.
+    pub garbage_answers: usize,
+    /// Answers that arrived after their task was already decided.
+    pub late_answers: usize,
+    /// Workers pruned from dispatch/online state after a disconnect.
+    pub pruned_workers: usize,
+    /// Failed backend refits survived by serving the last-good snapshot
+    /// (manager total at the end of the run).
+    pub degraded_epochs: u64,
 }
 
 /// The wired-up system of Figure 1.
@@ -61,6 +123,7 @@ pub struct Pipeline {
     manager: Arc<CrowdManager>,
     dispatcher: Arc<TaskDispatcher>,
     collector: AnswerCollector,
+    config: PipelineConfig,
     worker_threads: Vec<JoinHandle<()>>,
     workers: Vec<WorkerId>,
 }
@@ -85,6 +148,19 @@ impl Pipeline {
         answer_fn: Arc<AnswerFn>,
         backend: Box<dyn SelectorBackend>,
     ) -> Result<Self, ManagerError> {
+        let behavior: Arc<BehaviorFn> = Arc::new(move |w, d| WorkerReply::Answer(answer_fn(w, d)));
+        Pipeline::start_with_behavior(db, config, behavior, backend)
+    }
+
+    /// Like [`Pipeline::start_with_backend`], but workers follow a full
+    /// [`BehaviorFn`] — they may stay silent, answer late, or disconnect.
+    /// This is the entry point fault-injection harnesses use.
+    pub fn start_with_behavior(
+        db: CrowdDb,
+        config: PipelineConfig,
+        behavior: Arc<BehaviorFn>,
+        backend: Box<dyn SelectorBackend>,
+    ) -> Result<Self, ManagerError> {
         let workers: Vec<WorkerId> = db.worker_ids().collect();
         let manager = Arc::new(CrowdManager::with_backend(
             SharedCrowdDb::new(db),
@@ -105,12 +181,21 @@ impl Pipeline {
             manager.set_online(w);
             let inbox = dispatcher.register(w);
             let answers = collector.answer_sender();
-            let behave = Arc::clone(&answer_fn);
+            let behave = Arc::clone(&behavior);
             worker_threads.push(std::thread::spawn(move || {
-                // The worker loop: answer every dispatched task until the
-                // dispatcher drops our inbox sender.
+                // The worker loop: react to every dispatched task until the
+                // dispatcher drops our inbox sender — or we disconnect.
                 while let Ok(dispatch) = inbox.recv() {
-                    let text = behave(w, &dispatch);
+                    let reply = behave(w, &dispatch);
+                    let text = match reply {
+                        WorkerReply::Answer(text) => text,
+                        WorkerReply::Silent => continue,
+                        WorkerReply::Delayed(delay, text) => {
+                            std::thread::sleep(delay);
+                            text
+                        }
+                        WorkerReply::Disconnect => break,
+                    };
                     if answers
                         .send(AnswerEvent {
                             worker: w,
@@ -129,6 +214,7 @@ impl Pipeline {
             manager,
             dispatcher,
             collector,
+            config,
             worker_threads,
             workers,
         })
@@ -140,42 +226,111 @@ impl Pipeline {
     }
 
     /// Processes a stream of task texts: select → dispatch → collect →
-    /// score → feedback, per task.
+    /// score → feedback, per task, with per-assignment deadlines, quorum
+    /// completion, and reassignment on expiry/garbage/disconnect.
     pub fn run(&self, tasks: &[&str], score_fn: &ScoreFn) -> PipelineReport {
         let mut report = PipelineReport::default();
         for &text in tasks {
-            let Ok((task, selected)) = self.manager.submit_task(text) else {
+            let Ok(submission) = self.manager.submit_task_ranked(text) else {
                 report.errors += 1;
                 continue;
             };
             report.tasks_submitted += 1;
+            let task = submission.task;
             let dispatch = Dispatch {
                 task,
                 text: text.to_owned(),
             };
-            let selected_ids: Vec<WorkerId> = selected.iter().map(|r| r.worker).collect();
-            let outcomes = self.dispatcher.dispatch_all(&selected_ids, &dispatch);
-            let delivered = outcomes
-                .iter()
-                .filter(|(_, o)| *o == DispatchOutcome::Delivered)
-                .count();
-            report.dispatches_delivered += delivered;
 
-            // Wait for the workers' answers (they run on real threads).
-            let deadline = Instant::now() + Duration::from_secs(5);
-            while self.collector.pending_answers() < delivered && Instant::now() < deadline {
-                std::thread::yield_now();
+            let quorum = self
+                .config
+                .quorum
+                .unwrap_or(submission.selected.len())
+                .min(submission.selected.len());
+            let policy = LifecyclePolicy {
+                quorum,
+                max_reassignments: self.config.max_reassignments,
+                deadline: self.config.answer_timeout,
+                base_backoff: self.config.base_backoff,
+                max_backoff: self.config.max_backoff,
+            };
+            let standbys: Vec<WorkerId> = submission.standbys.iter().map(|r| r.worker).collect();
+            let mut lifecycle = TaskLifecycle::new(task, policy, standbys);
+
+            // Initial dispatch wave: the assigned top-k.
+            let mut queue: VecDeque<(Instant, WorkerId)> = VecDeque::new();
+            let now = Instant::now();
+            for r in &submission.selected {
+                match self.dispatcher.dispatch(r.worker, dispatch.clone()) {
+                    DispatchOutcome::Delivered => {
+                        report.dispatches_delivered += 1;
+                        lifecycle.activate_initial(r.worker, now);
+                    }
+                    outcome => {
+                        self.note_undeliverable(r.worker, outcome, &mut report);
+                        let directives = lifecycle.initial_dispatch_failed(r.worker);
+                        enqueue(&mut queue, directives, now);
+                    }
+                }
             }
-            if self.collector.pending_answers() < delivered {
-                report.timeouts += 1;
+
+            // Drive the lifecycle until the task is decided.
+            while lifecycle.is_open() {
+                let now = Instant::now();
+
+                // Dispatch replacements whose backoff elapsed.
+                while queue.front().is_some_and(|(ready, _)| *ready <= now) {
+                    let (_, worker) = queue.pop_front().expect("checked front");
+                    if self.manager.assign(worker, task).is_err() {
+                        report.errors += 1;
+                        let directives = lifecycle.reassign_dispatch_failed(worker);
+                        enqueue(&mut queue, directives, now);
+                        continue;
+                    }
+                    match self.dispatcher.dispatch(worker, dispatch.clone()) {
+                        DispatchOutcome::Delivered => {
+                            report.dispatches_delivered += 1;
+                            lifecycle.activate_reassigned(worker, now);
+                        }
+                        outcome => {
+                            self.note_undeliverable(worker, outcome, &mut report);
+                            let directives = lifecycle.reassign_dispatch_failed(worker);
+                            enqueue(&mut queue, directives, now);
+                        }
+                    }
+                }
+
+                // Attribute incoming answers to their assignments.
+                while let Some(event) = self.collector.try_recv_answer() {
+                    self.handle_answer(event, task, &mut lifecycle, &mut queue, &mut report);
+                }
+
+                // Expire overdue assignments.
+                let directives = lifecycle.tick(Instant::now());
+                enqueue(&mut queue, directives, Instant::now());
+
+                if lifecycle.is_open() {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            queue.clear();
+
+            let counters = lifecycle.counters();
+            report.reassignments += counters.reassignments;
+            report.expired_assignments += counters.expired_assignments;
+            report.garbage_answers += counters.garbage_answers;
+            match lifecycle.state() {
+                TaskState::Completed { via_quorum: true } => report.quorum_completions += 1,
+                TaskState::Completed { via_quorum: false } => {}
+                TaskState::Abandoned => {
+                    report.abandonments += 1;
+                    report.timeouts += 1;
+                }
+                TaskState::Open => unreachable!("loop exits only on decided tasks"),
             }
 
-            // Persist answers, then score them and apply feedback.
-            let drained = self.collector.drain_into(&self.manager);
-            report.answers_collected += drained.answers;
-            report.errors += drained.errors;
-
-            for &w in &selected_ids {
+            // Score the workers whose answers were accepted.
+            for &w in lifecycle.answered() {
                 let answer_text = self
                     .manager
                     .db()
@@ -189,13 +344,85 @@ impl Pipeline {
                     task,
                     score,
                 };
-                let _ = self.collector.feedback_sender().send(fb);
+                if self.collector.send_feedback(fb).is_err() {
+                    report.errors += 1;
+                }
             }
-            let drained = self.collector.drain_into(&self.manager);
+            let drained = self.collector.drain_feedback_into(&self.manager);
             report.feedback_applied += drained.feedback;
             report.errors += drained.errors;
         }
+
+        // Collect any last stragglers so their answers are at least stored.
+        while let Some(event) = self.collector.try_recv_answer() {
+            report.late_answers += 1;
+            let _ = self
+                .manager
+                .record_answer(event.worker, event.task, &event.text);
+        }
+        report.degraded_epochs = self.manager.degraded_epochs();
         report
+    }
+
+    /// Routes one answer event: valid answers advance the lifecycle,
+    /// garbage burns the assignment, anything unattributed is late.
+    fn handle_answer(
+        &self,
+        event: AnswerEvent,
+        task: TaskId,
+        lifecycle: &mut TaskLifecycle,
+        queue: &mut VecDeque<(Instant, WorkerId)>,
+        report: &mut PipelineReport,
+    ) {
+        let now = Instant::now();
+        if event.task != task || !lifecycle.is_active(event.worker) {
+            // A straggler from an earlier decision point; persist it for
+            // the record, but it influences nothing.
+            report.late_answers += 1;
+            let _ = self
+                .manager
+                .record_answer(event.worker, event.task, &event.text);
+            return;
+        }
+        let is_garbage =
+            self.config.reject_garbage && crowd_text::tokenize_filtered(&event.text).is_empty();
+        if is_garbage {
+            let directives = lifecycle.on_garbage_answer(event.worker);
+            enqueue(queue, directives, now);
+            return;
+        }
+        match self
+            .manager
+            .record_answer(event.worker, event.task, &event.text)
+        {
+            Ok(()) => {
+                report.answers_collected += 1;
+                lifecycle.on_valid_answer(event.worker);
+            }
+            Err(_) => {
+                // The store refused the answer (e.g. assignment lost to a
+                // corrupted record): count it and burn the assignment so
+                // the lifecycle can recover via reassignment.
+                report.errors += 1;
+                let directives = lifecycle.on_garbage_answer(event.worker);
+                enqueue(queue, directives, now);
+            }
+        }
+    }
+
+    /// Books a failed dispatch: disconnected workers are pruned from the
+    /// dispatcher (see [`TaskDispatcher::dispatch`]) and marked offline so
+    /// selection stops proposing them.
+    fn note_undeliverable(
+        &self,
+        worker: WorkerId,
+        outcome: DispatchOutcome,
+        report: &mut PipelineReport,
+    ) {
+        if outcome == DispatchOutcome::Disconnected {
+            report.pruned_workers += 1;
+        }
+        self.manager.set_offline(worker);
     }
 
     /// Shuts down worker threads and returns the manager.
@@ -207,6 +434,13 @@ impl Pipeline {
             let _ = handle.join();
         }
         Arc::clone(&self.manager)
+    }
+}
+
+/// Queues directives at their dispatch-ready time (now + backoff).
+fn enqueue(queue: &mut VecDeque<(Instant, WorkerId)>, directives: Vec<Directive>, now: Instant) {
+    for Directive::Reassign { worker, backoff } in directives {
+        queue.push_back((now + backoff, worker));
     }
 }
 
@@ -243,6 +477,7 @@ mod tests {
                 ..TdpmConfig::default()
             },
             answer_timeout: Duration::from_secs(5),
+            ..PipelineConfig::default()
         }
     }
 
@@ -266,6 +501,9 @@ mod tests {
         assert_eq!(report.feedback_applied, 3);
         assert_eq!(report.timeouts, 0);
         assert_eq!(report.errors, 0);
+        assert_eq!(report.reassignments, 0);
+        assert_eq!(report.abandonments, 0);
+        assert_eq!(report.garbage_answers, 0);
 
         let manager = pipeline.shutdown();
         // The db task (first) should have gone to the DBA.
@@ -328,5 +566,127 @@ mod tests {
             "repeated 0.1-score feedback must erode the stat expert's \
              predicted performance: before {before}, after {after}"
         );
+    }
+
+    #[test]
+    fn no_show_worker_triggers_reassignment() {
+        let (db, dba, _stat) = specialist_db();
+        let no_show = dba;
+        let behavior: Arc<BehaviorFn> = Arc::new(move |w, d| {
+            if w == no_show {
+                WorkerReply::Silent
+            } else {
+                WorkerReply::Answer(format!("answer to {} from {w}", d.task))
+            }
+        });
+        let cfg = PipelineConfig {
+            answer_timeout: Duration::from_millis(120),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            ..config()
+        };
+        let backend = Box::new(TdpmBackend::with_config(cfg.tdpm.clone()));
+        let pipeline = Pipeline::start_with_behavior(db, cfg, behavior, backend).unwrap();
+
+        // The DBA wins btree questions but never answers: the task must
+        // fall through to the standby (the stat expert) and complete.
+        let score_fn: Box<ScoreFn> = Box::new(|_, _, _| 1.0);
+        let report = pipeline.run(&["btree page buffer index question"], &*score_fn);
+        assert_eq!(report.tasks_submitted, 1);
+        assert_eq!(report.abandonments, 0, "{report:?}");
+        assert_eq!(report.expired_assignments, 1);
+        assert_eq!(report.reassignments, 1);
+        assert_eq!(report.answers_collected, 1);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn garbage_answers_are_rejected_and_reassigned() {
+        let (db, dba, _) = specialist_db();
+        let noisy = dba;
+        let behavior: Arc<BehaviorFn> = Arc::new(move |w, d| {
+            if w == noisy {
+                WorkerReply::Answer("?!... --- !!".into())
+            } else {
+                WorkerReply::Answer(format!("real answer to {} from {w}", d.task))
+            }
+        });
+        let cfg = PipelineConfig {
+            answer_timeout: Duration::from_millis(500),
+            base_backoff: Duration::from_millis(1),
+            ..config()
+        };
+        let backend = Box::new(TdpmBackend::with_config(cfg.tdpm.clone()));
+        let pipeline = Pipeline::start_with_behavior(db, cfg, behavior, backend).unwrap();
+
+        let score_fn: Box<ScoreFn> = Box::new(|_, _, _| 1.0);
+        let report = pipeline.run(&["btree page buffer index question"], &*score_fn);
+        assert_eq!(report.garbage_answers, 1);
+        assert_eq!(report.reassignments, 1);
+        assert_eq!(report.answers_collected, 1, "standby's real answer");
+        assert_eq!(report.abandonments, 0);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn exhausted_standbys_abandon_the_task() {
+        // Both workers stay silent: the initial assignee expires, the one
+        // standby expires too, and the task is abandoned deterministically.
+        let (db, _, _) = specialist_db();
+        let behavior: Arc<BehaviorFn> = Arc::new(|_, _| WorkerReply::Silent);
+        let cfg = PipelineConfig {
+            answer_timeout: Duration::from_millis(60),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            ..config()
+        };
+        let backend = Box::new(TdpmBackend::with_config(cfg.tdpm.clone()));
+        let pipeline = Pipeline::start_with_behavior(db, cfg, behavior, backend).unwrap();
+
+        let score_fn: Box<ScoreFn> = Box::new(|_, _, _| 1.0);
+        let report = pipeline.run(&["btree page buffer index question"], &*score_fn);
+        assert_eq!(report.abandonments, 1);
+        assert_eq!(report.timeouts, 1, "back-compat counter tracks abandonment");
+        assert_eq!(report.expired_assignments, 2, "initial + one standby");
+        assert_eq!(report.reassignments, 1, "only one standby existed");
+        assert_eq!(report.answers_collected, 0);
+        assert_eq!(report.feedback_applied, 0);
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn quorum_completes_before_all_answers() {
+        let (db, _, _) = specialist_db();
+        // Both specialists answer, but one is a hopeless straggler.
+        let slow = WorkerId(1);
+        let behavior: Arc<BehaviorFn> = Arc::new(move |w, d| {
+            if w == slow {
+                WorkerReply::Delayed(Duration::from_secs(2), format!("too late from {w}"))
+            } else {
+                WorkerReply::Answer(format!("quick answer to {} from {w}", d.task))
+            }
+        });
+        let cfg = PipelineConfig {
+            top_k: 2,
+            quorum: Some(1),
+            answer_timeout: Duration::from_millis(150),
+            max_reassignments: 0,
+            ..config()
+        };
+        let backend = Box::new(TdpmBackend::with_config(cfg.tdpm.clone()));
+        let pipeline = Pipeline::start_with_behavior(db, cfg, behavior, backend).unwrap();
+
+        let score_fn: Box<ScoreFn> = Box::new(|_, _, _| 1.0);
+        let start = Instant::now();
+        let report = pipeline.run(&["btree page buffer index question"], &*score_fn);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "quorum must not wait out the straggler"
+        );
+        assert_eq!(report.quorum_completions, 1);
+        assert_eq!(report.abandonments, 0);
+        assert_eq!(report.answers_collected, 1, "one valid answer sufficed");
+        assert_eq!(report.feedback_applied, 1);
+        pipeline.shutdown();
     }
 }

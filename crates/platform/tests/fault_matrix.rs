@@ -1,0 +1,377 @@
+//! Deterministic fault-matrix tests: the end-to-end pipeline under a
+//! seeded `crowd_sim::FaultPlan`, one fault class at a time and mixed.
+//!
+//! The seed comes from `FAULT_SEED` (default 17) so CI can sweep a small
+//! matrix of seeds over the same assertions. Every test runs the pipeline
+//! twice on identically built state and requires *identical* reports —
+//! the recovery machinery (deadlines, reassignment, quorum, pruning) must
+//! be a deterministic function of the plan, not of thread timing. The
+//! selection backend is VSM (closed-form, no RNG) for the same reason.
+//!
+//! The crowd is four topic groups of three specialists, and the task
+//! stream cycles through the topics, so *every* worker is in the top-k
+//! for its own topic — whatever fault the plan assigns a worker, the
+//! pipeline is guaranteed to run into it. Counter cross-checks are then
+//! derived from the database rather than hardcoded: a no-show worker's
+//! delivered assignment always expires, a garbage worker's always burns,
+//! so the recovery counters must equal the assignments the faulty
+//! workers actually received.
+
+use crowd_baselines::VsmBackend;
+use crowd_core::TdpmConfig;
+use crowd_platform::pipeline::{BehaviorFn, ScoreFn};
+use crowd_platform::{CrowdManager, Pipeline, PipelineConfig, PipelineReport, WorkerReply};
+use crowd_sim::{FaultKind, FaultPlan};
+use crowd_store::{CrowdDb, TaskId, WorkerId};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NUM_WORKERS: u32 = 12;
+const TOP_K: usize = 3;
+const NUM_TASKS: usize = 8;
+const TOPICS: [&str; 4] = [
+    "btree page split index buffer disk",
+    "gaussian prior posterior likelihood variance",
+    "network socket packet routing congestion",
+    "compiler parser grammar token syntax",
+];
+
+/// The seed under test; CI sweeps this via the environment.
+fn fault_seed() -> u64 {
+    std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17)
+}
+
+/// Worker `i` specialises in topic `i % 4`; the `i / 4` filler repetitions
+/// dilute the cosine so scores inside a group are strictly decreasing
+/// (no rank ties to tempt nondeterminism, though `top_k` breaks ties
+/// deterministically anyway).
+fn crowd_db() -> CrowdDb {
+    let mut db = CrowdDb::new();
+    for i in 0..NUM_WORKERS {
+        let w = db.add_worker(format!("worker-{i}"));
+        let filler = "periphery ".repeat((i / 4) as usize);
+        let t = db.add_task(format!("{} {filler}", TOPICS[(i % 4) as usize]));
+        db.assign(w, t).unwrap();
+        db.record_feedback(w, t, 3.0).unwrap();
+    }
+    db
+}
+
+/// Two rounds over the four topics: every specialist group is selected
+/// (at least) twice.
+fn task_texts() -> Vec<String> {
+    (0..NUM_TASKS)
+        .map(|i| format!("{} question", TOPICS[i % 4]))
+        .collect()
+}
+
+fn worker_ids() -> Vec<WorkerId> {
+    (0..NUM_WORKERS).map(WorkerId).collect()
+}
+
+/// Maps each plan-assigned fault onto a simulated worker behaviour.
+fn behavior_for(plan: &FaultPlan) -> Arc<BehaviorFn> {
+    let plan = plan.clone();
+    Arc::new(move |w, d| match plan.fault_for(w) {
+        FaultKind::Healthy => {
+            WorkerReply::Answer(format!("solid specialist analysis for {} from {w}", d.task))
+        }
+        FaultKind::NoShow => WorkerReply::Silent,
+        FaultKind::Straggler => WorkerReply::Delayed(
+            plan.straggler_delay(),
+            format!("overdue answer for {} from {w}", d.task),
+        ),
+        FaultKind::Disconnect => WorkerReply::Disconnect,
+        FaultKind::Garbage => WorkerReply::Answer("?!.. --- !!".into()),
+    })
+}
+
+fn fault_config() -> PipelineConfig {
+    PipelineConfig {
+        top_k: TOP_K,
+        tdpm: TdpmConfig::default(),
+        answer_timeout: Duration::from_millis(150),
+        quorum: None,
+        max_reassignments: NUM_WORKERS as usize,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        reject_garbage: true,
+    }
+}
+
+/// One full pipeline run over fresh state under the plan's behaviours.
+fn run_once(plan: &FaultPlan) -> (PipelineReport, Arc<CrowdManager>) {
+    let pipeline = Pipeline::start_with_behavior(
+        crowd_db(),
+        fault_config(),
+        behavior_for(plan),
+        Box::new(VsmBackend),
+    )
+    .unwrap();
+    let score_fn: Box<ScoreFn> = Box::new(|_, _, _| 2.5);
+    let texts = task_texts();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let report = pipeline.run(&refs, &*score_fn);
+    (report, pipeline.shutdown())
+}
+
+/// Assignments that the run handed to workers of the given fault kind,
+/// read back from the database (history tasks excluded).
+fn assignments_to(manager: &CrowdManager, plan: &FaultPlan, kind: FaultKind) -> usize {
+    let db = manager.db().read();
+    let first_new = db.num_tasks() - NUM_TASKS;
+    (first_new..db.num_tasks())
+        .map(|t| {
+            db.workers_of(TaskId(t as u32))
+                .filter(|&(w, _)| plan.fault_for(w) == kind)
+                .count()
+        })
+        .sum()
+}
+
+fn healthy_count(plan: &FaultPlan) -> usize {
+    plan.workers_with(worker_ids(), FaultKind::Healthy).len()
+}
+
+/// Stragglers may still deliver answers after `run` returns (or between
+/// runs), so the late-answer tally is the one timing-dependent counter.
+/// Everything else must match exactly.
+fn assert_reports_identical_modulo_late(mut a: PipelineReport, mut b: PipelineReport) {
+    a.late_answers = 0;
+    b.late_answers = 0;
+    assert_eq!(a, b, "fault recovery must be deterministic per seed");
+}
+
+/// The headline acceptance case: 30% of the crowd never answers, yet
+/// every task completes through expiry + reassignment — zero
+/// abandonments — and the recovery counters equal the injected faults.
+#[test]
+fn no_show_matrix_completes_every_task_deterministically() {
+    let seed = fault_seed();
+    let plan = FaultPlan::new(seed).with_no_show(0.3);
+    let healthy = healthy_count(&plan);
+    assert!(
+        healthy >= TOP_K,
+        "seed {seed} leaves only {healthy} healthy workers; \
+         the plan cannot reach quorum at all"
+    );
+
+    let (report, manager) = run_once(&plan);
+    assert_eq!(report.tasks_submitted, NUM_TASKS, "{report:?}");
+    assert_eq!(report.abandonments, 0, "seed {seed}: {report:?}");
+    assert_eq!(report.timeouts, 0);
+    assert_eq!(report.answers_collected, TOP_K * NUM_TASKS);
+    assert_eq!(report.feedback_applied, TOP_K * NUM_TASKS);
+
+    // Every assignment handed to a no-show expired, and each expiry was
+    // recovered by exactly one replacement dispatch.
+    let to_no_shows = assignments_to(&manager, &plan, FaultKind::NoShow);
+    assert_eq!(report.expired_assignments, to_no_shows, "seed {seed}");
+    assert_eq!(report.reassignments, to_no_shows, "seed {seed}");
+    assert!(
+        to_no_shows > 0,
+        "seed {seed} never selected a no-show worker; fault injection \
+         did not exercise the recovery path"
+    );
+    assert_eq!(report.garbage_answers, 0);
+    assert_eq!(report.late_answers, 0, "no-shows never answer");
+    assert_eq!(report.errors, 0);
+
+    // Same seed, fresh state: byte-identical report.
+    let (again, _) = run_once(&plan);
+    assert_eq!(report, again, "seed {seed} must reproduce its counters");
+}
+
+/// Stragglers answer after the deadline: every assignment they receive
+/// expires (the sleep starts only once they pick the dispatch up, so the
+/// answer always lands past the deadline) and the late answers change
+/// nothing.
+#[test]
+fn straggler_matrix_expires_and_recovers() {
+    let seed = fault_seed();
+    let plan = FaultPlan::new(seed)
+        .with_straggler(0.25)
+        .with_straggler_delay(Duration::from_millis(600));
+    let healthy = healthy_count(&plan);
+    assert!(healthy >= TOP_K, "seed {seed}: only {healthy} healthy");
+
+    let (report, manager) = run_once(&plan);
+    assert_eq!(report.abandonments, 0, "seed {seed}: {report:?}");
+    assert_eq!(report.answers_collected, TOP_K * NUM_TASKS);
+    let to_stragglers = assignments_to(&manager, &plan, FaultKind::Straggler);
+    assert_eq!(report.expired_assignments, to_stragglers, "seed {seed}");
+    assert_eq!(report.reassignments, to_stragglers, "seed {seed}");
+
+    let (again, _) = run_once(&plan);
+    assert_reports_identical_modulo_late(report, again);
+}
+
+/// Disconnecting workers exit on their first dispatch: that one delivered
+/// assignment expires like a no-show, and the *next* attempt to reach
+/// them finds a dropped inbox, prunes them from the dispatcher, and marks
+/// them offline so selection stops proposing them.
+#[test]
+fn disconnect_matrix_prunes_and_completes() {
+    let seed = fault_seed();
+    let plan = FaultPlan::new(seed).with_disconnect(0.3);
+    let dropped = plan.workers_with(worker_ids(), FaultKind::Disconnect);
+    let healthy = healthy_count(&plan);
+    assert!(healthy >= TOP_K, "seed {seed}: only {healthy} healthy");
+    assert!(
+        !dropped.is_empty(),
+        "seed {seed} produced no disconnecting workers"
+    );
+
+    let (report, _manager) = run_once(&plan);
+    assert_eq!(report.abandonments, 0, "seed {seed}: {report:?}");
+    assert_eq!(report.answers_collected, TOP_K * NUM_TASKS);
+    // Each disconnector accepts exactly one dispatch before its thread
+    // exits, so it contributes exactly one expiry — and exactly one
+    // pruning, the first time a later dispatch finds the dropped inbox.
+    assert_eq!(report.expired_assignments, dropped.len(), "seed {seed}");
+    assert_eq!(report.pruned_workers, dropped.len(), "seed {seed}");
+    // Expiries, pruned dispatch failures, and any dispatches to an
+    // already-pruned worker each trigger a replacement.
+    assert!(
+        report.reassignments >= report.expired_assignments + report.pruned_workers,
+        "seed {seed}: {report:?}"
+    );
+    assert_eq!(report.errors, 0);
+
+    let (again, _) = run_once(&plan);
+    assert_eq!(report, again, "seed {seed} must reproduce its counters");
+}
+
+/// Garbage answers are rejected without waiting for the deadline and the
+/// assignment is burned and reassigned immediately.
+#[test]
+fn garbage_matrix_rejects_and_reassigns() {
+    let seed = fault_seed();
+    let plan = FaultPlan::new(seed).with_garbage(0.3);
+    let healthy = healthy_count(&plan);
+    assert!(healthy >= TOP_K, "seed {seed}: only {healthy} healthy");
+
+    let (report, manager) = run_once(&plan);
+    assert_eq!(report.abandonments, 0, "seed {seed}: {report:?}");
+    assert_eq!(report.answers_collected, TOP_K * NUM_TASKS);
+    let to_garbage = assignments_to(&manager, &plan, FaultKind::Garbage);
+    assert_eq!(report.garbage_answers, to_garbage, "seed {seed}");
+    assert_eq!(report.reassignments, to_garbage, "seed {seed}");
+    assert_eq!(report.expired_assignments, 0, "garbage burns immediately");
+
+    let (again, _) = run_once(&plan);
+    assert_eq!(report, again, "seed {seed} must reproduce its counters");
+}
+
+/// All four fault classes at once: the pipeline still completes every
+/// task, and the whole report reproduces exactly under the same seed.
+#[test]
+fn mixed_fault_matrix_is_deterministic_per_seed() {
+    let seed = fault_seed();
+    let plan = FaultPlan::new(seed)
+        .with_no_show(0.15)
+        .with_straggler(0.1)
+        .with_disconnect(0.1)
+        .with_garbage(0.15)
+        .with_straggler_delay(Duration::from_millis(600));
+    let healthy = healthy_count(&plan);
+    assert!(healthy >= TOP_K, "seed {seed}: only {healthy} healthy");
+
+    let (report, manager) = run_once(&plan);
+    assert_eq!(report.tasks_submitted, NUM_TASKS);
+    assert_eq!(report.abandonments, 0, "seed {seed}: {report:?}");
+    assert_eq!(report.answers_collected, TOP_K * NUM_TASKS);
+    // No-show and straggler assignments all expire; each disconnector
+    // expires exactly its one delivered dispatch (later assignments to it
+    // fail delivery instead of expiring).
+    let dropped = plan.workers_with(worker_ids(), FaultKind::Disconnect);
+    let expected_expired = assignments_to(&manager, &plan, FaultKind::NoShow)
+        + assignments_to(&manager, &plan, FaultKind::Straggler)
+        + dropped.len();
+    assert_eq!(report.expired_assignments, expected_expired, "seed {seed}");
+    assert_eq!(
+        report.garbage_answers,
+        assignments_to(&manager, &plan, FaultKind::Garbage),
+        "seed {seed}"
+    );
+    assert!(
+        report.reassignments >= report.expired_assignments + report.garbage_answers,
+        "every expiry and burned garbage answer is replaced: {report:?}"
+    );
+
+    let (again, _) = run_once(&plan);
+    assert_reports_identical_modulo_late(report, again);
+}
+
+/// A selection backend whose refit can be forced to fail mid-stream.
+struct FlakyBackend {
+    inner: VsmBackend,
+    fail: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl crowd_select::SelectorBackend for FlakyBackend {
+    fn name(&self) -> &'static str {
+        "flaky-vsm"
+    }
+    fn fit(
+        &self,
+        db: &CrowdDb,
+        opts: &crowd_select::FitOptions,
+    ) -> Result<crowd_select::FitOutcome, crowd_select::SelectError> {
+        if self.fail.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(crowd_select::SelectError::Fit {
+                backend: "flaky-vsm".to_string(),
+                message: "injected fit failure".into(),
+            });
+        }
+        self.inner.fit(db, opts)
+    }
+}
+
+/// Graceful degradation end-to-end: a refit failure mid-run must not
+/// stop task processing — the manager keeps serving the last-good
+/// selector and the run's report carries the degraded-epoch count.
+#[test]
+fn degraded_manager_keeps_pipeline_running() {
+    let plan = FaultPlan::new(fault_seed()); // all healthy
+    let fail = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let pipeline = Pipeline::start_with_behavior(
+        crowd_db(),
+        fault_config(),
+        behavior_for(&plan),
+        Box::new(FlakyBackend {
+            inner: VsmBackend,
+            fail: Arc::clone(&fail),
+        }),
+    )
+    .unwrap();
+    let score_fn: Box<ScoreFn> = Box::new(|_, _, _| 2.5);
+    let texts = task_texts();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+
+    let before = pipeline.run(&refs[..2], &*score_fn);
+    assert_eq!(before.tasks_submitted, 2);
+    assert_eq!(before.degraded_epochs, 0);
+
+    // The backend starts failing: an explicit refit attempt errors, the
+    // manager records the degradation — and keeps selecting.
+    fail.store(true, std::sync::atomic::Ordering::Relaxed);
+    assert!(pipeline.manager().train().is_err());
+    assert!(pipeline.manager().is_degraded());
+
+    let after = pipeline.run(&refs[2..], &*score_fn);
+    assert_eq!(after.tasks_submitted, NUM_TASKS - 2);
+    assert_eq!(after.abandonments, 0, "{after:?}");
+    assert_eq!(after.answers_collected, TOP_K * (NUM_TASKS - 2));
+    assert_eq!(after.degraded_epochs, 1, "the report surfaces degradation");
+
+    // Recovery clears the degraded flag but keeps the history.
+    fail.store(false, std::sync::atomic::Ordering::Relaxed);
+    pipeline.manager().train().unwrap();
+    assert!(!pipeline.manager().is_degraded());
+    assert_eq!(pipeline.manager().degraded_epochs(), 1);
+    pipeline.shutdown();
+}

@@ -1,0 +1,245 @@
+//! Deterministic fault injection for simulated workers.
+//!
+//! Real Q&A crowds are dominated by unreliable workers: people who accept a
+//! task and never answer, answer long after the asker stopped caring,
+//! disconnect mid-session, or type noise. A [`FaultPlan`] assigns each
+//! worker one of those behaviours *deterministically from a seed*, so a
+//! platform test can inject a precise fault mix (say, 30% no-shows) and
+//! assert exact recovery counters — the same seed always produces the same
+//! faulty workers.
+//!
+//! The plan is pure data: it never touches threads or channels. The platform
+//! test (or any harness) maps each [`FaultKind`] onto its own notion of a
+//! worker behaviour (stay silent, sleep, drop the inbox, answer garbage).
+
+use crowd_store::WorkerId;
+use std::time::Duration;
+
+/// The behaviour classes a fault plan can assign to a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Answers normally.
+    Healthy,
+    /// Accepts dispatches but never answers.
+    NoShow,
+    /// Answers only after [`FaultPlan::straggler_delay`] — typically past
+    /// the platform's per-assignment deadline.
+    Straggler,
+    /// Drops its inbox on the first dispatch and exits (mid-run
+    /// disconnect).
+    Disconnect,
+    /// Returns text that carries no usable content (e.g. punctuation
+    /// noise that tokenizes to nothing).
+    Garbage,
+}
+
+/// A deterministic, seeded assignment of faults to workers.
+///
+/// Fractions are cumulative probabilities over a per-worker hash: worker
+/// `w` draws `u = hash(seed, w) ∈ [0, 1)` once, and the plan carves
+/// `[0, 1)` into bands `[no-show | straggler | disconnect | garbage |
+/// healthy]`. A worker's fault therefore never changes across tasks or
+/// runs — rerunning with the same seed reproduces the exact fault mix,
+/// which is what lets tests assert recovery counters exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    no_show: f64,
+    straggler: f64,
+    disconnect: f64,
+    garbage: f64,
+    straggler_delay: Duration,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults (all workers healthy).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            no_show: 0.0,
+            straggler: 0.0,
+            disconnect: 0.0,
+            garbage: 0.0,
+            straggler_delay: Duration::from_millis(50),
+        }
+    }
+
+    /// Fraction of workers that never answer.
+    pub fn with_no_show(mut self, fraction: f64) -> Self {
+        self.no_show = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of workers that answer only after the straggler delay.
+    pub fn with_straggler(mut self, fraction: f64) -> Self {
+        self.straggler = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of workers that disconnect on their first dispatch.
+    pub fn with_disconnect(mut self, fraction: f64) -> Self {
+        self.disconnect = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of workers that return garbage answers.
+    pub fn with_garbage(mut self, fraction: f64) -> Self {
+        self.garbage = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// How long a straggler sleeps before answering.
+    pub fn with_straggler_delay(mut self, delay: Duration) -> Self {
+        self.straggler_delay = delay;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The straggler sleep duration.
+    pub fn straggler_delay(&self) -> Duration {
+        self.straggler_delay
+    }
+
+    /// The fault assigned to `worker` under this plan.
+    pub fn fault_for(&self, worker: WorkerId) -> FaultKind {
+        let u = unit_hash(self.seed, u64::from(worker.0));
+        let mut edge = self.no_show;
+        if u < edge {
+            return FaultKind::NoShow;
+        }
+        edge += self.straggler;
+        if u < edge {
+            return FaultKind::Straggler;
+        }
+        edge += self.disconnect;
+        if u < edge {
+            return FaultKind::Disconnect;
+        }
+        edge += self.garbage;
+        if u < edge {
+            return FaultKind::Garbage;
+        }
+        FaultKind::Healthy
+    }
+
+    /// `true` when `worker` is assigned any non-healthy behaviour.
+    pub fn is_faulty(&self, worker: WorkerId) -> bool {
+        self.fault_for(worker) != FaultKind::Healthy
+    }
+
+    /// Workers from `workers` whose assigned fault is `kind`.
+    pub fn workers_with(
+        &self,
+        workers: impl IntoIterator<Item = WorkerId>,
+        kind: FaultKind,
+    ) -> Vec<WorkerId> {
+        workers
+            .into_iter()
+            .filter(|&w| self.fault_for(w) == kind)
+            .collect()
+    }
+}
+
+/// SplitMix64-based hash of `(seed, x)` mapped to `[0, 1)`.
+///
+/// SplitMix64 passes BigCrush and is a single multiply-xor-shift chain, so
+/// the per-worker draw is both well-mixed and trivially reproducible in any
+/// language — important if a harness outside Rust ever needs to predict the
+/// fault mix.
+fn unit_hash(seed: u64, x: u64) -> f64 {
+    let mut z = seed ^ x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // 53 top bits → uniform double in [0, 1).
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workers(n: u32) -> Vec<WorkerId> {
+        (0..n).map(WorkerId).collect()
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let a = FaultPlan::new(17).with_no_show(0.3).with_garbage(0.1);
+        let b = FaultPlan::new(17).with_no_show(0.3).with_garbage(0.1);
+        for w in workers(200) {
+            assert_eq!(a.fault_for(w), b.fault_for(w));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1).with_no_show(0.5);
+        let b = FaultPlan::new(2).with_no_show(0.5);
+        let diff = workers(200)
+            .into_iter()
+            .filter(|&w| a.fault_for(w) != b.fault_for(w))
+            .count();
+        assert!(diff > 0, "plans with different seeds must diverge");
+    }
+
+    #[test]
+    fn zero_fractions_mean_all_healthy() {
+        let plan = FaultPlan::new(99);
+        for w in workers(100) {
+            assert_eq!(plan.fault_for(w), FaultKind::Healthy);
+            assert!(!plan.is_faulty(w));
+        }
+    }
+
+    #[test]
+    fn fractions_partition_the_population() {
+        let plan = FaultPlan::new(7)
+            .with_no_show(0.25)
+            .with_straggler(0.25)
+            .with_disconnect(0.25)
+            .with_garbage(0.25);
+        for w in workers(100) {
+            assert_ne!(plan.fault_for(w), FaultKind::Healthy);
+        }
+    }
+
+    #[test]
+    fn observed_rates_track_requested_fractions() {
+        let plan = FaultPlan::new(42).with_no_show(0.3);
+        let n = 2000;
+        let no_shows = plan.workers_with(workers(n), FaultKind::NoShow).len();
+        let rate = no_shows as f64 / n as f64;
+        assert!(
+            (rate - 0.3).abs() < 0.05,
+            "30% requested, {rate:.3} observed"
+        );
+    }
+
+    #[test]
+    fn workers_with_filters_by_kind() {
+        let plan = FaultPlan::new(5).with_disconnect(0.5);
+        let ws = workers(40);
+        let dropped = plan.workers_with(ws.iter().copied(), FaultKind::Disconnect);
+        let healthy = plan.workers_with(ws.iter().copied(), FaultKind::Healthy);
+        assert_eq!(dropped.len() + healthy.len(), 40);
+        for w in dropped {
+            assert!(plan.is_faulty(w));
+        }
+    }
+
+    #[test]
+    fn unit_hash_stays_in_range() {
+        for s in 0..20u64 {
+            for x in 0..50u64 {
+                let u = unit_hash(s, x);
+                assert!((0.0..1.0).contains(&u), "u = {u}");
+            }
+        }
+    }
+}

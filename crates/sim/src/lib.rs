@@ -13,18 +13,24 @@
 //! - a [`PlatformGenerator`] that materializes a full [`crowd_store::CrowdDb`]
 //!   with tasks, assignments, answers and **platform-specific feedback**:
 //!   thumbs-up counts for Quora / Stack Overflow, best-answer + Jaccard
-//!   similarity for Yahoo! Answers (Section 4.1.5).
+//!   similarity for Yahoo! Answers (Section 4.1.5),
+//! - a deterministic, seeded [`FaultPlan`] assigning unreliable behaviours
+//!   (no-show, straggler, disconnect, garbage) to workers, so the platform's
+//!   recovery paths can be exercised end-to-end with exact, reproducible
+//!   fault mixes.
 //!
 //! Because skills and categories are planted, the generator provides the
 //! ground truth the paper's metrics need (who the "right worker" is) while
 //! keeping every selector honest — they only ever see `(T, A, S)`.
 
 pub mod config;
+pub mod faults;
 pub mod generator;
 pub mod topics;
 pub mod workers;
 
 pub use config::{PlatformKind, SimConfig};
+pub use faults::{FaultKind, FaultPlan};
 pub use generator::{GeneratedPlatform, PlatformGenerator};
 pub use topics::TopicSpace;
 pub use workers::WorkerPool;

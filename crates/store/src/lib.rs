@@ -40,7 +40,9 @@ pub use ids::{TaskId, WorkerId};
 pub use online::OnlineRegistry;
 pub use shared::SharedCrowdDb;
 pub use task::TaskRecord;
-pub use wal::LoggedDb;
+pub use wal::{
+    recover, replay, CompactionStats, LoggedDb, RecoveryReport, SkippedRecord, WalOptions,
+};
 pub use worker::WorkerRecord;
 
 /// Convenience result alias for store operations.

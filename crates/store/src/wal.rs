@@ -1,17 +1,39 @@
-//! Write-ahead logging: a durable, replayable operation log for the
-//! crowd database.
+//! Write-ahead logging: a durable, replayable, corruption-tolerant
+//! operation log for the crowd database.
 //!
 //! The in-memory [`CrowdDb`] is the paper's "crowd databases" box; real
-//! deployments need it to survive restarts. [`LoggedDb`] writes every
-//! mutation as one JSON line to an append-only log *before* applying it
-//! (WAL ordering), and [`replay`] rebuilds the database from the log —
-//! tolerating a torn final line from a crash mid-append.
+//! deployments need it to survive restarts *and* disk mishaps. [`LoggedDb`]
+//! writes every mutation as one checksummed record to an append-only log
+//! *before* applying it (WAL ordering). Three recovery levels exist:
+//!
+//! - [`replay`] — strict: rebuilds the database, tolerating only a torn
+//!   *final* record (the expected state after a crash mid-append). Any
+//!   interior corruption errors out.
+//! - [`recover`] — skip-and-report: rebuilds as much as possible, applying
+//!   every record that passes its checksum and listing the ones that do
+//!   not in a [`RecoveryReport`]. This is what [`LoggedDb::open`] uses, so
+//!   a single flipped bit no longer strands the whole database.
+//! - [`LoggedDb::compact`] / [`LoggedDb::checkpoint`] — rewrites the log
+//!   keeping only live records (all structure ops, the *last* feedback and
+//!   answer per `(worker, task)` pair), so replay cost stays bounded by
+//!   live state rather than total history. [`WalOptions::compact_every`]
+//!   triggers this automatically.
+//!
+//! ## Record format
+//!
+//! Each record is one line: an 8-hex-digit CRC-32 (IEEE) of the payload, a
+//! space, then the payload. Payloads are a compact hand-rolled encoding
+//! (`w`/`t`/`a`/`f`/`n` prefix per [`Op`] variant); feedback scores are
+//! stored as `f64::to_bits` hex so replay is bit-exact. Strings are
+//! newline-escaped and placed last in the payload. Lines that fail the
+//! checksum are also tried as legacy JSON records (the pre-checksum
+//! format) before being declared corrupt.
 
 use crate::{CrowdDb, Result, StoreError, TaskId, WorkerId};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
 
 /// One logged mutation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,70 +96,338 @@ pub fn apply(db: &mut CrowdDb, op: &Op) -> Result<()> {
     }
 }
 
-/// Rebuilds a database by replaying a log file.
-///
-/// A torn (non-JSON) *final* line is ignored — that is the expected state
-/// after a crash during an append. A malformed line anywhere else is data
-/// corruption and errors out.
-pub fn replay(path: impl AsRef<Path>) -> Result<CrowdDb> {
-    let file = File::open(path).map_err(|e| StoreError::Snapshot(e.to_string()))?;
-    let reader = BufReader::new(file);
-    let mut db = CrowdDb::new();
-    let mut pending: Option<(usize, String)> = None;
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| StoreError::Snapshot(e.to_string()))?;
-        if line.trim().is_empty() {
-            continue;
+// ---------------------------------------------------------------------------
+// Checksummed record codec
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+fn crc32(bytes: &[u8]) -> u32 {
+    // Nibble-driven table: 16 entries, built in const context — fast enough
+    // for a line-oriented log and free of external dependencies.
+    const TABLE: [u32; 16] = {
+        let mut table = [0u32; 16];
+        let mut i = 0;
+        while i < 16 {
+            let mut crc = i as u32;
+            let mut b = 0;
+            while b < 4 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                b += 1;
+            }
+            table[i] = crc;
+            i += 1;
         }
-        // A previously unparseable line followed by more content means real
-        // corruption, not a torn tail.
-        if let Some((bad_line, _)) = pending.take() {
-            return Err(StoreError::Snapshot(format!(
-                "corrupt WAL entry at line {}",
-                bad_line + 1
-            )));
-        }
-        match serde_json::from_str::<Op>(&line) {
-            Ok(op) => apply(&mut db, &op)?,
-            Err(_) => pending = Some((lineno, line)),
+        table
+    };
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = TABLE[((crc ^ u32::from(byte)) & 0xF) as usize] ^ (crc >> 4);
+        crc = TABLE[((crc ^ (u32::from(byte) >> 4)) & 0xF) as usize] ^ (crc >> 4);
+    }
+    !crc
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(ch),
         }
     }
-    // `pending` here = torn final line → ignored by design.
+    out
+}
+
+fn unescape(s: &str) -> std::result::Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn encode_payload(op: &Op) -> String {
+    match op {
+        Op::AddWorker { handle } => format!("w {}", escape(handle)),
+        Op::AddTask { text } => format!("t {}", escape(text)),
+        Op::Assign { worker, task } => format!("a {} {}", worker.0, task.0),
+        Op::Feedback {
+            worker,
+            task,
+            score,
+        } => format!("f {} {} {:016x}", worker.0, task.0, score.to_bits()),
+        Op::Answer { worker, task, text } => {
+            format!("n {} {} {}", worker.0, task.0, escape(text))
+        }
+    }
+}
+
+fn decode_payload(payload: &str) -> std::result::Result<Op, String> {
+    let (tag, rest) = payload
+        .split_once(' ')
+        .ok_or_else(|| "missing payload tag".to_string())?;
+    let parse_id = |s: &str| -> std::result::Result<u32, String> {
+        s.parse::<u32>().map_err(|e| format!("bad id {s:?}: {e}"))
+    };
+    match tag {
+        "w" => Ok(Op::AddWorker {
+            handle: unescape(rest)?,
+        }),
+        "t" => Ok(Op::AddTask {
+            text: unescape(rest)?,
+        }),
+        "a" => {
+            let (w, t) = rest.split_once(' ').ok_or("assign needs two ids")?;
+            Ok(Op::Assign {
+                worker: WorkerId(parse_id(w)?),
+                task: TaskId(parse_id(t)?),
+            })
+        }
+        "f" => {
+            let mut parts = rest.splitn(3, ' ');
+            let w = parts.next().ok_or("feedback missing worker")?;
+            let t = parts.next().ok_or("feedback missing task")?;
+            let bits = parts.next().ok_or("feedback missing score")?;
+            let bits = u64::from_str_radix(bits, 16).map_err(|e| format!("bad score bits: {e}"))?;
+            Ok(Op::Feedback {
+                worker: WorkerId(parse_id(w)?),
+                task: TaskId(parse_id(t)?),
+                score: f64::from_bits(bits),
+            })
+        }
+        "n" => {
+            let mut parts = rest.splitn(3, ' ');
+            let w = parts.next().ok_or("answer missing worker")?;
+            let t = parts.next().ok_or("answer missing task")?;
+            let text = parts.next().ok_or("answer missing text")?;
+            Ok(Op::Answer {
+                worker: WorkerId(parse_id(w)?),
+                task: TaskId(parse_id(t)?),
+                text: unescape(text)?,
+            })
+        }
+        other => Err(format!("unknown payload tag {other:?}")),
+    }
+}
+
+/// Encodes an operation as one checksummed log line (without the trailing
+/// newline).
+pub fn encode_record(op: &Op) -> String {
+    let payload = encode_payload(op);
+    format!("{:08x} {payload}", crc32(payload.as_bytes()))
+}
+
+/// Decodes one log line: checksummed format first, then the legacy JSON
+/// format. Returns a human-readable reason on failure.
+pub fn decode_record(line: &str) -> std::result::Result<Op, String> {
+    // Checksummed format: 8 hex digits, space, payload.
+    if line.len() > 9 && line.as_bytes()[8] == b' ' {
+        if let Ok(stored) = u32::from_str_radix(&line[..8], 16) {
+            let payload = &line[9..];
+            let actual = crc32(payload.as_bytes());
+            if stored != actual {
+                return Err(format!(
+                    "checksum mismatch (stored {stored:08x}, computed {actual:08x})"
+                ));
+            }
+            return decode_payload(payload);
+        }
+    }
+    // Legacy (pre-checksum) JSON record.
+    serde_json::from_str::<Op>(line).map_err(|e| format!("unrecognized record: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// One record that recovery could not apply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedRecord {
+    /// 1-based line number in the log file.
+    pub line: usize,
+    /// Why the record was skipped (checksum mismatch, parse failure, or a
+    /// store rejection caused by earlier skipped state).
+    pub reason: String,
+}
+
+/// What [`recover`] managed to salvage from a log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Records decoded and applied successfully.
+    pub applied: usize,
+    /// Interior records that failed decoding or application.
+    pub skipped: Vec<SkippedRecord>,
+    /// `true` when the final record was unparseable — the expected state
+    /// after a crash mid-append, not counted as corruption.
+    pub torn_tail: bool,
+}
+
+impl RecoveryReport {
+    /// `true` when every record (bar a torn tail) was applied.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// Rebuilds a database from a log, skipping (and reporting) corrupt
+/// records instead of giving up.
+///
+/// Every record that passes its checksum is applied in order; records that
+/// fail to decode — or that the store rejects, e.g. an assignment whose
+/// `AddWorker` record was itself corrupted — are collected in the
+/// [`RecoveryReport`]. An unparseable *final* record is flagged as a torn
+/// tail rather than corruption.
+pub fn recover(path: impl AsRef<Path>) -> Result<(CrowdDb, RecoveryReport)> {
+    // Read raw bytes and split lines by hand: corruption can produce
+    // invalid UTF-8, which must surface as one skipped record — not abort
+    // the whole salvage the way `BufReader::lines` would.
+    let bytes = std::fs::read(path).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+    let mut lines = Vec::new();
+    for (idx, raw) in bytes.split(|&b| b == b'\n').enumerate() {
+        let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+        if !raw.iter().all(|b| b.is_ascii_whitespace()) {
+            lines.push((idx + 1, raw));
+        }
+    }
+
+    let mut db = CrowdDb::new();
+    let mut report = RecoveryReport::default();
+    let last = lines.len().saturating_sub(1);
+    for (i, (lineno, raw)) in lines.iter().enumerate() {
+        let decoded = match std::str::from_utf8(raw) {
+            Ok(line) => decode_record(line),
+            Err(_) => Err("record is not valid UTF-8".to_string()),
+        };
+        match decoded {
+            Ok(op) => match apply(&mut db, &op) {
+                Ok(()) => report.applied += 1,
+                Err(e) => report.skipped.push(SkippedRecord {
+                    line: *lineno,
+                    reason: format!("store rejected replayed op: {e}"),
+                }),
+            },
+            Err(reason) if i == last => {
+                // Crash mid-append leaves exactly one torn final record.
+                let _ = reason;
+                report.torn_tail = true;
+            }
+            Err(reason) => report.skipped.push(SkippedRecord {
+                line: *lineno,
+                reason,
+            }),
+        }
+    }
+    Ok((db, report))
+}
+
+/// Rebuilds a database by replaying a log file, strictly.
+///
+/// A torn *final* record is ignored — that is the expected state after a
+/// crash during an append. A malformed record anywhere else is data
+/// corruption and errors out; use [`recover`] to salvage what precedes
+/// (and follows) it instead.
+pub fn replay(path: impl AsRef<Path>) -> Result<CrowdDb> {
+    let (db, report) = recover(path)?;
+    if let Some(first) = report.skipped.first() {
+        return Err(StoreError::Snapshot(format!(
+            "corrupt WAL entry at line {}: {}",
+            first.line, first.reason
+        )));
+    }
     Ok(db)
+}
+
+// ---------------------------------------------------------------------------
+// LoggedDb
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for [`LoggedDb`].
+#[derive(Debug, Clone, Default)]
+pub struct WalOptions {
+    /// Automatically [`LoggedDb::compact`] after this many appended ops.
+    /// `None` disables auto-compaction (explicit [`LoggedDb::checkpoint`]
+    /// calls still work).
+    pub compact_every: Option<usize>,
+}
+
+/// Sizes before/after a compaction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Decodable records in the log before compaction.
+    pub before: usize,
+    /// Records kept (all structure ops + last feedback/answer per pair).
+    pub after: usize,
 }
 
 /// A crowd database with write-ahead logging.
 ///
 /// Mutations are appended (and flushed) to the log before touching the
-/// in-memory state, so a crash between the two replays cleanly.
+/// in-memory state, so a crash between the two replays cleanly. Opening
+/// uses [`recover`] — corrupt interior records are skipped and surfaced
+/// via [`LoggedDb::recovery_report`] instead of failing the open.
 pub struct LoggedDb {
     db: CrowdDb,
     log: BufWriter<File>,
+    path: PathBuf,
+    options: WalOptions,
+    ops_since_compact: usize,
+    recovery: RecoveryReport,
 }
 
 impl LoggedDb {
     /// Opens (or creates) a log at `path`, replaying any existing entries.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        let path = path.as_ref();
-        let db = if path.exists() {
-            replay(path)?
+        LoggedDb::open_with(path, WalOptions::default())
+    }
+
+    /// Like [`LoggedDb::open`], with explicit [`WalOptions`].
+    pub fn open_with(path: impl AsRef<Path>, options: WalOptions) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let (db, recovery) = if path.exists() {
+            recover(&path)?
         } else {
-            CrowdDb::new()
+            (CrowdDb::new(), RecoveryReport::default())
         };
         let file = OpenOptions::new()
             .create(true)
             .append(true)
-            .open(path)
+            .open(&path)
             .map_err(|e| StoreError::Snapshot(e.to_string()))?;
         Ok(LoggedDb {
             db,
             log: BufWriter::new(file),
+            path,
+            options,
+            ops_since_compact: 0,
+            recovery,
         })
     }
 
     /// Read access to the database.
     pub fn db(&self) -> &CrowdDb {
         &self.db
+    }
+
+    /// What the opening recovery pass found (skips, torn tail).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Registers a worker (logged).
@@ -206,14 +496,104 @@ impl LoggedDb {
             .map_err(|e| StoreError::Snapshot(e.to_string()))
     }
 
+    /// Rewrites the log keeping only live records: every `AddWorker` /
+    /// `AddTask` / `Assign`, and only the *last* `Feedback` and `Answer`
+    /// per `(worker, task)` pair (earlier ones are dead — the store keeps
+    /// latest-wins semantics). Replay cost after compaction is bounded by
+    /// live state, not by total history.
+    ///
+    /// The rewrite goes through a temp file and an atomic rename, so a
+    /// crash mid-compaction leaves either the old or the new log intact.
+    pub fn compact(&mut self) -> Result<CompactionStats> {
+        self.flush()?;
+        // Byte-oriented for the same reason as `recover`: a record that is
+        // not valid UTF-8 is dead weight to drop, not a fatal read error.
+        let bytes = std::fs::read(&self.path).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        let mut ops = Vec::new();
+        for raw in bytes.split(|&b| b == b'\n') {
+            let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+            if let Ok(line) = std::str::from_utf8(raw) {
+                if let Ok(op) = decode_record(line.trim()) {
+                    ops.push(op);
+                }
+            }
+        }
+        let before = ops.len();
+        let kept = compact_ops(ops);
+        let after = kept.len();
+
+        let tmp = self.path.with_extension("wal.compact");
+        {
+            let file = File::create(&tmp).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+            let mut w = BufWriter::new(file);
+            for op in &kept {
+                w.write_all(encode_record(op).as_bytes())
+                    .and_then(|()| w.write_all(b"\n"))
+                    .map_err(|e| StoreError::Snapshot(e.to_string()))?;
+            }
+            w.flush().map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        // The old append handle points at the now-unlinked inode; reopen.
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        self.log = BufWriter::new(file);
+        self.ops_since_compact = 0;
+        Ok(CompactionStats { before, after })
+    }
+
+    /// Durability checkpoint: flush and compact. After a checkpoint the
+    /// log *is* the bounded representation of live state, so replay cost
+    /// no longer grows with history.
+    pub fn checkpoint(&mut self) -> Result<CompactionStats> {
+        self.compact()
+    }
+
     fn append(&mut self, op: &Op) -> Result<()> {
-        let line = serde_json::to_string(op).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        let line = encode_record(op);
         self.log
             .write_all(line.as_bytes())
             .and_then(|()| self.log.write_all(b"\n"))
             .and_then(|()| self.log.flush())
-            .map_err(|e| StoreError::Snapshot(e.to_string()))
+            .map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        self.ops_since_compact += 1;
+        if let Some(every) = self.options.compact_every {
+            if self.ops_since_compact >= every {
+                self.compact()?;
+            }
+        }
+        Ok(())
     }
+}
+
+/// Keeps all structure ops and the last feedback/answer per pair, in
+/// original order.
+fn compact_ops(ops: Vec<Op>) -> Vec<Op> {
+    use std::collections::HashMap;
+    let mut last_feedback: HashMap<(WorkerId, TaskId), usize> = HashMap::new();
+    let mut last_answer: HashMap<(WorkerId, TaskId), usize> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Feedback { worker, task, .. } => {
+                last_feedback.insert((*worker, *task), i);
+            }
+            Op::Answer { worker, task, .. } => {
+                last_answer.insert((*worker, *task), i);
+            }
+            _ => {}
+        }
+    }
+    ops.into_iter()
+        .enumerate()
+        .filter(|(i, op)| match op {
+            Op::Feedback { worker, task, .. } => last_feedback[&(*worker, *task)] == *i,
+            Op::Answer { worker, task, .. } => last_answer[&(*worker, *task)] == *i,
+            _ => true,
+        })
+        .map(|(_, op)| op)
+        .collect()
 }
 
 #[cfg(test)]
@@ -238,6 +618,56 @@ mod tests {
         logged.record_feedback(w0, t0, 4.0).unwrap();
         logged.record_feedback(w1, t1, 3.0).unwrap();
         logged.record_answer(w0, t0, "split at the median").unwrap();
+    }
+
+    #[test]
+    fn checksummed_records_roundtrip() {
+        let ops = vec![
+            Op::AddWorker { handle: "x".into() },
+            Op::AddWorker {
+                handle: "weird\nhandle \\ with\rescapes".into(),
+            },
+            Op::AddTask {
+                text: "y z with spaces".into(),
+            },
+            Op::Assign {
+                worker: WorkerId(1),
+                task: TaskId(2),
+            },
+            Op::Feedback {
+                worker: WorkerId(1),
+                task: TaskId(2),
+                score: 2.5,
+            },
+            Op::Feedback {
+                worker: WorkerId(3),
+                task: TaskId(4),
+                score: -0.125,
+            },
+            Op::Answer {
+                worker: WorkerId(1),
+                task: TaskId(2),
+                text: "multi word\nanswer".into(),
+            },
+        ];
+        for op in ops {
+            let line = encode_record(&op);
+            let back = decode_record(&line).unwrap();
+            assert_eq!(op, back, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn checksum_detects_a_flipped_byte() {
+        let line = encode_record(&Op::AddWorker {
+            handle: "ada".into(),
+        });
+        let mut bytes = line.into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let corrupted = String::from_utf8(bytes).unwrap();
+        let err = decode_record(&corrupted).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
     }
 
     #[test]
@@ -266,6 +696,7 @@ mod tests {
         {
             let mut logged = LoggedDb::open(&path).unwrap();
             assert_eq!(logged.db().num_workers(), 2, "state recovered");
+            assert!(logged.recovery_report().is_clean());
             let w2 = logged.add_worker("newbie").unwrap();
             assert_eq!(w2, WorkerId(2), "ids continue densely");
         }
@@ -283,10 +714,13 @@ mod tests {
         }
         // Simulate a crash mid-append.
         let mut file = OpenOptions::new().append(true).open(&path).unwrap();
-        file.write_all(b"{\"Feedback\":{\"worker\":0,\"ta").unwrap();
+        file.write_all(b"deadbeef f 0 0 40").unwrap();
         drop(file);
         let replayed = replay(&path).unwrap();
         assert_eq!(replayed.num_workers(), 2, "intact prefix replays");
+        let (_, report) = recover(&path).unwrap();
+        assert!(report.torn_tail);
+        assert!(report.is_clean(), "a torn tail is not corruption");
         std::fs::remove_file(&path).ok();
     }
 
@@ -308,6 +742,44 @@ mod tests {
     }
 
     #[test]
+    fn recover_skips_corrupt_interior_and_reports_it() {
+        let path = temp_log("recover_skip");
+        {
+            let mut logged = LoggedDb::open(&path).unwrap();
+            populate(&mut logged);
+        }
+        // Flip one payload byte of the second record (AddWorker "carl").
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = content.lines().map(String::from).collect();
+        let n_lines = lines.len();
+        let mut bytes = lines[1].clone().into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        lines[1] = String::from_utf8(bytes).unwrap();
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let (db, report) = recover(&path).unwrap();
+        // Worker "ada" (line 1) survives; "carl" is lost, and with it the
+        // records that depended on the second worker id existing.
+        assert_eq!(db.num_workers(), 1);
+        assert_eq!(db.feedback(WorkerId(0), TaskId(0)), Some(4.0));
+        assert!(!report.is_clean());
+        assert_eq!(report.skipped[0].line, 2);
+        assert!(
+            report.skipped[0].reason.contains("checksum mismatch"),
+            "{}",
+            report.skipped[0].reason
+        );
+        assert!(report.applied + report.skipped.len() == n_lines);
+
+        // LoggedDb::open survives the same file and surfaces the report.
+        let logged = LoggedDb::open(&path).unwrap();
+        assert_eq!(logged.db().num_workers(), 1);
+        assert!(!logged.recovery_report().is_clean());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn rejected_operations_do_not_pollute_the_log() {
         let path = temp_log("reject");
         {
@@ -323,6 +795,65 @@ mod tests {
         // Replay must succeed (no bad entries made it to disk).
         let replayed = replay(&path).unwrap();
         assert_eq!(replayed.num_assignments(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_drops_dead_records_and_preserves_state() {
+        let path = temp_log("compact");
+        let mut logged = LoggedDb::open(&path).unwrap();
+        let w = logged.add_worker("a").unwrap();
+        let t = logged.add_task("some task text").unwrap();
+        logged.assign(w, t).unwrap();
+        for i in 0..100 {
+            logged.record_feedback(w, t, f64::from(i)).unwrap();
+            logged.record_answer(w, t, &format!("answer v{i}")).unwrap();
+        }
+        let stats = logged.compact().unwrap();
+        assert_eq!(stats.before, 3 + 200);
+        assert_eq!(stats.after, 5, "worker + task + assign + last f/n");
+
+        // The log keeps working after compaction and replays to the same
+        // final state.
+        logged.record_feedback(w, t, 42.0).unwrap();
+        drop(logged);
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.feedback(w, t), Some(42.0));
+        assert!(replayed.answer(w, t).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_and_auto_compaction_bound_replay_over_10k_ops() {
+        let path = temp_log("bounded");
+        let mut logged = LoggedDb::open_with(
+            &path,
+            WalOptions {
+                compact_every: Some(512),
+            },
+        )
+        .unwrap();
+        let w = logged.add_worker("hot").unwrap();
+        let t = logged.add_task("hot task repeatedly rescored").unwrap();
+        logged.assign(w, t).unwrap();
+        let total_ops = 10_000;
+        for i in 0..total_ops {
+            logged.record_feedback(w, t, (i % 7) as f64).unwrap();
+        }
+        logged.checkpoint().unwrap();
+        drop(logged);
+
+        // Replay cost is bounded by live state, not by the 10k-op history.
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines = content.lines().count();
+        assert!(
+            lines <= 16,
+            "compacted log must stay bounded, found {lines} lines"
+        );
+        let (db, report) = recover(&path).unwrap();
+        assert!(report.is_clean());
+        assert!(report.applied <= 16, "replay applied {}", report.applied);
+        assert_eq!(db.feedback(w, t), Some(((total_ops - 1) % 7) as f64));
         std::fs::remove_file(&path).ok();
     }
 
@@ -356,5 +887,16 @@ mod tests {
     #[test]
     fn replay_of_missing_file_errors() {
         assert!(replay("/nonexistent/path/to.log").is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 }

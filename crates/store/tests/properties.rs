@@ -1,7 +1,9 @@
 //! Property-based tests for the crowd database.
 
-use crowd_store::{CrowdDb, StoreError, TaskId, WorkerId};
+use crowd_store::wal::{apply, decode_record};
+use crowd_store::{recover, CrowdDb, LoggedDb, StoreError, TaskId, WorkerId};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A random sequence of valid operations on a small db.
 #[derive(Debug, Clone)]
@@ -22,6 +24,42 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
         ],
         0..60,
     )
+}
+
+/// Writes a valid WAL for the op sequence at a fresh temp path.
+fn build_wal(ops: &[Op]) -> std::path::PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("crowd-wal-prop-{}-{case}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut logged = LoggedDb::open(&path).unwrap();
+    for op in ops {
+        match *op {
+            Op::AddWorker => {
+                logged.add_worker("w").unwrap();
+            }
+            Op::AddTask => {
+                logged.add_task("alpha beta gamma delta").unwrap();
+            }
+            Op::Assign(w, t) => {
+                let _ = logged.assign(WorkerId(w), TaskId(t));
+            }
+            Op::Feedback(w, t, s) => {
+                let _ = logged.record_feedback(WorkerId(w), TaskId(t), s);
+            }
+        }
+    }
+    path
+}
+
+/// Splits bytes into non-empty lines exactly the way `recover` does.
+fn nonempty_lines(bytes: &[u8]) -> Vec<Vec<u8>> {
+    bytes
+        .split(|&b| b == b'\n')
+        .map(|raw| raw.strip_suffix(b"\r").unwrap_or(raw).to_vec())
+        .filter(|l| !l.iter().all(|b| b.is_ascii_whitespace()))
+        .collect()
 }
 
 proptest! {
@@ -124,6 +162,93 @@ proptest! {
         prop_assert!(matches!(r, Err(StoreError::InvalidScore(_))));
         prop_assert_eq!(db.feedback(w, t), None);
         prop_assert_eq!(db.num_resolved(), 0);
+    }
+
+    /// WAL recovery under random corruption: flip a bit or truncate the
+    /// file anywhere, and `recover` must still (a) never error or panic,
+    /// (b) apply every record that precedes the first damaged line, and
+    /// (c) account for every line as applied, skipped, or a torn tail —
+    /// deterministically.
+    #[test]
+    fn corrupted_wal_recovers_prefix_and_reports(
+        ops in arb_ops(),
+        mode in 0u8..2,
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let path = build_wal(&ops);
+        let pristine = std::fs::read(&path).unwrap();
+        prop_assume!(!pristine.is_empty());
+
+        // Corrupt: mode 0 flips one bit, mode 1 truncates at a byte offset.
+        let off = ((pos * pristine.len() as f64) as usize).min(pristine.len() - 1);
+        let corrupted = if mode == 0 {
+            let mut bytes = pristine.clone();
+            bytes[off] ^= 1 << bit;
+            bytes
+        } else {
+            pristine[..off].to_vec()
+        };
+        std::fs::write(&path, &corrupted).unwrap();
+
+        // (a) Salvage-mode recovery never fails outright.
+        let (db, report) = recover(&path).unwrap();
+
+        // (b) Everything before the first damaged line is applied. The
+        // damage point is the first line of the corrupted file that no
+        // longer matches the pristine log (bit flips can also split or
+        // merge lines by touching a newline byte; truncation shortens the
+        // tail — the common-prefix comparison covers all of these).
+        let pristine_lines = nonempty_lines(&pristine);
+        let corrupted_lines = nonempty_lines(&corrupted);
+        let intact = pristine_lines
+            .iter()
+            .zip(corrupted_lines.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let mut expected = CrowdDb::new();
+        for raw in &pristine_lines[..intact] {
+            let line = std::str::from_utf8(raw).expect("pristine log is UTF-8");
+            let op = decode_record(line).expect("pristine record must decode");
+            apply(&mut expected, &op).expect("pristine prefix must replay");
+        }
+        prop_assert!(report.applied >= intact);
+        prop_assert!(db.num_workers() >= expected.num_workers());
+        prop_assert!(db.num_tasks() >= expected.num_tasks());
+        prop_assert!(db.num_assignments() >= expected.num_assignments());
+        for w in expected.worker_ids() {
+            for (t, _) in expected.tasks_of(w) {
+                prop_assert!(db.is_assigned(w, t));
+            }
+        }
+
+        // (c) Every surviving line is accounted for exactly once.
+        let torn = usize::from(report.torn_tail);
+        prop_assert_eq!(
+            report.applied + report.skipped.len() + torn,
+            corrupted_lines.len()
+        );
+        // Damage anywhere but the tail must be *reported*, not silent —
+        // unless the flip left a semantically identical record (e.g. it
+        // only changed the case of a checksum hex digit).
+        if intact + 1 < corrupted_lines.len() {
+            let damaged_still_decodes = std::str::from_utf8(&corrupted_lines[intact])
+                .ok()
+                .and_then(|l| decode_record(l).ok())
+                .is_some();
+            if !damaged_still_decodes {
+                prop_assert!(!report.is_clean());
+            }
+        }
+
+        // Recovery is deterministic: same file, same report, same state.
+        let (db2, report2) = recover(&path).unwrap();
+        prop_assert_eq!(report2, report);
+        prop_assert_eq!(db2.num_workers(), db.num_workers());
+        prop_assert_eq!(db2.num_tasks(), db.num_tasks());
+        prop_assert_eq!(db2.num_assignments(), db.num_assignments());
+
+        let _ = std::fs::remove_file(&path);
     }
 
     /// Worker groups are nested: group(n+1) ⊆ group(n), and coverage is
