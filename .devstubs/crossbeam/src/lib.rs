@@ -1,0 +1,205 @@
+//! Offline development stub for `crossbeam` 0.8 — channels over
+//! `std::sync::mpsc` (with a length counter) and scoped threads over
+//! `std::thread::scope`.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc};
+
+    /// Unbounded MPSC channel (stub of crossbeam's MPMC; receivers here are
+    /// single-consumer, which is all this workspace uses).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        let len = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                len: Arc::clone(&len),
+            },
+            Receiver { inner: rx, len },
+        )
+    }
+
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+        len: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+                len: Arc::clone(&self.len),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self.inner.send(value) {
+                Ok(()) => {
+                    self.len.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }
+                Err(mpsc::SendError(v)) => Err(SendError(v)),
+            }
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            // Unbounded channels never report Full.
+            match self.inner.send(value) {
+                Ok(()) => {
+                    self.len.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }
+                Err(mpsc::SendError(v)) => Err(TrySendError::Disconnected(v)),
+            }
+        }
+    }
+
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+        len: Arc<AtomicUsize>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let v = self.inner.recv().map_err(|_| RecvError)?;
+            self.len.fetch_sub(1, Ordering::SeqCst);
+            Ok(v)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let v = self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })?;
+            self.len.fetch_sub(1, Ordering::SeqCst);
+            Ok(v)
+        }
+
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::SeqCst)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread as stdthread;
+
+    /// Stub of `crossbeam::thread::Scope`; wraps the std scoped-thread scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            let handle = self.inner.spawn(move || {
+                let s = Scope { inner: inner_scope };
+                f(&s)
+            });
+            ScopedJoinHandle { inner: handle }
+        }
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// return. Unlike crossbeam, a panic in an un-joined thread propagates
+    /// as a panic rather than an `Err` — fine for development use.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}

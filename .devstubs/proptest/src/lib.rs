@@ -1,0 +1,594 @@
+//! Offline development stub for `proptest` 1.x — generation only, no
+//! shrinking, no regression persistence. Supports the subset this
+//! workspace uses: `proptest!`, `prop_assert*`, `prop_assume!`,
+//! `prop_oneof!`, `Just`, range strategies, tuple strategies, regex-lite
+//! string strategies, `prop::collection::vec`, `prop::option::of`,
+//! `proptest::bool::ANY`, and `ProptestConfig::with_cases`.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic xoshiro-style RNG for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn seeded(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    /// Outcome of a single generated test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — the case is skipped, not failed.
+        Reject(String),
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: TestRng::seeded(0x5EED_CAFE_F00D_D00D),
+            }
+        }
+
+        /// Runs `case` until `cases` successes; panics on the first failure.
+        pub fn run_test<F>(&mut self, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            let mut passed = 0u32;
+            let mut rejects = 0u32;
+            while passed < self.config.cases {
+                match case(&mut self.rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        if rejects > self.config.max_global_rejects {
+                            panic!("proptest stub: too many prop_assume! rejections");
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("proptest case failed (after {passed} passes): {msg}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Value-generation strategy (no shrinking in this stub).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] so `prop_oneof!` can mix types.
+    pub trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (backs `prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<Box<dyn DynStrategy<V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate_dyn(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty range strategy");
+                    let span = (e as i128 - s as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (s as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// `&'static str` regex-lite strategies: supports literal characters,
+    /// `.`, `[...]` classes with ranges, and `{m,n}` / `{n}` repetition —
+    /// enough for patterns like `"[a-z0-9]{1,8}"` and `".{0,80}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // 1. Parse one atom into a set of candidate characters.
+            let candidates: Vec<char> = match chars[i] {
+                '.' => {
+                    i += 1;
+                    (0x20u8..0x7F).map(|b| b as char).collect()
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .expect("unterminated character class in stub regex");
+                    let inner = &chars[i + 1..close];
+                    i = close + 1;
+                    parse_class(inner)
+                }
+                '\\' => {
+                    let c = *chars.get(i + 1).expect("dangling escape in stub regex");
+                    i += 2;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            assert!(!candidates.is_empty(), "empty character class in stub regex");
+            // 2. Optional repetition.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .expect("unterminated repetition in stub regex");
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse::<usize>().expect("bad repetition bound"),
+                        b.trim().parse::<usize>().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse::<usize>().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && chars[i] == '*' {
+                i += 1;
+                (0, 8)
+            } else if i < chars.len() && chars[i] == '+' {
+                i += 1;
+                (1, 8)
+            } else if i < chars.len() && chars[i] == '?' {
+                i += 1;
+                (0, 1)
+            } else {
+                (1, 1)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                let pick = rng.below(candidates.len() as u64) as usize;
+                out.push(candidates[pick]);
+            }
+        }
+        out
+    }
+
+    fn parse_class(inner: &[char]) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut j = 0;
+        while j < inner.len() {
+            if j + 2 < inner.len() && inner[j + 1] == '-' {
+                let (a, b) = (inner[j] as u32, inner[j + 2] as u32);
+                assert!(a <= b, "inverted range in character class");
+                for c in a..=b {
+                    if let Some(ch) = char::from_u32(c) {
+                        set.push(ch);
+                    }
+                }
+                j += 3;
+            } else {
+                set.push(inner[j]);
+                j += 1;
+            }
+        }
+        set
+    }
+}
+
+/// `prop::` namespace (`prop::collection::vec`, `prop::option::of`, ...).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// Inclusive size bounds for collection strategies.
+        pub struct SizeRange {
+            min: usize,
+            max: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max: n }
+            }
+        }
+
+        impl From<::std::ops::Range<usize>> for SizeRange {
+            fn from(r: ::std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    min: r.start,
+                    max: r.end - 1,
+                }
+            }
+        }
+
+        impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    min: *r.start(),
+                    max: *r.end(),
+                }
+            }
+        }
+
+        /// Vector of `size` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            let size = size.into();
+            VecStrategy {
+                element,
+                min: size.min,
+                max: size.max,
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        pub struct OptionStrategy<S>(S);
+
+        /// `None` half the time, otherwise `Some` of the inner strategy.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() & 1 == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+
+    pub use super::bool;
+}
+
+/// `proptest::bool::ANY`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strategy) as ::std::boxed::Box<dyn $crate::strategy::DynStrategy<_>>,)+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run_test(|rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                result
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}

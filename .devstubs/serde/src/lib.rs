@@ -1,0 +1,22 @@
+//! Offline development stub for `serde` — marker traits only. Every type
+//! trivially implements them via blanket impls, so generic bounds resolve;
+//! the paired `serde_json` stub does no real (de)serialization.
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub use de::DeserializeOwned;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! Offline development stub for `serde_derive` — the derives are no-ops
+//! (the stub `serde` crate blanket-implements its empty traits), but they
+//! must exist and accept `#[serde(...)]` attributes so derive lists parse.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
