@@ -1,15 +1,421 @@
-//! Offline development stub for `serde_derive` — the derives are no-ops
-//! (the stub `serde` crate blanket-implements its empty traits), but they
-//! must exist and accept `#[serde(...)]` attributes so derive lists parse.
+//! Offline development stub for `serde_derive` — real derives, hand-rolled.
+//!
+//! `syn`/`quote` are not available offline, so the input item is parsed
+//! directly from the raw `proc_macro::TokenStream`. Only the shapes this
+//! workspace uses are supported: non-generic structs (named, tuple, unit)
+//! and non-generic enums (unit / named / tuple variants), plus the
+//! `#[serde(skip)]` field attribute. The generated code targets the stub
+//! `serde` crate's `Value` data model and mirrors serde's default external
+//! representation, so JSON written under these derives round-trips.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
 
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape).parse().unwrap()
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skips attributes at `toks[*i]`, returning whether any was `#[serde(skip)]`.
+fn skip_attrs(i: &mut usize, toks: &[TokenTree]) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        let Some(TokenTree::Group(g)) = toks.get(*i) else {
+            panic!("serde_derive stub: `#` not followed by an attribute group");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                for tok in args.stream() {
+                    if matches!(&tok, TokenTree::Ident(id) if id.to_string() == "skip") {
+                        skip = true;
+                    }
+                }
+            }
+        }
+        *i += 1;
+    }
+    skip
+}
+
+/// Skips `pub` / `pub(...)` at `toks[*i]`.
+fn skip_vis(i: &mut usize, toks: &[TokenTree]) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Consumes a type at `toks[*i]` up to (and past) a top-level comma,
+/// tracking angle-bracket depth so `Vec<(A, B)>` style types survive.
+fn skip_type(i: &mut usize, toks: &[TokenTree]) {
+    let mut depth = 0i32;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<Field> {
+    let toks = group_tokens;
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = skip_attrs(&mut i, &toks);
+        skip_vis(&mut i, &toks);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive stub: expected field name, found {:?}", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        assert!(
+            matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive stub: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&mut i, &toks);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated segments (tuple-struct arity).
+fn tuple_arity(group_tokens: Vec<TokenTree>) -> usize {
+    let toks = group_tokens;
+    let mut i = 0;
+    let mut arity = 0;
+    while i < toks.len() {
+        skip_attrs(&mut i, &toks);
+        skip_vis(&mut i, &toks);
+        if i < toks.len() {
+            arity += 1;
+            skip_type(&mut i, &toks);
+        }
+    }
+    arity
+}
+
+fn parse_variants(group_tokens: Vec<TokenTree>) -> Vec<Variant> {
+    let toks = group_tokens;
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&mut i, &toks);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!(
+                "serde_derive stub: expected variant name, found {:?}",
+                toks[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream().into_iter().collect());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream().into_iter().collect());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&mut i, &toks);
+    skip_vis(&mut i, &toks);
+    let TokenTree::Ident(kw) = &toks[i] else {
+        panic!("serde_derive stub: expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde_derive stub: expected item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (item `{name}`)");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream().into_iter().collect()))
+            }
+            other => panic!("serde_derive stub: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const HEADER: &str = "#[automatically_derived]\n#[allow(clippy::all, clippy::pedantic, unused_variables)]\n";
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut out = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                let _ = writeln!(
+                    out,
+                    "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));",
+                    f.name
+                );
+            }
+            out.push_str("::serde::Value::Object(__fields)");
+            out
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Array(::std::vec![{}])",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut out = String::from("match self {\n");
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            out,
+                            "{name}::{0} => ::serde::Value::String(::std::string::String::from(\"{0}\")),",
+                            v.name
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!(
+                            "{name}::{} {{ {} }} => {{\nlet mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                            v.name,
+                            binds.join(", ")
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let _ = writeln!(
+                                arm,
+                                "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})));",
+                                f.name
+                            );
+                        }
+                        let _ = writeln!(
+                            arm,
+                            "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{}\"), ::serde::Value::Object(__fields))])\n}},",
+                            v.name
+                        );
+                        out.push_str(&arm);
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}::{0}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(__f0))]),",
+                            v.name
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "{name}::{0}({1}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{0}\"), ::serde::Value::Array(::std::vec![{2}]))]),",
+                            v.name,
+                            binds.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                }
+            }
+            out.push('}');
+            out
+        }
+    };
+    format!(
+        "{HEADER}impl ::serde::Serialize for {name} {{\nfn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_fields_ctor(path: &str, fields: &[Field], source: &str) -> String {
+    let mut out = format!("{path} {{\n");
+    for f in fields {
+        if f.skip {
+            let _ = writeln!(out, "{}: ::std::default::Default::default(),", f.name);
+        } else {
+            let _ = writeln!(
+                out,
+                "{0}: match ::serde::__find_field({source}, \"{0}\") {{\n::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n::std::option::Option::None => ::serde::Deserialize::from_missing_field(\"{0}\")?,\n}},",
+                f.name
+            );
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn tuple_ctor(path: &str, arity: usize, items: &str) -> String {
+    let args: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&{items}[{i}])?"))
+        .collect();
+    format!("{path}({})", args.join(", "))
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let ctor = named_fields_ctor(name, fields, "__entries");
+            format!(
+                "let __entries = __value.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for struct `{name}`\"))?;\n::std::result::Result::Ok({ctor})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        Shape::TupleStruct(n) => format!(
+            "let __items = __value.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for tuple struct `{name}`\"))?;\nif __items.len() != {n} {{\nreturn ::std::result::Result::Err(::serde::DeError::custom(\"wrong tuple arity for `{name}`\"));\n}}\n::std::result::Result::Ok({ctor})",
+            ctor = tuple_ctor(name, *n, "__items")
+        ),
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    )
+                })
+                .collect();
+            let string_arm = format!(
+                "::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}__other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown unit variant `{{__other}}` for enum `{name}`\"))),\n}},"
+            );
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        // Also accept `{"Variant": null}` for symmetry.
+                        let _ = writeln!(
+                            tagged_arms,
+                            "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
+                            v.name
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let ctor =
+                            named_fields_ctor(&format!("{name}::{}", v.name), fields, "__inner");
+                        let _ = writeln!(
+                            tagged_arms,
+                            "\"{0}\" => {{\nlet __inner = __payload.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object payload for variant `{0}`\"))?;\n::std::result::Result::Ok({ctor})\n}},",
+                            v.name
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            tagged_arms,
+                            "\"{0}\" => ::std::result::Result::Ok({name}::{0}(::serde::Deserialize::from_value(__payload)?)),",
+                            v.name
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let ctor = tuple_ctor(&format!("{name}::{}", v.name), *n, "__items");
+                        let _ = writeln!(
+                            tagged_arms,
+                            "\"{0}\" => {{\nlet __items = __payload.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array payload for variant `{0}`\"))?;\nif __items.len() != {n} {{\nreturn ::std::result::Result::Err(::serde::DeError::custom(\"wrong arity for variant `{0}`\"));\n}}\n::std::result::Result::Ok({ctor})\n}},",
+                            v.name
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n{string_arm}\n::serde::Value::Object(__entries) if __entries.len() == 1 => {{\nlet (__tag, __payload) = &__entries[0];\nmatch __tag.as_str() {{\n{tagged_arms}__other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{__other}}` for enum `{name}`\"))),\n}}\n}}\n__other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"expected string or single-key object for enum `{name}`, found {{}}\", __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "{HEADER}impl<'de> ::serde::Deserialize<'de> for {name} {{\nfn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
 }

@@ -17,7 +17,7 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
-run cargo test -q
+run cargo test -q --workspace --no-fail-fast
 
 # Fault matrix: the lifecycle recovery counters must reproduce exactly
 # under every seed (see crates/platform/tests/fault_matrix.rs).

@@ -165,6 +165,7 @@ impl CrowdSelector for TdpmSelector {
 #[derive(Debug, Clone, Default)]
 pub struct TdpmBackend {
     base: TdpmConfig,
+    obs: crowd_obs::Obs,
 }
 
 impl TdpmBackend {
@@ -176,7 +177,17 @@ impl TdpmBackend {
     /// A backend whose fits start from `base` (threads, iteration budget,
     /// priors, …).
     pub fn with_config(base: TdpmConfig) -> Self {
-        TdpmBackend { base }
+        TdpmBackend {
+            base,
+            obs: crowd_obs::Obs::noop(),
+        }
+    }
+
+    /// Routes trainer metrics (epoch timings, ELBO) and the fitted model's
+    /// projection/update metrics to `obs` for every fit this backend runs.
+    pub fn with_obs(mut self, obs: crowd_obs::Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The base configuration.
@@ -204,13 +215,13 @@ impl SelectorBackend for TdpmBackend {
             cfg.seed = seed;
         }
         let ts = TrainingSet::from_db(db);
-        let (model, report) =
-            TdpmTrainer::new(cfg)
-                .fit_training_set(&ts)
-                .map_err(|e| SelectError::Fit {
-                    backend: "tdpm".into(),
-                    message: e.to_string(),
-                })?;
+        let (model, report) = TdpmTrainer::new(cfg)
+            .with_obs(self.obs.clone())
+            .fit_training_set(&ts)
+            .map_err(|e| SelectError::Fit {
+                backend: "tdpm".into(),
+                message: e.to_string(),
+            })?;
         Ok(FitOutcome::new(
             Box::new(model),
             FitDiagnostics {

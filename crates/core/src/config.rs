@@ -23,6 +23,18 @@ pub struct TdpmConfig {
     pub beta_smoothing: f64,
     /// Floor for the feedback noise `τ²` (prevents degenerate certainty).
     pub min_tau2: f64,
+    /// Floor for the diagonal of the fitted priors `Σ_w`, `Σ_c` (Eqs. 17/19).
+    ///
+    /// The empirical-Bayes covariance update is self-reinforcing: once the
+    /// worker posteriors cluster near `μ_w`, the fitted `Σ_w` shrinks, which
+    /// pins the posteriors to `μ_w` even harder on the next E-step. Left
+    /// unchecked the prior collapses (diagonals ~1e-2) and every worker's
+    /// skill degenerates to the shared mean — erasing the magnitude
+    /// differences that distinguish TDPM from normalized multinomial
+    /// profiles (Section 1). The floor is the `Σ` analog of [`min_tau2`].
+    ///
+    /// [`min_tau2`]: TdpmConfig::min_tau2
+    pub min_prior_var: f64,
     /// EM iterations during which `τ` is held at its initial value.
     ///
     /// Updating the noise too early lets `τ²` absorb the full score variance
@@ -31,6 +43,17 @@ pub struct TdpmConfig {
     pub tau_warmup_iters: usize,
     /// Ridge added to covariance estimates to keep them SPD.
     pub covariance_ridge: f64,
+    /// Exponential forgetting factor applied to a worker's accumulated
+    /// feedback sufficient statistics on each incremental
+    /// [`crate::TdpmModel::record_feedback`] call (the "feedback-weighted"
+    /// variant of Section 4.2's online update).
+    ///
+    /// `1.0` (the default) keeps every observation at full weight, matching
+    /// the batch posterior exactly. Values in `(0, 1)` discount old evidence
+    /// geometrically — effective memory ≈ `1 / (1 − ρ)` observations — so
+    /// the posterior can track workers whose real skills drift over time.
+    /// Only the data terms decay; the prior `Σ_w⁻¹` stays at full strength.
+    pub feedback_forgetting: f64,
     /// RNG seed for symmetry-breaking initialization.
     pub seed: u64,
     /// Threads for the task E-step (`1` = sequential). Task posteriors are
@@ -52,8 +75,10 @@ impl Default for TdpmConfig {
             diagonal_covariance: false,
             beta_smoothing: 1e-2,
             min_tau2: 1e-4,
+            min_prior_var: 0.25,
             tau_warmup_iters: 3,
             covariance_ridge: 1e-6,
+            feedback_forgetting: 1.0,
             seed: 42,
             num_threads: 1,
         }
@@ -78,6 +103,14 @@ impl TdpmConfig {
         }
         if self.min_tau2 <= 0.0 || self.min_tau2.is_nan() {
             return Err(crate::CoreError::InvalidConfig("min_tau2 must be > 0"));
+        }
+        if self.min_prior_var < 0.0 || self.min_prior_var.is_nan() {
+            return Err(crate::CoreError::InvalidConfig("min_prior_var must be ≥ 0"));
+        }
+        if !(self.feedback_forgetting > 0.0 && self.feedback_forgetting <= 1.0) {
+            return Err(crate::CoreError::InvalidConfig(
+                "feedback_forgetting must be in (0, 1]",
+            ));
         }
         Ok(())
     }

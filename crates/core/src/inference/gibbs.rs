@@ -34,8 +34,12 @@ pub struct GibbsConfig {
     pub samples: usize,
     /// Keep every `thin`-th sweep.
     pub thin: usize,
-    /// Random-walk proposal standard deviation for the `c` update.
+    /// Initial random-walk proposal standard deviation for the `c` update.
+    /// During burn-in the scale adapts towards [`GibbsConfig::target_accept`]
+    /// and is then frozen, so the post-burn-in chain keeps detailed balance.
     pub proposal_std: f64,
+    /// Metropolis acceptance rate the burn-in adaptation aims for.
+    pub target_accept: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -47,6 +51,7 @@ impl Default for GibbsConfig {
             samples: 300,
             thin: 2,
             proposal_std: 0.15,
+            target_accept: 0.3,
             seed: 1234,
         }
     }
@@ -88,6 +93,15 @@ pub fn sample_posterior(
     let mut proposals = 0usize;
     let mut accepted = 0usize;
 
+    // Proposal scale, adapted during burn-in towards `target_accept` and
+    // frozen afterwards. A fixed scale that mixes well under neutral
+    // parameters can stall once β sharpens (the word likelihood narrows the
+    // conditional), which biases the short-chain posterior means.
+    let mut step = cfg.proposal_std;
+    let mut window_proposals = 0usize;
+    let mut window_accepts = 0usize;
+    const ADAPT_WINDOW: usize = 20;
+
     let total_sweeps = cfg.burn_in + cfg.samples * cfg.thin.max(1);
     for sweep in 0..total_sweeps {
         // ---- Gibbs: w^i | c, s (exact Gaussian conditional) ----------------
@@ -106,14 +120,57 @@ pub fn sample_posterior(
         // ---- Metropolis: c^j | w, s, words ---------------------------------
         for (j, task) in ts.tasks().iter().enumerate() {
             let current_lp = log_posterior_c(&c[j], task, &w, params, &ctx, inv_tau2)?;
-            let proposal = Vector::from_fn(k, |kk| {
-                c[j][kk] + cfg.proposal_std * standard_normal(&mut rng)
-            });
+            let proposal = Vector::from_fn(k, |kk| c[j][kk] + step * standard_normal(&mut rng));
             let proposal_lp = log_posterior_c(&proposal, task, &w, params, &ctx, inv_tau2)?;
             proposals += 1;
+            window_proposals += 1;
             if (proposal_lp - current_lp) >= rng.random::<f64>().max(1e-300).ln() {
                 c[j] = proposal;
                 accepted += 1;
+                window_accepts += 1;
+            }
+        }
+
+        if sweep < cfg.burn_in && (sweep + 1).is_multiple_of(ADAPT_WINDOW) {
+            let rate = window_accepts as f64 / window_proposals.max(1) as f64;
+            // Multiplicative Robbins–Monro style update, clamped so a dead
+            // window cannot collapse or explode the scale.
+            step = (step * (1.0 + (rate - cfg.target_accept))).clamp(1e-3, 10.0);
+            window_proposals = 0;
+            window_accepts = 0;
+        }
+
+        // ---- Scale move: (W, C) → (W/γ, γC) ---------------------------------
+        // Every inner product w·c — and with it the entire feedback
+        // likelihood — is invariant under this map, so when τ is small the
+        // posterior has a long, thin ridge that coordinate-wise updates
+        // cannot traverse: a chain started at small ‖c‖ compensates with
+        // huge ‖w‖ and stays there. A log-normal γ proposal slides the whole
+        // state along the ridge; only the priors, the word likelihood, and
+        // the Jacobian |det| = γ^{K(#tasks − #workers)} decide acceptance.
+        let gamma: f64 = (0.2 * standard_normal(&mut rng)).exp();
+        let mut log_accept =
+            (k as f64) * (ts.num_tasks() as f64 - ts.num_workers() as f64) * gamma.ln();
+        for wi in &w {
+            let cur = wi.sub(&params.mu_w)?;
+            let prop = Vector::from_fn(k, |kk| wi[kk] / gamma - params.mu_w[kk]);
+            log_accept +=
+                0.5 * (ctx.sigma_w_inv.quad_form(&cur)? - ctx.sigma_w_inv.quad_form(&prop)?);
+        }
+        for (j, task) in ts.tasks().iter().enumerate() {
+            let cur = c[j].sub(&ctx.mu_c)?;
+            let prop = Vector::from_fn(k, |kk| gamma * c[j][kk] - ctx.mu_c[kk]);
+            log_accept +=
+                0.5 * (ctx.sigma_c_inv.quad_form(&cur)? - ctx.sigma_c_inv.quad_form(&prop)?);
+            let scaled = Vector::from_fn(k, |kk| gamma * c[j][kk]);
+            log_accept += word_loglik(&scaled, task, params) - word_loglik(&c[j], task, params);
+        }
+        if log_accept >= rng.random::<f64>().max(1e-300).ln() {
+            for wi in &mut w {
+                wi.scale(1.0 / gamma);
+            }
+            for cj in &mut c {
+                cj.scale(gamma);
             }
         }
 
@@ -157,23 +214,30 @@ fn log_posterior_c(
     // Prior.
     let diff = c.sub(&ctx.mu_c)?;
     let mut lp = -0.5 * ctx.sigma_c_inv.quad_form(&diff)?;
-    // Words: Σ_v cnt ln Σ_k π_k β_{k,v}.
-    if !task.words.is_empty() {
-        let pi = crowd_math::special::softmax(c.as_slice());
-        for &(v, cnt) in &task.words {
-            let mut p = 0.0;
-            for kk in 0..pi.len() {
-                p += pi[kk] * params.beta[(kk, v)];
-            }
-            lp += cnt as f64 * p.max(1e-300).ln();
-        }
-    }
+    lp += word_loglik(c, task, params);
     // Feedback.
     for &(i, s) in &task.scores {
         let pred = w[i].dot(c)?;
         lp -= 0.5 * inv_tau2 * (s - pred) * (s - pred);
     }
     Ok(lp)
+}
+
+/// Exact (z-marginalized) word log likelihood `Σ_v cnt ln Σ_k π_k β_{k,v}`.
+fn word_loglik(c: &Vector, task: &crate::dataset::TaskData, params: &ModelParams) -> f64 {
+    if task.words.is_empty() {
+        return 0.0;
+    }
+    let pi = crowd_math::special::softmax(c.as_slice());
+    let mut lp = 0.0;
+    for &(v, cnt) in &task.words {
+        let mut p = 0.0;
+        for kk in 0..pi.len() {
+            p += pi[kk] * params.beta[(kk, v)];
+        }
+        lp += cnt as f64 * p.max(1e-300).ln();
+    }
+    lp
 }
 
 /// Draws `x ~ Normal(mean, P⁻¹)` given the Cholesky factor `L` of the
@@ -245,6 +309,7 @@ mod tests {
             samples: 150,
             thin: 2,
             proposal_std: 0.2,
+            target_accept: 0.3,
             seed: 7,
         }
     }
@@ -278,30 +343,78 @@ mod tests {
 
     #[test]
     fn agrees_with_variational_inference() {
-        // Fit variationally; then sample with the *fitted* parameters and
-        // compare posterior means — both approximate the same posterior.
+        // Both methods approximate the same posterior p(W, C | V, S, ϕ) for
+        // *fixed* parameters ϕ, so run the variational E-step (no M-step)
+        // and the sampler under the identical planted ϕ and compare
+        // posterior means. Fitting ϕ by EM first would drive τ to its floor
+        // on this tiny separable problem, and at τ → 0 the latent
+        // coordinates sit on scale/sign ridges (w·c is invariant under
+        // W → −W, C → −C) where raw coordinates are not comparable.
         let (params, ts) = planted();
+        let k = params.num_categories();
         let cfg = crate::TdpmConfig {
-            num_categories: 2,
-            max_em_iters: 25,
+            num_categories: k,
             seed: 3,
             ..crate::TdpmConfig::default()
         };
-        let (model, _) = crate::TdpmTrainer::new(cfg).fit_training_set(&ts).unwrap();
-        let _ = params;
-        let summary = sample_posterior(model.params(), &ts, &quick_cfg()).unwrap();
+        let ctx = EStepContext::new(&params).unwrap();
+        let mut state = crate::variational::VariationalState::init(&ts, k, cfg.seed);
+        let by_worker = ts.scores_by_worker();
+        let mut scratch = crate::inference::estep::EStepScratch::new(k);
+        for _ in 0..60 {
+            let stats: Vec<crate::inference::estep::TaskFeedbackStats> = ts
+                .tasks()
+                .iter()
+                .map(|t| {
+                    crate::inference::estep::TaskFeedbackStats::gather(
+                        &t.scores,
+                        &state.lambda_w,
+                        &state.nu2_w,
+                        k,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            for (j, task) in ts.tasks().iter().enumerate() {
+                let update = crate::inference::estep::TaskUpdate {
+                    words: &task.words,
+                    num_tokens: task.num_tokens,
+                    feedback: &stats[j],
+                };
+                let mut post = crate::inference::estep::TaskPosterior {
+                    lambda: &mut state.lambda_c[j],
+                    nu2: &mut state.nu2_c[j],
+                    phi: state.phi.row_mut(j),
+                    epsilon: &mut state.epsilon[j],
+                };
+                crate::inference::estep::update_task(&update, &mut post, &ctx, &cfg).unwrap();
+            }
+            crate::inference::estep::update_workers(
+                &mut state,
+                &ts,
+                &ctx,
+                &by_worker,
+                &mut scratch,
+            )
+            .unwrap();
+        }
+
+        let summary = sample_posterior(&params, &ts, &quick_cfg()).unwrap();
 
         let mut variational = Vec::new();
         let mut mcmc = Vec::new();
-        for (i, wid) in ts.worker_ids().iter().enumerate() {
-            let skill = model.skill(*wid).unwrap();
-            variational.extend_from_slice(skill.mean.as_slice());
+        for i in 0..ts.num_workers() {
+            variational.extend_from_slice(state.lambda_w[i].as_slice());
             mcmc.extend_from_slice(summary.worker_means[i].as_slice());
+        }
+        for j in 0..ts.num_tasks() {
+            variational.extend_from_slice(state.lambda_c[j].as_slice());
+            mcmc.extend_from_slice(summary.task_means[j].as_slice());
         }
         let corr = crowd_math::stats::pearson(&variational, &mcmc).unwrap();
         assert!(
             corr > 0.9,
-            "variational and MCMC skill estimates should agree: r = {corr:.3}\n\
+            "variational and MCMC posterior means should agree: r = {corr:.3}\n\
              variational {variational:?}\nmcmc {mcmc:?}"
         );
     }

@@ -34,6 +34,7 @@ pub fn update_params(
         cfg.covariance_ridge,
         cfg.diagonal_covariance,
     )?;
+    floor_diag(&mut params.sigma_w, cfg.min_prior_var);
 
     // --- Priors over task categories (Eqs. 18–19) ---------------------------
     if !state.lambda_c.is_empty() {
@@ -45,6 +46,7 @@ pub fn update_params(
             cfg.covariance_ridge,
             cfg.diagonal_covariance,
         )?;
+        floor_diag(&mut params.sigma_c, cfg.min_prior_var);
     }
 
     // --- Feedback noise τ² (Eq. 20) -----------------------------------------
@@ -88,6 +90,16 @@ pub fn update_params(
     }
 
     Ok(())
+}
+
+/// Raises the diagonal to at least `floor` (see [`TdpmConfig::min_prior_var`]).
+/// Increasing diagonal entries only adds a PSD matrix, so SPD-ness is kept.
+fn floor_diag(cov: &mut Matrix, floor: f64) {
+    for i in 0..cov.rows() {
+        if cov[(i, i)] < floor {
+            cov[(i, i)] = floor;
+        }
+    }
 }
 
 /// `1/n Σ (diag(ν²) + (λ − μ)(λ − μ)ᵀ) + ridge·I`, optionally diagonalized.
@@ -254,6 +266,27 @@ mod tests {
         let r = expected_sq_residual(2.0, &lw, &zero, &lc, &zero);
         // wᵀc = 1.5 → (2 − 1.5)² = 0.25.
         assert!((r - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prior_variance_floor_is_respected() {
+        let (ts, mut state, cfg) = toy_state();
+        // Posteriors collapsed onto a common mean with tiny variances: the
+        // raw moment estimate would be ~0; the floor must hold it up.
+        state.lambda_w[0] = Vector::from_vec(vec![0.1, 0.1]);
+        state.lambda_w[1] = Vector::from_vec(vec![0.1, 0.1]);
+        state.nu2_w[0] = Vector::filled(2, 1e-6);
+        state.nu2_w[1] = Vector::filled(2, 1e-6);
+        let mut params = ModelParams::neutral(2, 2);
+        update_params(&mut params, &state, &ts, &cfg, true).unwrap();
+        for i in 0..2 {
+            assert!(
+                params.sigma_w[(i, i)] >= cfg.min_prior_var,
+                "sigma_w[{i}][{i}] = {} under floor {}",
+                params.sigma_w[(i, i)],
+                cfg.min_prior_var
+            );
+        }
     }
 
     #[test]

@@ -107,6 +107,33 @@ pub struct TdpmModel {
     /// fresh [`TdpmModel::project_bow`] projection these are
     /// *feedback-informed* (Eqs. 14–15 include the score terms).
     trained_tasks: HashMap<TaskId, TaskProjection>,
+    /// Online-path metrics (`model` component): projection latency and
+    /// incremental-update counts. Handles are resolved once in
+    /// [`TdpmModel::set_obs`] so the hot paths never touch the registry
+    /// lock. Defaults to a detached no-op registry.
+    metrics: ModelMetrics,
+}
+
+/// Pre-resolved metric handles for the model's online operations.
+#[derive(Debug, Clone)]
+struct ModelMetrics {
+    projections: std::sync::Arc<crowd_obs::Counter>,
+    projection_seconds: std::sync::Arc<crowd_obs::Histogram>,
+    incremental_updates: std::sync::Arc<crowd_obs::Counter>,
+    incremental_update_seconds: std::sync::Arc<crowd_obs::Histogram>,
+}
+
+impl ModelMetrics {
+    fn resolve(obs: &crowd_obs::Obs) -> Self {
+        ModelMetrics {
+            projections: obs.metrics.counter("model", "projections"),
+            projection_seconds: obs.metrics.histogram("model", "projection_seconds"),
+            incremental_updates: obs.metrics.counter("model", "incremental_updates"),
+            incremental_update_seconds: obs
+                .metrics
+                .histogram("model", "incremental_update_seconds"),
+        }
+    }
 }
 
 impl TdpmModel {
@@ -133,7 +160,14 @@ impl TdpmModel {
             worker_index,
             ctx,
             trained_tasks: HashMap::new(),
+            metrics: ModelMetrics::resolve(&crowd_obs::Obs::noop()),
         })
+    }
+
+    /// Attaches shared observability for the online operations (Algorithm
+    /// 3 projection latency, incremental feedback updates).
+    pub fn set_obs(&mut self, obs: crowd_obs::Obs) {
+        self.metrics = ModelMetrics::resolve(&obs);
     }
 
     /// Installs the fitted training-task posteriors (called by the trainer).
@@ -206,6 +240,7 @@ impl TdpmModel {
     ///
     /// Terms outside the model vocabulary are ignored.
     pub fn project_words(&self, words: &[(usize, u32)]) -> TaskProjection {
+        let started = std::time::Instant::now();
         let k = self.num_categories();
         let vocab = self.params.vocab_size();
         let filtered: Vec<(usize, u32)> =
@@ -238,6 +273,10 @@ impl TdpmModel {
             let _ = update_task(&update, &mut post, &self.ctx, &self.config);
         }
 
+        self.metrics.projections.inc();
+        self.metrics
+            .projection_seconds
+            .observe_duration(started.elapsed());
         TaskProjection {
             lambda,
             nu2,
@@ -340,6 +379,7 @@ impl TdpmModel {
         projection: &TaskProjection,
         score: f64,
     ) -> Result<()> {
+        let started = std::time::Instant::now();
         let &idx = self
             .worker_index
             .get(&worker)
@@ -351,6 +391,18 @@ impl TdpmModel {
         }
         let k = self.num_categories();
         let skill = &mut self.skills[idx];
+        let rho = self.config.feedback_forgetting;
+        if rho < 1.0 {
+            // Feedback-weighted update: geometrically discount the old
+            // evidence so the posterior tracks non-stationary skills. The
+            // decay rescales the whole data precision, which no sequence of
+            // rank-1 updates can express — drop the cached factor and
+            // refactorize below.
+            skill.sum_cc.scale(rho);
+            skill.sum_sc.scale(rho);
+            skill.sum_diag.scale(rho);
+            skill.precision_chol = None;
+        }
         skill.sum_cc.add_outer(1.0, &projection.lambda)?;
         skill.sum_cc.add_diag(&projection.nu2)?;
         skill.sum_sc.axpy(score, &projection.lambda)?;
@@ -388,6 +440,10 @@ impl TdpmModel {
             skill.variance[kk] =
                 1.0 / (inv_tau2 * skill.sum_diag[kk] + self.ctx.sigma_w_inv[(kk, kk)]);
         }
+        self.metrics.incremental_updates.inc();
+        self.metrics
+            .incremental_update_seconds
+            .observe_duration(started.elapsed());
         Ok(())
     }
 

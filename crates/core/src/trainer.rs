@@ -128,12 +128,24 @@ fn update_all_tasks(
 #[derive(Debug, Clone)]
 pub struct TdpmTrainer {
     config: TdpmConfig,
+    obs: crowd_obs::Obs,
 }
 
 impl TdpmTrainer {
     /// Creates a trainer with the given configuration.
     pub fn new(config: TdpmConfig) -> Self {
-        TdpmTrainer { config }
+        TdpmTrainer {
+            config,
+            obs: crowd_obs::Obs::noop(),
+        }
+    }
+
+    /// Attaches shared observability: per-epoch ELBO, E-/M-step wall time
+    /// and convergence deltas are recorded under the `trainer` component,
+    /// and the fitted model inherits the handle for its online metrics.
+    pub fn with_obs(mut self, obs: crowd_obs::Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The configuration in use.
@@ -166,6 +178,14 @@ impl TdpmTrainer {
         // worker instead of cloning fresh precision/RHS buffers each time.
         let mut scratch = EStepScratch::new(k);
 
+        let m = &self.obs.metrics;
+        let epochs = m.counter("trainer", "epochs");
+        let elbo_gauge = m.gauge("trainer", "elbo");
+        let delta_gauge = m.gauge("trainer", "elbo_rel_delta");
+        let estep_task_secs = m.histogram("trainer", "estep_task_seconds");
+        let estep_worker_secs = m.histogram("trainer", "estep_worker_seconds");
+        let mstep_secs = m.histogram("trainer", "mstep_seconds");
+
         for _ in 0..self.config.max_em_iters {
             iterations += 1;
             let ctx = EStepContext::new(&params)?;
@@ -174,10 +194,14 @@ impl TdpmTrainer {
             // first iteration the prior-scale random worker means act as the
             // symmetry breaker that pulls each task's category toward the
             // workers who scored well on it.
+            let t0 = std::time::Instant::now();
             update_all_tasks(ts, &mut state, &ctx, &self.config)?;
+            estep_task_secs.observe_duration(t0.elapsed());
 
             // E-step (b): worker posteriors, Eqs. 10–11.
+            let t1 = std::time::Instant::now();
             update_workers(&mut state, ts, &ctx, &by_worker, &mut scratch)?;
+            estep_worker_secs.observe_duration(t1.elapsed());
 
             let bound = elbo(&state, ts, &ctx).total();
             let improved = trace
@@ -191,7 +215,27 @@ impl TdpmTrainer {
 
             // M-step: Eqs. 16–21 (τ held during warm-up).
             let update_tau = iterations > self.config.tau_warmup_iters;
+            let t2 = std::time::Instant::now();
             update_params(&mut params, &state, ts, &self.config, update_tau)?;
+            mstep_secs.observe_duration(t2.elapsed());
+
+            epochs.inc();
+            elbo_gauge.set(bound);
+            if improved.is_finite() {
+                delta_gauge.set(improved);
+            }
+            self.obs.tracer.event(
+                "trainer",
+                "epoch",
+                vec![
+                    ("epoch".into(), iterations.into()),
+                    ("elbo".into(), bound.into()),
+                    (
+                        "rel_delta".into(),
+                        if improved.is_finite() { improved } else { 0.0 }.into(),
+                    ),
+                ],
+            );
 
             if improved.abs() < self.config.elbo_rel_tol {
                 converged = true;
@@ -254,6 +298,8 @@ impl TdpmTrainer {
             })
             .collect();
         model.set_trained_tasks(trained);
+        model.set_obs(self.obs.clone());
+        self.obs.metrics.counter("trainer", "fits").inc();
         let report = FitReport {
             iterations,
             elbo_trace: trace,

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! Observability for the crowd-selection system: a lock-light metrics
+//! registry ([`Registry`]) and a structured tracing facade ([`Tracer`])
+//! behind one cheap-to-clone handle ([`Obs`]).
+//!
+//! Design rules (see DESIGN.md §6c):
+//!
+//! - **Hot paths never block.** Counters, gauges and histogram updates are
+//!   atomic operations on pre-resolved handles; the registry lock is taken
+//!   only at registration and snapshot time.
+//! - **Metrics are labeled by component** — `trainer`, `model`, `platform`,
+//!   `wal`, `query` — with snake_case metric names; timings are histograms
+//!   in seconds named `*_seconds`.
+//! - **[`MetricsSnapshot`] serializes deterministically**: entries sorted
+//!   by `(component, name)`, bit-exact float round-trips.
+//! - **Tracing sinks are pluggable**: [`NoopSink`] by default,
+//!   [`MemorySink`] in tests, [`JsonlSink`] for `results/` files.
+//! - Instrumented crates accept an [`Obs`] but default to [`Obs::noop`],
+//!   so observability is strictly opt-in and costs nothing when off.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    default_latency_buckets, Bucket, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram,
+    HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use trace::{FieldValue, JsonlSink, MemorySink, NoopSink, Span, TraceEvent, TraceSink, Tracer};
+
+use std::sync::Arc;
+
+/// The handle instrumented components carry: a shared metrics registry plus
+/// a tracer. Cloning is two `Arc` bumps.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Shared metrics registry.
+    pub metrics: Arc<Registry>,
+    /// Trace emitter.
+    pub tracer: Tracer,
+}
+
+impl Obs {
+    /// A fresh registry with a no-op tracer — the default for components
+    /// that were not handed shared observability. Metrics recorded here are
+    /// reachable through the owning component only.
+    pub fn noop() -> Self {
+        Obs::default()
+    }
+
+    /// Bundles an existing registry and tracer.
+    pub fn new(metrics: Arc<Registry>, tracer: Tracer) -> Self {
+        Obs { metrics, tracer }
+    }
+
+    /// Snapshot of the attached registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_clones_share_the_registry() {
+        let obs = Obs::noop();
+        let clone = obs.clone();
+        clone.metrics.counter("a", "b").add(3);
+        assert_eq!(obs.snapshot().counter("a", "b"), Some(3));
+    }
+}

@@ -1,0 +1,546 @@
+//! Lock-light metrics: counters, gauges and fixed-bucket histograms,
+//! registered per component and exportable as a deterministic
+//! [`MetricsSnapshot`].
+//!
+//! The hot path is wait-free: every update is a handful of atomic
+//! operations on a pre-registered metric handle. Locks are touched only at
+//! registration time (get-or-create in the registry) and when taking a
+//! snapshot.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// A monotonic event counter.
+///
+/// Additions saturate at `u64::MAX` instead of wrapping, so a counter can
+/// never appear to go backwards — the property every rate computation
+/// downstream relies on.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX`.
+    pub fn add(&self, n: u64) {
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(n);
+            match self
+                .value
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at `0.0`.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value. Non-finite values are recorded as-is but will not
+    /// survive a JSON round-trip of the snapshot; instrumented code sticks
+    /// to finite values.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram with cumulative-style percentile estimates.
+///
+/// Bucket bounds are upper edges in ascending order; one implicit overflow
+/// bucket catches everything above the last bound. Observations update a
+/// per-bucket atomic counter plus an atomic running sum, so concurrent
+/// `observe` calls never block each other.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    total: AtomicU64,
+}
+
+/// Default latency buckets in seconds: log-spaced from 1 µs to 10 s.
+pub fn default_latency_buckets() -> Vec<f64> {
+    let mut bounds = Vec::new();
+    let mut b = 1e-6;
+    while b < 10.0 + 1e-9 {
+        bounds.push(b);
+        bounds.push(b * 2.5);
+        bounds.push(b * 5.0);
+        b *= 10.0;
+    }
+    bounds.truncate(bounds.len() - 2); // stop at exactly 10 s
+    bounds
+}
+
+impl Histogram {
+    /// Creates a histogram over ascending upper bucket bounds.
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending — bucket
+    /// layouts are compile-time decisions, not runtime data.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts,
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        // CAS loop folding the value into the f64 running sum.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0 < q ≤ 1`): the upper
+    /// edge of the first bucket whose cumulative count reaches `q·total`.
+    /// Observations in the overflow bucket report the last finite bound.
+    /// Returns `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= target {
+                return self.bounds[i.min(self.bounds.len() - 1)];
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// Snapshot of this histogram's state.
+    fn snap(&self, component: &str, name: &str) -> HistogramSnapshot {
+        let buckets = self
+            .bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &le)| Bucket {
+                le,
+                count: self.counts[i].load(Ordering::Relaxed),
+            })
+            .collect();
+        HistogramSnapshot {
+            component: component.to_owned(),
+            name: name.to_owned(),
+            count: self.count(),
+            sum: self.sum(),
+            overflow: self.counts[self.bounds.len()].load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+/// Registry key: metrics are labeled by the component that owns them.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    component: String,
+    name: String,
+}
+
+impl Key {
+    fn new(component: &str, name: &str) -> Self {
+        Key {
+            component: component.to_owned(),
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// Get-or-create registry of named metrics.
+///
+/// Handles are `Arc`s: a component resolves its metrics once (taking the
+/// registry lock) and then updates them lock-free. `BTreeMap` keys make
+/// [`Registry::snapshot`] deterministic without a sort step.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<Key, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<Key, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<Key, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter `component/name`, created at zero if absent.
+    pub fn counter(&self, component: &str, name: &str) -> Arc<Counter> {
+        let key = Key::new(component, name);
+        if let Some(c) = self.counters.read().expect("poisoned").get(&key) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("poisoned");
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// The gauge `component/name`, created at `0.0` if absent.
+    pub fn gauge(&self, component: &str, name: &str) -> Arc<Gauge> {
+        let key = Key::new(component, name);
+        if let Some(g) = self.gauges.read().expect("poisoned").get(&key) {
+            return Arc::clone(g);
+        }
+        let mut map = self.gauges.write().expect("poisoned");
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// The histogram `component/name` with [`default_latency_buckets`].
+    pub fn histogram(&self, component: &str, name: &str) -> Arc<Histogram> {
+        self.histogram_with(component, name, &default_latency_buckets())
+    }
+
+    /// The histogram `component/name`, created over `bounds` if absent. An
+    /// existing histogram keeps its original bounds.
+    pub fn histogram_with(&self, component: &str, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let key = Key::new(component, name);
+        if let Some(h) = self.histograms.read().expect("poisoned").get(&key) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("poisoned");
+        Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// A deterministic snapshot of every registered metric, sorted by
+    /// `(component, name)`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("poisoned")
+            .iter()
+            .map(|(k, c)| CounterSnapshot {
+                component: k.component.clone(),
+                name: k.name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("poisoned")
+            .iter()
+            .map(|(k, g)| GaugeSnapshot {
+                component: k.component.clone(),
+                name: k.name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("poisoned")
+            .iter()
+            .map(|(k, h)| h.snap(&k.component, &k.name))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One counter's state in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Owning component label.
+    pub component: String,
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One gauge's state in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Owning component label.
+    pub component: String,
+    /// Metric name.
+    pub name: String,
+    /// Gauge value.
+    pub value: f64,
+}
+
+/// One histogram bucket: observations `≤ le` (non-cumulative counts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Upper bucket edge.
+    pub le: f64,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// One histogram's state in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Owning component label.
+    pub component: String,
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Observations above the last bucket edge.
+    pub overflow: u64,
+    /// Median estimate (upper bucket edge).
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Per-bucket counts.
+    pub buckets: Vec<Bucket>,
+}
+
+/// The full state of a [`Registry`] at one instant.
+///
+/// Serialization is deterministic: entries are sorted by
+/// `(component, name)` and all numeric fields round-trip bit-exactly
+/// through `serde_json` (finite values only).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `component/name`, if present.
+    pub fn counter(&self, component: &str, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.component == component && c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The value of gauge `component/name`, if present.
+    pub fn gauge(&self, component: &str, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.component == component && g.name == name)
+            .map(|g| g.value)
+    }
+
+    /// The histogram `component/name`, if present.
+    pub fn histogram(&self, component: &str, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.component == component && h.name == name)
+    }
+
+    /// Pretty-printed JSON (the form examples print and `results/` files
+    /// store).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// A compact human-readable rendering: one line per metric, histograms
+    /// as `count/sum/p50/p95/p99` with buckets elided. What examples print;
+    /// the full bucket detail stays in [`MetricsSnapshot::to_json`].
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&format!("{}/{} = {}\n", c.component, c.name, c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("{}/{} = {:.6}\n", g.component, g.name, g.value));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "{}/{}: count={} sum={:.6} p50={:.6} p95={:.6} p99={:.6}\n",
+                h.component, h.name, h.count, h.sum, h.p50, h.p95, h.p99
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_saturates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX, "saturates instead of wrapping");
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "stays saturated");
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.set(-1.25);
+        assert_eq!(g.get(), -1.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 0.7, 1.5, 1.6, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - 107.3).abs() < 1e-12);
+        // Cumulative: ≤1 → 2, ≤2 → 4, ≤4 → 5, overflow → 6.
+        assert_eq!(h.quantile(0.5), 2.0, "3rd of 6 lands in the ≤2 bucket");
+        assert_eq!(h.quantile(0.75), 4.0);
+        assert_eq!(h.quantile(1.0), 4.0, "overflow reports last finite edge");
+    }
+
+    #[test]
+    fn histogram_boundary_values_are_inclusive() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        let snap = h.snap("t", "t");
+        assert_eq!(snap.buckets[0].count, 1);
+        assert_eq!(snap.buckets[1].count, 1);
+        assert_eq!(snap.overflow, 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn nan_observations_are_dropped() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn registry_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("core", "epochs");
+        let b = r.counter("core", "epochs");
+        a.inc();
+        assert_eq!(b.get(), 1, "same underlying counter");
+        assert_eq!(r.counter("core", "other").get(), 0, "distinct name");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let r = Registry::new();
+        r.counter("z", "late").inc();
+        r.counter("a", "early").add(2);
+        r.gauge("m", "g").set(1.5);
+        let s1 = r.snapshot();
+        let s2 = r.snapshot();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.counters[0].component, "a");
+        assert_eq!(s1.counters[1].component, "z");
+        assert_eq!(s1.counter("a", "early"), Some(2));
+        assert_eq!(s1.gauge("m", "g"), Some(1.5));
+        assert_eq!(s1.to_json(), s2.to_json());
+    }
+
+    #[test]
+    fn default_latency_buckets_are_ascending() {
+        let b = default_latency_buckets();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!(b[0] <= 1e-6 && *b.last().unwrap() >= 9.9);
+    }
+}

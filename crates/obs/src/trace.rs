@@ -1,0 +1,292 @@
+//! Structured span/event tracing with pluggable sinks.
+//!
+//! Instrumented code talks to a [`Tracer`]; where the records go is the
+//! sink's business: [`NoopSink`] (production default — near-zero cost),
+//! [`MemorySink`] (tests inspect what was emitted), or [`JsonlSink`]
+//! (append-only JSON lines for `results/` post-processing).
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A typed field value attached to an event or span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One trace record: an instantaneous event, or a completed span with its
+/// measured duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Monotone per-tracer sequence number (total order of emission).
+    pub seq: u64,
+    /// Component that emitted the record.
+    pub component: String,
+    /// Event / span name.
+    pub name: String,
+    /// Span duration in microseconds; `None` for instantaneous events.
+    pub duration_us: Option<u64>,
+    /// Attached fields, in attachment order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// Where trace records go. Implementations must tolerate concurrent calls.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one record.
+    fn record(&self, event: TraceEvent);
+    /// Flushes buffered records (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards everything.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// Buffers records in memory; the test-suite sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("poisoned").clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("poisoned"))
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("poisoned").push(event);
+    }
+}
+
+/// Appends one JSON object per record to a file (e.g. under `results/`).
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Opens (creates or truncates) `path` for writing.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: TraceEvent) {
+        let line = serde_json::to_string(&event).expect("trace event serializes");
+        let mut out = self.out.lock().expect("poisoned");
+        // A full disk mid-trace must not take the instrumented system down.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("poisoned").flush();
+    }
+}
+
+/// Cheap-to-clone handle instrumented code emits through.
+#[derive(Clone)]
+pub struct Tracer {
+    sink: Arc<dyn TraceSink>,
+    seq: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::noop()
+    }
+}
+
+impl Tracer {
+    /// A tracer that discards everything.
+    pub fn noop() -> Self {
+        Tracer::new(Arc::new(NoopSink))
+    }
+
+    /// A tracer writing into `sink`.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer {
+            sink,
+            seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Emits an instantaneous event.
+    pub fn event(&self, component: &str, name: &str, fields: Vec<(String, FieldValue)>) {
+        self.sink.record(TraceEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            component: component.to_owned(),
+            name: name.to_owned(),
+            duration_us: None,
+            fields,
+        });
+    }
+
+    /// Opens a span; the record (with measured duration) is emitted when
+    /// the returned guard drops.
+    pub fn span(&self, component: &str, name: &str) -> Span {
+        Span {
+            tracer: self.clone(),
+            component: component.to_owned(),
+            name: name.to_owned(),
+            fields: Vec::new(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+}
+
+/// An open span; emits one [`TraceEvent`] with its duration on drop.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    component: String,
+    name: String,
+    fields: Vec<(String, FieldValue)>,
+    start: Instant,
+}
+
+impl Span {
+    /// Attaches a field to the span's eventual record.
+    pub fn field(&mut self, key: &str, value: impl Into<FieldValue>) {
+        self.fields.push((key.to_owned(), value.into()));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.tracer.sink.record(TraceEvent {
+            seq: self.tracer.seq.fetch_add(1, Ordering::Relaxed),
+            component: std::mem::take(&mut self.component),
+            name: std::mem::take(&mut self.name),
+            duration_us: Some(self.start.elapsed().as_micros().min(u64::MAX as u128) as u64),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_captures_events_in_order() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        tracer.event("core", "first", vec![("k".into(), 7u64.into())]);
+        {
+            let mut span = tracer.span("core", "work");
+            span.field("items", 3usize);
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "first");
+        assert_eq!(events[0].duration_us, None);
+        assert_eq!(events[0].fields[0].1, FieldValue::U64(7));
+        assert_eq!(events[1].name, "work");
+        assert!(events[1].duration_us.is_some());
+        assert!(events[0].seq < events[1].seq);
+        assert!(sink.events().is_empty(), "take drained the buffer");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let dir = std::env::temp_dir().join("crowd_obs_jsonl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        let tracer = Tracer::new(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        tracer.event("wal", "append", vec![("bytes".into(), 128u64.into())]);
+        tracer.event("wal", "fsync", vec![]);
+        tracer.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let ev: TraceEvent = serde_json::from_str(line).unwrap();
+            assert_eq!(ev.component, "wal");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn noop_tracer_is_silent_and_cheap() {
+        let tracer = Tracer::noop();
+        tracer.event("x", "y", vec![]);
+        let _span = tracer.span("x", "z");
+    }
+}

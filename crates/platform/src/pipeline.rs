@@ -16,7 +16,7 @@ use crate::manager::{CrowdManager, ManagerConfig, ManagerError};
 use crowd_core::{TdpmBackend, TdpmConfig};
 use crowd_select::SelectorBackend;
 use crowd_store::{CrowdDb, SharedCrowdDb, TaskId, WorkerId};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -66,6 +66,11 @@ pub struct PipelineConfig {
     /// Reject answers whose text tokenizes to nothing (garbage) and
     /// reassign, instead of persisting them.
     pub reject_garbage: bool,
+    /// Observability handle. The default is a no-op; pass a real
+    /// [`crowd_obs::Obs`] to record lifecycle counters, dispatch→answer
+    /// latency (`platform` component) and trainer/model metrics from the
+    /// TDPM backend the pipeline fits.
+    pub obs: crowd_obs::Obs,
 }
 
 impl Default for PipelineConfig {
@@ -79,6 +84,7 @@ impl Default for PipelineConfig {
             base_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_millis(500),
             reject_garbage: true,
+            obs: crowd_obs::Obs::noop(),
         }
     }
 }
@@ -126,6 +132,66 @@ pub struct Pipeline {
     config: PipelineConfig,
     worker_threads: Vec<JoinHandle<()>>,
     workers: Vec<WorkerId>,
+    metrics: PipelineMetrics,
+}
+
+/// Pre-resolved handles into [`PipelineConfig::obs`] (component
+/// `platform`). The lifecycle counters are *re-exported* from the
+/// per-task [`crate::lifecycle::LifecycleCounters`] and the per-run
+/// [`PipelineReport`] — the state machine stays the single source of
+/// truth; the registry just mirrors its totals.
+struct PipelineMetrics {
+    tasks_submitted: std::sync::Arc<crowd_obs::Counter>,
+    dispatches_delivered: std::sync::Arc<crowd_obs::Counter>,
+    answers_collected: std::sync::Arc<crowd_obs::Counter>,
+    feedback_applied: std::sync::Arc<crowd_obs::Counter>,
+    reassignments: std::sync::Arc<crowd_obs::Counter>,
+    quorum_completions: std::sync::Arc<crowd_obs::Counter>,
+    abandonments: std::sync::Arc<crowd_obs::Counter>,
+    expired_assignments: std::sync::Arc<crowd_obs::Counter>,
+    garbage_answers: std::sync::Arc<crowd_obs::Counter>,
+    late_answers: std::sync::Arc<crowd_obs::Counter>,
+    dispatch_to_answer_seconds: std::sync::Arc<crowd_obs::Histogram>,
+    degraded_epochs: std::sync::Arc<crowd_obs::Gauge>,
+}
+
+impl PipelineMetrics {
+    fn resolve(obs: &crowd_obs::Obs) -> Self {
+        let m = &obs.metrics;
+        PipelineMetrics {
+            tasks_submitted: m.counter("platform", "tasks_submitted"),
+            dispatches_delivered: m.counter("platform", "dispatches_delivered"),
+            answers_collected: m.counter("platform", "answers_collected"),
+            feedback_applied: m.counter("platform", "feedback_applied"),
+            reassignments: m.counter("platform", "reassignments"),
+            quorum_completions: m.counter("platform", "quorum_completions"),
+            abandonments: m.counter("platform", "abandonments"),
+            expired_assignments: m.counter("platform", "expired_assignments"),
+            garbage_answers: m.counter("platform", "garbage_answers"),
+            late_answers: m.counter("platform", "late_answers"),
+            dispatch_to_answer_seconds: m.histogram("platform", "dispatch_to_answer_seconds"),
+            degraded_epochs: m.gauge("platform", "degraded_epochs"),
+        }
+    }
+
+    /// Mirrors one run's report into the registry (counters take deltas,
+    /// the degraded-epochs gauge tracks the manager's running total).
+    fn record_run(&self, report: &PipelineReport) {
+        self.tasks_submitted.add(report.tasks_submitted as u64);
+        self.dispatches_delivered
+            .add(report.dispatches_delivered as u64);
+        self.answers_collected.add(report.answers_collected as u64);
+        self.feedback_applied.add(report.feedback_applied as u64);
+        self.reassignments.add(report.reassignments as u64);
+        self.quorum_completions
+            .add(report.quorum_completions as u64);
+        self.abandonments.add(report.abandonments as u64);
+        self.expired_assignments
+            .add(report.expired_assignments as u64);
+        self.garbage_answers.add(report.garbage_answers as u64);
+        self.late_answers.add(report.late_answers as u64);
+        self.degraded_epochs.set(report.degraded_epochs as f64);
+    }
 }
 
 impl Pipeline {
@@ -136,7 +202,8 @@ impl Pipeline {
         config: PipelineConfig,
         answer_fn: Arc<AnswerFn>,
     ) -> Result<Self, ManagerError> {
-        let backend = Box::new(TdpmBackend::with_config(config.tdpm.clone()));
+        let backend =
+            Box::new(TdpmBackend::with_config(config.tdpm.clone()).with_obs(config.obs.clone()));
         Pipeline::start_with_backend(db, config, answer_fn, backend)
     }
 
@@ -210,6 +277,7 @@ impl Pipeline {
             }));
         }
 
+        let metrics = PipelineMetrics::resolve(&config.obs);
         Ok(Pipeline {
             manager,
             dispatcher,
@@ -217,6 +285,7 @@ impl Pipeline {
             config,
             worker_threads,
             workers,
+            metrics,
         })
     }
 
@@ -259,12 +328,16 @@ impl Pipeline {
 
             // Initial dispatch wave: the assigned top-k.
             let mut queue: VecDeque<(Instant, WorkerId)> = VecDeque::new();
+            // When each active assignment was delivered, for the
+            // dispatch→answer latency histogram (reassignment overwrites).
+            let mut dispatched_at: HashMap<WorkerId, Instant> = HashMap::new();
             let now = Instant::now();
             for r in &submission.selected {
                 match self.dispatcher.dispatch(r.worker, dispatch.clone()) {
                     DispatchOutcome::Delivered => {
                         report.dispatches_delivered += 1;
                         lifecycle.activate_initial(r.worker, now);
+                        dispatched_at.insert(r.worker, now);
                     }
                     outcome => {
                         self.note_undeliverable(r.worker, outcome, &mut report);
@@ -291,6 +364,7 @@ impl Pipeline {
                         DispatchOutcome::Delivered => {
                             report.dispatches_delivered += 1;
                             lifecycle.activate_reassigned(worker, now);
+                            dispatched_at.insert(worker, now);
                         }
                         outcome => {
                             self.note_undeliverable(worker, outcome, &mut report);
@@ -302,7 +376,14 @@ impl Pipeline {
 
                 // Attribute incoming answers to their assignments.
                 while let Some(event) = self.collector.try_recv_answer() {
-                    self.handle_answer(event, task, &mut lifecycle, &mut queue, &mut report);
+                    self.handle_answer(
+                        event,
+                        task,
+                        &mut lifecycle,
+                        &mut queue,
+                        &dispatched_at,
+                        &mut report,
+                    );
                 }
 
                 // Expire overdue assignments.
@@ -361,6 +442,17 @@ impl Pipeline {
                 .record_answer(event.worker, event.task, &event.text);
         }
         report.degraded_epochs = self.manager.degraded_epochs();
+        self.metrics.record_run(&report);
+        self.config.obs.tracer.event(
+            "platform",
+            "run",
+            vec![
+                ("tasks".to_owned(), report.tasks_submitted.into()),
+                ("answers".to_owned(), report.answers_collected.into()),
+                ("reassignments".to_owned(), report.reassignments.into()),
+                ("abandonments".to_owned(), report.abandonments.into()),
+            ],
+        );
         report
     }
 
@@ -372,6 +464,7 @@ impl Pipeline {
         task: TaskId,
         lifecycle: &mut TaskLifecycle,
         queue: &mut VecDeque<(Instant, WorkerId)>,
+        dispatched_at: &HashMap<WorkerId, Instant>,
         report: &mut PipelineReport,
     ) {
         let now = Instant::now();
@@ -398,6 +491,11 @@ impl Pipeline {
             Ok(()) => {
                 report.answers_collected += 1;
                 lifecycle.on_valid_answer(event.worker);
+                if let Some(&sent) = dispatched_at.get(&event.worker) {
+                    self.metrics
+                        .dispatch_to_answer_seconds
+                        .observe_duration(now.duration_since(sent));
+                }
             }
             Err(_) => {
                 // The store refused the answer (e.g. assignment lost to a

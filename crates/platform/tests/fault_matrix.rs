@@ -99,6 +99,7 @@ fn fault_config() -> PipelineConfig {
         base_backoff: Duration::from_millis(1),
         max_backoff: Duration::from_millis(4),
         reject_garbage: true,
+        ..PipelineConfig::default()
     }
 }
 

@@ -89,6 +89,7 @@ pub struct QueryEngine {
     baseline_categories: usize,
     seed: u64,
     epoch: u64,
+    obs: crowd_obs::Obs,
 }
 
 impl QueryEngine {
@@ -123,7 +124,20 @@ impl QueryEngine {
             baseline_categories: 10,
             seed: 42,
             epoch: 0,
+            obs: crowd_obs::Obs::noop(),
         }
+    }
+
+    /// Attaches an observability handle. `SELECT WORKERS` latency is
+    /// recorded per backend under the `query` component
+    /// (`select_seconds_<backend>`), `TRAIN MODEL` under `train_seconds`,
+    /// and — for logged engines — the WAL timings under `wal` (see
+    /// [`LoggedDb::set_obs`]).
+    pub fn set_obs(&mut self, obs: crowd_obs::Obs) {
+        if let Storage::Logged(logged) = &mut self.storage {
+            logged.set_obs(&obs);
+        }
+        self.obs = obs;
     }
 
     /// The underlying database.
@@ -195,6 +209,7 @@ impl QueryEngine {
     }
 
     fn train(&mut self, categories: usize) -> Result<QueryOutput, QueryError> {
+        let started = std::time::Instant::now();
         self.epoch += 1;
         let fitted = self
             .registry
@@ -202,6 +217,10 @@ impl QueryEngine {
             .with_epoch(self.epoch);
         let diag = fitted.diagnostics().clone();
         self.fitted.insert("tdpm".into(), fitted);
+        self.obs
+            .metrics
+            .histogram("query", "train_seconds")
+            .observe_duration(started.elapsed());
         Ok(QueryOutput::Trained {
             iterations: diag.iterations,
             elbo: diag.objective().unwrap_or(f64::NAN),
@@ -241,6 +260,7 @@ impl QueryEngine {
         backend: &BackendName,
         min_group: Option<usize>,
     ) -> Result<QueryOutput, QueryError> {
+        let started = std::time::Instant::now();
         let tokens = tokenize_filtered(text);
         let bow = BagOfWords::from_known_tokens(&tokens, self.db().vocab());
 
@@ -262,6 +282,12 @@ impl QueryEngine {
             .resolve_fitted(backend)?
             .selector()
             .select(&bow, &candidates, limit);
+        // Per-backend latency: one histogram per backend name keeps the
+        // snapshot self-describing (no label dimension in the registry).
+        let m = &self.obs.metrics;
+        m.counter("query", "selects").inc();
+        m.histogram("query", &format!("select_seconds_{}", backend.as_str()))
+            .observe_duration(started.elapsed());
 
         let rows = ranked
             .into_iter()

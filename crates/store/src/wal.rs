@@ -389,6 +389,32 @@ pub struct LoggedDb {
     options: WalOptions,
     ops_since_compact: usize,
     recovery: RecoveryReport,
+    metrics: WalMetrics,
+}
+
+/// Pre-resolved metric handles so the append hot path never touches the
+/// registry lock (component `wal`).
+struct WalMetrics {
+    records_appended: std::sync::Arc<crowd_obs::Counter>,
+    append_seconds: std::sync::Arc<crowd_obs::Histogram>,
+    fsync_seconds: std::sync::Arc<crowd_obs::Histogram>,
+    compactions: std::sync::Arc<crowd_obs::Counter>,
+    compaction_seconds: std::sync::Arc<crowd_obs::Histogram>,
+    recovery_skipped: std::sync::Arc<crowd_obs::Counter>,
+}
+
+impl WalMetrics {
+    fn resolve(obs: &crowd_obs::Obs) -> Self {
+        let m = &obs.metrics;
+        WalMetrics {
+            records_appended: m.counter("wal", "records_appended"),
+            append_seconds: m.histogram("wal", "append_seconds"),
+            fsync_seconds: m.histogram("wal", "fsync_seconds"),
+            compactions: m.counter("wal", "compactions"),
+            compaction_seconds: m.histogram("wal", "compaction_seconds"),
+            recovery_skipped: m.counter("wal", "recovery_skipped"),
+        }
+    }
 }
 
 impl LoggedDb {
@@ -417,12 +443,31 @@ impl LoggedDb {
             options,
             ops_since_compact: 0,
             recovery,
+            metrics: WalMetrics::resolve(&crowd_obs::Obs::noop()),
         })
+    }
+
+    /// Attaches an observability handle. Append/fsync/compaction timings
+    /// and record counts are recorded under the `wal` component from here
+    /// on. The recovery skip count from the opening [`recover`] pass is
+    /// exported once, at attach time (recovery runs before any handle can
+    /// exist) — attach at most one `Obs` per open to avoid double counts.
+    pub fn set_obs(&mut self, obs: &crowd_obs::Obs) {
+        self.metrics = WalMetrics::resolve(obs);
+        self.metrics
+            .recovery_skipped
+            .add(self.recovery.skipped.len() as u64);
     }
 
     /// Read access to the database.
     pub fn db(&self) -> &CrowdDb {
         &self.db
+    }
+
+    /// Consumes the handle, returning the in-memory database (the log file
+    /// stays on disk; reopen it later to continue appending).
+    pub fn into_db(self) -> CrowdDb {
+        self.db
     }
 
     /// What the opening recovery pass found (skips, torn tail).
@@ -491,9 +536,14 @@ impl LoggedDb {
 
     /// Flushes buffered log entries to the OS.
     pub fn flush(&mut self) -> Result<()> {
+        let started = std::time::Instant::now();
         self.log
             .flush()
-            .map_err(|e| StoreError::Snapshot(e.to_string()))
+            .map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        self.metrics
+            .fsync_seconds
+            .observe_duration(started.elapsed());
+        Ok(())
     }
 
     /// Rewrites the log keeping only live records: every `AddWorker` /
@@ -505,6 +555,7 @@ impl LoggedDb {
     /// The rewrite goes through a temp file and an atomic rename, so a
     /// crash mid-compaction leaves either the old or the new log intact.
     pub fn compact(&mut self) -> Result<CompactionStats> {
+        let started = std::time::Instant::now();
         self.flush()?;
         // Byte-oriented for the same reason as `recover`: a record that is
         // not valid UTF-8 is dead weight to drop, not a fatal read error.
@@ -541,6 +592,10 @@ impl LoggedDb {
             .map_err(|e| StoreError::Snapshot(e.to_string()))?;
         self.log = BufWriter::new(file);
         self.ops_since_compact = 0;
+        self.metrics.compactions.inc();
+        self.metrics
+            .compaction_seconds
+            .observe_duration(started.elapsed());
         Ok(CompactionStats { before, after })
     }
 
@@ -552,12 +607,17 @@ impl LoggedDb {
     }
 
     fn append(&mut self, op: &Op) -> Result<()> {
+        let started = std::time::Instant::now();
         let line = encode_record(op);
         self.log
             .write_all(line.as_bytes())
             .and_then(|()| self.log.write_all(b"\n"))
-            .and_then(|()| self.log.flush())
             .map_err(|e| StoreError::Snapshot(e.to_string()))?;
+        self.metrics
+            .append_seconds
+            .observe_duration(started.elapsed());
+        self.flush()?;
+        self.metrics.records_appended.inc();
         self.ops_since_compact += 1;
         if let Some(every) = self.options.compact_every {
             if self.ops_since_compact >= every {

@@ -5,16 +5,32 @@
 //! cargo run --release --example live_platform
 //! ```
 
+use crowdselect::obs::{JsonlSink, Registry, Tracer};
 use crowdselect::platform::{Pipeline, PipelineConfig};
 use crowdselect::prelude::*;
+use crowdselect::store::LoggedDb;
 use std::sync::Arc;
 
 fn main() {
-    // Seed the crowd database with history for three specialists.
-    let mut db = CrowdDb::new();
-    let dba = db.add_worker("dba");
-    let stat = db.add_worker("statistician");
-    let web = db.add_worker("webdev");
+    // One shared observability handle: every layer below (WAL, trainer,
+    // model, pipeline) records into the same registry, and trace events
+    // stream to results/live_platform_trace.jsonl.
+    let _ = std::fs::create_dir_all("results");
+    let tracer = match JsonlSink::create("results/live_platform_trace.jsonl") {
+        Ok(sink) => Tracer::new(Arc::new(sink)),
+        Err(_) => Tracer::noop(),
+    };
+    let obs = Obs::new(Arc::new(Registry::new()), tracer);
+
+    // Seed the crowd database with history for three specialists — through
+    // the write-ahead log, so the snapshot below includes WAL timings.
+    let wal_path = std::env::temp_dir().join(format!("live_platform_{}.wal", std::process::id()));
+    std::fs::remove_file(&wal_path).ok();
+    let mut logged = LoggedDb::open(&wal_path).expect("temp WAL");
+    logged.set_obs(&obs);
+    let dba = logged.add_worker("dba").unwrap();
+    let stat = logged.add_worker("statistician").unwrap();
+    let web = logged.add_worker("webdev").unwrap();
     let history: &[(&str, WorkerId)] = &[
         ("btree page split buffer pool checkpoint", dba),
         ("btree index clustered range scan", dba),
@@ -27,13 +43,16 @@ fn main() {
         ("css grid template responsive layout", web),
     ];
     for &(text, expert) in history {
-        let t = db.add_task(text);
+        let t = logged.add_task(text).unwrap();
         for &w in &[dba, stat, web] {
-            db.assign(w, t).unwrap();
+            logged.assign(w, t).unwrap();
             let score = if w == expert { 4.0 } else { 0.5 };
-            db.record_feedback(w, t, score).unwrap();
+            logged.record_feedback(w, t, score).unwrap();
         }
     }
+    logged.checkpoint().expect("compaction");
+    let db = logged.into_db();
+    std::fs::remove_file(&wal_path).ok();
 
     // Start the pipeline: trains the model and spawns one thread per worker.
     let config = PipelineConfig {
@@ -44,6 +63,7 @@ fn main() {
             seed: 5,
             ..TdpmConfig::default()
         },
+        obs: obs.clone(),
         ..PipelineConfig::default()
     };
     let answer_fn = Arc::new(|w: WorkerId, d: &crowdselect::platform::events::Dispatch| {
@@ -110,4 +130,14 @@ fn main() {
         "\n{correct}/{} live questions reached the right specialist",
         texts.len()
     );
+
+    // Everything the run recorded, in one deterministic-ordered snapshot:
+    // WAL append/compaction timings, trainer epoch timings and ELBO,
+    // projection latency percentiles, and the pipeline lifecycle counters.
+    let snapshot: MetricsSnapshot = obs.snapshot();
+    println!("\nmetrics snapshot:\n{}", snapshot.summary());
+    if std::fs::write("results/live_platform_metrics.json", snapshot.to_json()).is_ok() {
+        println!("full snapshot written to results/live_platform_metrics.json");
+    }
+    obs.tracer.flush();
 }

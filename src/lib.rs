@@ -11,6 +11,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`math`] | `crowd-math` | dense linear algebra, optimizers, special functions |
+//! | [`obs`] | `crowd-obs` | metrics registry, tracing facade, [`obs::MetricsSnapshot`] |
 //! | [`text`] | `crowd-text` | tokenizer, vocabulary, bags of words, similarities |
 //! | [`store`] | `crowd-store` | the crowdsourcing database (tasks/workers/assignments/feedback) |
 //! | [`select`] | `crowd-select` | the backend-agnostic selection layer: [`select::CrowdSelector`], [`select::SelectorRegistry`], ranking primitives |
@@ -94,6 +95,7 @@ pub use crowd_baselines as baselines;
 pub use crowd_core as model;
 pub use crowd_eval as eval;
 pub use crowd_math as math;
+pub use crowd_obs as obs;
 pub use crowd_platform as platform;
 pub use crowd_query as query;
 pub use crowd_select as select;
@@ -107,6 +109,7 @@ pub mod prelude {
         standard_registry, DrmSelector, TdpmSelector, TspmSelector, VsmSelector,
     };
     pub use crowd_core::{TaskProjection, TdpmConfig, TdpmModel, TdpmTrainer};
+    pub use crowd_obs::{MetricsSnapshot, Obs};
     pub use crowd_platform::{CrowdManager, ManagerConfig, Pipeline, PipelineConfig};
     pub use crowd_query::QueryEngine;
     pub use crowd_select::{

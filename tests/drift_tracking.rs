@@ -46,6 +46,10 @@ fn incremental_updates_track_skill_drift_better_than_a_frozen_model() {
         num_categories: 3,
         max_em_iters: 25,
         seed: 5,
+        // Skills are about to drift: discount stale evidence geometrically
+        // (effective memory ≈ 1/(1−ρ) ≈ 33 observations) so the incremental
+        // posterior re-centers on the phase-2 feedback.
+        feedback_forgetting: 0.97,
         ..TdpmConfig::default()
     };
     let (frozen, _) = TdpmTrainer::new(fit_cfg.clone())

@@ -1,0 +1,205 @@
+//! Integration: one shared [`Obs`] handle threaded through the WAL, the
+//! trainer, the model, the pipeline and the query engine records non-zero
+//! metrics for every layer, and the countable fields are deterministic
+//! per seed.
+
+use crowdselect::obs::{MemorySink, MetricsSnapshot, Registry, Tracer};
+use crowdselect::platform::{Pipeline, PipelineConfig};
+use crowdselect::prelude::*;
+use crowdselect::store::LoggedDb;
+use std::sync::Arc;
+use std::time::Duration;
+
+const STREAM: [&str; 3] = [
+    "btree page buffer question",
+    "gaussian variance question",
+    "btree index split question",
+];
+
+/// Seeds history through a WAL, runs the pipeline over [`STREAM`], and
+/// returns the shared snapshot plus the recorded trace events.
+fn observed_run(seed: u64) -> (MetricsSnapshot, Vec<crowdselect::obs::TraceEvent>) {
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::new(Arc::new(Registry::new()), Tracer::new(sink.clone()));
+
+    static RUN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!("crowd-obs-int-{}-{run}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut logged = LoggedDb::open(&path).unwrap();
+    logged.set_obs(&obs);
+    let dba = logged.add_worker("dba").unwrap();
+    let stat = logged.add_worker("stat").unwrap();
+    for i in 0..8 {
+        let (text, good, bad) = if i % 2 == 0 {
+            ("btree page split index buffer disk", dba, stat)
+        } else {
+            ("gaussian prior posterior likelihood variance", stat, dba)
+        };
+        let t = logged.add_task(text).unwrap();
+        logged.assign(good, t).unwrap();
+        logged.assign(bad, t).unwrap();
+        logged.record_feedback(good, t, 4.0).unwrap();
+        logged.record_feedback(bad, t, 0.5).unwrap();
+    }
+    let db = logged.into_db();
+    let _ = std::fs::remove_file(&path);
+
+    let config = PipelineConfig {
+        top_k: 1,
+        tdpm: TdpmConfig {
+            num_categories: 2,
+            max_em_iters: 15,
+            seed,
+            ..TdpmConfig::default()
+        },
+        answer_timeout: Duration::from_secs(5),
+        obs: obs.clone(),
+        ..PipelineConfig::default()
+    };
+    let answer_fn = Arc::new(|w: WorkerId, d: &crowdselect::platform::events::Dispatch| {
+        format!("answer to {} from {w}", d.task)
+    });
+    let pipeline = Pipeline::start(db, config, answer_fn).unwrap();
+    let report = pipeline.run(&STREAM, &|_, _, _| 1.0);
+    assert_eq!(report.tasks_submitted, STREAM.len());
+    pipeline.shutdown();
+    (obs.snapshot(), sink.take())
+}
+
+#[test]
+fn pipeline_run_records_every_layer() {
+    let (snap, events) = observed_run(7);
+
+    // Platform lifecycle counters mirror the run (top_k = 1, everyone
+    // answers): 3 dispatches, 3 answers, 3 feedback applications.
+    let n = STREAM.len() as u64;
+    assert_eq!(snap.counter("platform", "tasks_submitted"), Some(n));
+    assert_eq!(snap.counter("platform", "dispatches_delivered"), Some(n));
+    assert_eq!(snap.counter("platform", "answers_collected"), Some(n));
+    assert_eq!(snap.counter("platform", "feedback_applied"), Some(n));
+    assert_eq!(snap.counter("platform", "abandonments"), Some(0));
+    assert_eq!(snap.gauge("platform", "degraded_epochs"), Some(0.0));
+
+    // Dispatch→answer latency: one observation per accepted answer.
+    let latency = snap
+        .histogram("platform", "dispatch_to_answer_seconds")
+        .expect("latency histogram present");
+    assert_eq!(latency.count, n);
+    assert!(latency.sum > 0.0, "answers cannot arrive in zero time");
+
+    // Trainer: one fit, at least one epoch, each epoch timed, ELBO finite.
+    assert_eq!(snap.counter("trainer", "fits"), Some(1));
+    let epochs = snap.counter("trainer", "epochs").expect("epoch counter");
+    assert!(epochs >= 1);
+    for phase in [
+        "estep_task_seconds",
+        "estep_worker_seconds",
+        "mstep_seconds",
+    ] {
+        let h = snap.histogram("trainer", phase).expect("phase histogram");
+        assert_eq!(h.count, epochs, "{phase} observed once per epoch");
+    }
+    let elbo = snap.gauge("trainer", "elbo").expect("elbo gauge");
+    assert!(elbo.is_finite() && elbo < 0.0, "log-evidence bound: {elbo}");
+
+    // Model: each submitted task is projected (Algorithm 3 latency), and
+    // each feedback score triggers an incremental posterior update.
+    let projections = snap.counter("model", "projections").expect("projections");
+    assert!(projections >= n, "at least one projection per stream task");
+    assert_eq!(snap.counter("model", "incremental_updates"), Some(n));
+    let proj = snap
+        .histogram("model", "projection_seconds")
+        .expect("projection latency");
+    assert_eq!(proj.count, projections);
+
+    // WAL: the seeding history went through the log. 2 workers + 8 tasks +
+    // 16 assigns + 16 feedback scores = 42 appended records.
+    assert_eq!(snap.counter("wal", "records_appended"), Some(42));
+    assert_eq!(snap.counter("wal", "recovery_skipped"), Some(0));
+    let append = snap.histogram("wal", "append_seconds").expect("wal timing");
+    assert_eq!(append.count, 42);
+
+    // Tracing: per-epoch trainer events and one pipeline run event.
+    let epoch_events = events
+        .iter()
+        .filter(|e| e.component == "trainer" && e.name == "epoch")
+        .count() as u64;
+    assert_eq!(epoch_events, epochs);
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.component == "platform" && e.name == "run")
+            .count(),
+        1
+    );
+
+    // The snapshot round-trips through its JSON form.
+    let back: MetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn countable_metrics_are_deterministic_per_seed() {
+    let (a, _) = observed_run(42);
+    let (b, _) = observed_run(42);
+
+    // Wall-clock sums differ run to run; everything countable must not.
+    assert_eq!(a.counters, b.counters, "counters are seed-deterministic");
+    let counts = |s: &MetricsSnapshot| {
+        s.histograms
+            .iter()
+            .map(|h| (h.component.clone(), h.name.clone(), h.count))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(counts(&a), counts(&b), "observation counts match");
+}
+
+#[test]
+fn query_engine_records_selection_latency_by_backend() {
+    let obs = Obs::new(Arc::new(Registry::new()), Tracer::noop());
+    let mut engine = QueryEngine::new();
+    engine.set_obs(obs.clone());
+
+    engine.run("INSERT WORKER 'dba'").unwrap();
+    engine.run("INSERT WORKER 'stat'").unwrap();
+    let tasks = [
+        ("btree page split index buffer disk", 0, 1),
+        ("gaussian prior posterior likelihood variance", 1, 0),
+        ("btree range scan clustered index", 0, 1),
+        ("variational bayes gaussian inference", 1, 0),
+    ];
+    for (i, (text, good, bad)) in tasks.iter().enumerate() {
+        engine.run(&format!("INSERT TASK '{text}'")).unwrap();
+        engine
+            .run(&format!("ASSIGN WORKER {good} TO TASK {i}"))
+            .unwrap();
+        engine
+            .run(&format!("ASSIGN WORKER {bad} TO TASK {i}"))
+            .unwrap();
+        engine
+            .run(&format!("FEEDBACK WORKER {good} ON TASK {i} SCORE 4"))
+            .unwrap();
+        engine
+            .run(&format!("FEEDBACK WORKER {bad} ON TASK {i} SCORE 0.5"))
+            .unwrap();
+    }
+    engine.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+    engine
+        .run("SELECT WORKERS FOR TASK 'btree index buffer' LIMIT 1")
+        .unwrap();
+    engine
+        .run("SELECT WORKERS FOR TASK 'btree index buffer' LIMIT 1 USING vsm")
+        .unwrap();
+
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("query", "selects"), Some(2));
+    let train = snap.histogram("query", "train_seconds").expect("train");
+    assert_eq!(train.count, 1);
+    for backend in ["tdpm", "vsm"] {
+        let h = snap
+            .histogram("query", &format!("select_seconds_{backend}"))
+            .unwrap_or_else(|| panic!("missing select_seconds_{backend}"));
+        assert_eq!(h.count, 1, "{backend} timed once");
+    }
+}
