@@ -25,4 +25,8 @@ for seed in 17 42 99; do
     run env FAULT_SEED="$seed" cargo test -q -p crowd-platform --test fault_matrix
 done
 
+# Bench smoke: the dense serving path must beat the serial baseline by the
+# gate in results/BENCH_4.json (see crates/bench/src/bin/selection_smoke.rs).
+run cargo run --release -p crowd-bench --bin selection_smoke
+
 echo "==> ci.sh: all green"

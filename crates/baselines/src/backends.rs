@@ -12,7 +12,8 @@ use crate::tspm::TspmSelector;
 use crate::vsm::VsmSelector;
 use crowd_core::backend::TdpmBackend;
 use crowd_select::{
-    FitDiagnostics, FitOptions, FitOutcome, SelectError, SelectorBackend, SelectorRegistry,
+    DbMutation, FitDiagnostics, FitOptions, FitOutcome, SelectError, SelectorBackend,
+    SelectorRegistry,
 };
 use crowd_store::CrowdDb;
 
@@ -43,6 +44,12 @@ impl SelectorBackend for VsmBackend {
         "vsm"
     }
 
+    /// VSM profiles are unions of *assigned task content* — feedback scores
+    /// and answers never enter the fit, so those writes keep the snapshot.
+    fn invalidated_by(&self, mutation: DbMutation) -> bool {
+        !matches!(mutation, DbMutation::Feedback | DbMutation::Answer)
+    }
+
     fn fit(&self, db: &CrowdDb, _opts: &FitOptions) -> Result<FitOutcome, SelectError> {
         Ok(FitOutcome::new(
             Box::new(VsmSelector::fit(db)),
@@ -58,6 +65,12 @@ pub struct DrmBackend;
 impl SelectorBackend for DrmBackend {
     fn name(&self) -> &'static str {
         "drm"
+    }
+
+    /// DRM fits on *resolved* tasks, so feedback (which resolves tasks)
+    /// invalidates the snapshot; recorded answer text is never read.
+    fn invalidated_by(&self, mutation: DbMutation) -> bool {
+        !matches!(mutation, DbMutation::Answer)
     }
 
     fn fit(&self, db: &CrowdDb, opts: &FitOptions) -> Result<FitOutcome, SelectError> {
@@ -78,6 +91,12 @@ pub struct TspmBackend;
 impl SelectorBackend for TspmBackend {
     fn name(&self) -> &'static str {
         "tspm"
+    }
+
+    /// Same dependence as DRM: resolved tasks (feedback matters), answer
+    /// text does not.
+    fn invalidated_by(&self, mutation: DbMutation) -> bool {
+        !matches!(mutation, DbMutation::Answer)
     }
 
     fn fit(&self, db: &CrowdDb, opts: &FitOptions) -> Result<FitOutcome, SelectError> {
@@ -165,6 +184,71 @@ mod tests {
                 "{msg}"
             );
             assert!(msg.contains(name), "{msg}");
+        }
+    }
+
+    #[test]
+    fn backend_invalidation_matches_fit_dependencies() {
+        use DbMutation::*;
+        let all = [WorkerAdded, TaskAdded, Assigned, Feedback, Answer];
+        for m in all {
+            assert_eq!(
+                VsmBackend.invalidated_by(m),
+                !matches!(m, Feedback | Answer),
+                "vsm on {m:?}"
+            );
+            assert_eq!(
+                DrmBackend.invalidated_by(m),
+                !matches!(m, Answer),
+                "drm on {m:?}"
+            );
+            assert_eq!(
+                TspmBackend.invalidated_by(m),
+                !matches!(m, Answer),
+                "tspm on {m:?}"
+            );
+            assert!(TdpmBackend::new().invalidated_by(m), "tdpm on {m:?}");
+        }
+    }
+
+    #[test]
+    fn batched_selection_matches_serial_for_every_backend() {
+        use crowd_select::BatchQuery;
+        let (mut db, workers) = specialist_db();
+        let r = standard_registry();
+        let bows = [
+            BagOfWords::from_tokens(&tokenize_filtered("btree index page"), db.vocab_mut()),
+            BagOfWords::from_tokens(&tokenize_filtered("posterior gaussian"), db.vocab_mut()),
+        ];
+        let queries: Vec<BatchQuery<'_>> = bows
+            .iter()
+            .enumerate()
+            .map(|(i, bow)| BatchQuery {
+                bow,
+                candidates: &workers,
+                task: if i == 0 {
+                    Some(crowd_store::TaskId(0))
+                } else {
+                    None
+                },
+            })
+            .collect();
+        for name in ["vsm", "drm", "tspm"] {
+            let fitted = r.fit(name, &db, &FitOptions::with(2, 1)).unwrap();
+            let batch = fitted.select_batch(&queries, 2);
+            assert_eq!(batch.len(), 2, "{name}");
+            for (q, got) in queries.iter().zip(&batch) {
+                let mut want = match q.task {
+                    Some(t) => fitted.selector().rank_trained(t, q.bow, q.candidates),
+                    None => fitted.selector().rank(q.bow, q.candidates),
+                };
+                want.truncate(2);
+                assert_eq!(got.len(), want.len(), "{name}");
+                for (a, b) in got.iter().zip(&want) {
+                    assert_eq!(a.worker, b.worker, "{name}");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "{name}");
+                }
+            }
         }
     }
 

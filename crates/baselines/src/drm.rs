@@ -7,7 +7,7 @@
 
 use crate::plsa::{Doc, Plsa, PlsaConfig};
 use crate::selector::CrowdSelector;
-use crowd_select::{top_k, RankedWorker};
+use crowd_select::{shared_candidate_runs, top_k, BatchQuery, RankedWorker};
 use crowd_store::{CrowdDb, TaskId, WorkerId};
 use crowd_text::BagOfWords;
 use std::collections::HashMap;
@@ -93,6 +93,40 @@ impl CrowdSelector for DrmSelector {
             Some(c) => self.rank_against(c, candidates),
             None => self.rank(bow, candidates),
         }
+    }
+
+    /// Batched selection over the dense profile table: the candidate →
+    /// profile resolution is paid once per run of queries sharing a pool;
+    /// only the per-query PLSA fold-in (skipped entirely for trained tasks)
+    /// remains per query.
+    fn select_batch(&self, queries: &[BatchQuery<'_>], k: usize) -> Vec<Vec<RankedWorker>> {
+        let mut out = Vec::with_capacity(queries.len());
+        for run in shared_candidate_runs(queries) {
+            let resolved: Vec<(WorkerId, Option<&[f64]>)> = run[0]
+                .candidates
+                .iter()
+                .map(|&w| (w, self.profiles.get(&w).map(Vec::as_slice)))
+                .collect();
+            for q in run {
+                let folded;
+                let c: &[f64] = match q.task.and_then(|t| self.trained_tasks.get(&t)) {
+                    Some(c) => c,
+                    None => {
+                        let doc: Doc = q.bow.iter().map(|(t, c)| (t.index(), c)).collect();
+                        folded = self.plsa.fold_in(&doc, FOLD_IN_ITERS);
+                        &folded
+                    }
+                };
+                let scored = resolved.iter().map(|&(w, p)| {
+                    let score = p
+                        .map(|p| p.iter().zip(c).map(|(a, b)| a * b).sum())
+                        .unwrap_or(0.0);
+                    (w, score)
+                });
+                out.push(top_k(scored, k));
+            }
+        }
+        out
     }
 }
 

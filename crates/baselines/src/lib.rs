@@ -32,7 +32,7 @@ pub use backends::{standard_registry, DrmBackend, TspmBackend, VsmBackend};
 pub use drm::DrmSelector;
 pub use lda::Lda;
 pub use plsa::Plsa;
-pub use selector::CrowdSelector;
+pub use selector::{BatchQuery, CrowdSelector};
 pub use tdpm::TdpmSelector;
 pub use tspm::TspmSelector;
 pub use vsm::VsmSelector;

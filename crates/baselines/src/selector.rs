@@ -4,4 +4,4 @@
 //! this module re-exports it under its historical path so downstream code
 //! (and the paper-shaped evaluation harness) keeps compiling unchanged.
 
-pub use crowd_select::CrowdSelector;
+pub use crowd_select::{BatchQuery, CrowdSelector};

@@ -7,7 +7,7 @@
 use crate::drm::worker_profiles;
 use crate::lda::{Doc, Lda, LdaConfig};
 use crate::selector::CrowdSelector;
-use crowd_select::{top_k, RankedWorker};
+use crowd_select::{shared_candidate_runs, top_k, BatchQuery, RankedWorker};
 use crowd_store::{CrowdDb, TaskId, WorkerId};
 use crowd_text::BagOfWords;
 use std::collections::HashMap;
@@ -93,6 +93,38 @@ impl CrowdSelector for TspmSelector {
             Some(c) => self.rank_against(c, candidates),
             None => self.rank(bow, candidates),
         }
+    }
+
+    /// Batched selection over the dense profile table — same amortization as
+    /// DRM's, with LDA inference (skipped for trained tasks) per query.
+    fn select_batch(&self, queries: &[BatchQuery<'_>], k: usize) -> Vec<Vec<RankedWorker>> {
+        let mut out = Vec::with_capacity(queries.len());
+        for run in shared_candidate_runs(queries) {
+            let resolved: Vec<(WorkerId, Option<&[f64]>)> = run[0]
+                .candidates
+                .iter()
+                .map(|&w| (w, self.profiles.get(&w).map(Vec::as_slice)))
+                .collect();
+            for q in run {
+                let inferred;
+                let c: &[f64] = match q.task.and_then(|t| self.trained_tasks.get(&t)) {
+                    Some(c) => c,
+                    None => {
+                        let doc: Doc = q.bow.iter().map(|(t, c)| (t.index(), c)).collect();
+                        inferred = self.lda.infer(&doc, INFER_ITERS);
+                        &inferred
+                    }
+                };
+                let scored = resolved.iter().map(|&(w, p)| {
+                    let score = p
+                        .map(|p| p.iter().zip(c).map(|(a, b)| a * b).sum())
+                        .unwrap_or(0.0);
+                    (w, score)
+                });
+                out.push(top_k(scored, k));
+            }
+        }
+        out
     }
 }
 

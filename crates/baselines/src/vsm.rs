@@ -1,7 +1,7 @@
 //! The Vector Space Model baseline (paper Section 7.2.1).
 
 use crate::selector::CrowdSelector;
-use crowd_select::{top_k, RankedWorker};
+use crowd_select::{shared_candidate_runs, top_k, BatchQuery, RankedWorker};
 use crowd_store::{CrowdDb, WorkerId};
 use crowd_text::similarity::cosine;
 use crowd_text::BagOfWords;
@@ -54,6 +54,27 @@ impl CrowdSelector for VsmSelector {
             (w, score)
         });
         top_k(scored, candidates.len())
+    }
+
+    /// Batched selection over the dense score table: candidate profiles are
+    /// resolved once per run of queries sharing a pool, so each query is a
+    /// straight walk over `(worker, profile)` pairs instead of a hash walk.
+    fn select_batch(&self, queries: &[BatchQuery<'_>], k: usize) -> Vec<Vec<RankedWorker>> {
+        let mut out = Vec::with_capacity(queries.len());
+        for run in shared_candidate_runs(queries) {
+            let resolved: Vec<(WorkerId, Option<&BagOfWords>)> = run[0]
+                .candidates
+                .iter()
+                .map(|&w| (w, self.profiles.get(&w)))
+                .collect();
+            for q in run {
+                let scored = resolved
+                    .iter()
+                    .map(|&(w, p)| (w, p.map(|p| cosine(q.bow, p)).unwrap_or(0.0)));
+                out.push(top_k(scored, k));
+            }
+        }
+        out
     }
 }
 

@@ -1,0 +1,60 @@
+//! Serving-path throughput: the dense `SkillMatrix` kernels against the
+//! serial hash-walk baseline.
+//!
+//! Sweeps candidate-pool sizes {1k, 10k, 100k} × thread counts {1, 8} for
+//! the chunk-parallel mean path, plus the blocked batch kernel (B = 32
+//! queries sharing one pool). `select_top_k_serial` — one hash lookup and
+//! one scattered `Vector::dot` per candidate — is the preserved baseline
+//! every dense path is measured (and bit-compared, in the property tests)
+//! against. The machine-readable version of this sweep is the
+//! `selection_smoke` bin, which writes `results/BENCH_4.json` in CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowd_bench::{synthetic_projections, synthetic_serving_model};
+use crowd_store::WorkerId;
+use std::hint::black_box;
+
+const K: usize = 8;
+const TOP_K: usize = 10;
+const BATCH: usize = 32;
+
+fn selection_throughput(c: &mut Criterion) {
+    let model = synthetic_serving_model(100_000, K, 404);
+    let projections = synthetic_projections(BATCH, K, 405);
+    let query = &projections[0];
+
+    for n in [1_000usize, 10_000, 100_000] {
+        let candidates: Vec<WorkerId> = (0..n as u32).map(WorkerId).collect();
+        let mut group = c.benchmark_group(format!("selection_throughput_{n}"));
+        group.sample_size(10);
+
+        group.bench_function("serial", |b| {
+            b.iter(|| {
+                black_box(model.select_top_k_serial(query, candidates.iter().copied(), TOP_K))
+            })
+        });
+        for threads in [1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("dense", threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        black_box(model.select_top_k_with_threads(
+                            query,
+                            candidates.iter().copied(),
+                            TOP_K,
+                            threads,
+                        ))
+                    })
+                },
+            );
+        }
+        group.bench_function("batched_b32", |b| {
+            b.iter(|| black_box(model.select_top_k_batch(&projections, &candidates, TOP_K)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, selection_throughput);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! CI bench gate for the dense serving path — writes `results/BENCH_4.json`.
+//!
+//! The Criterion targets under `benches/` are for interactive profiling;
+//! this bin is the machine-readable smoke version that CI runs on every
+//! push. It measures mean ns/query for each serving path over candidate
+//! pools of {1k, 10k, 100k} workers:
+//!
+//! - `serial` — the preserved pre-dense baseline (`select_top_k_serial`):
+//!   one hash lookup plus one scattered `Vector::dot` per candidate.
+//! - `dense_t1` / `dense_t8` — the contiguous `SkillMatrix` walk at 1 and 8
+//!   threads (`select_top_k_with_threads`).
+//! - `batched_b32` — 32 queries sharing one pool through the blocked batch
+//!   kernel (`select_top_k_batch`); the pool is resolved once and its cost
+//!   amortized across the batch.
+//!
+//! The gate: at 100k candidates the batched path must be at least
+//! [`GATE_MIN_SPEEDUP`]× faster per query than the serial baseline, or the
+//! process exits nonzero and CI fails.
+
+use crowd_bench::{synthetic_projections, synthetic_serving_model};
+use crowd_core::{TaskProjection, TdpmModel};
+use crowd_store::WorkerId;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const K: usize = 8;
+const TOP_K: usize = 10;
+const BATCH: usize = 32;
+const POOL_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+/// Minimum batched-vs-serial per-query speedup at the largest pool.
+const GATE_MIN_SPEEDUP: f64 = 3.0;
+
+/// Mean ns per call of `f`, after one warm-up call.
+fn time_ns(reps: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(reps)
+}
+
+struct Cell {
+    candidates: usize,
+    serial: f64,
+    dense_t1: f64,
+    dense_t8: f64,
+    batched_b32: f64,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.serial / self.batched_b32
+    }
+}
+
+fn measure(model: &TdpmModel, projections: &[TaskProjection], n: usize) -> Cell {
+    let candidates: Vec<WorkerId> = (0..n as u32).map(WorkerId).collect();
+    // Fewer reps on the big pools keeps the whole smoke run under a few
+    // seconds; each rep already walks every candidate BATCH times.
+    let reps: u32 = match n {
+        0..=1_000 => 40,
+        1_001..=10_000 => 10,
+        _ => 3,
+    };
+    let per_query = |total: f64| total / BATCH as f64;
+
+    let serial = per_query(time_ns(reps, || {
+        for p in projections {
+            black_box(model.select_top_k_serial(p, candidates.iter().copied(), TOP_K));
+        }
+    }));
+    let dense_t1 = per_query(time_ns(reps, || {
+        for p in projections {
+            black_box(model.select_top_k_with_threads(p, candidates.iter().copied(), TOP_K, 1));
+        }
+    }));
+    let dense_t8 = per_query(time_ns(reps, || {
+        for p in projections {
+            black_box(model.select_top_k_with_threads(p, candidates.iter().copied(), TOP_K, 8));
+        }
+    }));
+    let batched_b32 = per_query(time_ns(reps, || {
+        black_box(model.select_top_k_batch(projections, &candidates, TOP_K));
+    }));
+
+    Cell {
+        candidates: n,
+        serial,
+        dense_t1,
+        dense_t8,
+        batched_b32,
+    }
+}
+
+fn main() {
+    let model = synthetic_serving_model(*POOL_SIZES.last().unwrap(), K, 404);
+    let projections = synthetic_projections(BATCH, K, 405);
+
+    let cells: Vec<Cell> = POOL_SIZES
+        .iter()
+        .map(|&n| {
+            let cell = measure(&model, &projections, n);
+            println!(
+                "selection_smoke {n:>7} candidates: serial {:>10.0} ns/q | dense_t1 {:>10.0} | \
+                 dense_t8 {:>10.0} | batched_b32 {:>10.0} | speedup {:.2}x",
+                cell.serial,
+                cell.dense_t1,
+                cell.dense_t8,
+                cell.batched_b32,
+                cell.speedup()
+            );
+            cell
+        })
+        .collect();
+
+    let gate_cell = cells.last().unwrap();
+    let speedup_100k = gate_cell.speedup();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"selection_throughput_smoke\",\n");
+    json.push_str("  \"unit\": \"ns_per_query\",\n");
+    let _ = writeln!(json, "  \"k_categories\": {K},");
+    let _ = writeln!(json, "  \"top_k\": {TOP_K},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"candidates\": {}, \"serial\": {:.1}, \"dense_t1\": {:.1}, \
+             \"dense_t8\": {:.1}, \"batched_b32\": {:.1}, \
+             \"speedup_batched_vs_serial\": {:.3}}}",
+            c.candidates,
+            c.serial,
+            c.dense_t1,
+            c.dense_t8,
+            c.batched_b32,
+            c.speedup()
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"gate_min_speedup\": {GATE_MIN_SPEEDUP},");
+    let _ = writeln!(json, "  \"speedup_100k\": {speedup_100k:.3}");
+    json.push_str("}\n");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_4.json", &json).expect("write results/BENCH_4.json");
+    println!("selection_smoke: wrote results/BENCH_4.json");
+
+    if speedup_100k < GATE_MIN_SPEEDUP {
+        eprintln!(
+            "selection_smoke: FAIL — batched speedup at 100k candidates is \
+             {speedup_100k:.2}x, below the {GATE_MIN_SPEEDUP}x gate"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "selection_smoke: OK — batched speedup at 100k candidates is {speedup_100k:.2}x \
+         (gate {GATE_MIN_SPEEDUP}x)"
+    );
+}

@@ -8,9 +8,13 @@
 //! motivated in DESIGN.md (inference scaling, incremental vs batch).
 
 use crowd_baselines::{CrowdSelector, DrmSelector, TdpmSelector, TspmSelector, VsmSelector};
+use crowd_core::{ModelParams, TaskProjection, TdpmConfig, TdpmModel};
 use crowd_eval::protocol::{EvalProtocol, TestQuestion};
+use crowd_math::Vector;
 use crowd_sim::{GeneratedPlatform, PlatformGenerator, PlatformKind, SimConfig};
-use crowd_store::WorkerGroup;
+use crowd_store::{WorkerGroup, WorkerId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 /// Benchmark-sized platform (small enough for Criterion's warm-ups).
 pub fn bench_platform(kind: PlatformKind) -> GeneratedPlatform {
@@ -55,4 +59,48 @@ pub fn run_query(selector: &dyn CrowdSelector, question: &TestQuestion, k: usize
     selector
         .select(&question.bow, &question.candidates, k)
         .len()
+}
+
+/// Assembles a servable TDPM model over `workers` synthetic posteriors with
+/// `k` latent categories — the workload for the dense serving-path benches
+/// (`selection_throughput` and the `selection_smoke` bin).
+///
+/// The posteriors are drawn directly (no EM fit), so worker counts far
+/// beyond what the simulator generates are cheap; selection behaves exactly
+/// as on a trained model with these posteriors. Worker ids are dense
+/// `0..workers`, so a candidate pool of the first `n` ids hits only known
+/// workers.
+pub fn synthetic_serving_model(workers: usize, k: usize, seed: u64) -> TdpmModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let posteriors: Vec<(WorkerId, Vector, Vector)> = (0..workers)
+        .map(|i| {
+            let mean: Vec<f64> = (0..k).map(|_| rng.random_range(-2.0..2.0)).collect();
+            let var: Vec<f64> = (0..k).map(|_| rng.random_range(0.05..1.0)).collect();
+            (
+                WorkerId(i as u32),
+                Vector::from_vec(mean),
+                Vector::from_vec(var),
+            )
+        })
+        .collect();
+    let cfg = TdpmConfig {
+        num_categories: k,
+        num_threads: 8,
+        ..TdpmConfig::default()
+    };
+    TdpmModel::from_posteriors(ModelParams::neutral(k, 64), cfg, posteriors)
+        .expect("synthetic posteriors match k")
+}
+
+/// Synthetic task projections over `k` categories for the serving benches
+/// (zero task-side variance: the mean path ignores `ν²`).
+pub fn synthetic_projections(n: usize, k: usize, seed: u64) -> Vec<TaskProjection> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| TaskProjection {
+            lambda: Vector::from_vec((0..k).map(|_| rng.random_range(-1.5..1.5)).collect()),
+            nu2: Vector::zeros(k),
+            num_tokens: 1.0,
+        })
+        .collect()
 }

@@ -16,7 +16,7 @@ use crate::dataset::TrainingSet;
 use crate::model::TdpmModel;
 use crate::trainer::TdpmTrainer;
 use crowd_select::{
-    CrowdSelector, FitDiagnostics, FitOptions, FitOutcome, RankedWorker, SelectError,
+    BatchQuery, CrowdSelector, FitDiagnostics, FitOptions, FitOutcome, RankedWorker, SelectError,
     SelectorBackend,
 };
 use crowd_store::{CrowdDb, TaskId, WorkerId};
@@ -42,6 +42,10 @@ impl CrowdSelector for TdpmModel {
             Some(projection) => self.rank_all(projection, candidates.iter().copied()),
             None => CrowdSelector::rank(self, bow, candidates),
         }
+    }
+
+    fn select_batch(&self, queries: &[BatchQuery<'_>], k: usize) -> Vec<Vec<RankedWorker>> {
+        self.select_batch_queries(queries, k)
     }
 
     fn add_worker(&mut self, worker: WorkerId) {
@@ -133,6 +137,10 @@ impl CrowdSelector for TdpmSelector {
         candidates: &[WorkerId],
     ) -> Vec<RankedWorker> {
         self.model.rank_trained(task, bow, candidates)
+    }
+
+    fn select_batch(&self, queries: &[BatchQuery<'_>], k: usize) -> Vec<Vec<RankedWorker>> {
+        self.model.select_batch_queries(queries, k)
     }
 
     fn add_worker(&mut self, worker: WorkerId) {

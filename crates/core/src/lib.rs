@@ -51,6 +51,7 @@ pub mod model;
 pub mod params;
 pub mod persist;
 pub mod selection;
+pub mod skillmatrix;
 pub mod trainer;
 pub mod variational;
 
@@ -63,6 +64,7 @@ pub use model::{TaskProjection, TdpmModel};
 pub use params::ModelParams;
 pub use persist::ModelSnapshot;
 pub use selection::RankedWorker;
+pub use skillmatrix::SkillMatrix;
 pub use trainer::{FitReport, TdpmTrainer};
 
 /// Convenience result alias.

@@ -5,12 +5,20 @@ use crate::inference::estep::{update_task, TaskFeedbackStats, TaskPosterior, Tas
 use crate::inference::EStepContext;
 use crate::params::ModelParams;
 use crate::selection::{top_k, RankedWorker};
+use crate::skillmatrix::SkillMatrix;
 use crate::{CoreError, Result};
 use crowd_math::{Cholesky, Matrix, Vector};
+use crowd_select::BatchQuery;
 use crowd_store::{TaskId, WorkerId};
 use crowd_text::BagOfWords;
 use rand::{Rng, RngExt};
 use std::collections::HashMap;
+
+/// Candidate pools below this size are served on the calling thread: a
+/// scoped-thread spawn costs more than scoring a few thousand contiguous
+/// rows, so the chunked-parallel path only kicks in for pools where the walk
+/// itself dominates.
+const PARALLEL_MIN_CANDIDATES: usize = 4096;
 
 /// Posterior skill state for one worker, with the sufficient statistics
 /// and cached precision factor needed for O(K²) incremental updates when
@@ -107,6 +115,11 @@ pub struct TdpmModel {
     /// fresh [`TdpmModel::project_bow`] projection these are
     /// *feedback-informed* (Eqs. 14–15 include the score terms).
     trained_tasks: HashMap<TaskId, TaskProjection>,
+    /// Dense `W × K` serving snapshot of the posterior means/variances, kept
+    /// in lockstep with `skills` (rebuilt on assembly, row-upserted by
+    /// [`TdpmModel::add_worker`] / [`TdpmModel::record_feedback`]). Every
+    /// selection query scores against this, never against `skills`.
+    matrix: SkillMatrix,
     /// Online-path metrics (`model` component): projection latency and
     /// incremental-update counts. Handles are resolved once in
     /// [`TdpmModel::set_obs`] so the hot paths never touch the registry
@@ -152,6 +165,10 @@ impl TdpmModel {
             .enumerate()
             .map(|(i, &w)| (w, i))
             .collect();
+        let mut matrix = SkillMatrix::with_capacity(config.num_categories, worker_ids.len());
+        for (&w, skill) in worker_ids.iter().zip(&skills) {
+            matrix.upsert(w, skill.mean.as_slice(), skill.variance.as_slice());
+        }
         Ok(TdpmModel {
             params,
             config,
@@ -160,8 +177,41 @@ impl TdpmModel {
             worker_index,
             ctx,
             trained_tasks: HashMap::new(),
+            matrix,
             metrics: ModelMetrics::resolve(&crowd_obs::Obs::noop()),
         })
+    }
+
+    /// Assembles a servable model directly from per-worker posterior means
+    /// and variances, with no training history behind them (sufficient
+    /// statistics start empty, as for [`TdpmModel::add_worker`]).
+    ///
+    /// This is the entry point for benchmarks and property tests that need a
+    /// model of arbitrary shape without running variational EM; selection
+    /// behaves exactly as it would on a trained model with these posteriors.
+    pub fn from_posteriors(
+        params: ModelParams,
+        config: TdpmConfig,
+        workers: Vec<(WorkerId, Vector, Vector)>,
+    ) -> Result<Self> {
+        let k = config.num_categories;
+        let mut ids = Vec::with_capacity(workers.len());
+        let mut skills = Vec::with_capacity(workers.len());
+        for (w, mean, variance) in workers {
+            if mean.len() != k || variance.len() != k {
+                return Err(CoreError::Numerical(format!(
+                    "posterior for worker {w:?} has length {}/{}, expected {k}",
+                    mean.len(),
+                    variance.len()
+                )));
+            }
+            let mut skill = WorkerSkill::at_prior(k);
+            skill.mean = mean;
+            skill.variance = variance;
+            ids.push(w);
+            skills.push(skill);
+        }
+        TdpmModel::assemble(params, config, skills, ids)
     }
 
     /// Attaches shared observability for the online operations (Algorithm
@@ -223,7 +273,24 @@ impl TdpmModel {
         for k in 0..self.num_categories() {
             skill.variance[k] = 1.0 / self.ctx.sigma_w_inv[(k, k)];
         }
+        self.matrix
+            .upsert(worker, skill.mean.as_slice(), skill.variance.as_slice());
         self.skills.push(skill);
+    }
+
+    /// The dense serving snapshot of every worker's posterior.
+    pub fn skill_matrix(&self) -> &SkillMatrix {
+        &self.matrix
+    }
+
+    /// Threads to use for a selection walk over `n` candidates: the
+    /// configured pool for big walks, the calling thread otherwise.
+    fn serving_threads(&self, n: usize) -> usize {
+        if n >= PARALLEL_MIN_CANDIDATES {
+            self.config.num_threads.max(1)
+        } else {
+            1
+        }
     }
 
     // ---- Algorithm 3: incremental crowd-selection ---------------------------
@@ -292,8 +359,41 @@ impl TdpmModel {
 
     /// Top-k crowd-selection over `candidates` (Eq. 1; Alg. 3 line 7).
     ///
-    /// Candidates unknown to the model are skipped.
+    /// Candidates unknown to the model are skipped. Served from the dense
+    /// [`SkillMatrix`]; large pools are chunk-parallelized over the
+    /// configured thread count. Bit-identical to
+    /// [`TdpmModel::select_top_k_serial`].
     pub fn select_top_k(
+        &self,
+        projection: &TaskProjection,
+        candidates: impl IntoIterator<Item = WorkerId>,
+        k: usize,
+    ) -> Vec<RankedWorker> {
+        let resolved = self.matrix.resolve(candidates);
+        let threads = self.serving_threads(resolved.len());
+        self.matrix
+            .select_mean(projection.lambda.as_slice(), &resolved, k, threads)
+    }
+
+    /// [`TdpmModel::select_top_k`] with an explicit thread count (clamped to
+    /// the candidate count; `1` forces the single-threaded dense walk).
+    pub fn select_top_k_with_threads(
+        &self,
+        projection: &TaskProjection,
+        candidates: impl IntoIterator<Item = WorkerId>,
+        k: usize,
+        threads: usize,
+    ) -> Vec<RankedWorker> {
+        let resolved = self.matrix.resolve(candidates);
+        self.matrix
+            .select_mean(projection.lambda.as_slice(), &resolved, k, threads)
+    }
+
+    /// Reference top-k selection through the per-worker skill records (one
+    /// hash lookup + `Vector::dot` per candidate) — the pre-dense serial
+    /// path, kept as the bit-identity oracle for the property tests and the
+    /// benchmark baseline.
+    pub fn select_top_k_serial(
         &self,
         projection: &TaskProjection,
         candidates: impl IntoIterator<Item = WorkerId>,
@@ -303,6 +403,62 @@ impl TdpmModel {
             .into_iter()
             .filter_map(|w| self.score(w, projection).map(|s| (w, s)));
         top_k(scored, k)
+    }
+
+    /// Batched top-k selection: one ranking per projection, all over the
+    /// same candidate pool. Resolves the pool against the [`SkillMatrix`]
+    /// once and scores through the cache-blocked batch kernel, so the per-
+    /// query cost is a contiguous matrix walk instead of a hash walk plus
+    /// scattered dots. Each returned ranking is bit-identical to
+    /// [`TdpmModel::select_top_k`] on the same projection.
+    pub fn select_top_k_batch(
+        &self,
+        projections: &[TaskProjection],
+        candidates: &[WorkerId],
+        k: usize,
+    ) -> Vec<Vec<RankedWorker>> {
+        let resolved = self.matrix.resolve(candidates.iter().copied());
+        let lambdas: Vec<&[f64]> = projections.iter().map(|p| p.lambda.as_slice()).collect();
+        let threads = self.serving_threads(resolved.len());
+        self.matrix
+            .select_mean_batch(&lambdas, &resolved, k, threads)
+    }
+
+    /// Answers a batch of independent selection queries (possibly with
+    /// per-query candidate pools), the engine behind the
+    /// [`crowd_select::CrowdSelector::select_batch`] override.
+    ///
+    /// Runs of consecutive queries sharing the *same* candidate slice — the
+    /// common shape for pipeline dispatch and query-engine sweeps — resolve
+    /// their pool once and go through the blocked batch kernel; singleton
+    /// queries take the per-query dense path. Queries for trained tasks use
+    /// the feedback-informed posterior, exactly like
+    /// [`crowd_select::CrowdSelector::rank_trained`].
+    pub fn select_batch_queries(
+        &self,
+        queries: &[BatchQuery<'_>],
+        k: usize,
+    ) -> Vec<Vec<RankedWorker>> {
+        let mut out: Vec<Vec<RankedWorker>> = Vec::with_capacity(queries.len());
+        for group in crowd_select::shared_candidate_runs(queries) {
+            let projections: Vec<TaskProjection> = group
+                .iter()
+                .map(|q| match q.task.and_then(|t| self.trained_projection(t)) {
+                    Some(p) => p.clone(),
+                    None => self.project_bow(q.bow),
+                })
+                .collect();
+            if group.len() == 1 {
+                out.push(self.select_top_k(
+                    &projections[0],
+                    group[0].candidates.iter().copied(),
+                    k,
+                ));
+            } else {
+                out.extend(self.select_top_k_batch(&projections, group[0].candidates, k));
+            }
+        }
+        out
     }
 
     /// Optimistic (UCB-style) top-k selection: candidates are scored by
@@ -316,6 +472,26 @@ impl TdpmModel {
     /// own uncertainty is the same gamble for every candidate and would
     /// otherwise drown the worker signal under large skill magnitudes.
     pub fn select_top_k_optimistic(
+        &self,
+        projection: &TaskProjection,
+        candidates: impl IntoIterator<Item = WorkerId>,
+        k: usize,
+        exploration: f64,
+    ) -> Vec<RankedWorker> {
+        let resolved = self.matrix.resolve(candidates);
+        let threads = self.serving_threads(resolved.len());
+        self.matrix.select_optimistic(
+            projection.lambda.as_slice(),
+            &resolved,
+            k,
+            exploration,
+            threads,
+        )
+    }
+
+    /// Reference optimistic selection through the per-worker skill records —
+    /// the bit-identity oracle for [`TdpmModel::select_top_k_optimistic`].
+    pub fn select_top_k_optimistic_serial(
         &self,
         projection: &TaskProjection,
         candidates: impl IntoIterator<Item = WorkerId>,
@@ -346,10 +522,9 @@ impl TdpmModel {
         rng: &mut impl Rng,
     ) -> Vec<RankedWorker> {
         let c = projection.sample(rng);
-        let scored = candidates
-            .into_iter()
-            .filter_map(|w| self.skill(w).map(|s| (w, s.mean.dot(&c).expect("dims"))));
-        top_k(scored, k)
+        let resolved = self.matrix.resolve(candidates);
+        let threads = self.serving_threads(resolved.len());
+        self.matrix.select_mean(c.as_slice(), &resolved, k, threads)
     }
 
     /// Scores every candidate (full ranking), descending.
@@ -358,12 +533,11 @@ impl TdpmModel {
         projection: &TaskProjection,
         candidates: impl IntoIterator<Item = WorkerId>,
     ) -> Vec<RankedWorker> {
-        let scored: Vec<(WorkerId, f64)> = candidates
-            .into_iter()
-            .filter_map(|w| self.score(w, projection).map(|s| (w, s)))
-            .collect();
-        let n = scored.len();
-        top_k(scored, n)
+        let resolved = self.matrix.resolve(candidates);
+        let n = resolved.len();
+        let threads = self.serving_threads(n);
+        self.matrix
+            .select_mean(projection.lambda.as_slice(), &resolved, n, threads)
     }
 
     // ---- Incremental skill update -------------------------------------------
@@ -440,6 +614,8 @@ impl TdpmModel {
             skill.variance[kk] =
                 1.0 / (inv_tau2 * skill.sum_diag[kk] + self.ctx.sigma_w_inv[(kk, kk)]);
         }
+        self.matrix
+            .upsert(worker, skill.mean.as_slice(), skill.variance.as_slice());
         self.metrics.incremental_updates.inc();
         self.metrics
             .incremental_update_seconds

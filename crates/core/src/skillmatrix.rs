@@ -1,0 +1,405 @@
+//! Dense serving snapshot of the worker-skill posteriors.
+//!
+//! The online selection query (paper Eq. 1; Algorithm 3 line 7) scores every
+//! candidate worker against one projected task. Serving that from the
+//! per-worker [`crate::model::WorkerSkill`] records means one `HashMap`
+//! lookup plus a heap-allocated [`crowd_math::Vector`] dot per candidate per
+//! query. [`SkillMatrix`] is the dense alternative: a contiguous row-major
+//! `W × K` structure-of-arrays snapshot of the posterior means, with a
+//! parallel `W × K` variance block for the optimistic (UCB) path and a dense
+//! row-index ↔ [`WorkerId`] map. The model keeps it in lockstep with the
+//! skill records — rebuilt on fit/assembly and row-upserted on
+//! `add_worker` / `record_feedback` — so selection never touches the
+//! `Vector`-of-`HashMap` storage at all.
+//!
+//! Every scoring path here is **bit-identical** to the serial reference
+//! implementation (`TdpmModel::select_top_k_serial`):
+//!
+//! - per-row scores use [`crowd_math::kernels`], which accumulate in exactly
+//!   `Vector::dot`'s left-to-right order;
+//! - the chunked-parallel path splits *candidates* into disjoint contiguous
+//!   chunks (never a single dot product), feeds the existing [`top_k`]
+//!   min-heap per chunk, and merges the per-chunk winners with one more
+//!   [`top_k`]. Because [`top_k`] ranks under a *total* order (score
+//!   descending via `total_cmp`, ties to the smaller id, NaN skipped), the
+//!   global top-k is contained in the union of per-chunk top-ks and the merge
+//!   reproduces it exactly, independent of chunking (DESIGN.md §6d).
+
+use crate::selection::{top_k, RankedWorker};
+use crowd_math::kernels;
+use crowd_store::WorkerId;
+use std::collections::HashMap;
+
+/// Candidates resolved against the matrix: `(worker, row index)` pairs in
+/// input order, unknown workers dropped.
+pub type ResolvedCandidates = Vec<(WorkerId, usize)>;
+
+/// Contiguous row-major `W × K` snapshot of posterior means and variances.
+#[derive(Debug, Clone, Default)]
+pub struct SkillMatrix {
+    k: usize,
+    ids: Vec<WorkerId>,
+    index: HashMap<WorkerId, usize>,
+    /// Row-major `W × K` posterior means (`λ_w`).
+    means: Vec<f64>,
+    /// Row-major `W × K` posterior diagonal variances (`ν_w²`).
+    vars: Vec<f64>,
+}
+
+impl SkillMatrix {
+    /// An empty matrix over `k` latent categories.
+    pub fn new(k: usize) -> Self {
+        SkillMatrix {
+            k,
+            ids: Vec::new(),
+            index: HashMap::new(),
+            means: Vec::new(),
+            vars: Vec::new(),
+        }
+    }
+
+    /// An empty matrix with room for `workers` rows.
+    pub fn with_capacity(k: usize, workers: usize) -> Self {
+        SkillMatrix {
+            k,
+            ids: Vec::with_capacity(workers),
+            index: HashMap::with_capacity(workers),
+            means: Vec::with_capacity(workers * k),
+            vars: Vec::with_capacity(workers * k),
+        }
+    }
+
+    /// Number of latent categories `K`.
+    pub fn num_categories(&self) -> usize {
+        self.k
+    }
+
+    /// Number of worker rows `W`.
+    pub fn num_workers(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Worker ids by row index.
+    pub fn ids(&self) -> &[WorkerId] {
+        &self.ids
+    }
+
+    /// Row index of a worker, if present.
+    pub fn row_of(&self, worker: WorkerId) -> Option<usize> {
+        self.index.get(&worker).copied()
+    }
+
+    /// The mean row of a worker.
+    pub fn mean_row(&self, row: usize) -> &[f64] {
+        &self.means[row * self.k..(row + 1) * self.k]
+    }
+
+    /// The variance row of a worker.
+    pub fn var_row(&self, row: usize) -> &[f64] {
+        &self.vars[row * self.k..(row + 1) * self.k]
+    }
+
+    /// Inserts or overwrites the row for `worker`.
+    ///
+    /// Both slices must have length `K`. This is the single maintenance
+    /// entry point: assembly pushes every fitted worker through it, and the
+    /// incremental paths (`add_worker`, `record_feedback`) upsert the one
+    /// row they touched.
+    pub fn upsert(&mut self, worker: WorkerId, mean: &[f64], var: &[f64]) {
+        assert_eq!(mean.len(), self.k, "SkillMatrix::upsert mean length");
+        assert_eq!(var.len(), self.k, "SkillMatrix::upsert var length");
+        match self.index.get(&worker) {
+            Some(&row) => {
+                self.means[row * self.k..(row + 1) * self.k].copy_from_slice(mean);
+                self.vars[row * self.k..(row + 1) * self.k].copy_from_slice(var);
+            }
+            None => {
+                self.index.insert(worker, self.ids.len());
+                self.ids.push(worker);
+                self.means.extend_from_slice(mean);
+                self.vars.extend_from_slice(var);
+            }
+        }
+    }
+
+    /// Resolves candidate ids to `(worker, row)` pairs, dropping workers the
+    /// matrix does not know — the one hash walk of a selection query, paid
+    /// once per batch by the batched paths.
+    pub fn resolve(&self, candidates: impl IntoIterator<Item = WorkerId>) -> ResolvedCandidates {
+        candidates
+            .into_iter()
+            .filter_map(|w| self.row_of(w).map(|row| (w, row)))
+            .collect()
+    }
+
+    /// Every worker row, in row order.
+    pub fn resolve_all(&self) -> ResolvedCandidates {
+        self.ids
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(r, w)| (w, r))
+            .collect()
+    }
+
+    /// Top-`k` by posterior-mean score `λ_w · lambda` over resolved
+    /// candidates, chunk-parallel over `threads` scoped threads.
+    ///
+    /// `threads` is honored as given (clamped to the candidate count);
+    /// callers own the "is this pool big enough to be worth spawning for"
+    /// policy. Results are bit-identical for every thread count.
+    pub fn select_mean(
+        &self,
+        lambda: &[f64],
+        resolved: &[(WorkerId, usize)],
+        k: usize,
+        threads: usize,
+    ) -> Vec<RankedWorker> {
+        debug_assert_eq!(lambda.len(), self.k, "SkillMatrix::select_mean lambda");
+        self.select_with(resolved, k, threads, |row| {
+            kernels::dot(self.mean_row(row), lambda)
+        })
+    }
+
+    /// Optimistic (UCB-style) top-`k`:
+    /// `λ_w · lambda + beta * sqrt(max(0, Σ_k ν²_w,k · lambda_k²))`.
+    pub fn select_optimistic(
+        &self,
+        lambda: &[f64],
+        resolved: &[(WorkerId, usize)],
+        k: usize,
+        beta: f64,
+        threads: usize,
+    ) -> Vec<RankedWorker> {
+        debug_assert_eq!(
+            lambda.len(),
+            self.k,
+            "SkillMatrix::select_optimistic lambda"
+        );
+        self.select_with(resolved, k, threads, |row| {
+            kernels::ucb_score(self.mean_row(row), self.var_row(row), lambda, beta)
+        })
+    }
+
+    /// Batched mean-score top-`k`: one ranking per query in `lambdas`, all
+    /// against the same resolved candidate set.
+    ///
+    /// The candidate resolution (the hash walk) is paid once for the whole
+    /// batch, and scoring runs through the cache-blocked batch kernel
+    /// ([`kernels::gemv_gathered_batch`]): each block of gathered skill rows
+    /// is streamed through the cache once for *all* queries. Queries are
+    /// chunk-parallel over `threads`. Per-query results are bit-identical to
+    /// [`SkillMatrix::select_mean`] on the same inputs.
+    pub fn select_mean_batch(
+        &self,
+        lambdas: &[&[f64]],
+        resolved: &[(WorkerId, usize)],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Vec<RankedWorker>> {
+        let rows: Vec<usize> = resolved.iter().map(|&(_, row)| row).collect();
+        let run = |chunk: &[&[f64]]| -> Vec<Vec<RankedWorker>> {
+            let mut scores: Vec<Vec<f64>> = vec![Vec::new(); chunk.len()];
+            kernels::gemv_gathered_batch(self.k, &self.means, &rows, chunk, &mut scores);
+            scores
+                .iter()
+                .map(|qs| top_k(resolved.iter().zip(qs).map(|(&(w, _), &s)| (w, s)), k))
+                .collect()
+        };
+
+        let q = lambdas.len();
+        let threads = threads.max(1).min(q.max(1));
+        if threads <= 1 || q <= 1 {
+            return run(lambdas);
+        }
+        let chunk = q.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest = lambdas;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (now, later) = rest.split_at(take);
+                rest = later;
+                let run = &run;
+                handles.push(scope.spawn(move |_| run(now)));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch selection thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    }
+
+    /// Shared chunk-parallel top-k driver: scores rows with `score`, feeds
+    /// the bounded min-heap per contiguous candidate chunk, merges the
+    /// per-chunk winners with one more [`top_k`].
+    fn select_with<F>(
+        &self,
+        resolved: &[(WorkerId, usize)],
+        k: usize,
+        threads: usize,
+        score: F,
+    ) -> Vec<RankedWorker>
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        let n = resolved.len();
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 {
+            return top_k(resolved.iter().map(|&(w, row)| (w, score(row))), k);
+        }
+        let chunk = n.div_ceil(threads);
+        let partials: Vec<Vec<RankedWorker>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest = resolved;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (now, later) = rest.split_at(take);
+                rest = later;
+                let score = &score;
+                handles.push(
+                    scope.spawn(move |_| top_k(now.iter().map(|&(w, row)| (w, score(row))), k)),
+                );
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("selection chunk thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        top_k(
+            partials
+                .into_iter()
+                .flatten()
+                .map(|rw| (rw.worker, rw.score)),
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> SkillMatrix {
+        let mut m = SkillMatrix::new(3);
+        for w in 0..10u32 {
+            let mean: Vec<f64> = (0..3)
+                .map(|k| (w as f64 - 4.5) * 0.3 + k as f64 * 0.1)
+                .collect();
+            let var: Vec<f64> = (0..3).map(|k| 0.5 + (w as f64 + k as f64) * 0.01).collect();
+            m.upsert(WorkerId(w), &mean, &var);
+        }
+        m
+    }
+
+    #[test]
+    fn upsert_appends_then_overwrites() {
+        let mut m = SkillMatrix::new(2);
+        m.upsert(WorkerId(3), &[1.0, 2.0], &[0.1, 0.2]);
+        m.upsert(WorkerId(5), &[3.0, 4.0], &[0.3, 0.4]);
+        assert_eq!(m.num_workers(), 2);
+        assert_eq!(m.row_of(WorkerId(5)), Some(1));
+        m.upsert(WorkerId(3), &[9.0, 9.0], &[0.9, 0.9]);
+        assert_eq!(m.num_workers(), 2);
+        assert_eq!(m.mean_row(0), &[9.0, 9.0]);
+        assert_eq!(m.var_row(0), &[0.9, 0.9]);
+        assert_eq!(m.mean_row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn resolve_drops_unknown_and_keeps_order() {
+        let m = matrix();
+        let resolved = m.resolve(vec![WorkerId(7), WorkerId(99), WorkerId(2)]);
+        assert_eq!(resolved, vec![(WorkerId(7), 7), (WorkerId(2), 2)]);
+        assert_eq!(m.resolve_all().len(), 10);
+    }
+
+    #[test]
+    fn chunked_selection_matches_serial_for_every_thread_count() {
+        let m = matrix();
+        let resolved = m.resolve_all();
+        let lambda = [0.7, -0.3, 1.1];
+        let serial = m.select_mean(&lambda, &resolved, 4, 1);
+        for threads in [2, 3, 8, 64] {
+            let par = m.select_mean(&lambda, &resolved, 4, threads);
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.worker, b.worker);
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimistic_adds_uncertainty_bonus() {
+        let mut m = SkillMatrix::new(1);
+        m.upsert(WorkerId(0), &[1.0], &[0.0]); // proven
+        m.upsert(WorkerId(1), &[1.0], &[4.0]); // uncertain
+        let resolved = m.resolve_all();
+        let greedy = m.select_mean(&[1.0], &resolved, 2, 1);
+        assert_eq!(
+            greedy[0].worker,
+            WorkerId(0),
+            "mean tie breaks to smaller id"
+        );
+        let optimistic = m.select_optimistic(&[1.0], &resolved, 2, 1.0, 1);
+        assert_eq!(optimistic[0].worker, WorkerId(1));
+        assert!((optimistic[0].score - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_matches_per_query_selection() {
+        let m = matrix();
+        let resolved = m.resolve(vec![
+            WorkerId(9),
+            WorkerId(0),
+            WorkerId(4),
+            WorkerId(6),
+            WorkerId(1),
+        ]);
+        let q0 = [1.0, 0.0, 0.0];
+        let q1 = [-0.4, 0.9, 0.2];
+        let q2 = [0.0, 0.0, -1.0];
+        let lambdas: Vec<&[f64]> = vec![&q0, &q1, &q2];
+        for threads in [1, 2, 8] {
+            let batch = m.select_mean_batch(&lambdas, &resolved, 3, threads);
+            assert_eq!(batch.len(), 3);
+            for (lambda, got) in lambdas.iter().zip(&batch) {
+                let want = m.select_mean(lambda, &resolved, 3, 1);
+                assert_eq!(got.len(), want.len());
+                for (a, b) in got.iter().zip(&want) {
+                    assert_eq!(a.worker, b.worker);
+                    assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_rows_are_skipped_in_every_path() {
+        let mut m = SkillMatrix::new(2);
+        m.upsert(WorkerId(0), &[f64::NAN, 1.0], &[1.0, 1.0]);
+        m.upsert(WorkerId(1), &[1.0, 1.0], &[1.0, 1.0]);
+        let resolved = m.resolve_all();
+        let lambda = [1.0, 1.0];
+        for threads in [1, 2] {
+            let mean = m.select_mean(&lambda, &resolved, 2, threads);
+            assert_eq!(mean.len(), 1);
+            assert_eq!(mean[0].worker, WorkerId(1));
+            let opt = m.select_optimistic(&lambda, &resolved, 2, 0.5, threads);
+            assert_eq!(opt.len(), 1);
+            let batch = m.select_mean_batch(&[&lambda], &resolved, 2, threads);
+            assert_eq!(batch[0].len(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_rankings() {
+        let m = matrix();
+        assert!(m.select_mean(&[0.0; 3], &[], 5, 4).is_empty());
+        let batch = m.select_mean_batch(&[&[0.0; 3]], &[], 5, 4);
+        assert_eq!(batch, vec![Vec::new()]);
+    }
+}

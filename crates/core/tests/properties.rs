@@ -2,12 +2,41 @@
 
 use crowd_core::dataset::{TaskData, TrainingSet};
 use crowd_core::selection::{rank_of, top_k};
-use crowd_core::{TaskProjection, TdpmConfig, TdpmTrainer};
+use crowd_core::{ModelParams, RankedWorker, TaskProjection, TdpmConfig, TdpmModel, TdpmTrainer};
 use crowd_math::Vector;
 use crowd_store::{TaskId, WorkerId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Arbitrary worker posteriors over 3 categories: distinct ids, bounded
+/// means/variances, and an occasional NaN-poisoned mean (a score of NaN must
+/// be skipped identically by every selection path).
+fn arb_posteriors() -> impl Strategy<Value = Vec<(WorkerId, Vec<f64>, Vec<f64>)>> {
+    prop::collection::vec(
+        (
+            0u32..60,
+            prop::collection::vec(-5.0f64..5.0, 3),
+            prop::collection::vec(1e-3f64..2.0, 3),
+            0u8..100,
+        ),
+        1..40,
+    )
+    .prop_map(|v| {
+        let mut v: Vec<(WorkerId, Vec<f64>, Vec<f64>)> = v
+            .into_iter()
+            .map(|(w, mut mean, var, poison)| {
+                if poison < 15 {
+                    mean[0] = f64::NAN;
+                }
+                (WorkerId(w), mean, var)
+            })
+            .collect();
+        v.sort_by_key(|p| p.0);
+        v.dedup_by(|a, b| a.0 == b.0);
+        v
+    })
+}
 
 fn arb_scored() -> impl Strategy<Value = Vec<(WorkerId, f64)>> {
     prop::collection::vec((0u32..40, -100.0f64..100.0), 0..40).prop_map(|mut v| {
@@ -144,6 +173,88 @@ proptest! {
         prop_assert_eq!(workers(&greedy), workers(&sampled));
         for (g, o) in greedy.iter().zip(&optimistic) {
             prop_assert!((g.score - o.score).abs() < 1e-15);
+        }
+    }
+
+    /// The dense serving paths — chunk-parallel [`TdpmModel::select_top_k_with_threads`]
+    /// at 1/2/8 threads, the blocked batch kernel behind
+    /// [`TdpmModel::select_top_k_batch`], and the optimistic variant — are
+    /// all *bit-identical* to the hash-walk serial oracles, including on
+    /// NaN-poisoned posteriors (skipped, never ranked) and unknown
+    /// candidates (dropped).
+    #[test]
+    fn dense_parallel_and_batched_selection_are_bit_identical(
+        posteriors in arb_posteriors(),
+        lambda in prop::collection::vec(-4.0f64..4.0, 3),
+        k in 1usize..6,
+        beta in 0.0f64..2.0,
+    ) {
+        let cfg = TdpmConfig {
+            num_categories: 3,
+            ..TdpmConfig::default()
+        };
+        let workers: Vec<(WorkerId, Vector, Vector)> = posteriors
+            .iter()
+            .map(|(w, m, v)| (*w, Vector::from_vec(m.clone()), Vector::from_vec(v.clone())))
+            .collect();
+        let model =
+            TdpmModel::from_posteriors(ModelParams::neutral(3, 12), cfg, workers).unwrap();
+        let projection = TaskProjection {
+            lambda: Vector::from_vec(lambda.clone()),
+            nu2: Vector::zeros(3),
+            num_tokens: 1.0,
+        };
+        // Every known worker plus an id the model has never seen.
+        let mut candidates: Vec<WorkerId> = posteriors.iter().map(|p| p.0).collect();
+        candidates.push(WorkerId(10_000));
+
+        let bits = |rs: &[RankedWorker]| -> Vec<(WorkerId, u64)> {
+            rs.iter().map(|r| (r.worker, r.score.to_bits())).collect()
+        };
+
+        let oracle = model.select_top_k_serial(&projection, candidates.iter().copied(), k);
+        for threads in [1usize, 2, 8] {
+            let dense = model.select_top_k_with_threads(
+                &projection,
+                candidates.iter().copied(),
+                k,
+                threads,
+            );
+            prop_assert_eq!(bits(&oracle), bits(&dense), "mean path, threads={}", threads);
+        }
+
+        // Batch kernel: repeated and distinct projections in one call.
+        let second = TaskProjection {
+            lambda: Vector::from_vec(lambda.iter().map(|x| x * 2.0).collect()),
+            nu2: Vector::zeros(3),
+            num_tokens: 1.0,
+        };
+        let projections = vec![projection.clone(), second, projection.clone()];
+        let batch = model.select_top_k_batch(&projections, &candidates, k);
+        prop_assert_eq!(batch.len(), projections.len());
+        for (i, (p, got)) in projections.iter().zip(&batch).enumerate() {
+            let want = model.select_top_k_serial(p, candidates.iter().copied(), k);
+            prop_assert_eq!(bits(&want), bits(got), "batch query {}", i);
+        }
+
+        // Optimistic (UCB) path against its serial oracle, forced through
+        // the chunked kernel at every thread count.
+        let opt_oracle = model.select_top_k_optimistic_serial(
+            &projection,
+            candidates.iter().copied(),
+            k,
+            beta,
+        );
+        let resolved = model.skill_matrix().resolve(candidates.iter().copied());
+        for threads in [1usize, 2, 8] {
+            let got = model.skill_matrix().select_optimistic(
+                projection.lambda.as_slice(),
+                &resolved,
+                k,
+                beta,
+                threads,
+            );
+            prop_assert_eq!(bits(&opt_oracle), bits(&got), "optimistic, threads={}", threads);
         }
     }
 }

@@ -9,7 +9,7 @@
 //! 3. rank with the algorithm under test and record the right worker's rank.
 
 use crate::metrics::EvalAccumulator;
-use crowd_baselines::CrowdSelector;
+use crowd_baselines::{BatchQuery, CrowdSelector};
 use crowd_store::{CrowdDb, TaskId, WorkerGroup, WorkerId};
 use crowd_text::BagOfWords;
 use rand::rngs::StdRng;
@@ -130,13 +130,31 @@ impl EvalProtocol {
         selector: &dyn CrowdSelector,
         questions: &[TestQuestion],
     ) -> Vec<f64> {
+        // One batched pass through the selector: each question carries its
+        // own candidate pool, and the `task` field reproduces the mode
+        // dispatch (`Some` → rank_trained, `None` → rank) bit-identically.
+        let queries: Vec<BatchQuery<'_>> = questions
+            .iter()
+            .map(|q| BatchQuery {
+                bow: &q.bow,
+                candidates: &q.candidates,
+                task: match self.mode {
+                    EvalMode::Reconstruct => Some(q.task),
+                    EvalMode::Project => None,
+                },
+            })
+            .collect();
+        // Full rankings: k must cover the largest candidate pool.
+        let k = questions
+            .iter()
+            .map(|q| q.candidates.len())
+            .max()
+            .unwrap_or(0);
+        let rankings = selector.select_batch(&queries, k);
         questions
             .iter()
-            .map(|q| {
-                let ranked = match self.mode {
-                    EvalMode::Reconstruct => selector.rank_trained(q.task, &q.bow, &q.candidates),
-                    EvalMode::Project => selector.rank(&q.bow, &q.candidates),
-                };
+            .zip(rankings)
+            .map(|(q, ranked)| {
                 let rank = ranked
                     .iter()
                     .position(|r| r.worker == q.right)
@@ -294,6 +312,36 @@ mod tests {
         assert_eq!(acc.num_questions(), qs.len());
         assert!((acc.precision() - 1.0).abs() < 1e-12);
         assert!((acc.top_k(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_scores_match_the_sequential_protocol() {
+        let db = db();
+        let all = WorkerGroup::extract(&db, 0);
+        let oracle = OracleSelector::fit(&db);
+        for protocol in [EvalProtocol::new(100, 1), EvalProtocol::projecting(100, 1)] {
+            let qs = protocol.test_questions(&db, &all);
+            let batched = protocol.evaluate_scores(&oracle, &qs);
+            let sequential: Vec<f64> = qs
+                .iter()
+                .map(|q| {
+                    let ranked = match protocol.mode {
+                        EvalMode::Reconstruct => oracle.rank_trained(q.task, &q.bow, &q.candidates),
+                        EvalMode::Project => oracle.rank(&q.bow, &q.candidates),
+                    };
+                    let rank = ranked
+                        .iter()
+                        .position(|r| r.worker == q.right)
+                        .map(|p| p + 1)
+                        .unwrap_or(q.candidates.len());
+                    crate::metrics::accu(rank, q.candidates.len())
+                })
+                .collect();
+            assert_eq!(batched.len(), sequential.len());
+            for (a, b) in batched.iter().zip(&sequential) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{:?}", protocol.mode);
+            }
+        }
     }
 
     #[test]

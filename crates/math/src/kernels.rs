@@ -1,0 +1,204 @@
+//! Contiguous-slice scoring kernels for the dense serving path.
+//!
+//! The online crowd-selection query (paper Eq. 1) scores every candidate
+//! worker against one projected task: `score(w) = w^i · c^j`. Served from the
+//! per-worker [`crate::Vector`] storage that means a `HashMap` lookup plus a
+//! dimension-checked dot product per candidate per query. These kernels work
+//! on a row-major `W × K` slice snapshot instead, so a query is a straight
+//! gather-free (or index-gathered) walk over contiguous memory, and a *batch*
+//! of queries can be blocked so each block of skill rows is streamed through
+//! the cache once for all queries.
+//!
+//! Every kernel accumulates in exactly the same order as the scalar reference
+//! path (`Vector::dot`: left-to-right `iter().zip().map().sum()`, and the
+//! serial optimistic-variance loop in `crowd-core`). That makes the dense
+//! results **bit-identical** to the serial ones — the property the selection
+//! layer's chunk-merge correctness argument rests on (see DESIGN.md §6d).
+
+/// Dot product over two equal-length slices.
+///
+/// Accumulates left-to-right exactly like `Vector::dot`, so the result is
+/// bit-identical to the `Vector`-based serial scorer. Callers guarantee
+/// `a.len() == b.len()`; in debug builds this is asserted.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "kernels::dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Dense matrix–vector product `out[r] = A[r, ·] · x` over all rows.
+///
+/// `a` is row-major with `a.len() == out.len() * k` and `x.len() == k`.
+pub fn gemv_rowmajor(k: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), k, "kernels::gemv_rowmajor x length");
+    debug_assert_eq!(a.len(), out.len() * k, "kernels::gemv_rowmajor shape");
+    for (row, slot) in a.chunks_exact(k).zip(out.iter_mut()) {
+        *slot = dot(row, x);
+    }
+}
+
+/// Gathered matrix–vector product: `out[i] = A[rows[i], ·] · x`.
+///
+/// `rows` holds row indices into the `W × K` row-major matrix `a`; candidates
+/// resolved from a subset of the worker pool score through this without
+/// materializing a packed copy of their rows.
+pub fn gemv_gathered(k: usize, a: &[f64], rows: &[usize], x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), k, "kernels::gemv_gathered x length");
+    debug_assert_eq!(rows.len(), out.len(), "kernels::gemv_gathered shape");
+    for (&r, slot) in rows.iter().zip(out.iter_mut()) {
+        *slot = dot(&a[r * k..(r + 1) * k], x);
+    }
+}
+
+/// Row block size for [`gemv_gathered_batch`]: 64 rows × K=32 × 8 bytes is
+/// 16 KiB, comfortably inside L1 together with the query vectors.
+pub const GEMV_BLOCK_ROWS: usize = 64;
+
+/// Cache-blocked batched gather-gemv: `outs[q][i] = A[rows[i], ·] · xs[q]`.
+///
+/// Iterates row blocks in the outer loop and queries in the inner loop, so a
+/// block of gathered skill rows is loaded into cache once and reused for
+/// every query in the batch. Per-element accumulation order is unchanged
+/// (each `outs[q][i]` is still one left-to-right [`dot`]), so results are
+/// bit-identical to `Q` independent [`gemv_gathered`] calls.
+pub fn gemv_gathered_batch(
+    k: usize,
+    a: &[f64],
+    rows: &[usize],
+    xs: &[&[f64]],
+    outs: &mut [Vec<f64>],
+) {
+    debug_assert_eq!(xs.len(), outs.len(), "kernels::gemv_gathered_batch shape");
+    for out in outs.iter_mut() {
+        out.clear();
+        out.resize(rows.len(), 0.0);
+    }
+    let mut base = 0;
+    for block in rows.chunks(GEMV_BLOCK_ROWS) {
+        for (x, out) in xs.iter().zip(outs.iter_mut()) {
+            for (i, &r) in block.iter().enumerate() {
+                out[base + i] = dot(&a[r * k..(r + 1) * k], x);
+            }
+        }
+        base += block.len();
+    }
+}
+
+/// Optimistic (UCB-style) score for one gathered row:
+/// `mean · x + beta * sqrt(max(0, Σ_k vars[k] · x[k]²))`.
+///
+/// The variance accumulation runs left-to-right over `k`, matching the serial
+/// loop in `TdpmModel::select_top_k_optimistic`, so the dense optimistic path
+/// is bit-identical to the serial one.
+#[inline]
+pub fn ucb_score(mean_row: &[f64], var_row: &[f64], x: &[f64], beta: f64) -> f64 {
+    debug_assert_eq!(mean_row.len(), x.len(), "kernels::ucb_score mean length");
+    debug_assert_eq!(var_row.len(), x.len(), "kernels::ucb_score var length");
+    let mean = dot(mean_row, x);
+    let mut var = 0.0;
+    for (v, xk) in var_row.iter().zip(x) {
+        var += v * xk * xk;
+    }
+    mean + beta * var.max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vector;
+
+    fn matrix(rows: usize, k: usize) -> Vec<f64> {
+        (0..rows * k).map(|i| (i as f64) * 0.37 - 3.0).collect()
+    }
+
+    #[test]
+    fn dot_matches_vector_dot_bitwise() {
+        let a: Vec<f64> = (0..17).map(|i| (i as f64).sin() * 1e3).collect();
+        let b: Vec<f64> = (0..17).map(|i| (i as f64).cos() / 7.0).collect();
+        let va = Vector::from_vec(a.clone());
+        let vb = Vector::from_vec(b.clone());
+        let reference = va.dot(&vb).unwrap();
+        assert_eq!(dot(&a, &b).to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn gemv_rowmajor_scores_every_row() {
+        let k = 5;
+        let a = matrix(4, k);
+        let x: Vec<f64> = (0..k).map(|i| i as f64 + 0.5).collect();
+        let mut out = vec![0.0; 4];
+        gemv_rowmajor(k, &a, &x, &mut out);
+        for r in 0..4 {
+            assert_eq!(out[r].to_bits(), dot(&a[r * k..(r + 1) * k], &x).to_bits());
+        }
+    }
+
+    #[test]
+    fn gathered_matches_rowmajor_on_identity_gather() {
+        let k = 3;
+        let a = matrix(6, k);
+        let x = vec![1.0, -2.0, 0.25];
+        let rows: Vec<usize> = (0..6).collect();
+        let mut full = vec![0.0; 6];
+        let mut gathered = vec![0.0; 6];
+        gemv_rowmajor(k, &a, &x, &mut full);
+        gemv_gathered(k, &a, &rows, &x, &mut gathered);
+        assert_eq!(full, gathered);
+    }
+
+    #[test]
+    fn gathered_respects_row_permutation() {
+        let k = 2;
+        let a = matrix(5, k);
+        let x = vec![0.5, 2.0];
+        let rows = vec![4, 0, 2];
+        let mut out = vec![0.0; 3];
+        gemv_gathered(k, &a, &rows, &x, &mut out);
+        assert_eq!(out[0].to_bits(), dot(&a[8..10], &x).to_bits());
+        assert_eq!(out[1].to_bits(), dot(&a[0..2], &x).to_bits());
+        assert_eq!(out[2].to_bits(), dot(&a[4..6], &x).to_bits());
+    }
+
+    #[test]
+    fn batched_bit_identical_to_independent_gemvs() {
+        let k = 7;
+        // More rows than one block so the blocking loop actually iterates.
+        let rows_n = GEMV_BLOCK_ROWS * 2 + 13;
+        let a = matrix(rows_n, k);
+        let rows: Vec<usize> = (0..rows_n).rev().collect();
+        let q0: Vec<f64> = (0..k).map(|i| (i as f64) * 0.1).collect();
+        let q1: Vec<f64> = (0..k).map(|i| 1.0 - i as f64).collect();
+        let xs: Vec<&[f64]> = vec![&q0, &q1];
+        let mut outs = vec![Vec::new(), Vec::new()];
+        gemv_gathered_batch(k, &a, &rows, &xs, &mut outs);
+        for (x, out) in xs.iter().zip(&outs) {
+            let mut reference = vec![0.0; rows_n];
+            gemv_gathered(k, &a, &rows, x, &mut reference);
+            let got: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn ucb_score_matches_serial_formula() {
+        let mean = vec![0.2, -0.4, 1.5];
+        let var = vec![0.1, 0.3, 0.0];
+        let x = vec![1.0, 2.0, -1.0];
+        let beta = 0.7;
+        let mut v = 0.0;
+        for kk in 0..3 {
+            v += var[kk] * x[kk] * x[kk];
+        }
+        let want = dot(&mean, &x) + beta * v.max(0.0).sqrt();
+        assert_eq!(ucb_score(&mean, &var, &x, beta).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn ucb_negative_variance_clamped() {
+        let mean = vec![1.0];
+        let var = vec![-4.0];
+        let x = vec![1.0];
+        assert_eq!(ucb_score(&mean, &var, &x, 1.0), 1.0);
+    }
+}

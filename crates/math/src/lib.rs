@@ -19,9 +19,12 @@
 //! - [`special`]: `lgamma`, `digamma`, `logsumexp`, `softmax` — required by
 //!   the LDA baseline and the logistic-normal topic link.
 //! - [`stats`]: sample means / covariances for the M-step (paper Eqs. 16–19).
+//! - [`kernels`]: contiguous-slice scoring kernels (gathered / blocked gemv,
+//!   UCB scores) for the dense online-selection serving path.
 
 pub mod cholesky;
 pub mod error;
+pub mod kernels;
 pub mod matrix;
 pub mod optimize;
 pub mod special;

@@ -2,7 +2,8 @@
 
 use crowd_core::{CoreError, TdpmBackend, TdpmConfig, TdpmModel};
 use crowd_select::{
-    FitDiagnostics, FitOptions, FittedSelector, RankedWorker, SelectError, SelectorBackend,
+    BatchQuery, FitDiagnostics, FitOptions, FittedSelector, RankedWorker, SelectError,
+    SelectorBackend,
 };
 use crowd_store::{OnlineRegistry, SharedCrowdDb, StoreError, TaskId, WorkerId};
 use crowd_text::{tokenize_filtered, BagOfWords};
@@ -300,6 +301,64 @@ impl CrowdManager {
             selected,
             standbys,
         })
+    }
+
+    /// Batched blue path: accepts several tasks at once under a *single*
+    /// read lock on the serving snapshot, ranking them through
+    /// [`FittedSelector::select_batch`] so the candidate pool is resolved
+    /// once for the whole batch (the dense batch kernel for TDPM).
+    ///
+    /// Rankings are bit-identical to calling
+    /// [`CrowdManager::submit_task_ranked`] once per text; the difference is
+    /// purely amortization. All tasks are stored before the online check,
+    /// mirroring the single-task path.
+    pub fn submit_tasks_ranked(&self, texts: &[&str]) -> Result<Vec<TaskSubmission>, ManagerError> {
+        let fitted_guard = self.fitted.read();
+        let fitted = fitted_guard.as_ref().ok_or(ManagerError::NotTrained)?;
+
+        let tasks: Vec<(TaskId, BagOfWords)> = {
+            let mut db = self.db.write();
+            texts
+                .iter()
+                .map(|&text| {
+                    let tokens = tokenize_filtered(text);
+                    let bow = BagOfWords::from_tokens(&tokens, db.vocab_mut());
+                    let task = db.add_task_raw(text.to_owned(), bow.clone());
+                    (task, bow)
+                })
+                .collect()
+        };
+
+        let candidates: Vec<WorkerId> = self.online.lock().online_workers().collect();
+        if candidates.is_empty() {
+            return Err(ManagerError::NoWorkersOnline);
+        }
+        // One shared candidate slice → one pool resolution for the batch.
+        let queries: Vec<BatchQuery<'_>> = tasks
+            .iter()
+            .map(|(_, bow)| BatchQuery {
+                bow,
+                candidates: &candidates,
+                task: None,
+            })
+            .collect();
+        let rankings = fitted.select_batch(&queries, candidates.len());
+
+        let mut out = Vec::with_capacity(tasks.len());
+        let mut db = self.db.write();
+        for ((task, _), mut ranking) in tasks.into_iter().zip(rankings) {
+            let standbys = ranking.split_off(self.config.top_k.min(ranking.len()));
+            let selected = ranking;
+            for r in &selected {
+                db.assign(r.worker, task)?;
+            }
+            out.push(TaskSubmission {
+                task,
+                selected,
+                standbys,
+            });
+        }
+        Ok(out)
     }
 
     /// Assigns `worker` to `task` (the reassignment path). Idempotent:
@@ -699,6 +758,84 @@ mod tests {
         manager.assign(extra[0], sub.task).unwrap();
         manager.assign(extra[0], sub.task).unwrap();
         assert!(manager.db().read().is_assigned(extra[0], sub.task));
+    }
+
+    #[test]
+    fn batched_submission_matches_sequential_rankings() {
+        // Two managers over identical databases and (frozen) VSM fits: one
+        // submits a burst, the other submits one by one. Selection must be
+        // bit-identical — batching is amortization, not a policy change.
+        let texts = [
+            "btree page split question",
+            "gaussian prior variance question",
+            "btree index buffer question",
+        ];
+        let build = || {
+            let (db, dba, stat) = seeded_db();
+            let m = CrowdManager::with_backend(
+                SharedCrowdDb::new(db),
+                ManagerConfig {
+                    top_k: 1,
+                    ..ManagerConfig::default()
+                },
+                Box::new(VsmBackend),
+            );
+            m.train().unwrap();
+            m.set_online(dba);
+            m.set_online(stat);
+            m
+        };
+        let batched = build().submit_tasks_ranked(&texts).unwrap();
+        let sequential: Vec<TaskSubmission> = {
+            let m = build();
+            texts
+                .iter()
+                .map(|t| m.submit_task_ranked(t).unwrap())
+                .collect()
+        };
+        assert_eq!(batched.len(), sequential.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.task, s.task);
+            let pairs = [(&b.selected, &s.selected), (&b.standbys, &s.standbys)];
+            for (bw, sw) in pairs {
+                assert_eq!(bw.len(), sw.len());
+                for (x, y) in bw.iter().zip(sw.iter()) {
+                    assert_eq!(x.worker, y.worker);
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_submission_assigns_and_checks_online() {
+        let (manager, dba, stat) = seeded_manager(2);
+        assert_eq!(
+            manager.submit_tasks_ranked(&["anything"]).unwrap_err(),
+            ManagerError::NotTrained
+        );
+        manager.train().unwrap();
+        assert_eq!(
+            manager.submit_tasks_ranked(&["anything"]).unwrap_err(),
+            ManagerError::NoWorkersOnline
+        );
+        manager.set_online(dba);
+        manager.set_online(stat);
+        let subs = manager
+            .submit_tasks_ranked(&["btree page buffer", "gaussian prior variance"])
+            .unwrap();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].selected[0].worker, dba);
+        assert_eq!(subs[1].selected[0].worker, stat);
+        let db = manager.db().read();
+        for sub in &subs {
+            for r in &sub.selected {
+                assert!(db.is_assigned(r.worker, sub.task));
+            }
+            for s in &sub.standbys {
+                assert!(!db.is_assigned(s.worker, sub.task));
+            }
+        }
     }
 
     #[test]

@@ -304,136 +304,180 @@ impl Pipeline {
                 report.errors += 1;
                 continue;
             };
-            report.tasks_submitted += 1;
-            let task = submission.task;
-            let dispatch = Dispatch {
-                task,
-                text: text.to_owned(),
-            };
+            self.drive_submission(text, submission, score_fn, &mut report);
+        }
+        self.finish_run(report)
+    }
 
-            let quorum = self
-                .config
-                .quorum
-                .unwrap_or(submission.selected.len())
-                .min(submission.selected.len());
-            let policy = LifecyclePolicy {
-                quorum,
-                max_reassignments: self.config.max_reassignments,
-                deadline: self.config.answer_timeout,
-                base_backoff: self.config.base_backoff,
-                max_backoff: self.config.max_backoff,
-            };
-            let standbys: Vec<WorkerId> = submission.standbys.iter().map(|r| r.worker).collect();
-            let mut lifecycle = TaskLifecycle::new(task, policy, standbys);
+    /// Like [`Pipeline::run`], but all tasks are submitted *up front*
+    /// through [`CrowdManager::submit_tasks_ranked`] — one snapshot lock and
+    /// one candidate resolution for the whole batch — and then driven to
+    /// completion one by one.
+    ///
+    /// Semantics differ from [`Pipeline::run`] in exactly one way: every
+    /// ranking is computed against the model state *before any* of the
+    /// batch's feedback, whereas the sequential path folds each task's
+    /// feedback into the next task's selection. Use it for bursts of
+    /// independent tasks where dispatch throughput matters more than
+    /// within-burst adaptation.
+    pub fn run_batched(&self, tasks: &[&str], score_fn: &ScoreFn) -> PipelineReport {
+        let mut report = PipelineReport::default();
+        let submissions = match self.manager.submit_tasks_ranked(tasks) {
+            Ok(submissions) => submissions,
+            Err(_) => {
+                report.errors += tasks.len();
+                return self.finish_run(report);
+            }
+        };
+        for (&text, submission) in tasks.iter().zip(submissions) {
+            self.drive_submission(text, submission, score_fn, &mut report);
+        }
+        self.finish_run(report)
+    }
 
-            // Initial dispatch wave: the assigned top-k.
-            let mut queue: VecDeque<(Instant, WorkerId)> = VecDeque::new();
-            // When each active assignment was delivered, for the
-            // dispatch→answer latency histogram (reassignment overwrites).
-            let mut dispatched_at: HashMap<WorkerId, Instant> = HashMap::new();
-            let now = Instant::now();
-            for r in &submission.selected {
-                match self.dispatcher.dispatch(r.worker, dispatch.clone()) {
-                    DispatchOutcome::Delivered => {
-                        report.dispatches_delivered += 1;
-                        lifecycle.activate_initial(r.worker, now);
-                        dispatched_at.insert(r.worker, now);
-                    }
-                    outcome => {
-                        self.note_undeliverable(r.worker, outcome, &mut report);
-                        let directives = lifecycle.initial_dispatch_failed(r.worker);
-                        enqueue(&mut queue, directives, now);
-                    }
+    /// Drives one submitted task through dispatch → collect → score →
+    /// feedback, with deadlines, quorum completion and reassignment.
+    fn drive_submission(
+        &self,
+        text: &str,
+        submission: crate::manager::TaskSubmission,
+        score_fn: &ScoreFn,
+        report: &mut PipelineReport,
+    ) {
+        report.tasks_submitted += 1;
+        let task = submission.task;
+        let dispatch = Dispatch {
+            task,
+            text: text.to_owned(),
+        };
+
+        let quorum = self
+            .config
+            .quorum
+            .unwrap_or(submission.selected.len())
+            .min(submission.selected.len());
+        let policy = LifecyclePolicy {
+            quorum,
+            max_reassignments: self.config.max_reassignments,
+            deadline: self.config.answer_timeout,
+            base_backoff: self.config.base_backoff,
+            max_backoff: self.config.max_backoff,
+        };
+        let standbys: Vec<WorkerId> = submission.standbys.iter().map(|r| r.worker).collect();
+        let mut lifecycle = TaskLifecycle::new(task, policy, standbys);
+
+        // Initial dispatch wave: the assigned top-k.
+        let mut queue: VecDeque<(Instant, WorkerId)> = VecDeque::new();
+        // When each active assignment was delivered, for the
+        // dispatch→answer latency histogram (reassignment overwrites).
+        let mut dispatched_at: HashMap<WorkerId, Instant> = HashMap::new();
+        let now = Instant::now();
+        for r in &submission.selected {
+            match self.dispatcher.dispatch(r.worker, dispatch.clone()) {
+                DispatchOutcome::Delivered => {
+                    report.dispatches_delivered += 1;
+                    lifecycle.activate_initial(r.worker, now);
+                    dispatched_at.insert(r.worker, now);
+                }
+                outcome => {
+                    self.note_undeliverable(r.worker, outcome, report);
+                    let directives = lifecycle.initial_dispatch_failed(r.worker);
+                    enqueue(&mut queue, directives, now);
                 }
             }
-
-            // Drive the lifecycle until the task is decided.
-            while lifecycle.is_open() {
-                let now = Instant::now();
-
-                // Dispatch replacements whose backoff elapsed.
-                while queue.front().is_some_and(|(ready, _)| *ready <= now) {
-                    let (_, worker) = queue.pop_front().expect("checked front");
-                    if self.manager.assign(worker, task).is_err() {
-                        report.errors += 1;
-                        let directives = lifecycle.reassign_dispatch_failed(worker);
-                        enqueue(&mut queue, directives, now);
-                        continue;
-                    }
-                    match self.dispatcher.dispatch(worker, dispatch.clone()) {
-                        DispatchOutcome::Delivered => {
-                            report.dispatches_delivered += 1;
-                            lifecycle.activate_reassigned(worker, now);
-                            dispatched_at.insert(worker, now);
-                        }
-                        outcome => {
-                            self.note_undeliverable(worker, outcome, &mut report);
-                            let directives = lifecycle.reassign_dispatch_failed(worker);
-                            enqueue(&mut queue, directives, now);
-                        }
-                    }
-                }
-
-                // Attribute incoming answers to their assignments.
-                while let Some(event) = self.collector.try_recv_answer() {
-                    self.handle_answer(
-                        event,
-                        task,
-                        &mut lifecycle,
-                        &mut queue,
-                        &dispatched_at,
-                        &mut report,
-                    );
-                }
-
-                // Expire overdue assignments.
-                let directives = lifecycle.tick(Instant::now());
-                enqueue(&mut queue, directives, Instant::now());
-
-                if lifecycle.is_open() {
-                    std::thread::sleep(Duration::from_micros(200));
-                }
-            }
-            queue.clear();
-
-            let counters = lifecycle.counters();
-            report.reassignments += counters.reassignments;
-            report.expired_assignments += counters.expired_assignments;
-            report.garbage_answers += counters.garbage_answers;
-            match lifecycle.state() {
-                TaskState::Completed { via_quorum: true } => report.quorum_completions += 1,
-                TaskState::Completed { via_quorum: false } => {}
-                TaskState::Abandoned => {
-                    report.abandonments += 1;
-                    report.timeouts += 1;
-                }
-                TaskState::Open => unreachable!("loop exits only on decided tasks"),
-            }
-
-            // Score the workers whose answers were accepted.
-            for &w in lifecycle.answered() {
-                let answer_text = self
-                    .manager
-                    .db()
-                    .read()
-                    .answer(w, task)
-                    .map(|bag| format!("{} terms", bag.distinct_terms()))
-                    .unwrap_or_default();
-                let score = score_fn(w, &dispatch, &answer_text);
-                let fb = FeedbackEvent {
-                    worker: w,
-                    task,
-                    score,
-                };
-                if self.collector.send_feedback(fb).is_err() {
-                    report.errors += 1;
-                }
-            }
-            let drained = self.collector.drain_feedback_into(&self.manager);
-            report.feedback_applied += drained.feedback;
-            report.errors += drained.errors;
         }
 
+        // Drive the lifecycle until the task is decided.
+        while lifecycle.is_open() {
+            let now = Instant::now();
+
+            // Dispatch replacements whose backoff elapsed.
+            while queue.front().is_some_and(|(ready, _)| *ready <= now) {
+                let (_, worker) = queue.pop_front().expect("checked front");
+                if self.manager.assign(worker, task).is_err() {
+                    report.errors += 1;
+                    let directives = lifecycle.reassign_dispatch_failed(worker);
+                    enqueue(&mut queue, directives, now);
+                    continue;
+                }
+                match self.dispatcher.dispatch(worker, dispatch.clone()) {
+                    DispatchOutcome::Delivered => {
+                        report.dispatches_delivered += 1;
+                        lifecycle.activate_reassigned(worker, now);
+                        dispatched_at.insert(worker, now);
+                    }
+                    outcome => {
+                        self.note_undeliverable(worker, outcome, report);
+                        let directives = lifecycle.reassign_dispatch_failed(worker);
+                        enqueue(&mut queue, directives, now);
+                    }
+                }
+            }
+
+            // Attribute incoming answers to their assignments.
+            while let Some(event) = self.collector.try_recv_answer() {
+                self.handle_answer(
+                    event,
+                    task,
+                    &mut lifecycle,
+                    &mut queue,
+                    &dispatched_at,
+                    report,
+                );
+            }
+
+            // Expire overdue assignments.
+            let directives = lifecycle.tick(Instant::now());
+            enqueue(&mut queue, directives, Instant::now());
+
+            if lifecycle.is_open() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        queue.clear();
+
+        let counters = lifecycle.counters();
+        report.reassignments += counters.reassignments;
+        report.expired_assignments += counters.expired_assignments;
+        report.garbage_answers += counters.garbage_answers;
+        match lifecycle.state() {
+            TaskState::Completed { via_quorum: true } => report.quorum_completions += 1,
+            TaskState::Completed { via_quorum: false } => {}
+            TaskState::Abandoned => {
+                report.abandonments += 1;
+                report.timeouts += 1;
+            }
+            TaskState::Open => unreachable!("loop exits only on decided tasks"),
+        }
+
+        // Score the workers whose answers were accepted.
+        for &w in lifecycle.answered() {
+            let answer_text = self
+                .manager
+                .db()
+                .read()
+                .answer(w, task)
+                .map(|bag| format!("{} terms", bag.distinct_terms()))
+                .unwrap_or_default();
+            let score = score_fn(w, &dispatch, &answer_text);
+            let fb = FeedbackEvent {
+                worker: w,
+                task,
+                score,
+            };
+            if self.collector.send_feedback(fb).is_err() {
+                report.errors += 1;
+            }
+        }
+        let drained = self.collector.drain_feedback_into(&self.manager);
+        report.feedback_applied += drained.feedback;
+        report.errors += drained.errors;
+    }
+
+    /// Shared tail of [`Pipeline::run`] / [`Pipeline::run_batched`]: drains
+    /// straggler answers, stamps the degradation total and mirrors the
+    /// report into the metrics registry.
+    fn finish_run(&self, mut report: PipelineReport) -> PipelineReport {
         // Collect any last stragglers so their answers are at least stored.
         while let Some(event) = self.collector.try_recv_answer() {
             report.late_answers += 1;
@@ -609,6 +653,59 @@ mod tests {
         let btree_task = crowd_store::TaskId((db.num_tasks() - 3) as u32);
         assert!(db.is_assigned(dba, btree_task));
         assert_eq!(db.feedback(dba, btree_task), Some(1.0));
+    }
+
+    #[test]
+    fn batched_run_processes_all_tasks() {
+        let (db, dba, _) = specialist_db();
+        let answer_fn: Arc<AnswerFn> = Arc::new(|w, d| format!("answer to {} from {w}", d.task));
+        let pipeline = Pipeline::start(db, config(), answer_fn).unwrap();
+
+        let tasks = vec![
+            "btree page buffer question",
+            "gaussian variance question",
+            "btree index split question",
+        ];
+        let score_fn: Box<ScoreFn> = Box::new(|_, _, _| 1.0);
+        let report = pipeline.run_batched(&tasks, &*score_fn);
+
+        assert_eq!(report.tasks_submitted, 3);
+        assert_eq!(report.dispatches_delivered, 3, "top_k = 1 per task");
+        assert_eq!(report.answers_collected, 3);
+        assert_eq!(report.feedback_applied, 3);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.abandonments, 0);
+
+        let manager = pipeline.shutdown();
+        let db = manager.db().read();
+        let btree_task = crowd_store::TaskId((db.num_tasks() - 3) as u32);
+        assert!(
+            db.is_assigned(dba, btree_task),
+            "routed before any feedback"
+        );
+        assert_eq!(db.feedback(dba, btree_task), Some(1.0));
+    }
+
+    #[test]
+    fn batched_run_surfaces_submission_failure_per_task() {
+        let (db, _, _) = specialist_db();
+        let answer_fn: Arc<AnswerFn> = Arc::new(|_, _| "ok".into());
+        let pipeline = Pipeline::start(db, config(), answer_fn).unwrap();
+        // Everyone offline: the batch submission fails as a unit.
+        for w in pipeline
+            .manager()
+            .db()
+            .read()
+            .worker_ids()
+            .collect::<Vec<_>>()
+        {
+            pipeline.manager().set_offline(w);
+        }
+        let score_fn: Box<ScoreFn> = Box::new(|_, _, _| 1.0);
+        let report = pipeline.run_batched(&["a", "b"], &*score_fn);
+        assert_eq!(report.errors, 2);
+        assert_eq!(report.tasks_submitted, 0);
+        pipeline.shutdown();
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! An LRU cache for TDPM task projections, keyed by query content.
+//!
+//! Projecting a task (Algorithm 3, Eqs. 22–23) runs a fixed-point iteration
+//! per query; for a serving engine the same task text often arrives many
+//! times between retrains. The projection depends only on the fitted model
+//! parameters and the bag-of-words, so a `(fit epoch, content hash)` pair
+//! fully determines it — the cache clears itself whenever it observes a new
+//! epoch, and entries never go stale within one.
+
+use crowd_core::TaskProjection;
+use crowd_text::BagOfWords;
+use std::collections::HashMap;
+
+/// Default capacity of the engine's projection cache.
+pub(crate) const DEFAULT_PROJECTION_CACHE_CAPACITY: usize = 256;
+
+/// FNV-1a over the bag's `(term index, count)` entries.
+///
+/// [`BagOfWords::iter`] yields terms in sorted order, so equal bags hash
+/// equally regardless of construction order. A 64-bit collision would serve
+/// the wrong projection; entries therefore keep the bag itself and verify
+/// equality on every hit (see [`ProjectionCache::get_or_insert_with`]).
+pub(crate) fn bow_key(bow: &BagOfWords) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for (t, c) in bow.iter() {
+        for b in (t.index() as u64)
+            .to_le_bytes()
+            .into_iter()
+            .chain((c as u64).to_le_bytes())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+struct Entry {
+    last_used: u64,
+    bow: BagOfWords,
+    projection: TaskProjection,
+}
+
+/// A small LRU map `content hash → TaskProjection`, valid for one fit epoch.
+pub(crate) struct ProjectionCache {
+    capacity: usize,
+    /// Fit epoch the cached projections were computed under.
+    epoch: u64,
+    /// Monotonic access clock for LRU eviction.
+    tick: u64,
+    map: HashMap<u64, Entry>,
+}
+
+impl ProjectionCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ProjectionCache {
+            capacity: capacity.max(1),
+            epoch: 0,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Number of live entries (for tests).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks up the projection for `bow` under `epoch`, computing and
+    /// caching it with `project` on a miss. Returns the projection and
+    /// whether it was a hit. Seeing a different epoch than the cached one
+    /// drops every entry first — projections are only comparable within a
+    /// single fit.
+    pub(crate) fn get_or_insert_with(
+        &mut self,
+        epoch: u64,
+        bow: &BagOfWords,
+        project: impl FnOnce() -> TaskProjection,
+    ) -> (&TaskProjection, bool) {
+        if self.epoch != epoch {
+            self.epoch = epoch;
+            self.map.clear();
+        }
+        self.tick += 1;
+        let key = bow_key(bow);
+        // Hash hit still verifies the bag to rule out 64-bit collisions.
+        let hit = self.map.get(&key).is_some_and(|e| &e.bow == bow);
+        if !hit {
+            if self.map.len() >= self.capacity {
+                // O(capacity) eviction of the least-recently-used entry;
+                // capacity is small enough that a heap isn't worth it.
+                if let Some(&lru) = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k)
+                {
+                    self.map.remove(&lru);
+                }
+            }
+            self.map.insert(
+                key,
+                Entry {
+                    last_used: 0,
+                    bow: bow.clone(),
+                    projection: project(),
+                },
+            );
+        }
+        let entry = self.map.get_mut(&key).expect("just inserted or hit");
+        entry.last_used = self.tick;
+        (&entry.projection, hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_math::Vector;
+    use crowd_store::CrowdDb;
+    use crowd_text::tokenize_filtered;
+
+    fn bag(db: &mut CrowdDb, text: &str) -> BagOfWords {
+        BagOfWords::from_tokens(&tokenize_filtered(text), db.vocab_mut())
+    }
+
+    fn projection(tag: f64) -> TaskProjection {
+        TaskProjection {
+            lambda: Vector::from(vec![tag, 1.0 - tag]),
+            nu2: Vector::from(vec![0.1, 0.1]),
+            num_tokens: 2.0,
+        }
+    }
+
+    #[test]
+    fn equal_bags_hash_equal_distinct_bags_rarely_collide() {
+        let mut db = CrowdDb::new();
+        let a = bag(&mut db, "btree page split");
+        let b = bag(&mut db, "split page btree btree page split");
+        assert_ne!(bow_key(&a), bow_key(&b), "counts differ");
+        let a2 = bag(&mut db, "split btree page");
+        assert_eq!(bow_key(&a), bow_key(&a2), "order-independent");
+        assert_ne!(bow_key(&a), bow_key(&bag(&mut db, "gaussian prior")));
+    }
+
+    #[test]
+    fn second_lookup_hits_and_epoch_change_clears() {
+        let mut db = CrowdDb::new();
+        let bow = bag(&mut db, "btree page");
+        let mut cache = ProjectionCache::new(4);
+        let (_, hit) = cache.get_or_insert_with(1, &bow, || projection(0.3));
+        assert!(!hit);
+        let (p, hit) = cache.get_or_insert_with(1, &bow, || panic!("must hit"));
+        assert!(hit);
+        assert_eq!(p.lambda.as_slice()[0], 0.3);
+        // A retrain bumps the epoch: everything is recomputed.
+        let (p, hit) = cache.get_or_insert_with(2, &bow, || projection(0.9));
+        assert!(!hit);
+        assert_eq!(p.lambda.as_slice()[0], 0.9);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        let mut db = CrowdDb::new();
+        let bows: Vec<BagOfWords> = ["alpha", "beta", "gamma"]
+            .iter()
+            .map(|t| bag(&mut db, t))
+            .collect();
+        let mut cache = ProjectionCache::new(2);
+        cache.get_or_insert_with(1, &bows[0], || projection(0.0));
+        cache.get_or_insert_with(1, &bows[1], || projection(0.1));
+        // Touch bows[0] so bows[1] is the LRU, then overflow.
+        assert!(cache.get_or_insert_with(1, &bows[0], || unreachable!()).1);
+        cache.get_or_insert_with(1, &bows[2], || projection(0.2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get_or_insert_with(1, &bows[0], || projection(0.0)).1);
+        assert!(!cache.get_or_insert_with(1, &bows[1], || projection(0.1)).1);
+    }
+}

@@ -1,10 +1,12 @@
 //! Query execution over a crowd database.
 
 use crate::ast::{BackendName, ShowTarget, Statement};
+use crate::cache::{ProjectionCache, DEFAULT_PROJECTION_CACHE_CAPACITY};
 use crate::output::{QueryOutput, SelectedWorker};
 use crate::QueryError;
 use crowd_baselines::standard_registry;
-use crowd_select::{FitOptions, FittedSelector, SelectorRegistry};
+use crowd_core::TdpmModel;
+use crowd_select::{BatchQuery, DbMutation, FitOptions, FittedSelector, SelectorRegistry};
 use crowd_store::groups::group_stats_sweep;
 use crowd_store::{CrowdDb, LoggedDb, TaskId, WorkerId};
 use crowd_text::{tokenize_filtered, BagOfWords};
@@ -90,6 +92,9 @@ pub struct QueryEngine {
     seed: u64,
     epoch: u64,
     obs: crowd_obs::Obs,
+    /// LRU of TDPM task projections keyed by query content; entries are
+    /// valid for exactly one fit epoch (see [`crate::cache`]).
+    cache: ProjectionCache,
 }
 
 impl QueryEngine {
@@ -125,6 +130,7 @@ impl QueryEngine {
             seed: 42,
             epoch: 0,
             obs: crowd_obs::Obs::noop(),
+            cache: ProjectionCache::new(DEFAULT_PROJECTION_CACHE_CAPACITY),
         }
     }
 
@@ -166,17 +172,17 @@ impl QueryEngine {
         match stmt {
             Statement::InsertWorker { handle } => {
                 let id = self.storage.add_worker(handle)?;
-                self.invalidate();
+                self.invalidate(DbMutation::WorkerAdded);
                 Ok(QueryOutput::WorkerInserted(id))
             }
             Statement::InsertTask { text } => {
                 let id = self.storage.add_task(text)?;
-                self.invalidate();
+                self.invalidate(DbMutation::TaskAdded);
                 Ok(QueryOutput::TaskInserted(id))
             }
             Statement::Assign { worker, task } => {
                 self.storage.assign(worker, task)?;
-                self.invalidate();
+                self.invalidate(DbMutation::Assigned);
                 Ok(QueryOutput::Ack(format!("assigned {worker} to {task}")))
             }
             Statement::Feedback {
@@ -185,14 +191,14 @@ impl QueryEngine {
                 score,
             } => {
                 self.storage.record_feedback(worker, task, score)?;
-                self.invalidate();
+                self.invalidate(DbMutation::Feedback);
                 Ok(QueryOutput::Ack(format!(
                     "recorded score {score} for {worker} on {task}"
                 )))
             }
             Statement::Answer { worker, task, text } => {
                 self.storage.record_answer(worker, task, &text)?;
-                self.invalidate();
+                self.invalidate(DbMutation::Answer);
                 Ok(QueryOutput::Ack(format!(
                     "stored answer from {worker} on {task}"
                 )))
@@ -228,9 +234,12 @@ impl QueryEngine {
         })
     }
 
-    /// Returns the serving snapshot for `backend`, fitting it on demand if
-    /// the backend allows lazy fits.
-    fn resolve_fitted(&mut self, backend: &BackendName) -> Result<&FittedSelector, QueryError> {
+    /// Makes sure a serving snapshot for `backend` exists in `self.fitted`,
+    /// fitting it on demand if the backend allows lazy fits.
+    ///
+    /// Split from the lookup so callers can borrow the snapshot and the
+    /// projection cache as disjoint fields afterwards.
+    fn ensure_fitted(&mut self, backend: &BackendName) -> Result<(), QueryError> {
         let name = backend.as_str();
         if !self.fitted.contains_key(name) {
             let b = self.registry.get(name)?;
@@ -250,20 +259,12 @@ impl QueryEngine {
                 .with_epoch(self.epoch);
             self.fitted.insert(name.to_string(), fitted);
         }
-        Ok(&self.fitted[name])
+        Ok(())
     }
 
-    fn select_workers(
-        &mut self,
-        text: &str,
-        limit: usize,
-        backend: &BackendName,
-        min_group: Option<usize>,
-    ) -> Result<QueryOutput, QueryError> {
-        let started = std::time::Instant::now();
-        let tokens = tokenize_filtered(text);
-        let bow = BagOfWords::from_known_tokens(&tokens, self.db().vocab());
-
+    /// The candidate pool for a `SELECT WORKERS`, honoring the optional
+    /// `WHERE GROUP >= n` filter.
+    fn candidate_pool(&self, min_group: Option<usize>) -> Result<Vec<WorkerId>, QueryError> {
         let db = self.db();
         let candidates: Vec<WorkerId> = match min_group {
             None => db.worker_ids().collect(),
@@ -277,11 +278,62 @@ impl QueryEngine {
                 "no candidate workers match the WHERE clause".into(),
             ));
         }
+        Ok(candidates)
+    }
 
-        let ranked = self
-            .resolve_fitted(backend)?
-            .selector()
-            .select(&bow, &candidates, limit);
+    /// Ranks one query through a serving snapshot. TDPM snapshots go through
+    /// the projection cache (recording `select_cache_{hit,miss}`) and the
+    /// dense [`crowd_core::SkillMatrix`] path; everything else takes the
+    /// backend's generic `select`.
+    ///
+    /// An associated function over explicit fields so callers can hold the
+    /// snapshot (`&self.fitted[..]`) and the cache (`&mut self.cache`) as
+    /// disjoint borrows.
+    fn ranked_select(
+        fitted: &FittedSelector,
+        cache: &mut ProjectionCache,
+        obs: &crowd_obs::Obs,
+        bow: &BagOfWords,
+        candidates: &[WorkerId],
+        limit: usize,
+    ) -> Vec<crowd_select::RankedWorker> {
+        match fitted.downcast_ref::<TdpmModel>() {
+            Some(model) => {
+                let (projection, hit) =
+                    cache.get_or_insert_with(fitted.epoch(), bow, || model.project_bow(bow));
+                let name = if hit {
+                    "select_cache_hit"
+                } else {
+                    "select_cache_miss"
+                };
+                obs.metrics.counter("query", name).inc();
+                model.select_top_k(projection, candidates.iter().copied(), limit)
+            }
+            None => fitted.selector().select(bow, candidates, limit),
+        }
+    }
+
+    fn select_workers(
+        &mut self,
+        text: &str,
+        limit: usize,
+        backend: &BackendName,
+        min_group: Option<usize>,
+    ) -> Result<QueryOutput, QueryError> {
+        let started = std::time::Instant::now();
+        let tokens = tokenize_filtered(text);
+        let bow = BagOfWords::from_known_tokens(&tokens, self.db().vocab());
+        let candidates = self.candidate_pool(min_group)?;
+
+        self.ensure_fitted(backend)?;
+        let ranked = Self::ranked_select(
+            &self.fitted[backend.as_str()],
+            &mut self.cache,
+            &self.obs,
+            &bow,
+            &candidates,
+            limit,
+        );
         // Per-backend latency: one histogram per backend name keeps the
         // snapshot self-describing (no label dimension in the registry).
         let m = &self.obs.metrics;
@@ -289,7 +341,82 @@ impl QueryEngine {
         m.histogram("query", &format!("select_seconds_{}", backend.as_str()))
             .observe_duration(started.elapsed());
 
-        let rows = ranked
+        Ok(QueryOutput::Workers(self.to_rows(ranked)))
+    }
+
+    /// Executes one `SELECT WORKERS` sweep for several task texts against a
+    /// single backend and candidate pool, returning one ranking per text in
+    /// input order.
+    ///
+    /// Equivalent to running the statement once per text (bit-identical
+    /// scores) but cheaper: all queries share one candidate resolution, TDPM
+    /// queries flow through the projection cache and the cache-blocked batch
+    /// kernel of [`crowd_core::SkillMatrix`], and the baselines amortize
+    /// their profile resolution through
+    /// [`crowd_select::CrowdSelector::select_batch`].
+    pub fn select_workers_batch(
+        &mut self,
+        texts: &[&str],
+        limit: usize,
+        backend: &str,
+        min_group: Option<usize>,
+    ) -> Result<Vec<Vec<SelectedWorker>>, QueryError> {
+        let started = std::time::Instant::now();
+        let backend = BackendName::new(backend);
+        let bows: Vec<BagOfWords> = texts
+            .iter()
+            .map(|t| BagOfWords::from_known_tokens(&tokenize_filtered(t), self.db().vocab()))
+            .collect();
+        let candidates = self.candidate_pool(min_group)?;
+
+        self.ensure_fitted(&backend)?;
+        let fitted = &self.fitted[backend.as_str()];
+        let ranked: Vec<Vec<crowd_select::RankedWorker>> = match fitted.downcast_ref::<TdpmModel>()
+        {
+            Some(model) => {
+                // Resolve every projection through the cache first (the
+                // borrow of the cache entry ends at the clone), then hit
+                // the dense batch kernel with one pool resolution.
+                let mut hits = 0u64;
+                let projections: Vec<crowd_core::TaskProjection> = bows
+                    .iter()
+                    .map(|bow| {
+                        let (p, hit) = self
+                            .cache
+                            .get_or_insert_with(fitted.epoch(), bow, || model.project_bow(bow));
+                        hits += u64::from(hit);
+                        p.clone()
+                    })
+                    .collect();
+                let m = &self.obs.metrics;
+                m.counter("query", "select_cache_hit").add(hits);
+                m.counter("query", "select_cache_miss")
+                    .add(bows.len() as u64 - hits);
+                model.select_top_k_batch(&projections, &candidates, limit)
+            }
+            None => {
+                let queries: Vec<BatchQuery<'_>> = bows
+                    .iter()
+                    .map(|bow| BatchQuery {
+                        bow,
+                        candidates: &candidates,
+                        task: None,
+                    })
+                    .collect();
+                fitted.select_batch(&queries, limit)
+            }
+        };
+        let m = &self.obs.metrics;
+        m.counter("query", "selects").add(texts.len() as u64);
+        m.histogram("query", &format!("select_seconds_{}", backend.as_str()))
+            .observe_duration(started.elapsed());
+
+        Ok(ranked.into_iter().map(|r| self.to_rows(r)).collect())
+    }
+
+    /// Decorates a ranking with worker handles for presentation.
+    fn to_rows(&self, ranked: Vec<crowd_select::RankedWorker>) -> Vec<SelectedWorker> {
+        ranked
             .into_iter()
             .map(|r| SelectedWorker {
                 worker: r.worker,
@@ -300,8 +427,7 @@ impl QueryEngine {
                     .unwrap_or_default(),
                 score: r.score,
             })
-            .collect();
-        Ok(QueryOutput::Workers(rows))
+            .collect()
     }
 
     fn show(&self, target: ShowTarget) -> Result<QueryOutput, QueryError> {
@@ -362,14 +488,22 @@ impl QueryEngine {
         }
     }
 
-    /// Drops lazily fitted snapshots after a write (they are fitted on stale
-    /// data). Explicitly fitted backends (TDPM) are kept: retraining is
-    /// explicit (`TRAIN MODEL`), like the red data-flow in the paper's
-    /// architecture.
-    fn invalidate(&mut self) {
+    /// Drops lazily fitted snapshots whose fit actually depends on the kind
+    /// of write that just happened (each backend declares its dependencies
+    /// via [`crowd_select::SelectorBackend::invalidated_by`]) — a
+    /// `FEEDBACK` no longer throws away a VSM fit whose profiles ignore
+    /// scores. Explicitly fitted backends (TDPM) are always kept: retraining
+    /// is explicit (`TRAIN MODEL`), like the red data-flow in the paper's
+    /// architecture. The projection cache also survives: projections depend
+    /// only on the fitted parameters, and a retrain bumps the epoch the
+    /// cache keys against.
+    fn invalidate(&mut self, mutation: DbMutation) {
         let registry = &self.registry;
-        self.fitted
-            .retain(|name, _| registry.get(name).is_ok_and(|b| !b.lazy_fit()));
+        self.fitted.retain(|name, _| {
+            registry
+                .get(name)
+                .is_ok_and(|b| !b.lazy_fit() || !b.invalidated_by(mutation))
+        });
     }
 }
 
@@ -532,6 +666,108 @@ mod tests {
         e.run("INSERT WORKER 'newcomer'").unwrap();
         assert!(e.fitted("vsm").is_none(), "lazy fit dropped on write");
         assert!(e.fitted("tdpm").is_some(), "explicit fit survives writes");
+    }
+
+    #[test]
+    fn feedback_and_answers_only_drop_dependent_fits() {
+        let mut e = seeded_engine();
+        e.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+        // A fresh assignment to score later (the write drops every lazy fit).
+        e.run("INSERT TASK 'btree vacuum freeze'").unwrap();
+        e.run("ASSIGN WORKER 0 TO TASK 6").unwrap();
+        for b in ["vsm", "drm", "tspm"] {
+            e.run(&format!("SELECT WORKERS FOR TASK 'btree' USING {b}"))
+                .unwrap();
+        }
+
+        // FEEDBACK resolves a task: the topic baselines refit, VSM's
+        // assignment-based profiles don't care.
+        e.run("FEEDBACK WORKER 0 ON TASK 6 SCORE 4").unwrap();
+        assert!(e.fitted("vsm").is_some(), "vsm ignores scores");
+        assert!(e.fitted("drm").is_none(), "drm fits on resolved tasks");
+        assert!(e.fitted("tspm").is_none(), "tspm fits on resolved tasks");
+        assert!(e.fitted("tdpm").is_some(), "explicit fit survives");
+
+        // ANSWER text is read by no backend: every snapshot survives.
+        e.run("SELECT WORKERS FOR TASK 'btree' USING drm").unwrap();
+        e.run("ANSWER WORKER 0 ON TASK 6 TEXT 'run autovacuum'")
+            .unwrap();
+        assert!(e.fitted("vsm").is_some());
+        assert!(e.fitted("drm").is_some());
+        assert!(e.fitted("tdpm").is_some());
+    }
+
+    #[test]
+    fn projection_cache_counts_hits_and_misses() {
+        use std::sync::Arc;
+        let mut e = seeded_engine();
+        let metrics = Arc::new(crowd_obs::Registry::new());
+        e.set_obs(crowd_obs::Obs::new(
+            metrics.clone(),
+            crowd_obs::Tracer::noop(),
+        ));
+        e.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+
+        e.run("SELECT WORKERS FOR TASK 'btree index' LIMIT 1")
+            .unwrap();
+        e.run("SELECT WORKERS FOR TASK 'btree index' LIMIT 2")
+            .unwrap();
+        e.run("SELECT WORKERS FOR TASK 'gaussian prior' LIMIT 1")
+            .unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("query", "select_cache_miss"), Some(2));
+        assert_eq!(snap.counter("query", "select_cache_hit"), Some(1));
+
+        // Retraining bumps the epoch: the same text misses once, then hits.
+        e.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+        e.run("SELECT WORKERS FOR TASK 'btree index' LIMIT 1")
+            .unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("query", "select_cache_miss"), Some(3));
+
+        // Baseline selects never touch the projection cache.
+        e.run("SELECT WORKERS FOR TASK 'btree index' USING vsm")
+            .unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("query", "select_cache_miss"), Some(3));
+        assert_eq!(snap.counter("query", "select_cache_hit"), Some(1));
+    }
+
+    #[test]
+    fn batched_select_matches_single_statements() {
+        let mut e = seeded_engine();
+        e.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+        let texts = [
+            "why does a btree split pages",
+            "prior for a gaussian variance",
+            "why does a btree split pages",
+        ];
+        for backend in ["tdpm", "vsm", "drm", "tspm"] {
+            let batch = e.select_workers_batch(&texts, 2, backend, None).unwrap();
+            assert_eq!(batch.len(), texts.len(), "{backend}");
+            for (text, got) in texts.iter().zip(&batch) {
+                let out = e
+                    .run(&format!(
+                        "SELECT WORKERS FOR TASK '{text}' LIMIT 2 USING {backend}"
+                    ))
+                    .unwrap();
+                let QueryOutput::Workers(want) = out else {
+                    panic!("expected workers")
+                };
+                assert_eq!(got.len(), want.len(), "{backend}");
+                for (a, b) in got.iter().zip(&want) {
+                    assert_eq!(a.worker, b.worker, "{backend}");
+                    assert_eq!(a.handle, b.handle, "{backend}");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "{backend}");
+                }
+            }
+        }
+        // The WHERE filter applies to the whole sweep.
+        e.run("INSERT WORKER 'lurker'").unwrap();
+        let batch = e
+            .select_workers_batch(&["btree"], 10, "vsm", Some(1))
+            .unwrap();
+        assert!(batch[0].iter().all(|r| r.handle != "lurker"));
     }
 
     #[test]

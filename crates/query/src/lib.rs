@@ -30,6 +30,7 @@
 //! changes.
 
 pub mod ast;
+mod cache;
 pub mod engine;
 pub mod error;
 pub mod lexer;

@@ -27,7 +27,7 @@ pub mod selector;
 
 pub use ranking::{rank_of, top_k, RankedWorker};
 pub use registry::{
-    FitDiagnostics, FitOptions, FitOutcome, FittedSelector, SelectError, SelectorBackend,
-    SelectorRegistry,
+    DbMutation, FitDiagnostics, FitOptions, FitOutcome, FittedSelector, SelectError,
+    SelectorBackend, SelectorRegistry,
 };
-pub use selector::CrowdSelector;
+pub use selector::{shared_candidate_runs, BatchQuery, CrowdSelector};

@@ -52,9 +52,20 @@ pub fn top_k(scored: impl IntoIterator<Item = (WorkerId, f64)>, k: usize) -> Vec
         if score.is_nan() {
             continue;
         }
-        heap.push(Entry(score, worker));
-        if heap.len() > k {
+        let entry = Entry(score, worker);
+        if heap.len() == k {
+            // Full heap: on large pools almost every candidate ranks no
+            // better than the current worst — reject it with one O(1) peek
+            // instead of a push + pop (two heap sifts). An entry equal to
+            // the worst leaves the same multiset either way, so the output
+            // is unchanged.
+            if heap.peek().is_some_and(|worst| entry >= *worst) {
+                continue;
+            }
+            heap.push(entry);
             heap.pop(); // evicts the current worst
+        } else {
+            heap.push(entry);
         }
     }
     let mut out: Vec<RankedWorker> = heap
@@ -72,29 +83,63 @@ pub fn top_k(scored: impl IntoIterator<Item = (WorkerId, f64)>, k: usize) -> Vec
 /// Rank position (1-based) of `target` in a full descending ranking of
 /// `scored`. Returns `None` if the target is absent.
 ///
+/// Rank = 1 + the number of strictly better workers, where "better" means a
+/// greater score under `total_cmp`, or an equal score with a smaller
+/// [`WorkerId`] (the same tie-break [`top_k`] uses).
+///
+/// Runs in a single pass over `scored`: the target id is known up front, so
+/// every element seen *after* the target's score is classified immediately,
+/// and elements seen *before* it only need their scores buffered — split by
+/// the `w < target` tie-break bit — never the full `(WorkerId, f64)` pairs.
+/// If the target is early in the stream (the common case for evaluation
+/// candidate lists) almost nothing is buffered. Duplicate entries for the
+/// target itself are ignored after the first.
+///
 /// Used by the evaluation metrics (ACCU needs "the rank of the right
-/// worker", Section 7.2.2).
+/// worker", Section 7.2.2) once per eval question.
 pub fn rank_of(
     scored: impl IntoIterator<Item = (WorkerId, f64)>,
     target: WorkerId,
 ) -> Option<usize> {
+    use std::cmp::Ordering;
+
+    let mut iter = scored.into_iter();
+    // Scores seen before the target's own: ties count as better only for
+    // smaller ids, so the two groups drain with different predicates.
+    let mut pending_smaller_id: Vec<f64> = Vec::new();
+    let mut pending_larger_id: Vec<f64> = Vec::new();
     let mut target_score: Option<f64> = None;
-    let mut all: Vec<(WorkerId, f64)> = Vec::new();
-    for (w, s) in scored {
+    for (w, s) in iter.by_ref() {
         if w == target {
             target_score = Some(s);
+            break;
         }
-        all.push((w, s));
+        if w < target {
+            pending_smaller_id.push(s);
+        } else {
+            pending_larger_id.push(s);
+        }
     }
     let ts = target_score?;
-    // Rank = 1 + number of strictly better workers (+ tie-break by id).
-    let better = all
+    let mut better = pending_smaller_id
         .iter()
-        .filter(|&&(w, s)| {
-            s.total_cmp(&ts) == std::cmp::Ordering::Greater
-                || (s.total_cmp(&ts) == std::cmp::Ordering::Equal && w < target)
-        })
+        .filter(|s| matches!(s.total_cmp(&ts), Ordering::Greater | Ordering::Equal))
         .count();
+    better += pending_larger_id
+        .iter()
+        .filter(|s| s.total_cmp(&ts) == Ordering::Greater)
+        .count();
+    drop((pending_smaller_id, pending_larger_id));
+    for (w, s) in iter {
+        if w == target {
+            continue;
+        }
+        match s.total_cmp(&ts) {
+            Ordering::Greater => better += 1,
+            Ordering::Equal if w < target => better += 1,
+            _ => {}
+        }
+    }
     Some(better + 1)
 }
 
@@ -160,6 +205,23 @@ mod tests {
         assert_eq!(rank_of(xs.clone(), WorkerId(0)), Some(2));
         assert_eq!(rank_of(xs.clone(), WorkerId(2)), Some(3));
         assert_eq!(rank_of(xs, WorkerId(9)), None);
+    }
+
+    #[test]
+    fn rank_of_is_order_independent() {
+        // Same multiset, target early vs. late in the stream.
+        let early = scored(&[(1, 5.0), (0, 3.0), (2, 1.0), (3, 5.0)]);
+        let late = scored(&[(3, 5.0), (2, 1.0), (0, 3.0), (1, 5.0)]);
+        assert_eq!(rank_of(early, WorkerId(1)), Some(1));
+        assert_eq!(rank_of(late, WorkerId(1)), Some(1));
+    }
+
+    #[test]
+    fn rank_of_nan_scores_rank_above_finite() {
+        // total_cmp places NaN above every finite score, matching the old
+        // collect-then-count implementation.
+        let xs = scored(&[(0, f64::NAN), (1, 7.0), (2, 3.0)]);
+        assert_eq!(rank_of(xs, WorkerId(1)), Some(2));
     }
 
     #[test]

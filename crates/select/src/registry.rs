@@ -8,9 +8,31 @@
 //! [`FittedSelector`] snapshot that records which backend produced it, an
 //! epoch counter for cache invalidation, and the fit diagnostics.
 
-use crate::selector::CrowdSelector;
+use crate::ranking::RankedWorker;
+use crate::selector::{BatchQuery, CrowdSelector};
 use crowd_store::CrowdDb;
 use std::fmt;
+
+/// The kind of database mutation a fitted snapshot may be invalidated by.
+///
+/// The query engine (and any other cache of [`FittedSelector`]s) passes the
+/// kind of write it just applied to [`SelectorBackend::invalidated_by`] so
+/// backends whose fit does not depend on that class of data can keep serving
+/// their snapshot. VSM profiles, for instance, are unions of assigned task
+/// content — feedback and answers never change them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbMutation {
+    /// A worker was inserted.
+    WorkerAdded,
+    /// A task was inserted.
+    TaskAdded,
+    /// A worker was assigned to a task.
+    Assigned,
+    /// A feedback score was recorded.
+    Feedback,
+    /// An answer was recorded.
+    Answer,
+}
 
 /// Knobs a caller may pass to [`SelectorBackend::fit`].
 ///
@@ -169,6 +191,18 @@ pub trait SelectorBackend: Send + Sync {
         true
     }
 
+    /// Whether a fitted snapshot of this backend goes stale under the given
+    /// mutation.
+    ///
+    /// The conservative default is `true` for everything. Backends override
+    /// it to declare independence from mutation classes their fit never
+    /// reads (e.g. VSM's content-only profiles ignore feedback scores), so
+    /// snapshot caches can skip needless refits.
+    fn invalidated_by(&self, mutation: DbMutation) -> bool {
+        let _ = mutation;
+        true
+    }
+
     /// Fits the algorithm on `db`.
     fn fit(&self, db: &CrowdDb, opts: &FitOptions) -> Result<FitOutcome, SelectError>;
 }
@@ -296,6 +330,12 @@ impl FittedSelector {
         self.selector.as_mut()
     }
 
+    /// Batched selection through the snapshot — one top-`k` list per query,
+    /// in input order (see [`CrowdSelector::select_batch`]).
+    pub fn select_batch(&self, queries: &[BatchQuery<'_>], k: usize) -> Vec<Vec<RankedWorker>> {
+        self.selector.select_batch(queries, k)
+    }
+
     /// Downcasts the boxed selector to a concrete type, if the backend
     /// opted into [`CrowdSelector::as_any`].
     pub fn downcast_ref<T: 'static>(&self) -> Option<&T> {
@@ -412,6 +452,38 @@ mod tests {
             r.fit("nope", &db, &FitOptions::default()),
             Err(SelectError::UnknownBackend { .. })
         ));
+    }
+
+    #[test]
+    fn invalidated_by_defaults_to_true_for_every_mutation() {
+        let backend = ByIdBackend("alpha");
+        for m in [
+            DbMutation::WorkerAdded,
+            DbMutation::TaskAdded,
+            DbMutation::Assigned,
+            DbMutation::Feedback,
+            DbMutation::Answer,
+        ] {
+            assert!(backend.invalidated_by(m));
+        }
+    }
+
+    #[test]
+    fn snapshot_select_batch_delegates() {
+        let r = registry();
+        let db = CrowdDb::new();
+        let fitted = r.fit("alpha", &db, &FitOptions::default()).unwrap();
+        let bow = BagOfWords::new();
+        let pool = vec![WorkerId(2), WorkerId(8), WorkerId(5)];
+        let queries = vec![BatchQuery {
+            bow: &bow,
+            candidates: &pool,
+            task: None,
+        }];
+        let batch = fitted.select_batch(&queries, 2);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0][0].worker, WorkerId(8));
+        assert_eq!(batch[0][1].worker, WorkerId(5));
     }
 
     #[test]

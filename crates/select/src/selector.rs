@@ -4,6 +4,59 @@ use crate::ranking::RankedWorker;
 use crowd_store::{TaskId, WorkerId};
 use crowd_text::BagOfWords;
 
+/// One query in a batched selection request ([`CrowdSelector::select_batch`]).
+///
+/// Borrows its content and candidate pool so a batch over a shared candidate
+/// slice (the pipeline's online pool, a query-engine sweep) costs nothing to
+/// assemble. Queries for resolved training tasks carry the store id so
+/// backends can route through their fitted per-task posterior
+/// ([`CrowdSelector::rank_trained`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchQuery<'a> {
+    /// Task content as a bag of words over the fitted vocabulary.
+    pub bow: &'a BagOfWords,
+    /// Candidate pool for this query (may be shared across the batch).
+    pub candidates: &'a [WorkerId],
+    /// Store id of a resolved training task, when known.
+    pub task: Option<TaskId>,
+}
+
+/// Splits a batch into maximal runs of consecutive queries that share the
+/// *exact same* candidate slice (pointer identity, not content equality).
+///
+/// Batched callers — the platform pipeline, the query engine, the eval
+/// harness — naturally issue many queries against one borrowed pool;
+/// backends use these runs to resolve candidates against their score tables
+/// once per run instead of once per query. A batch of per-query pools
+/// degrades gracefully to runs of length 1.
+pub fn shared_candidate_runs<'q, 'a>(
+    queries: &'q [BatchQuery<'a>],
+) -> impl Iterator<Item = &'q [BatchQuery<'a>]> {
+    struct Runs<'q, 'a>(&'q [BatchQuery<'a>]);
+    impl<'q, 'a> Iterator for Runs<'q, 'a> {
+        type Item = &'q [BatchQuery<'a>];
+        fn next(&mut self) -> Option<Self::Item> {
+            if self.0.is_empty() {
+                return None;
+            }
+            let first = self.0[0].candidates;
+            let mut len = 1;
+            while len < self.0.len()
+                && std::ptr::eq(
+                    self.0[len].candidates as *const [WorkerId],
+                    first as *const [WorkerId],
+                )
+            {
+                len += 1;
+            }
+            let (run, rest) = self.0.split_at(len);
+            self.0 = rest;
+            Some(run)
+        }
+    }
+    Runs(queries)
+}
+
 /// A fitted crowd-selection algorithm, queryable per task.
 ///
 /// A selector is *fitted once* on the historical `(T, A, S)` data and then
@@ -49,6 +102,30 @@ pub trait CrowdSelector: Send + Sync {
     ) -> Vec<RankedWorker> {
         let _ = task;
         self.rank(bow, candidates)
+    }
+
+    /// Answers a batch of selection queries, one top-`k` list per query, in
+    /// input order.
+    ///
+    /// The default loops [`rank_trained`](Self::rank_trained) /
+    /// [`rank`](Self::rank) per query and truncates — exactly what a caller
+    /// issuing the queries one at a time would get. Backends with a dense
+    /// score table (TDPM's skill matrix, the VSM/DRM/TSPM profile tables)
+    /// override this to amortize candidate resolution and the matrix walk
+    /// across the whole batch; overrides must stay bit-identical to the
+    /// serial loop.
+    fn select_batch(&self, queries: &[BatchQuery<'_>], k: usize) -> Vec<Vec<RankedWorker>> {
+        queries
+            .iter()
+            .map(|q| {
+                let mut ranked = match q.task {
+                    Some(task) => self.rank_trained(task, q.bow, q.candidates),
+                    None => self.rank(q.bow, q.candidates),
+                };
+                ranked.truncate(k);
+                ranked
+            })
+            .collect()
     }
 
     /// Registers a worker that joined after fitting, so it can be ranked
@@ -128,6 +205,57 @@ mod tests {
         let via_rank = s.rank(&bow, &candidates);
         assert_eq!(via_trained, via_rank);
         assert_eq!(via_trained[0].worker, WorkerId(7));
+    }
+
+    #[test]
+    fn default_select_batch_matches_serial_selects() {
+        let s = ById;
+        let bow = BagOfWords::new();
+        let pool_a = vec![WorkerId(1), WorkerId(5), WorkerId(3)];
+        let pool_b = vec![WorkerId(9), WorkerId(2)];
+        let queries = vec![
+            BatchQuery {
+                bow: &bow,
+                candidates: &pool_a,
+                task: None,
+            },
+            BatchQuery {
+                bow: &bow,
+                candidates: &pool_b,
+                task: Some(TaskId(7)),
+            },
+        ];
+        let batch = s.select_batch(&queries, 2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], s.select(&bow, &pool_a, 2));
+        assert_eq!(batch[1], s.select(&bow, &pool_b, 2));
+    }
+
+    #[test]
+    fn shared_candidate_runs_group_by_slice_identity() {
+        let bow = BagOfWords::new();
+        let pool_a = vec![WorkerId(1)];
+        let pool_b = vec![WorkerId(1)]; // equal content, different allocation
+        let queries = vec![
+            BatchQuery {
+                bow: &bow,
+                candidates: &pool_a,
+                task: None,
+            },
+            BatchQuery {
+                bow: &bow,
+                candidates: &pool_a,
+                task: Some(TaskId(1)),
+            },
+            BatchQuery {
+                bow: &bow,
+                candidates: &pool_b,
+                task: None,
+            },
+        ];
+        let runs: Vec<usize> = shared_candidate_runs(&queries).map(|r| r.len()).collect();
+        assert_eq!(runs, vec![2, 1], "identity groups, content does not");
+        assert!(shared_candidate_runs(&[]).next().is_none());
     }
 
     #[test]
