@@ -16,8 +16,26 @@ run() {
 
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
+
+# Static analysis gate: crowd-lint must report zero unsuppressed findings
+# (report lands in results/LINT_5.json), and its own fixture must still
+# trip every rule — a lint pass that stops failing on known-bad input is
+# a broken gate, not a clean tree.
+mkdir -p results
+run cargo run -q -p crowd-lint -- --json results/LINT_5.json
+echo "==> crowd-lint fixture must fail"
+if cargo run -q -p crowd-lint -- --root crates/lint/fixtures --quiet; then
+    echo "crowd-lint fixture unexpectedly passed; the lint gate is broken" >&2
+    exit 1
+fi
+
 run cargo build --release
 run cargo test -q --workspace --no-fail-fast
+
+# Invariant validator: run the core suite with the `validate` feature so the
+# debug-build Validate hooks (E-step/M-step boundaries, feedback ingest) are
+# exercised explicitly even if the profile ever stops defaulting to debug.
+run cargo test -q -p crowd-core --features validate
 
 # Fault matrix: the lifecycle recovery counters must reproduce exactly
 # under every seed (see crates/platform/tests/fault_matrix.rs).

@@ -56,7 +56,8 @@ impl Cell {
 }
 
 fn measure(model: &TdpmModel, projections: &[TaskProjection], n: usize) -> Cell {
-    let candidates: Vec<WorkerId> = (0..n as u32).map(WorkerId).collect();
+    let pool = u32::try_from(n).expect("pool size fits u32");
+    let candidates: Vec<WorkerId> = (0..pool).map(WorkerId).collect();
     // Fewer reps on the big pools keeps the whole smoke run under a few
     // seconds; each rep already walks every candidate BATCH times.
     let reps: u32 = match n {

@@ -27,6 +27,11 @@ pub fn bench_platform(kind: PlatformKind) -> GeneratedPlatform {
 }
 
 /// Fits the four selectors (VSM, TSPM, DRM, TDPM) with `k` categories.
+///
+/// # Panics
+///
+/// Panics if `platform` has no resolved tasks — generated bench platforms
+/// always do, so hitting this means a broken generator config.
 pub fn fit_selectors(platform: &GeneratedPlatform, k: usize) -> Vec<Box<dyn CrowdSelector>> {
     let db = &platform.db;
     vec![
@@ -70,6 +75,11 @@ pub fn run_query(selector: &dyn CrowdSelector, question: &TestQuestion, k: usize
 /// as on a trained model with these posteriors. Worker ids are dense
 /// `0..workers`, so a candidate pool of the first `n` ids hits only known
 /// workers.
+///
+/// # Panics
+///
+/// Panics if `workers` exceeds the `u32` id space or if posterior shapes
+/// disagree with `k` — impossible for the in-range arguments benches pass.
 pub fn synthetic_serving_model(workers: usize, k: usize, seed: u64) -> TdpmModel {
     let mut rng = StdRng::seed_from_u64(seed);
     let posteriors: Vec<(WorkerId, Vector, Vector)> = (0..workers)
@@ -77,7 +87,7 @@ pub fn synthetic_serving_model(workers: usize, k: usize, seed: u64) -> TdpmModel
             let mean: Vec<f64> = (0..k).map(|_| rng.random_range(-2.0..2.0)).collect();
             let var: Vec<f64> = (0..k).map(|_| rng.random_range(0.05..1.0)).collect();
             (
-                WorkerId(i as u32),
+                WorkerId(u32::try_from(i).expect("bench worker count fits u32")),
                 Vector::from_vec(mean),
                 Vector::from_vec(var),
             )

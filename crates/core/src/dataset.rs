@@ -74,7 +74,10 @@ impl TrainingSet {
     /// Builds a training set directly (used by tests and the generative
     /// round-trip). `scores` use dense worker indexes `< num_workers`.
     pub fn from_parts(tasks: Vec<TaskData>, num_workers: usize, vocab_size: usize) -> Self {
-        let worker_ids: Vec<WorkerId> = (0..num_workers as u32).map(WorkerId).collect();
+        // Synthetic dense ids; saturate rather than wrap if a caller ever
+        // asks for more workers than the u32 id space holds.
+        let count = u32::try_from(num_workers).unwrap_or(u32::MAX);
+        let worker_ids: Vec<WorkerId> = (0..count).map(WorkerId).collect();
         let worker_index = worker_ids
             .iter()
             .enumerate()

@@ -6,6 +6,7 @@
 //! the inferred skills reproduce the planted ordering.
 
 use crate::dataset::{TaskData, TrainingSet};
+use crate::error::CoreError;
 use crate::params::ModelParams;
 use crate::Result;
 use crowd_math::Vector;
@@ -48,27 +49,28 @@ pub fn generate(
     let v = params.vocab_size();
     let chol_w = params.sigma_w_chol()?;
     let chol_c = params.sigma_c_chol()?;
-    let std_normal = Normal::new(0.0, 1.0).expect("valid parameters");
+    let std_normal =
+        Normal::new(0.0, 1.0).map_err(|e| CoreError::Numerical(format!("std normal: {e}")))?;
 
     // Lines 1–3: w^i ~ Normal(μ_w, Σ_w)  (Eq. 2)
-    let worker_skills: Vec<Vector> = (0..cfg.num_workers)
-        .map(|_| {
-            let z = Vector::from_fn(k, |_| std_normal.sample(rng));
-            let mut w = chol_w.l_matvec(&z).expect("dims");
-            w.add_assign(&params.mu_w).expect("dims");
-            w
-        })
-        .collect();
+    let mut worker_skills = Vec::with_capacity(cfg.num_workers);
+    for _ in 0..cfg.num_workers {
+        let z = Vector::from_fn(k, |_| std_normal.sample(rng));
+        let mut w = chol_w.l_matvec(&z)?;
+        w.add_assign(&params.mu_w)?;
+        worker_skills.push(w);
+    }
 
     let mut task_categories = Vec::with_capacity(cfg.num_tasks);
     let mut tasks = Vec::with_capacity(cfg.num_tasks);
-    let noise = Normal::new(0.0, params.tau).expect("tau > 0");
+    let noise = Normal::new(0.0, params.tau)
+        .map_err(|e| CoreError::Numerical(format!("score noise with tau {}: {e}", params.tau)))?;
 
     for j in 0..cfg.num_tasks {
         // Line 5: c^j ~ Normal(μ_c, Σ_c)  (Eq. 3)
         let z = Vector::from_fn(k, |_| std_normal.sample(rng));
-        let mut c = chol_c.l_matvec(&z).expect("dims");
-        c.add_assign(&params.mu_c).expect("dims");
+        let mut c = chol_c.l_matvec(&z)?;
+        c.add_assign(&params.mu_c)?;
 
         // Lines 6–9: for each token, z ~ Discrete(logistic(c)) (Eq. 4),
         // v ~ β_z (Eq. 5).
@@ -88,17 +90,17 @@ pub fn generate(
 
         // Lines 11–15: assign workers and draw s_ij ~ Normal(w·c, τ) (Eq. 6).
         let assigned = sample_workers(cfg.num_workers, cfg.workers_per_task, rng);
-        let scores = assigned
-            .into_iter()
-            .map(|i| {
-                let mean = worker_skills[i].dot(&c).expect("dims");
-                (i, mean + noise.sample(rng))
-            })
-            .collect();
+        let mut scores = Vec::with_capacity(assigned.len());
+        for i in assigned {
+            let mean = worker_skills[i].dot(&c)?;
+            scores.push((i, mean + noise.sample(rng)));
+        }
 
+        let id = u32::try_from(j)
+            .map_err(|_| CoreError::InvalidConfig("num_tasks exceeds the u32 task-id space"))?;
         task_categories.push(c);
         tasks.push(TaskData {
-            task: TaskId(j as u32),
+            task: TaskId(id),
             words,
             num_tokens: cfg.tokens_per_task as f64,
             scores,

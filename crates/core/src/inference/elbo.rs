@@ -105,8 +105,13 @@ pub fn gaussian_kl(
         trace += sigma_inv[(i, i)] * nu2[i];
         log_nu2_sum += nu2[i].max(1e-300).ln();
     }
-    let diff = lambda.sub(mu).expect("dims");
-    let quad = sigma_inv.quad_form(&diff).expect("dims");
+    // All dims are K by construction; the `kernels` path mirrors
+    // `matvec`/`dot` accumulation order, so results are bit-identical.
+    let diff = Vector::from_fn(lambda.len(), |i| lambda[i] - mu[i]);
+    let mx = Vector::from_fn(diff.len(), |r| {
+        crowd_math::kernels::dot(sigma_inv.row(r), diff.as_slice())
+    });
+    let quad = crowd_math::kernels::dot(diff.as_slice(), mx.as_slice());
     0.5 * (trace + quad - k + log_det_sigma - log_nu2_sum)
 }
 

@@ -5,6 +5,7 @@ use crate::config::TdpmConfig;
 use crate::dataset::TrainingSet;
 use crate::variational::VariationalState;
 use crate::{CoreError, Result};
+use crowd_math::kernels;
 use crowd_math::optimize::{minimize_cg, solve_decreasing};
 use crowd_math::{Cholesky, Matrix, Vector};
 
@@ -136,6 +137,7 @@ impl TaskFeedbackStats {
 /// Inputs for a single task posterior update, decoupled from the global
 /// state so the same routine serves training (Eqs. 12–15) and online
 /// projection of unseen tasks (Eqs. 22–23, Algorithm 3).
+#[derive(Debug)]
 pub struct TaskUpdate<'a> {
     /// `(term index, count)` pairs of the task.
     pub words: &'a [(usize, u32)],
@@ -146,6 +148,7 @@ pub struct TaskUpdate<'a> {
 }
 
 /// In/out variational parameters for one task.
+#[derive(Debug)]
 pub struct TaskPosterior<'a> {
     /// `λ_c^j`.
     pub lambda: &'a mut Vector,
@@ -257,6 +260,7 @@ pub fn update_task(
 ///
 /// Exposed as a type (rather than a closure) so the test suite can check
 /// the analytic gradient against finite differences.
+#[derive(Debug)]
 pub struct TaskMeanObjective<'a> {
     /// Shared E-step context.
     pub ctx: &'a EStepContext,
@@ -277,15 +281,19 @@ pub struct TaskMeanObjective<'a> {
 impl crowd_math::optimize::Objective for TaskMeanObjective<'_> {
     fn value_and_grad(&self, x: &Vector, grad: &mut Vector) -> f64 {
         let k = x.len();
-        // Prior term.
-        let diff = x.sub(&self.ctx.mu_c).expect("dims");
-        let sdiff = self.ctx.sigma_c_inv.matvec(&diff).expect("dims");
-        let mut value = 0.5 * diff.dot(&sdiff).expect("dims");
+        // Prior term. Dims all equal `k` by construction, so the fallible
+        // `Vector` ops are replaced by the order-identical `kernels` path
+        // (same left-to-right accumulation → bit-identical results).
+        let diff = Vector::from_fn(k, |i| x[i] - self.ctx.mu_c[i]);
+        let sdiff = Vector::from_fn(k, |r| {
+            kernels::dot(self.ctx.sigma_c_inv.row(r), diff.as_slice())
+        });
+        let mut value = 0.5 * kernels::dot(diff.as_slice(), sdiff.as_slice());
         for kk in 0..k {
             grad[kk] = sdiff[kk];
         }
         // Word pull.
-        value -= x.dot(self.phi_sum).expect("dims");
+        value -= kernels::dot(x.as_slice(), self.phi_sum.as_slice());
         for kk in 0..k {
             grad[kk] -= self.phi_sum[kk];
         }
@@ -300,9 +308,9 @@ impl crowd_math::optimize::Objective for TaskMeanObjective<'_> {
         }
         // Feedback quadratic.
         if self.feedback.count > 0 {
-            let ax = self.feedback.a.matvec(x).expect("dims");
-            value += 0.5 * self.inv_tau2 * x.dot(&ax).expect("dims");
-            value -= self.inv_tau2 * x.dot(&self.feedback.b).expect("dims");
+            let ax = Vector::from_fn(k, |r| kernels::dot(self.feedback.a.row(r), x.as_slice()));
+            value += 0.5 * self.inv_tau2 * kernels::dot(x.as_slice(), ax.as_slice());
+            value -= self.inv_tau2 * kernels::dot(x.as_slice(), self.feedback.b.as_slice());
             for kk in 0..k {
                 grad[kk] += self.inv_tau2 * (ax[kk] - self.feedback.b[kk]);
             }

@@ -139,7 +139,9 @@ pub fn expected_sq_residual(
     lambda_c: &Vector,
     nu2_c: &Vector,
 ) -> f64 {
-    let dot = lambda_w.dot(lambda_c).expect("dims");
+    // Both vectors are K-dimensional by construction; `kernels::dot` keeps
+    // the exact accumulation order of `Vector::dot` without the dims check.
+    let dot = crowd_math::kernels::dot(lambda_w.as_slice(), lambda_c.as_slice());
     let mut second = dot * dot;
     for kk in 0..lambda_w.len() {
         second += nu2_w[kk] * lambda_c[kk] * lambda_c[kk]

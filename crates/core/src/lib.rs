@@ -53,10 +53,12 @@ pub mod persist;
 pub mod selection;
 pub mod skillmatrix;
 pub mod trainer;
+pub mod validate;
 pub mod variational;
 
 pub use backend::{TdpmBackend, TdpmSelector};
 pub use config::TdpmConfig;
+pub use crowd_math::validate::Validate;
 pub use crowd_select::CrowdSelector;
 pub use dataset::TrainingSet;
 pub use error::CoreError;

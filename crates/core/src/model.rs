@@ -134,6 +134,7 @@ struct ModelMetrics {
     projection_seconds: std::sync::Arc<crowd_obs::Histogram>,
     incremental_updates: std::sync::Arc<crowd_obs::Counter>,
     incremental_update_seconds: std::sync::Arc<crowd_obs::Histogram>,
+    validations: std::sync::Arc<crowd_obs::Counter>,
 }
 
 impl ModelMetrics {
@@ -145,6 +146,7 @@ impl ModelMetrics {
             incremental_update_seconds: obs
                 .metrics
                 .histogram("model", "incremental_update_seconds"),
+            validations: obs.metrics.counter("validate", "checks"),
         }
     }
 }
@@ -276,6 +278,10 @@ impl TdpmModel {
         self.matrix
             .upsert(worker, skill.mean.as_slice(), skill.variance.as_slice());
         self.skills.push(skill);
+        crate::validate::run(&self.metrics.validations, "add_worker", || {
+            let skill = &self.skills[self.skills.len() - 1];
+            crowd_math::Validate::validate(skill).map_err(|e| format!("skill[{worker:?}]: {e}"))
+        });
     }
 
     /// The dense serving snapshot of every worker's posterior.
@@ -354,7 +360,7 @@ impl TdpmModel {
     /// Predicted performance `w^i (c^j)ᵀ` of a worker on a projected task.
     pub fn score(&self, worker: WorkerId, projection: &TaskProjection) -> Option<f64> {
         self.skill(worker)
-            .map(|s| s.mean.dot(&projection.lambda).expect("dims"))
+            .map(|s| crowd_math::kernels::dot(s.mean.as_slice(), projection.lambda.as_slice()))
     }
 
     /// Top-k crowd-selection over `candidates` (Eq. 1; Alg. 3 line 7).
@@ -500,7 +506,8 @@ impl TdpmModel {
     ) -> Vec<RankedWorker> {
         let scored = candidates.into_iter().filter_map(|w| {
             self.skill(w).map(|s| {
-                let mean = s.mean.dot(&projection.lambda).expect("dims");
+                let mean =
+                    crowd_math::kernels::dot(s.mean.as_slice(), projection.lambda.as_slice());
                 let mut var = 0.0;
                 for kk in 0..s.mean.len() {
                     var += s.variance[kk] * projection.lambda[kk] * projection.lambda[kk];
@@ -616,6 +623,22 @@ impl TdpmModel {
         }
         self.matrix
             .upsert(worker, skill.mean.as_slice(), skill.variance.as_slice());
+        crate::validate::run(&self.metrics.validations, "record_feedback", || {
+            let skill = &self.skills[idx];
+            crowd_math::Validate::validate(skill).map_err(|e| format!("skill[{worker:?}]: {e}"))?;
+            let row = self
+                .matrix
+                .row_of(worker)
+                .ok_or_else(|| format!("worker {worker:?} missing from the serving snapshot"))?;
+            if self.matrix.mean_row(row) != skill.mean.as_slice()
+                || self.matrix.var_row(row) != skill.variance.as_slice()
+            {
+                return Err(format!(
+                    "serving snapshot out of lockstep with skill posterior for {worker:?}"
+                ));
+            }
+            Ok(())
+        });
         self.metrics.incremental_updates.inc();
         self.metrics
             .incremental_update_seconds

@@ -72,39 +72,17 @@ impl ModelParams {
             self.beta[(k, v)].max(1e-300).ln()
         })
     }
-
-    /// Sanity check: every β row is a probability distribution, covariances
-    /// are square of matching size, `τ > 0`.
-    pub fn validate(&self) -> bool {
-        let k = self.num_categories();
-        if self.mu_c.len() != k
-            || self.sigma_w.rows() != k
-            || self.sigma_w.cols() != k
-            || self.sigma_c.rows() != k
-            || self.sigma_c.cols() != k
-            || self.beta.rows() != k
-            || self.tau <= 0.0
-        {
-            return false;
-        }
-        if self.vocab_size() == 0 {
-            return true;
-        }
-        (0..k).all(|row| {
-            let s: f64 = self.beta.row(row).iter().sum();
-            (s - 1.0).abs() < 1e-6 && self.beta.row(row).iter().all(|&p| p >= 0.0)
-        })
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crowd_math::validate::Validate;
 
     #[test]
     fn neutral_params_are_valid() {
         let p = ModelParams::neutral(4, 100);
-        assert!(p.validate());
+        assert!(p.validate().is_ok());
         assert_eq!(p.num_categories(), 4);
         assert_eq!(p.vocab_size(), 100);
         assert_eq!(p.tau2(), 1.0);
@@ -113,7 +91,7 @@ mod tests {
     #[test]
     fn neutral_with_empty_vocab() {
         let p = ModelParams::neutral(2, 0);
-        assert!(p.validate());
+        assert!(p.validate().is_ok());
         assert_eq!(p.vocab_size(), 0);
     }
 
@@ -121,14 +99,14 @@ mod tests {
     fn invalid_tau_detected() {
         let mut p = ModelParams::neutral(2, 3);
         p.tau = 0.0;
-        assert!(!p.validate());
+        assert!(p.validate().is_err());
     }
 
     #[test]
     fn non_normalized_beta_detected() {
         let mut p = ModelParams::neutral(2, 3);
         p.beta[(0, 0)] = 0.9;
-        assert!(!p.validate());
+        assert!(p.validate().is_err());
     }
 
     #[test]

@@ -46,10 +46,12 @@ impl ModelSnapshot {
         let workers = model
             .worker_ids()
             .iter()
-            .map(|&id| {
-                let s = model.skill(id).expect("listed worker has a skill");
+            // `worker_ids` and `skill` read the same map, so every listed
+            // worker resolves; `filter_map` keeps the capture total anyway.
+            .filter_map(|&id| {
+                let s = model.skill(id)?;
                 let (sum_cc, sum_sc, sum_diag) = s.sufficient_stats();
-                WorkerEntry {
+                Some(WorkerEntry {
                     id,
                     mean: s.mean.clone(),
                     variance: s.variance.clone(),
@@ -57,14 +59,14 @@ impl ModelSnapshot {
                     sum_sc: sum_sc.clone(),
                     sum_diag: sum_diag.clone(),
                     num_jobs: s.num_jobs(),
-                }
+                })
             })
             .collect();
         let mut trained_tasks: Vec<(TaskId, Vector, Vector, f64)> = model
             .trained_task_ids()
-            .map(|t| {
-                let p = model.trained_projection(t).expect("listed task");
-                (t, p.lambda.clone(), p.nu2.clone(), p.num_tokens)
+            .filter_map(|t| {
+                let p = model.trained_projection(t)?;
+                Some((t, p.lambda.clone(), p.nu2.clone(), p.num_tokens))
             })
             .collect();
         trained_tasks.sort_by_key(|&(t, _, _, _)| t);

@@ -105,6 +105,11 @@ impl SkillMatrix {
     /// entry point: assembly pushes every fitted worker through it, and the
     /// incremental paths (`add_worker`, `record_feedback`) upsert the one
     /// row they touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mean` or `var` is not `K` elements long — a shape bug in
+    /// the caller, never a data-dependent condition.
     pub fn upsert(&mut self, worker: WorkerId, mean: &[f64], var: &[f64]) {
         assert_eq!(mean.len(), self.k, "SkillMatrix::upsert mean length");
         assert_eq!(var.len(), self.k, "SkillMatrix::upsert var length");
@@ -190,6 +195,11 @@ impl SkillMatrix {
     /// is streamed through the cache once for *all* queries. Queries are
     /// chunk-parallel over `threads`. Per-query results are bit-identical to
     /// [`SkillMatrix::select_mean`] on the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of any scoring thread (a panicking scorer is a
+    /// bug; there is no error value to surface from a joined chunk).
     pub fn select_mean_batch(
         &self,
         lambdas: &[&[f64]],
@@ -225,9 +235,11 @@ impl SkillMatrix {
             }
             handles
                 .into_iter()
+                // crowd-lint: allow(no-unwrap-on-serve-path) -- re-raises a child thread's panic; a panicked scoring chunk is a bug, not an error value
                 .flat_map(|h| h.join().expect("batch selection thread panicked"))
                 .collect()
         })
+        // crowd-lint: allow(no-unwrap-on-serve-path) -- crossbeam scope errs only when a child panicked; propagating that panic is the intended behavior
         .expect("crossbeam scope")
     }
 
@@ -264,9 +276,11 @@ impl SkillMatrix {
             }
             handles
                 .into_iter()
+                // crowd-lint: allow(no-unwrap-on-serve-path) -- re-raises a child thread's panic; a panicked scoring chunk is a bug, not an error value
                 .map(|h| h.join().expect("selection chunk thread panicked"))
                 .collect()
         })
+        // crowd-lint: allow(no-unwrap-on-serve-path) -- crossbeam scope errs only when a child panicked; propagating that panic is the intended behavior
         .expect("crossbeam scope");
         top_k(
             partials

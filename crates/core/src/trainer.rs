@@ -12,7 +12,7 @@ use crate::model::TdpmModel;
 use crate::params::ModelParams;
 use crate::variational::VariationalState;
 use crate::{CoreError, Result};
-use crowd_math::{Matrix, Vector};
+use crowd_math::{Matrix, Validate, Vector};
 use crowd_store::CrowdDb;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -114,9 +114,11 @@ fn update_all_tasks(
         }
         results = handles
             .into_iter()
+            // crowd-lint: allow(no-unwrap-on-serve-path) -- re-raises a child thread's panic; a panicked E-step chunk is a bug, not an error value
             .map(|h| h.join().expect("task E-step thread panicked"))
             .collect();
     })
+    // crowd-lint: allow(no-unwrap-on-serve-path) -- crossbeam scope errs only when a child panicked; propagating that panic is the intended behavior
     .expect("crossbeam scope");
     for r in results {
         r?;
@@ -183,6 +185,7 @@ impl TdpmTrainer {
         let elbo_gauge = m.gauge("trainer", "elbo");
         let delta_gauge = m.gauge("trainer", "elbo_rel_delta");
         let estep_task_secs = m.histogram("trainer", "estep_task_seconds");
+        let validations = m.counter("validate", "checks");
         let estep_worker_secs = m.histogram("trainer", "estep_worker_seconds");
         let mstep_secs = m.histogram("trainer", "mstep_seconds");
 
@@ -197,11 +200,17 @@ impl TdpmTrainer {
             let t0 = std::time::Instant::now();
             update_all_tasks(ts, &mut state, &ctx, &self.config)?;
             estep_task_secs.observe_duration(t0.elapsed());
+            crate::validate::run(&validations, "E-step (task posteriors)", || {
+                Validate::validate(&state)
+            });
 
             // E-step (b): worker posteriors, Eqs. 10–11.
             let t1 = std::time::Instant::now();
             update_workers(&mut state, ts, &ctx, &by_worker, &mut scratch)?;
             estep_worker_secs.observe_duration(t1.elapsed());
+            crate::validate::run(&validations, "E-step (worker posteriors)", || {
+                Validate::validate(&state)
+            });
 
             let bound = elbo(&state, ts, &ctx).total();
             let improved = trace
@@ -218,6 +227,9 @@ impl TdpmTrainer {
             let t2 = std::time::Instant::now();
             update_params(&mut params, &state, ts, &self.config, update_tau)?;
             mstep_secs.observe_duration(t2.elapsed());
+            crate::validate::run(&validations, "M-step (model parameters)", || {
+                Validate::validate(&params)
+            });
 
             epochs.inc();
             elbo_gauge.set(bound);
@@ -243,36 +255,31 @@ impl TdpmTrainer {
             }
         }
 
-        debug_assert!(state.is_sane(), "variational state degenerated");
-
         // Assemble the model: worker skills + their sufficient statistics so
         // incremental updates can continue from where training left off.
-        let skills = (0..ts.num_workers())
-            .map(|i| {
-                let mut sum_cc = Matrix::zeros(k, k);
-                let mut sum_sc = Vector::zeros(k);
-                let mut sum_diag = Vector::zeros(k);
-                for &(j, s) in &by_worker[i] {
-                    sum_cc
-                        .add_outer(1.0, &state.lambda_c[j])
-                        .expect("square matrix");
-                    sum_cc.add_diag(&state.nu2_c[j]).expect("square matrix");
-                    sum_sc.axpy(s, &state.lambda_c[j]).expect("dims");
-                    for kk in 0..k {
-                        sum_diag[kk] +=
-                            state.lambda_c[j][kk] * state.lambda_c[j][kk] + state.nu2_c[j][kk];
-                    }
+        let mut skills = Vec::with_capacity(ts.num_workers());
+        for (i, worker_scores) in by_worker.iter().enumerate() {
+            let mut sum_cc = Matrix::zeros(k, k);
+            let mut sum_sc = Vector::zeros(k);
+            let mut sum_diag = Vector::zeros(k);
+            for &(j, s) in worker_scores {
+                sum_cc.add_outer(1.0, &state.lambda_c[j])?;
+                sum_cc.add_diag(&state.nu2_c[j])?;
+                sum_sc.axpy(s, &state.lambda_c[j])?;
+                for kk in 0..k {
+                    sum_diag[kk] +=
+                        state.lambda_c[j][kk] * state.lambda_c[j][kk] + state.nu2_c[j][kk];
                 }
-                TdpmModel::skill_from_training(
-                    state.lambda_w[i].clone(),
-                    state.nu2_w[i].clone(),
-                    sum_cc,
-                    sum_sc,
-                    sum_diag,
-                    by_worker[i].len(),
-                )
-            })
-            .collect();
+            }
+            skills.push(TdpmModel::skill_from_training(
+                state.lambda_w[i].clone(),
+                state.nu2_w[i].clone(),
+                sum_cc,
+                sum_sc,
+                sum_diag,
+                worker_scores.len(),
+            ));
+        }
 
         let mut model = TdpmModel::assemble(
             params,
@@ -299,6 +306,9 @@ impl TdpmTrainer {
             .collect();
         model.set_trained_tasks(trained);
         model.set_obs(self.obs.clone());
+        crate::validate::run(&validations, "model assembly", || {
+            Validate::validate(&model)
+        });
         self.obs.metrics.counter("trainer", "fits").inc();
         let report = FitReport {
             iterations,

@@ -1,0 +1,336 @@
+//! Debug-build invariant validation at inference boundaries.
+//!
+//! Variational EM fails quietly: a NaN that slips into one worker posterior
+//! propagates through every later E-step and surfaces — many iterations
+//! later — as a subtly wrong ranking rather than a crash. The hooks in this
+//! module pin the model's structural invariants (finiteness, positive
+//! variances, row-stochastic responsibilities, serving-snapshot lockstep)
+//! to the exact E-/M-step boundary where they first break.
+//!
+//! Checks are compiled into debug builds and into any build with the
+//! `validate` feature; in a plain release build [`ENABLED`] is `false` and
+//! every hook folds to nothing. All checks are read-only — they can never
+//! perturb the numerics they inspect, so a validated fit is bit-identical
+//! to an unvalidated one.
+
+use crate::model::{TdpmModel, WorkerSkill};
+use crate::params::ModelParams;
+use crate::skillmatrix::SkillMatrix;
+use crate::variational::VariationalState;
+use crowd_math::validate::{check_min_entries, check_symmetric, Validate};
+
+/// Tolerance for each `φ` responsibility block summing to 1.
+const PHI_ROW_TOL: f64 = 1e-9;
+/// Tolerance for prior covariance symmetry (they pass through
+/// [`crowd_math::Matrix::symmetrize`], so exact in practice).
+const SYMMETRY_TOL: f64 = 1e-9;
+
+/// `true` when invariant validation is compiled into this build.
+pub const ENABLED: bool = cfg!(any(debug_assertions, feature = "validate"));
+
+/// Runs `check` when validation is compiled in, bumping `counter` per check.
+///
+/// # Panics
+///
+/// Panics with `what` and the violation description when the check fails —
+/// an invariant violation is a bug in the inference code, not an error
+/// value a caller could handle.
+pub(crate) fn run(
+    counter: &crowd_obs::Counter,
+    what: &str,
+    check: impl FnOnce() -> Result<(), String>,
+) {
+    if !ENABLED {
+        return;
+    }
+    if let Err(msg) = check() {
+        panic!("invariant violated at {what}: {msg}");
+    }
+    counter.inc();
+}
+
+impl Validate for VariationalState {
+    /// Means finite; variances and Taylor parameters positive; every
+    /// per-term responsibility block a probability distribution
+    /// (entries ≥ 0, sum 1 ± 1e-9).
+    fn validate(&self) -> Result<(), String> {
+        let k = self.num_categories();
+        for (name, vecs) in [("lambda_w", &self.lambda_w), ("lambda_c", &self.lambda_c)] {
+            for (i, v) in vecs.iter().enumerate() {
+                v.validate().map_err(|e| format!("{name}[{i}]: {e}"))?;
+            }
+        }
+        for (name, vecs) in [("nu2_w", &self.nu2_w), ("nu2_c", &self.nu2_c)] {
+            for (i, v) in vecs.iter().enumerate() {
+                check_min_entries(v, f64::MIN_POSITIVE)
+                    .map_err(|e| format!("{name}[{i}] must be positive: {e}"))?;
+            }
+        }
+        for (j, &e) in self.epsilon.iter().enumerate() {
+            if !(e.is_finite() && e > 0.0) {
+                return Err(format!(
+                    "epsilon[{j}] = {e} is not a positive finite number"
+                ));
+            }
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        for j in 0..self.phi.num_rows() {
+            let row = self.phi.row(j);
+            for (slot, block) in row.chunks_exact(k).enumerate() {
+                if let Some(p) = block.iter().position(|&x| !(x.is_finite() && x >= 0.0)) {
+                    return Err(format!(
+                        "phi[task {j}, term slot {slot}, k {p}] = {} is not a \
+                         non-negative finite number",
+                        block[p]
+                    ));
+                }
+                let sum: f64 = block.iter().sum();
+                if (sum - 1.0).abs() > PHI_ROW_TOL {
+                    return Err(format!(
+                        "phi[task {j}, term slot {slot}] sums to {sum} (off by {:e})",
+                        (sum - 1.0).abs()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Validate for ModelParams {
+    /// Shapes agree; `τ > 0`; prior covariances finite and symmetric; `β`
+    /// rows are probability distributions.
+    fn validate(&self) -> Result<(), String> {
+        let k = self.num_categories();
+        if self.mu_c.len() != k
+            || self.beta.rows() != k
+            || self.sigma_w.rows() != k
+            || self.sigma_w.cols() != k
+            || self.sigma_c.rows() != k
+            || self.sigma_c.cols() != k
+        {
+            return Err(format!(
+                "shape mismatch against K = {k}: mu_c is {}, beta has {} rows, \
+                 sigma_w is {}×{}, sigma_c is {}×{}",
+                self.mu_c.len(),
+                self.beta.rows(),
+                self.sigma_w.rows(),
+                self.sigma_w.cols(),
+                self.sigma_c.rows(),
+                self.sigma_c.cols()
+            ));
+        }
+        if !(self.tau.is_finite() && self.tau > 0.0) {
+            return Err(format!(
+                "tau = {} is not a positive finite number",
+                self.tau
+            ));
+        }
+        self.mu_w.validate().map_err(|e| format!("mu_w: {e}"))?;
+        self.mu_c.validate().map_err(|e| format!("mu_c: {e}"))?;
+        for (name, m) in [("sigma_w", &self.sigma_w), ("sigma_c", &self.sigma_c)] {
+            m.validate().map_err(|e| format!("{name}: {e}"))?;
+            check_symmetric(m, SYMMETRY_TOL).map_err(|e| format!("{name}: {e}"))?;
+        }
+        self.beta.validate().map_err(|e| format!("beta: {e}"))?;
+        for row in 0..k {
+            let r = self.beta.row(row);
+            if r.is_empty() {
+                continue;
+            }
+            if let Some(v) = r.iter().position(|&p| p < 0.0) {
+                return Err(format!("beta[({row}, {v})] = {} is negative", r[v]));
+            }
+            let sum: f64 = r.iter().sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(format!("beta row {row} sums to {sum}, expected 1"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Validate for WorkerSkill {
+    /// Posterior mean finite, posterior variance strictly positive.
+    fn validate(&self) -> Result<(), String> {
+        self.mean.validate().map_err(|e| format!("mean: {e}"))?;
+        check_min_entries(&self.variance, f64::MIN_POSITIVE)
+            .map_err(|e| format!("variance must be positive: {e}"))
+    }
+}
+
+impl Validate for SkillMatrix {
+    /// Dense rows finite, variances non-negative, id index consistent.
+    fn validate(&self) -> Result<(), String> {
+        let k = self.num_categories();
+        for (row, &id) in self.ids().iter().enumerate() {
+            if self.row_of(id) != Some(row) {
+                return Err(format!(
+                    "id index out of lockstep: ids[{row}] = {id:?} resolves to {:?}",
+                    self.row_of(id)
+                ));
+            }
+            let mean = self.mean_row(row);
+            let var = self.var_row(row);
+            if mean.len() != k || var.len() != k {
+                return Err(format!(
+                    "row {row} has {}/{} entries, expected {k}",
+                    mean.len(),
+                    var.len()
+                ));
+            }
+            if let Some(c) = mean.iter().position(|x| !x.is_finite()) {
+                return Err(format!("mean[({row}, {c})] = {} is not finite", mean[c]));
+            }
+            if let Some(c) = var.iter().position(|x| !(x.is_finite() && *x >= 0.0)) {
+                return Err(format!(
+                    "var[({row}, {c})] = {} is not a non-negative finite number",
+                    var[c]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Validate for TdpmModel {
+    /// Parameters, every worker posterior, the dense serving snapshot, and
+    /// their lockstep: the snapshot must hold exactly (bitwise) the
+    /// posterior each skill entry reports, or serving would rank against
+    /// stale numbers.
+    fn validate(&self) -> Result<(), String> {
+        self.params()
+            .validate()
+            .map_err(|e| format!("params: {e}"))?;
+        self.skill_matrix()
+            .validate()
+            .map_err(|e| format!("skill matrix: {e}"))?;
+        for &w in self.worker_ids() {
+            let skill = self
+                .skill(w)
+                .ok_or_else(|| format!("worker {w:?} listed but has no skill entry"))?;
+            skill.validate().map_err(|e| format!("skill[{w:?}]: {e}"))?;
+            let row = self
+                .skill_matrix()
+                .row_of(w)
+                .ok_or_else(|| format!("worker {w:?} missing from the serving snapshot"))?;
+            if self.skill_matrix().mean_row(row) != skill.mean.as_slice()
+                || self.skill_matrix().var_row(row) != skill.variance.as_slice()
+            {
+                return Err(format!(
+                    "serving snapshot out of lockstep with skill posterior for {w:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TdpmConfig;
+    use crate::dataset::{TaskData, TrainingSet};
+    use crowd_math::Vector;
+    use crowd_store::{TaskId, WorkerId};
+
+    fn tiny_state() -> VariationalState {
+        let tasks = vec![TaskData {
+            task: TaskId(0),
+            words: vec![(0, 2), (1, 1)],
+            num_tokens: 3.0,
+            scores: vec![(0, 4.0)],
+        }];
+        let ts = TrainingSet::from_parts(tasks, 1, 2);
+        VariationalState::init(&ts, 3, 7)
+    }
+
+    #[test]
+    fn fresh_state_validates() {
+        assert!(tiny_state().validate().is_ok());
+    }
+
+    #[test]
+    fn nan_mean_is_caught() {
+        let mut s = tiny_state();
+        s.lambda_w[0][1] = f64::NAN;
+        let msg = s.validate().unwrap_err();
+        assert!(msg.contains("lambda_w[0]"), "{msg}");
+    }
+
+    #[test]
+    fn nonpositive_variance_is_caught() {
+        let mut s = tiny_state();
+        s.nu2_c[0][0] = 0.0;
+        assert!(s.validate().unwrap_err().contains("nu2_c[0]"));
+    }
+
+    #[test]
+    fn unnormalized_phi_block_is_caught() {
+        let mut s = tiny_state();
+        s.phi.row_mut(0)[0] += 1e-3;
+        let msg = s.validate().unwrap_err();
+        assert!(msg.contains("sums to"), "{msg}");
+    }
+
+    #[test]
+    fn neutral_params_validate_and_bad_tau_fails() {
+        let mut p = ModelParams::neutral(2, 4);
+        assert!(p.validate().is_ok());
+        p.tau = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn asymmetric_prior_covariance_is_caught() {
+        let mut p = ModelParams::neutral(2, 0);
+        p.sigma_w[(0, 1)] = 0.5; // lower triangle left at 0
+        let msg = p.validate().unwrap_err();
+        assert!(msg.contains("sigma_w"), "{msg}");
+    }
+
+    #[test]
+    fn model_from_posteriors_validates() {
+        let k = 2;
+        let model = TdpmModel::from_posteriors(
+            ModelParams::neutral(k, 0),
+            TdpmConfig {
+                num_categories: k,
+                ..TdpmConfig::default()
+            },
+            vec![
+                (
+                    WorkerId(0),
+                    Vector::from_vec(vec![1.0, -1.0]),
+                    Vector::from_vec(vec![0.5, 0.5]),
+                ),
+                (
+                    WorkerId(7),
+                    Vector::from_vec(vec![0.0, 2.0]),
+                    Vector::from_vec(vec![1.0, 0.25]),
+                ),
+            ],
+        )
+        .unwrap();
+        assert!(model.validate().is_ok());
+    }
+
+    #[test]
+    fn run_panics_on_violation_when_enabled() {
+        // Debug builds (where tests run) always have ENABLED set; a release
+        // run without the `validate` feature has nothing to exercise here.
+        if !ENABLED {
+            return;
+        }
+        let obs = crowd_obs::Obs::noop();
+        let counter = obs.metrics.counter("validate", "checks");
+        run(&counter, "test-ok", || Ok(()));
+        assert_eq!(counter.get(), 1);
+        let err = std::panic::catch_unwind(|| {
+            run(&counter, "test-bad", || Err("broken".into()));
+        });
+        assert!(err.is_err());
+    }
+}

@@ -26,11 +26,13 @@ impl PhiMatrix {
     /// Builds a matrix with the given row lengths, every entry `value`.
     pub fn filled(row_lens: impl IntoIterator<Item = usize>, value: f64) -> Self {
         let mut offsets = vec![0usize];
+        let mut total = 0usize;
         for len in row_lens {
-            offsets.push(offsets.last().unwrap() + len);
+            total += len;
+            offsets.push(total);
         }
         PhiMatrix {
-            data: vec![value; *offsets.last().unwrap()],
+            data: vec![value; total],
             offsets,
         }
     }
@@ -70,6 +72,7 @@ impl PhiMatrix {
 /// Behaves like `&mut [row]`: [`PhiRowsMut::split_at_mut`] cuts the block in
 /// two at a row boundary, so scoped threads can each own a disjoint
 /// contiguous block of the underlying buffer.
+#[derive(Debug)]
 pub struct PhiRowsMut<'a> {
     data: &'a mut [f64],
     /// Absolute offsets of the covered rows (`len = rows + 1`); `offsets[0]`

@@ -2,7 +2,9 @@
 
 use crowd_core::dataset::{TaskData, TrainingSet};
 use crowd_core::selection::{rank_of, top_k};
-use crowd_core::{ModelParams, RankedWorker, TaskProjection, TdpmConfig, TdpmModel, TdpmTrainer};
+use crowd_core::{
+    ModelParams, RankedWorker, TaskProjection, TdpmConfig, TdpmModel, TdpmTrainer, Validate,
+};
 use crowd_math::Vector;
 use crowd_store::{TaskId, WorkerId};
 use proptest::prelude::*;
@@ -255,6 +257,48 @@ proptest! {
                 threads,
             );
             prop_assert_eq!(bits(&opt_oracle), bits(&got), "optimistic, threads={}", threads);
+        }
+    }
+
+    /// The debug-build invariant validator must never fire on a healthy
+    /// seeded fit — neither during training (the E-/M-step hooks panic on
+    /// violation, so `fit_training_set` returning `Ok` is itself the
+    /// assertion) nor after a chain of incremental feedback updates. The
+    /// checks are read-only, so a validated model must also still satisfy
+    /// an explicit re-validation.
+    #[test]
+    fn validator_is_silent_on_healthy_fits_and_updates(
+        ts in arb_training_set(),
+        k in 1usize..4,
+        feedback in prop::collection::vec((0u32..4, -3.0f64..6.0), 0..12),
+    ) {
+        let obs = crowd_obs::Obs::noop();
+        let cfg = TdpmConfig {
+            num_categories: k,
+            max_em_iters: 5,
+            seed: 23,
+            ..TdpmConfig::default()
+        };
+        // Training runs the per-iteration state/params hooks internally.
+        let (mut model, _) = TdpmTrainer::new(cfg)
+            .with_obs(obs.clone())
+            .fit_training_set(&ts)
+            .unwrap();
+        prop_assert!(model.validate().is_ok());
+
+        // Incremental updates re-check the touched posterior on every call.
+        let projection = model.project_words(&[(0, 2), (1, 1)]);
+        for (w, score) in feedback {
+            let worker = WorkerId(w);
+            model.add_worker(worker);
+            model.record_feedback(worker, &projection, score).unwrap();
+        }
+        prop_assert!(model.validate().is_ok());
+
+        // The hooks actually ran (debug builds compile them in) and counted.
+        if crowd_core::validate::ENABLED {
+            let checks = obs.metrics.snapshot().counter("validate", "checks");
+            prop_assert!(checks.unwrap_or(0) > 0, "no validations recorded");
         }
     }
 }

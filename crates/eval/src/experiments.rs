@@ -108,6 +108,7 @@ pub struct DatasetStats {
 
 /// All experiments for one platform, sharing a generated database and
 /// lazily fitted selectors.
+#[derive(Debug)]
 pub struct PlatformExperiments {
     platform: GeneratedPlatform,
     settings: ExperimentSettings,
@@ -272,6 +273,12 @@ impl PlatformExperiments {
     }
 
     /// Fits TSPM, DRM and TDPM with `k` latent categories (paper row order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated platform has no resolved tasks; experiment
+    /// generators always resolve training tasks, so this indicates a broken
+    /// experiment config.
     pub fn fit_probabilistic(&self, k: usize) -> Vec<Box<dyn CrowdSelector>> {
         let db = &self.platform.db;
         let seed = self.settings.seed;

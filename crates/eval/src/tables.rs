@@ -7,19 +7,17 @@ use std::fmt::Write as _;
 /// Renders a Table-2-style dataset statistics block.
 pub fn render_dataset_stats(rows: &[DatasetStats]) -> String {
     let mut out = String::new();
-    writeln!(
+    let _ = writeln!(
         out,
         "{:<10} {:>12} {:>12} {:>12}",
         "Dataset", "Questions", "Users", "Answers"
-    )
-    .unwrap();
+    );
     for r in rows {
-        writeln!(
+        let _ = writeln!(
             out,
             "{:<10} {:>12} {:>12} {:>12}",
             r.platform, r.questions, r.users, r.answers
-        )
-        .unwrap();
+        );
     }
     out
 }
@@ -27,16 +25,15 @@ pub fn render_dataset_stats(rows: &[DatasetStats]) -> String {
 /// Renders a Figures-3/5/7-style group statistics block.
 pub fn render_group_stats(platform: &str, rows: &[GroupStats]) -> String {
     let mut out = String::new();
-    writeln!(out, "{:<12} {:>10} {:>10}", "Group", "Size", "Coverage").unwrap();
+    let _ = writeln!(out, "{:<12} {:>10} {:>10}", "Group", "Size", "Coverage");
     for r in rows {
-        writeln!(
+        let _ = writeln!(
             out,
             "{:<12} {:>10} {:>10.3}",
             format!("{platform}{}", r.threshold),
             r.size,
             r.coverage
-        )
-        .unwrap();
+        );
     }
     out
 }
@@ -51,27 +48,31 @@ pub fn render_precision(platform: &str, cells: &[PrecisionCell]) -> String {
     ks.dedup();
 
     let mut out = String::new();
-    write!(out, "{:<10}", "Algorithm").unwrap();
+    let _ = write!(out, "{:<10}", "Algorithm");
     for &g in &groups {
         for &k in &ks {
-            write!(out, " {:>10}", format!("{platform}{g}/K{k}")).unwrap();
+            let _ = write!(out, " {:>10}", format!("{platform}{g}/K{k}"));
         }
     }
-    writeln!(out).unwrap();
+    let _ = writeln!(out);
     for algo in ALGORITHMS {
-        write!(out, "{algo:<10}").unwrap();
+        let _ = write!(out, "{algo:<10}");
         for &g in &groups {
             for &k in &ks {
                 let cell = cells.iter().find(|c| {
                     c.algo == algo && c.group == g && (c.k == k || (algo == "VSM" && c.k == 0))
                 });
                 match cell {
-                    Some(c) => write!(out, " {:>10.3}", c.precision).unwrap(),
-                    None => write!(out, " {:>10}", "-").unwrap(),
+                    Some(c) => {
+                        let _ = write!(out, " {:>10.3}", c.precision);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>10}", "-");
+                    }
                 }
             }
         }
-        writeln!(out).unwrap();
+        let _ = writeln!(out);
     }
     out
 }
@@ -83,26 +84,29 @@ pub fn render_recall(platform: &str, cells: &[RecallCell]) -> String {
     groups.dedup();
 
     let mut out = String::new();
-    write!(out, "{:<10}", "Algorithm").unwrap();
+    let _ = write!(out, "{:<10}", "Algorithm");
     for &g in &groups {
-        write!(
+        let _ = write!(
             out,
             " {:>12} {:>12}",
             format!("{platform}{g}/Top1"),
             format!("{platform}{g}/Top2")
-        )
-        .unwrap();
+        );
     }
-    writeln!(out).unwrap();
+    let _ = writeln!(out);
     for algo in ALGORITHMS {
-        write!(out, "{algo:<10}").unwrap();
+        let _ = write!(out, "{algo:<10}");
         for &g in &groups {
             match cells.iter().find(|c| c.algo == algo && c.group == g) {
-                Some(c) => write!(out, " {:>12.3} {:>12.3}", c.top1, c.top2).unwrap(),
-                None => write!(out, " {:>12} {:>12}", "-", "-").unwrap(),
+                Some(c) => {
+                    let _ = write!(out, " {:>12.3} {:>12.3}", c.top1, c.top2);
+                }
+                None => {
+                    let _ = write!(out, " {:>12} {:>12}", "-", "-");
+                }
             }
         }
-        writeln!(out).unwrap();
+        let _ = writeln!(out);
     }
     out
 }
@@ -114,26 +118,29 @@ pub fn render_runtime(platform: &str, cells: &[RuntimeCell]) -> String {
     groups.dedup();
 
     let mut out = String::new();
-    write!(out, "{:<10}", "Algorithm").unwrap();
+    let _ = write!(out, "{:<10}", "Algorithm");
     for &g in &groups {
-        write!(
+        let _ = write!(
             out,
             " {:>14} {:>14}",
             format!("{platform}{g}/Top1ms"),
             format!("{platform}{g}/Top2ms")
-        )
-        .unwrap();
+        );
     }
-    writeln!(out).unwrap();
+    let _ = writeln!(out);
     for algo in ALGORITHMS {
-        write!(out, "{algo:<10}").unwrap();
+        let _ = write!(out, "{algo:<10}");
         for &g in &groups {
             match cells.iter().find(|c| c.algo == algo && c.group == g) {
-                Some(c) => write!(out, " {:>14.4} {:>14.4}", c.top1_ms, c.top2_ms).unwrap(),
-                None => write!(out, " {:>14} {:>14}", "-", "-").unwrap(),
+                Some(c) => {
+                    let _ = write!(out, " {:>14.4} {:>14.4}", c.top1_ms, c.top2_ms);
+                }
+                None => {
+                    let _ = write!(out, " {:>14} {:>14}", "-", "-");
+                }
             }
         }
-        writeln!(out).unwrap();
+        let _ = writeln!(out);
     }
     out
 }

@@ -1,0 +1,48 @@
+//! Seeded violation fixture for the CI gate: `cargo run -p crowd-lint --
+//! --root crates/lint/fixtures` must exit non-zero. This file is never
+//! compiled (it is not part of any module tree) and the `fixtures`
+//! directory is excluded from workspace-wide scans.
+
+use std::collections::HashMap;
+
+/// One hit per rule, plus pragma demonstrations.
+pub fn seeded_unwrap(map: &HashMap<u32, u32>) -> u32 {
+    // rule: no-unwrap-on-serve-path (two sites on one line counted once each)
+    let a = map.get(&1).unwrap();
+    let b = map.get(&2).expect("seeded expect");
+    a + b
+}
+
+fn seeded_partial_cmp(xs: &mut [f64]) {
+    // rule: no-partial-cmp-unwrap
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+#[derive(Serialize)]
+pub struct SeededSnapshot {
+    // rule: deterministic-snapshot-maps
+    counters: HashMap<String, u64>,
+}
+
+fn seeded_truncation(n: u64) -> u32 {
+    // rule: no-silent-truncation
+    n as u32
+}
+
+/// Panics without documenting it.
+pub fn seeded_undocumented_panic(x: u32) {
+    // rule: pub-fn-panics-documented (assert! in an undocumented pub fn)
+    assert!(x > 0);
+}
+
+// rule: invalid-pragma (no reason given)
+// crowd-lint: allow(no-silent-truncation)
+fn seeded_invalid_pragma(n: u64) -> u16 {
+    n as u16
+}
+
+// A *valid* suppression: this one must NOT count against the gate.
+fn legitimately_suppressed(n: u64) -> u8 {
+    // crowd-lint: allow(no-silent-truncation) -- fixture: n is a dice roll in 1..=6
+    n as u8
+}

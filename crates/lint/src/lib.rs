@@ -1,0 +1,457 @@
+#![warn(missing_docs)]
+
+//! `crowd-lint` — the workspace's lexical static-analysis pass.
+//!
+//! TDPM's correctness rests on invariants the compiler cannot see: no
+//! panics on serving paths, total-order float comparisons, deterministic
+//! snapshot serialization, no silent integer truncation, documented panic
+//! contracts. This crate walks every workspace `*.rs` file line by line
+//! (string/comment aware — see [`strip`]), runs the rule registry
+//! ([`rules::default_rules`]) over the code channel, honours per-site
+//! suppression pragmas, and renders `file:line` diagnostics plus a
+//! machine-readable JSON report (see [`report::Report`]).
+//!
+//! # Pragma syntax
+//!
+//! ```text
+//! // crowd-lint: allow(<rule-name>) -- <reason>
+//! ```
+//!
+//! placed either trailing on the offending line or on its own line(s)
+//! directly above it. The reason is mandatory: a pragma without one is
+//! itself a finding (`invalid-pragma`), so every suppression in the tree
+//! carries a written justification.
+//!
+//! No dependencies, no proc macros, no type information: the tool stays
+//! trivially buildable in the offline CI image and runs in milliseconds.
+
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod strip;
+
+use report::{Report, RuleStat};
+use rules::{default_rules, Diagnostic};
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into (build output, VCS, vendored
+/// stubs, lint fixtures — fixtures contain *deliberate* violations).
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    ".devstubs",
+    "fixtures",
+    "related",
+    "results",
+];
+
+/// A parsed suppression pragma.
+#[derive(Debug, Clone)]
+struct Pragma {
+    rule: String,
+    /// `None` when the mandatory `-- reason` part is missing or empty.
+    reason: Option<String>,
+}
+
+/// Returns the pragma body (everything after `crowd-lint:`) when the
+/// comment *is* a pragma: the marker must open the comment (`// crowd-lint:`
+/// or `/* crowd-lint:`). Mentions buried in prose or doc examples
+/// (`//! // crowd-lint: ...`) are documentation, not pragmas.
+fn pragma_body(comment: &str) -> Option<&str> {
+    let t = comment.trim();
+    let rest = t.strip_prefix("//").or_else(|| t.strip_prefix("/*"))?;
+    rest.trim_start().strip_prefix("crowd-lint:")
+}
+
+/// Extracts the pragma from a comment channel, if any.
+fn parse_pragma(comment: &str) -> Option<Pragma> {
+    let rest = pragma_body(comment)?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix("--")
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(str::to_string);
+    Some(Pragma { rule, reason })
+}
+
+/// Applies suppression pragmas to raw diagnostics and appends
+/// `invalid-pragma` findings for malformed or unreasoned pragmas.
+fn apply_pragmas(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    // Pragmas visible from line `l`: on `l` itself, or on the contiguous
+    // run of pragma-only lines directly above it.
+    let pragmas_for = |l: usize| -> Vec<Pragma> {
+        let mut out = Vec::new();
+        if let Some(p) = parse_pragma(&file.lines[l].comment) {
+            out.push(p);
+        }
+        let mut j = l;
+        while j > 0 {
+            j -= 1;
+            let line = &file.lines[j];
+            if line.code.trim().is_empty() && pragma_body(&line.comment).is_some() {
+                if let Some(p) = parse_pragma(&line.comment) {
+                    out.push(p);
+                }
+            } else {
+                break;
+            }
+        }
+        out
+    };
+
+    for d in diags.iter_mut() {
+        let l = d.line - 1;
+        for p in pragmas_for(l) {
+            if p.rule == d.rule {
+                if let Some(reason) = p.reason {
+                    d.suppressed = true;
+                    d.reason = Some(reason);
+                }
+                break;
+            }
+        }
+    }
+
+    // Every pragma in the file must be well-formed and reasoned,
+    // independently of whether it matched a finding.
+    let known: Vec<&'static str> = default_rules().iter().map(|r| r.name()).collect();
+    for (i, line) in file.lines.iter().enumerate() {
+        if pragma_body(&line.comment).is_none() {
+            continue;
+        }
+        match parse_pragma(&line.comment) {
+            Some(p) if p.reason.is_none() => diags.push(Diagnostic {
+                rule: "invalid-pragma",
+                path: file.path.clone(),
+                line: i + 1,
+                message: format!(
+                    "pragma for `{}` has no written reason (`-- <why>` is mandatory)",
+                    p.rule
+                ),
+                suppressed: false,
+                reason: None,
+            }),
+            Some(p) if !known.contains(&p.rule.as_str()) => diags.push(Diagnostic {
+                rule: "invalid-pragma",
+                path: file.path.clone(),
+                line: i + 1,
+                message: format!("pragma names unknown rule `{}`", p.rule),
+                suppressed: false,
+                reason: None,
+            }),
+            Some(_) => {}
+            None => diags.push(Diagnostic {
+                rule: "invalid-pragma",
+                path: file.path.clone(),
+                line: i + 1,
+                message: "malformed crowd-lint pragma (expected \
+                          `crowd-lint: allow(<rule>) -- <reason>`)"
+                    .to_string(),
+                suppressed: false,
+                reason: None,
+            }),
+        }
+    }
+}
+
+/// Lints a single source text as if it lived at `rel_path` under the root.
+/// This is the seam the unit tests drive.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let test_file = is_test_path(rel_path);
+    let file = SourceFile::parse(rel_path, src, test_file);
+    let mut diags = Vec::new();
+    for rule in default_rules() {
+        rule.check(&file, &mut diags);
+    }
+    apply_pragmas(&file, &mut diags);
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// `true` for paths whose whole file is test/bench code.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+/// Recursively collects the `*.rs` files under `root` (sorted, skipping
+/// [`SKIP_DIRS`]), as `/`-separated paths relative to `root`.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    let rel: Vec<String> = rel
+                        .components()
+                        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                        .collect();
+                    out.push(rel.join("/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every workspace source file under `root` and builds the report.
+pub fn lint_root(root: &Path) -> std::io::Result<Report> {
+    let files = collect_files(root)?;
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        diagnostics.extend(lint_source(rel, &src));
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let mut stats: Vec<RuleStat> = default_rules()
+        .iter()
+        .map(|r| RuleStat {
+            name: r.name(),
+            unsuppressed: 0,
+            suppressed: 0,
+        })
+        .collect();
+    stats.push(RuleStat {
+        name: "invalid-pragma",
+        unsuppressed: 0,
+        suppressed: 0,
+    });
+    for d in &diagnostics {
+        if let Some(st) = stats.iter_mut().find(|s| s.name == d.rule) {
+            if d.suppressed {
+                st.suppressed += 1;
+            } else {
+                st.unsuppressed += 1;
+            }
+        }
+    }
+    Ok(Report {
+        files_scanned: files.len(),
+        stats,
+        diagnostics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unsuppressed<'d>(diags: &'d [Diagnostic], rule: &str) -> Vec<&'d Diagnostic> {
+        diags
+            .iter()
+            .filter(|d| d.rule == rule && !d.suppressed)
+            .collect()
+    }
+
+    // ---- no-unwrap-on-serve-path ---------------------------------------
+
+    #[test]
+    fn unwrap_on_serve_path_is_flagged() {
+        let diags = lint_source(
+            "crates/core/src/model.rs",
+            "fn f() { x.lock().unwrap(); y.expect(\"msg\"); }\n",
+        );
+        let hits = unsuppressed(&diags, "no-unwrap-on-serve-path");
+        assert_eq!(hits.len(), 2, "{diags:?}");
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_outside_serve_crates_is_not_flagged() {
+        let diags = lint_source("crates/eval/src/metrics.rs", "fn f() { x.unwrap(); }\n");
+        assert!(unsuppressed(&diags, "no-unwrap-on-serve-path").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_mod_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let diags = lint_source("crates/store/src/db.rs", src);
+        assert!(unsuppressed(&diags, "no-unwrap-on-serve-path").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_ignored() {
+        let src = "fn f() {\n  let s = \".unwrap()\"; // .unwrap() in comment\n}\n\
+                   /// doctest: x.unwrap()\nfn g() {}\n";
+        let diags = lint_source("crates/query/src/engine.rs", src);
+        assert!(unsuppressed(&diags, "no-unwrap-on-serve-path").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); \
+                   e.expect_err(\"no\"); }\n";
+        let diags = lint_source("crates/select/src/ranking.rs", src);
+        assert!(unsuppressed(&diags, "no-unwrap-on-serve-path").is_empty());
+    }
+
+    #[test]
+    fn pragma_with_reason_suppresses() {
+        let src = "fn f() {\n  // crowd-lint: allow(no-unwrap-on-serve-path) -- vec built \
+                   non-empty two lines up\n  x.unwrap();\n}\n";
+        let diags = lint_source("crates/core/src/trainer.rs", src);
+        assert!(unsuppressed(&diags, "no-unwrap-on-serve-path").is_empty());
+        assert!(diags
+            .iter()
+            .any(|d| d.suppressed && d.reason.as_deref().is_some_and(|r| r.contains("vec"))));
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses() {
+        let src = "fn f() { x.unwrap(); } // crowd-lint: allow(no-unwrap-on-serve-path) -- demo\n";
+        let diags = lint_source("crates/core/src/trainer.rs", src);
+        assert!(unsuppressed(&diags, "no-unwrap-on-serve-path").is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_invalid_and_does_not_suppress() {
+        let src = "fn f() {\n  // crowd-lint: allow(no-unwrap-on-serve-path)\n  x.unwrap();\n}\n";
+        let diags = lint_source("crates/core/src/trainer.rs", src);
+        assert_eq!(unsuppressed(&diags, "no-unwrap-on-serve-path").len(), 1);
+        assert_eq!(unsuppressed(&diags, "invalid-pragma").len(), 1);
+    }
+
+    #[test]
+    fn pragma_for_unknown_rule_is_invalid() {
+        let src = "// crowd-lint: allow(no-such-rule) -- why\nfn f() {}\n";
+        let diags = lint_source("crates/core/src/trainer.rs", src);
+        assert_eq!(unsuppressed(&diags, "invalid-pragma").len(), 1);
+    }
+
+    // ---- no-partial-cmp-unwrap -----------------------------------------
+
+    #[test]
+    fn partial_cmp_call_is_flagged_but_impl_is_not() {
+        let src = "fn f(xs: &mut [f64]) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n\
+                   fn partial_cmp(a: &X, b: &X) -> Option<Ordering> { None }\n";
+        let diags = lint_source("crates/eval/src/metrics.rs", src);
+        assert_eq!(unsuppressed(&diags, "no-partial-cmp-unwrap").len(), 1);
+    }
+
+    #[test]
+    fn partial_cmp_in_comment_is_ignored() {
+        let src = "// prefer total_cmp over .partial_cmp( here\nfn f() {}\n";
+        let diags = lint_source("crates/eval/src/metrics.rs", src);
+        assert!(unsuppressed(&diags, "no-partial-cmp-unwrap").is_empty());
+    }
+
+    // ---- deterministic-snapshot-maps -----------------------------------
+
+    #[test]
+    fn hashmap_in_serialize_derive_is_flagged() {
+        let src = "#[derive(Debug, Serialize)]\npub struct Snap {\n    \
+                   map: HashMap<u32, u32>,\n}\n";
+        let diags = lint_source("crates/obs/src/metrics.rs", src);
+        assert_eq!(unsuppressed(&diags, "deterministic-snapshot-maps").len(), 1);
+    }
+
+    #[test]
+    fn hashmap_in_snapshot_fn_is_flagged() {
+        let src = "pub fn snapshot(&self) -> Snap {\n    let m: HashMap<u32, u32> = \
+                   HashMap::new();\n    Snap {}\n}\n";
+        let diags = lint_source("crates/obs/src/metrics.rs", src);
+        assert_eq!(unsuppressed(&diags, "deterministic-snapshot-maps").len(), 1);
+    }
+
+    #[test]
+    fn serde_skipped_hashmap_is_not_flagged() {
+        let src = "#[derive(Debug, Serialize)]\npub struct Snap {\n    terms: Vec<String>,\n    \
+                   #[serde(skip)]\n    index: HashMap<String, u32>,\n}\n";
+        let diags = lint_source("crates/obs/src/metrics.rs", src);
+        assert!(
+            unsuppressed(&diags, "deterministic-snapshot-maps").is_empty(),
+            "a #[serde(skip)] field never reaches the serializer"
+        );
+    }
+
+    #[test]
+    fn hashmap_in_plain_struct_is_not_flagged() {
+        let src = "pub struct Index {\n    map: HashMap<u32, u32>,\n}\n";
+        let diags = lint_source("crates/store/src/db.rs", src);
+        assert!(unsuppressed(&diags, "deterministic-snapshot-maps").is_empty());
+    }
+
+    // ---- no-silent-truncation ------------------------------------------
+
+    #[test]
+    fn narrowing_cast_is_flagged_and_widening_is_not() {
+        let src = "fn f(n: u64) { let a = n as u32; let b = n as f64; let c = 3u8 as usize; }\n";
+        let diags = lint_source("crates/store/src/ids.rs", src);
+        let hits = unsuppressed(&diags, "no-silent-truncation");
+        assert_eq!(hits.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn cast_in_string_is_ignored() {
+        let src = "fn f() { let s = \"x as u32\"; }\n";
+        let diags = lint_source("crates/store/src/ids.rs", src);
+        assert!(unsuppressed(&diags, "no-silent-truncation").is_empty());
+    }
+
+    // ---- pub-fn-panics-documented --------------------------------------
+
+    #[test]
+    fn undocumented_panicking_pub_fn_is_flagged() {
+        let src = "/// Frobs.\npub fn frob(x: u32) {\n    assert!(x > 0);\n}\n";
+        let diags = lint_source("crates/math/src/matrix.rs", src);
+        assert_eq!(unsuppressed(&diags, "pub-fn-panics-documented").len(), 1);
+    }
+
+    #[test]
+    fn documented_panicking_pub_fn_is_clean() {
+        let src = "/// Frobs.\n///\n/// # Panics\n/// If x is 0.\npub fn frob(x: u32) {\n    \
+                   assert!(x > 0);\n}\n";
+        let diags = lint_source("crates/math/src/matrix.rs", src);
+        assert!(unsuppressed(&diags, "pub-fn-panics-documented").is_empty());
+    }
+
+    #[test]
+    fn debug_assert_does_not_count_as_panic() {
+        let src = "pub fn frob(x: u32) {\n    debug_assert!(x > 0);\n    \
+                   debug_assert_eq!(x, x);\n}\n";
+        let diags = lint_source("crates/math/src/matrix.rs", src);
+        assert!(unsuppressed(&diags, "pub-fn-panics-documented").is_empty());
+    }
+
+    #[test]
+    fn non_pub_fn_is_not_checked() {
+        let src = "fn private(x: u32) { assert!(x > 0); }\n\
+                   pub(crate) fn crate_only(x: u32) { assert!(x > 0); }\n";
+        let diags = lint_source("crates/math/src/matrix.rs", src);
+        assert!(unsuppressed(&diags, "pub-fn-panics-documented").is_empty());
+    }
+
+    // ---- file walking ---------------------------------------------------
+
+    #[test]
+    fn integration_test_files_are_exempt() {
+        let diags = lint_source(
+            "crates/core/tests/end_to_end.rs",
+            "fn f() { x.unwrap(); }\n",
+        );
+        assert!(diags
+            .iter()
+            .all(|d| d.suppressed || d.rule == "invalid-pragma"));
+        assert!(unsuppressed(&diags, "no-unwrap-on-serve-path").is_empty());
+    }
+}

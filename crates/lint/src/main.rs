@@ -1,0 +1,109 @@
+//! CLI driver: `cargo run -p crowd-lint [-- --root DIR --json PATH]`.
+//!
+//! Exit status is the CI contract: `0` when every finding is covered by a
+//! reasoned pragma, `1` when any unsuppressed finding (or malformed
+//! pragma) remains, `2` on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn print_help() {
+    println!(
+        "crowd-lint — workspace static-analysis pass for the crowdselect workspace
+
+USAGE:
+    cargo run -p crowd-lint [-- OPTIONS]
+
+OPTIONS:
+    --root <DIR>     lint the tree rooted at DIR (default: .)
+    --json <PATH>    also write the machine-readable report to PATH
+    --quiet          print only the summary, not per-site diagnostics
+    --help           this text
+
+RULES:"
+    );
+    for rule in crowd_lint::rules::default_rules() {
+        println!("    {:<28} {}", rule.name(), rule.describe());
+    }
+    println!(
+        "
+PRAGMA:
+    // crowd-lint: allow(<rule>) -- <reason>
+placed on the offending line or the line(s) directly above it. The reason
+is mandatory; a pragma without one is an `invalid-pragma` finding."
+    );
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("crowd-lint: --root needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("crowd-lint: --json needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("crowd-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match crowd_lint::lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("crowd-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for d in &report.diagnostics {
+            if !d.suppressed {
+                println!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
+            }
+        }
+    }
+    print!("{}", report.render_summary());
+
+    if let Some(path) = json {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("crowd-lint: cannot create {}: {e}", parent.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("crowd-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("crowd-lint: report written to {}", path.display());
+    }
+
+    if report.total_unsuppressed() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,113 @@
+//! Machine-readable lint report (`results/LINT_5.json`).
+
+use crate::rules::Diagnostic;
+
+/// Per-rule hit counts.
+#[derive(Debug, Clone)]
+pub struct RuleStat {
+    /// Rule name.
+    pub name: &'static str,
+    /// Findings not covered by a pragma — the CI gate requires 0.
+    pub unsuppressed: usize,
+    /// Findings covered by a reasoned pragma.
+    pub suppressed: usize,
+}
+
+/// The full result of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Per-rule stats, in catalog order (invalid-pragma last).
+    pub stats: Vec<RuleStat>,
+    /// Every finding, suppressed ones included.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// Total findings the gate counts against the build.
+    pub fn total_unsuppressed(&self) -> usize {
+        self.stats.iter().map(|s| s.unsuppressed).sum()
+    }
+
+    /// Renders the JSON artifact (stable key order, rule order = catalog
+    /// order, diagnostics in file/line order — byte-deterministic).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"tool\": \"crowd-lint\",\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"total_unsuppressed\": {},\n",
+            self.total_unsuppressed()
+        ));
+        s.push_str("  \"rules\": [\n");
+        for (i, st) in self.stats.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"unsuppressed\": {}, \"suppressed\": {}}}{}\n",
+                st.name,
+                st.unsuppressed,
+                st.suppressed,
+                if i + 1 < self.stats.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+                 \"suppressed\": {}, \"message\": \"{}\"{}}}{}\n",
+                d.rule,
+                json_escape(&d.path),
+                d.line,
+                d.suppressed,
+                json_escape(&d.message),
+                match &d.reason {
+                    Some(r) => format!(", \"reason\": \"{}\"", json_escape(r)),
+                    None => String::new(),
+                },
+                if i + 1 < self.diagnostics.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the human summary printed after the per-site diagnostics.
+    pub fn render_summary(&self) -> String {
+        let mut s = String::new();
+        for st in &self.stats {
+            s.push_str(&format!(
+                "  {:<28} {:>4} unsuppressed  {:>4} suppressed\n",
+                st.name, st.unsuppressed, st.suppressed
+            ));
+        }
+        s.push_str(&format!(
+            "crowd-lint: {} file(s), {} unsuppressed finding(s)\n",
+            self.files_scanned,
+            self.total_unsuppressed()
+        ));
+        s
+    }
+}

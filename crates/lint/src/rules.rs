@@ -1,0 +1,314 @@
+//! The lint rule registry.
+//!
+//! Every rule is lexical: it sees a [`SourceFile`] whose lines have already
+//! been split into code/comment channels (strings blanked, comments
+//! separated) and test regions marked. Rules emit raw [`Diagnostic`]s; the
+//! engine applies suppression pragmas afterwards, so a rule never needs to
+//! know about pragmas.
+
+use crate::source::SourceFile;
+
+/// One finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Path relative to the lint root, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation with the expected fix.
+    pub message: String,
+    /// Set by the engine when a pragma covers this site.
+    pub suppressed: bool,
+    /// The pragma's written reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+/// A lint rule.
+pub trait Rule {
+    /// Stable kebab-case rule name (what pragmas reference).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--help` and the rule catalog.
+    fn describe(&self) -> &'static str;
+    /// Emits diagnostics for `file` into `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// The default registry, in catalog order.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoUnwrapOnServePath),
+        Box::new(NoPartialCmpUnwrap),
+        Box::new(DeterministicSnapshotMaps),
+        Box::new(NoSilentTruncation),
+        Box::new(PubFnPanicsDocumented),
+    ]
+}
+
+fn diag(rule: &'static str, file: &SourceFile, line_idx: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line: line_idx + 1,
+        message,
+        suppressed: false,
+        reason: None,
+    }
+}
+
+/// Crates whose non-test code is a serving path: a panic here takes down a
+/// query, a dispatcher thread, or the store.
+const SERVE_PATH_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/select/src/",
+    "crates/query/src/",
+    "crates/platform/src/",
+    "crates/store/src/",
+];
+
+/// `no-unwrap-on-serve-path`: forbid `.unwrap()` / `.expect(` in non-test
+/// code of the serving crates — route failures into `CoreError` /
+/// `ManagerError` / `StoreError` / `QueryError` instead.
+#[derive(Debug)]
+pub struct NoUnwrapOnServePath;
+
+impl Rule for NoUnwrapOnServePath {
+    fn name(&self) -> &'static str {
+        "no-unwrap-on-serve-path"
+    }
+    fn describe(&self) -> &'static str {
+        "forbid .unwrap()/.expect( in non-test code of crates/{core,select,query,platform,store}"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !SERVE_PATH_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+            return;
+        }
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for pat in [".unwrap()", ".expect("] {
+                let mut n = 0usize;
+                let mut rest = line.code.as_str();
+                while let Some(k) = rest.find(pat) {
+                    n += 1;
+                    rest = &rest[k + pat.len()..];
+                }
+                if n > 0 {
+                    out.push(diag(
+                        self.name(),
+                        file,
+                        i,
+                        format!(
+                            "`{pat}` on a serving path ({n} site{}): return the crate error \
+                             type instead of panicking",
+                            if n == 1 { "" } else { "s" }
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `no-partial-cmp-unwrap`: float comparisons must go through the total
+/// order (`f64::total_cmp` / the `crowd_select::ranking` helpers), never
+/// `partial_cmp` — a stray NaN silently reorders rankings or panics.
+#[derive(Debug)]
+pub struct NoPartialCmpUnwrap;
+
+impl Rule for NoPartialCmpUnwrap {
+    fn name(&self) -> &'static str {
+        "no-partial-cmp-unwrap"
+    }
+    fn describe(&self) -> &'static str {
+        "forbid .partial_cmp( on floats; use total_cmp / crowd_select::ranking's total order"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            // Defining `fn partial_cmp` (a PartialOrd impl) is fine — the
+            // rule targets call sites ordering floats.
+            if line.code.contains(".partial_cmp(") && !line.code.contains("fn partial_cmp") {
+                out.push(diag(
+                    self.name(),
+                    file,
+                    i,
+                    "`.partial_cmp(` call: use `f64::total_cmp` (see \
+                     crowd_select::ranking) so NaN cannot reorder or panic"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// `deterministic-snapshot-maps`: serialized snapshots must not be fed from
+/// `HashMap` iteration order. Flags `HashMap` inside `#[derive(Serialize)]`
+/// items and inside `fn snapshot` / `fn to_json` bodies; use `BTreeMap` or
+/// sort before emitting.
+#[derive(Debug)]
+pub struct DeterministicSnapshotMaps;
+
+impl Rule for DeterministicSnapshotMaps {
+    fn name(&self) -> &'static str {
+        "deterministic-snapshot-maps"
+    }
+    fn describe(&self) -> &'static str {
+        "forbid HashMap feeding serialized snapshots; require BTreeMap or sort-before-emit"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let regions = file
+            .item_blocks_after(|code| code.contains("#[derive(") && code.contains("Serialize"))
+            .into_iter()
+            .map(|r| (r, "a `#[derive(Serialize)]` item"))
+            .chain(
+                file.item_blocks_after(|code| {
+                    code.contains("fn snapshot") || code.contains("fn to_json")
+                })
+                .into_iter()
+                .map(|r| (r, "a snapshot/serialization function")),
+            );
+        let mut flagged: Vec<usize> = Vec::new();
+        for ((start, end), what) in regions {
+            for i in start..=end.min(file.lines.len().saturating_sub(1)) {
+                let line = &file.lines[i];
+                if line.in_test || flagged.contains(&i) {
+                    continue;
+                }
+                // A `#[serde(skip)]`-ed field never reaches the serializer,
+                // so its iteration order cannot leak into a snapshot.
+                let serde_skipped = line.code.contains("#[serde(skip")
+                    || (i > 0 && file.lines[i - 1].code.contains("#[serde(skip"));
+                if serde_skipped {
+                    continue;
+                }
+                if line.code.contains("HashMap") {
+                    flagged.push(i);
+                    out.push(diag(
+                        self.name(),
+                        file,
+                        i,
+                        format!(
+                            "`HashMap` inside {what}: its iteration order is random per \
+                             process — use `BTreeMap` or sort before emitting"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `no-silent-truncation`: narrowing `as` casts on id/count types silently
+/// wrap. Require `try_from` (or a pragma explaining why the value fits).
+#[derive(Debug)]
+pub struct NoSilentTruncation;
+
+const NARROWING_TARGETS: &[&str] = &[
+    " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+];
+
+impl Rule for NoSilentTruncation {
+    fn name(&self) -> &'static str {
+        "no-silent-truncation"
+    }
+    fn describe(&self) -> &'static str {
+        "narrowing integer `as` casts must use try_from or carry a pragma"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for pat in NARROWING_TARGETS {
+                for (k, _) in line.code.match_indices(pat) {
+                    // Require a non-identifier boundary after the type name
+                    // so ` as u32` does not also match ` as u32x4`-style
+                    // names, and skip `as usize`-prefix confusion by
+                    // construction (patterns are full type names).
+                    let after = line.code[k + pat.len()..].chars().next();
+                    if after.is_none_or(|c| !(c.is_alphanumeric() || c == '_')) {
+                        out.push(diag(
+                            self.name(),
+                            file,
+                            i,
+                            format!(
+                                "narrowing cast `{}`: wraps silently on overflow — use \
+                                 `try_from` or justify with a pragma",
+                                pat.trim_start()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `pub-fn-panics-documented`: a `pub fn` whose body can panic (`panic!`,
+/// `unwrap`, `expect`, `assert!`, …) must carry a `# Panics` doc section.
+#[derive(Debug)]
+pub struct PubFnPanicsDocumented;
+
+const PANIC_PATTERNS: &[&str] = &[
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+    ".unwrap()",
+    ".expect(",
+    "assert!(",
+    "assert_eq!(",
+    "assert_ne!(",
+];
+
+impl Rule for PubFnPanicsDocumented {
+    fn name(&self) -> &'static str {
+        "pub-fn-panics-documented"
+    }
+    fn describe(&self) -> &'static str {
+        "pub fns that can panic must document it under a `# Panics` doc section"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for f in file.pub_fns() {
+            if file.lines[f.decl_line].in_test {
+                continue;
+            }
+            let mut hits: Vec<&str> = Vec::new();
+            for i in f.body.clone() {
+                let code = &file.lines[i].code;
+                for &pat in PANIC_PATTERNS {
+                    // `debug_assert!` must not match `assert!(`.
+                    let matched = code
+                        .match_indices(pat)
+                        .any(|(k, _)| !code[..k].ends_with("debug_"));
+                    if matched && !hits.contains(&pat) {
+                        hits.push(pat);
+                    }
+                }
+            }
+            if hits.is_empty() {
+                continue;
+            }
+            let documented = f
+                .doc_lines
+                .iter()
+                .any(|&i| file.lines[i].comment.contains("# Panics"));
+            if !documented {
+                out.push(diag(
+                    self.name(),
+                    file,
+                    f.decl_line,
+                    format!(
+                        "pub fn can panic ({}) but has no `# Panics` doc section",
+                        hits.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The per-file source model rules operate on: stripped lines plus the
+//! small structural queries (item blocks, `pub fn` bodies) that the
+//! brace-depth walk can answer lexically.
+
+use crate::strip::{mark_test_regions, strip, Line};
+use std::ops::Range;
+
+/// A parsed (stripped) source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the lint root, `/`-separated.
+    pub path: String,
+    /// Stripped lines, 0-indexed (diagnostics add 1).
+    pub lines: Vec<Line>,
+}
+
+/// A `pub fn` with its doc block and body extent.
+#[derive(Debug, Clone)]
+pub struct PubFn {
+    /// Line of the `pub fn` keyword (0-based).
+    pub decl_line: usize,
+    /// Lines of the `///` doc run directly above the declaration.
+    pub doc_lines: Vec<usize>,
+    /// Line range `[decl..=close]` covering the body (empty for trait
+    /// declarations that end in `;`).
+    pub body: Range<usize>,
+}
+
+impl SourceFile {
+    /// Parses `src`; `test_file` force-marks every line as test code
+    /// (integration tests, benches).
+    pub fn parse(path: impl Into<String>, src: &str, test_file: bool) -> Self {
+        let mut lines = strip(src);
+        mark_test_regions(&mut lines);
+        if test_file {
+            for l in &mut lines {
+                l.in_test = true;
+            }
+        }
+        SourceFile {
+            path: path.into(),
+            lines,
+        }
+    }
+
+    /// Finds the line ranges of the item blocks introduced right after a
+    /// line matching `pred` (attribute or `fn` signature): from the matched
+    /// line to the close of the first `{…}` opened at or after it, or to
+    /// the first top-level `;` for block-less items.
+    pub fn item_blocks_after(&self, pred: impl Fn(&str) -> bool) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for start in 0..self.lines.len() {
+            if !pred(&self.lines[start].code) {
+                continue;
+            }
+            if let Some(end) = self.block_end(start) {
+                out.push((start, end));
+            }
+        }
+        out
+    }
+
+    /// Every non-test `pub fn` (not `pub(crate)`) with docs and body extent.
+    pub fn pub_fns(&self) -> Vec<PubFn> {
+        let mut out = Vec::new();
+        for i in 0..self.lines.len() {
+            let code = &self.lines[i].code;
+            let Some(k) = code.find("pub fn ") else {
+                continue;
+            };
+            // `pub fn` must start a token run: preceded by start/whitespace
+            // (excludes `pub(crate) fn`, which never reaches here anyway,
+            // and re-exports in comments are already stripped).
+            if k > 0 && !code[..k].ends_with(char::is_whitespace) {
+                continue;
+            }
+            let mut doc_lines = Vec::new();
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                let l = &self.lines[j];
+                let code_t = l.code.trim();
+                let comment_t = l.comment.trim_start();
+                if code_t.is_empty() && comment_t.starts_with("///") {
+                    doc_lines.push(j);
+                } else if code_t.starts_with("#[") || (code_t.is_empty() && !l.comment.is_empty()) {
+                    // attributes and ordinary comments between docs and fn
+                    continue;
+                } else {
+                    break;
+                }
+            }
+            let body = match self.block_end(i) {
+                Some(end) => i..end + 1,
+                None => i..i,
+            };
+            out.push(PubFn {
+                decl_line: i,
+                doc_lines,
+                body,
+            });
+        }
+        out
+    }
+
+    /// The closing line of the first brace block opened at or after
+    /// `start`, or the line of a top-level `;` for items without a block
+    /// (returns `None` for a trailing signature with neither).
+    fn block_end(&self, start: usize) -> Option<usize> {
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        for (i, line) in self.lines.iter().enumerate().skip(start) {
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            return Some(i);
+                        }
+                    }
+                    ';' if !opened && depth == 0 && i > start => return Some(i),
+                    ';' if !opened && depth == 0 && i == start => {
+                        // Same-line `…;` after the match: item ends here.
+                        return Some(i);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pub_fn_bodies_and_docs_are_found() {
+        let src = "\
+/// Does things.
+///
+/// # Panics
+/// When x is odd.
+pub fn documented(x: u32) {
+    assert!(x % 2 == 0);
+}
+
+pub fn short() -> u32 { 1 }
+";
+        let f = SourceFile::parse("x.rs", src, false);
+        let fns = f.pub_fns();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].decl_line, 4);
+        assert_eq!(fns[0].body, 4..7);
+        assert!(fns[0]
+            .doc_lines
+            .iter()
+            .any(|&i| f.lines[i].comment.contains("# Panics")));
+        assert_eq!(fns[1].body, 8..9);
+    }
+
+    #[test]
+    fn item_block_after_derive_spans_struct() {
+        let src = "\
+#[derive(Debug, Serialize)]
+pub struct Snap {
+    map: HashMap<u32, u32>,
+}
+struct Unrelated {
+    map: HashMap<u32, u32>,
+}
+";
+        let f = SourceFile::parse("x.rs", src, false);
+        let blocks = f.item_blocks_after(|c| c.contains("#[derive(") && c.contains("Serialize"));
+        assert_eq!(blocks, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn blockless_items_end_at_semicolon() {
+        let src = "#[derive(Serialize)]\nstruct Wrap(HashMap<u32, u32>);\nfn next() {}\n";
+        let f = SourceFile::parse("x.rs", src, false);
+        let blocks = f.item_blocks_after(|c| c.contains("Serialize"));
+        assert_eq!(blocks, vec![(0, 1)]);
+    }
+}

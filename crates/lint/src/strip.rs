@@ -1,0 +1,364 @@
+//! Lexical stripping: split Rust source into per-line *code* and *comment*
+//! channels, with string/char-literal contents blanked out.
+//!
+//! The lint rules are purely lexical; their precision rests entirely on this
+//! pass. A `.unwrap()` inside a string literal or a doc comment must never
+//! reach a rule, and a suppression pragma lives in the comment channel, so
+//! the stripper keeps both channels per line:
+//!
+//! - `code`: the source text with comments removed and the *contents* of
+//!   string/char literals dropped (the delimiters stay, so `.expect("msg")`
+//!   still reads `.expect("")` and matches call-shaped patterns).
+//! - `comment`: every comment on the line, `//`/`/* */` markers included
+//!   (doc comments land here too — that is what keeps doctest code out of
+//!   the rules and what lets `pub-fn-panics-documented` find `# Panics`).
+//!
+//! Handled syntax: line comments, nested block comments, cooked strings with
+//! escapes, raw (and byte/raw-byte) strings with any `#` count, char
+//! literals vs. lifetimes, multi-line strings.
+
+/// One source line after stripping.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code channel (strings blanked, comments removed).
+    pub code: String,
+    /// Comment channel (comment markers preserved).
+    pub comment: String,
+    /// `true` when the line sits inside `#[cfg(test)]`/`#[test]` code or a
+    /// test-only file (`tests/`, `benches/`).
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Cooked string, `\`-escapes active.
+    Str,
+    /// Raw string closed by `"` + this many `#`.
+    RawStr(usize),
+    CharLit,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// The current (last) line; `lines` is constructed non-empty and only grows.
+fn cur(lines: &mut Vec<Line>) -> &mut Line {
+    if lines.is_empty() {
+        lines.push(Line::default());
+    }
+    let n = lines.len() - 1;
+    &mut lines[n]
+}
+
+/// Splits `src` into stripped lines. Never fails: unterminated constructs
+/// simply run to end-of-file in their current state.
+pub fn strip(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut state = State::Normal;
+    // Last character appended to the code channel (identifier detection for
+    // raw-string prefixes like `r#"` vs. the `r` in `for`).
+    let mut prev_code: char = '\n';
+    let mut i = 0usize;
+
+    macro_rules! cur {
+        () => {
+            cur(&mut lines)
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(Line::default());
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    cur!().comment.push_str("//");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    cur!().comment.push_str("/*");
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    // Raw-string detection: look back over `#`s to `r`/`br`,
+                    // preceded by a non-identifier character.
+                    let code = &cur!().code;
+                    let mut hashes = 0usize;
+                    let tail: Vec<char> = code.chars().rev().collect();
+                    while hashes < tail.len() && tail[hashes] == '#' {
+                        hashes += 1;
+                    }
+                    let mut j = hashes;
+                    let mut is_raw = false;
+                    if tail.get(j) == Some(&'r') {
+                        if tail.get(j + 1) == Some(&'b') {
+                            j += 1;
+                        }
+                        is_raw = !tail.get(j + 1).copied().is_some_and(is_ident);
+                    }
+                    state = if is_raw {
+                        State::RawStr(hashes)
+                    } else {
+                        State::Str
+                    };
+                    cur!().code.push('"');
+                    prev_code = '"';
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' && !is_ident(prev_code) && prev_code != '\'' {
+                    // Char literal or lifetime?
+                    let next = chars.get(i + 1).copied();
+                    let after = chars.get(i + 2).copied();
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(n) => after == Some('\'') && n != '\'',
+                        None => false,
+                    };
+                    if is_char {
+                        state = State::CharLit;
+                    }
+                    cur!().code.push('\'');
+                    prev_code = '\'';
+                    i += 1;
+                    continue;
+                }
+                cur!().code.push(c);
+                prev_code = c;
+                i += 1;
+            }
+            State::LineComment => {
+                cur!().comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    cur!().comment.push_str("*/");
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    cur!().comment.push_str("/*");
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur!().comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped character (contents dropped)
+                } else if c == '"' {
+                    cur!().code.push('"');
+                    prev_code = '"';
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let n = hashes;
+                    let closed = (0..n).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                    if closed {
+                        cur!().code.push('"');
+                        for _ in 0..n {
+                            cur!().code.push('#');
+                        }
+                        prev_code = '#';
+                        state = State::Normal;
+                        i += 1 + n;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    cur!().code.push('\'');
+                    prev_code = '\'';
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// Marks the lines belonging to `#[cfg(test)]`- or `#[test]`-attributed
+/// items by walking brace depth through the code channel.
+///
+/// An attribute arms a pending flag; the next `{` at or below the attribute
+/// depth opens the test region, the matching `}` closes it. A `;` before any
+/// `{` (e.g. `#[cfg(test)] use …;`) disarms the flag.
+pub fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut region_depth: Option<i64> = None;
+
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        let trimmed = code.trim();
+        if region_depth.is_none()
+            && (trimmed.contains("#[test]")
+                || (trimmed.contains("#[cfg(")
+                    && trimmed.contains("test")
+                    && !trimmed.contains("not(test)")))
+        {
+            pending = true;
+            line.in_test = true;
+        }
+        let mut line_touches_region = region_depth.is_some();
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending && region_depth.is_none() {
+                        region_depth = Some(depth);
+                        pending = false;
+                        line_touches_region = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_depth == Some(depth) {
+                        region_depth = None;
+                        line_touches_region = true;
+                    }
+                }
+                ';' if pending && region_depth.is_none() => pending = false,
+                _ => {}
+            }
+        }
+        if line_touches_region || region_depth.is_some() {
+            line.in_test = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        strip(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_go_to_comment_channel() {
+        let lines = strip("let x = 1; // .unwrap() here\n");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_delimiters_stay() {
+        let c = code_of(r#"let s = "call .unwrap() now"; s.len();"#);
+        assert!(!c[0].contains(".unwrap()"));
+        assert!(c[0].contains(r#"let s = "";"#));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let c = code_of(r#"let s = "a \" .unwrap() \" b"; x();"#);
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("x();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let c = code_of("let s = r#\"contains .unwrap() and \"quotes\"\"#; y();");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("y();"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = code_of("a(); /* outer /* inner .unwrap() */ still comment */ b();");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("a();"));
+        assert!(c[0].contains("b();"));
+    }
+
+    #[test]
+    fn multiline_strings_blank_following_lines() {
+        let c = code_of("let s = \"line one\n.unwrap()\nlast\"; z();");
+        assert!(!c[1].contains("unwrap"));
+        assert!(c[2].contains("z();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let c = code_of("let q = '\"'; fn f<'a>(x: &'a str) {} let n = '\\n';");
+        // The quote char literal must not open a string.
+        assert!(c[0].contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lines = strip("/// docs with .unwrap()\npub fn f() {}\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("unwrap"));
+        assert!(lines[1].code.contains("pub fn f"));
+    }
+
+    #[test]
+    fn cfg_test_mod_region_is_marked() {
+        let src = "fn live() { a.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { b.unwrap(); }\n\
+                   }\n\
+                   fn live2() {}\n";
+        let mut lines = strip(src);
+        mark_test_regions(&mut lines);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_latch() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { x.unwrap(); }\n";
+        let mut lines = strip(src);
+        mark_test_regions(&mut lines);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn not_test_cfg_is_ignored() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let mut lines = strip(src);
+        mark_test_regions(&mut lines);
+        assert!(!lines[1].in_test);
+    }
+}

@@ -29,11 +29,13 @@ pub mod matrix;
 pub mod optimize;
 pub mod special;
 pub mod stats;
+pub mod validate;
 pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::MathError;
 pub use matrix::Matrix;
+pub use validate::Validate;
 pub use vector::Vector;
 
 /// Convenience result alias for fallible math routines.

@@ -1,7 +1,17 @@
 //! Nonlinear conjugate gradient (Polak–Ribière⁺) with Armijo backtracking.
 
 use super::Objective;
-use crate::Vector;
+use crate::{kernels, Vector};
+
+/// `y += alpha * x` for the equal-length vectors this routine constructs.
+/// Matches `Vector::axpy`'s elementwise update exactly, without the
+/// dimension `Result` that can never fail here.
+fn axpy_fixed(y: &mut Vector, alpha: f64, x: &Vector) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yi, xi) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *yi += alpha * *xi;
+    }
+}
 
 /// Tuning knobs for [`minimize_cg`].
 #[derive(Debug, Clone)]
@@ -95,10 +105,10 @@ pub fn minimize_cg(f: &impl Objective, x0: &Vector, opts: &CgOptions) -> CgResul
 
         // Ensure `dir` is a descent direction; restart to steepest descent
         // otherwise (can happen after a poorly scaled β).
-        let mut slope = grad.dot(&dir).expect("dims fixed");
+        let mut slope = kernels::dot(grad.as_slice(), dir.as_slice());
         if slope >= 0.0 {
             dir = grad.map(|g| -g);
-            slope = grad.dot(&dir).expect("dims fixed");
+            slope = kernels::dot(grad.as_slice(), dir.as_slice());
             if slope >= 0.0 {
                 // Gradient is exactly zero (handled above) or NaN.
                 return CgResult {
@@ -118,7 +128,7 @@ pub fn minimize_cg(f: &impl Objective, x0: &Vector, opts: &CgOptions) -> CgResul
         let mut trial_value = value;
         for _ in 0..opts.max_backtracks {
             trial = x.clone();
-            trial.axpy(step, &dir).expect("dims fixed");
+            axpy_fixed(&mut trial, step, &dir);
             trial_value = f.value_and_grad(&trial, &mut trial_grad);
             if trial_value.is_finite() && trial_value <= value + opts.armijo_c1 * step * slope {
                 accepted = true;
@@ -161,10 +171,10 @@ pub fn minimize_cg(f: &impl Objective, x0: &Vector, opts: &CgOptions) -> CgResul
         value = trial_value;
 
         // Polak–Ribière⁺ coefficient.
-        let gg_prev = grad_prev.dot(&grad_prev).expect("dims fixed");
-        let diff = grad.sub(&grad_prev).expect("dims fixed");
+        let gg_prev = kernels::dot(grad_prev.as_slice(), grad_prev.as_slice());
+        let diff = Vector::from_fn(n, |i| grad[i] - grad_prev[i]);
         let beta = if gg_prev > 0.0 {
-            (grad.dot(&diff).expect("dims fixed") / gg_prev).max(0.0)
+            (kernels::dot(grad.as_slice(), diff.as_slice()) / gg_prev).max(0.0)
         } else {
             0.0
         };
@@ -175,7 +185,7 @@ pub fn minimize_cg(f: &impl Objective, x0: &Vector, opts: &CgOptions) -> CgResul
             beta
         };
         let mut new_dir = grad.map(|g| -g);
-        new_dir.axpy(beta, &dir).expect("dims fixed");
+        axpy_fixed(&mut new_dir, beta, &dir);
         dir = new_dir;
     }
 

@@ -1,0 +1,161 @@
+//! Structural-invariant checks for numerical containers.
+//!
+//! [`Validate`] is a *read-only* deep check: it never mutates, rounds or
+//! repairs, so running it cannot perturb the numerics it inspects. Checks
+//! return a description of the first violated invariant instead of
+//! panicking; callers choose the failure mode (the core trainer turns
+//! violations into panics in debug builds, property tests into assertions).
+//!
+//! These checks are meant for debug builds and opt-in release validation —
+//! they are O(size of the container) and deliberately trade speed for
+//! diagnostic detail.
+
+use crate::{Cholesky, Matrix, Vector};
+
+/// A type whose structural invariants can be checked in place.
+pub trait Validate {
+    /// Returns `Err` describing the first violated invariant, `Ok` otherwise.
+    fn validate(&self) -> Result<(), String>;
+}
+
+impl Validate for Vector {
+    /// Every entry must be finite.
+    fn validate(&self) -> Result<(), String> {
+        match self.as_slice().iter().position(|x| !x.is_finite()) {
+            None => Ok(()),
+            Some(i) => Err(format!("vector[{i}] = {} is not finite", self[i])),
+        }
+    }
+}
+
+impl Validate for Matrix {
+    /// Every entry must be finite.
+    fn validate(&self) -> Result<(), String> {
+        for r in 0..self.rows() {
+            if let Some(c) = self.row(r).iter().position(|x| !x.is_finite()) {
+                return Err(format!(
+                    "matrix[({r}, {c})] = {} is not finite",
+                    self[(r, c)]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Validate for Cholesky {
+    /// The lower factor must be finite with a strictly positive diagonal
+    /// (equivalently: the factored matrix is positive definite).
+    fn validate(&self) -> Result<(), String> {
+        self.l().validate()?;
+        for i in 0..self.dim() {
+            let d = self.l()[(i, i)];
+            if d <= 0.0 {
+                return Err(format!(
+                    "cholesky diagonal L[({i}, {i})] = {d} is not positive"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks `m` is square and symmetric to within `tol` (absolute, on the
+/// worst element pair).
+pub fn check_symmetric(m: &Matrix, tol: f64) -> Result<(), String> {
+    if !m.is_square() {
+        return Err(format!("matrix is {}×{}, not square", m.rows(), m.cols()));
+    }
+    let asym = m.asymmetry();
+    if asym > tol {
+        return Err(format!(
+            "matrix asymmetry {asym:e} exceeds tolerance {tol:e}"
+        ));
+    }
+    Ok(())
+}
+
+/// Checks every diagonal entry of `m` is at least `min` (covariance floors:
+/// a prior variance collapsing below `min_prior_var` signals a degenerate
+/// M-step).
+pub fn check_min_diag(m: &Matrix, min: f64) -> Result<(), String> {
+    let n = m.rows().min(m.cols());
+    for i in 0..n {
+        let d = m[(i, i)];
+        if d.is_nan() || d < min {
+            return Err(format!(
+                "diagonal[({i}, {i})] = {d} is below the floor {min}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks every entry of `v` is finite and at least `min` (variance vectors).
+pub fn check_min_entries(v: &Vector, min: f64) -> Result<(), String> {
+    for (i, &x) in v.as_slice().iter().enumerate() {
+        if !(x.is_finite() && x >= min) {
+            return Err(format!(
+                "entry[{i}] = {x} is not finite or below the floor {min}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_vector_passes() {
+        assert!(Vector::from_vec(vec![1.0, -2.0, 0.0]).validate().is_ok());
+    }
+
+    #[test]
+    fn nan_vector_fails_with_index() {
+        let v = Vector::from_vec(vec![1.0, f64::NAN, 0.0]);
+        let msg = v.validate().unwrap_err();
+        assert!(msg.contains("vector[1]"), "{msg}");
+    }
+
+    #[test]
+    fn infinite_matrix_fails_with_coordinates() {
+        let mut m = Matrix::identity(3);
+        m[(2, 1)] = f64::INFINITY;
+        let msg = m.validate().unwrap_err();
+        assert!(msg.contains("(2, 1)"), "{msg}");
+    }
+
+    #[test]
+    fn cholesky_of_spd_passes() {
+        let a = Matrix::from_rows(2, 2, vec![4.0, 1.0, 1.0, 3.0]).unwrap();
+        assert!(Cholesky::factor(&a).unwrap().validate().is_ok());
+    }
+
+    #[test]
+    fn symmetry_check_distinguishes() {
+        let mut m = Matrix::identity(2);
+        assert!(check_symmetric(&m, 1e-12).is_ok());
+        m[(0, 1)] = 1e-3;
+        assert!(check_symmetric(&m, 1e-6).is_err());
+        assert!(check_symmetric(&Matrix::zeros(2, 3), 1.0).is_err());
+    }
+
+    #[test]
+    fn min_diag_floor_enforced() {
+        let m = Matrix::from_diag(&Vector::from_vec(vec![0.5, 0.1]));
+        assert!(check_min_diag(&m, 0.1).is_ok());
+        assert!(check_min_diag(&m, 0.2).is_err());
+        // NaN diagonals fail (the comparison is written NaN-safe).
+        let bad = Matrix::from_diag(&Vector::from_vec(vec![f64::NAN]));
+        assert!(check_min_diag(&bad, 0.0).is_err());
+    }
+
+    #[test]
+    fn min_entries_floor_enforced() {
+        let v = Vector::from_vec(vec![0.3, 0.2]);
+        assert!(check_min_entries(&v, 0.1).is_ok());
+        assert!(check_min_entries(&v, 0.25).is_err());
+    }
+}

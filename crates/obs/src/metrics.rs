@@ -7,10 +7,11 @@
 //! registration time (get-or-create in the registry) and when taking a
 //! snapshot.
 
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A monotonic event counter.
@@ -110,6 +111,8 @@ pub fn default_latency_buckets() -> Vec<f64> {
 
 impl Histogram {
     /// Creates a histogram over ascending upper bucket bounds.
+    ///
+    /// # Panics
     ///
     /// Panics if `bounds` is empty or not strictly ascending — bucket
     /// layouts are compile-time decisions, not runtime data.
@@ -253,20 +256,20 @@ impl Registry {
     /// The counter `component/name`, created at zero if absent.
     pub fn counter(&self, component: &str, name: &str) -> Arc<Counter> {
         let key = Key::new(component, name);
-        if let Some(c) = self.counters.read().expect("poisoned").get(&key) {
+        if let Some(c) = self.counters.read().get(&key) {
             return Arc::clone(c);
         }
-        let mut map = self.counters.write().expect("poisoned");
+        let mut map = self.counters.write();
         Arc::clone(map.entry(key).or_default())
     }
 
     /// The gauge `component/name`, created at `0.0` if absent.
     pub fn gauge(&self, component: &str, name: &str) -> Arc<Gauge> {
         let key = Key::new(component, name);
-        if let Some(g) = self.gauges.read().expect("poisoned").get(&key) {
+        if let Some(g) = self.gauges.read().get(&key) {
             return Arc::clone(g);
         }
-        let mut map = self.gauges.write().expect("poisoned");
+        let mut map = self.gauges.write();
         Arc::clone(map.entry(key).or_default())
     }
 
@@ -279,10 +282,10 @@ impl Registry {
     /// existing histogram keeps its original bounds.
     pub fn histogram_with(&self, component: &str, name: &str, bounds: &[f64]) -> Arc<Histogram> {
         let key = Key::new(component, name);
-        if let Some(h) = self.histograms.read().expect("poisoned").get(&key) {
+        if let Some(h) = self.histograms.read().get(&key) {
             return Arc::clone(h);
         }
-        let mut map = self.histograms.write().expect("poisoned");
+        let mut map = self.histograms.write();
         Arc::clone(
             map.entry(key)
                 .or_insert_with(|| Arc::new(Histogram::new(bounds))),
@@ -295,7 +298,6 @@ impl Registry {
         let counters = self
             .counters
             .read()
-            .expect("poisoned")
             .iter()
             .map(|(k, c)| CounterSnapshot {
                 component: k.component.clone(),
@@ -306,7 +308,6 @@ impl Registry {
         let gauges = self
             .gauges
             .read()
-            .expect("poisoned")
             .iter()
             .map(|(k, g)| GaugeSnapshot {
                 component: k.component.clone(),
@@ -317,7 +318,6 @@ impl Registry {
         let histograms = self
             .histograms
             .read()
-            .expect("poisoned")
             .iter()
             .map(|(k, h)| h.snap(&k.component, &k.name))
             .collect();
@@ -424,6 +424,12 @@ impl MetricsSnapshot {
 
     /// Pretty-printed JSON (the form examples print and `results/` files
     /// store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot fails to serialize, which would mean a bug in
+    /// the derived `Serialize` impls — snapshots contain only plain numbers
+    /// and strings.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
     }

@@ -5,11 +5,12 @@
 //! [`MemorySink`] (tests inspect what was emitted), or [`JsonlSink`]
 //! (append-only JSON lines for `results/` post-processing).
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A typed field value attached to an event or span.
@@ -102,18 +103,18 @@ impl MemorySink {
 
     /// Copies out everything recorded so far.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("poisoned").clone()
+        self.events.lock().clone()
     }
 
     /// Drains and returns everything recorded so far.
     pub fn take(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut *self.events.lock().expect("poisoned"))
+        std::mem::take(&mut *self.events.lock())
     }
 }
 
 impl TraceSink for MemorySink {
     fn record(&self, event: TraceEvent) {
-        self.events.lock().expect("poisoned").push(event);
+        self.events.lock().push(event);
     }
 }
 
@@ -124,8 +125,15 @@ pub struct JsonlSink {
 }
 
 impl JsonlSink {
-    /// Opens (creates or truncates) `path` for writing.
+    /// Opens (creates or truncates) `path` for writing, creating parent
+    /// directories (e.g. `results/`) as needed.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
         let file = std::fs::File::create(path)?;
         Ok(JsonlSink {
             out: Mutex::new(std::io::BufWriter::new(file)),
@@ -136,13 +144,13 @@ impl JsonlSink {
 impl TraceSink for JsonlSink {
     fn record(&self, event: TraceEvent) {
         let line = serde_json::to_string(&event).expect("trace event serializes");
-        let mut out = self.out.lock().expect("poisoned");
+        let mut out = self.out.lock();
         // A full disk mid-trace must not take the instrumented system down.
         let _ = writeln!(out, "{line}");
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("poisoned").flush();
+        let _ = self.out.lock().flush();
     }
 }
 

@@ -10,6 +10,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 /// keeps collecting the answers returned by the selected workers",
 /// Section 2). Feedback arrives on its own channel — on real platforms it
 /// comes later, from askers/voters, not from the answer itself.
+#[derive(Debug)]
 pub struct AnswerCollector {
     answer_tx: Sender<AnswerEvent>,
     answer_rx: Receiver<AnswerEvent>,

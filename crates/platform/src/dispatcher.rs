@@ -11,7 +11,7 @@ use std::collections::HashMap;
 /// Workers register to obtain a [`Receiver`]; the crowd manager (or the
 /// pipeline driving it) dispatches selected assignments here. Unregistered
 /// or disconnected workers are reported rather than silently dropped.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct TaskDispatcher {
     inboxes: Mutex<HashMap<WorkerId, Sender<Dispatch>>>,
 }
@@ -59,6 +59,11 @@ impl TaskDispatcher {
     /// prunes the dead `Sender` from the inbox map — a worker that went
     /// away must not occupy a routing slot forever. Subsequent dispatches
     /// to the same worker report `NotRegistered` until they re-register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying channel reports `Full`, which an unbounded
+    /// channel never does — reaching it would be a routing-layer bug.
     pub fn dispatch(&self, worker: WorkerId, message: Dispatch) -> DispatchOutcome {
         let mut inboxes = self.inboxes.lock();
         match inboxes.get(&worker) {

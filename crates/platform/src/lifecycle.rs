@@ -263,7 +263,9 @@ impl TaskLifecycle {
             return None;
         }
         let worker = self.standbys.pop_front()?;
-        let round = self.counters.reassignments as u32;
+        // Backoff exponent only; saturating keeps the doubling monotone even
+        // if the reassignment counter ever outgrew u32.
+        let round = u32::try_from(self.counters.reassignments).unwrap_or(u32::MAX);
         self.counters.reassignments += 1;
         self.in_flight += 1;
         let backoff = self

@@ -112,6 +112,23 @@ pub struct CrowdManager {
     last_fit_error: Mutex<Option<String>>,
 }
 
+impl std::fmt::Debug for CrowdManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrowdManager")
+            .field("backend", &self.backend.name())
+            .field("config", &self.config)
+            .field(
+                "epoch",
+                &self.epoch.load(std::sync::atomic::Ordering::Relaxed),
+            )
+            .field(
+                "degraded",
+                &self.degraded.load(std::sync::atomic::Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
 /// What [`CrowdManager::submit_task_ranked`] returns: the stored task, the
 /// assigned top-k, and the rest of the online ranking — the reassignment
 /// pool a fault-tolerant pipeline falls back to when an assignee expires.

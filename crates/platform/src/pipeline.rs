@@ -135,6 +135,16 @@ pub struct Pipeline {
     metrics: PipelineMetrics,
 }
 
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("workers", &self.workers.len())
+            .field("worker_threads", &self.worker_threads.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Pre-resolved handles into [`PipelineConfig::obs`] (component
 /// `platform`). The lifecycle counters are *re-exported* from the
 /// per-task [`crate::lifecycle::LifecycleCounters`] and the per-run
@@ -392,8 +402,11 @@ impl Pipeline {
             let now = Instant::now();
 
             // Dispatch replacements whose backoff elapsed.
-            while queue.front().is_some_and(|(ready, _)| *ready <= now) {
-                let (_, worker) = queue.pop_front().expect("checked front");
+            while let Some(&(ready, worker)) = queue.front() {
+                if ready > now {
+                    break;
+                }
+                queue.pop_front();
                 if self.manager.assign(worker, task).is_err() {
                     report.errors += 1;
                     let directives = lifecycle.reassign_dispatch_failed(worker);

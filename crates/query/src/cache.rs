@@ -37,6 +37,7 @@ pub(crate) fn bow_key(bow: &BagOfWords) -> u64 {
     h
 }
 
+#[derive(Debug)]
 struct Entry {
     last_used: u64,
     bow: BagOfWords,
@@ -44,6 +45,7 @@ struct Entry {
 }
 
 /// A small LRU map `content hash → TaskProjection`, valid for one fit epoch.
+#[derive(Debug)]
 pub(crate) struct ProjectionCache {
     capacity: usize,
     /// Fit epoch the cached projections were computed under.
@@ -88,29 +90,38 @@ impl ProjectionCache {
         let key = bow_key(bow);
         // Hash hit still verifies the bag to rule out 64-bit collisions.
         let hit = self.map.get(&key).is_some_and(|e| &e.bow == bow);
-        if !hit {
-            if self.map.len() >= self.capacity {
-                // O(capacity) eviction of the least-recently-used entry;
-                // capacity is small enough that a heap isn't worth it.
-                if let Some(&lru) = self
-                    .map
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k)
-                {
-                    self.map.remove(&lru);
-                }
+        if !hit && self.map.len() >= self.capacity {
+            // O(capacity) eviction of the least-recently-used entry;
+            // capacity is small enough that a heap isn't worth it.
+            if let Some(&lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&lru);
             }
-            self.map.insert(
-                key,
-                Entry {
-                    last_used: 0,
-                    bow: bow.clone(),
-                    projection: project(),
-                },
-            );
         }
-        let entry = self.map.get_mut(&key).expect("just inserted or hit");
+        // The entry API covers all three cases without a fallible re-lookup:
+        // verified hit (reuse), hash collision (overwrite), plain miss
+        // (insert fresh).
+        let entry = match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                if !hit {
+                    o.insert(Entry {
+                        last_used: 0,
+                        bow: bow.clone(),
+                        projection: project(),
+                    });
+                }
+                o.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(Entry {
+                last_used: 0,
+                bow: bow.clone(),
+                projection: project(),
+            }),
+        };
         entry.last_used = self.tick;
         (&entry.projection, hit)
     }

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use std::path::Path;
 
 /// Storage behind the engine: plain in-memory, or write-ahead-logged.
+#[derive(Debug)]
 enum Storage {
     Plain(CrowdDb),
     Logged(LoggedDb),
@@ -84,6 +85,7 @@ impl Storage {
 /// — it is the expensive one, and the paper's architecture retrains it
 /// deliberately on the red path) are only fitted by an explicit
 /// `TRAIN MODEL`, and their snapshots survive writes until the next train.
+#[derive(Debug)]
 pub struct QueryEngine {
     storage: Storage,
     registry: SelectorRegistry,

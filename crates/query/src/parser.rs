@@ -52,19 +52,19 @@ impl Parser {
 
     fn assign(&mut self) -> Result<Statement, QueryError> {
         self.expect_keyword("WORKER")?;
-        let worker = WorkerId(self.expect_integer("a worker id")? as u32);
+        let worker = WorkerId(self.expect_u32("a worker id")?);
         self.expect_keyword("TO")?;
         self.expect_keyword("TASK")?;
-        let task = TaskId(self.expect_integer("a task id")? as u32);
+        let task = TaskId(self.expect_u32("a task id")?);
         Ok(Statement::Assign { worker, task })
     }
 
     fn feedback(&mut self) -> Result<Statement, QueryError> {
         self.expect_keyword("WORKER")?;
-        let worker = WorkerId(self.expect_integer("a worker id")? as u32);
+        let worker = WorkerId(self.expect_u32("a worker id")?);
         self.expect_keyword("ON")?;
         self.expect_keyword("TASK")?;
-        let task = TaskId(self.expect_integer("a task id")? as u32);
+        let task = TaskId(self.expect_u32("a task id")?);
         self.expect_keyword("SCORE")?;
         let score = self.expect_number("a score")?;
         Ok(Statement::Feedback {
@@ -76,10 +76,10 @@ impl Parser {
 
     fn answer(&mut self) -> Result<Statement, QueryError> {
         self.expect_keyword("WORKER")?;
-        let worker = WorkerId(self.expect_integer("a worker id")? as u32);
+        let worker = WorkerId(self.expect_u32("a worker id")?);
         self.expect_keyword("ON")?;
         self.expect_keyword("TASK")?;
-        let task = TaskId(self.expect_integer("a task id")? as u32);
+        let task = TaskId(self.expect_u32("a task id")?);
         self.expect_keyword("TEXT")?;
         let text = self.expect_string("a quoted answer text")?;
         Ok(Statement::Answer { worker, task, text })
@@ -118,7 +118,7 @@ impl Parser {
             } else if self.peek_keyword("WHERE") {
                 self.advance();
                 self.expect_keyword("GROUP")?;
-                self.expect(Token::Ge, "'>='")?;
+                self.expect_token(Token::Ge, "'>='")?;
                 min_group = Some(self.expect_integer("a group threshold")? as usize);
             } else {
                 break;
@@ -136,8 +136,8 @@ impl Parser {
         let what = self.expect_word("STATS, WORKER, TASK, GROUPS or SIMILAR")?;
         let target = match what.to_ascii_uppercase().as_str() {
             "STATS" => ShowTarget::Stats,
-            "WORKER" => ShowTarget::Worker(WorkerId(self.expect_integer("a worker id")? as u32)),
-            "TASK" => ShowTarget::Task(TaskId(self.expect_integer("a task id")? as u32)),
+            "WORKER" => ShowTarget::Worker(WorkerId(self.expect_u32("a worker id")?)),
+            "TASK" => ShowTarget::Task(TaskId(self.expect_u32("a task id")?)),
             "GROUPS" => {
                 let mut thresholds = vec![self.expect_integer("a threshold")? as usize];
                 while matches!(self.peek(), Some(Token::Comma)) {
@@ -179,7 +179,7 @@ impl Parser {
         matches!(self.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw))
     }
 
-    fn expect(&mut self, token: Token, expected: &str) -> Result<(), QueryError> {
+    fn expect_token(&mut self, token: Token, expected: &str) -> Result<(), QueryError> {
         match self.peek() {
             Some(t) if *t == token => {
                 self.advance();
@@ -226,6 +226,13 @@ impl Parser {
             }
             other => Err(self.err(expected, &describe_opt(other.as_ref()))),
         }
+    }
+
+    /// An integer that must fit the `u32` id space; out-of-range input is a
+    /// parse error, never a silent wrap.
+    fn expect_u32(&mut self, expected: &str) -> Result<u32, QueryError> {
+        let n = self.expect_integer(expected)?;
+        u32::try_from(n).map_err(|_| self.err(expected, &format!("out-of-range integer {n}")))
     }
 
     fn expect_integer(&mut self, expected: &str) -> Result<u64, QueryError> {

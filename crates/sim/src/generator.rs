@@ -35,6 +35,13 @@ pub struct GeneratedPlatform {
     pub true_mixtures: Vec<Vec<f64>>,
 }
 
+/// Converts a dense vocabulary index into a [`TermId`].
+fn dense_term_id(v: usize) -> TermId {
+    debug_assert!(u32::try_from(v).is_ok(), "term id space exhausted");
+    // crowd-lint: allow(no-silent-truncation) -- single audited choke point; simulated vocabularies are bounded by SimConfig::vocab_size, far below 2^32
+    TermId(v as u32)
+}
+
 /// Generates platforms from [`SimConfig`]s.
 #[derive(Debug, Clone)]
 pub struct PlatformGenerator {
@@ -42,13 +49,23 @@ pub struct PlatformGenerator {
 }
 
 impl PlatformGenerator {
-    /// Creates a generator; panics on an invalid config (programmer error).
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`SimConfig`] (programmer error) — validate
+    /// user-supplied configs with [`SimConfig::validate`] first.
     pub fn new(config: SimConfig) -> Self {
         config.validate().expect("invalid SimConfig");
         PlatformGenerator { config }
     }
 
     /// Runs the full generation pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if internal id or shape invariants break (dense vocab/term
+    /// ids always fit `u32`; the config was validated in [`Self::new`]).
     pub fn generate(&self) -> GeneratedPlatform {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -151,7 +168,7 @@ impl PlatformGenerator {
                 .iter()
                 .enumerate()
                 .filter(|&(_, &c)| c > 0)
-                .map(|(v, &c)| (TermId(v as u32), c))
+                .map(|(v, &c)| (dense_term_id(v), c))
                 .collect(),
         );
         db.add_task_raw(text, bow)
@@ -215,7 +232,7 @@ impl PlatformGenerator {
                         .iter()
                         .enumerate()
                         .filter(|&(_, &c)| c > 0)
-                        .map(|(v, &c)| (TermId(v as u32), c))
+                        .map(|(v, &c)| (dense_term_id(v), c))
                         .collect(),
                 )
             })

@@ -22,6 +22,11 @@ impl TopicSpace {
     ///
     /// `concentration ∈ (0, 1]` is the fraction of each category's mass on
     /// its own core block (0.9 → sharply separated categories).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_categories` is zero or exceeds `vocab_size` — the
+    /// planted-category construction needs at least one term per category.
     pub fn generate(
         num_categories: usize,
         vocab_size: usize,

@@ -25,6 +25,11 @@ impl WorkerPool {
     /// Generates `num_workers` workers over `num_categories` categories.
     ///
     /// `activity_exponent` is the Zipf exponent of the activity ranking.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the fixed log-normal skill priors were invalid —
+    /// their parameters are compile-time constants, so this cannot fire.
     pub fn generate(
         num_workers: usize,
         num_categories: usize,
@@ -99,6 +104,10 @@ impl WorkerPool {
     /// Models expertise changing over time (workers learn new areas, go
     /// stale in old ones) — the workload for the incremental-update
     /// experiments motivated by the paper's "Incremental Crowd-Selection".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is NaN — the drift scale must be a real number.
     pub fn apply_drift(&mut self, rate: f64, rng: &mut impl Rng) {
         let noise = LogNormal::new(0.0, rate.max(1e-12)).expect("valid parameters");
         for skill in &mut self.skills {

@@ -45,6 +45,17 @@ pub struct CrowdDb {
     clock: u64,
 }
 
+/// The one audited usize → u32 narrowing for dense ids and entry indexes.
+///
+/// An in-memory roster/log cannot reach 2^32 rows before exhausting memory,
+/// and saturating would mint duplicate ids, so the wrap stays (asserted in
+/// debug builds) rather than being silently "handled".
+fn dense_id(n: usize) -> u32 {
+    debug_assert!(u32::try_from(n).is_ok(), "dense id space exhausted");
+    // crowd-lint: allow(no-silent-truncation) -- single audited choke point; debug-asserted, unreachable before memory exhaustion
+    n as u32
+}
+
 impl CrowdDb {
     /// Creates an empty database.
     pub fn new() -> Self {
@@ -55,7 +66,7 @@ impl CrowdDb {
 
     /// Registers a worker and returns its dense id.
     pub fn add_worker(&mut self, handle: impl Into<String>) -> WorkerId {
-        let id = WorkerId(self.workers.len() as u32);
+        let id = WorkerId(dense_id(self.workers.len()));
         self.clock += 1;
         self.workers.push(WorkerRecord {
             handle: handle.into(),
@@ -79,7 +90,7 @@ impl CrowdDb {
     /// use this to skip re-tokenization. The caller must have built `bow`
     /// against this database's vocabulary.
     pub fn add_task_raw(&mut self, text: String, bow: BagOfWords) -> TaskId {
-        let id = TaskId(self.tasks.len() as u32);
+        let id = TaskId(dense_id(self.tasks.len()));
         self.clock += 1;
         for (term, _) in bow.iter() {
             let idx = term.index();
@@ -107,7 +118,7 @@ impl CrowdDb {
             return Err(StoreError::AlreadyAssigned(worker, task));
         }
         self.clock += 1;
-        let idx = self.entries.len() as u32;
+        let idx = dense_id(self.entries.len());
         self.entries.push(Feedback {
             worker,
             task,
@@ -253,12 +264,12 @@ impl CrowdDb {
 
     /// All worker ids, in insertion order.
     pub fn worker_ids(&self) -> impl Iterator<Item = WorkerId> + '_ {
-        (0..self.workers.len() as u32).map(WorkerId)
+        (0..dense_id(self.workers.len())).map(WorkerId)
     }
 
     /// All task ids, in insertion order.
     pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
-        (0..self.tasks.len() as u32).map(TaskId)
+        (0..dense_id(self.tasks.len())).map(TaskId)
     }
 
     /// Materializes the training view: every task with at least one scored
@@ -275,7 +286,7 @@ impl CrowdDb {
                 .collect();
             if !scores.is_empty() {
                 out.push(ResolvedTask {
-                    task: TaskId(t as u32),
+                    task: TaskId(dense_id(t)),
                     bow: self.tasks[t].bow.clone(),
                     scores,
                 });
@@ -379,13 +390,13 @@ impl CrowdDb {
                 if idx >= postings.len() {
                     postings.resize(idx + 1, Vec::new());
                 }
-                postings[idx].push(TaskId(t as u32));
+                postings[idx].push(TaskId(dense_id(t)));
             }
         }
         for (i, e) in entries.iter().enumerate() {
-            by_task[e.task.index()].push(i as u32);
-            by_worker[e.worker.index()].push(i as u32);
-            pair_index.insert((e.worker, e.task), i as u32);
+            by_task[e.task.index()].push(dense_id(i));
+            by_worker[e.worker.index()].push(dense_id(i));
+            pair_index.insert((e.worker, e.task), dense_id(i));
         }
         CrowdDb {
             vocab,

@@ -33,11 +33,16 @@ impl Snapshot {
         answers.sort_unstable_by_key(|&(w, t, _)| (w, t));
         Snapshot {
             vocab: db.vocab().clone(),
+            // `worker_ids`/`task_ids` enumerate the same maps the getters
+            // read, so every id resolves; `filter_map` keeps capture total.
             workers: db
                 .worker_ids()
-                .map(|w| db.worker(w).unwrap().clone())
+                .filter_map(|w| db.worker(w).ok().cloned())
                 .collect(),
-            tasks: db.task_ids().map(|t| db.task(t).unwrap().clone()).collect(),
+            tasks: db
+                .task_ids()
+                .filter_map(|t| db.task(t).ok().cloned())
+                .collect(),
             entries: db.entries().to_vec(),
             answers,
             clock: db.clock(),

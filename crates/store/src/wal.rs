@@ -108,6 +108,7 @@ fn crc32(bytes: &[u8]) -> u32 {
         let mut table = [0u32; 16];
         let mut i = 0;
         while i < 16 {
+            // crowd-lint: allow(no-silent-truncation) -- const context (try_from is not const); i < 16 by the loop bound
             let mut crc = i as u32;
             let mut b = 0;
             while b < 4 {
@@ -382,6 +383,7 @@ pub struct CompactionStats {
 /// in-memory state, so a crash between the two replays cleanly. Opening
 /// uses [`recover`] — corrupt interior records are skipped and surfaced
 /// via [`LoggedDb::recovery_report`] instead of failing the open.
+#[derive(Debug)]
 pub struct LoggedDb {
     db: CrowdDb,
     log: BufWriter<File>,
@@ -394,6 +396,7 @@ pub struct LoggedDb {
 
 /// Pre-resolved metric handles so the append hot path never touches the
 /// registry lock (component `wal`).
+#[derive(Debug)]
 struct WalMetrics {
     records_appended: std::sync::Arc<crowd_obs::Counter>,
     append_seconds: std::sync::Arc<crowd_obs::Histogram>,

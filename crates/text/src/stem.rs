@@ -24,7 +24,10 @@ pub fn stem(word: &str) -> String {
     step_4(&mut w);
     step_5a(&mut w);
     step_5b(&mut w);
-    String::from_utf8(w).expect("ascii in, ascii out")
+    // Input is all-ASCII (checked above) and the steps only truncate or
+    // substitute ASCII suffixes, so the bytes are always valid UTF-8;
+    // `from_utf8_lossy` keeps the function total without an unwrap.
+    String::from_utf8_lossy(&w).into_owned()
 }
 
 /// Convenience: [`crate::tokenize_filtered`] followed by stemming.

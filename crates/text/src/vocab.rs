@@ -31,6 +31,16 @@ pub struct Vocabulary {
     frozen: bool,
 }
 
+/// The one audited usize → u32 narrowing for term ids.
+fn term_id(n: usize) -> TermId {
+    debug_assert!(
+        u32::try_from(n).is_ok(),
+        "vocabulary outgrew the u32 id space"
+    );
+    // crowd-lint: allow(no-silent-truncation) -- single audited choke point; real vocabularies are ~1e5 terms, far below 2^32
+    TermId(n as u32)
+}
+
 impl Vocabulary {
     /// Creates an empty, growable vocabulary.
     pub fn new() -> Self {
@@ -57,7 +67,7 @@ impl Vocabulary {
         if self.frozen {
             return None;
         }
-        let id = TermId(self.terms.len() as u32);
+        let id = term_id(self.terms.len());
         self.terms.push(term.to_owned());
         self.index.insert(term.to_owned(), id);
         Some(id)
@@ -88,7 +98,7 @@ impl Vocabulary {
         self.terms
             .iter()
             .enumerate()
-            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+            .map(|(i, t)| (term_id(i), t.as_str()))
     }
 
     /// Rebuilds the term → id index (needed after deserialization, since the
@@ -98,7 +108,7 @@ impl Vocabulary {
             .terms
             .iter()
             .enumerate()
-            .map(|(i, t)| (t.clone(), TermId(i as u32)))
+            .map(|(i, t)| (t.clone(), term_id(i)))
             .collect();
     }
 }

@@ -32,7 +32,9 @@ fn main() {
     }
     for term in (0..db.vocab().len()).map(|i| {
         db.vocab()
-            .term(crowdselect::text::TermId(i as u32))
+            .term(crowdselect::text::TermId(
+                u32::try_from(i).expect("vocab fits u32"),
+            ))
             .unwrap()
             .to_owned()
     }) {

@@ -110,7 +110,7 @@ fn main() {
     let first_new = db.num_tasks() - texts.len();
     let mut correct = 0;
     for (i, (&text, &expert)) in texts.iter().zip(&experts).enumerate() {
-        let task = TaskId((first_new + i) as u32);
+        let task = TaskId(u32::try_from(first_new + i).expect("task id fits u32"));
         let assigned: Vec<WorkerId> = db.workers_of(task).map(|(w, _)| w).collect();
         let hit = assigned.contains(&expert);
         if hit {
