@@ -32,6 +32,12 @@ fi
 run cargo build --release
 run cargo test -q --workspace --no-fail-fast
 
+# Plan snapshots: every statement form must lower to exactly the committed
+# EXPLAIN rendering (crates/query/tests/fixtures/explain/). Drift means the
+# plan contract changed — regenerate with UPDATE_EXPLAIN_FIXTURES=1 and
+# review the diff.
+run cargo test -q -p crowd-query --test explain_golden
+
 # Invariant validator: run the core suite with the `validate` feature so the
 # debug-build Validate hooks (E-step/M-step boundaries, feedback ingest) are
 # exercised explicitly even if the profile ever stops defaulting to debug.

@@ -121,6 +121,9 @@ pub enum Statement {
     },
     /// `SHOW …`
     Show(ShowTarget),
+    /// `EXPLAIN <statement>` — compile the inner statement and render its
+    /// logical plan instead of executing it.
+    Explain(Box<Statement>),
 }
 
 impl std::fmt::Display for Statement {
@@ -189,6 +192,7 @@ impl std::fmt::Display for Statement {
                     write!(f, "SHOW SIMILAR {} LIMIT {}", quote(text), limit)
                 }
             },
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
         }
     }
 }

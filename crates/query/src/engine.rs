@@ -1,78 +1,31 @@
 //! Query execution over a crowd database.
+//!
+//! Since the planner/executor split, the engine is a thin facade: [`run`]
+//! parses, [`execute`] compiles the statement into a [`LogicalPlan`]
+//! (`crate::plan`) and hands it to the instrumented executor
+//! (`crate::exec`). The engine owns the long-lived state the executor works
+//! against — storage, the backend registry, fitted snapshots, the
+//! projection cache, observability — plus the policy helpers (candidate
+//! filtering, snapshot invalidation, lazy fitting) that plan nodes call
+//! back into.
+//!
+//! [`run`]: QueryEngine::run
+//! [`execute`]: QueryEngine::execute
 
 use crate::ast::{BackendName, ShowTarget, Statement};
 use crate::cache::{ProjectionCache, DEFAULT_PROJECTION_CACHE_CAPACITY};
+use crate::exec;
+use crate::exec::storage::Storage;
 use crate::output::{QueryOutput, SelectedWorker};
+use crate::plan::{self, LogicalPlan, PlanNode};
 use crate::QueryError;
 use crowd_baselines::standard_registry;
-use crowd_core::TdpmModel;
-use crowd_select::{BatchQuery, DbMutation, FitOptions, FittedSelector, SelectorRegistry};
+use crowd_select::{DbMutation, FitOptions, FittedSelector, SelectorRegistry};
 use crowd_store::groups::group_stats_sweep;
-use crowd_store::{CrowdDb, LoggedDb, TaskId, WorkerId};
+use crowd_store::{CrowdDb, WorkerId};
 use crowd_text::{tokenize_filtered, BagOfWords};
 use std::collections::HashMap;
 use std::path::Path;
-
-/// Storage behind the engine: plain in-memory, or write-ahead-logged.
-#[derive(Debug)]
-enum Storage {
-    Plain(CrowdDb),
-    Logged(LoggedDb),
-}
-
-impl Storage {
-    fn db(&self) -> &CrowdDb {
-        match self {
-            Storage::Plain(db) => db,
-            Storage::Logged(db) => db.db(),
-        }
-    }
-
-    fn add_worker(&mut self, handle: String) -> crowd_store::Result<WorkerId> {
-        match self {
-            Storage::Plain(db) => Ok(db.add_worker(handle)),
-            Storage::Logged(db) => db.add_worker(handle),
-        }
-    }
-
-    fn add_task(&mut self, text: String) -> crowd_store::Result<TaskId> {
-        match self {
-            Storage::Plain(db) => Ok(db.add_task(text)),
-            Storage::Logged(db) => db.add_task(text),
-        }
-    }
-
-    fn assign(&mut self, worker: WorkerId, task: TaskId) -> crowd_store::Result<()> {
-        match self {
-            Storage::Plain(db) => db.assign(worker, task),
-            Storage::Logged(db) => db.assign(worker, task),
-        }
-    }
-
-    fn record_feedback(
-        &mut self,
-        worker: WorkerId,
-        task: TaskId,
-        score: f64,
-    ) -> crowd_store::Result<()> {
-        match self {
-            Storage::Plain(db) => db.record_feedback(worker, task, score),
-            Storage::Logged(db) => db.record_feedback(worker, task, score),
-        }
-    }
-
-    fn record_answer(
-        &mut self,
-        worker: WorkerId,
-        task: TaskId,
-        text: &str,
-    ) -> crowd_store::Result<()> {
-        match self {
-            Storage::Plain(db) => db.record_answer(worker, task, text),
-            Storage::Logged(db) => db.record_answer(worker, task, text),
-        }
-    }
-}
 
 /// Executes parsed statements against an owned [`CrowdDb`].
 ///
@@ -85,18 +38,24 @@ impl Storage {
 /// — it is the expensive one, and the paper's architecture retrains it
 /// deliberately on the red path) are only fitted by an explicit
 /// `TRAIN MODEL`, and their snapshots survive writes until the next train.
+///
+/// Statements execute through a compile → plan → execute pipeline:
+/// [`compile`](QueryEngine::compile) lowers the AST into a [`LogicalPlan`]
+/// and [`execute_plan`](QueryEngine::execute_plan) walks it with per-node
+/// `query/plan_node_seconds_*` instrumentation. `EXPLAIN <statement>`
+/// renders the plan instead of executing it.
 #[derive(Debug)]
 pub struct QueryEngine {
-    storage: Storage,
-    registry: SelectorRegistry,
-    fitted: HashMap<String, FittedSelector>,
-    baseline_categories: usize,
-    seed: u64,
-    epoch: u64,
-    obs: crowd_obs::Obs,
+    pub(crate) storage: Storage,
+    pub(crate) registry: SelectorRegistry,
+    pub(crate) fitted: HashMap<String, FittedSelector>,
+    pub(crate) baseline_categories: usize,
+    pub(crate) seed: u64,
+    pub(crate) epoch: u64,
+    pub(crate) obs: crowd_obs::Obs,
     /// LRU of TDPM task projections keyed by query content; entries are
     /// valid for exactly one fit epoch (see [`crate::cache`]).
-    cache: ProjectionCache,
+    pub(crate) cache: ProjectionCache,
 }
 
 impl QueryEngine {
@@ -108,9 +67,8 @@ impl QueryEngine {
     /// Creates an engine whose mutations are write-ahead logged to `path`;
     /// existing log entries are replayed first (see [`crowd_store::wal`]).
     pub fn open_logged(path: impl AsRef<Path>) -> Result<Self, QueryError> {
-        let logged = LoggedDb::open(path)?;
         let mut e = QueryEngine::with_db(CrowdDb::new());
-        e.storage = Storage::Logged(logged);
+        e.storage = Storage::open_logged(path)?;
         Ok(e)
     }
 
@@ -139,12 +97,11 @@ impl QueryEngine {
     /// Attaches an observability handle. `SELECT WORKERS` latency is
     /// recorded per backend under the `query` component
     /// (`select_seconds_<backend>`), `TRAIN MODEL` under `train_seconds`,
-    /// and — for logged engines — the WAL timings under `wal` (see
-    /// [`LoggedDb::set_obs`]).
+    /// every plan node under `plan_node_seconds_<kind>`, and — for logged
+    /// engines — the WAL timings under `wal` (see
+    /// [`crowd_store::LoggedDb::set_obs`]).
     pub fn set_obs(&mut self, obs: crowd_obs::Obs) {
-        if let Storage::Logged(logged) = &mut self.storage {
-            logged.set_obs(&obs);
-        }
+        self.storage.set_obs(&obs);
         self.obs = obs;
     }
 
@@ -169,62 +126,113 @@ impl QueryEngine {
         self.execute(stmt)
     }
 
-    /// Executes a parsed statement.
+    /// Executes a parsed statement by compiling it into a [`LogicalPlan`]
+    /// and walking the plan.
     pub fn execute(&mut self, stmt: Statement) -> Result<QueryOutput, QueryError> {
-        match stmt {
-            Statement::InsertWorker { handle } => {
-                let id = self.storage.add_worker(handle)?;
-                self.invalidate(DbMutation::WorkerAdded);
-                Ok(QueryOutput::WorkerInserted(id))
-            }
-            Statement::InsertTask { text } => {
-                let id = self.storage.add_task(text)?;
-                self.invalidate(DbMutation::TaskAdded);
-                Ok(QueryOutput::TaskInserted(id))
-            }
-            Statement::Assign { worker, task } => {
-                self.storage.assign(worker, task)?;
-                self.invalidate(DbMutation::Assigned);
-                Ok(QueryOutput::Ack(format!("assigned {worker} to {task}")))
-            }
-            Statement::Feedback {
-                worker,
-                task,
-                score,
-            } => {
-                self.storage.record_feedback(worker, task, score)?;
-                self.invalidate(DbMutation::Feedback);
-                Ok(QueryOutput::Ack(format!(
-                    "recorded score {score} for {worker} on {task}"
-                )))
-            }
-            Statement::Answer { worker, task, text } => {
-                self.storage.record_answer(worker, task, &text)?;
-                self.invalidate(DbMutation::Answer);
-                Ok(QueryOutput::Ack(format!(
-                    "stored answer from {worker} on {task}"
-                )))
-            }
-            Statement::TrainModel { categories } => self.train(categories),
-            Statement::SelectWorkers {
-                text,
-                limit,
-                backend,
-                min_group,
-            } => self.select_workers(&text, limit, &backend, min_group),
-            Statement::Show(target) => self.show(target),
+        let plan = self.compile(&stmt);
+        let mut outputs = self.execute_plan(&plan)?;
+        if outputs.len() == 1 {
+            Ok(outputs.swap_remove(0))
+        } else {
+            Err(QueryError::Execution(format!(
+                "internal plan error: statement produced {} outputs",
+                outputs.len()
+            )))
         }
     }
 
-    fn train(&mut self, categories: usize) -> Result<QueryOutput, QueryError> {
+    /// Compiles a statement into its logical plan without executing it.
+    pub fn compile(&self, stmt: &Statement) -> LogicalPlan {
+        plan::compile(stmt, &self.registry)
+    }
+
+    /// The deterministic plan rendering for a statement — what
+    /// `EXPLAIN <statement>` returns, usable directly from the API.
+    pub fn explain(&self, stmt: &Statement) -> String {
+        self.compile(stmt).render()
+    }
+
+    /// Executes a compiled plan, returning one output per covered statement
+    /// (fused `SELECT` plans return one [`QueryOutput::Workers`] per query,
+    /// in input order).
+    ///
+    /// Besides the per-node `plan_node_seconds_*` timers recorded by the
+    /// executor, plans that score queries keep the historical select
+    /// metrics: the `query/selects` counter advances by the number of
+    /// result tables and `select_seconds_<backend>` observes the whole
+    /// plan's latency once.
+    pub fn execute_plan(&mut self, plan: &LogicalPlan) -> Result<Vec<QueryOutput>, QueryError> {
+        let scored_backend = plan.nodes.iter().find_map(|n| match n {
+            PlanNode::Score { backend, .. } => Some(backend.clone()),
+            _ => None,
+        });
+        let started = std::time::Instant::now();
+        let outputs = exec::execute(self, plan)?;
+        if let Some(backend) = scored_backend {
+            // Per-backend latency: one histogram per backend name keeps the
+            // snapshot self-describing (no label dimension in the registry).
+            let m = &self.obs.metrics;
+            m.counter("query", "selects").add(outputs.len() as u64);
+            m.histogram("query", &format!("select_seconds_{}", backend.as_str()))
+                .observe_duration(started.elapsed());
+        }
+        Ok(outputs)
+    }
+
+    /// Executes one `SELECT WORKERS` sweep for several task texts against a
+    /// single backend and candidate pool, returning one ranking per text in
+    /// input order.
+    ///
+    /// Equivalent to running the statement once per text (bit-identical
+    /// scores) but cheaper: the sweep compiles to one fused plan
+    /// ([`crate::plan::compile_select_batch`]) whose candidate pool is
+    /// scanned once, TDPM queries flow through the projection cache and the
+    /// cache-blocked batch kernel of [`crowd_core::SkillMatrix`], and the
+    /// baselines amortize their profile resolution through
+    /// [`crowd_select::CrowdSelector::select_batch`].
+    pub fn select_workers_batch(
+        &mut self,
+        texts: &[&str],
+        limit: usize,
+        backend: &str,
+        min_group: Option<usize>,
+    ) -> Result<Vec<Vec<SelectedWorker>>, QueryError> {
+        let backend = BackendName::new(backend);
+        let plan = plan::compile_select_batch(texts, limit, &backend, min_group, &self.registry);
+        let outputs = self.execute_plan(&plan)?;
+        let mut tables = Vec::with_capacity(outputs.len());
+        for output in outputs {
+            match output {
+                QueryOutput::Workers(rows) => tables.push(rows),
+                other => {
+                    return Err(QueryError::Execution(format!(
+                        "internal plan error: expected a worker table, got {other}"
+                    )))
+                }
+            }
+        }
+        Ok(tables)
+    }
+
+    /// Explicitly fits `backend` (the `TRAIN MODEL` / [`PlanNode::Fit`]
+    /// path), bumping the fit epoch and replacing the serving snapshot.
+    pub(crate) fn train(
+        &mut self,
+        backend: &BackendName,
+        categories: usize,
+    ) -> Result<QueryOutput, QueryError> {
         let started = std::time::Instant::now();
         self.epoch += 1;
         let fitted = self
             .registry
-            .fit("tdpm", self.db(), &FitOptions::with(categories, self.seed))?
+            .fit(
+                backend.as_str(),
+                self.db(),
+                &FitOptions::with(categories, self.seed),
+            )?
             .with_epoch(self.epoch);
         let diag = fitted.diagnostics().clone();
-        self.fitted.insert("tdpm".into(), fitted);
+        self.fitted.insert(backend.as_str().to_string(), fitted);
         self.obs
             .metrics
             .histogram("query", "train_seconds")
@@ -237,11 +245,12 @@ impl QueryEngine {
     }
 
     /// Makes sure a serving snapshot for `backend` exists in `self.fitted`,
-    /// fitting it on demand if the backend allows lazy fits.
+    /// fitting it on demand if the backend allows lazy fits (the
+    /// [`PlanNode::Bind`] path).
     ///
-    /// Split from the lookup so callers can borrow the snapshot and the
-    /// projection cache as disjoint fields afterwards.
-    fn ensure_fitted(&mut self, backend: &BackendName) -> Result<(), QueryError> {
+    /// Split from the lookup so the executor can borrow the snapshot and
+    /// the projection cache as disjoint fields afterwards.
+    pub(crate) fn ensure_fitted(&mut self, backend: &BackendName) -> Result<(), QueryError> {
         let name = backend.as_str();
         if !self.fitted.contains_key(name) {
             let b = self.registry.get(name)?;
@@ -264,9 +273,12 @@ impl QueryEngine {
         Ok(())
     }
 
-    /// The candidate pool for a `SELECT WORKERS`, honoring the optional
-    /// `WHERE GROUP >= n` filter.
-    fn candidate_pool(&self, min_group: Option<usize>) -> Result<Vec<WorkerId>, QueryError> {
+    /// The candidate pool for a `SELECT WORKERS` (the [`PlanNode::Scan`]
+    /// path), honoring the optional `WHERE GROUP >= n` filter.
+    pub(crate) fn candidate_pool(
+        &self,
+        min_group: Option<usize>,
+    ) -> Result<Vec<WorkerId>, QueryError> {
         let db = self.db();
         let candidates: Vec<WorkerId> = match min_group {
             None => db.worker_ids().collect(),
@@ -283,141 +295,9 @@ impl QueryEngine {
         Ok(candidates)
     }
 
-    /// Ranks one query through a serving snapshot. TDPM snapshots go through
-    /// the projection cache (recording `select_cache_{hit,miss}`) and the
-    /// dense [`crowd_core::SkillMatrix`] path; everything else takes the
-    /// backend's generic `select`.
-    ///
-    /// An associated function over explicit fields so callers can hold the
-    /// snapshot (`&self.fitted[..]`) and the cache (`&mut self.cache`) as
-    /// disjoint borrows.
-    fn ranked_select(
-        fitted: &FittedSelector,
-        cache: &mut ProjectionCache,
-        obs: &crowd_obs::Obs,
-        bow: &BagOfWords,
-        candidates: &[WorkerId],
-        limit: usize,
-    ) -> Vec<crowd_select::RankedWorker> {
-        match fitted.downcast_ref::<TdpmModel>() {
-            Some(model) => {
-                let (projection, hit) =
-                    cache.get_or_insert_with(fitted.epoch(), bow, || model.project_bow(bow));
-                let name = if hit {
-                    "select_cache_hit"
-                } else {
-                    "select_cache_miss"
-                };
-                obs.metrics.counter("query", name).inc();
-                model.select_top_k(projection, candidates.iter().copied(), limit)
-            }
-            None => fitted.selector().select(bow, candidates, limit),
-        }
-    }
-
-    fn select_workers(
-        &mut self,
-        text: &str,
-        limit: usize,
-        backend: &BackendName,
-        min_group: Option<usize>,
-    ) -> Result<QueryOutput, QueryError> {
-        let started = std::time::Instant::now();
-        let tokens = tokenize_filtered(text);
-        let bow = BagOfWords::from_known_tokens(&tokens, self.db().vocab());
-        let candidates = self.candidate_pool(min_group)?;
-
-        self.ensure_fitted(backend)?;
-        let ranked = Self::ranked_select(
-            &self.fitted[backend.as_str()],
-            &mut self.cache,
-            &self.obs,
-            &bow,
-            &candidates,
-            limit,
-        );
-        // Per-backend latency: one histogram per backend name keeps the
-        // snapshot self-describing (no label dimension in the registry).
-        let m = &self.obs.metrics;
-        m.counter("query", "selects").inc();
-        m.histogram("query", &format!("select_seconds_{}", backend.as_str()))
-            .observe_duration(started.elapsed());
-
-        Ok(QueryOutput::Workers(self.to_rows(ranked)))
-    }
-
-    /// Executes one `SELECT WORKERS` sweep for several task texts against a
-    /// single backend and candidate pool, returning one ranking per text in
-    /// input order.
-    ///
-    /// Equivalent to running the statement once per text (bit-identical
-    /// scores) but cheaper: all queries share one candidate resolution, TDPM
-    /// queries flow through the projection cache and the cache-blocked batch
-    /// kernel of [`crowd_core::SkillMatrix`], and the baselines amortize
-    /// their profile resolution through
-    /// [`crowd_select::CrowdSelector::select_batch`].
-    pub fn select_workers_batch(
-        &mut self,
-        texts: &[&str],
-        limit: usize,
-        backend: &str,
-        min_group: Option<usize>,
-    ) -> Result<Vec<Vec<SelectedWorker>>, QueryError> {
-        let started = std::time::Instant::now();
-        let backend = BackendName::new(backend);
-        let bows: Vec<BagOfWords> = texts
-            .iter()
-            .map(|t| BagOfWords::from_known_tokens(&tokenize_filtered(t), self.db().vocab()))
-            .collect();
-        let candidates = self.candidate_pool(min_group)?;
-
-        self.ensure_fitted(&backend)?;
-        let fitted = &self.fitted[backend.as_str()];
-        let ranked: Vec<Vec<crowd_select::RankedWorker>> = match fitted.downcast_ref::<TdpmModel>()
-        {
-            Some(model) => {
-                // Resolve every projection through the cache first (the
-                // borrow of the cache entry ends at the clone), then hit
-                // the dense batch kernel with one pool resolution.
-                let mut hits = 0u64;
-                let projections: Vec<crowd_core::TaskProjection> = bows
-                    .iter()
-                    .map(|bow| {
-                        let (p, hit) = self
-                            .cache
-                            .get_or_insert_with(fitted.epoch(), bow, || model.project_bow(bow));
-                        hits += u64::from(hit);
-                        p.clone()
-                    })
-                    .collect();
-                let m = &self.obs.metrics;
-                m.counter("query", "select_cache_hit").add(hits);
-                m.counter("query", "select_cache_miss")
-                    .add(bows.len() as u64 - hits);
-                model.select_top_k_batch(&projections, &candidates, limit)
-            }
-            None => {
-                let queries: Vec<BatchQuery<'_>> = bows
-                    .iter()
-                    .map(|bow| BatchQuery {
-                        bow,
-                        candidates: &candidates,
-                        task: None,
-                    })
-                    .collect();
-                fitted.select_batch(&queries, limit)
-            }
-        };
-        let m = &self.obs.metrics;
-        m.counter("query", "selects").add(texts.len() as u64);
-        m.histogram("query", &format!("select_seconds_{}", backend.as_str()))
-            .observe_duration(started.elapsed());
-
-        Ok(ranked.into_iter().map(|r| self.to_rows(r)).collect())
-    }
-
-    /// Decorates a ranking with worker handles for presentation.
-    fn to_rows(&self, ranked: Vec<crowd_select::RankedWorker>) -> Vec<SelectedWorker> {
+    /// Decorates a ranking with worker handles for presentation (the
+    /// [`PlanNode::Merge`] path).
+    pub(crate) fn to_rows(&self, ranked: Vec<crowd_select::RankedWorker>) -> Vec<SelectedWorker> {
         ranked
             .into_iter()
             .map(|r| SelectedWorker {
@@ -432,7 +312,8 @@ impl QueryEngine {
             .collect()
     }
 
-    fn show(&self, target: ShowTarget) -> Result<QueryOutput, QueryError> {
+    /// Read-only inspection (the `SHOW …` / [`PlanNode::Inspect`] path).
+    pub(crate) fn show(&self, target: &ShowTarget) -> Result<QueryOutput, QueryError> {
         match target {
             ShowTarget::Stats => Ok(QueryOutput::Stats {
                 workers: self.db().num_workers(),
@@ -443,6 +324,7 @@ impl QueryEngine {
                 trained: self.fitted.contains_key("tdpm"),
             }),
             ShowTarget::Worker(worker) => {
+                let worker = *worker;
                 let rec = self.db().worker(worker)?;
                 let skills = self
                     .fitted
@@ -457,6 +339,7 @@ impl QueryEngine {
                 })
             }
             ShowTarget::Task(task) => {
+                let task = *task;
                 let rec = self.db().task(task)?;
                 let scores = self
                     .db()
@@ -471,14 +354,14 @@ impl QueryEngine {
             }
             ShowTarget::Groups(thresholds) => Ok(QueryOutput::Groups(group_stats_sweep(
                 self.db(),
-                &thresholds,
+                thresholds,
             ))),
             ShowTarget::Similar { text, limit } => {
                 let db = self.db();
-                let tokens = tokenize_filtered(&text);
+                let tokens = tokenize_filtered(text);
                 let bow = BagOfWords::from_known_tokens(&tokens, db.vocab());
                 let rows = db
-                    .similar_tasks(&bow, limit)
+                    .similar_tasks(&bow, *limit)
                     .into_iter()
                     .map(|(t, sim)| {
                         let text = db.task(t).map(|r| r.text.clone()).unwrap_or_default();
@@ -499,7 +382,7 @@ impl QueryEngine {
     /// architecture. The projection cache also survives: projections depend
     /// only on the fitted parameters, and a retrain bumps the epoch the
     /// cache keys against.
-    fn invalidate(&mut self, mutation: DbMutation) {
+    pub(crate) fn invalidate(&mut self, mutation: DbMutation) {
         let registry = &self.registry;
         self.fitted.retain(|name, _| {
             registry
@@ -603,6 +486,17 @@ mod tests {
         for known in ["tdpm", "vsm", "drm", "tspm"] {
             assert!(msg.contains(known), "{msg}");
         }
+    }
+
+    #[test]
+    fn empty_pool_reported_before_unknown_backend() {
+        // Scan runs before Bind, so the empty-pool error wins — the
+        // pre-plan engine behaved the same way and callers match on it.
+        let mut e = QueryEngine::new();
+        let err = e
+            .run("SELECT WORKERS FOR TASK 'q' USING magic")
+            .unwrap_err();
+        assert!(err.to_string().contains("no candidate workers"), "{err}");
     }
 
     #[test]
@@ -911,10 +805,30 @@ mod tests {
     }
 
     #[test]
+    fn explain_renders_plans_without_executing() {
+        let mut e = QueryEngine::new();
+        // The inner select would fail at execution time (no workers), but
+        // EXPLAIN only compiles and renders.
+        let out = e
+            .run("EXPLAIN SELECT WORKERS FOR TASK 'btree split' LIMIT 2")
+            .unwrap();
+        let QueryOutput::Plan(text) = out else {
+            panic!("expected a plan")
+        };
+        assert!(text.contains("Scan workers filter=all"), "{text}");
+        assert!(text.contains("Score"), "{text}");
+        assert_eq!(e.db().num_workers(), 0, "EXPLAIN never touches storage");
+        // The API equivalent renders the same text.
+        let stmt = crate::parse("SELECT WORKERS FOR TASK 'btree split' LIMIT 2").unwrap();
+        assert_eq!(e.explain(&stmt), text);
+    }
+
+    #[test]
     fn custom_backends_are_queryable() {
         use crowd_select::{
             CrowdSelector, FitDiagnostics, FitOutcome, RankedWorker, SelectError, SelectorBackend,
         };
+        use crowd_text::BagOfWords;
 
         /// Ranks whoever has the largest id — observably not VSM/TDPM.
         struct ByIdSelector;

@@ -14,6 +14,10 @@ pub enum QueryError {
     },
     /// The token stream does not form a valid statement.
     Parse {
+        /// Byte offset of the offending token (the input's byte length when
+        /// the statement ended too early) — slice the input at this offset
+        /// to point at the problem.
+        position: usize,
         /// What the parser expected.
         expected: String,
         /// What it found instead.
@@ -29,8 +33,15 @@ impl fmt::Display for QueryError {
             QueryError::Lex { position, message } => {
                 write!(f, "lex error at byte {position}: {message}")
             }
-            QueryError::Parse { expected, found } => {
-                write!(f, "parse error: expected {expected}, found {found}")
+            QueryError::Parse {
+                position,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "parse error at byte {position}: expected {expected}, found {found}"
+                )
             }
             QueryError::Execution(msg) => write!(f, "execution error: {msg}"),
         }
@@ -69,10 +80,12 @@ mod tests {
         };
         assert!(e.to_string().contains("byte 3"));
         let e = QueryError::Parse {
+            position: 7,
             expected: "a number".into(),
             found: "'x'".into(),
         };
         assert!(e.to_string().contains("expected a number"));
+        assert!(e.to_string().contains("byte 7"));
         assert!(QueryError::Execution("boom".into())
             .to_string()
             .contains("boom"));

@@ -1,0 +1,270 @@
+//! Plan execution with per-node instrumentation.
+//!
+//! The executor walks a [`LogicalPlan`]'s nodes in order, moving values
+//! between [`VarId`] slots, against the engine's storage, selector
+//! registry and projection cache. Every node records its wall-clock under
+//! `query/plan_node_seconds_<kind>` so a [`crowd_obs::MetricsSnapshot`]
+//! shows where a statement spent its time, node by node.
+//!
+//! Execution is bit-identical to the pre-plan engine: `Scan` and `Bind`
+//! reproduce the historical error precedence (empty candidate pool before
+//! unknown backend / missing model), `Project` serves Algorithm-3
+//! projections through the same LRU cache (and owns the
+//! `select_cache_{hit,miss}` counters), and `Score` — with the `TopK`
+//! limit pushed down by the compiler — drives exactly the fused kernels
+//! the old code paths called: [`crowd_core::TdpmModel::select_top_k`] /
+//! [`select_top_k_batch`](crowd_core::TdpmModel::select_top_k_batch) for
+//! TDPM snapshots and [`crowd_select::CrowdSelector::select`] /
+//! [`select_batch`](crowd_select::CrowdSelector::select_batch) for
+//! everything else.
+
+pub(crate) mod storage;
+
+use crate::ast::BackendName;
+use crate::engine::QueryEngine;
+use crate::output::{QueryOutput, SelectedWorker};
+use crate::plan::{LogicalPlan, PlanNode, VarId};
+use crate::QueryError;
+use crowd_core::{TaskProjection, TdpmModel};
+use crowd_select::{BatchQuery, FittedSelector, RankedWorker};
+use crowd_store::WorkerId;
+use crowd_text::{tokenize_filtered, BagOfWords};
+
+/// One query after `Project`: its bag of words over the stored vocabulary,
+/// plus the Algorithm-3 projection when the bound snapshot is a TDPM model.
+pub(crate) struct PreparedQuery {
+    bow: BagOfWords,
+    projection: Option<TaskProjection>,
+}
+
+/// A value flowing through a plan slot.
+enum Value {
+    /// Candidate pool from `Scan`.
+    Candidates(Vec<WorkerId>),
+    /// Prepared queries from `Project`.
+    Queries(Vec<PreparedQuery>),
+    /// Per-query rankings from `Score` / `TopK`.
+    Ranked(Vec<Vec<RankedWorker>>),
+    /// Per-query result tables from `Merge`.
+    Tables(Vec<Vec<SelectedWorker>>),
+    /// Backend binding marker from `Bind` (the snapshot lives in engine
+    /// state; the marker carries the name downstream nodes resolve it by).
+    Bound(BackendName),
+    /// A finished statement output (mutations, `TRAIN`, `SHOW`, `EXPLAIN`).
+    Out(QueryOutput),
+}
+
+fn internal(what: &str) -> QueryError {
+    QueryError::Execution(format!("internal plan error: {what}"))
+}
+
+fn take(slots: &mut [Option<Value>], var: VarId) -> Result<Value, QueryError> {
+    slots
+        .get_mut(var.0)
+        .and_then(Option::take)
+        .ok_or_else(|| internal("read from an empty slot"))
+}
+
+/// Executes a plan, returning one [`QueryOutput`] per covered statement
+/// (fused `SELECT` plans return one `Workers` output per query, in input
+/// order).
+pub(crate) fn execute(
+    engine: &mut QueryEngine,
+    plan: &LogicalPlan,
+) -> Result<Vec<QueryOutput>, QueryError> {
+    let mut slots: Vec<Option<Value>> = std::iter::repeat_with(|| None).take(plan.slots).collect();
+    let mut last: Option<VarId> = None;
+    for node in &plan.nodes {
+        let started = std::time::Instant::now();
+        let value = run_node(engine, node, &mut slots)?;
+        engine
+            .obs
+            .metrics
+            .histogram("query", &format!("plan_node_seconds_{}", node.kind()))
+            .observe_duration(started.elapsed());
+        let out = node.out();
+        *slots
+            .get_mut(out.0)
+            .ok_or_else(|| internal("write to an out-of-range slot"))? = Some(value);
+        last = Some(out);
+    }
+    let Some(last) = last else {
+        return Ok(Vec::new());
+    };
+    match take(&mut slots, last)? {
+        Value::Tables(tables) => Ok(tables.into_iter().map(QueryOutput::Workers).collect()),
+        Value::Out(output) => Ok(vec![output]),
+        _ => Err(internal("plan ended on an intermediate value")),
+    }
+}
+
+fn run_node(
+    engine: &mut QueryEngine,
+    node: &PlanNode,
+    slots: &mut [Option<Value>],
+) -> Result<Value, QueryError> {
+    match node {
+        PlanNode::Scan { min_group, .. } => {
+            Ok(Value::Candidates(engine.candidate_pool(*min_group)?))
+        }
+        PlanNode::Bind { backend, .. } => {
+            engine.ensure_fitted(backend)?;
+            Ok(Value::Bound(backend.clone()))
+        }
+        PlanNode::Project { texts, binding, .. } => {
+            let Value::Bound(backend) = take(slots, *binding)? else {
+                return Err(internal("Project without a binding"));
+            };
+            Ok(Value::Queries(prepare_queries(engine, &backend, texts)))
+        }
+        PlanNode::Score {
+            backend,
+            k,
+            queries,
+            candidates,
+            ..
+        } => {
+            let Value::Queries(queries) = take(slots, *queries)? else {
+                return Err(internal("Score without prepared queries"));
+            };
+            let Value::Candidates(pool) = take(slots, *candidates)? else {
+                return Err(internal("Score without a candidate pool"));
+            };
+            let fitted = engine
+                .fitted
+                .get(backend.as_str())
+                .ok_or_else(|| internal("Score without a bound snapshot"))?;
+            Ok(Value::Ranked(score_queries(fitted, &queries, &pool, *k)))
+        }
+        PlanNode::TopK { k, input, .. } => {
+            let Value::Ranked(mut ranked) = take(slots, *input)? else {
+                return Err(internal("TopK without rankings"));
+            };
+            // The compiler pushed `k` down into Score, so this truncation
+            // is a no-op — kept as the explicit logical boundary (and a
+            // guard should a future compiler stop pushing down).
+            for ranking in &mut ranked {
+                ranking.truncate(*k);
+            }
+            Ok(Value::Ranked(ranked))
+        }
+        PlanNode::Merge { input, .. } => {
+            let Value::Ranked(ranked) = take(slots, *input)? else {
+                return Err(internal("Merge without rankings"));
+            };
+            Ok(Value::Tables(
+                ranked.into_iter().map(|r| engine.to_rows(r)).collect(),
+            ))
+        }
+        PlanNode::Mutate { op, .. } => {
+            let output = engine.storage.apply(op)?;
+            engine.invalidate(op.invalidates());
+            Ok(Value::Out(output))
+        }
+        PlanNode::Fit {
+            backend,
+            categories,
+            ..
+        } => engine.train(backend, *categories).map(Value::Out),
+        PlanNode::Inspect { target, .. } => engine.show(target).map(Value::Out),
+        PlanNode::Explain { plan, .. } => Ok(Value::Out(QueryOutput::Plan(plan.render()))),
+    }
+}
+
+/// Lowers task texts into bags of words over the stored vocabulary and,
+/// when the bound snapshot is a TDPM model, resolves their Algorithm-3
+/// projections through the engine's LRU cache — counting
+/// `query/select_cache_{hit,miss}` per query, exactly like the pre-plan
+/// select paths.
+fn prepare_queries(
+    engine: &mut QueryEngine,
+    backend: &BackendName,
+    texts: &[String],
+) -> Vec<PreparedQuery> {
+    // Disjoint borrows: the snapshot map is read while the cache is
+    // written, so destructure instead of going through `&mut self` methods.
+    let QueryEngine {
+        storage,
+        fitted,
+        cache,
+        obs,
+        ..
+    } = engine;
+    let vocab = storage.db().vocab();
+    let model = fitted
+        .get(backend.as_str())
+        .and_then(|f| Some((f.epoch(), f.downcast_ref::<TdpmModel>()?)));
+    let metrics = &obs.metrics;
+    texts
+        .iter()
+        .map(|text| {
+            let bow = BagOfWords::from_known_tokens(&tokenize_filtered(text), vocab);
+            let projection = model.map(|(epoch, model)| {
+                let (projection, hit) =
+                    cache.get_or_insert_with(epoch, &bow, || model.project_bow(&bow));
+                let name = if hit {
+                    "select_cache_hit"
+                } else {
+                    "select_cache_miss"
+                };
+                metrics.counter("query", name).inc();
+                projection.clone()
+            });
+            PreparedQuery { bow, projection }
+        })
+        .collect()
+}
+
+/// Ranks every prepared query against the pool through the bound snapshot,
+/// with the pushed-down limit driving the fused rank-and-truncate kernels.
+/// Single queries take the per-query dense path, multi-query plans the
+/// batched kernels — both bit-identical to each other and to the pre-plan
+/// engine.
+fn score_queries(
+    fitted: &FittedSelector,
+    queries: &[PreparedQuery],
+    pool: &[WorkerId],
+    k: usize,
+) -> Vec<Vec<RankedWorker>> {
+    match fitted.downcast_ref::<TdpmModel>() {
+        Some(model) => {
+            if let [query] = queries {
+                // Project never misses the projection for a TDPM snapshot;
+                // the fallback keeps this total without a panic path.
+                let computed;
+                let projection = match &query.projection {
+                    Some(p) => p,
+                    None => {
+                        computed = model.project_bow(&query.bow);
+                        &computed
+                    }
+                };
+                vec![model.select_top_k(projection, pool.iter().copied(), k)]
+            } else {
+                let projections: Vec<TaskProjection> = queries
+                    .iter()
+                    .map(|q| match &q.projection {
+                        Some(p) => p.clone(),
+                        None => model.project_bow(&q.bow),
+                    })
+                    .collect();
+                model.select_top_k_batch(&projections, pool, k)
+            }
+        }
+        None => {
+            if let [query] = queries {
+                vec![fitted.selector().select(&query.bow, pool, k)]
+            } else {
+                let batch: Vec<BatchQuery<'_>> = queries
+                    .iter()
+                    .map(|q| BatchQuery {
+                        bow: &q.bow,
+                        candidates: pool,
+                        task: None,
+                    })
+                    .collect();
+                fitted.select_batch(&batch, k)
+            }
+        }
+    }
+}

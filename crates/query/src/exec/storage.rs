@@ -1,0 +1,203 @@
+//! Engine storage and the single mutation-dispatch path.
+//!
+//! The engine stores its database either plainly in memory or behind the
+//! write-ahead log. Instead of one hand-written forwarding method per
+//! mutation per storage flavour, every write funnels through
+//! [`MutationOp::apply_to`] over the [`MutationSink`] trait: a new mutation
+//! statement needs one `MutationOp` arm (plus a sink method if it calls a
+//! new store entry point), not a forwarding pair.
+
+use crate::output::QueryOutput;
+use crate::plan::MutationOp;
+use crate::QueryError;
+use crowd_store::{CrowdDb, LoggedDb, TaskId, WorkerId};
+use std::path::Path;
+
+/// Storage behind the engine: plain in-memory, or write-ahead-logged.
+#[derive(Debug)]
+pub(crate) enum Storage {
+    /// Plain in-memory database.
+    Plain(CrowdDb),
+    /// Database behind a write-ahead log.
+    Logged(LoggedDb),
+}
+
+impl Storage {
+    /// Opens write-ahead-logged storage, replaying any existing log.
+    pub(crate) fn open_logged(path: impl AsRef<Path>) -> Result<Self, QueryError> {
+        Ok(Storage::Logged(LoggedDb::open(path)?))
+    }
+
+    /// The underlying database.
+    pub(crate) fn db(&self) -> &CrowdDb {
+        match self {
+            Storage::Plain(db) => db,
+            Storage::Logged(db) => db.db(),
+        }
+    }
+
+    /// Wires WAL observability, when logging is on.
+    pub(crate) fn set_obs(&mut self, obs: &crowd_obs::Obs) {
+        if let Storage::Logged(logged) = self {
+            logged.set_obs(obs);
+        }
+    }
+
+    /// Applies one mutation, returning the statement acknowledgement.
+    pub(crate) fn apply(&mut self, op: &MutationOp) -> Result<QueryOutput, QueryError> {
+        let out = match self {
+            Storage::Plain(db) => op.apply_to(db),
+            Storage::Logged(db) => op.apply_to(db),
+        }?;
+        Ok(out)
+    }
+}
+
+/// The store entry points a [`MutationOp`] may invoke, implemented by both
+/// storage flavours so the op itself is written exactly once.
+pub(crate) trait MutationSink {
+    /// Inserts a worker.
+    fn insert_worker(&mut self, handle: String) -> crowd_store::Result<WorkerId>;
+    /// Inserts a task.
+    fn insert_task(&mut self, text: String) -> crowd_store::Result<TaskId>;
+    /// Assigns a worker to a task.
+    fn assign(&mut self, worker: WorkerId, task: TaskId) -> crowd_store::Result<()>;
+    /// Records a feedback score.
+    fn feedback(&mut self, worker: WorkerId, task: TaskId, score: f64) -> crowd_store::Result<()>;
+    /// Stores an answer text.
+    fn answer(&mut self, worker: WorkerId, task: TaskId, text: &str) -> crowd_store::Result<()>;
+}
+
+impl MutationSink for CrowdDb {
+    fn insert_worker(&mut self, handle: String) -> crowd_store::Result<WorkerId> {
+        Ok(CrowdDb::add_worker(self, handle))
+    }
+    fn insert_task(&mut self, text: String) -> crowd_store::Result<TaskId> {
+        Ok(CrowdDb::add_task(self, text))
+    }
+    fn assign(&mut self, worker: WorkerId, task: TaskId) -> crowd_store::Result<()> {
+        CrowdDb::assign(self, worker, task)
+    }
+    fn feedback(&mut self, worker: WorkerId, task: TaskId, score: f64) -> crowd_store::Result<()> {
+        CrowdDb::record_feedback(self, worker, task, score)
+    }
+    fn answer(&mut self, worker: WorkerId, task: TaskId, text: &str) -> crowd_store::Result<()> {
+        CrowdDb::record_answer(self, worker, task, text)
+    }
+}
+
+impl MutationSink for LoggedDb {
+    fn insert_worker(&mut self, handle: String) -> crowd_store::Result<WorkerId> {
+        LoggedDb::add_worker(self, handle)
+    }
+    fn insert_task(&mut self, text: String) -> crowd_store::Result<TaskId> {
+        LoggedDb::add_task(self, text)
+    }
+    fn assign(&mut self, worker: WorkerId, task: TaskId) -> crowd_store::Result<()> {
+        LoggedDb::assign(self, worker, task)
+    }
+    fn feedback(&mut self, worker: WorkerId, task: TaskId, score: f64) -> crowd_store::Result<()> {
+        LoggedDb::record_feedback(self, worker, task, score)
+    }
+    fn answer(&mut self, worker: WorkerId, task: TaskId, text: &str) -> crowd_store::Result<()> {
+        LoggedDb::record_answer(self, worker, task, text)
+    }
+}
+
+impl MutationOp {
+    /// Applies the mutation to any [`MutationSink`] and builds the
+    /// statement's acknowledgement — the one place each mutation's storage
+    /// call and output live.
+    pub(crate) fn apply_to<S: MutationSink>(&self, db: &mut S) -> crowd_store::Result<QueryOutput> {
+        match self {
+            MutationOp::InsertWorker { handle } => Ok(QueryOutput::WorkerInserted(
+                db.insert_worker(handle.clone())?,
+            )),
+            MutationOp::InsertTask { text } => {
+                Ok(QueryOutput::TaskInserted(db.insert_task(text.clone())?))
+            }
+            MutationOp::Assign { worker, task } => {
+                db.assign(*worker, *task)?;
+                Ok(QueryOutput::Ack(format!("assigned {worker} to {task}")))
+            }
+            MutationOp::Feedback {
+                worker,
+                task,
+                score,
+            } => {
+                db.feedback(*worker, *task, *score)?;
+                Ok(QueryOutput::Ack(format!(
+                    "recorded score {score} for {worker} on {task}"
+                )))
+            }
+            MutationOp::Answer { worker, task, text } => {
+                db.answer(*worker, *task, text)?;
+                Ok(QueryOutput::Ack(format!(
+                    "stored answer from {worker} on {task}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_and_logged_storage_agree_on_acknowledgements() {
+        let mut plain = Storage::Plain(CrowdDb::new());
+        let w = plain
+            .apply(&MutationOp::InsertWorker {
+                handle: "ada".into(),
+            })
+            .unwrap();
+        assert_eq!(w, QueryOutput::WorkerInserted(WorkerId(0)));
+        let t = plain
+            .apply(&MutationOp::InsertTask {
+                text: "btree".into(),
+            })
+            .unwrap();
+        assert_eq!(t, QueryOutput::TaskInserted(TaskId(0)));
+        let ack = plain
+            .apply(&MutationOp::Assign {
+                worker: WorkerId(0),
+                task: TaskId(0),
+            })
+            .unwrap();
+        assert_eq!(ack, QueryOutput::Ack("assigned w0 to t0".into()));
+        let ack = plain
+            .apply(&MutationOp::Feedback {
+                worker: WorkerId(0),
+                task: TaskId(0),
+                score: 4.0,
+            })
+            .unwrap();
+        assert_eq!(
+            ack,
+            QueryOutput::Ack("recorded score 4 for w0 on t0".into())
+        );
+        let ack = plain
+            .apply(&MutationOp::Answer {
+                worker: WorkerId(0),
+                task: TaskId(0),
+                text: "split".into(),
+            })
+            .unwrap();
+        assert_eq!(ack, QueryOutput::Ack("stored answer from w0 on t0".into()));
+        assert_eq!(plain.db().num_workers(), 1);
+        assert_eq!(plain.db().num_resolved(), 1);
+    }
+
+    #[test]
+    fn storage_errors_surface_as_query_errors() {
+        let mut s = Storage::Plain(CrowdDb::new());
+        let err = s
+            .apply(&MutationOp::Assign {
+                worker: WorkerId(9),
+                task: TaskId(9),
+            })
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Execution(_)), "{err}");
+    }
+}

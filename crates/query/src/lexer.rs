@@ -34,28 +34,53 @@ impl Token {
     }
 }
 
-/// Tokenizes one statement.
+/// A token plus the byte offset of its first character in the input, so the
+/// parser can point error messages at the exact spot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset (not char index) where the token starts.
+    pub position: usize,
+}
+
+/// Tokenizes one statement, dropping the positions. Convenience wrapper over
+/// [`lex_spanned`] for callers that only need the token stream.
 pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    Ok(lex_spanned(input)?.into_iter().map(|t| t.token).collect())
+}
+
+/// Tokenizes one statement, tagging every token with its byte offset.
+pub fn lex_spanned(input: &str) -> Result<Vec<SpannedToken>, QueryError> {
     let mut tokens = Vec::new();
-    let bytes: Vec<char> = input.chars().collect();
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
     let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i];
+    while i < chars.len() {
+        let (pos, c) = chars[i];
         if c.is_whitespace() {
             i += 1;
         } else if c == ',' {
-            tokens.push(Token::Comma);
+            tokens.push(SpannedToken {
+                token: Token::Comma,
+                position: pos,
+            });
             i += 1;
         } else if c == '=' {
-            tokens.push(Token::Eq);
+            tokens.push(SpannedToken {
+                token: Token::Eq,
+                position: pos,
+            });
             i += 1;
         } else if c == '>' {
-            if bytes.get(i + 1) == Some(&'=') {
-                tokens.push(Token::Ge);
+            if matches!(chars.get(i + 1), Some((_, '='))) {
+                tokens.push(SpannedToken {
+                    token: Token::Ge,
+                    position: pos,
+                });
                 i += 2;
             } else {
                 return Err(QueryError::Lex {
-                    position: i,
+                    position: pos,
                     message: "'>' must be followed by '=' (only >= is supported)".into(),
                 });
             }
@@ -64,52 +89,61 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
             let mut s = String::new();
             let mut j = i + 1;
             loop {
-                match bytes.get(j) {
+                match chars.get(j) {
                     None => {
                         return Err(QueryError::Lex {
-                            position: i,
+                            position: pos,
                             message: "unterminated string literal".into(),
                         })
                     }
-                    Some('\'') if bytes.get(j + 1) == Some(&'\'') => {
+                    Some((_, '\'')) if matches!(chars.get(j + 1), Some((_, '\''))) => {
                         s.push('\'');
                         j += 2;
                     }
-                    Some('\'') => {
+                    Some((_, '\'')) => {
                         j += 1;
                         break;
                     }
-                    Some(&ch) => {
+                    Some(&(_, ch)) => {
                         s.push(ch);
                         j += 1;
                     }
                 }
             }
-            tokens.push(Token::Str(s));
+            tokens.push(SpannedToken {
+                token: Token::Str(s),
+                position: pos,
+            });
             i = j;
         } else if c.is_ascii_digit()
-            || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()))
+            || (c == '-' && matches!(chars.get(i + 1), Some((_, d)) if d.is_ascii_digit()))
         {
             let start = i;
             i += 1;
-            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+            while i < chars.len() && (chars[i].1.is_ascii_digit() || chars[i].1 == '.') {
                 i += 1;
             }
-            let text: String = bytes[start..i].iter().collect();
+            let text: String = chars[start..i].iter().map(|&(_, ch)| ch).collect();
             let n = text.parse::<f64>().map_err(|e| QueryError::Lex {
-                position: start,
+                position: pos,
                 message: format!("bad number {text:?}: {e}"),
             })?;
-            tokens.push(Token::Number(n));
+            tokens.push(SpannedToken {
+                token: Token::Number(n),
+                position: pos,
+            });
         } else if c.is_alphanumeric() || c == '_' {
             let start = i;
-            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+            while i < chars.len() && (chars[i].1.is_alphanumeric() || chars[i].1 == '_') {
                 i += 1;
             }
-            tokens.push(Token::Word(bytes[start..i].iter().collect()));
+            tokens.push(SpannedToken {
+                token: Token::Word(chars[start..i].iter().map(|&(_, ch)| ch).collect()),
+                position: pos,
+            });
         } else {
             return Err(QueryError::Lex {
-                position: i,
+                position: pos,
                 message: format!("unexpected character {c:?}"),
             });
         }
@@ -182,5 +216,45 @@ mod tests {
     #[test]
     fn empty_input_is_empty() {
         assert!(lex("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn spanned_tokens_carry_offsets() {
+        let input = "SHOW  GROUPS 1,25";
+        let positions: Vec<(Token, usize)> = lex_spanned(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.token, t.position))
+            .collect();
+        assert_eq!(
+            positions,
+            vec![
+                (Token::Word("SHOW".into()), 0),
+                (Token::Word("GROUPS".into()), 6),
+                (Token::Number(1.0), 13),
+                (Token::Comma, 14),
+                (Token::Number(25.0), 15),
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_are_bytes_not_chars() {
+        // 'é' occupies two bytes: the token after the literal starts at the
+        // byte offset a caller can slice the input with.
+        let input = "'café' 7";
+        let toks = lex_spanned(input).unwrap();
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 8);
+        assert_eq!(&input[toks[1].position..], "7");
+    }
+
+    #[test]
+    fn lex_errors_report_byte_positions() {
+        let input = "café ;";
+        let Err(QueryError::Lex { position, .. }) = lex(input) else {
+            panic!("expected a lex error");
+        };
+        assert_eq!(&input[position..], ";");
     }
 }

@@ -18,10 +18,14 @@
 //! SHOW STATS
 //! SHOW WORKER 0
 //! SHOW GROUPS 1, 5, 9
+//! EXPLAIN SELECT WORKERS FOR TASK 'why does a btree split pages' LIMIT 2
 //! ```
 //!
-//! Pipeline: [`parse`] → [`Statement`] → [`QueryEngine::execute`] →
-//! [`QueryOutput`]. The engine owns a [`crowd_store::CrowdDb`] and a
+//! Pipeline: [`parse`] → [`Statement`] → compile ([`plan::compile`]) →
+//! [`LogicalPlan`] → execute (`exec`, instrumented per plan node) →
+//! [`QueryOutput`]. [`QueryEngine::execute`] is a thin facade over that
+//! pipeline; `EXPLAIN <statement>` stops after compilation and renders the
+//! plan deterministically. The engine owns a [`crowd_store::CrowdDb`] and a
 //! [`crowd_select::SelectorRegistry`]; a `USING <backend>` clause is
 //! resolved by name against the registry at execution time, so any
 //! registered [`crowd_select::SelectorBackend`] — the standard four
@@ -33,12 +37,15 @@ pub mod ast;
 mod cache;
 pub mod engine;
 pub mod error;
+mod exec;
 pub mod lexer;
 pub mod output;
 pub mod parser;
+pub mod plan;
 
 pub use ast::{BackendName, ShowTarget, Statement};
 pub use engine::QueryEngine;
 pub use error::QueryError;
 pub use output::QueryOutput;
 pub use parser::parse;
+pub use plan::{CacheDecision, LogicalPlan, MutationOp, PlanNode, VarId};

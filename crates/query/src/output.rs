@@ -73,6 +73,9 @@ pub enum QueryOutput {
     Groups(Vec<GroupStats>),
     /// `SHOW SIMILAR` rows: `(task, text, cosine similarity)`.
     SimilarTasks(Vec<(TaskId, String, f64)>),
+    /// `EXPLAIN` output: the deterministic rendering of the inner
+    /// statement's logical plan (see [`crate::plan::LogicalPlan::render`]).
+    Plan(String),
 }
 
 impl fmt::Display for QueryOutput {
@@ -145,6 +148,7 @@ impl fmt::Display for QueryOutput {
                 }
                 Ok(())
             }
+            QueryOutput::Plan(text) => f.write_str(text),
             QueryOutput::Groups(rows) => {
                 writeln!(f, "{:<12} {:>8} {:>10}", "threshold", "size", "coverage")?;
                 for g in rows {
@@ -200,6 +204,7 @@ mod tests {
                 size: 10,
                 coverage: 0.9,
             }]),
+            QueryOutput::Plan("v0 <- Inspect stats\n".into()),
         ];
         for o in outputs {
             assert!(!o.to_string().is_empty());

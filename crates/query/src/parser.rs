@@ -1,26 +1,34 @@
 //! Recursive-descent parser for the crowd-query language.
 
 use crate::ast::{BackendName, ShowTarget, Statement};
-use crate::lexer::{lex, Token};
+use crate::lexer::{lex_spanned, SpannedToken, Token};
 use crate::QueryError;
 use crowd_store::{TaskId, WorkerId};
 
 /// Parses one statement.
 pub fn parse(input: &str) -> Result<Statement, QueryError> {
-    let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let tokens = lex_spanned(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: input.len(),
+    };
     let stmt = p.statement()?;
     p.expect_end()?;
     Ok(stmt)
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<SpannedToken>,
     pos: usize,
+    /// Byte length of the input: the position end-of-statement errors point
+    /// at (one past the last byte).
+    end: usize,
 }
 
 impl Parser {
     fn statement(&mut self) -> Result<Statement, QueryError> {
+        let at = self.peek_position();
         let head = self.expect_word("a statement keyword")?;
         match head.to_ascii_uppercase().as_str() {
             "INSERT" => self.insert(),
@@ -30,14 +38,17 @@ impl Parser {
             "TRAIN" => self.train(),
             "SELECT" => self.select(),
             "SHOW" => self.show(),
-            other => Err(self.err(
-                "INSERT, ASSIGN, FEEDBACK, ANSWER, TRAIN, SELECT or SHOW",
+            "EXPLAIN" => Ok(Statement::Explain(Box::new(self.statement()?))),
+            other => Err(self.err_at(
+                at,
+                "INSERT, ASSIGN, FEEDBACK, ANSWER, TRAIN, SELECT, SHOW or EXPLAIN",
                 &format!("'{other}'"),
             )),
         }
     }
 
     fn insert(&mut self) -> Result<Statement, QueryError> {
+        let at = self.peek_position();
         let kind = self.expect_word("WORKER or TASK")?;
         match kind.to_ascii_uppercase().as_str() {
             "WORKER" => Ok(Statement::InsertWorker {
@@ -46,7 +57,7 @@ impl Parser {
             "TASK" => Ok(Statement::InsertTask {
                 text: self.expect_string("a quoted task text")?,
             }),
-            other => Err(self.err("WORKER or TASK", &format!("'{other}'"))),
+            other => Err(self.err_at(at, "WORKER or TASK", &format!("'{other}'"))),
         }
     }
 
@@ -133,6 +144,7 @@ impl Parser {
     }
 
     fn show(&mut self) -> Result<Statement, QueryError> {
+        let at = self.peek_position();
         let what = self.expect_word("STATS, WORKER, TASK, GROUPS or SIMILAR")?;
         let target = match what.to_ascii_uppercase().as_str() {
             "STATS" => ShowTarget::Stats,
@@ -156,7 +168,8 @@ impl Parser {
                 ShowTarget::Similar { text, limit }
             }
             other => {
-                return Err(self.err(
+                return Err(self.err_at(
+                    at,
                     "STATS, WORKER, TASK, GROUPS or SIMILAR",
                     &format!("'{other}'"),
                 ))
@@ -168,7 +181,13 @@ impl Parser {
     // --- primitives ----------------------------------------------------------
 
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    /// Byte position of the next token, or one past the input's last byte
+    /// when the statement ended early.
+    fn peek_position(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.end, |t| t.position)
     }
 
     fn advance(&mut self) {
@@ -200,11 +219,12 @@ impl Parser {
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        let at = self.peek_position();
         let w = self.expect_word(kw)?;
         if w.eq_ignore_ascii_case(kw) {
             Ok(())
         } else {
-            Err(self.err(kw, &format!("'{w}'")))
+            Err(self.err_at(at, kw, &format!("'{w}'")))
         }
     }
 
@@ -231,17 +251,21 @@ impl Parser {
     /// An integer that must fit the `u32` id space; out-of-range input is a
     /// parse error, never a silent wrap.
     fn expect_u32(&mut self, expected: &str) -> Result<u32, QueryError> {
+        let at = self.peek_position();
         let n = self.expect_integer(expected)?;
-        u32::try_from(n).map_err(|_| self.err(expected, &format!("out-of-range integer {n}")))
+        u32::try_from(n)
+            .map_err(|_| self.err_at(at, expected, &format!("out-of-range integer {n}")))
     }
 
     fn expect_integer(&mut self, expected: &str) -> Result<u64, QueryError> {
+        let at = self.peek_position();
         let n = self.expect_number(expected)?;
         if n.fract() != 0.0 || n < 0.0 || n > u32::MAX as f64 {
-            return Err(QueryError::Parse {
-                expected: format!("{expected} (a non-negative integer)"),
-                found: format!("number {n}"),
-            });
+            return Err(self.err_at(
+                at,
+                &format!("{expected} (a non-negative integer)"),
+                &format!("number {n}"),
+            ));
         }
         Ok(n as u64)
     }
@@ -253,8 +277,17 @@ impl Parser {
         }
     }
 
+    /// A parse error pointing at the next (unconsumed) token.
     fn err(&self, expected: &str, found: &str) -> QueryError {
+        self.err_at(self.peek_position(), expected, found)
+    }
+
+    /// A parse error pointing at an explicit byte position — used when the
+    /// offending token was already consumed (keyword mismatches, range
+    /// checks), so `peek_position` would blame the token after it.
+    fn err_at(&self, position: usize, expected: &str, found: &str) -> QueryError {
         QueryError::Parse {
+            position,
             expected: expected.into(),
             found: found.into(),
         }
@@ -414,6 +447,33 @@ mod tests {
     }
 
     #[test]
+    fn explain_wraps_any_statement() {
+        assert_eq!(
+            parse("EXPLAIN SHOW STATS").unwrap(),
+            Statement::Explain(Box::new(Statement::Show(ShowTarget::Stats)))
+        );
+        assert_eq!(
+            parse("explain select workers for task 'q' limit 2").unwrap(),
+            Statement::Explain(Box::new(Statement::SelectWorkers {
+                text: "q".into(),
+                limit: 2,
+                backend: BackendName::default(),
+                min_group: None
+            }))
+        );
+        // EXPLAIN EXPLAIN nests.
+        assert_eq!(
+            parse("EXPLAIN EXPLAIN SHOW STATS").unwrap(),
+            Statement::Explain(Box::new(Statement::Explain(Box::new(Statement::Show(
+                ShowTarget::Stats
+            )))))
+        );
+        // A bare EXPLAIN still wants a statement.
+        let err = parse("EXPLAIN").unwrap_err();
+        assert!(err.to_string().contains("statement keyword"), "{err}");
+    }
+
+    #[test]
     fn errors_are_descriptive() {
         let e = parse("SELECT WORKERS FOR TASK").unwrap_err();
         assert!(e.to_string().contains("quoted task text"), "{e}");
@@ -423,6 +483,66 @@ mod tests {
         assert!(e.to_string().contains("backend name"), "{e}");
         let e = parse("SHOW NOTHING").unwrap_err();
         assert!(e.to_string().contains("STATS"), "{e}");
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_positions() {
+        // The offending token's own offset: `42` starts at byte 24.
+        let input = "SELECT WORKERS FOR TASK 42";
+        let QueryError::Parse { position, .. } = parse(input).unwrap_err() else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(&input[position..], "42");
+
+        // Keyword mismatch blames the word that was consumed, not the token
+        // after it: `ON` where `TO` belongs.
+        let input = "ASSIGN WORKER 1 ON TASK 2";
+        let QueryError::Parse { position, .. } = parse(input).unwrap_err() else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(&input[position..], "ON TASK 2");
+
+        // A wrong head keyword points at byte 0.
+        let QueryError::Parse { position, .. } = parse("FROB STATS").unwrap_err() else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(position, 0);
+
+        // Truncated statements point one past the last byte.
+        let input = "SELECT WORKERS FOR TASK";
+        let QueryError::Parse { position, .. } = parse(input).unwrap_err() else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(position, input.len());
+
+        // Trailing garbage points at the first extra token.
+        let input = "SHOW STATS extra";
+        let QueryError::Parse { position, .. } = parse(input).unwrap_err() else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(&input[position..], "extra");
+
+        // Positions are byte offsets even after multibyte text: the display
+        // message names the byte so callers can slice the input directly.
+        let input = "INSERT TASK 'café' oops";
+        let err = parse(input).unwrap_err();
+        let QueryError::Parse { position, .. } = &err else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(&input[*position..], "oops");
+        assert!(
+            err.to_string().contains(&format!("byte {position}")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn range_errors_blame_the_number_itself() {
+        let input = "SHOW WORKER -1";
+        let QueryError::Parse { position, .. } = parse(input).unwrap_err() else {
+            panic!("expected a parse error");
+        };
+        assert_eq!(&input[position..], "-1");
     }
 
     #[test]

@@ -18,6 +18,17 @@ fn arb_backend() -> impl Strategy<Value = BackendName> {
 }
 
 fn arb_statement() -> impl Strategy<Value = Statement> {
+    // EXPLAIN wraps any statement, including another EXPLAIN — cover plain,
+    // singly- and doubly-wrapped forms.
+    prop_oneof![
+        arb_plain_statement(),
+        arb_plain_statement().prop_map(|s| Statement::Explain(Box::new(s))),
+        arb_plain_statement()
+            .prop_map(|s| Statement::Explain(Box::new(Statement::Explain(Box::new(s))))),
+    ]
+}
+
+fn arb_plain_statement() -> impl Strategy<Value = Statement> {
     prop_oneof![
         arb_text().prop_map(|handle| Statement::InsertWorker { handle }),
         arb_text().prop_map(|text| Statement::InsertTask { text }),

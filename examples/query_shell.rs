@@ -18,7 +18,11 @@
 //! SELECT WORKERS FOR TASK '…' USING vsm WHERE GROUP >= 2
 //! SHOW STATS | SHOW WORKER 0 | SHOW TASK 0 | SHOW GROUPS 1, 5
 //! SHOW SIMILAR 'btree split' LIMIT 3
+//! EXPLAIN SELECT WORKERS FOR TASK 'why does a btree split' LIMIT 2
 //! ```
+//!
+//! `EXPLAIN <statement>` renders the logical plan the statement compiles
+//! to instead of executing it (DESIGN.md §8).
 
 use crowdselect::query::QueryEngine;
 use std::io::{BufRead, Write};
@@ -46,6 +50,7 @@ const DEMO_SCRIPT: &[&str] = &[
     "TRAIN MODEL WITH 2 CATEGORIES",
     "SHOW WORKER 0",
     "SHOW WORKER 1",
+    "EXPLAIN SELECT WORKERS FOR TASK 'why does my btree split pages' LIMIT 2",
     "SELECT WORKERS FOR TASK 'why does my btree split pages' LIMIT 2",
     "SELECT WORKERS FOR TASK 'choosing a prior for the variance' LIMIT 2",
     "SELECT WORKERS FOR TASK 'btree buffer pool' LIMIT 1 USING vsm",

@@ -202,4 +202,14 @@ fn query_engine_records_selection_latency_by_backend() {
             .unwrap_or_else(|| panic!("missing select_seconds_{backend}"));
         assert_eq!(h.count, 1, "{backend} timed once");
     }
+
+    // Per-node executor timers: both SELECTs walk the same six-node plan
+    // (Scan → Bind → Project → Score → TopK → Merge), so every node kind is
+    // timed exactly twice.
+    for kind in ["scan", "bind", "project", "score", "topk", "merge"] {
+        let h = snap
+            .histogram("query", &format!("plan_node_seconds_{kind}"))
+            .unwrap_or_else(|| panic!("missing plan_node_seconds_{kind}"));
+        assert_eq!(h.count, 2, "{kind} node timed once per SELECT");
+    }
 }
