@@ -18,11 +18,11 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
 # Static analysis gate: crowd-lint must report zero unsuppressed findings
-# (report lands in results/LINT_5.json), and its own fixture must still
+# (report lands in results/LINT_7.json), and its own fixture must still
 # trip every rule — a lint pass that stops failing on known-bad input is
 # a broken gate, not a clean tree.
 mkdir -p results
-run cargo run -q -p crowd-lint -- --json results/LINT_5.json
+run cargo run -q -p crowd-lint -- --json results/LINT_7.json
 echo "==> crowd-lint fixture must fail"
 if cargo run -q -p crowd-lint -- --root crates/lint/fixtures --quiet; then
     echo "crowd-lint fixture unexpectedly passed; the lint gate is broken" >&2
@@ -47,6 +47,14 @@ run cargo test -q -p crowd-core --features validate
 # under every seed (see crates/platform/tests/fault_matrix.rs).
 for seed in 17 42 99; do
     run env FAULT_SEED="$seed" cargo test -q -p crowd-platform --test fault_matrix
+done
+
+# Query-layer chaos matrix: seeded fault injection + a mixed
+# deadline/cancel/budget/admission schedule must stay typed, accounted and
+# bit-identical where nothing fired (see tests/chaos.rs; report lands in
+# results/CHAOS_7.json).
+for seed in 17 42 99; do
+    run env CHAOS_SEED="$seed" cargo test -q -p crowdselect --test chaos
 done
 
 # Bench smoke: the dense serving path must beat the serial baseline by the

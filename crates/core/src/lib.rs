@@ -66,7 +66,7 @@ pub use model::{TaskProjection, TdpmModel};
 pub use params::ModelParams;
 pub use persist::ModelSnapshot;
 pub use selection::RankedWorker;
-pub use skillmatrix::SkillMatrix;
+pub use skillmatrix::{PartialRanking, SkillMatrix};
 pub use trainer::{FitReport, TdpmTrainer};
 
 /// Convenience result alias.

@@ -395,6 +395,44 @@ impl TdpmModel {
             .select_mean(projection.lambda.as_slice(), &resolved, k, threads)
     }
 
+    /// [`TdpmModel::select_top_k`] under a [`crowd_math::WorkGuard`]: the
+    /// guard is polled at every scoring-chunk boundary (see
+    /// [`crate::SkillMatrix::select_mean_guarded`]) so a query-layer
+    /// deadline, cancellation or row budget can stop the scan cleanly. A
+    /// never-firing guard returns a `complete` ranking bit-identical to
+    /// [`TdpmModel::select_top_k`] on the same inputs.
+    pub fn select_top_k_guarded<G: crowd_math::WorkGuard>(
+        &self,
+        projection: &TaskProjection,
+        candidates: impl IntoIterator<Item = WorkerId>,
+        k: usize,
+        guard: &G,
+    ) -> crate::skillmatrix::PartialRanking {
+        let resolved = self.matrix.resolve(candidates);
+        let threads = self.serving_threads(resolved.len());
+        self.matrix
+            .select_mean_guarded(projection.lambda.as_slice(), &resolved, k, threads, guard)
+    }
+
+    /// [`TdpmModel::select_top_k_batch`] under a [`crowd_math::WorkGuard`]:
+    /// the batched kernel polls the guard per cache block (see
+    /// [`crate::SkillMatrix::select_mean_batch_guarded`]). Never-firing
+    /// guards return `complete` rankings bit-identical to
+    /// [`TdpmModel::select_top_k_batch`].
+    pub fn select_top_k_batch_guarded<G: crowd_math::WorkGuard>(
+        &self,
+        projections: &[TaskProjection],
+        candidates: &[WorkerId],
+        k: usize,
+        guard: &G,
+    ) -> Vec<crate::skillmatrix::PartialRanking> {
+        let resolved = self.matrix.resolve(candidates.iter().copied());
+        let lambdas: Vec<&[f64]> = projections.iter().map(|p| p.lambda.as_slice()).collect();
+        let threads = self.serving_threads(resolved.len());
+        self.matrix
+            .select_mean_batch_guarded(&lambdas, &resolved, k, threads, guard)
+    }
+
     /// Reference top-k selection through the per-worker skill records (one
     /// hash lookup + `Vector::dot` per candidate) — the pre-dense serial
     /// path, kept as the bit-identity oracle for the property tests and the

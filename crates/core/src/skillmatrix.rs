@@ -26,6 +26,7 @@
 //!   reproduces it exactly, independent of chunking (DESIGN.md §6d).
 
 use crate::selection::{top_k, RankedWorker};
+use crowd_math::guard::{Unchecked, WorkGuard, CHECKPOINT_ROWS};
 use crowd_math::kernels;
 use crowd_store::WorkerId;
 use std::collections::HashMap;
@@ -33,6 +34,23 @@ use std::collections::HashMap;
 /// Candidates resolved against the matrix: `(worker, row index)` pairs in
 /// input order, unknown workers dropped.
 pub type ResolvedCandidates = Vec<(WorkerId, usize)>;
+
+/// A ranking that may have been stopped early by a [`WorkGuard`].
+///
+/// `ranked` is a correct top-k of the `scanned`-candidate prefix that was
+/// actually scored — never a corrupt mixture — and `complete` records
+/// whether the guard let the scan finish. Guarded selection returning
+/// `complete == true` is bit-identical to the unguarded path on the same
+/// inputs (same loop, no-op guard).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialRanking {
+    /// Top-k of the scanned candidate prefix.
+    pub ranked: Vec<RankedWorker>,
+    /// `true` when every candidate was scored before the guard fired.
+    pub complete: bool,
+    /// How many resolved candidates were scored (summed across chunks).
+    pub scanned: usize,
+}
 
 /// Contiguous row-major `W × K` snapshot of posterior means and variances.
 #[derive(Debug, Clone, Default)]
@@ -160,8 +178,26 @@ impl SkillMatrix {
         k: usize,
         threads: usize,
     ) -> Vec<RankedWorker> {
+        self.select_mean_guarded(lambda, resolved, k, threads, &Unchecked)
+            .ranked
+    }
+
+    /// [`SkillMatrix::select_mean`] with a [`WorkGuard`] polled every
+    /// [`CHECKPOINT_ROWS`] candidates (per scoring thread), charged with the
+    /// chunk's row count before the chunk is scored. A firing guard stops
+    /// the scan at the chunk boundary and the result reports the scanned
+    /// prefix; a never-firing guard is bit-identical to
+    /// [`SkillMatrix::select_mean`] (which delegates here).
+    pub fn select_mean_guarded<G: WorkGuard>(
+        &self,
+        lambda: &[f64],
+        resolved: &[(WorkerId, usize)],
+        k: usize,
+        threads: usize,
+        guard: &G,
+    ) -> PartialRanking {
         debug_assert_eq!(lambda.len(), self.k, "SkillMatrix::select_mean lambda");
-        self.select_with(resolved, k, threads, |row| {
+        self.select_with(resolved, k, threads, guard, |row| {
             kernels::dot(self.mean_row(row), lambda)
         })
     }
@@ -181,9 +217,10 @@ impl SkillMatrix {
             self.k,
             "SkillMatrix::select_optimistic lambda"
         );
-        self.select_with(resolved, k, threads, |row| {
+        self.select_with(resolved, k, threads, &Unchecked, |row| {
             kernels::ucb_score(self.mean_row(row), self.var_row(row), lambda, beta)
         })
+        .ranked
     }
 
     /// Batched mean-score top-`k`: one ranking per query in `lambdas`, all
@@ -207,13 +244,57 @@ impl SkillMatrix {
         k: usize,
         threads: usize,
     ) -> Vec<Vec<RankedWorker>> {
+        self.select_mean_batch_guarded(lambdas, resolved, k, threads, &Unchecked)
+            .into_iter()
+            .map(|p| p.ranked)
+            .collect()
+    }
+
+    /// [`SkillMatrix::select_mean_batch`] with a [`WorkGuard`] polled at
+    /// every cache block of the batched kernel, charged `block rows ×
+    /// queries` units before the block streams. When the guard fires, every
+    /// query in the affected chunk is ranked over the same scanned row
+    /// prefix (the kernel stops for all of them at one block boundary), so
+    /// no ranking ever mixes scored and unscored rows. Never-firing guards
+    /// are bit-identical to [`SkillMatrix::select_mean_batch`] (which
+    /// delegates here).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of any scoring thread (a panicking scorer is a
+    /// bug; there is no error value to surface from a joined chunk).
+    pub fn select_mean_batch_guarded<G: WorkGuard>(
+        &self,
+        lambdas: &[&[f64]],
+        resolved: &[(WorkerId, usize)],
+        k: usize,
+        threads: usize,
+        guard: &G,
+    ) -> Vec<PartialRanking> {
         let rows: Vec<usize> = resolved.iter().map(|&(_, row)| row).collect();
-        let run = |chunk: &[&[f64]]| -> Vec<Vec<RankedWorker>> {
+        let run = |chunk: &[&[f64]]| -> Vec<PartialRanking> {
             let mut scores: Vec<Vec<f64>> = vec![Vec::new(); chunk.len()];
-            kernels::gemv_gathered_batch(self.k, &self.means, &rows, chunk, &mut scores);
+            let done = kernels::gemv_gathered_batch_guarded(
+                self.k,
+                &self.means,
+                &rows,
+                chunk,
+                &mut scores,
+                guard,
+            );
             scores
                 .iter()
-                .map(|qs| top_k(resolved.iter().zip(qs).map(|(&(w, _), &s)| (w, s)), k))
+                .map(|qs| PartialRanking {
+                    ranked: top_k(
+                        resolved[..done]
+                            .iter()
+                            .zip(&qs[..done])
+                            .map(|(&(w, _), &s)| (w, s)),
+                        k,
+                    ),
+                    complete: done == rows.len(),
+                    scanned: done,
+                })
                 .collect()
         };
 
@@ -245,34 +326,63 @@ impl SkillMatrix {
 
     /// Shared chunk-parallel top-k driver: scores rows with `score`, feeds
     /// the bounded min-heap per contiguous candidate chunk, merges the
-    /// per-chunk winners with one more [`top_k`].
-    fn select_with<F>(
+    /// per-chunk winners with one more [`top_k`]. The guard is polled every
+    /// [`CHECKPOINT_ROWS`] candidates inside each chunk; a stopped chunk
+    /// contributes its scanned prefix and the merged result is marked
+    /// incomplete.
+    fn select_with<F, G>(
         &self,
         resolved: &[(WorkerId, usize)],
         k: usize,
         threads: usize,
+        guard: &G,
         score: F,
-    ) -> Vec<RankedWorker>
+    ) -> PartialRanking
     where
         F: Fn(usize) -> f64 + Sync,
+        G: WorkGuard,
     {
+        // One guarded pass over a contiguous candidate run. The checkpoint
+        // chunking only gates admission — element order and the single
+        // `top_k` feed are exactly the unchunked iteration, so a never-
+        // firing guard is bit-identical to the historical path.
+        let guarded_scan = |run: &[(WorkerId, usize)]| -> (Vec<RankedWorker>, usize) {
+            let mut scanned = 0usize;
+            let ranked = top_k(
+                run.chunks(CHECKPOINT_ROWS)
+                    .take_while(|c| {
+                        let admit = guard.consume(c.len() as u64);
+                        if admit {
+                            scanned += c.len();
+                        }
+                        admit
+                    })
+                    .flatten()
+                    .map(|&(w, row)| (w, score(row))),
+                k,
+            );
+            (ranked, scanned)
+        };
         let n = resolved.len();
         let threads = threads.max(1).min(n.max(1));
         if threads <= 1 {
-            return top_k(resolved.iter().map(|&(w, row)| (w, score(row))), k);
+            let (ranked, scanned) = guarded_scan(resolved);
+            return PartialRanking {
+                ranked,
+                complete: scanned == n,
+                scanned,
+            };
         }
         let chunk = n.div_ceil(threads);
-        let partials: Vec<Vec<RankedWorker>> = crossbeam::thread::scope(|scope| {
+        let partials: Vec<(Vec<RankedWorker>, usize)> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             let mut rest = resolved;
             while !rest.is_empty() {
                 let take = chunk.min(rest.len());
                 let (now, later) = rest.split_at(take);
                 rest = later;
-                let score = &score;
-                handles.push(
-                    scope.spawn(move |_| top_k(now.iter().map(|&(w, row)| (w, score(row))), k)),
-                );
+                let guarded_scan = &guarded_scan;
+                handles.push(scope.spawn(move |_| guarded_scan(now)));
             }
             handles
                 .into_iter()
@@ -282,13 +392,18 @@ impl SkillMatrix {
         })
         // crowd-lint: allow(no-unwrap-on-serve-path) -- crossbeam scope errs only when a child panicked; propagating that panic is the intended behavior
         .expect("crossbeam scope");
-        top_k(
-            partials
-                .into_iter()
-                .flatten()
-                .map(|rw| (rw.worker, rw.score)),
-            k,
-        )
+        let scanned: usize = partials.iter().map(|&(_, s)| s).sum();
+        PartialRanking {
+            ranked: top_k(
+                partials
+                    .into_iter()
+                    .flat_map(|(rws, _)| rws)
+                    .map(|rw| (rw.worker, rw.score)),
+                k,
+            ),
+            complete: scanned == n,
+            scanned,
+        }
     }
 }
 
@@ -406,6 +521,74 @@ mod tests {
             assert_eq!(opt.len(), 1);
             let batch = m.select_mean_batch(&[&lambda], &resolved, 2, threads);
             assert_eq!(batch[0].len(), 1);
+        }
+    }
+
+    /// A guard admitting a fixed number of units, then refusing.
+    struct Budget(std::sync::atomic::AtomicU64);
+    impl WorkGuard for Budget {
+        fn consume(&self, units: u64) -> bool {
+            use std::sync::atomic::Ordering;
+            self.0
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(units))
+                .is_ok()
+        }
+    }
+
+    #[test]
+    fn never_firing_guard_is_bitwise_identical_and_complete() {
+        let m = matrix();
+        let resolved = m.resolve_all();
+        let lambda = [0.7, -0.3, 1.1];
+        for threads in [1, 2, 8] {
+            let plain = m.select_mean(&lambda, &resolved, 4, threads);
+            let guarded = m.select_mean_guarded(&lambda, &resolved, 4, threads, &Unchecked);
+            assert!(guarded.complete);
+            assert_eq!(guarded.scanned, resolved.len());
+            assert_eq!(guarded.ranked.len(), plain.len());
+            for (a, b) in guarded.ranked.iter().zip(&plain) {
+                assert_eq!(a.worker, b.worker);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_guard_reports_a_partial_prefix() {
+        let m = matrix();
+        let resolved = m.resolve_all();
+        let lambda = [1.0, 0.0, 0.0];
+        // Zero budget: nothing is scanned, the ranking is empty but sound.
+        let none = m.select_mean_guarded(&lambda, &resolved, 4, 1, &Budget(0.into()));
+        assert!(!none.complete);
+        assert_eq!((none.scanned, none.ranked.len()), (0, 0));
+        // The batch path stops at a block boundary for every query at once.
+        let q0: &[f64] = &lambda;
+        let batch = m.select_mean_batch_guarded(&[q0, q0], &resolved, 4, 1, &Budget(0.into()));
+        assert_eq!(batch.len(), 2);
+        for p in &batch {
+            assert!(!p.complete);
+            assert!(p.ranked.is_empty());
+        }
+    }
+
+    #[test]
+    fn guarded_batch_with_room_is_complete_and_identical() {
+        let m = matrix();
+        let resolved = m.resolve_all();
+        let q0 = [1.0, 0.0, 0.0];
+        let q1 = [-0.4, 0.9, 0.2];
+        let lambdas: Vec<&[f64]> = vec![&q0, &q1];
+        let plain = m.select_mean_batch(&lambdas, &resolved, 3, 2);
+        let guarded =
+            m.select_mean_batch_guarded(&lambdas, &resolved, 3, 2, &Budget(1_000_000.into()));
+        for (p, want) in guarded.iter().zip(&plain) {
+            assert!(p.complete);
+            assert_eq!(p.scanned, resolved.len());
+            for (a, b) in p.ranked.iter().zip(want) {
+                assert_eq!(a.worker, b.worker);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
         }
     }
 

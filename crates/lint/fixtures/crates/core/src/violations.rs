@@ -13,6 +13,12 @@ pub fn seeded_unwrap(map: &HashMap<u32, u32>) -> u32 {
     a + b
 }
 
+fn seeded_unbounded_wait(pair: &(std::sync::Mutex<bool>, std::sync::Condvar)) {
+    // rule: bounded-wait-on-serve-path
+    let guard = pair.0.lock().unwrap();
+    let _unused = pair.1.wait(guard);
+}
+
 fn seeded_partial_cmp(xs: &mut [f64]) {
     // rule: no-partial-cmp-unwrap
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());

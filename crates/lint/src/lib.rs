@@ -338,6 +338,36 @@ mod tests {
         assert_eq!(unsuppressed(&diags, "invalid-pragma").len(), 1);
     }
 
+    // ---- bounded-wait-on-serve-path ------------------------------------
+
+    #[test]
+    fn unbounded_wait_on_serve_path_is_flagged() {
+        let src = "fn f(cv: &Condvar, g: MutexGuard<bool>) { let _g = cv.wait(g); }\n";
+        let diags = lint_source("crates/query/src/admission.rs", src);
+        assert_eq!(unsuppressed(&diags, "bounded-wait-on-serve-path").len(), 1);
+    }
+
+    #[test]
+    fn wait_timeout_is_not_flagged() {
+        let src = "fn f(cv: &Condvar, g: MutexGuard<bool>) {\n  \
+                   let _r = cv.wait_timeout(g, remaining);\n}\n";
+        let diags = lint_source("crates/query/src/admission.rs", src);
+        assert!(unsuppressed(&diags, "bounded-wait-on-serve-path").is_empty());
+    }
+
+    #[test]
+    fn unbounded_wait_outside_serve_crates_is_not_flagged() {
+        let diags = lint_source("crates/eval/src/metrics.rs", "fn f() { cv.wait(g); }\n");
+        assert!(unsuppressed(&diags, "bounded-wait-on-serve-path").is_empty());
+    }
+
+    #[test]
+    fn unbounded_wait_in_test_code_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { cv.wait(g); }\n}\n";
+        let diags = lint_source("crates/query/src/admission.rs", src);
+        assert!(unsuppressed(&diags, "bounded-wait-on-serve-path").is_empty());
+    }
+
     // ---- no-partial-cmp-unwrap -----------------------------------------
 
     #[test]

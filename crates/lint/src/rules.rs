@@ -39,6 +39,7 @@ pub trait Rule {
 pub fn default_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoUnwrapOnServePath),
+        Box::new(BoundedWaitOnServePath),
         Box::new(NoPartialCmpUnwrap),
         Box::new(DeterministicSnapshotMaps),
         Box::new(NoSilentTruncation),
@@ -107,6 +108,43 @@ impl Rule for NoUnwrapOnServePath {
                         ),
                     ));
                 }
+            }
+        }
+    }
+}
+
+/// `bounded-wait-on-serve-path`: forbid unbounded `Condvar::wait` in
+/// non-test code of the serving crates — a queued query must always hold a
+/// deadline, so blocking waits go through `wait_timeout` (as the admission
+/// controller's queue does). The pattern is the exact substring `.wait(`,
+/// which deliberately does *not* match `.wait_timeout(`.
+#[derive(Debug)]
+pub struct BoundedWaitOnServePath;
+
+impl Rule for BoundedWaitOnServePath {
+    fn name(&self) -> &'static str {
+        "bounded-wait-on-serve-path"
+    }
+    fn describe(&self) -> &'static str {
+        "forbid unbounded .wait( in non-test serving code; block via .wait_timeout( instead"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !SERVE_PATH_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+            return;
+        }
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            if line.code.contains(".wait(") {
+                out.push(diag(
+                    self.name(),
+                    file,
+                    i,
+                    "unbounded `.wait(` on a serving path: use `.wait_timeout(` with the \
+                     queue's give-up deadline so a stuck slot cannot block a query forever"
+                        .to_string(),
+                ));
             }
         }
     }

@@ -68,6 +68,27 @@ pub fn gemv_gathered_batch(
     xs: &[&[f64]],
     outs: &mut [Vec<f64>],
 ) {
+    let done = gemv_gathered_batch_guarded(k, a, rows, xs, outs, &crate::guard::Unchecked);
+    debug_assert_eq!(done, rows.len(), "Unchecked guard never stops the loop");
+}
+
+/// [`gemv_gathered_batch`] with a [`WorkGuard`] polled at every
+/// [`GEMV_BLOCK_ROWS`]-row block boundary, charged `block_rows × queries`
+/// units before the block runs. Returns how many rows were fully scored for
+/// *every* query; entries past that prefix are zero-filled and must not be
+/// read. With a guard that never fires the function scores everything and
+/// is the implementation behind [`gemv_gathered_batch`] — bit-identical by
+/// construction.
+///
+/// [`WorkGuard`]: crate::guard::WorkGuard
+pub fn gemv_gathered_batch_guarded<G: crate::guard::WorkGuard>(
+    k: usize,
+    a: &[f64],
+    rows: &[usize],
+    xs: &[&[f64]],
+    outs: &mut [Vec<f64>],
+    guard: &G,
+) -> usize {
     debug_assert_eq!(xs.len(), outs.len(), "kernels::gemv_gathered_batch shape");
     for out in outs.iter_mut() {
         out.clear();
@@ -75,6 +96,9 @@ pub fn gemv_gathered_batch(
     }
     let mut base = 0;
     for block in rows.chunks(GEMV_BLOCK_ROWS) {
+        if !guard.consume(block.len() as u64 * xs.len().max(1) as u64) {
+            return base;
+        }
         for (x, out) in xs.iter().zip(outs.iter_mut()) {
             for (i, &r) in block.iter().enumerate() {
                 out[base + i] = dot(&a[r * k..(r + 1) * k], x);
@@ -82,6 +106,7 @@ pub fn gemv_gathered_batch(
         }
         base += block.len();
     }
+    base
 }
 
 /// Optimistic (UCB-style) score for one gathered row:
@@ -178,6 +203,39 @@ mod tests {
             let want: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
             assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn guarded_batch_stops_at_a_block_boundary() {
+        use crate::guard::WorkGuard;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Budget(AtomicU64);
+        impl WorkGuard for Budget {
+            fn consume(&self, units: u64) -> bool {
+                self.0
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(units))
+                    .is_ok()
+            }
+        }
+        let k = 4;
+        let rows_n = GEMV_BLOCK_ROWS * 3;
+        let a = matrix(rows_n, k);
+        let rows: Vec<usize> = (0..rows_n).collect();
+        let q0: Vec<f64> = (0..k).map(|i| 0.3 - i as f64).collect();
+        let xs: Vec<&[f64]> = vec![&q0];
+        let mut outs = vec![Vec::new()];
+        // Budget admits exactly two blocks (block.len() × 1 query each).
+        let guard = Budget(AtomicU64::new(2 * GEMV_BLOCK_ROWS as u64));
+        let done = gemv_gathered_batch_guarded(k, &a, &rows, &xs, &mut outs, &guard);
+        assert_eq!(done, 2 * GEMV_BLOCK_ROWS);
+        // The completed prefix is bit-identical to the unguarded kernel.
+        let mut reference = vec![Vec::new()];
+        gemv_gathered_batch(k, &a, &rows, &xs, &mut reference);
+        for i in 0..done {
+            assert_eq!(outs[0][i].to_bits(), reference[0][i].to_bits());
+        }
+        // Rows past the stop point were never scored.
+        assert!(outs[0][done..].iter().all(|&v| v == 0.0));
     }
 
     #[test]

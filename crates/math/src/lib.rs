@@ -21,9 +21,13 @@
 //! - [`stats`]: sample means / covariances for the M-step (paper Eqs. 16–19).
 //! - [`kernels`]: contiguous-slice scoring kernels (gathered / blocked gemv,
 //!   UCB scores) for the dense online-selection serving path.
+//! - [`guard`]: the [`WorkGuard`] checkpoint trait the chunked kernels poll
+//!   so a query-layer deadline/cancellation/budget can stop them cleanly at
+//!   a block boundary.
 
 pub mod cholesky;
 pub mod error;
+pub mod guard;
 pub mod kernels;
 pub mod matrix;
 pub mod optimize;
@@ -34,6 +38,7 @@ pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::MathError;
+pub use guard::{Unchecked, WorkGuard};
 pub use matrix::Matrix;
 pub use validate::Validate;
 pub use vector::Vector;

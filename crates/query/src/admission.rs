@@ -1,0 +1,309 @@
+//! Admission control: bounded concurrency with a bounded, timed wait queue.
+//!
+//! An overloaded engine has three honest answers to a new query: run it
+//! now (a slot is free), make it wait (briefly, in a bounded queue), or
+//! shed it immediately (queue full). [`AdmissionController`] implements
+//! exactly that — `max_concurrent` slots, `max_queue` waiters, and a
+//! `queue_timeout` after which a waiter gives up — so load spikes turn
+//! into fast typed [`AdmissionError`]s instead of unbounded latency.
+//!
+//! Built on `std::sync::{Mutex, Condvar}`: waiters only ever block in
+//! `wait_timeout`, so no queued query can sleep past its configured bound
+//! even if a permit holder leaks (permits release on drop regardless).
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Sizing knobs for an [`AdmissionController`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Queries allowed to execute simultaneously.
+    pub max_concurrent: usize,
+    /// Queries allowed to wait for a slot; arrivals beyond this are shed.
+    pub max_queue: usize,
+    /// How long a queued query waits before giving up with
+    /// [`AdmissionError::QueueTimeout`].
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_concurrent: 4,
+            max_queue: 16,
+            queue_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Why a query was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The wait queue was already full on arrival; the query was rejected
+    /// immediately (load shedding).
+    Shed {
+        /// Queries executing when the shed happened.
+        active: usize,
+        /// Queries already queued when the shed happened.
+        queued: usize,
+    },
+    /// The query queued but no slot freed up within the configured
+    /// timeout.
+    QueueTimeout {
+        /// How long the query actually waited.
+        waited: Duration,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Shed { active, queued } => write!(
+                f,
+                "query shed: {active} active and {queued} queued queries already at capacity"
+            ),
+            AdmissionError::QueueTimeout { waited } => write!(
+                f,
+                "query timed out after waiting {:.1}ms for an execution slot",
+                waited.as_secs_f64() * 1e3
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[derive(Debug, Default)]
+struct State {
+    active: usize,
+    queued: usize,
+}
+
+/// Bounded-concurrency gate for query execution (see the module docs).
+///
+/// Shared as an `Arc` so permits can release it from whichever thread
+/// drops them.
+#[derive(Debug)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    slot_freed: Condvar,
+}
+
+impl AdmissionController {
+    /// A controller with the given sizing.
+    pub fn new(cfg: AdmissionConfig) -> Arc<Self> {
+        Arc::new(AdmissionController {
+            cfg,
+            state: Mutex::new(State::default()),
+            slot_freed: Condvar::new(),
+        })
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Currently executing queries (diagnostic snapshot).
+    pub fn active(&self) -> usize {
+        self.locked().active
+    }
+
+    /// Currently queued queries (diagnostic snapshot).
+    pub fn queued(&self) -> usize {
+        self.locked().queued
+    }
+
+    /// Lock the state, recovering from poison: the state is two counters
+    /// whose invariants hold at every await point, so a panicking holder
+    /// leaves nothing half-updated worth propagating.
+    fn locked(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Tries to admit one query: immediate slot, bounded timed wait, or a
+    /// typed rejection. On success the returned permit holds the slot
+    /// until dropped and records how long admission took.
+    pub fn admit(self: &Arc<Self>) -> Result<AdmissionPermit, AdmissionError> {
+        let start = Instant::now();
+        let mut state = self.locked();
+        if state.active < self.cfg.max_concurrent {
+            state.active += 1;
+            return Ok(AdmissionPermit {
+                ctl: Arc::clone(self),
+                queue_wait: Duration::ZERO,
+                was_queued: false,
+            });
+        }
+        if state.queued >= self.cfg.max_queue {
+            return Err(AdmissionError::Shed {
+                active: state.active,
+                queued: state.queued,
+            });
+        }
+        state.queued += 1;
+        let give_up_at = start + self.cfg.queue_timeout;
+        loop {
+            if state.active < self.cfg.max_concurrent {
+                state.active += 1;
+                state.queued -= 1;
+                return Ok(AdmissionPermit {
+                    ctl: Arc::clone(self),
+                    queue_wait: start.elapsed(),
+                    was_queued: true,
+                });
+            }
+            let now = Instant::now();
+            if now >= give_up_at {
+                state.queued -= 1;
+                return Err(AdmissionError::QueueTimeout {
+                    waited: start.elapsed(),
+                });
+            }
+            state = match self.slot_freed.wait_timeout(state, give_up_at - now) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    fn release(&self) {
+        let mut state = self.locked();
+        state.active = state.active.saturating_sub(1);
+        drop(state);
+        self.slot_freed.notify_one();
+    }
+}
+
+/// Proof of admission: holds one execution slot, released on drop.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    ctl: Arc<AdmissionController>,
+    queue_wait: Duration,
+    was_queued: bool,
+}
+
+impl AdmissionPermit {
+    /// How long this query waited in the admission queue (zero when a slot
+    /// was free on arrival).
+    pub fn queue_wait(&self) -> Duration {
+        self.queue_wait
+    }
+
+    /// Whether the query had to queue at all.
+    pub fn was_queued(&self) -> bool {
+        self.was_queued
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.ctl.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(max_concurrent: usize, max_queue: usize) -> Arc<AdmissionController> {
+        AdmissionController::new(AdmissionConfig {
+            max_concurrent,
+            max_queue,
+            queue_timeout: Duration::from_millis(20),
+        })
+    }
+
+    #[test]
+    fn admits_up_to_the_concurrency_limit() {
+        let ctl = tiny(2, 4);
+        let a = ctl.admit().expect("slot 1");
+        let b = ctl.admit().expect("slot 2");
+        assert_eq!(ctl.active(), 2);
+        assert!(!a.was_queued() && !b.was_queued());
+        assert_eq!(a.queue_wait(), Duration::ZERO);
+        drop(a);
+        drop(b);
+        assert_eq!(ctl.active(), 0);
+    }
+
+    #[test]
+    fn releases_slots_on_drop() {
+        let ctl = tiny(1, 0);
+        let permit = ctl.admit().expect("first");
+        drop(permit);
+        let again = ctl.admit().expect("slot came back");
+        drop(again);
+    }
+
+    #[test]
+    fn sheds_when_the_queue_is_full() {
+        let ctl = tiny(1, 0);
+        let held = ctl.admit().expect("slot");
+        match ctl.admit() {
+            Err(AdmissionError::Shed { active, queued }) => {
+                assert_eq!((active, queued), (1, 0));
+            }
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        drop(held);
+    }
+
+    #[test]
+    fn queued_query_times_out_when_no_slot_frees() {
+        let ctl = tiny(1, 1);
+        let held = ctl.admit().expect("slot");
+        match ctl.admit() {
+            Err(AdmissionError::QueueTimeout { waited }) => {
+                assert!(waited >= Duration::from_millis(20), "waited {waited:?}");
+            }
+            other => panic!("expected QueueTimeout, got {other:?}"),
+        }
+        assert_eq!(ctl.queued(), 0, "timed-out waiter left the queue");
+        drop(held);
+    }
+
+    #[test]
+    fn queued_query_gets_the_slot_when_it_frees() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_concurrent: 1,
+            max_queue: 1,
+            queue_timeout: Duration::from_secs(5),
+        });
+        let held = ctl.admit().expect("slot");
+        let waiter = {
+            let ctl = Arc::clone(&ctl);
+            std::thread::spawn(move || ctl.admit())
+        };
+        // Give the waiter time to enqueue, then free the slot.
+        while ctl.queued() == 0 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        let permit = waiter
+            .join()
+            .expect("waiter thread")
+            .expect("queued query admitted once the slot freed");
+        assert!(permit.was_queued());
+        drop(permit);
+        assert_eq!(ctl.active(), 0);
+    }
+
+    #[test]
+    fn errors_render_for_operators() {
+        let shed = AdmissionError::Shed {
+            active: 4,
+            queued: 16,
+        };
+        assert!(shed.to_string().contains("4 active"));
+        let timeout = AdmissionError::QueueTimeout {
+            waited: Duration::from_millis(100),
+        };
+        assert!(timeout.to_string().contains("100.0ms"));
+    }
+}

@@ -12,20 +12,25 @@
 //! [`run`]: QueryEngine::run
 //! [`execute`]: QueryEngine::execute
 
+use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::ast::{BackendName, ShowTarget, Statement};
 use crate::cache::{ProjectionCache, DEFAULT_PROJECTION_CACHE_CAPACITY};
 use crate::exec;
+use crate::exec::faults::{FaultInjector, RetryPolicy};
 use crate::exec::storage::Storage;
-use crate::output::{QueryOutput, SelectedWorker};
+use crate::exec::QueryContext;
+use crate::output::{QueryOutput, SelectedWorker, WorkerTable};
 use crate::plan::{self, LogicalPlan, PlanNode};
 use crate::QueryError;
 use crowd_baselines::standard_registry;
 use crowd_select::{DbMutation, FitOptions, FittedSelector, SelectorRegistry};
+use crowd_sim::QueryFaultPlan;
 use crowd_store::groups::group_stats_sweep;
 use crowd_store::{CrowdDb, WorkerId};
 use crowd_text::{tokenize_filtered, BagOfWords};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Executes parsed statements against an owned [`CrowdDb`].
 ///
@@ -56,6 +61,13 @@ pub struct QueryEngine {
     /// LRU of TDPM task projections keyed by query content; entries are
     /// valid for exactly one fit epoch (see [`crate::cache`]).
     pub(crate) cache: ProjectionCache,
+    /// Bounded-backoff retry policy for transient storage failures.
+    pub(crate) retry: RetryPolicy,
+    /// Deterministic fault injector over storage operations, when a chaos
+    /// plan is armed (see [`QueryEngine::set_fault_injection`]).
+    pub(crate) faults: Option<FaultInjector>,
+    /// Concurrency/queue gate for query execution, when configured.
+    admission: Option<Arc<AdmissionController>>,
 }
 
 impl QueryEngine {
@@ -91,7 +103,38 @@ impl QueryEngine {
             epoch: 0,
             obs: crowd_obs::Obs::noop(),
             cache: ProjectionCache::new(DEFAULT_PROJECTION_CACHE_CAPACITY),
+            retry: RetryPolicy::default(),
+            faults: None,
+            admission: None,
         }
+    }
+
+    /// Replaces the bounded-backoff retry policy the executor applies to
+    /// transient storage failures.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Arms (or, with `None`, disarms) deterministic fault injection over
+    /// the engine's storage operations. The seeded plan assigns a fault —
+    /// transient error, latency stall, or detected partial read — to each
+    /// storage operation index, so a chaos run is exactly reproducible.
+    pub fn set_fault_injection(&mut self, plan: Option<QueryFaultPlan>) {
+        self.faults = plan.map(FaultInjector::new);
+    }
+
+    /// Installs (or, with `None`, removes) admission control: bounded
+    /// concurrent execution slots plus a bounded, timed wait queue. Every
+    /// plan execution then passes through [`AdmissionController::admit`],
+    /// and rejections surface as [`QueryError::Admission`].
+    pub fn set_admission(&mut self, cfg: Option<AdmissionConfig>) {
+        self.admission = cfg.map(AdmissionController::new);
+    }
+
+    /// The admission controller, when one is installed — shareable, so
+    /// load-test harnesses can watch `active`/`queued` from other threads.
+    pub fn admission(&self) -> Option<&Arc<AdmissionController>> {
+        self.admission.as_ref()
     }
 
     /// Attaches an observability handle. `SELECT WORKERS` latency is
@@ -120,17 +163,34 @@ impl QueryEngine {
         self.fitted.get(&backend.to_ascii_lowercase())
     }
 
-    /// Parses and executes one statement.
+    /// Parses and executes one statement under an unbounded
+    /// [`QueryContext`].
     pub fn run(&mut self, input: &str) -> Result<QueryOutput, QueryError> {
+        self.run_with(input, &QueryContext::unbounded())
+    }
+
+    /// Parses and executes one statement under a caller-supplied
+    /// [`QueryContext`] (deadline, cancellation, budget, degradation
+    /// policy).
+    pub fn run_with(&mut self, input: &str, ctx: &QueryContext) -> Result<QueryOutput, QueryError> {
         let stmt = crate::parse(input)?;
-        self.execute(stmt)
+        self.execute_with(stmt, ctx)
     }
 
     /// Executes a parsed statement by compiling it into a [`LogicalPlan`]
     /// and walking the plan.
     pub fn execute(&mut self, stmt: Statement) -> Result<QueryOutput, QueryError> {
+        self.execute_with(stmt, &QueryContext::unbounded())
+    }
+
+    /// [`QueryEngine::execute`] under a caller-supplied [`QueryContext`].
+    pub fn execute_with(
+        &mut self,
+        stmt: Statement,
+        ctx: &QueryContext,
+    ) -> Result<QueryOutput, QueryError> {
         let plan = self.compile(&stmt);
-        let mut outputs = self.execute_plan(&plan)?;
+        let mut outputs = self.execute_plan_with(&plan, ctx)?;
         if outputs.len() == 1 {
             Ok(outputs.swap_remove(0))
         } else {
@@ -162,12 +222,51 @@ impl QueryEngine {
     /// result tables and `select_seconds_<backend>` observes the whole
     /// plan's latency once.
     pub fn execute_plan(&mut self, plan: &LogicalPlan) -> Result<Vec<QueryOutput>, QueryError> {
+        self.execute_plan_with(plan, &QueryContext::unbounded())
+    }
+
+    /// [`QueryEngine::execute_plan`] under a caller-supplied
+    /// [`QueryContext`]. When admission control is installed
+    /// ([`QueryEngine::set_admission`]) the execution first takes a slot —
+    /// counting `query/admission_{admitted,queued,shed}` and observing
+    /// `query/queue_wait_seconds` — and sheds or times out with
+    /// [`QueryError::Admission`] under overload.
+    pub fn execute_plan_with(
+        &mut self,
+        plan: &LogicalPlan,
+        ctx: &QueryContext,
+    ) -> Result<Vec<QueryOutput>, QueryError> {
+        let permit = match &self.admission {
+            None => None,
+            Some(ctl) => {
+                let ctl = Arc::clone(ctl);
+                let m = &self.obs.metrics;
+                match ctl.admit() {
+                    Ok(permit) => {
+                        m.counter("query", "admission_admitted").inc();
+                        if permit.was_queued() {
+                            m.counter("query", "admission_queued").inc();
+                        }
+                        m.histogram("query", "queue_wait_seconds")
+                            .observe_duration(permit.queue_wait());
+                        Some(permit)
+                    }
+                    Err(e) => {
+                        m.counter("query", "admission_shed").inc();
+                        return Err(QueryError::Admission(e));
+                    }
+                }
+            }
+        };
         let scored_backend = plan.nodes.iter().find_map(|n| match n {
             PlanNode::Score { backend, .. } => Some(backend.clone()),
             _ => None,
         });
         let started = std::time::Instant::now();
-        let outputs = exec::execute(self, plan)?;
+        let queue_wait = permit.as_ref().map(|p| p.queue_wait());
+        let result = exec::execute_ctx(self, plan, ctx, queue_wait);
+        drop(permit);
+        let outputs = result?;
         if let Some(backend) = scored_backend {
             // Per-backend latency: one histogram per backend name keeps the
             // snapshot self-describing (no label dimension in the registry).
@@ -196,10 +295,26 @@ impl QueryEngine {
         limit: usize,
         backend: &str,
         min_group: Option<usize>,
-    ) -> Result<Vec<Vec<SelectedWorker>>, QueryError> {
+    ) -> Result<Vec<WorkerTable>, QueryError> {
+        self.select_workers_batch_with(texts, limit, backend, min_group, &QueryContext::unbounded())
+    }
+
+    /// [`QueryEngine::select_workers_batch`] under a caller-supplied
+    /// [`QueryContext`]: the whole sweep shares one deadline, cancellation
+    /// token and work budget, and under [`crate::DegradePolicy::Partial`]
+    /// an interruption yields per-query tables marked `degraded` instead
+    /// of an error.
+    pub fn select_workers_batch_with(
+        &mut self,
+        texts: &[&str],
+        limit: usize,
+        backend: &str,
+        min_group: Option<usize>,
+        ctx: &QueryContext,
+    ) -> Result<Vec<WorkerTable>, QueryError> {
         let backend = BackendName::new(backend);
         let plan = plan::compile_select_batch(texts, limit, &backend, min_group, &self.registry);
-        let outputs = self.execute_plan(&plan)?;
+        let outputs = self.execute_plan_with(&plan, ctx)?;
         let mut tables = Vec::with_capacity(outputs.len());
         for output in outputs {
             match output {
@@ -864,5 +979,265 @@ mod tests {
             panic!("expected workers")
         };
         assert_eq!(rows[0].handle, "b", "largest id wins under byid");
+    }
+
+    // ---- deadline / cancellation / budget / degradation -----------------
+
+    use crate::exec::{CancelToken, QueryContext};
+    use std::sync::Arc as StdArc;
+    use std::time::Duration;
+
+    fn snapshot_obs(e: &mut QueryEngine) -> StdArc<crowd_obs::Registry> {
+        let metrics = StdArc::new(crowd_obs::Registry::new());
+        e.set_obs(crowd_obs::Obs::new(
+            metrics.clone(),
+            crowd_obs::Tracer::noop(),
+        ));
+        metrics
+    }
+
+    #[test]
+    fn cancelled_context_is_always_a_typed_error() {
+        let mut e = seeded_engine();
+        let metrics = snapshot_obs(&mut e);
+        let token = CancelToken::new();
+        token.cancel();
+        // Even under the partial policy: cancellation means stop, not degrade.
+        let ctx = QueryContext::unbounded()
+            .with_cancellation(token)
+            .degrade_to_partial();
+        let err = e
+            .run_with("SELECT WORKERS FOR TASK 'btree' USING vsm", &ctx)
+            .unwrap_err();
+        assert_eq!(err, QueryError::Cancelled);
+        assert_eq!(metrics.snapshot().counter("query", "cancelled"), Some(1));
+    }
+
+    #[test]
+    fn expired_deadline_errors_under_the_default_policy() {
+        let mut e = seeded_engine();
+        let metrics = snapshot_obs(&mut e);
+        let ctx = QueryContext::unbounded().with_deadline(Duration::ZERO);
+        let err = e
+            .run_with("SELECT WORKERS FOR TASK 'btree' USING vsm", &ctx)
+            .unwrap_err();
+        assert_eq!(err, QueryError::DeadlineExceeded);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("query", "deadline_exceeded"), Some(1));
+        assert_eq!(snap.counter("query", "degraded"), None);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_a_select_when_asked() {
+        let mut e = seeded_engine();
+        let metrics = snapshot_obs(&mut e);
+        let ctx = QueryContext::unbounded()
+            .with_deadline(Duration::ZERO)
+            .degrade_to_partial();
+        let out = e
+            .run_with("SELECT WORKERS FOR TASK 'btree' USING vsm", &ctx)
+            .unwrap();
+        let QueryOutput::Workers(table) = out else {
+            panic!("expected workers")
+        };
+        assert!(table.degraded, "expired before any scoring: empty prefix");
+        assert!(table.is_empty());
+        assert!(table.elapsed.is_some(), "contextual runs are timed");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("query", "degraded"), Some(1));
+        assert_eq!(snap.counter("query", "deadline_exceeded"), None);
+    }
+
+    #[test]
+    fn mutations_never_degrade() {
+        let mut e = seeded_engine();
+        let ctx = QueryContext::unbounded()
+            .with_deadline(Duration::ZERO)
+            .degrade_to_partial();
+        let err = e.run_with("INSERT WORKER 'late'", &ctx).unwrap_err();
+        assert_eq!(err, QueryError::DeadlineExceeded);
+        assert_eq!(e.db().num_workers(), 2, "no partial mutation happened");
+    }
+
+    #[test]
+    fn row_budget_yields_a_partial_prefix_under_partial_policy() {
+        let mut e = seeded_engine();
+        e.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+        // Budget 0: the first kernel chunk is refused, so the TDPM ranking
+        // comes back as an honest empty prefix.
+        let ctx = QueryContext::unbounded()
+            .with_row_budget(0)
+            .degrade_to_partial();
+        let out = e
+            .run_with("SELECT WORKERS FOR TASK 'btree index' LIMIT 2", &ctx)
+            .unwrap();
+        let QueryOutput::Workers(table) = out else {
+            panic!("expected workers")
+        };
+        assert!(table.degraded);
+        assert!(table.is_empty());
+
+        // A budget large enough for the whole pool changes nothing.
+        let ctx = QueryContext::unbounded().with_row_budget(1_000_000);
+        let QueryOutput::Workers(full) = e
+            .run_with("SELECT WORKERS FOR TASK 'btree index' LIMIT 2", &ctx)
+            .unwrap()
+        else {
+            panic!("expected workers")
+        };
+        assert!(!full.degraded);
+        assert_eq!(full.len(), 2);
+    }
+
+    #[test]
+    fn budget_errors_under_the_default_policy() {
+        let mut e = seeded_engine();
+        let ctx = QueryContext::unbounded().with_row_budget(0);
+        let err = e
+            .run_with("SELECT WORKERS FOR TASK 'btree' USING vsm", &ctx)
+            .unwrap_err();
+        assert_eq!(err, QueryError::BudgetExhausted);
+    }
+
+    #[test]
+    fn never_firing_context_is_bit_identical_to_the_plain_path() {
+        let mut e = seeded_engine();
+        e.run("TRAIN MODEL WITH 2 CATEGORIES").unwrap();
+        for backend in ["tdpm", "vsm", "drm", "tspm"] {
+            let stmt =
+                format!("SELECT WORKERS FOR TASK 'btree index buffer' LIMIT 2 USING {backend}");
+            let QueryOutput::Workers(plain) = e.run(&stmt).unwrap() else {
+                panic!("expected workers")
+            };
+            let ctx = QueryContext::unbounded()
+                .with_deadline(Duration::from_secs(3600))
+                .with_row_budget(1 << 40)
+                .with_cancellation(CancelToken::new());
+            let QueryOutput::Workers(guarded) = e.run_with(&stmt, &ctx).unwrap() else {
+                panic!("expected workers")
+            };
+            assert!(!guarded.degraded, "{backend}");
+            assert_eq!(guarded.len(), plain.len(), "{backend}");
+            for (a, b) in guarded.iter().zip(&plain) {
+                assert_eq!(a.worker, b.worker, "{backend}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "{backend}");
+            }
+            assert!(guarded.elapsed.is_some() && plain.elapsed.is_none());
+        }
+    }
+
+    // ---- admission control ----------------------------------------------
+
+    #[test]
+    fn admission_sheds_and_recovers() {
+        let mut e = seeded_engine();
+        let metrics = snapshot_obs(&mut e);
+        e.set_admission(Some(crate::admission::AdmissionConfig {
+            max_concurrent: 1,
+            max_queue: 0,
+            queue_timeout: Duration::from_millis(5),
+        }));
+        // Occupy the only slot from outside, as a concurrent query would.
+        let ctl = StdArc::clone(e.admission().expect("admission installed"));
+        let held = ctl.admit().expect("slot");
+        let err = e
+            .run("SELECT WORKERS FOR TASK 'btree' USING vsm")
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                QueryError::Admission(crate::admission::AdmissionError::Shed { .. })
+            ),
+            "{err}"
+        );
+        drop(held);
+        let QueryOutput::Workers(table) =
+            e.run("SELECT WORKERS FOR TASK 'btree' USING vsm").unwrap()
+        else {
+            panic!("expected workers")
+        };
+        assert_eq!(table.queue_wait, Some(Duration::ZERO), "no queueing");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("query", "admission_shed"), Some(1));
+        assert_eq!(snap.counter("query", "admission_admitted"), Some(1));
+        assert_eq!(snap.counter("query", "admission_queued"), None);
+        assert_eq!(
+            snap.histogram("query", "queue_wait_seconds")
+                .map(|h| h.count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn admission_queue_timeout_is_typed() {
+        let mut e = seeded_engine();
+        e.set_admission(Some(crate::admission::AdmissionConfig {
+            max_concurrent: 1,
+            max_queue: 4,
+            queue_timeout: Duration::from_millis(5),
+        }));
+        let ctl = StdArc::clone(e.admission().expect("admission installed"));
+        let held = ctl.admit().expect("slot");
+        let err = e.run("SHOW STATS").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                QueryError::Admission(crate::admission::AdmissionError::QueueTimeout { .. })
+            ),
+            "{err}"
+        );
+        drop(held);
+        assert!(e.run("SHOW STATS").is_ok());
+    }
+
+    // ---- fault injection + retry ----------------------------------------
+
+    fn fast_retry() -> crate::RetryPolicy {
+        crate::RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(50),
+        }
+    }
+
+    #[test]
+    fn armed_transient_faults_exhaust_retries_deterministically() {
+        let mut e = seeded_engine();
+        let metrics = snapshot_obs(&mut e);
+        e.set_retry_policy(fast_retry());
+        e.set_fault_injection(Some(
+            crowd_sim::QueryFaultPlan::new(17).with_transient_error(1.0),
+        ));
+        let err = e.run("INSERT WORKER 'x'").unwrap_err();
+        let QueryError::RetriesExhausted { attempts, last } = err else {
+            panic!("expected RetriesExhausted")
+        };
+        assert_eq!(attempts, 4);
+        assert!(last.contains("injected"), "{last}");
+        assert_eq!(e.db().num_workers(), 2, "the mutation never landed");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("query", "faults_injected"), Some(4));
+        assert_eq!(snap.counter("query", "retries"), Some(3));
+
+        // Disarming restores clean execution.
+        e.set_fault_injection(None);
+        e.run("INSERT WORKER 'x'").unwrap();
+        assert_eq!(e.db().num_workers(), 3);
+    }
+
+    #[test]
+    fn latency_faults_stall_but_never_corrupt() {
+        let mut e = seeded_engine();
+        let metrics = snapshot_obs(&mut e);
+        e.set_fault_injection(Some(
+            crowd_sim::QueryFaultPlan::new(42)
+                .with_latency(1.0)
+                .with_latency_delay(Duration::from_micros(50)),
+        ));
+        e.run("INSERT WORKER 'slow'").unwrap();
+        assert_eq!(e.db().num_workers(), 3);
+        let snap = metrics.snapshot();
+        assert!(snap.counter("query", "faults_injected").unwrap_or(0) >= 1);
+        assert_eq!(snap.counter("query", "retries"), None, "stalls, not errors");
     }
 }

@@ -1,5 +1,6 @@
 //! Query-layer errors.
 
+use crate::admission::AdmissionError;
 use std::fmt;
 
 /// Errors raised while lexing, parsing or executing a query.
@@ -25,6 +26,26 @@ pub enum QueryError {
     },
     /// Execution failed (store error, missing model, unknown ids…).
     Execution(String),
+    /// The query's wall-clock deadline passed before execution finished
+    /// (and its [`crate::DegradePolicy`] did not permit a partial result).
+    DeadlineExceeded,
+    /// The query's [`crate::CancelToken`] fired. Cancellation is always an
+    /// error — the caller asked for the query to stop, not for its prefix.
+    Cancelled,
+    /// The query's row/work budget ran out before execution finished (and
+    /// its [`crate::DegradePolicy`] did not permit a partial result).
+    BudgetExhausted,
+    /// The query never started: the admission controller shed it or its
+    /// queue wait timed out.
+    Admission(AdmissionError),
+    /// A transient storage fault persisted through every bounded-backoff
+    /// retry the policy allows.
+    RetriesExhausted {
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+        /// The final attempt's error text.
+        last: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -44,11 +65,34 @@ impl fmt::Display for QueryError {
                 )
             }
             QueryError::Execution(msg) => write!(f, "execution error: {msg}"),
+            QueryError::DeadlineExceeded => f.write_str("deadline exceeded"),
+            QueryError::Cancelled => f.write_str("query cancelled"),
+            QueryError::BudgetExhausted => f.write_str("work budget exhausted"),
+            QueryError::Admission(e) => write!(f, "admission refused: {e}"),
+            QueryError::RetriesExhausted { attempts, last } => {
+                write!(f, "storage still failing after {attempts} attempts: {last}")
+            }
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+impl From<AdmissionError> for QueryError {
+    fn from(e: AdmissionError) -> Self {
+        QueryError::Admission(e)
+    }
+}
+
+impl From<crate::exec::Interruption> for QueryError {
+    fn from(i: crate::exec::Interruption) -> Self {
+        match i {
+            crate::exec::Interruption::Cancelled => QueryError::Cancelled,
+            crate::exec::Interruption::DeadlineExceeded => QueryError::DeadlineExceeded,
+            crate::exec::Interruption::BudgetExhausted => QueryError::BudgetExhausted,
+        }
+    }
+}
 
 impl From<crowd_store::StoreError> for QueryError {
     fn from(e: crowd_store::StoreError) -> Self {
@@ -89,5 +133,46 @@ mod tests {
         assert!(QueryError::Execution("boom".into())
             .to_string()
             .contains("boom"));
+    }
+
+    #[test]
+    fn robustness_variants_render() {
+        assert_eq!(
+            QueryError::DeadlineExceeded.to_string(),
+            "deadline exceeded"
+        );
+        assert_eq!(QueryError::Cancelled.to_string(), "query cancelled");
+        assert_eq!(
+            QueryError::BudgetExhausted.to_string(),
+            "work budget exhausted"
+        );
+        let shed = QueryError::Admission(AdmissionError::Shed {
+            active: 4,
+            queued: 16,
+        });
+        assert!(shed.to_string().starts_with("admission refused:"));
+        let retries = QueryError::RetriesExhausted {
+            attempts: 4,
+            last: "injected transient fault".into(),
+        };
+        assert!(retries.to_string().contains("after 4 attempts"));
+        assert!(retries.to_string().contains("injected transient fault"));
+    }
+
+    #[test]
+    fn interruptions_map_to_typed_errors() {
+        use crate::exec::Interruption;
+        assert_eq!(
+            QueryError::from(Interruption::Cancelled),
+            QueryError::Cancelled
+        );
+        assert_eq!(
+            QueryError::from(Interruption::DeadlineExceeded),
+            QueryError::DeadlineExceeded
+        );
+        assert_eq!(
+            QueryError::from(Interruption::BudgetExhausted),
+            QueryError::BudgetExhausted
+        );
     }
 }

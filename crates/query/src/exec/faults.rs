@@ -1,0 +1,323 @@
+//! The storage boundary's failure discipline: bounded retry + seeded
+//! fault injection.
+//!
+//! Every storage operation the executor performs (candidate-pool reads at
+//! `Scan`, mutations at `Mutate`) funnels through [`with_retries`], which
+//! layers three behaviours in one audited place:
+//!
+//! 1. **Checkpointing** — the query's [`QueryContext`] is consulted before
+//!    every attempt, so a cancelled or expired query never burns its
+//!    remaining time in a backoff loop.
+//! 2. **Bounded-backoff retry** — *transient* failures are retried up to
+//!    [`RetryPolicy::max_retries`] times with exponential backoff, then
+//!    surfaced as [`QueryError::RetriesExhausted`]. Permanent errors (every
+//!    real [`crowd_store::StoreError`] today — see
+//!    `StoreError::is_transient`) surface immediately.
+//! 3. **Deterministic fault injection** — an optional [`FaultInjector`],
+//!    driven by a seeded [`crowd_sim::QueryFaultPlan`], perturbs the
+//!    operation *before* it touches real storage: transient errors and
+//!    detected short reads become retryable failures, latency faults stall
+//!    the operation. The schedule depends only on (seed, operation index),
+//!    so a chaos run is exactly reproducible.
+
+use crate::exec::context::QueryContext;
+use crate::QueryError;
+use crowd_obs::Obs;
+use crowd_sim::{QueryFault, QueryFaultPlan};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How the executor retries transient storage failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` attempts
+    /// total).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based): exponential from
+    /// [`RetryPolicy::base_backoff`], capped at [`RetryPolicy::max_backoff`].
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let doubled = self.base_backoff.saturating_mul(
+            1u32.checked_shl(retry.saturating_sub(1))
+                .unwrap_or(u32::MAX),
+        );
+        doubled.min(self.max_backoff)
+    }
+}
+
+/// Deterministic fault source for the query layer's storage operations.
+///
+/// Owns a [`QueryFaultPlan`] and a monotone operation counter; each storage
+/// operation (including each retry) draws the next index from the plan.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    plan: QueryFaultPlan,
+    ops: AtomicU64,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: QueryFaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Draws the fault for the next storage operation. Latency faults are
+    /// served here (sleep, then proceed); error-shaped faults return the
+    /// failure message for the retry loop. Every injection increments
+    /// `query/faults_injected`.
+    fn draw(&self, obs: &Obs) -> Option<&'static str> {
+        let op = self.ops.fetch_add(1, Ordering::SeqCst);
+        match self.plan.fault_for_op(op) {
+            QueryFault::None => None,
+            QueryFault::Latency => {
+                obs.metrics.counter("query", "faults_injected").add(1);
+                std::thread::sleep(self.plan.latency_delay());
+                None
+            }
+            QueryFault::TransientError => {
+                obs.metrics.counter("query", "faults_injected").add(1);
+                Some("injected transient storage error")
+            }
+            QueryFault::PartialRead => {
+                obs.metrics.counter("query", "faults_injected").add(1);
+                Some("storage read returned short (injected partial read)")
+            }
+        }
+    }
+}
+
+/// Runs one storage operation under the full failure discipline (see the
+/// module docs). `is_transient` classifies *real* errors from `op`;
+/// injected faults are always transient by construction.
+pub(crate) fn with_retries<T, E>(
+    ctx: &QueryContext,
+    policy: &RetryPolicy,
+    faults: Option<&FaultInjector>,
+    obs: &Obs,
+    is_transient: impl Fn(&E) -> bool,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, QueryError>
+where
+    E: std::fmt::Display + Into<QueryError>,
+{
+    let mut attempts: u32 = 0;
+    loop {
+        ctx.check().map_err(QueryError::from)?;
+        attempts += 1;
+        let failure = match faults.and_then(|f| f.draw(obs)) {
+            Some(injected) => injected.to_string(),
+            None => match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) => e.to_string(),
+                Err(e) => return Err(e.into()),
+            },
+        };
+        if attempts > policy.max_retries {
+            return Err(QueryError::RetriesExhausted {
+                attempts,
+                last: failure,
+            });
+        }
+        obs.metrics.counter("query", "retries").add(1);
+        std::thread::sleep(policy.backoff(attempts));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(50),
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(1));
+        assert_eq!(p.backoff(2), Duration::from_millis(2));
+        assert_eq!(p.backoff(3), Duration::from_millis(4));
+        assert_eq!(p.backoff(4), Duration::from_millis(8));
+        assert_eq!(p.backoff(5), Duration::from_millis(10), "capped");
+        assert_eq!(p.backoff(40), Duration::from_millis(10), "no overflow");
+    }
+
+    #[test]
+    fn success_passes_through_untouched() {
+        let obs = Obs::noop();
+        let ctx = QueryContext::unbounded();
+        let got: Result<i32, QueryError> = with_retries(
+            &ctx,
+            &fast_policy(),
+            None,
+            &obs,
+            |_: &QueryError| false,
+            || Ok(41),
+        );
+        assert_eq!(got.expect("clean op succeeds"), 41);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("query", "retries"), None, "no retry counted");
+    }
+
+    #[test]
+    fn permanent_errors_surface_immediately() {
+        let obs = Obs::noop();
+        let ctx = QueryContext::unbounded();
+        let mut calls = 0;
+        let got: Result<i32, QueryError> = with_retries(
+            &ctx,
+            &fast_policy(),
+            None,
+            &obs,
+            |_: &QueryError| false,
+            || {
+                calls += 1;
+                Err(QueryError::Execution("unknown worker".into()))
+            },
+        );
+        assert_eq!(got, Err(QueryError::Execution("unknown worker".into())));
+        assert_eq!(calls, 1, "no retry for a permanent error");
+    }
+
+    #[test]
+    fn transient_errors_retry_then_exhaust() {
+        let obs = Obs::noop();
+        let ctx = QueryContext::unbounded();
+        let mut calls = 0;
+        let got: Result<i32, QueryError> = with_retries(
+            &ctx,
+            &fast_policy(),
+            None,
+            &obs,
+            |_: &QueryError| true,
+            || {
+                calls += 1;
+                Err(QueryError::Execution("flaky".into()))
+            },
+        );
+        assert_eq!(calls, 4, "initial try + 3 retries");
+        match got {
+            Err(QueryError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, 4);
+                assert!(last.contains("flaky"));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("query", "retries"), Some(3));
+    }
+
+    #[test]
+    fn transient_error_that_heals_succeeds() {
+        let obs = Obs::noop();
+        let ctx = QueryContext::unbounded();
+        let mut calls = 0;
+        let got: Result<i32, QueryError> = with_retries(
+            &ctx,
+            &fast_policy(),
+            None,
+            &obs,
+            |_: &QueryError| true,
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(QueryError::Execution("flaky".into()))
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(got.expect("heals on third attempt"), 7);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("query", "retries"), Some(2));
+    }
+
+    #[test]
+    fn cancelled_context_stops_the_retry_loop() {
+        let obs = Obs::noop();
+        let token = crate::exec::context::CancelToken::new();
+        let ctx = QueryContext::unbounded().with_cancellation(token.clone());
+        token.cancel();
+        let got: Result<i32, QueryError> = with_retries(
+            &ctx,
+            &fast_policy(),
+            None,
+            &obs,
+            |_: &QueryError| true,
+            || Ok(1),
+        );
+        assert_eq!(got, Err(QueryError::Cancelled));
+    }
+
+    #[test]
+    fn injected_transient_faults_are_retried_and_counted() {
+        let obs = Obs::noop();
+        let ctx = QueryContext::unbounded();
+        // Every operation fails with an injected transient error.
+        let injector = FaultInjector::new(QueryFaultPlan::new(7).with_transient_error(1.0));
+        let got: Result<i32, QueryError> = with_retries(
+            &ctx,
+            &fast_policy(),
+            Some(&injector),
+            &obs,
+            |_: &QueryError| false,
+            || Ok(1),
+        );
+        match got {
+            Err(QueryError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, 4);
+                assert!(last.contains("injected"), "{last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("query", "faults_injected"), Some(4));
+        assert_eq!(snap.counter("query", "retries"), Some(3));
+    }
+
+    #[test]
+    fn clean_plan_injects_nothing() {
+        let obs = Obs::noop();
+        let ctx = QueryContext::unbounded();
+        let injector = FaultInjector::new(QueryFaultPlan::new(7));
+        for _ in 0..100 {
+            let got: Result<i32, QueryError> = with_retries(
+                &ctx,
+                &fast_policy(),
+                Some(&injector),
+                &obs,
+                |_: &QueryError| false,
+                || Ok(1),
+            );
+            assert_eq!(got.expect("clean plan never interferes"), 1);
+        }
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("query", "faults_injected"), None);
+    }
+}

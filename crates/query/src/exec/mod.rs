@@ -1,4 +1,5 @@
-//! Plan execution with per-node instrumentation.
+//! Plan execution with per-node instrumentation, deadline/cancellation
+//! checkpoints, degradation and a fault-disciplined storage boundary.
 //!
 //! The executor walks a [`LogicalPlan`]'s nodes in order, moving values
 //! between [`VarId`] slots, against the engine's storage, selector
@@ -12,29 +13,53 @@
 //! projections through the same LRU cache (and owns the
 //! `select_cache_{hit,miss}` counters), and `Score` — with the `TopK`
 //! limit pushed down by the compiler — drives exactly the fused kernels
-//! the old code paths called: [`crowd_core::TdpmModel::select_top_k`] /
-//! [`select_top_k_batch`](crowd_core::TdpmModel::select_top_k_batch) for
-//! TDPM snapshots and [`crowd_select::CrowdSelector::select`] /
-//! [`select_batch`](crowd_select::CrowdSelector::select_batch) for
-//! everything else.
+//! the old code paths called, now through their guarded variants
+//! ([`crowd_core::TdpmModel::select_top_k_guarded`] and friends) so the
+//! query's [`QueryContext`] is polled at every kernel chunk boundary.
+//!
+//! **Robustness model.** [`execute_ctx`] checkpoints the context at every
+//! node boundary and inside the dense kernels. An interruption
+//! (cancellation, deadline, budget) either surfaces as a typed
+//! [`QueryError`] or — for `SELECT` plans under
+//! [`DegradePolicy::Partial`] — flips the walk into *degraded mode*: the
+//! honestly-scored prefix is kept, the remaining expensive nodes are
+//! skipped, and every affected result table is marked `degraded`.
+//! Cancellation always errors. Storage operations (`Scan` reads, `Mutate`
+//! writes) run under [`faults::with_retries`]: bounded-backoff retry for
+//! transient failures plus the deterministic seeded fault injection the
+//! chaos suite drives. Interruption checkpoints never land *inside* a
+//! storage mutation, so shared state is never poisoned mid-update.
 
+pub(crate) mod context;
+pub(crate) mod faults;
 pub(crate) mod storage;
+
+pub use context::{CancelToken, CtxGuard, DegradePolicy, Interruption, QueryContext};
 
 use crate::ast::BackendName;
 use crate::engine::QueryEngine;
-use crate::output::{QueryOutput, SelectedWorker};
+use crate::output::{QueryOutput, WorkerTable};
 use crate::plan::{LogicalPlan, PlanNode, VarId};
 use crate::QueryError;
 use crowd_core::{TaskProjection, TdpmModel};
 use crowd_select::{BatchQuery, FittedSelector, RankedWorker};
 use crowd_store::WorkerId;
 use crowd_text::{tokenize_filtered, BagOfWords};
+use std::time::Duration;
 
 /// One query after `Project`: its bag of words over the stored vocabulary,
 /// plus the Algorithm-3 projection when the bound snapshot is a TDPM model.
 pub(crate) struct PreparedQuery {
     bow: BagOfWords,
     projection: Option<TaskProjection>,
+}
+
+/// One query's ranking out of `Score`, with the honesty bit: `complete`
+/// is `false` when the context stopped the kernel before the whole pool
+/// was scored (the rows are then a scanned-prefix ranking).
+struct Scored {
+    ranked: Vec<RankedWorker>,
+    complete: bool,
 }
 
 /// A value flowing through a plan slot.
@@ -44,9 +69,9 @@ enum Value {
     /// Prepared queries from `Project`.
     Queries(Vec<PreparedQuery>),
     /// Per-query rankings from `Score` / `TopK`.
-    Ranked(Vec<Vec<RankedWorker>>),
+    Ranked(Vec<Scored>),
     /// Per-query result tables from `Merge`.
-    Tables(Vec<Vec<SelectedWorker>>),
+    Tables(Vec<WorkerTable>),
     /// Backend binding marker from `Bind` (the snapshot lives in engine
     /// state; the marker carries the name downstream nodes resolve it by).
     Bound(BackendName),
@@ -65,23 +90,87 @@ fn take(slots: &mut [Option<Value>], var: VarId) -> Result<Value, QueryError> {
         .ok_or_else(|| internal("read from an empty slot"))
 }
 
-/// Executes a plan, returning one [`QueryOutput`] per covered statement
-/// (fused `SELECT` plans return one `Workers` output per query, in input
-/// order).
-pub(crate) fn execute(
+/// Maps an interruption to its typed error, counting it
+/// (`query/cancelled`, `query/deadline_exceeded`, `query/budget_exhausted`)
+/// so every non-success outcome is visible in a metrics snapshot.
+fn interruption_error(engine: &QueryEngine, i: Interruption) -> QueryError {
+    let name = match i {
+        Interruption::Cancelled => "cancelled",
+        Interruption::DeadlineExceeded => "deadline_exceeded",
+        Interruption::BudgetExhausted => "budget_exhausted",
+    };
+    engine.obs.metrics.counter("query", name).inc();
+    QueryError::from(i)
+}
+
+/// Decides what an interruption means for this plan: degrade (return
+/// `Ok`, counting `query/degraded`) when the query opted into partial
+/// results, the plan is a `SELECT` and the cause is not cancellation;
+/// otherwise raise the typed error.
+fn absorb_or_raise(
+    engine: &QueryEngine,
+    ctx: &QueryContext,
+    plan_selects: bool,
+    i: Interruption,
+) -> Result<(), QueryError> {
+    if plan_selects && i != Interruption::Cancelled && ctx.policy() == DegradePolicy::Partial {
+        engine.obs.metrics.counter("query", "degraded").inc();
+        Ok(())
+    } else {
+        Err(interruption_error(engine, i))
+    }
+}
+
+/// Executes a plan under a [`QueryContext`], returning one [`QueryOutput`]
+/// per covered statement (fused `SELECT` plans return one `Workers` output
+/// per query, in input order). `queue_wait` is the admission-queue time to
+/// stamp onto result tables, when the query went through admission
+/// control.
+pub(crate) fn execute_ctx(
     engine: &mut QueryEngine,
     plan: &LogicalPlan,
+    ctx: &QueryContext,
+    queue_wait: Option<Duration>,
 ) -> Result<Vec<QueryOutput>, QueryError> {
+    let started = std::time::Instant::now();
+    let plan_selects = plan
+        .nodes
+        .iter()
+        .any(|n| matches!(n, PlanNode::Score { .. }));
+    let mut degraded = false;
     let mut slots: Vec<Option<Value>> = std::iter::repeat_with(|| None).take(plan.slots).collect();
     let mut last: Option<VarId> = None;
     for node in &plan.nodes {
-        let started = std::time::Instant::now();
-        let value = run_node(engine, node, &mut slots)?;
+        // Node-boundary checkpoint: an interruption either errors out here
+        // or flips the rest of the walk into degraded mode.
+        if !degraded {
+            if let Err(i) = ctx.check() {
+                absorb_or_raise(engine, ctx, plan_selects, i)?;
+                degraded = true;
+            }
+        }
+        let node_started = std::time::Instant::now();
+        let value = if degraded {
+            run_node_degraded(engine, node, &mut slots)?
+        } else {
+            run_node(engine, node, &mut slots, ctx)?
+        };
+        // The kernels may have been stopped mid-Score by the context's
+        // guard: the rankings come back honest (scanned prefix, marked
+        // incomplete) and the policy decision is made here.
+        if !degraded {
+            if let Value::Ranked(scored) = &value {
+                if scored.iter().any(|s| !s.complete) {
+                    absorb_or_raise(engine, ctx, plan_selects, ctx.interruption())?;
+                    degraded = true;
+                }
+            }
+        }
         engine
             .obs
             .metrics
             .histogram("query", &format!("plan_node_seconds_{}", node.kind()))
-            .observe_duration(started.elapsed());
+            .observe_duration(node_started.elapsed());
         let out = node.out();
         *slots
             .get_mut(out.0)
@@ -92,7 +181,19 @@ pub(crate) fn execute(
         return Ok(Vec::new());
     };
     match take(&mut slots, last)? {
-        Value::Tables(tables) => Ok(tables.into_iter().map(QueryOutput::Workers).collect()),
+        Value::Tables(mut tables) => {
+            // Only contextual executions stamp timings: unbounded runs stay
+            // bit-identical (including `PartialEq`) to the historical
+            // output.
+            if queue_wait.is_some() || !ctx.is_unbounded() {
+                let elapsed = started.elapsed();
+                for table in &mut tables {
+                    table.queue_wait = queue_wait;
+                    table.elapsed = Some(elapsed);
+                }
+            }
+            Ok(tables.into_iter().map(QueryOutput::Workers).collect())
+        }
         Value::Out(output) => Ok(vec![output]),
         _ => Err(internal("plan ended on an intermediate value")),
     }
@@ -102,10 +203,22 @@ fn run_node(
     engine: &mut QueryEngine,
     node: &PlanNode,
     slots: &mut [Option<Value>],
+    ctx: &QueryContext,
 ) -> Result<Value, QueryError> {
     match node {
         PlanNode::Scan { min_group, .. } => {
-            Ok(Value::Candidates(engine.candidate_pool(*min_group)?))
+            // The candidate read runs under the storage failure discipline:
+            // injected faults retry with bounded backoff, real errors (all
+            // permanent today) surface immediately.
+            let pool = faults::with_retries(
+                ctx,
+                &engine.retry,
+                engine.faults.as_ref(),
+                &engine.obs,
+                |_: &QueryError| false,
+                || engine.candidate_pool(*min_group),
+            )?;
+            Ok(Value::Candidates(pool))
         }
         PlanNode::Bind { backend, .. } => {
             engine.ensure_fitted(backend)?;
@@ -134,7 +247,9 @@ fn run_node(
                 .fitted
                 .get(backend.as_str())
                 .ok_or_else(|| internal("Score without a bound snapshot"))?;
-            Ok(Value::Ranked(score_queries(fitted, &queries, &pool, *k)))
+            Ok(Value::Ranked(score_queries(
+                fitted, &queries, &pool, *k, ctx,
+            )))
         }
         PlanNode::TopK { k, input, .. } => {
             let Value::Ranked(mut ranked) = take(slots, *input)? else {
@@ -144,7 +259,7 @@ fn run_node(
             // is a no-op — kept as the explicit logical boundary (and a
             // guard should a future compiler stop pushing down).
             for ranking in &mut ranked {
-                ranking.truncate(*k);
+                ranking.ranked.truncate(*k);
             }
             Ok(Value::Ranked(ranked))
         }
@@ -152,12 +267,26 @@ fn run_node(
             let Value::Ranked(ranked) = take(slots, *input)? else {
                 return Err(internal("Merge without rankings"));
             };
-            Ok(Value::Tables(
-                ranked.into_iter().map(|r| engine.to_rows(r)).collect(),
-            ))
+            Ok(Value::Tables(merge_tables(engine, ranked)))
         }
         PlanNode::Mutate { op, .. } => {
-            let output = engine.storage.apply(op)?;
+            let output = {
+                let QueryEngine {
+                    storage,
+                    retry,
+                    faults,
+                    obs,
+                    ..
+                } = engine;
+                faults::with_retries(
+                    ctx,
+                    retry,
+                    faults.as_ref(),
+                    obs,
+                    crowd_store::StoreError::is_transient,
+                    || storage.try_apply(op),
+                )?
+            };
             engine.invalidate(op.invalidates());
             Ok(Value::Out(output))
         }
@@ -169,6 +298,83 @@ fn run_node(
         PlanNode::Inspect { target, .. } => engine.show(target).map(Value::Out),
         PlanNode::Explain { plan, .. } => Ok(Value::Out(QueryOutput::Plan(plan.render()))),
     }
+}
+
+/// Degraded-mode node execution, after an interruption was absorbed under
+/// [`DegradePolicy::Partial`]: the remaining expensive work is skipped and
+/// placeholder values flow through so the plan still terminates with one
+/// (possibly empty) table per query. Only `SELECT` node kinds are legal
+/// here — a plan cannot degrade into a mutation.
+fn run_node_degraded(
+    engine: &mut QueryEngine,
+    node: &PlanNode,
+    slots: &mut [Option<Value>],
+) -> Result<Value, QueryError> {
+    match node {
+        PlanNode::Scan { .. } => Ok(Value::Candidates(Vec::new())),
+        PlanNode::Bind { backend, .. } => Ok(Value::Bound(backend.clone())),
+        PlanNode::Project { texts, binding, .. } => {
+            take(slots, *binding)?;
+            Ok(Value::Queries(
+                texts
+                    .iter()
+                    .map(|_| PreparedQuery {
+                        bow: BagOfWords::new(),
+                        projection: None,
+                    })
+                    .collect(),
+            ))
+        }
+        PlanNode::Score {
+            queries,
+            candidates,
+            ..
+        } => {
+            let Value::Queries(queries) = take(slots, *queries)? else {
+                return Err(internal("Score without prepared queries"));
+            };
+            take(slots, *candidates)?;
+            Ok(Value::Ranked(
+                queries
+                    .iter()
+                    .map(|_| Scored {
+                        ranked: Vec::new(),
+                        complete: false,
+                    })
+                    .collect(),
+            ))
+        }
+        PlanNode::TopK { k, input, .. } => {
+            let Value::Ranked(mut ranked) = take(slots, *input)? else {
+                return Err(internal("TopK without rankings"));
+            };
+            for ranking in &mut ranked {
+                ranking.ranked.truncate(*k);
+            }
+            Ok(Value::Ranked(ranked))
+        }
+        PlanNode::Merge { input, .. } => {
+            let Value::Ranked(ranked) = take(slots, *input)? else {
+                return Err(internal("Merge without rankings"));
+            };
+            Ok(Value::Tables(merge_tables(engine, ranked)))
+        }
+        _ => Err(internal("degraded execution reached a non-select node")),
+    }
+}
+
+/// Decorates each ranking into its result table, carrying the per-query
+/// honesty bit: a table built from an incomplete ranking is `degraded`.
+fn merge_tables(engine: &QueryEngine, ranked: Vec<Scored>) -> Vec<WorkerTable> {
+    ranked
+        .into_iter()
+        .map(|s| WorkerTable {
+            rows: engine.to_rows(s.ranked),
+            degraded: !s.complete,
+            queue_wait: None,
+            elapsed: None,
+        })
+        .collect()
 }
 
 /// Lowers task texts into bags of words over the stored vocabulary and,
@@ -216,18 +422,25 @@ fn prepare_queries(
 }
 
 /// Ranks every prepared query against the pool through the bound snapshot,
-/// with the pushed-down limit driving the fused rank-and-truncate kernels.
+/// with the pushed-down limit driving the fused rank-and-truncate kernels
+/// and the context's guard polled at every kernel chunk boundary.
+///
 /// Single queries take the per-query dense path, multi-query plans the
-/// batched kernels — both bit-identical to each other and to the pre-plan
-/// engine.
+/// batched kernels — both bit-identical to each other and to the
+/// pre-context engine whenever the context never fires (the guarded
+/// kernels *are* the unguarded ones then; baselines without guarded
+/// batch kernels fall back to the per-query path, which PR 4's property
+/// suite pins bit-identical to `select_batch`).
 fn score_queries(
     fitted: &FittedSelector,
     queries: &[PreparedQuery],
     pool: &[WorkerId],
     k: usize,
-) -> Vec<Vec<RankedWorker>> {
+    ctx: &QueryContext,
+) -> Vec<Scored> {
     match fitted.downcast_ref::<TdpmModel>() {
         Some(model) => {
+            let guard = ctx.guard();
             if let [query] = queries {
                 // Project never misses the projection for a TDPM snapshot;
                 // the fallback keeps this total without a panic path.
@@ -239,7 +452,11 @@ fn score_queries(
                         &computed
                     }
                 };
-                vec![model.select_top_k(projection, pool.iter().copied(), k)]
+                let pr = model.select_top_k_guarded(projection, pool.iter().copied(), k, &guard);
+                vec![Scored {
+                    ranked: pr.ranked,
+                    complete: pr.complete,
+                }]
             } else {
                 let projections: Vec<TaskProjection> = queries
                     .iter()
@@ -248,13 +465,29 @@ fn score_queries(
                         None => model.project_bow(&q.bow),
                     })
                     .collect();
-                model.select_top_k_batch(&projections, pool, k)
+                model
+                    .select_top_k_batch_guarded(&projections, pool, k, &guard)
+                    .into_iter()
+                    .map(|pr| Scored {
+                        ranked: pr.ranked,
+                        complete: pr.complete,
+                    })
+                    .collect()
             }
         }
         None => {
             if let [query] = queries {
-                vec![fitted.selector().select(&query.bow, pool, k)]
-            } else {
+                match ctx.consume(pool.len() as u64) {
+                    Ok(()) => vec![Scored {
+                        ranked: fitted.selector().select(&query.bow, pool, k),
+                        complete: true,
+                    }],
+                    Err(_) => vec![Scored {
+                        ranked: Vec::new(),
+                        complete: false,
+                    }],
+                }
+            } else if ctx.is_unbounded() {
                 let batch: Vec<BatchQuery<'_>> = queries
                     .iter()
                     .map(|q| BatchQuery {
@@ -263,7 +496,36 @@ fn score_queries(
                         task: None,
                     })
                     .collect();
-                fitted.select_batch(&batch, k)
+                fitted
+                    .select_batch(&batch, k)
+                    .into_iter()
+                    .map(|ranked| Scored {
+                        ranked,
+                        complete: true,
+                    })
+                    .collect()
+            } else {
+                // Constrained baseline sweep: the per-query loop checkpoints
+                // between queries (one pool scan is the natural work unit for
+                // a baseline selector) and is bit-identical to the batched
+                // path by the PR 4 batching property.
+                let mut out = Vec::with_capacity(queries.len());
+                let mut stopped = false;
+                for query in queries {
+                    if stopped || ctx.consume(pool.len() as u64).is_err() {
+                        stopped = true;
+                        out.push(Scored {
+                            ranked: Vec::new(),
+                            complete: false,
+                        });
+                    } else {
+                        out.push(Scored {
+                            ranked: fitted.selector().select(&query.bow, pool, k),
+                            complete: true,
+                        });
+                    }
+                }
+                out
             }
         }
     }

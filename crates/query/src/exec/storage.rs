@@ -43,13 +43,14 @@ impl Storage {
         }
     }
 
-    /// Applies one mutation, returning the statement acknowledgement.
-    pub(crate) fn apply(&mut self, op: &MutationOp) -> Result<QueryOutput, QueryError> {
-        let out = match self {
+    /// Applies one mutation, keeping the typed [`crowd_store::StoreError`]
+    /// so the executor's retry policy can consult
+    /// `StoreError::is_transient` before converting to a query error.
+    pub(crate) fn try_apply(&mut self, op: &MutationOp) -> crowd_store::Result<QueryOutput> {
+        match self {
             Storage::Plain(db) => op.apply_to(db),
             Storage::Logged(db) => op.apply_to(db),
-        }?;
-        Ok(out)
+        }
     }
 }
 
@@ -148,26 +149,26 @@ mod tests {
     fn plain_and_logged_storage_agree_on_acknowledgements() {
         let mut plain = Storage::Plain(CrowdDb::new());
         let w = plain
-            .apply(&MutationOp::InsertWorker {
+            .try_apply(&MutationOp::InsertWorker {
                 handle: "ada".into(),
             })
             .unwrap();
         assert_eq!(w, QueryOutput::WorkerInserted(WorkerId(0)));
         let t = plain
-            .apply(&MutationOp::InsertTask {
+            .try_apply(&MutationOp::InsertTask {
                 text: "btree".into(),
             })
             .unwrap();
         assert_eq!(t, QueryOutput::TaskInserted(TaskId(0)));
         let ack = plain
-            .apply(&MutationOp::Assign {
+            .try_apply(&MutationOp::Assign {
                 worker: WorkerId(0),
                 task: TaskId(0),
             })
             .unwrap();
         assert_eq!(ack, QueryOutput::Ack("assigned w0 to t0".into()));
         let ack = plain
-            .apply(&MutationOp::Feedback {
+            .try_apply(&MutationOp::Feedback {
                 worker: WorkerId(0),
                 task: TaskId(0),
                 score: 4.0,
@@ -178,7 +179,7 @@ mod tests {
             QueryOutput::Ack("recorded score 4 for w0 on t0".into())
         );
         let ack = plain
-            .apply(&MutationOp::Answer {
+            .try_apply(&MutationOp::Answer {
                 worker: WorkerId(0),
                 task: TaskId(0),
                 text: "split".into(),
@@ -190,14 +191,15 @@ mod tests {
     }
 
     #[test]
-    fn storage_errors_surface_as_query_errors() {
+    fn storage_errors_stay_typed_for_the_retry_policy() {
         let mut s = Storage::Plain(CrowdDb::new());
         let err = s
-            .apply(&MutationOp::Assign {
+            .try_apply(&MutationOp::Assign {
                 worker: WorkerId(9),
                 task: TaskId(9),
             })
             .unwrap_err();
-        assert!(matches!(err, QueryError::Execution(_)), "{err}");
+        assert!(!err.is_transient(), "bad ids are permanent: {err}");
+        assert!(matches!(QueryError::from(err), QueryError::Execution(_)));
     }
 }

@@ -32,7 +32,21 @@
 //! (`tdpm`, `vsm`, `drm`, `tspm`) or a custom one passed to
 //! [`QueryEngine::with_db_and_registry`] — is queryable without engine
 //! changes.
+//!
+//! **Robustness.** Execution is deadline-aware, cancellable and
+//! admission-controlled: a [`QueryContext`] (deadline + [`CancelToken`] +
+//! work budget + [`DegradePolicy`]) rides along
+//! [`QueryEngine::run_with`] / [`QueryEngine::execute_plan_with`] and is
+//! checkpointed at every plan-node boundary *and* inside the dense scoring
+//! kernels; an [`AdmissionController`]
+//! ([`QueryEngine::set_admission`]) bounds concurrency with a bounded,
+//! timed wait queue; transient storage failures retry with bounded
+//! backoff ([`RetryPolicy`]); and a seeded
+//! [`crowd_sim::QueryFaultPlan`] can be armed
+//! ([`QueryEngine::set_fault_injection`]) to drive deterministic
+//! query-layer chaos testing.
 
+pub mod admission;
 pub mod ast;
 mod cache;
 pub mod engine;
@@ -43,9 +57,12 @@ pub mod output;
 pub mod parser;
 pub mod plan;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionError, AdmissionPermit};
 pub use ast::{BackendName, ShowTarget, Statement};
 pub use engine::QueryEngine;
 pub use error::QueryError;
-pub use output::QueryOutput;
+pub use exec::faults::RetryPolicy;
+pub use exec::{CancelToken, CtxGuard, DegradePolicy, Interruption, QueryContext};
+pub use output::{QueryOutput, SelectedWorker, WorkerTable};
 pub use parser::parse;
 pub use plan::{CacheDecision, LogicalPlan, MutationOp, PlanNode, VarId};

@@ -2,6 +2,7 @@
 
 use crowd_store::{GroupStats, TaskId, WorkerId};
 use std::fmt;
+use std::time::Duration;
 
 /// One ranked worker row from a `SELECT WORKERS` query.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,6 +13,53 @@ pub struct SelectedWorker {
     pub handle: String,
     /// Predicted performance score.
     pub score: f64,
+}
+
+/// The result table of one `SELECT WORKERS` statement: the ranked rows plus
+/// execution annotations (degraded prefix? how long did admission queueing
+/// and execution take?).
+///
+/// Derefs to `[SelectedWorker]`, so existing row-oriented call sites keep
+/// working: `table.len()`, `table[0].handle`, `table.iter()`, `&table`
+/// iteration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkerTable {
+    /// The ranked rows.
+    pub rows: Vec<SelectedWorker>,
+    /// `true` when a deadline or work budget fired mid-execution under
+    /// [`crate::DegradePolicy::Partial`]: the rows are an honestly-scored
+    /// *prefix* of the candidate pool, not the full ranking.
+    pub degraded: bool,
+    /// Time spent waiting in the admission queue, when the query went
+    /// through an [`crate::AdmissionController`].
+    pub queue_wait: Option<Duration>,
+    /// Total wall-clock execution time, when the query ran with a
+    /// constrained [`crate::QueryContext`] or through admission control.
+    pub elapsed: Option<Duration>,
+}
+
+impl From<Vec<SelectedWorker>> for WorkerTable {
+    fn from(rows: Vec<SelectedWorker>) -> Self {
+        WorkerTable {
+            rows,
+            ..WorkerTable::default()
+        }
+    }
+}
+
+impl std::ops::Deref for WorkerTable {
+    type Target = [SelectedWorker];
+    fn deref(&self) -> &Self::Target {
+        &self.rows
+    }
+}
+
+impl<'a> IntoIterator for &'a WorkerTable {
+    type Item = &'a SelectedWorker;
+    type IntoIter = std::slice::Iter<'a, SelectedWorker>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
 }
 
 /// What a statement produced.
@@ -33,7 +81,7 @@ pub enum QueryOutput {
         converged: bool,
     },
     /// Ranked workers from `SELECT WORKERS`.
-    Workers(Vec<SelectedWorker>),
+    Workers(WorkerTable),
     /// `SHOW STATS` totals.
     Stats {
         /// Worker count.
@@ -93,9 +141,9 @@ impl fmt::Display for QueryOutput {
                 "model trained: {iterations} iterations, ELBO {elbo:.3}{}",
                 if *converged { " (converged)" } else { "" }
             ),
-            QueryOutput::Workers(rows) => {
+            QueryOutput::Workers(table) => {
                 writeln!(f, "{:<8} {:<20} {:>10}", "worker", "handle", "score")?;
-                for r in rows {
+                for r in table {
                     writeln!(
                         f,
                         "{:<8} {:<20} {:>10.4}",
@@ -103,6 +151,19 @@ impl fmt::Display for QueryOutput {
                         r.handle,
                         r.score
                     )?;
+                }
+                if table.degraded {
+                    writeln!(f, "(degraded: partial ranking — deadline or budget hit)")?;
+                }
+                if table.queue_wait.is_some() || table.elapsed.is_some() {
+                    let mut parts = Vec::new();
+                    if let Some(q) = table.queue_wait {
+                        parts.push(format!("queued {:.1}ms", q.as_secs_f64() * 1e3));
+                    }
+                    if let Some(e) = table.elapsed {
+                        parts.push(format!("elapsed {:.1}ms", e.as_secs_f64() * 1e3));
+                    }
+                    writeln!(f, "({})", parts.join(", "))?;
                 }
                 Ok(())
             }
@@ -175,11 +236,14 @@ mod tests {
                 elbo: -12.5,
                 converged: true,
             },
-            QueryOutput::Workers(vec![SelectedWorker {
-                worker: WorkerId(0),
-                handle: "ada".into(),
-                score: 1.25,
-            }]),
+            QueryOutput::Workers(
+                vec![SelectedWorker {
+                    worker: WorkerId(0),
+                    handle: "ada".into(),
+                    score: 1.25,
+                }]
+                .into(),
+            ),
             QueryOutput::Stats {
                 workers: 1,
                 tasks: 2,
@@ -213,14 +277,38 @@ mod tests {
 
     #[test]
     fn workers_table_contains_scores() {
-        let o = QueryOutput::Workers(vec![SelectedWorker {
-            worker: WorkerId(3),
-            handle: "carl".into(),
-            score: 2.0,
-        }]);
+        let o = QueryOutput::Workers(
+            vec![SelectedWorker {
+                worker: WorkerId(3),
+                handle: "carl".into(),
+                score: 2.0,
+            }]
+            .into(),
+        );
         let s = o.to_string();
         assert!(s.contains("w3"));
         assert!(s.contains("carl"));
         assert!(s.contains("2.0000"));
+        assert!(!s.contains("degraded"), "complete results carry no marker");
+    }
+
+    #[test]
+    fn degraded_and_timed_tables_render_annotations() {
+        let table = WorkerTable {
+            rows: vec![SelectedWorker {
+                worker: WorkerId(1),
+                handle: "bo".into(),
+                score: 1.0,
+            }],
+            degraded: true,
+            queue_wait: Some(Duration::from_millis(3)),
+            elapsed: Some(Duration::from_millis(12)),
+        };
+        assert_eq!(table.len(), 1, "Deref to the row slice works");
+        assert_eq!((&table).into_iter().count(), 1);
+        let s = QueryOutput::Workers(table).to_string();
+        assert!(s.contains("degraded"), "{s}");
+        assert!(s.contains("queued 3.0ms"), "{s}");
+        assert!(s.contains("elapsed 12.0ms"), "{s}");
     }
 }

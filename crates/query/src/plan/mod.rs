@@ -12,11 +12,11 @@
 //! A `SELECT WORKERS` statement lowers to the canonical pipeline
 //!
 //! ```text
-//! v0 <- Scan workers filter=all
+//! v0 <- Scan workers filter=all retry=transient<=3
 //! v1 <- Bind backend=tdpm lazy_fit=false
 //! v2 <- Project[v1] cache=projection texts=['btree split']
-//! v3 <- Score[v2, v0] backend=tdpm k=2
-//! v4 <- TopK[v3] k=2
+//! v3 <- Score[v2, v0] backend=tdpm k=2 guard=deadline,cancel,budget
+//! v4 <- TopK[v3] k=2 on_interrupt=error|partial
 //! v5 <- Merge[v4]
 //! ```
 //!
@@ -334,6 +334,7 @@ impl LogicalPlan {
                         None => write!(out, "Scan workers filter=all"),
                         Some(n) => write!(out, "Scan workers filter=group>={n}"),
                     };
+                    out.push_str(" retry=transient<=3");
                 }
                 PlanNode::Bind {
                     backend, lazy_fit, ..
@@ -368,17 +369,21 @@ impl LogicalPlan {
                 } => {
                     let _ = write!(
                         out,
-                        "Score[{queries}, {candidates}] backend={backend} k={k}"
+                        "Score[{queries}, {candidates}] backend={backend} k={k} guard=deadline,cancel,budget"
                     );
                 }
                 PlanNode::TopK { k, input, .. } => {
-                    let _ = write!(out, "TopK[{input}] k={k}");
+                    let _ = write!(out, "TopK[{input}] k={k} on_interrupt=error|partial");
                 }
                 PlanNode::Merge { input, .. } => {
                     let _ = write!(out, "Merge[{input}]");
                 }
                 PlanNode::Mutate { op, .. } => {
-                    let _ = write!(out, "Mutate {op} invalidates={}", mutation_name(op));
+                    let _ = write!(
+                        out,
+                        "Mutate {op} invalidates={} retry=transient<=3",
+                        mutation_name(op)
+                    );
                 }
                 PlanNode::Fit {
                     backend,

@@ -144,6 +144,111 @@ impl FaultPlan {
     }
 }
 
+/// The fault classes a [`QueryFaultPlan`] can inject at the query layer's
+/// storage boundary (reads feeding `Scan`, writes behind `Mutate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryFault {
+    /// The operation proceeds normally.
+    None,
+    /// The operation fails once with a retryable (transient) error — the
+    /// class a bounded-backoff retry policy is allowed to absorb.
+    TransientError,
+    /// The operation succeeds only after [`QueryFaultPlan::latency_delay`].
+    Latency,
+    /// A read returns a truncated view (a partial read); the harness maps
+    /// this onto whatever "short result" means for the wrapped operation.
+    PartialRead,
+}
+
+/// A deterministic, seeded assignment of faults to query-layer storage
+/// operations — [`FaultPlan`]'s sibling for the query path.
+///
+/// Where a [`FaultPlan`] keys faults by *worker* (a worker's behaviour is a
+/// stable trait), a `QueryFaultPlan` keys them by *operation index*: the
+/// `n`-th storage operation a query executor performs draws
+/// `u = hash(seed, n) ∈ [0, 1)` once and the fractions carve `[0, 1)` into
+/// `[transient | latency | partial-read | none]` bands. Same seed, same
+/// fault schedule — which is what lets a chaos suite assert exact outcome
+/// counts and bit-identical recovered results across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFaultPlan {
+    seed: u64,
+    transient_error: f64,
+    latency: f64,
+    partial_read: f64,
+    latency_delay: Duration,
+}
+
+impl QueryFaultPlan {
+    /// A plan with the given seed and no faults (all operations clean).
+    pub fn new(seed: u64) -> Self {
+        QueryFaultPlan {
+            seed,
+            transient_error: 0.0,
+            latency: 0.0,
+            partial_read: 0.0,
+            latency_delay: Duration::from_millis(1),
+        }
+    }
+
+    /// Fraction of operations that fail once with a transient error.
+    pub fn with_transient_error(mut self, fraction: f64) -> Self {
+        self.transient_error = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of operations delayed by [`QueryFaultPlan::latency_delay`].
+    pub fn with_latency(mut self, fraction: f64) -> Self {
+        self.latency = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of reads returning a truncated view.
+    pub fn with_partial_read(mut self, fraction: f64) -> Self {
+        self.partial_read = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// How long a latency-faulted operation stalls before succeeding.
+    pub fn with_latency_delay(mut self, delay: Duration) -> Self {
+        self.latency_delay = delay;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The stall injected by [`QueryFault::Latency`].
+    pub fn latency_delay(&self) -> Duration {
+        self.latency_delay
+    }
+
+    /// `true` when every fraction is zero — the plan can never fire.
+    pub fn is_clean(&self) -> bool {
+        self.transient_error == 0.0 && self.latency == 0.0 && self.partial_read == 0.0
+    }
+
+    /// The fault assigned to the `op`-th storage operation under this plan.
+    pub fn fault_for_op(&self, op: u64) -> QueryFault {
+        let u = unit_hash(self.seed, op);
+        let mut edge = self.transient_error;
+        if u < edge {
+            return QueryFault::TransientError;
+        }
+        edge += self.latency;
+        if u < edge {
+            return QueryFault::Latency;
+        }
+        edge += self.partial_read;
+        if u < edge {
+            return QueryFault::PartialRead;
+        }
+        QueryFault::None
+    }
+}
+
 /// SplitMix64-based hash of `(seed, x)` mapped to `[0, 1)`.
 ///
 /// SplitMix64 passes BigCrush and is a single multiply-xor-shift chain, so
@@ -231,6 +336,50 @@ mod tests {
         for w in dropped {
             assert!(plan.is_faulty(w));
         }
+    }
+
+    #[test]
+    fn query_plans_are_deterministic_per_seed() {
+        let a = QueryFaultPlan::new(17)
+            .with_transient_error(0.2)
+            .with_latency(0.1)
+            .with_partial_read(0.1);
+        let b = a.clone();
+        for op in 0..500u64 {
+            assert_eq!(a.fault_for_op(op), b.fault_for_op(op));
+        }
+        let other = QueryFaultPlan::new(18)
+            .with_transient_error(0.2)
+            .with_latency(0.1)
+            .with_partial_read(0.1);
+        let diff = (0..500u64)
+            .filter(|&op| a.fault_for_op(op) != other.fault_for_op(op))
+            .count();
+        assert!(diff > 0, "different seeds must diverge");
+    }
+
+    #[test]
+    fn clean_query_plans_never_fire() {
+        let plan = QueryFaultPlan::new(42);
+        assert!(plan.is_clean());
+        for op in 0..200u64 {
+            assert_eq!(plan.fault_for_op(op), QueryFault::None);
+        }
+        assert!(!plan.with_transient_error(0.5).is_clean());
+    }
+
+    #[test]
+    fn query_fault_rates_track_requested_fractions() {
+        let plan = QueryFaultPlan::new(7).with_transient_error(0.3);
+        let n = 2000u64;
+        let hits = (0..n)
+            .filter(|&op| plan.fault_for_op(op) == QueryFault::TransientError)
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!(
+            (rate - 0.3).abs() < 0.05,
+            "30% requested, {rate:.3} observed"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! - a deterministic, seeded [`FaultPlan`] assigning unreliable behaviours
 //!   (no-show, straggler, disconnect, garbage) to workers, so the platform's
 //!   recovery paths can be exercised end-to-end with exact, reproducible
-//!   fault mixes.
+//!   fault mixes,
+//! - a seeded [`QueryFaultPlan`] assigning transient-error / latency /
+//!   partial-read faults to query-layer *storage operations*, the
+//!   deterministic schedule behind the query executor's chaos suite.
 //!
 //! Because skills and categories are planted, the generator provides the
 //! ground truth the paper's metrics need (who the "right worker" is) while
@@ -30,7 +33,7 @@ pub mod topics;
 pub mod workers;
 
 pub use config::{PlatformKind, SimConfig};
-pub use faults::{FaultKind, FaultPlan};
+pub use faults::{FaultKind, FaultPlan, QueryFault, QueryFaultPlan};
 pub use generator::{GeneratedPlatform, PlatformGenerator};
 pub use topics::TopicSpace;
 pub use workers::WorkerPool;

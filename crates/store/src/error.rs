@@ -33,6 +33,28 @@ impl fmt::Display for StoreError {
     }
 }
 
+impl StoreError {
+    /// Whether a retry could plausibly succeed without the caller changing
+    /// anything — the classification the query layer's bounded-backoff
+    /// retry policy consults at the storage boundary.
+    ///
+    /// Every current variant is *permanent* (bad ids, double assignment,
+    /// malformed input, corrupt snapshot): retrying reproduces the same
+    /// failure, so the policy must surface it immediately. The method
+    /// exists so a future I/O-backed store (or an injected fault wrapper)
+    /// has one audited place to declare a variant retryable.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::UnknownWorker(_)
+            | StoreError::UnknownTask(_)
+            | StoreError::NotAssigned(_, _)
+            | StoreError::AlreadyAssigned(_, _)
+            | StoreError::InvalidScore(_)
+            | StoreError::Snapshot(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for StoreError {}
 
 #[cfg(test)]
@@ -52,5 +74,19 @@ mod tests {
         assert!(StoreError::InvalidScore(f64::NAN)
             .to_string()
             .contains("NaN"));
+    }
+
+    #[test]
+    fn every_store_error_is_permanent() {
+        for e in [
+            StoreError::UnknownWorker(WorkerId(1)),
+            StoreError::UnknownTask(TaskId(2)),
+            StoreError::NotAssigned(WorkerId(1), TaskId(2)),
+            StoreError::AlreadyAssigned(WorkerId(1), TaskId(2)),
+            StoreError::InvalidScore(f64::INFINITY),
+            StoreError::Snapshot("bad".into()),
+        ] {
+            assert!(!e.is_transient(), "{e}: retrying cannot help");
+        }
     }
 }

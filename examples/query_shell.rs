@@ -1,9 +1,10 @@
 //! An interactive crowd-selection query shell.
 //!
 //! ```text
-//! cargo run --release --example query_shell                    # interactive
-//! cargo run --release --example query_shell -- --demo          # scripted demo
-//! cargo run --release --example query_shell -- --db crowd.log  # durable (WAL)
+//! cargo run --release --example query_shell                       # interactive
+//! cargo run --release --example query_shell -- --demo             # scripted demo
+//! cargo run --release --example query_shell -- --db crowd.log     # durable (WAL)
+//! cargo run --release --example query_shell -- --deadline-ms 250  # per-statement deadline
 //! ```
 //!
 //! Statements (end with Enter; `quit` to leave):
@@ -23,9 +24,16 @@
 //!
 //! `EXPLAIN <statement>` renders the logical plan the statement compiles
 //! to instead of executing it (DESIGN.md §8).
+//!
+//! `--deadline-ms N` runs every statement under a [`QueryContext`] with an
+//! N-millisecond deadline and the partial degradation policy: a select
+//! that cannot finish in time returns its scanned prefix marked
+//! `degraded` instead of an error, and results carry their in-context
+//! elapsed time (DESIGN.md §9).
 
-use crowdselect::query::QueryEngine;
+use crowdselect::query::{QueryContext, QueryEngine};
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 const DEMO_SCRIPT: &[&str] = &[
     "INSERT WORKER 'dba'",
@@ -65,6 +73,20 @@ fn main() {
         .iter()
         .position(|a| a == "--db")
         .and_then(|i| args.get(i + 1));
+    let deadline = args
+        .iter()
+        .position(|a| a == "--deadline-ms")
+        .and_then(|i| args.get(i + 1))
+        .map(|ms| {
+            let ms: u64 = ms.parse().expect("--deadline-ms takes milliseconds");
+            Duration::from_millis(ms)
+        });
+    if let Some(d) = deadline {
+        println!(
+            "per-statement deadline: {:.0}ms (late selects degrade to a partial ranking)",
+            d.as_secs_f64() * 1e3
+        );
+    }
     let mut engine = match db_path {
         Some(path) => {
             println!("write-ahead logging to {path}");
@@ -76,7 +98,7 @@ fn main() {
     if demo {
         for stmt in DEMO_SCRIPT {
             println!("crowd> {stmt}");
-            run_one(&mut engine, stmt);
+            run_one(&mut engine, stmt, deadline);
         }
         return;
     }
@@ -98,12 +120,22 @@ fn main() {
         if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
             break;
         }
-        run_one(&mut engine, line);
+        run_one(&mut engine, line, deadline);
     }
 }
 
-fn run_one(engine: &mut QueryEngine, stmt: &str) {
-    match engine.run(stmt) {
+fn run_one(engine: &mut QueryEngine, stmt: &str, deadline: Option<Duration>) {
+    let result = match deadline {
+        Some(d) => {
+            // A fresh context per statement: the clock starts at the prompt.
+            let ctx = QueryContext::unbounded()
+                .with_deadline(d)
+                .degrade_to_partial();
+            engine.run_with(stmt, &ctx)
+        }
+        None => engine.run(stmt),
+    };
+    match result {
         Ok(output) => println!("{output}"),
         Err(e) => println!("error: {e}"),
     }

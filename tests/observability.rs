@@ -213,3 +213,38 @@ fn query_engine_records_selection_latency_by_backend() {
         assert_eq!(h.count, 2, "{kind} node timed once per SELECT");
     }
 }
+
+#[test]
+fn query_engine_accounts_admission_outcomes() {
+    let obs = Obs::new(Arc::new(Registry::new()), Tracer::noop());
+    let mut engine = QueryEngine::new();
+    engine.set_obs(obs.clone());
+    engine.run("INSERT WORKER 'dba'").unwrap();
+    engine.set_admission(Some(crowdselect::query::AdmissionConfig {
+        max_concurrent: 1,
+        max_queue: 0,
+        queue_timeout: Duration::from_millis(5),
+    }));
+
+    // Two statements pass the gate; one hits it while the only slot is
+    // held (by a concurrent query, here simulated from outside).
+    engine.run("SHOW STATS").unwrap();
+    let ctl = Arc::clone(engine.admission().expect("admission installed"));
+    let held = ctl.admit().expect("external slot");
+    engine
+        .run("SHOW STATS")
+        .expect_err("saturated gate must shed");
+    drop(held);
+    engine.run("SHOW STATS").unwrap();
+
+    let snap = obs.snapshot();
+    // The externally held slot is not an engine statement: 3 statements =
+    // 2 admitted + 1 shed, and admitted + shed covers every attempt.
+    assert_eq!(snap.counter("query", "admission_admitted"), Some(2));
+    assert_eq!(snap.counter("query", "admission_shed"), Some(1));
+    assert_eq!(snap.counter("query", "admission_queued"), None);
+    let waits = snap
+        .histogram("query", "queue_wait_seconds")
+        .expect("queue wait histogram");
+    assert_eq!(waits.count, 2, "every admitted statement records its wait");
+}
