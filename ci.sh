@@ -18,11 +18,11 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
 # Static analysis gate: crowd-lint must report zero unsuppressed findings
-# (report lands in results/LINT_7.json), and its own fixture must still
+# (report lands in results/LINT_8.json), and its own fixture must still
 # trip every rule — a lint pass that stops failing on known-bad input is
 # a broken gate, not a clean tree.
 mkdir -p results
-run cargo run -q -p crowd-lint -- --json results/LINT_7.json
+run cargo run -q -p crowd-lint -- --json results/LINT_8.json
 echo "==> crowd-lint fixture must fail"
 if cargo run -q -p crowd-lint -- --root crates/lint/fixtures --quiet; then
     echo "crowd-lint fixture unexpectedly passed; the lint gate is broken" >&2
@@ -57,8 +57,19 @@ for seed in 17 42 99; do
     run env CHAOS_SEED="$seed" cargo test -q -p crowdselect --test chaos
 done
 
+# Pool lifecycle stress: concurrent queries over the persistent scoring
+# pool with mid-flight cancellation/deadline/budget firing must stay
+# typed, leak no OS threads, and reconcile every query/* counter exactly
+# (see tests/pool_chaos.rs).
+for seed in 17 42 99; do
+    run env POOL_CHAOS_SEED="$seed" cargo test -q -p crowdselect --test pool_chaos
+done
+
 # Bench smoke: the dense serving path must beat the serial baseline by the
-# gate in results/BENCH_4.json (see crates/bench/src/bin/selection_smoke.rs).
+# speedup gate, and thread scaling over the persistent scoring pool must
+# hold (strict t8 < t1 on multi-core hosts; no-regression bounds on
+# single-core ones). Report lands in results/BENCH_8.json (see
+# crates/bench/src/bin/selection_smoke.rs).
 run cargo run --release -p crowd-bench --bin selection_smoke
 
 echo "==> ci.sh: all green"

@@ -1,13 +1,15 @@
 //! Serving-path throughput: the dense `SkillMatrix` kernels against the
 //! serial hash-walk baseline.
 //!
-//! Sweeps candidate-pool sizes {1k, 10k, 100k} × thread counts {1, 8} for
-//! the chunk-parallel mean path, plus the blocked batch kernel (B = 32
-//! queries sharing one pool). `select_top_k_serial` — one hash lookup and
-//! one scattered `Vector::dot` per candidate — is the preserved baseline
-//! every dense path is measured (and bit-compared, in the property tests)
-//! against. The machine-readable version of this sweep is the
-//! `selection_smoke` bin, which writes `results/BENCH_4.json` in CI.
+//! Sweeps candidate-pool sizes {1k, 10k, 100k} × thread counts {1, 2, 4, 8}
+//! for the chunk-parallel mean path (t > 1 runs on the persistent scoring
+//! pool), plus the blocked batch kernel (B = 32 queries sharing one pool)
+//! and the opt-in f32 serving mirror (single-query and batched).
+//! `select_top_k_serial` — one hash lookup and one scattered `Vector::dot`
+//! per candidate — is the preserved baseline every dense path is measured
+//! (and bit-compared, in the property tests) against. The machine-readable
+//! version of this sweep is the `selection_smoke` bin, which writes
+//! `results/BENCH_8.json` in CI.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowd_bench::{synthetic_projections, synthetic_serving_model};
@@ -33,7 +35,7 @@ fn selection_throughput(c: &mut Criterion) {
                 black_box(model.select_top_k_serial(query, candidates.iter().copied(), TOP_K))
             })
         });
-        for threads in [1usize, 8] {
+        for threads in [1usize, 2, 4, 8] {
             group.bench_with_input(
                 BenchmarkId::new("dense", threads),
                 &threads,
@@ -49,8 +51,21 @@ fn selection_throughput(c: &mut Criterion) {
                 },
             );
         }
+        group.bench_function("f32_t1", |b| {
+            b.iter(|| {
+                black_box(model.select_top_k_f32_with_threads(
+                    query,
+                    candidates.iter().copied(),
+                    TOP_K,
+                    1,
+                ))
+            })
+        });
         group.bench_function("batched_b32", |b| {
             b.iter(|| black_box(model.select_top_k_batch(&projections, &candidates, TOP_K)))
+        });
+        group.bench_function("batched_f32_b32", |b| {
+            b.iter(|| black_box(model.select_top_k_f32_batch(&projections, &candidates, TOP_K)))
         });
         group.finish();
     }

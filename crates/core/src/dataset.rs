@@ -25,7 +25,9 @@ pub struct TaskData {
 /// retained for translating back to [`WorkerId`]s at selection time.
 #[derive(Debug, Clone)]
 pub struct TrainingSet {
-    tasks: Vec<TaskData>,
+    /// Shared behind `Arc` so the pooled E-step's `'static` chunk jobs can
+    /// hold a handle to the task list instead of copying it per iteration.
+    tasks: std::sync::Arc<Vec<TaskData>>,
     worker_ids: Vec<WorkerId>,
     worker_index: HashMap<WorkerId, usize>,
     vocab_size: usize,
@@ -64,7 +66,7 @@ impl TrainingSet {
             })
             .collect();
         TrainingSet {
-            tasks,
+            tasks: std::sync::Arc::new(tasks),
             worker_ids,
             worker_index,
             vocab_size: db.vocab().len(),
@@ -84,7 +86,7 @@ impl TrainingSet {
             .map(|(i, &w)| (w, i))
             .collect();
         TrainingSet {
-            tasks,
+            tasks: std::sync::Arc::new(tasks),
             worker_ids,
             worker_index,
             vocab_size,
@@ -94,6 +96,11 @@ impl TrainingSet {
     /// Training tasks.
     pub fn tasks(&self) -> &[TaskData] {
         &self.tasks
+    }
+
+    /// A shared handle to the task list, for `'static` pooled E-step jobs.
+    pub fn tasks_shared(&self) -> std::sync::Arc<Vec<TaskData>> {
+        std::sync::Arc::clone(&self.tasks)
     }
 
     /// Number of training tasks `N`.
@@ -147,7 +154,7 @@ impl TrainingSet {
     /// (used for β initialization diagnostics).
     pub fn corpus_term_counts(&self) -> Vec<f64> {
         let mut counts = vec![0.0; self.vocab_size];
-        for t in &self.tasks {
+        for t in self.tasks.iter() {
             for &(v, c) in &t.words {
                 counts[v] += c as f64;
             }

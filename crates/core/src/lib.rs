@@ -62,11 +62,11 @@ pub use crowd_math::validate::Validate;
 pub use crowd_select::CrowdSelector;
 pub use dataset::TrainingSet;
 pub use error::CoreError;
-pub use model::{TaskProjection, TdpmModel};
+pub use model::{Precision, TaskProjection, TdpmModel};
 pub use params::ModelParams;
 pub use persist::ModelSnapshot;
 pub use selection::RankedWorker;
-pub use skillmatrix::{PartialRanking, SkillMatrix};
+pub use skillmatrix::{PartialRanking, SkillMatrix, MIN_POOL_CHUNK_ROWS};
 pub use trainer::{FitReport, TdpmTrainer};
 
 /// Convenience result alias.

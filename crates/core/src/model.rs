@@ -14,11 +14,42 @@ use crowd_text::BagOfWords;
 use rand::{Rng, RngExt};
 use std::collections::HashMap;
 
-/// Candidate pools below this size are served on the calling thread: a
-/// scoped-thread spawn costs more than scoring a few thousand contiguous
-/// rows, so the chunked-parallel path only kicks in for pools where the walk
-/// itself dominates.
-const PARALLEL_MIN_CANDIDATES: usize = 4096;
+/// Candidate pools below this size are served on the calling thread.
+///
+/// Dispatching to the persistent scoring pool costs a queue push + condvar
+/// wake per chunk (~1 µs) — far below the scoped-thread spawns this cutoff
+/// was originally tuned against at 4096 — but an inline walk of a couple
+/// thousand contiguous rows still finishes inside that dispatch latency, so
+/// the chunked-parallel path only kicks in once the walk itself dominates.
+/// Pool reuse halves the old cutoff; going lower buys nothing because a
+/// sub-2048 walk is ~2 µs of streaming dot products. The
+/// `pool_policy` regression suite pins that selections below this size
+/// never enqueue pool work.
+const PARALLEL_MIN_CANDIDATES: usize = 2048;
+
+/// Floating-point width of the dense serving path.
+///
+/// `F64` is the default and the bit-identity oracle; `F32` is the opt-in
+/// reduced-precision mirror ([`TdpmModel::select_top_k_f32`] and friends)
+/// with the accuracy contract of DESIGN.md §10c. Only the TDPM dense
+/// kernels have an f32 mirror — baseline backends always serve in f64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full-width serving (the oracle path).
+    #[default]
+    F64,
+    /// Reduced-precision serving through the f32 skill mirror.
+    F32,
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        })
+    }
+}
 
 /// Posterior skill state for one worker, with the sufficient statistics
 /// and cached precision factor needed for O(K²) incremental updates when
@@ -401,7 +432,7 @@ impl TdpmModel {
     /// deadline, cancellation or row budget can stop the scan cleanly. A
     /// never-firing guard returns a `complete` ranking bit-identical to
     /// [`TdpmModel::select_top_k`] on the same inputs.
-    pub fn select_top_k_guarded<G: crowd_math::WorkGuard>(
+    pub fn select_top_k_guarded<G: crowd_math::WorkGuard + Clone + Send + 'static>(
         &self,
         projection: &TaskProjection,
         candidates: impl IntoIterator<Item = WorkerId>,
@@ -419,7 +450,7 @@ impl TdpmModel {
     /// [`crate::SkillMatrix::select_mean_batch_guarded`]). Never-firing
     /// guards return `complete` rankings bit-identical to
     /// [`TdpmModel::select_top_k_batch`].
-    pub fn select_top_k_batch_guarded<G: crowd_math::WorkGuard>(
+    pub fn select_top_k_batch_guarded<G: crowd_math::WorkGuard + Clone + Send + 'static>(
         &self,
         projections: &[TaskProjection],
         candidates: &[WorkerId],
@@ -431,6 +462,88 @@ impl TdpmModel {
         let threads = self.serving_threads(resolved.len());
         self.matrix
             .select_mean_batch_guarded(&lambdas, &resolved, k, threads, guard)
+    }
+
+    /// [`TdpmModel::select_top_k`] through the f32 serving mirror — the
+    /// opt-in reduced-precision path (`EXPLAIN` shows `precision=f32`).
+    /// Deterministic but not bit-identical to f64; accuracy contract in
+    /// DESIGN.md §10c, pinned by the `f32_serving_oracle` suite.
+    pub fn select_top_k_f32(
+        &self,
+        projection: &TaskProjection,
+        candidates: impl IntoIterator<Item = WorkerId>,
+        k: usize,
+    ) -> Vec<RankedWorker> {
+        let resolved = self.matrix.resolve(candidates);
+        let threads = self.serving_threads(resolved.len());
+        self.matrix
+            .select_mean_f32(projection.lambda.as_slice(), &resolved, k, threads)
+    }
+
+    /// [`TdpmModel::select_top_k_f32`] with an explicit thread count — the
+    /// f32 twin of [`TdpmModel::select_top_k_with_threads`], used by the
+    /// thread-scaling bench and oracle suites.
+    pub fn select_top_k_f32_with_threads(
+        &self,
+        projection: &TaskProjection,
+        candidates: impl IntoIterator<Item = WorkerId>,
+        k: usize,
+        threads: usize,
+    ) -> Vec<RankedWorker> {
+        let resolved = self.matrix.resolve(candidates);
+        self.matrix
+            .select_mean_f32(projection.lambda.as_slice(), &resolved, k, threads)
+    }
+
+    /// [`TdpmModel::select_top_k_f32`] under a [`crowd_math::WorkGuard`] —
+    /// same checkpoint cadence and partial-prefix semantics as
+    /// [`TdpmModel::select_top_k_guarded`].
+    pub fn select_top_k_f32_guarded<G: crowd_math::WorkGuard + Clone + Send + 'static>(
+        &self,
+        projection: &TaskProjection,
+        candidates: impl IntoIterator<Item = WorkerId>,
+        k: usize,
+        guard: &G,
+    ) -> crate::skillmatrix::PartialRanking {
+        let resolved = self.matrix.resolve(candidates);
+        let threads = self.serving_threads(resolved.len());
+        self.matrix.select_mean_f32_guarded(
+            projection.lambda.as_slice(),
+            &resolved,
+            k,
+            threads,
+            guard,
+        )
+    }
+
+    /// Batched form of [`TdpmModel::select_top_k_f32`].
+    pub fn select_top_k_f32_batch(
+        &self,
+        projections: &[TaskProjection],
+        candidates: &[WorkerId],
+        k: usize,
+    ) -> Vec<Vec<RankedWorker>> {
+        let resolved = self.matrix.resolve(candidates.iter().copied());
+        let lambdas: Vec<&[f64]> = projections.iter().map(|p| p.lambda.as_slice()).collect();
+        let threads = self.serving_threads(resolved.len());
+        self.matrix
+            .select_mean_f32_batch(&lambdas, &resolved, k, threads)
+    }
+
+    /// [`TdpmModel::select_top_k_f32_batch`] under a
+    /// [`crowd_math::WorkGuard`], block-boundary semantics as the f64 batch.
+    pub fn select_top_k_f32_batch_guarded<G: crowd_math::WorkGuard + Clone + Send + 'static>(
+        &self,
+        projections: &[TaskProjection],
+        candidates: &[WorkerId],
+        k: usize,
+        guard: &G,
+    ) -> Vec<crate::skillmatrix::PartialRanking> {
+        let resolved = self.matrix.resolve(candidates.iter().copied());
+        let lambdas: Vec<&[f64]> = projections.iter().map(|p| p.lambda.as_slice()).collect();
+        let threads = self.serving_threads(resolved.len());
+        self.matrix
+            .select_mean_f32_batch_guarded(&lambdas, &resolved, k, threads, guard)
     }
 
     /// Reference top-k selection through the per-worker skill records (one

@@ -4,4 +4,4 @@
 //! every selection algorithm (TDPM and the baselines) shares them; this
 //! module re-exports them under their historical paths.
 
-pub use crowd_select::{rank_of, top_k, RankedWorker};
+pub use crowd_select::{rank_of, top_k, RankedWorker, TopK};

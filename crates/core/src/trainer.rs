@@ -10,12 +10,13 @@ use crate::inference::mstep::update_params;
 use crate::inference::EStepContext;
 use crate::model::TdpmModel;
 use crate::params::ModelParams;
-use crate::variational::VariationalState;
+use crate::variational::{PhiRowAccess, VariationalState};
 use crate::{CoreError, Result};
 use crowd_math::{Matrix, Validate, Vector};
 use crowd_store::CrowdDb;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
 
 /// Diagnostics from a training run.
 #[derive(Debug, Clone)]
@@ -30,100 +31,152 @@ pub struct FitReport {
     pub converged: bool,
 }
 
-/// Runs the task E-step over every task, sequentially or across
-/// `config.num_threads` scoped threads.
+/// Runs the task E-step for a contiguous range of tasks.
 ///
-/// Task posteriors are mutually independent given the (read-only during
-/// this phase) worker posteriors, so the state vectors are split into
-/// contiguous per-thread chunks; each chunk runs the identical deterministic
-/// updates, making the parallel result equal to the sequential one.
-fn update_all_tasks(
-    ts: &TrainingSet,
-    state: &mut VariationalState,
+/// Written once against [`PhiRowAccess`] so the inline path (borrowed
+/// [`crate::variational::PhiRowsMut`] view) and the pooled path (owned
+/// per-chunk row copies) execute the identical deterministic updates —
+/// which is the whole bit-identity argument for parallelizing this phase:
+/// task posteriors are mutually independent given the (read-only here)
+/// worker posteriors.
+#[allow(clippy::too_many_arguments)]
+fn run_task_range<P: PhiRowAccess>(
+    tasks: &[crate::dataset::TaskData],
+    lambda_w: &[Vector],
+    nu2_w: &[Vector],
+    lambda_c: &mut [Vector],
+    nu2_c: &mut [Vector],
+    phi: &mut P,
+    epsilon: &mut [f64],
     ctx: &EStepContext,
     config: &TdpmConfig,
 ) -> Result<()> {
     let k = config.num_categories;
+    for (j, task) in tasks.iter().enumerate() {
+        let stats = TaskFeedbackStats::gather(&task.scores, lambda_w, nu2_w, k)?;
+        let update = TaskUpdate {
+            words: &task.words,
+            num_tokens: task.num_tokens,
+            feedback: &stats,
+        };
+        let mut post = TaskPosterior {
+            lambda: &mut lambda_c[j],
+            nu2: &mut nu2_c[j],
+            phi: phi.row_mut(j),
+            epsilon: &mut epsilon[j],
+        };
+        update_task(&update, &mut post, ctx, config)?;
+    }
+    Ok(())
+}
+
+/// Runs the task E-step over every task, inline or chunked across the
+/// persistent [`crowd_math::ScoringPool`].
+///
+/// Pooled jobs are `'static`, so the mutable per-task state round-trips
+/// through them as owned copies: each chunk's `λ_c` / `ν_c²` / `φ` rows /
+/// `ε` are copied out, updated by the job, and written back in chunk order.
+/// The read-only worker side rides along as `Arc` snapshots. The copies are
+/// O(state) per iteration — noise against the E-step's per-task solves —
+/// and the updates themselves are [`run_task_range`] in both paths, so
+/// pooled results are bit-identical to sequential ones.
+fn update_all_tasks(
+    ts: &TrainingSet,
+    state: &mut VariationalState,
+    ctx: &Arc<EStepContext>,
+    config: &TdpmConfig,
+) -> Result<()> {
     let threads = config.num_threads.max(1).min(ts.num_tasks().max(1));
 
-    // Borrow the read-only worker side once.
-    let lambda_w = &state.lambda_w;
-    let nu2_w = &state.nu2_w;
-
-    let run_range = |tasks: &[crate::dataset::TaskData],
-                     lambda_c: &mut [crowd_math::Vector],
-                     nu2_c: &mut [crowd_math::Vector],
-                     mut phi: crate::variational::PhiRowsMut<'_>,
-                     epsilon: &mut [f64]|
-     -> Result<()> {
-        for (j, task) in tasks.iter().enumerate() {
-            let stats = TaskFeedbackStats::gather(&task.scores, lambda_w, nu2_w, k)?;
-            let update = TaskUpdate {
-                words: &task.words,
-                num_tokens: task.num_tokens,
-                feedback: &stats,
-            };
-            let mut post = TaskPosterior {
-                lambda: &mut lambda_c[j],
-                nu2: &mut nu2_c[j],
-                phi: phi.row_mut(j),
-                epsilon: &mut epsilon[j],
-            };
-            update_task(&update, &mut post, ctx, config)?;
-        }
-        Ok(())
-    };
-
     if threads <= 1 {
-        return run_range(
+        let mut phi = state.phi.rows_mut();
+        return run_task_range(
             ts.tasks(),
+            &state.lambda_w,
+            &state.nu2_w,
             &mut state.lambda_c,
             &mut state.nu2_c,
-            state.phi.rows_mut(),
+            &mut phi,
             &mut state.epsilon,
+            ctx,
+            config,
         );
     }
 
-    // Split all five aligned arrays into the same contiguous chunks. The
-    // responsibilities are one flat buffer; PhiRowsMut::split_at_mut hands
-    // each thread its disjoint contiguous block of it.
     let n = ts.num_tasks();
     let chunk = n.div_ceil(threads);
-    let mut results: Vec<Result<()>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut tasks_rest = ts.tasks();
-        let mut lc_rest: &mut [crowd_math::Vector] = &mut state.lambda_c;
-        let mut nc_rest: &mut [crowd_math::Vector] = &mut state.nu2_c;
-        let mut phi_rest = state.phi.rows_mut();
-        let mut eps_rest: &mut [f64] = &mut state.epsilon;
-        while !tasks_rest.is_empty() {
-            let take = chunk.min(tasks_rest.len());
-            let (tasks_now, t_rest) = tasks_rest.split_at(take);
-            let (lc_now, l_rest) = lc_rest.split_at_mut(take);
-            let (nc_now, n_rest) = nc_rest.split_at_mut(take);
-            let (phi_now, p_rest) = phi_rest.split_at_mut(take);
-            let (eps_now, e_rest) = eps_rest.split_at_mut(take);
-            tasks_rest = t_rest;
-            lc_rest = l_rest;
-            nc_rest = n_rest;
-            phi_rest = p_rest;
-            eps_rest = e_rest;
-            handles
-                .push(scope.spawn(move |_| run_range(tasks_now, lc_now, nc_now, phi_now, eps_now)));
+    let tasks = ts.tasks_shared();
+    let lambda_w = Arc::new(state.lambda_w.clone());
+    let nu2_w = Arc::new(state.nu2_w.clone());
+    let config_arc = Arc::new(config.clone());
+
+    type ChunkOut = (
+        Vec<Vector>,
+        Vec<Vector>,
+        Vec<Vec<f64>>,
+        Vec<f64>,
+        Result<()>,
+    );
+    let mut starts = Vec::new();
+    let jobs: Vec<_> = (0..n)
+        .step_by(chunk)
+        .map(|start| {
+            let end = (start + chunk).min(n);
+            starts.push(start);
+            let lc: Vec<Vector> = state.lambda_c[start..end].to_vec();
+            let nc: Vec<Vector> = state.nu2_c[start..end].to_vec();
+            let phi_rows: Vec<Vec<f64>> = (start..end).map(|j| state.phi.row(j).to_vec()).collect();
+            let eps: Vec<f64> = state.epsilon[start..end].to_vec();
+            let tasks = Arc::clone(&tasks);
+            let lambda_w = Arc::clone(&lambda_w);
+            let nu2_w = Arc::clone(&nu2_w);
+            let ctx = Arc::clone(ctx);
+            let config = Arc::clone(&config_arc);
+            move || -> ChunkOut {
+                let (mut lc, mut nc, mut phi_rows, mut eps) = (lc, nc, phi_rows, eps);
+                let outcome = run_task_range(
+                    &tasks[start..end],
+                    &lambda_w,
+                    &nu2_w,
+                    &mut lc,
+                    &mut nc,
+                    &mut phi_rows,
+                    &mut eps,
+                    &ctx,
+                    &config,
+                );
+                (lc, nc, phi_rows, eps, outcome)
+            }
+        })
+        .collect();
+
+    let mut first_err: Option<CoreError> = None;
+    for (start, (lc, nc, phi_rows, eps, outcome)) in starts
+        .into_iter()
+        .zip(crowd_math::ScoringPool::global().run(jobs))
+    {
+        // Write every chunk back even when one errs: the in-place scheme
+        // this replaces also left sibling chunks' updates applied.
+        for (off, v) in lc.into_iter().enumerate() {
+            state.lambda_c[start + off] = v;
         }
-        results = handles
-            .into_iter()
-            // crowd-lint: allow(no-unwrap-on-serve-path) -- re-raises a child thread's panic; a panicked E-step chunk is a bug, not an error value
-            .map(|h| h.join().expect("task E-step thread panicked"))
-            .collect();
-    })
-    // crowd-lint: allow(no-unwrap-on-serve-path) -- crossbeam scope errs only when a child panicked; propagating that panic is the intended behavior
-    .expect("crossbeam scope");
-    for r in results {
-        r?;
+        for (off, v) in nc.into_iter().enumerate() {
+            state.nu2_c[start + off] = v;
+        }
+        for (off, row) in phi_rows.into_iter().enumerate() {
+            state.phi.row_mut(start + off).copy_from_slice(&row);
+        }
+        for (off, v) in eps.into_iter().enumerate() {
+            state.epsilon[start + off] = v;
+        }
+        if let (Err(e), None) = (outcome, &first_err) {
+            first_err = Some(e);
+        }
     }
-    Ok(())
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Fits TDPM models by variational EM.
@@ -191,7 +244,7 @@ impl TdpmTrainer {
 
         for _ in 0..self.config.max_em_iters {
             iterations += 1;
-            let ctx = EStepContext::new(&params)?;
+            let ctx = Arc::new(EStepContext::new(&params)?);
 
             // E-step (a): task posteriors, Eqs. 12–15. Tasks go first: on the
             // first iteration the prior-scale random worker means act as the

@@ -67,6 +67,30 @@ impl PhiMatrix {
     }
 }
 
+/// Uniform mutable row access over a block of responsibilities.
+///
+/// The task E-step is written once against this trait and runs over either
+/// a borrowed [`PhiRowsMut`] view (the inline path) or owned per-chunk row
+/// copies (`Vec<Vec<f64>>`, the pooled path — `'static` jobs can't borrow
+/// the matrix, so they round-trip owned copies and the trainer writes them
+/// back). Same updates, same order, so the two paths stay bit-identical.
+pub trait PhiRowAccess {
+    /// Mutable access to local row `j` (relative to the block start).
+    fn row_mut(&mut self, j: usize) -> &mut [f64];
+}
+
+impl PhiRowAccess for PhiRowsMut<'_> {
+    fn row_mut(&mut self, j: usize) -> &mut [f64] {
+        PhiRowsMut::row_mut(self, j)
+    }
+}
+
+impl PhiRowAccess for Vec<Vec<f64>> {
+    fn row_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self[j]
+    }
+}
+
 /// A borrowed block of consecutive [`PhiMatrix`] rows.
 ///
 /// Behaves like `&mut [row]`: [`PhiRowsMut::split_at_mut`] cuts the block in

@@ -19,6 +19,12 @@ fn seeded_unbounded_wait(pair: &(std::sync::Mutex<bool>, std::sync::Condvar)) {
     let _unused = pair.1.wait(guard);
 }
 
+fn seeded_per_call_spawn(xs: Vec<f64>) -> f64 {
+    // rule: no-per-call-thread-spawn (per-query spawn instead of the pool)
+    let handle = std::thread::spawn(move || xs.iter().sum());
+    handle.join().unwrap()
+}
+
 fn seeded_partial_cmp(xs: &mut [f64]) {
     // rule: no-partial-cmp-unwrap
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());

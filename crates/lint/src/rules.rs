@@ -40,6 +40,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoUnwrapOnServePath),
         Box::new(BoundedWaitOnServePath),
+        Box::new(NoPerCallThreadSpawn),
         Box::new(NoPartialCmpUnwrap),
         Box::new(DeterministicSnapshotMaps),
         Box::new(NoSilentTruncation),
@@ -143,6 +144,49 @@ impl Rule for BoundedWaitOnServePath {
                     i,
                     "unbounded `.wait(` on a serving path: use `.wait_timeout(` with the \
                      queue's give-up deadline so a stuck slot cannot block a query forever"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// `no-per-call-thread-spawn`: serving code must not create OS threads per
+/// call — no `thread::spawn(` and no scoped spawns (`thread::scope(`,
+/// `crossbeam::thread::scope(`) in non-test serving code. Chunked scoring
+/// work goes through the persistent pool (`crowd_math::ScoringPool`)
+/// instead; a thread that genuinely lives for a whole run (a simulation
+/// worker, a dispatcher) carries a pragma saying so.
+#[derive(Debug)]
+pub struct NoPerCallThreadSpawn;
+
+/// `thread::scope(` also matches the `crossbeam::thread::scope(` spelling,
+/// so each spawn site is counted once.
+const SPAWN_PATTERNS: &[&str] = &["thread::spawn(", "thread::scope("];
+
+impl Rule for NoPerCallThreadSpawn {
+    fn name(&self) -> &'static str {
+        "no-per-call-thread-spawn"
+    }
+    fn describe(&self) -> &'static str {
+        "forbid per-call thread::spawn/scope in serving code; use the persistent scoring pool"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !SERVE_PATH_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+            return;
+        }
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            if SPAWN_PATTERNS.iter().any(|pat| line.code.contains(pat)) {
+                out.push(diag(
+                    self.name(),
+                    file,
+                    i,
+                    "per-call thread spawn on a serving path: route chunked work \
+                     through `crowd_math::ScoringPool` (persistent, reused across \
+                     queries); a genuinely run-scoped thread needs a pragma"
                         .to_string(),
                 ));
             }

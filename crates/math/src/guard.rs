@@ -48,6 +48,16 @@ impl<G: WorkGuard + ?Sized> WorkGuard for &G {
     }
 }
 
+/// Pooled scoring chunks are `'static` jobs, so they can't borrow a guard —
+/// they carry a cloned `Arc` handle instead, forwarding to the one shared
+/// guard state so cancellation is observed pool-wide.
+impl<G: WorkGuard + Send + ?Sized> WorkGuard for std::sync::Arc<G> {
+    #[inline]
+    fn consume(&self, units: u64) -> bool {
+        (**self).consume(units)
+    }
+}
+
 /// Row-chunk size between guard polls in the serial/threaded selection
 /// drivers: large enough that the poll (an atomic load or two, possibly a
 /// clock read) vanishes against ~1k dot products, small enough that a

@@ -9,21 +9,83 @@
 //! of queries can be blocked so each block of skill rows is streamed through
 //! the cache once for all queries.
 //!
-//! Every kernel accumulates in exactly the same order as the scalar reference
-//! path (`Vector::dot`: left-to-right `iter().zip().map().sum()`, and the
-//! serial optimistic-variance loop in `crowd-core`). That makes the dense
-//! results **bit-identical** to the serial ones — the property the selection
-//! layer's chunk-merge correctness argument rests on (see DESIGN.md §6d).
+//! Every kernel accumulates in exactly the same *fixed* order, and the serial
+//! selection scorer in `crowd-core` calls [`dot`] too, so dense/pooled
+//! results stay **bit-identical** to the serial f64 oracle — the property the
+//! selection layer's chunk-merge correctness argument rests on (see
+//! DESIGN.md §6d and §10b). Since PR 8 that fixed order is the 4-lane form
+//! below, not `Vector::dot`'s strict left-to-right sum; `Vector::dot` remains
+//! the training-path accumulator and is deliberately untouched.
 
-/// Dot product over two equal-length slices.
+/// Accumulator lane count for [`dot`]. Four independent f64 lanes is the
+/// widest portable shape that autovectorizes to one 256-bit FMA stream on
+/// x86-64 and two 128-bit streams on aarch64 without `unsafe` intrinsics.
+pub const DOT_LANES: usize = 4;
+
+/// Dot product over two equal-length slices, 4-lane fixed-reduction order.
 ///
-/// Accumulates left-to-right exactly like `Vector::dot`, so the result is
-/// bit-identical to the `Vector`-based serial scorer. Callers guarantee
+/// The slices are walked in `DOT_LANES`-wide chunks; lane `l` accumulates
+/// elements `l, l+4, l+8, …` and the lanes are reduced as
+/// `(lane0 + lane1) + (lane2 + lane3)`, then the `< 4` tail elements are
+/// added left-to-right. Breaking the single serial dependency chain lets
+/// the compiler keep four FMAs in flight (SIMD or superscalar); keeping the
+/// chunking, lane assignment, and reduction tree *fixed* keeps the result
+/// a pure function of the inputs — every caller (serial scorer, pooled
+/// chunks, batched gemv) sees bit-identical scores. Callers guarantee
 /// `a.len() == b.len()`; in debug builds this is asserted.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "kernels::dot length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut lanes = [0.0f64; DOT_LANES];
+    let chunks = a.chunks_exact(DOT_LANES);
+    let tail_a = chunks.remainder();
+    let b_chunks = b.chunks_exact(DOT_LANES);
+    let tail_b = b_chunks.remainder();
+    for (ca, cb) in chunks.zip(b_chunks) {
+        lanes[0] += ca[0] * cb[0];
+        lanes[1] += ca[1] * cb[1];
+        lanes[2] += ca[2] * cb[2];
+        lanes[3] += ca[3] * cb[3];
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (x, y) in tail_a.iter().zip(tail_b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Accumulator lane count for [`dot_f32`]: eight f32 lanes fill the same
+/// 256-bit vector width as four f64 lanes.
+pub const DOT_F32_LANES: usize = 8;
+
+/// f32 dot product with an 8-lane fixed-reduction order, for the opt-in
+/// f32 serving path.
+///
+/// Lane `l` accumulates elements `l, l+8, …`; the lanes are reduced
+/// pairwise as `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`, then the `< 8`
+/// tail is added left-to-right. Like [`dot`], the order is fixed so the
+/// f32 path is deterministic; its *accuracy* contract relative to the f64
+/// oracle is the bounded-relative-error property pinned by the
+/// `f32_serving_oracle` suite (DESIGN.md §10c).
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "kernels::dot_f32 length mismatch");
+    let mut lanes = [0.0f32; DOT_F32_LANES];
+    let chunks = a.chunks_exact(DOT_F32_LANES);
+    let tail_a = chunks.remainder();
+    let b_chunks = b.chunks_exact(DOT_F32_LANES);
+    let tail_b = b_chunks.remainder();
+    for (ca, cb) in chunks.zip(b_chunks) {
+        for l in 0..DOT_F32_LANES {
+            lanes[l] += ca[l] * cb[l];
+        }
+    }
+    let mut acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for (x, y) in tail_a.iter().zip(tail_b) {
+        acc += x * y;
+    }
+    acc
 }
 
 /// Dense matrix–vector product `out[r] = A[r, ·] · x` over all rows.
@@ -109,6 +171,56 @@ pub fn gemv_gathered_batch_guarded<G: crate::guard::WorkGuard>(
     base
 }
 
+/// f32 variant of [`gemv_gathered_batch`]: same 64-row blocking, scores via
+/// [`dot_f32`]. Serves the opt-in f32 `SkillMatrix` path.
+pub fn gemv_gathered_batch_f32(
+    k: usize,
+    a: &[f32],
+    rows: &[usize],
+    xs: &[&[f32]],
+    outs: &mut [Vec<f32>],
+) {
+    let done = gemv_gathered_batch_f32_guarded(k, a, rows, xs, outs, &crate::guard::Unchecked);
+    debug_assert_eq!(done, rows.len(), "Unchecked guard never stops the loop");
+}
+
+/// [`gemv_gathered_batch_f32`] with a [`WorkGuard`] polled at every
+/// [`GEMV_BLOCK_ROWS`]-row block boundary — identical charging and
+/// completed-prefix semantics to [`gemv_gathered_batch_guarded`].
+///
+/// [`WorkGuard`]: crate::guard::WorkGuard
+pub fn gemv_gathered_batch_f32_guarded<G: crate::guard::WorkGuard>(
+    k: usize,
+    a: &[f32],
+    rows: &[usize],
+    xs: &[&[f32]],
+    outs: &mut [Vec<f32>],
+    guard: &G,
+) -> usize {
+    debug_assert_eq!(
+        xs.len(),
+        outs.len(),
+        "kernels::gemv_gathered_batch_f32 shape"
+    );
+    for out in outs.iter_mut() {
+        out.clear();
+        out.resize(rows.len(), 0.0);
+    }
+    let mut base = 0;
+    for block in rows.chunks(GEMV_BLOCK_ROWS) {
+        if !guard.consume(block.len() as u64 * xs.len().max(1) as u64) {
+            return base;
+        }
+        for (x, out) in xs.iter().zip(outs.iter_mut()) {
+            for (i, &r) in block.iter().enumerate() {
+                out[base + i] = dot_f32(&a[r * k..(r + 1) * k], x);
+            }
+        }
+        base += block.len();
+    }
+    base
+}
+
 /// Optimistic (UCB-style) score for one gathered row:
 /// `mean · x + beta * sqrt(max(0, Σ_k vars[k] · x[k]²))`.
 ///
@@ -136,14 +248,122 @@ mod tests {
         (0..rows * k).map(|i| (i as f64) * 0.37 - 3.0).collect()
     }
 
+    /// Transparent reference implementation of the documented 4-lane
+    /// reduction order. [`dot`] must match it bitwise on every length —
+    /// this pin is what lets every consumer (serial scorer, pooled chunks,
+    /// batched gemv) claim bit-identity with each other.
+    fn dot_lane_reference(a: &[f64], b: &[f64]) -> f64 {
+        let mut lanes = [0.0f64; DOT_LANES];
+        let n4 = (a.len() / DOT_LANES) * DOT_LANES;
+        for i in (0..n4).step_by(DOT_LANES) {
+            for l in 0..DOT_LANES {
+                lanes[l] += a[i + l] * b[i + l];
+            }
+        }
+        let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for i in n4..a.len() {
+            acc += a[i] * b[i];
+        }
+        acc
+    }
+
     #[test]
-    fn dot_matches_vector_dot_bitwise() {
-        let a: Vec<f64> = (0..17).map(|i| (i as f64).sin() * 1e3).collect();
-        let b: Vec<f64> = (0..17).map(|i| (i as f64).cos() / 7.0).collect();
+    fn dot_matches_lane_reference_bitwise_on_every_length() {
+        for n in 0..=33 {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 1e3).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).cos() / 7.0).collect();
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_lane_reference(&a, &b).to_bits(),
+                "length {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_stays_close_to_sequential_sum() {
+        // The lane reduction reorders additions, so exact equality with the
+        // old left-to-right sum is not expected — but on well-conditioned
+        // inputs the two must agree to ~1 ulp-per-term.
+        let a: Vec<f64> = (0..257).map(|i| (i as f64).sin() * 1e3).collect();
+        let b: Vec<f64> = (0..257).map(|i| (i as f64).cos() / 7.0).collect();
         let va = Vector::from_vec(a.clone());
         let vb = Vector::from_vec(b.clone());
-        let reference = va.dot(&vb).unwrap();
-        assert_eq!(dot(&a, &b).to_bits(), reference.to_bits());
+        let sequential = va.dot(&vb).unwrap();
+        let laned = dot(&a, &b);
+        let scale: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        assert!(
+            (laned - sequential).abs() <= 1e-13 * scale.max(1.0),
+            "laned={laned} sequential={sequential}"
+        );
+    }
+
+    #[test]
+    fn dot_f32_matches_documented_reduction_on_every_length() {
+        for n in 0..=41 {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32).sin() * 1e2).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32).cos() / 7.0).collect();
+            // Inline reference of the documented 8-lane order.
+            let mut lanes = [0.0f32; DOT_F32_LANES];
+            let n8 = (n / DOT_F32_LANES) * DOT_F32_LANES;
+            for i in (0..n8).step_by(DOT_F32_LANES) {
+                for l in 0..DOT_F32_LANES {
+                    lanes[l] += a[i + l] * b[i + l];
+                }
+            }
+            let mut want = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+            for i in n8..n {
+                want += a[i] * b[i];
+            }
+            assert_eq!(dot_f32(&a, &b).to_bits(), want.to_bits(), "length {n}");
+        }
+    }
+
+    #[test]
+    fn f32_batched_bit_identical_to_independent_f32_dots() {
+        let k = 9;
+        let rows_n = GEMV_BLOCK_ROWS + 21;
+        let a: Vec<f32> = (0..rows_n * k).map(|i| (i as f32) * 0.37 - 3.0).collect();
+        let rows: Vec<usize> = (0..rows_n).rev().collect();
+        let q0: Vec<f32> = (0..k).map(|i| (i as f32) * 0.1).collect();
+        let q1: Vec<f32> = (0..k).map(|i| 1.0 - i as f32).collect();
+        let xs: Vec<&[f32]> = vec![&q0, &q1];
+        let mut outs = vec![Vec::new(), Vec::new()];
+        gemv_gathered_batch_f32(k, &a, &rows, &xs, &mut outs);
+        for (x, out) in xs.iter().zip(&outs) {
+            for (i, &r) in rows.iter().enumerate() {
+                assert_eq!(
+                    out[i].to_bits(),
+                    dot_f32(&a[r * k..(r + 1) * k], x).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_guarded_batch_stops_at_a_block_boundary() {
+        use crate::guard::WorkGuard;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Budget(AtomicU64);
+        impl WorkGuard for Budget {
+            fn consume(&self, units: u64) -> bool {
+                self.0
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(units))
+                    .is_ok()
+            }
+        }
+        let k = 4;
+        let rows_n = GEMV_BLOCK_ROWS * 3;
+        let a: Vec<f32> = (0..rows_n * k).map(|i| (i as f32) * 0.11 - 2.0).collect();
+        let rows: Vec<usize> = (0..rows_n).collect();
+        let q0: Vec<f32> = (0..k).map(|i| 0.3 - i as f32).collect();
+        let xs: Vec<&[f32]> = vec![&q0];
+        let mut outs = vec![Vec::new()];
+        let guard = Budget(AtomicU64::new(GEMV_BLOCK_ROWS as u64));
+        let done = gemv_gathered_batch_f32_guarded(k, &a, &rows, &xs, &mut outs, &guard);
+        assert_eq!(done, GEMV_BLOCK_ROWS);
+        assert!(outs[0][done..].iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! - [`guard`]: the [`WorkGuard`] checkpoint trait the chunked kernels poll
 //!   so a query-layer deadline/cancellation/budget can stop them cleanly at
 //!   a block boundary.
+//! - [`pool`]: the persistent [`ScoringPool`] of long-lived worker threads
+//!   the chunk-parallel selection drivers and the trainer E-step submit to,
+//!   replacing per-call scoped thread spawns.
 
 pub mod cholesky;
 pub mod error;
@@ -31,6 +34,7 @@ pub mod guard;
 pub mod kernels;
 pub mod matrix;
 pub mod optimize;
+pub mod pool;
 pub mod special;
 pub mod stats;
 pub mod validate;
@@ -40,6 +44,7 @@ pub use cholesky::Cholesky;
 pub use error::MathError;
 pub use guard::{Unchecked, WorkGuard};
 pub use matrix::Matrix;
+pub use pool::{PoolStats, ScoringPool};
 pub use validate::Validate;
 pub use vector::Vector;
 

@@ -259,6 +259,7 @@ impl Pipeline {
             let inbox = dispatcher.register(w);
             let answers = collector.answer_sender();
             let behave = Arc::clone(&behavior);
+            // crowd-lint: allow(no-per-call-thread-spawn) -- simulated crowd workers live for the whole pipeline run, not per query; scoring work still goes through the pool
             worker_threads.push(std::thread::spawn(move || {
                 // The worker loop: react to every dispatched task until the
                 // dispatcher drops our inbox sender — or we disconnect.

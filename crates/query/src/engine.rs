@@ -68,6 +68,10 @@ pub struct QueryEngine {
     pub(crate) faults: Option<FaultInjector>,
     /// Concurrency/queue gate for query execution, when configured.
     admission: Option<Arc<AdmissionController>>,
+    /// Serving precision for the TDPM dense kernels (baselines always
+    /// serve f64). A compile-time plan property: changing it affects
+    /// plans compiled afterwards, never an in-flight execution.
+    precision: crowd_core::Precision,
 }
 
 impl QueryEngine {
@@ -106,6 +110,7 @@ impl QueryEngine {
             retry: RetryPolicy::default(),
             faults: None,
             admission: None,
+            precision: crowd_core::Precision::F64,
         }
     }
 
@@ -135,6 +140,22 @@ impl QueryEngine {
     /// load-test harnesses can watch `active`/`queued` from other threads.
     pub fn admission(&self) -> Option<&Arc<AdmissionController>> {
         self.admission.as_ref()
+    }
+
+    /// Selects the serving precision for TDPM dense scoring:
+    /// [`crowd_core::Precision::F32`] routes `SELECT` statements through the
+    /// f32 skill mirror (deterministic, rank-stable modulo f32-epsilon ties,
+    /// accuracy contract in DESIGN.md §10c); the default `F64` is the
+    /// bit-identity oracle path. Baseline backends always serve f64. Like
+    /// retries and admission, this is engine policy: it is stamped onto
+    /// plans at compile time and shows up in `EXPLAIN` as `precision=<p>`.
+    pub fn set_precision(&mut self, precision: crowd_core::Precision) {
+        self.precision = precision;
+    }
+
+    /// The engine's current serving precision.
+    pub fn precision(&self) -> crowd_core::Precision {
+        self.precision
     }
 
     /// Attaches an observability handle. `SELECT WORKERS` latency is
@@ -203,7 +224,7 @@ impl QueryEngine {
 
     /// Compiles a statement into its logical plan without executing it.
     pub fn compile(&self, stmt: &Statement) -> LogicalPlan {
-        plan::compile(stmt, &self.registry)
+        plan::compile_with(stmt, &self.registry, self.precision)
     }
 
     /// The deterministic plan rendering for a statement — what
@@ -313,7 +334,14 @@ impl QueryEngine {
         ctx: &QueryContext,
     ) -> Result<Vec<WorkerTable>, QueryError> {
         let backend = BackendName::new(backend);
-        let plan = plan::compile_select_batch(texts, limit, &backend, min_group, &self.registry);
+        let plan = plan::compile_select_batch_with(
+            texts,
+            limit,
+            &backend,
+            min_group,
+            &self.registry,
+            self.precision,
+        );
         let outputs = self.execute_plan_with(&plan, ctx)?;
         let mut tables = Vec::with_capacity(outputs.len());
         for output in outputs {

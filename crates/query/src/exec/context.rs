@@ -82,14 +82,14 @@ pub enum Interruption {
     BudgetExhausted,
 }
 
-/// Deadline, cancellation token and work budget for one query execution.
+/// The interruptible state of one query, shared between the context and
+/// every [`CtxGuard`] handle cloned from it.
 ///
-/// The default ([`QueryContext::unbounded`]) constrains nothing and adds
-/// nothing to the hot path beyond two atomic loads per checkpoint; every
-/// constraint is opt-in through the builder methods. The context is `Sync`
-/// so the chunk-parallel scoring threads can poll one shared guard.
+/// Lives behind an `Arc` so guards are owned `'static` values: the
+/// persistent scoring pool's chunk jobs each carry a cloned handle instead
+/// of borrowing the context across threads (DESIGN §10a).
 #[derive(Debug, Default)]
-pub struct QueryContext {
+struct CtxState {
     deadline: Option<Instant>,
     cancel: Option<CancelToken>,
     /// Remaining work units (candidate rows scored; rows × queries in the
@@ -99,59 +99,25 @@ pub struct QueryContext {
     /// node-boundary checks see the exhaustion without racing on "exactly
     /// zero remaining after finishing all work".
     budget_hit: AtomicBool,
-    policy: DegradePolicy,
 }
 
-impl QueryContext {
-    /// A context with no deadline, no cancellation and no budget.
-    pub fn unbounded() -> Self {
-        QueryContext::default()
+/// Snapshot clone, used only by `Arc::make_mut` in the builders (which run
+/// before the context is ever shared, so the snapshot is of an idle state).
+impl Clone for CtxState {
+    fn clone(&self) -> Self {
+        CtxState {
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            budget: self
+                .budget
+                .as_ref()
+                .map(|b| AtomicU64::new(b.load(Ordering::SeqCst))),
+            budget_hit: AtomicBool::new(self.budget_hit.load(Ordering::SeqCst)),
+        }
     }
+}
 
-    /// Stops the query `timeout` from now.
-    pub fn with_deadline(self, timeout: Duration) -> Self {
-        self.with_deadline_at(Instant::now() + timeout)
-    }
-
-    /// Stops the query at an absolute instant (what a service layer that
-    /// parsed a wire deadline would pass).
-    pub fn with_deadline_at(mut self, at: Instant) -> Self {
-        self.deadline = Some(at);
-        self
-    }
-
-    /// Attaches a cancellation token; the caller keeps a clone.
-    pub fn with_cancellation(mut self, token: CancelToken) -> Self {
-        self.cancel = Some(token);
-        self
-    }
-
-    /// Meters the query to at most `rows` work units (candidate rows
-    /// scored; the batched kernel charges rows × queries per block).
-    pub fn with_row_budget(mut self, rows: u64) -> Self {
-        self.budget = Some(AtomicU64::new(rows));
-        self
-    }
-
-    /// Selects [`DegradePolicy::Partial`]: deadline/budget expiry returns
-    /// the scored prefix marked degraded instead of an error.
-    pub fn degrade_to_partial(mut self) -> Self {
-        self.policy = DegradePolicy::Partial;
-        self
-    }
-
-    /// The query's degradation policy.
-    pub fn policy(&self) -> DegradePolicy {
-        self.policy
-    }
-
-    /// `true` when the context can never interrupt anything — the executor
-    /// uses this to keep fully unconstrained queries on the historical
-    /// batched code paths.
-    pub fn is_unbounded(&self) -> bool {
-        self.deadline.is_none() && self.cancel.is_none() && self.budget.is_none()
-    }
-
+impl CtxState {
     fn cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
@@ -177,19 +143,83 @@ impl QueryContext {
         self.budget_hit.store(true, Ordering::SeqCst);
         false
     }
+}
+
+/// Deadline, cancellation token and work budget for one query execution.
+///
+/// The default ([`QueryContext::unbounded`]) constrains nothing and adds
+/// nothing to the hot path beyond two atomic loads per checkpoint; every
+/// constraint is opt-in through the builder methods. The context is `Sync`
+/// and its interruptible state is `Arc`-shared, so the persistent scoring
+/// pool's chunk jobs each poll an owned [`CtxGuard`] handle.
+#[derive(Debug, Default)]
+pub struct QueryContext {
+    state: Arc<CtxState>,
+    policy: DegradePolicy,
+}
+
+impl QueryContext {
+    /// A context with no deadline, no cancellation and no budget.
+    pub fn unbounded() -> Self {
+        QueryContext::default()
+    }
+
+    /// Stops the query `timeout` from now.
+    pub fn with_deadline(self, timeout: Duration) -> Self {
+        self.with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// Stops the query at an absolute instant (what a service layer that
+    /// parsed a wire deadline would pass).
+    pub fn with_deadline_at(mut self, at: Instant) -> Self {
+        Arc::make_mut(&mut self.state).deadline = Some(at);
+        self
+    }
+
+    /// Attaches a cancellation token; the caller keeps a clone.
+    pub fn with_cancellation(mut self, token: CancelToken) -> Self {
+        Arc::make_mut(&mut self.state).cancel = Some(token);
+        self
+    }
+
+    /// Meters the query to at most `rows` work units (candidate rows
+    /// scored; the batched kernel charges rows × queries per block).
+    pub fn with_row_budget(mut self, rows: u64) -> Self {
+        Arc::make_mut(&mut self.state).budget = Some(AtomicU64::new(rows));
+        self
+    }
+
+    /// Selects [`DegradePolicy::Partial`]: deadline/budget expiry returns
+    /// the scored prefix marked degraded instead of an error.
+    pub fn degrade_to_partial(mut self) -> Self {
+        self.policy = DegradePolicy::Partial;
+        self
+    }
+
+    /// The query's degradation policy.
+    pub fn policy(&self) -> DegradePolicy {
+        self.policy
+    }
+
+    /// `true` when the context can never interrupt anything — the executor
+    /// uses this to keep fully unconstrained queries on the historical
+    /// batched code paths.
+    pub fn is_unbounded(&self) -> bool {
+        self.state.deadline.is_none() && self.state.cancel.is_none() && self.state.budget.is_none()
+    }
 
     /// The node-boundary checkpoint: has anything already interrupted this
     /// query? Budget exhaustion only counts once a charge actually failed
     /// (a budget spent to exactly zero by completed work is not an
     /// interruption).
     pub fn check(&self) -> Result<(), Interruption> {
-        if self.cancelled() {
+        if self.state.cancelled() {
             return Err(Interruption::Cancelled);
         }
-        if self.deadline_passed() {
+        if self.state.deadline_passed() {
             return Err(Interruption::DeadlineExceeded);
         }
-        if self.budget_hit.load(Ordering::SeqCst) {
+        if self.state.budget_hit.load(Ordering::SeqCst) {
             return Err(Interruption::BudgetExhausted);
         }
         Ok(())
@@ -199,7 +229,7 @@ impl QueryContext {
     /// calls before scoring each query against the pool.
     pub fn consume(&self, units: u64) -> Result<(), Interruption> {
         self.check()?;
-        if self.try_charge(units) {
+        if self.state.try_charge(units) {
             Ok(())
         } else {
             Err(Interruption::BudgetExhausted)
@@ -220,23 +250,29 @@ impl QueryContext {
     /// This context as a [`crowd_math::WorkGuard`] for the chunked scoring
     /// kernels: each chunk is admitted only if the query is still live and
     /// the chunk's units fit the remaining budget.
-    pub fn guard(&self) -> CtxGuard<'_> {
-        CtxGuard(self)
+    ///
+    /// The guard is an owned, cloneable `'static` handle onto the context's
+    /// shared state, so the persistent scoring pool's chunk jobs can each
+    /// carry their own copy while all charging the same budget.
+    pub fn guard(&self) -> CtxGuard {
+        CtxGuard(Arc::clone(&self.state))
     }
 }
 
-/// [`crowd_math::WorkGuard`] view of a [`QueryContext`] (see
-/// [`QueryContext::guard`]).
-#[derive(Debug, Clone, Copy)]
-pub struct CtxGuard<'a>(&'a QueryContext);
+/// Owned [`crowd_math::WorkGuard`] handle onto a [`QueryContext`] (see
+/// [`QueryContext::guard`]). `Clone + Send + 'static`: every clone polls
+/// and charges the same shared state, which is what lets one query's
+/// budget/deadline/cancel be observed from every pool worker at once.
+#[derive(Debug, Clone)]
+pub struct CtxGuard(Arc<CtxState>);
 
-impl crowd_math::WorkGuard for CtxGuard<'_> {
+impl crowd_math::WorkGuard for CtxGuard {
     fn consume(&self, units: u64) -> bool {
-        let ctx = self.0;
-        if ctx.cancelled() || ctx.deadline_passed() || ctx.budget_hit.load(Ordering::SeqCst) {
+        let st = &self.0;
+        if st.cancelled() || st.deadline_passed() || st.budget_hit.load(Ordering::SeqCst) {
             return false;
         }
-        ctx.try_charge(units)
+        st.try_charge(units)
     }
 }
 

@@ -41,7 +41,7 @@ use crate::engine::QueryEngine;
 use crate::output::{QueryOutput, WorkerTable};
 use crate::plan::{LogicalPlan, PlanNode, VarId};
 use crate::QueryError;
-use crowd_core::{TaskProjection, TdpmModel};
+use crowd_core::{Precision, TaskProjection, TdpmModel};
 use crowd_select::{BatchQuery, FittedSelector, RankedWorker};
 use crowd_store::WorkerId;
 use crowd_text::{tokenize_filtered, BagOfWords};
@@ -233,6 +233,7 @@ fn run_node(
         PlanNode::Score {
             backend,
             k,
+            precision,
             queries,
             candidates,
             ..
@@ -248,7 +249,7 @@ fn run_node(
                 .get(backend.as_str())
                 .ok_or_else(|| internal("Score without a bound snapshot"))?;
             Ok(Value::Ranked(score_queries(
-                fitted, &queries, &pool, *k, ctx,
+                fitted, &queries, &pool, *k, *precision, ctx,
             )))
         }
         PlanNode::TopK { k, input, .. } => {
@@ -431,11 +432,16 @@ fn prepare_queries(
 /// kernels *are* the unguarded ones then; baselines without guarded
 /// batch kernels fall back to the per-query path, which PR 4's property
 /// suite pins bit-identical to `select_batch`).
+///
+/// `precision` routes TDPM scoring through the f32 skill mirror when the
+/// engine opted in; baselines have no reduced-precision path and ignore it
+/// (they always serve f64, as `Precision`'s contract documents).
 fn score_queries(
     fitted: &FittedSelector,
     queries: &[PreparedQuery],
     pool: &[WorkerId],
     k: usize,
+    precision: Precision,
     ctx: &QueryContext,
 ) -> Vec<Scored> {
     match fitted.downcast_ref::<TdpmModel>() {
@@ -452,7 +458,14 @@ fn score_queries(
                         &computed
                     }
                 };
-                let pr = model.select_top_k_guarded(projection, pool.iter().copied(), k, &guard);
+                let pr = match precision {
+                    Precision::F64 => {
+                        model.select_top_k_guarded(projection, pool.iter().copied(), k, &guard)
+                    }
+                    Precision::F32 => {
+                        model.select_top_k_f32_guarded(projection, pool.iter().copied(), k, &guard)
+                    }
+                };
                 vec![Scored {
                     ranked: pr.ranked,
                     complete: pr.complete,
@@ -465,8 +478,15 @@ fn score_queries(
                         None => model.project_bow(&q.bow),
                     })
                     .collect();
-                model
-                    .select_top_k_batch_guarded(&projections, pool, k, &guard)
+                let partials = match precision {
+                    Precision::F64 => {
+                        model.select_top_k_batch_guarded(&projections, pool, k, &guard)
+                    }
+                    Precision::F32 => {
+                        model.select_top_k_f32_batch_guarded(&projections, pool, k, &guard)
+                    }
+                };
+                partials
                     .into_iter()
                     .map(|pr| Scored {
                         ranked: pr.ranked,

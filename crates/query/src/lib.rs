@@ -59,6 +59,7 @@ pub mod plan;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionError, AdmissionPermit};
 pub use ast::{BackendName, ShowTarget, Statement};
+pub use crowd_core::Precision;
 pub use engine::QueryEngine;
 pub use error::QueryError;
 pub use exec::faults::RetryPolicy;

@@ -13,6 +13,7 @@
 
 use super::{CacheDecision, LogicalPlan, MutationOp, PlanNode, VarId};
 use crate::ast::{BackendName, Statement};
+use crowd_core::Precision;
 use crowd_select::SelectorRegistry;
 
 /// Incrementally numbers slots while nodes are appended.
@@ -53,6 +54,18 @@ impl PlanBuilder {
 /// backend's lazy-fit flag, the projection-cache decision); resolution
 /// errors still surface at execution time.
 pub fn compile(stmt: &Statement, registry: &SelectorRegistry) -> LogicalPlan {
+    compile_with(stmt, registry, Precision::F64)
+}
+
+/// [`compile`] under an explicit serving-precision policy (what the engine
+/// passes from [`crate::QueryEngine::set_precision`]); the precision is a
+/// compile-time plan property stamped onto `Score` nodes and rendered by
+/// `EXPLAIN`.
+pub fn compile_with(
+    stmt: &Statement,
+    registry: &SelectorRegistry,
+    precision: Precision,
+) -> LogicalPlan {
     match stmt {
         Statement::InsertWorker { handle } => mutation(MutationOp::InsertWorker {
             handle: handle.clone(),
@@ -97,6 +110,7 @@ pub fn compile(stmt: &Statement, registry: &SelectorRegistry) -> LogicalPlan {
             backend.clone(),
             *min_group,
             registry,
+            precision,
         ),
         Statement::Show(target) => {
             let mut b = PlanBuilder::new();
@@ -111,7 +125,7 @@ pub fn compile(stmt: &Statement, registry: &SelectorRegistry) -> LogicalPlan {
             let mut b = PlanBuilder::new();
             let out = b.var();
             b.push(PlanNode::Explain {
-                plan: Box::new(compile(inner, registry)),
+                plan: Box::new(compile_with(inner, registry, precision)),
                 out,
             });
             b.finish()
@@ -132,8 +146,27 @@ pub fn compile_select_batch(
     min_group: Option<usize>,
     registry: &SelectorRegistry,
 ) -> LogicalPlan {
+    compile_select_batch_with(texts, limit, backend, min_group, registry, Precision::F64)
+}
+
+/// [`compile_select_batch`] under an explicit serving-precision policy.
+pub fn compile_select_batch_with(
+    texts: &[&str],
+    limit: usize,
+    backend: &BackendName,
+    min_group: Option<usize>,
+    registry: &SelectorRegistry,
+    precision: Precision,
+) -> LogicalPlan {
     let owned: Vec<String> = texts.iter().map(|t| (*t).to_string()).collect();
-    select_plan(&owned, limit, backend.clone(), min_group, registry)
+    select_plan(
+        &owned,
+        limit,
+        backend.clone(),
+        min_group,
+        registry,
+        precision,
+    )
 }
 
 fn mutation(op: MutationOp) -> LogicalPlan {
@@ -150,6 +183,7 @@ fn select_plan(
     backend: BackendName,
     min_group: Option<usize>,
     registry: &SelectorRegistry,
+    precision: Precision,
 ) -> LogicalPlan {
     let mut b = PlanBuilder::new();
 
@@ -194,6 +228,7 @@ fn select_plan(
     b.push(PlanNode::Score {
         backend,
         k: limit,
+        precision,
         queries,
         candidates,
         out: scored,

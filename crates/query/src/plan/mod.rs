@@ -15,7 +15,7 @@
 //! v0 <- Scan workers filter=all retry=transient<=3
 //! v1 <- Bind backend=tdpm lazy_fit=false
 //! v2 <- Project[v1] cache=projection texts=['btree split']
-//! v3 <- Score[v2, v0] backend=tdpm k=2 guard=deadline,cancel,budget
+//! v3 <- Score[v2, v0] backend=tdpm k=2 guard=deadline,cancel,budget precision=f64 pool=persistent
 //! v4 <- TopK[v3] k=2 on_interrupt=error|partial
 //! v5 <- Merge[v4]
 //! ```
@@ -34,7 +34,7 @@
 
 mod compile;
 
-pub use compile::{compile, compile_select_batch};
+pub use compile::{compile, compile_select_batch, compile_select_batch_with, compile_with};
 
 use crate::ast::{BackendName, ShowTarget};
 use crowd_select::DbMutation;
@@ -209,6 +209,10 @@ pub enum PlanNode {
         backend: BackendName,
         /// Pushed-down top-k limit.
         k: usize,
+        /// Serving precision (engine policy at compile time). Only the
+        /// TDPM dense kernels have an f32 mirror; baselines serve in f64
+        /// regardless, and the executor follows the bound snapshot's type.
+        precision: crowd_core::Precision,
         /// Input slot: prepared queries.
         queries: VarId,
         /// Input slot: candidate pool.
@@ -363,13 +367,14 @@ impl LogicalPlan {
                 PlanNode::Score {
                     backend,
                     k,
+                    precision,
                     queries,
                     candidates,
                     ..
                 } => {
                     let _ = write!(
                         out,
-                        "Score[{queries}, {candidates}] backend={backend} k={k} guard=deadline,cancel,budget"
+                        "Score[{queries}, {candidates}] backend={backend} k={k} guard=deadline,cancel,budget precision={precision} pool=persistent"
                     );
                 }
                 PlanNode::TopK { k, input, .. } => {

@@ -76,6 +76,18 @@ fn every_statement_form_has_a_stable_rendering() {
 }
 
 #[test]
+fn f32_precision_policy_shows_in_the_rendering() {
+    let mut engine = QueryEngine::new();
+    engine.set_precision(crowd_query::Precision::F32);
+    let text = explain(
+        &mut engine,
+        "EXPLAIN SELECT WORKERS FOR TASK 'why does a btree split pages' LIMIT 2",
+    );
+    assert!(text.contains("precision=f32"), "{text}");
+    check("select_f32", &text);
+}
+
+#[test]
 fn fused_select_batches_have_a_stable_rendering() {
     let engine = QueryEngine::new();
     let plan = crowd_query::plan::compile_select_batch(

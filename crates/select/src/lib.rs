@@ -25,7 +25,7 @@ pub mod ranking;
 pub mod registry;
 pub mod selector;
 
-pub use ranking::{rank_of, top_k, RankedWorker};
+pub use ranking::{rank_of, top_k, RankedWorker, TopK};
 pub use registry::{
     DbMutation, FitDiagnostics, FitOptions, FitOutcome, FittedSelector, SelectError,
     SelectorBackend, SelectorRegistry,

@@ -11,73 +11,105 @@ pub struct RankedWorker {
     pub score: f64,
 }
 
-/// Selects the `k` highest-scoring workers, descending by score.
-///
-/// Eq. 1 asks for `argmax_{|R|=k} Σ_{i∈R} w^i (c^j)ᵀ`; because the objective
-/// is a sum of independent per-worker terms, the optimal subset is exactly
-/// the `k` largest scores. A bounded min-heap keeps this `O(n log k)`.
-///
-/// Ties break toward the smaller [`WorkerId`] for determinism; NaN scores
-/// are skipped.
-pub fn top_k(scored: impl IntoIterator<Item = (WorkerId, f64)>, k: usize) -> Vec<RankedWorker> {
-    use std::cmp::Ordering;
-    use std::collections::BinaryHeap;
-
-    if k == 0 {
-        return Vec::new();
+// Min-heap via reversed ordering; entry = (score, worker).
+#[derive(Debug, PartialEq)]
+struct Entry(f64, WorkerId);
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // The heap pops its greatest element, so "greater" must mean
+        // "worse": lower score, then (on ties) larger worker id.
+        other
+            .0
+            .total_cmp(&self.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
 
-    // Min-heap via reversed ordering; entry = (score, worker).
-    #[derive(PartialEq)]
-    struct Entry(f64, WorkerId);
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
+/// Streaming accumulator behind [`top_k`]: [`push`](TopK::push) scored
+/// workers in any order, then [`finish`](TopK::finish) for the ranked
+/// result.
+///
+/// The selection ranks under a *total* order (score via `total_cmp`, ties
+/// toward the smaller [`WorkerId`]), so the finished ranking is a pure
+/// function of the pushed multiset — feed order never changes it. That is
+/// what lets the cache-blocked batch driver feed each query's scores block
+/// by block instead of materializing every score first.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<Entry>,
+}
+
+impl TopK {
+    /// Accumulator for the `k` highest-scoring workers.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
         }
     }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            // The heap pops its greatest element, so "greater" must mean
-            // "worse": lower score, then (on ties) larger worker id.
-            other
-                .0
-                .total_cmp(&self.0)
-                .then_with(|| self.1.cmp(&other.1))
-        }
-    }
 
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
-    for (worker, score) in scored {
-        if score.is_nan() {
-            continue;
+    /// Offer one scored worker. NaN scores are skipped.
+    #[inline]
+    pub fn push(&mut self, worker: WorkerId, score: f64) {
+        if self.k == 0 || score.is_nan() {
+            return;
         }
         let entry = Entry(score, worker);
-        if heap.len() == k {
+        if self.heap.len() == self.k {
             // Full heap: on large pools almost every candidate ranks no
             // better than the current worst — reject it with one O(1) peek
             // instead of a push + pop (two heap sifts). An entry equal to
             // the worst leaves the same multiset either way, so the output
             // is unchanged.
-            if heap.peek().is_some_and(|worst| entry >= *worst) {
-                continue;
+            if self.heap.peek().is_some_and(|worst| entry >= *worst) {
+                return;
             }
-            heap.push(entry);
-            heap.pop(); // evicts the current worst
+            self.heap.push(entry);
+            self.heap.pop(); // evicts the current worst
         } else {
-            heap.push(entry);
+            self.heap.push(entry);
         }
     }
-    let mut out: Vec<RankedWorker> = heap
-        .into_iter()
-        .map(|Entry(score, worker)| RankedWorker { worker, score })
-        .collect();
-    out.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| a.worker.cmp(&b.worker))
-    });
-    out
+
+    /// The accumulated top-k, descending by score (ties toward the smaller
+    /// [`WorkerId`]).
+    pub fn finish(self) -> Vec<RankedWorker> {
+        let mut out: Vec<RankedWorker> = self
+            .heap
+            .into_iter()
+            .map(|Entry(score, worker)| RankedWorker { worker, score })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.worker.cmp(&b.worker))
+        });
+        out
+    }
+}
+
+/// Selects the `k` highest-scoring workers, descending by score.
+///
+/// Eq. 1 asks for `argmax_{|R|=k} Σ_{i∈R} w^i (c^j)ᵀ`; because the objective
+/// is a sum of independent per-worker terms, the optimal subset is exactly
+/// the `k` largest scores. A bounded min-heap ([`TopK`]) keeps this
+/// `O(n log k)`.
+///
+/// Ties break toward the smaller [`WorkerId`] for determinism; NaN scores
+/// are skipped.
+pub fn top_k(scored: impl IntoIterator<Item = (WorkerId, f64)>, k: usize) -> Vec<RankedWorker> {
+    let mut acc = TopK::new(k);
+    for (worker, score) in scored {
+        acc.push(worker, score);
+    }
+    acc.finish()
 }
 
 /// Rank position (1-based) of `target` in a full descending ranking of
