@@ -72,4 +72,11 @@ done
 # crates/bench/src/bin/selection_smoke.rs).
 run cargo run --release -p crowd-bench --bin selection_smoke
 
+# Sharded-fit smoke: the 8-shard fit must be bit-identical to the 1-shard
+# fit (ELBO traces compared bitwise), beat it ≥3x on multi-core hosts
+# (no-regression bound on single-core ones), and the million-worker tier
+# must train inside the peak-RSS ceiling. Report lands in
+# results/BENCH_9.json (see crates/bench/src/bin/fit_smoke.rs).
+run cargo run --release -p crowd-bench --bin fit_smoke
+
 echo "==> ci.sh: all green"

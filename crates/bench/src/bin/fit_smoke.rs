@@ -1,0 +1,417 @@
+//! CI bench gate for the sharded fit — writes `results/BENCH_9.json`.
+//!
+//! Two tiers, both driven by the counter-based [`ScaleGenerator`] so every
+//! run sees the identical platform:
+//!
+//! - **Speedup tier** (100k workers / 20k tasks / ~200k assignments): the
+//!   same [`TrainingSet`] is fitted with `num_shards = 1` (fully inline)
+//!   and `num_shards = 8` (per-shard E-step jobs on the persistent
+//!   [`crowd_math::ScoringPool`], suff-stats reduced in shard-index
+//!   order), both at `num_threads = 1` so the shard fan-out is the only
+//!   variable. Because the sharded reduction uses the same fixed-block
+//!   tree as the serial path, the two fits must also produce bit-identical
+//!   ELBO traces — checked here as a gate, so the speedup can never be
+//!   bought by drifting the arithmetic.
+//! - **Memory tier** (1M workers / 1M tasks / ~10M assignments): the
+//!   platform is materialized into an 8-shard [`ShardedDb`] and fitted for
+//!   one EM epoch via [`TdpmTrainer::fit_sharded`]; the process peak RSS
+//!   (`VmHWM`, via [`crowd_obs::peak_rss_bytes`]) must stay under
+//!   [`GATE_PEAK_RSS_BYTES`] — the bounded-memory claim of DESIGN §11.
+//!
+//! **Measurement.** The speedup tier uses the min-statistic paired scheme
+//! from `selection_smoke`: each round times both fits back to back and
+//! each path keeps its fastest round; a gate miss folds up to
+//! [`MAX_ATTEMPTS`] attempts into the same minima so shared-hardware noise
+//! cannot flake the gate. The memory tier runs once — RSS is a
+//! high-water mark, not a timing.
+//!
+//! **Gates** (checked at exit, nonzero on failure):
+//!
+//! 1. ELBO traces of the 1-shard and 8-shard fits are bitwise identical.
+//! 2. Host-conditional speedup: with ≥ 4 pool workers the 8-shard fit
+//!    must be ≥ [`GATE_MIN_SPEEDUP_MULTI`]× the 1-shard fit; with 2–3 it
+//!    must merely win; on a single-core host real speedup is impossible,
+//!    so the gate becomes a no-regression bound — pooled shard dispatch
+//!    must cost ≤ [`GATE_SINGLE_CORE_SLACK`]× the inline fit.
+//! 3. Peak RSS after the million-worker tier ≤ [`GATE_PEAK_RSS_BYTES`].
+
+use crowd_core::dataset::TaskData;
+use crowd_core::{TdpmConfig, TdpmTrainer, TrainingSet};
+use crowd_math::ScoringPool;
+use crowd_sim::{ScaleConfig, ScaleGenerator};
+use crowd_store::ShardedDb;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const K: usize = 4;
+const SHARDS: usize = 8;
+/// Multi-core hosts (≥ 4 pool workers): minimum 8-shard vs 1-shard speedup.
+const GATE_MIN_SPEEDUP_MULTI: f64 = 3.0;
+/// Single-core hosts: max allowed `fit_s8 / fit_s1`. The pooled path's
+/// per-chunk state round-trips measure ~5% over the inline fit when there
+/// is no parallelism to buy; the bound adds headroom for shared-host
+/// scheduler noise while staying an order of magnitude below the
+/// regression mode it exists to catch (per-call thread spawns cost
+/// several-fold here before the persistent pool).
+const GATE_SINGLE_CORE_SLACK: f64 = 1.20;
+/// Peak-RSS ceiling for the whole process after the million-worker tier.
+const GATE_PEAK_RSS_BYTES: u64 = 8 * 1024 * 1024 * 1024;
+/// Interleaved measurement rounds; the reported figure is the per-path min.
+const ROUNDS: usize = 3;
+/// Gate-miss retries; each folds new rounds into the accumulated minima.
+const MAX_ATTEMPTS: usize = 3;
+
+fn fit_config(num_shards: usize) -> TdpmConfig {
+    TdpmConfig {
+        num_categories: K,
+        max_em_iters: 2,
+        task_inner_iters: 1,
+        cg_max_iters: 8,
+        seed: 11,
+        num_threads: 1,
+        num_shards,
+        ..TdpmConfig::default()
+    }
+}
+
+/// Builds the speedup-tier training set straight from the counter scheme —
+/// no store in the loop, so the measurement isolates the fit itself.
+fn speedup_training_set(cfg: &ScaleConfig) -> TrainingSet {
+    let g = ScaleGenerator::new(*cfg);
+    let tasks: Vec<TaskData> = (0..cfg.num_tasks)
+        .map(|j| TaskData {
+            task: crowd_store::TaskId(u32::try_from(j).expect("task id fits u32")),
+            words: vec![(g.task_term(j), 1)],
+            num_tokens: 1.0,
+            // Counter draws are already ascending by worker — the canonical
+            // score order `TrainingSet` normalizes to.
+            scores: g.assignments_of(j),
+        })
+        .collect();
+    TrainingSet::from_parts(tasks, cfg.num_workers, cfg.vocab_size)
+}
+
+struct SpeedupCell {
+    /// `(path name, fit ns)` in measurement order: `fit_s1`, `fit_s8`.
+    paths: Vec<(&'static str, f64)>,
+}
+
+impl SpeedupCell {
+    fn ns(&self, name: &str) -> f64 {
+        self.paths
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, ns)| *ns)
+            .unwrap_or(f64::NAN)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.ns("fit_s1") / self.ns("fit_s8")
+    }
+
+    fn fold_min(&mut self, other: &SpeedupCell) {
+        for ((name, ns), (other_name, other_ns)) in self.paths.iter_mut().zip(&other.paths) {
+            assert_eq!(name, other_name);
+            if *other_ns < *ns {
+                *ns = *other_ns;
+            }
+        }
+    }
+}
+
+/// Min-statistic, paired: every round fits both shard counts once, in
+/// order, and each keeps its fastest round. The warm-up round also
+/// first-touches the scoring pool so pool spin-up is not billed to `s8`.
+fn measure_speedup(ts: &TrainingSet) -> SpeedupCell {
+    let mut fit_s1 = || {
+        black_box(
+            TdpmTrainer::new(fit_config(1))
+                .fit_training_set(ts)
+                .expect("1-shard fit"),
+        );
+    };
+    let mut fit_s8 = || {
+        black_box(
+            TdpmTrainer::new(fit_config(SHARDS))
+                .fit_training_set(ts)
+                .expect("8-shard fit"),
+        );
+    };
+    let mut paths: Vec<(&'static str, &mut dyn FnMut())> =
+        vec![("fit_s1", &mut fit_s1), ("fit_s8", &mut fit_s8)];
+
+    for (_, f) in paths.iter_mut() {
+        f();
+    }
+    let mut mins = vec![f64::INFINITY; paths.len()];
+    for _ in 0..ROUNDS {
+        for (i, (_, f)) in paths.iter_mut().enumerate() {
+            let start = Instant::now();
+            f();
+            let ns = start.elapsed().as_nanos() as f64;
+            if ns < mins[i] {
+                mins[i] = ns;
+            }
+        }
+    }
+    SpeedupCell {
+        paths: paths
+            .iter()
+            .zip(mins)
+            .map(|((n, _), ns)| (*n, ns))
+            .collect(),
+    }
+}
+
+struct MemoryTier {
+    num_assignments: usize,
+    populate_ms: f64,
+    fit_ms: f64,
+    elbo: f64,
+    peak_rss_bytes: Option<u64>,
+}
+
+/// Materializes the million-worker platform into an 8-shard store and runs
+/// one EM epoch through the sharded entry point.
+fn run_memory_tier(cfg: &ScaleConfig) -> MemoryTier {
+    let g = ScaleGenerator::new(*cfg);
+    let mut db = ShardedDb::new(SHARDS);
+    let t0 = Instant::now();
+    g.populate_sharded(&mut db).expect("populate sharded store");
+    let populate_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let num_assignments = db.num_assignments();
+
+    let config = TdpmConfig {
+        max_em_iters: 1,
+        ..fit_config(SHARDS)
+    };
+    let t1 = Instant::now();
+    let (_model, report) = TdpmTrainer::new(config)
+        .fit_sharded(&db)
+        .expect("million-worker fit");
+    let fit_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    MemoryTier {
+        num_assignments,
+        populate_ms,
+        fit_ms,
+        elbo: report.elbo_trace.last().copied().unwrap_or(f64::NAN),
+        peak_rss_bytes: crowd_obs::peak_rss_bytes(),
+    }
+}
+
+/// Evaluate the host-conditional speedup gate; returns the failure
+/// messages, empty when it passes.
+fn speedup_gate_failures(cell: &SpeedupCell, pool_workers: usize) -> Vec<String> {
+    let mut fails = Vec::new();
+    let speedup = cell.speedup();
+    let ratio = cell.ns("fit_s8") / cell.ns("fit_s1");
+    if pool_workers >= 4 {
+        if speedup < GATE_MIN_SPEEDUP_MULTI {
+            fails.push(format!(
+                "8-shard fit speedup is {speedup:.2}x on a {pool_workers}-worker pool, below \
+                 the {GATE_MIN_SPEEDUP_MULTI}x gate"
+            ));
+        }
+    } else if pool_workers > 1 {
+        if speedup <= 1.0 {
+            fails.push(format!(
+                "8-shard fit is {ratio:.2}x the 1-shard fit on a {pool_workers}-worker pool \
+                 (must win outright)"
+            ));
+        }
+    } else if ratio > GATE_SINGLE_CORE_SLACK {
+        fails.push(format!(
+            "single-core host, but the 8-shard fit is {ratio:.2}x the 1-shard fit (bound \
+             {GATE_SINGLE_CORE_SLACK}x): pooled shard dispatch overhead regressed"
+        ));
+    }
+    fails
+}
+
+/// Evaluate the peak-RSS gate over the finished memory tier.
+fn memory_gate_failures(memory: &MemoryTier) -> Vec<String> {
+    let mut fails = Vec::new();
+    match memory.peak_rss_bytes {
+        Some(rss) if rss > GATE_PEAK_RSS_BYTES => fails.push(format!(
+            "peak RSS {:.2} GiB exceeds the {:.0} GiB ceiling after the million-worker tier",
+            rss as f64 / (1u64 << 30) as f64,
+            GATE_PEAK_RSS_BYTES as f64 / (1u64 << 30) as f64,
+        )),
+        Some(_) => {}
+        // VmHWM is Linux-only; absence (e.g. macOS dev box) skips the gate
+        // rather than failing it — CI runs on Linux where it is always read.
+        None => eprintln!("fit_smoke: VmHWM unavailable; peak-RSS gate skipped"),
+    }
+    fails
+}
+
+fn main() {
+    let speedup_cfg = ScaleConfig::speedup_tier(909);
+    let million_cfg = ScaleConfig::million_tier(909);
+    let pool_workers = ScoringPool::global().workers();
+
+    let ts = speedup_training_set(&speedup_cfg);
+    println!(
+        "fit_smoke: speedup tier — {} workers, {} tasks, {} scored pairs",
+        ts.num_workers(),
+        ts.num_tasks(),
+        ts.num_scored_pairs()
+    );
+
+    // Bit-identity check once, outside the timing loop: the traces are a
+    // complete fingerprint of the fit (every parameter feeds the ELBO).
+    let (_, report_s1) = TdpmTrainer::new(fit_config(1))
+        .fit_training_set(&ts)
+        .expect("1-shard fit");
+    let (_, report_s8) = TdpmTrainer::new(fit_config(SHARDS))
+        .fit_training_set(&ts)
+        .expect("8-shard fit");
+    let traces_identical = report_s1.elbo_trace == report_s8.elbo_trace;
+    println!(
+        "fit_smoke: elbo traces {} (s1 last = {:?})",
+        if traces_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        report_s1.elbo_trace.last()
+    );
+
+    // The speedup tier is measured BEFORE the million-worker tier: the
+    // memory tier leaves a multi-GiB fragmented heap behind, and timing the
+    // pooled path's per-chunk copies on top of it biases the ratio by ~10%.
+    let mut cell: Option<SpeedupCell> = None;
+    let mut attempts = 0;
+    let failures = loop {
+        attempts += 1;
+        let fresh = measure_speedup(&ts);
+        match cell.as_mut() {
+            Some(acc) => acc.fold_min(&fresh),
+            None => cell = Some(fresh),
+        }
+        let c = cell.as_ref().unwrap();
+        println!(
+            "fit_smoke: fit_s1 {:>7.1} ms | fit_s8 {:>7.1} ms | speedup {:.2}x \
+             (pool_workers={pool_workers})",
+            c.ns("fit_s1") / 1e6,
+            c.ns("fit_s8") / 1e6,
+            c.speedup()
+        );
+        let fails = speedup_gate_failures(c, pool_workers);
+        if fails.is_empty() || attempts >= MAX_ATTEMPTS {
+            break fails;
+        }
+        eprintln!(
+            "fit_smoke: gate miss on attempt {attempts}/{MAX_ATTEMPTS} — folding in another \
+             {ROUNDS} rounds per path"
+        );
+    };
+
+    println!(
+        "fit_smoke: memory tier — {} workers, {} tasks into a {SHARDS}-shard store",
+        million_cfg.num_workers, million_cfg.num_tasks
+    );
+    let memory = run_memory_tier(&million_cfg);
+    println!(
+        "fit_smoke: memory tier — {} assignments, populate {:.0} ms, fit {:.0} ms, peak RSS {}",
+        memory.num_assignments,
+        memory.populate_ms,
+        memory.fit_ms,
+        match memory.peak_rss_bytes {
+            Some(b) => format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64),
+            None => "unavailable".to_string(),
+        }
+    );
+
+    let mut failures = failures;
+    if !traces_identical {
+        failures.push(
+            "1-shard and 8-shard ELBO traces diverged — the sharded reduction is no longer \
+             bit-identical to serial"
+                .to_string(),
+        );
+    }
+    failures.extend(memory_gate_failures(&memory));
+
+    let cell = cell.expect("at least one attempt ran");
+    let speedup = cell.speedup();
+    let ratio = cell.ns("fit_s8") / cell.ns("fit_s1");
+    let gate_mode = if pool_workers >= 4 {
+        "s8_at_least_3x_s1"
+    } else if pool_workers > 1 {
+        "s8_faster_than_s1"
+    } else {
+        "single_core_no_regression"
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"sharded_fit_smoke\",\n");
+    json.push_str("  \"statistic\": \"min_over_paired_rounds\",\n");
+    let _ = writeln!(json, "  \"rounds_per_attempt\": {ROUNDS},");
+    let _ = writeln!(json, "  \"attempts\": {attempts},");
+    let _ = writeln!(json, "  \"k_categories\": {K},");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"pool_workers\": {pool_workers},");
+    json.push_str("  \"speedup_tier\": {\n");
+    let _ = writeln!(json, "    \"workers\": {},", speedup_cfg.num_workers);
+    let _ = writeln!(json, "    \"tasks\": {},", speedup_cfg.num_tasks);
+    let _ = writeln!(json, "    \"scored_pairs\": {},", ts.num_scored_pairs());
+    let _ = writeln!(json, "    \"fit_s1_ns\": {:.0},", cell.ns("fit_s1"));
+    let _ = writeln!(json, "    \"fit_s8_ns\": {:.0},", cell.ns("fit_s8"));
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "    \"s8_vs_s1\": {ratio:.3},");
+    let _ = writeln!(json, "    \"elbo_traces_identical\": {traces_identical}");
+    json.push_str("  },\n");
+    json.push_str("  \"memory_tier\": {\n");
+    let _ = writeln!(json, "    \"workers\": {},", million_cfg.num_workers);
+    let _ = writeln!(json, "    \"tasks\": {},", million_cfg.num_tasks);
+    let _ = writeln!(json, "    \"assignments\": {},", memory.num_assignments);
+    let _ = writeln!(json, "    \"populate_ms\": {:.0},", memory.populate_ms);
+    let _ = writeln!(json, "    \"fit_ms\": {:.0},", memory.fit_ms);
+    let _ = writeln!(json, "    \"elbo\": {},", memory.elbo);
+    let _ = writeln!(
+        json,
+        "    \"peak_rss_bytes\": {},",
+        match memory.peak_rss_bytes {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        }
+    );
+    let _ = writeln!(json, "    \"gate_peak_rss_bytes\": {GATE_PEAK_RSS_BYTES}");
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"gate_min_speedup_multi\": {GATE_MIN_SPEEDUP_MULTI},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"gate_single_core_slack\": {GATE_SINGLE_CORE_SLACK},"
+    );
+    let _ = writeln!(json, "  \"gate_mode\": \"{gate_mode}\"");
+    json.push_str("}\n");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_9.json", &json).expect("write results/BENCH_9.json");
+    println!("fit_smoke: wrote results/BENCH_9.json (gate mode: {gate_mode})");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("fit_smoke: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "fit_smoke: OK — s8/s1 {ratio:.2}x under the {gate_mode} gate, peak RSS {}",
+        match memory.peak_rss_bytes {
+            Some(b) => format!(
+                "{:.2}/{:.0} GiB",
+                b as f64 / (1u64 << 30) as f64,
+                GATE_PEAK_RSS_BYTES as f64 / (1u64 << 30) as f64
+            ),
+            None => "unavailable".to_string(),
+        }
+    );
+}

@@ -19,7 +19,7 @@ use crowd_select::{
     BatchQuery, CrowdSelector, FitDiagnostics, FitOptions, FitOutcome, RankedWorker, SelectError,
     SelectorBackend,
 };
-use crowd_store::{CrowdDb, TaskId, WorkerId};
+use crowd_store::{CrowdDb, ShardedDb, TaskId, WorkerId};
 use crowd_text::BagOfWords;
 
 impl CrowdSelector for TdpmModel {
@@ -202,6 +202,29 @@ impl TdpmBackend {
     pub fn config(&self) -> &TdpmConfig {
         &self.base
     }
+
+    /// The base config with per-fit overrides applied.
+    fn effective_config(&self, opts: &FitOptions) -> TdpmConfig {
+        let mut cfg = self.base.clone();
+        if let Some(k) = opts.categories {
+            cfg.num_categories = k;
+        }
+        if let Some(seed) = opts.seed {
+            cfg.seed = seed;
+        }
+        cfg
+    }
+
+    fn outcome((model, report): (TdpmModel, crate::FitReport)) -> Result<FitOutcome, SelectError> {
+        Ok(FitOutcome::new(
+            Box::new(model),
+            FitDiagnostics {
+                iterations: report.iterations,
+                objective_trace: report.elbo_trace,
+                converged: report.converged,
+            },
+        ))
+    }
 }
 
 impl SelectorBackend for TdpmBackend {
@@ -215,29 +238,29 @@ impl SelectorBackend for TdpmBackend {
     }
 
     fn fit(&self, db: &CrowdDb, opts: &FitOptions) -> Result<FitOutcome, SelectError> {
-        let mut cfg = self.base.clone();
-        if let Some(k) = opts.categories {
-            cfg.num_categories = k;
-        }
-        if let Some(seed) = opts.seed {
-            cfg.seed = seed;
-        }
         let ts = TrainingSet::from_db(db);
-        let (model, report) = TdpmTrainer::new(cfg)
+        TdpmTrainer::new(self.effective_config(opts))
             .with_obs(self.obs.clone())
             .fit_training_set(&ts)
             .map_err(|e| SelectError::Fit {
                 backend: "tdpm".into(),
                 message: e.to_string(),
-            })?;
-        Ok(FitOutcome::new(
-            Box::new(model),
-            FitDiagnostics {
-                iterations: report.iterations,
-                objective_trace: report.elbo_trace,
-                converged: report.converged,
-            },
-        ))
+            })
+            .and_then(Self::outcome)
+    }
+
+    /// Shard-parallel TDPM fit: the E-step/M-step plan mirrors the store's
+    /// partitioning (see [`TdpmTrainer::fit_sharded`]), and the fitted model
+    /// is bit-identical to an unsharded fit of the same data.
+    fn fit_sharded(&self, db: &ShardedDb, opts: &FitOptions) -> Result<FitOutcome, SelectError> {
+        TdpmTrainer::new(self.effective_config(opts))
+            .with_obs(self.obs.clone())
+            .fit_sharded(db)
+            .map_err(|e| SelectError::Fit {
+                backend: "tdpm".into(),
+                message: e.to_string(),
+            })
+            .and_then(Self::outcome)
     }
 }
 
@@ -332,6 +355,67 @@ mod tests {
         assert_eq!(ranked[0].worker, dba);
         // The concrete model is reachable for diagnostics.
         assert!(fitted.downcast_ref::<TdpmModel>().is_some());
+    }
+
+    #[test]
+    fn sharded_registry_fit_is_bit_identical_to_unsharded() {
+        // The same platform, once in a plain CrowdDb and once hash-cut over
+        // 4 shards. Insertion order is identical, so global ids and the
+        // vocabulary line up; the fits must then agree bitwise.
+        let (db, dba, stat) = specialist_db();
+        let mut sharded = ShardedDb::new(4);
+        sharded.add_worker("dba").unwrap();
+        sharded.add_worker("stat").unwrap();
+        for i in 0..10 {
+            let (text, good, bad) = if i % 2 == 0 {
+                ("btree page split index buffer disk", dba, stat)
+            } else {
+                ("gaussian prior posterior likelihood variance", stat, dba)
+            };
+            let t = sharded.add_task(text).unwrap();
+            sharded.assign(good, t).unwrap();
+            sharded.assign(bad, t).unwrap();
+            sharded.record_feedback(good, t, 4.0).unwrap();
+            sharded.record_feedback(bad, t, 0.5).unwrap();
+        }
+
+        let mut registry = SelectorRegistry::new();
+        registry.register(Box::new(TdpmBackend::new()));
+        let opts = FitOptions::with(2, 7);
+        let plain = registry.fit("tdpm", &db, &opts).unwrap();
+        let cut = registry.fit_sharded("tdpm", &sharded, &opts).unwrap();
+        assert_eq!(
+            plain.diagnostics().objective_trace,
+            cut.diagnostics().objective_trace,
+            "ELBO traces must agree bitwise"
+        );
+        let (pm, cm) = (
+            plain.downcast_ref::<TdpmModel>().unwrap(),
+            cut.downcast_ref::<TdpmModel>().unwrap(),
+        );
+        let (ps, cs) = (pm.skill_matrix(), cm.skill_matrix());
+        assert_eq!(ps.ids(), cs.ids());
+        for row in 0..ps.ids().len() {
+            assert_eq!(ps.mean_row(row), cs.mean_row(row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn default_fit_sharded_declines() {
+        struct Inert;
+        impl SelectorBackend for Inert {
+            fn name(&self) -> &'static str {
+                "inert"
+            }
+            fn fit(&self, _: &CrowdDb, _: &FitOptions) -> Result<FitOutcome, SelectError> {
+                unreachable!("not exercised")
+            }
+        }
+        let err = Inert.fit_sharded(&ShardedDb::new(2), &FitOptions::default());
+        assert!(
+            matches!(err, Err(SelectError::Fit { ref message, .. }) if message.contains("sharded")),
+            "{err:?}"
+        );
     }
 
     #[test]

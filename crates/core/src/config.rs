@@ -62,6 +62,15 @@ pub struct TdpmConfig {
     /// contiguous task ranges and every thread runs the same deterministic
     /// updates.
     pub num_threads: usize,
+    /// Shards for the fit (`1` = unsharded). Workers and tasks are cut into
+    /// `num_shards` block-aligned contiguous ranges (see
+    /// [`crate::inference::suffstats::ShardPlan`]): both E-step halves run
+    /// per shard on the persistent scoring pool, and the M-step/ELBO reduce
+    /// per-shard fixed-block sufficient statistics in shard-index order.
+    /// Because every global sum uses the same fixed-block reduction tree as
+    /// the serial path, the fitted model is **bit-identical for every shard
+    /// count**. Defaults to `1`.
+    pub num_shards: usize,
 }
 
 impl Default for TdpmConfig {
@@ -81,6 +90,7 @@ impl Default for TdpmConfig {
             feedback_forgetting: 1.0,
             seed: 42,
             num_threads: 1,
+            num_shards: 1,
         }
     }
 }

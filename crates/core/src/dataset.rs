@@ -1,6 +1,6 @@
 //! Compact training representation of resolved tasks.
 
-use crowd_store::{CrowdDb, TaskId, WorkerId};
+use crowd_store::{CrowdDb, ShardedDb, TaskId, WorkerId};
 use crowd_text::BagOfWords;
 use std::collections::HashMap;
 
@@ -39,24 +39,44 @@ impl TrainingSet {
     /// All registered workers get a dense index (workers without feedback
     /// simply keep their prior as posterior), so incremental updates after
     /// training never meet an unknown worker.
+    ///
+    /// Each task's scores are canonicalized to ascending worker index:
+    /// the store yields them in assignment order, and per-task reductions
+    /// during inference sum them left to right, so without the sort two
+    /// stores holding the same `(T, A, S)` content with different
+    /// assignment interleavings would fit ulp-different models. The sort
+    /// makes the fit a function of the content alone — which is also what
+    /// lets the sharded store (whose merged scans are worker-sorted by
+    /// construction) train bit-identically to this path.
     pub fn from_db(db: &CrowdDb) -> Self {
-        let worker_ids: Vec<WorkerId> = db.worker_ids().collect();
+        Self::from_resolved(
+            db.resolved_tasks(),
+            db.worker_ids().collect(),
+            db.vocab().len(),
+        )
+    }
+
+    fn from_resolved(
+        resolved: Vec<crowd_store::ResolvedTask>,
+        worker_ids: Vec<WorkerId>,
+        vocab_size: usize,
+    ) -> Self {
         let worker_index: HashMap<WorkerId, usize> = worker_ids
             .iter()
             .enumerate()
             .map(|(i, &w)| (w, i))
             .collect();
-        let tasks = db
-            .resolved_tasks()
+        let tasks = resolved
             .into_iter()
             .map(|rt| {
                 let words: Vec<(usize, u32)> = rt.bow.iter().map(|(t, c)| (t.index(), c)).collect();
                 let num_tokens = rt.bow.total_tokens() as f64;
-                let scores = rt
+                let mut scores: Vec<(usize, f64)> = rt
                     .scores
                     .iter()
                     .map(|&(w, s)| (worker_index[&w], s))
                     .collect();
+                scores.sort_by_key(|&(w, _)| w);
                 TaskData {
                     task: rt.task,
                     words,
@@ -69,8 +89,23 @@ impl TrainingSet {
             tasks: std::sync::Arc::new(tasks),
             worker_ids,
             worker_index,
-            vocab_size: db.vocab().len(),
+            vocab_size,
         }
+    }
+
+    /// Builds the training set from every resolved task in a sharded store.
+    ///
+    /// [`ShardedDb::resolved_tasks`] is shard-count invariant — tasks in
+    /// global id order, scores sorted by global worker id — so the set built
+    /// here is byte-for-byte the set [`TrainingSet::from_db`] builds from an
+    /// unsharded store holding the same `(T, A, S)` content, for every shard
+    /// count.
+    pub fn from_sharded(db: &ShardedDb) -> Self {
+        Self::from_resolved(
+            db.resolved_tasks(),
+            db.worker_ids().collect(),
+            db.vocab().len(),
+        )
     }
 
     /// Builds a training set directly (used by tests and the generative

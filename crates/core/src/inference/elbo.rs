@@ -1,9 +1,8 @@
 //! The evidence lower bound `L'(q)` (paper Section 5.2).
 
-use super::estep::expected_word_ll;
 use super::EStepContext;
 use crate::dataset::TrainingSet;
-use crate::inference::mstep::expected_sq_residual;
+use crate::inference::suffstats::ElboPartials;
 use crate::variational::VariationalState;
 use crowd_math::Vector;
 
@@ -28,64 +27,19 @@ impl ElboBreakdown {
 }
 
 /// Computes the full bound for the current state.
+///
+/// Goes through the fixed-block [`ElboPartials`] gather so the serial bound
+/// is bit-identical to the sharded gather-merge-fold of the same partials
+/// (see `crate::inference::suffstats`).
 pub fn elbo(state: &VariationalState, ts: &TrainingSet, ctx: &EStepContext) -> ElboBreakdown {
-    let k = state.num_categories();
-
-    // −KL(q‖p) for every worker.
-    let mut worker_prior = 0.0;
-    for i in 0..ts.num_workers() {
-        worker_prior -= gaussian_kl(
-            &state.lambda_w[i],
-            &state.nu2_w[i],
-            &ctx.mu_w,
-            &ctx.sigma_w_inv,
-            ctx.log_det_sigma_w,
-        );
-    }
-
-    let mut task_prior = 0.0;
-    let mut words = 0.0;
-    let mut feedback = 0.0;
-    let ln_2pi_tau2 = (2.0 * std::f64::consts::PI * ctx.tau2).ln();
-
-    for (j, task) in ts.tasks().iter().enumerate() {
-        task_prior -= gaussian_kl(
-            &state.lambda_c[j],
-            &state.nu2_c[j],
-            &ctx.mu_c,
-            &ctx.sigma_c_inv,
-            ctx.log_det_sigma_c,
-        );
-
-        words += expected_word_ll(
-            &task.words,
-            task.num_tokens,
-            &state.lambda_c[j],
-            &state.nu2_c[j],
-            state.phi.row(j),
-            state.epsilon[j],
-            &ctx.log_beta,
-            k,
-        );
-
-        for &(i, s) in &task.scores {
-            let resid = expected_sq_residual(
-                s,
-                &state.lambda_w[i],
-                &state.nu2_w[i],
-                &state.lambda_c[j],
-                &state.nu2_c[j],
-            );
-            feedback += -0.5 * ln_2pi_tau2 - resid / (2.0 * ctx.tau2);
-        }
-    }
-
-    ElboBreakdown {
-        worker_prior,
-        task_prior,
-        words,
-        feedback,
-    }
+    ElboPartials::gather(
+        state,
+        ts.tasks(),
+        ctx,
+        0..ts.num_workers(),
+        0..ts.num_tasks(),
+    )
+    .fold()
 }
 
 /// `KL(Normal(λ, diag(ν²)) ‖ Normal(μ, Σ))` given `Σ⁻¹` and `log det Σ`:

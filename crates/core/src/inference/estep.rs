@@ -53,7 +53,6 @@ impl EStepScratch {
 /// (both formulas with empty sums). `scratch` carries the per-worker
 /// accumulators across calls so the loop allocates nothing but the solved
 /// means.
-#[allow(clippy::needless_range_loop)] // indexes address several parallel arrays
 pub fn update_workers(
     state: &mut VariationalState,
     ts: &TrainingSet,
@@ -61,9 +60,48 @@ pub fn update_workers(
     by_worker: &[Vec<(usize, f64)>],
     scratch: &mut EStepScratch,
 ) -> Result<()> {
-    let k = state.num_categories();
+    let n = ts.num_workers();
+    let VariationalState {
+        lambda_w,
+        nu2_w,
+        lambda_c,
+        nu2_c,
+        ..
+    } = state;
+    run_worker_range(
+        0,
+        &mut lambda_w[..n],
+        &mut nu2_w[..n],
+        by_worker,
+        lambda_c,
+        nu2_c,
+        ctx,
+        scratch,
+    )
+}
+
+/// Updates the worker posteriors `start..start + lambda_w.len()`, writing
+/// through the local slices. Each worker reads only the (read-only) task
+/// posteriors and its own row of `by_worker` (indexed globally), so any
+/// partition of the worker axis runs this bit-identically to the full serial
+/// sweep — this is the primitive behind both `update_workers` and the
+/// sharded pooled path in the trainer.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)] // indexes address several parallel arrays
+pub(crate) fn run_worker_range(
+    start: usize,
+    lambda_w: &mut [Vector],
+    nu2_w: &mut [Vector],
+    by_worker: &[Vec<(usize, f64)>],
+    lambda_c: &[Vector],
+    nu2_c: &[Vector],
+    ctx: &EStepContext,
+    scratch: &mut EStepScratch,
+) -> Result<()> {
+    let k = scratch.num_categories();
     let inv_tau2 = 1.0 / ctx.tau2;
-    for i in 0..ts.num_workers() {
+    for local in 0..lambda_w.len() {
+        let i = start + local;
         let jobs = &by_worker[i];
         let precision = &mut scratch.precision;
         let rhs = &mut scratch.rhs;
@@ -72,8 +110,8 @@ pub fn update_workers(
         rhs.copy_from(&ctx.prior_rhs_w)?;
         diag_acc.as_mut_slice().fill(0.0);
         for &(j, s) in jobs {
-            let lc = &state.lambda_c[j];
-            let nc2 = &state.nu2_c[j];
+            let lc = &lambda_c[j];
+            let nc2 = &nu2_c[j];
             precision.add_outer(inv_tau2, lc)?;
             let scaled_nc2 = nc2.map(|x| x * inv_tau2);
             precision.add_diag(&scaled_nc2)?;
@@ -84,9 +122,9 @@ pub fn update_workers(
         }
         let chol = Cholesky::factor_with_jitter(precision, 1e-10, 40)
             .map_err(|e| CoreError::Numerical(format!("worker {i} precision: {e}")))?;
-        state.lambda_w[i] = chol.solve(rhs)?;
+        lambda_w[local] = chol.solve(rhs)?;
         for kk in 0..k {
-            state.nu2_w[i][kk] = 1.0 / (diag_acc[kk] + ctx.sigma_w_inv[(kk, kk)]);
+            nu2_w[local][kk] = 1.0 / (diag_acc[kk] + ctx.sigma_w_inv[(kk, kk)]);
         }
     }
     Ok(())

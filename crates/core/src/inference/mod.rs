@@ -10,6 +10,9 @@
 //! - [`mstep`]: the model-parameter updates (Eqs. 16–21), all closed form.
 //! - [`elbo`]: the evidence lower bound `L'(q)` used as the convergence
 //!   criterion (`L'(q^{(n)}) − L'(q^{(n−1)}) ≤ ε` in Algorithm 2).
+//! - [`suffstats`]: the fixed-block sufficient-statistics scheme every
+//!   global reduction (M-step + ELBO) goes through, which is what keeps the
+//!   sharded fit bit-identical to the serial path for any shard count.
 //!
 //! The paper's appendix derivations contain several typos (dropped
 //! transposes, sign flips); the updates here are re-derived from the CTM
@@ -19,6 +22,7 @@ pub mod elbo;
 pub mod estep;
 pub mod gibbs;
 pub mod mstep;
+pub mod suffstats;
 
 use crate::params::ModelParams;
 use crowd_math::{Cholesky, Matrix, Result as MathResult};

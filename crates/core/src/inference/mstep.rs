@@ -2,10 +2,11 @@
 
 use crate::config::TdpmConfig;
 use crate::dataset::TrainingSet;
+use crate::inference::suffstats::{FirstMoments, SecondMoments};
 use crate::params::ModelParams;
 use crate::variational::VariationalState;
-use crate::Result;
-use crowd_math::{stats, Matrix, Vector};
+use crate::{CoreError, Result};
+use crowd_math::{Matrix, Vector};
 
 /// Recomputes every model parameter from the current variational state.
 ///
@@ -16,6 +17,11 @@ use crowd_math::{stats, Matrix, Vector};
 ///   special case (Section 4.3.1)
 /// - `τ²` = mean expected squared residual over scored pairs (Eq. 20)
 /// - `β_{k,v} ∝ smoothing + Σ_j Σ_p φ_{j,p,k} 1[v_p = v]` (Eq. 21)
+///
+/// Every reduction goes through the fixed-block [`suffstats`] scheme, so the
+/// serial path here is the bit-identity oracle for the sharded fit: sharded
+/// gathers of the same statistics, merged in shard-index order, fold to
+/// exactly these values (see `crate::inference::suffstats`).
 pub fn update_params(
     params: &mut ModelParams,
     state: &VariationalState,
@@ -23,72 +29,64 @@ pub fn update_params(
     cfg: &TdpmConfig,
     update_tau: bool,
 ) -> Result<()> {
-    let k = cfg.num_categories;
-
-    // --- Priors over worker skills (Eqs. 16–17) -----------------------------
-    params.mu_w = stats::mean(&state.lambda_w)?;
-    params.sigma_w = moment_covariance(
-        &state.lambda_w,
-        &state.nu2_w,
+    let workers = 0..state.lambda_w.len();
+    let tasks = 0..state.lambda_c.len();
+    let first = FirstMoments::gather(state, workers.clone(), tasks.clone())?;
+    update_params_first(params, &first)?;
+    let second = SecondMoments::gather(
+        state,
+        ts.tasks(),
         &params.mu_w,
-        cfg.covariance_ridge,
-        cfg.diagonal_covariance,
+        &params.mu_c,
+        ts.vocab_size(),
+        workers,
+        tasks,
     )?;
-    floor_diag(&mut params.sigma_w, cfg.min_prior_var);
+    update_params_second(params, &second, cfg, update_tau)
+}
 
-    // --- Priors over task categories (Eqs. 18–19) ---------------------------
-    if !state.lambda_c.is_empty() {
-        params.mu_c = stats::mean(&state.lambda_c)?;
-        params.sigma_c = moment_covariance(
-            &state.lambda_c,
-            &state.nu2_c,
-            &params.mu_c,
-            cfg.covariance_ridge,
-            cfg.diagonal_covariance,
-        )?;
-        floor_diag(&mut params.sigma_c, cfg.min_prior_var);
+/// First M-step half: prior means from reduced first moments (Eqs. 16, 18).
+/// Split out so the sharded trainer can merge per-shard gathers in between.
+pub(crate) fn update_params_first(params: &mut ModelParams, first: &FirstMoments) -> Result<()> {
+    params.mu_w = first
+        .worker_mean()?
+        .ok_or_else(|| CoreError::Numerical("M-step over an empty worker set".into()))?;
+    if let Some(mu_c) = first.task_mean()? {
+        params.mu_c = mu_c;
+    }
+    Ok(())
+}
+
+/// Second M-step half: covariances, τ² and β from reduced second moments
+/// (Eqs. 17, 19–21), gathered about the means `update_params_first` set.
+pub(crate) fn update_params_second(
+    params: &mut ModelParams,
+    second: &SecondMoments,
+    cfg: &TdpmConfig,
+    update_tau: bool,
+) -> Result<()> {
+    if let Some(mut cov) =
+        second.worker_covariance(cfg.covariance_ridge, cfg.diagonal_covariance)?
+    {
+        floor_diag(&mut cov, cfg.min_prior_var);
+        params.sigma_w = cov;
+    }
+    if let Some(mut cov) = second.task_covariance(cfg.covariance_ridge, cfg.diagonal_covariance)? {
+        floor_diag(&mut cov, cfg.min_prior_var);
+        params.sigma_c = cov;
     }
 
-    // --- Feedback noise τ² (Eq. 20) -----------------------------------------
-    // Held fixed during warm-up (see `TdpmConfig::tau_warmup_iters`).
+    // τ² is held fixed during warm-up (see `TdpmConfig::tau_warmup_iters`).
     if update_tau {
-        let mut sq_sum = 0.0;
-        let mut count = 0usize;
-        for (j, task) in ts.tasks().iter().enumerate() {
-            for &(i, s) in &task.scores {
-                sq_sum += expected_sq_residual(
-                    s,
-                    &state.lambda_w[i],
-                    &state.nu2_w[i],
-                    &state.lambda_c[j],
-                    &state.nu2_c[j],
-                );
-                count += 1;
-            }
-        }
+        let (sq_sum, count) = second.tau_residuals();
         if count > 0 {
             params.tau = (sq_sum / count as f64).max(cfg.min_tau2).sqrt();
         }
     }
 
-    // --- Language model β (Eq. 21) ------------------------------------------
-    let v_size = ts.vocab_size();
-    if v_size > 0 {
-        let mut beta = Matrix::from_fn(k, v_size, |_, _| cfg.beta_smoothing);
-        for (j, task) in ts.tasks().iter().enumerate() {
-            let phi = state.phi.row(j);
-            for (slot, &(v, cnt)) in task.words.iter().enumerate() {
-                for kk in 0..k {
-                    beta[(kk, v)] += cnt as f64 * phi[slot * k + kk];
-                }
-            }
-        }
-        for kk in 0..k {
-            crowd_math::special::normalize_in_place(beta.row_mut(kk));
-        }
+    if let Some(beta) = second.beta(cfg.beta_smoothing)? {
         params.beta = beta;
     }
-
     Ok(())
 }
 
@@ -100,30 +98,6 @@ fn floor_diag(cov: &mut Matrix, floor: f64) {
             cov[(i, i)] = floor;
         }
     }
-}
-
-/// `1/n Σ (diag(ν²) + (λ − μ)(λ − μ)ᵀ) + ridge·I`, optionally diagonalized.
-fn moment_covariance(
-    means: &[Vector],
-    variances: &[Vector],
-    mu: &Vector,
-    ridge: f64,
-    diagonal: bool,
-) -> Result<Matrix> {
-    let mut cov = stats::covariance_about(means, mu)?;
-    let n = means.len() as f64;
-    let mut mean_var = Vector::zeros(mu.len());
-    for v in variances {
-        mean_var.add_assign(v)?;
-    }
-    mean_var.scale(1.0 / n);
-    cov.add_diag(&mean_var)?;
-    cov.add_ridge(ridge);
-    if diagonal {
-        let d = cov.diag();
-        cov = Matrix::from_diag(&d);
-    }
-    Ok(cov)
 }
 
 /// `E_q[(s − wᵀc)²]` for one scored pair — the expectation in Eq. 20:

@@ -2,20 +2,23 @@
 
 use crate::config::TdpmConfig;
 use crate::dataset::TrainingSet;
-use crate::inference::elbo::elbo;
+use crate::inference::elbo::{elbo, ElboBreakdown};
 use crate::inference::estep::{
-    update_task, update_workers, EStepScratch, TaskFeedbackStats, TaskPosterior, TaskUpdate,
+    run_worker_range, update_task, update_workers, EStepScratch, TaskFeedbackStats, TaskPosterior,
+    TaskUpdate,
 };
-use crate::inference::mstep::update_params;
+use crate::inference::mstep::{update_params, update_params_first, update_params_second};
+use crate::inference::suffstats::{ElboPartials, FirstMoments, SecondMoments, ShardPlan};
 use crate::inference::EStepContext;
 use crate::model::TdpmModel;
 use crate::params::ModelParams;
 use crate::variational::{PhiRowAccess, VariationalState};
 use crate::{CoreError, Result};
 use crowd_math::{Matrix, Validate, Vector};
-use crowd_store::CrowdDb;
+use crowd_store::{CrowdDb, ShardedDb};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Diagnostics from a training run.
@@ -70,6 +73,31 @@ fn run_task_range<P: PhiRowAccess>(
     Ok(())
 }
 
+/// Per-shard work ranges, each split into up to `threads` contiguous
+/// subchunks — the unit of pooled work for both E-step halves. With one
+/// shard this degenerates to the plain `n.div_ceil(threads)` chunking the
+/// pooled path has always used.
+fn shard_chunks(
+    plan: &ShardPlan,
+    range_of: impl Fn(usize) -> Range<usize>,
+    threads: usize,
+) -> Vec<Range<usize>> {
+    let mut ranges = Vec::new();
+    for s in 0..plan.num_shards() {
+        let r = range_of(s);
+        if r.is_empty() {
+            continue;
+        }
+        let chunk = r.len().div_ceil(threads.max(1));
+        let mut start = r.start;
+        while start < r.end {
+            ranges.push(start..(start + chunk).min(r.end));
+            start += chunk;
+        }
+    }
+    ranges
+}
+
 /// Runs the task E-step over every task, inline or chunked across the
 /// persistent [`crowd_math::ScoringPool`].
 ///
@@ -79,16 +107,18 @@ fn run_task_range<P: PhiRowAccess>(
 /// The read-only worker side rides along as `Arc` snapshots. The copies are
 /// O(state) per iteration — noise against the E-step's per-task solves —
 /// and the updates themselves are [`run_task_range`] in both paths, so
-/// pooled results are bit-identical to sequential ones.
+/// pooled results are bit-identical to sequential ones for any shard or
+/// thread count (task posteriors are mutually independent).
 fn update_all_tasks(
     ts: &TrainingSet,
     state: &mut VariationalState,
     ctx: &Arc<EStepContext>,
     config: &TdpmConfig,
+    plan: &ShardPlan,
 ) -> Result<()> {
     let threads = config.num_threads.max(1).min(ts.num_tasks().max(1));
 
-    if threads <= 1 {
+    if plan.num_shards() <= 1 && threads <= 1 {
         let mut phi = state.phi.rows_mut();
         return run_task_range(
             ts.tasks(),
@@ -103,8 +133,6 @@ fn update_all_tasks(
         );
     }
 
-    let n = ts.num_tasks();
-    let chunk = n.div_ceil(threads);
     let tasks = ts.tasks_shared();
     let lambda_w = Arc::new(state.lambda_w.clone());
     let nu2_w = Arc::new(state.nu2_w.clone());
@@ -118,10 +146,10 @@ fn update_all_tasks(
         Result<()>,
     );
     let mut starts = Vec::new();
-    let jobs: Vec<_> = (0..n)
-        .step_by(chunk)
-        .map(|start| {
-            let end = (start + chunk).min(n);
+    let jobs: Vec<_> = shard_chunks(plan, |s| plan.task_range(s), threads)
+        .into_iter()
+        .map(|r| {
+            let (start, end) = (r.start, r.end);
             starts.push(start);
             let lc: Vec<Vector> = state.lambda_c[start..end].to_vec();
             let nc: Vec<Vector> = state.nu2_c[start..end].to_vec();
@@ -179,6 +207,146 @@ fn update_all_tasks(
     }
 }
 
+/// Runs the worker E-step chunked across the persistent scoring pool.
+///
+/// Same owned-copy round-trip scheme as [`update_all_tasks`]: each chunk
+/// copies its `λ_w` / `ν_w²` rows out, updates them with
+/// [`run_worker_range`] against `Arc` snapshots of the (read-only) task
+/// posteriors, and is written back in chunk order with first-error
+/// propagation. Worker posteriors are mutually independent given the task
+/// posteriors, so results are bit-identical to the serial sweep for any
+/// shard or thread count.
+fn update_workers_pooled(
+    state: &mut VariationalState,
+    ctx: &Arc<EStepContext>,
+    by_worker: &Arc<Vec<Vec<(usize, f64)>>>,
+    config: &TdpmConfig,
+    plan: &ShardPlan,
+) -> Result<()> {
+    let k = config.num_categories;
+    let threads = config.num_threads.max(1).min(state.lambda_w.len().max(1));
+    let lambda_c = Arc::new(state.lambda_c.clone());
+    let nu2_c = Arc::new(state.nu2_c.clone());
+
+    type WorkerOut = (Vec<Vector>, Vec<Vector>, Result<()>);
+    let mut starts = Vec::new();
+    let jobs: Vec<_> = shard_chunks(plan, |s| plan.worker_range(s), threads)
+        .into_iter()
+        .map(|r| {
+            starts.push(r.start);
+            let lw: Vec<Vector> = state.lambda_w[r.clone()].to_vec();
+            let nw: Vec<Vector> = state.nu2_w[r.clone()].to_vec();
+            let by_worker = Arc::clone(by_worker);
+            let lambda_c = Arc::clone(&lambda_c);
+            let nu2_c = Arc::clone(&nu2_c);
+            let ctx = Arc::clone(ctx);
+            move || -> WorkerOut {
+                let (mut lw, mut nw) = (lw, nw);
+                let mut scratch = EStepScratch::new(k);
+                let outcome = run_worker_range(
+                    r.start,
+                    &mut lw,
+                    &mut nw,
+                    &by_worker,
+                    &lambda_c,
+                    &nu2_c,
+                    &ctx,
+                    &mut scratch,
+                );
+                (lw, nw, outcome)
+            }
+        })
+        .collect();
+
+    let mut first_err: Option<CoreError> = None;
+    for (start, (lw, nw, outcome)) in starts
+        .into_iter()
+        .zip(crowd_math::ScoringPool::global().run(jobs))
+    {
+        for (off, v) in lw.into_iter().enumerate() {
+            state.lambda_w[start + off] = v;
+        }
+        for (off, v) in nw.into_iter().enumerate() {
+            state.nu2_w[start + off] = v;
+        }
+        if let (Err(e), None) = (outcome, &first_err) {
+            first_err = Some(e);
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Gathers the ELBO's block partials per shard on the pool and folds the
+/// merged list — bit-identical to the serial [`elbo`] because both reduce
+/// the same fixed-block partials in the same global order.
+fn elbo_sharded(
+    snapshot: &Arc<VariationalState>,
+    tasks: &Arc<Vec<crate::dataset::TaskData>>,
+    ctx: &Arc<EStepContext>,
+    plan: &ShardPlan,
+) -> ElboBreakdown {
+    let jobs: Vec<_> = (0..plan.num_shards())
+        .map(|s| {
+            let (wr, tr) = (plan.worker_range(s), plan.task_range(s));
+            let state = Arc::clone(snapshot);
+            let tasks = Arc::clone(tasks);
+            let ctx = Arc::clone(ctx);
+            move || ElboPartials::gather(&state, &tasks, &ctx, wr, tr)
+        })
+        .collect();
+    ElboPartials::merge(crowd_math::ScoringPool::global().run(jobs)).fold()
+}
+
+/// The sharded M-step: every shard gathers its fixed-block sufficient
+/// statistics on the pool, the merged (shard-index-ordered) partials fold
+/// to the same reductions [`update_params`] computes serially. Two rounds —
+/// first moments fix the means the second moments are gathered about.
+fn update_params_sharded(
+    params: &mut ModelParams,
+    snapshot: &Arc<VariationalState>,
+    tasks: &Arc<Vec<crate::dataset::TaskData>>,
+    vocab_size: usize,
+    plan: &ShardPlan,
+    cfg: &TdpmConfig,
+    update_tau: bool,
+) -> Result<()> {
+    let first_jobs: Vec<_> = (0..plan.num_shards())
+        .map(|s| {
+            let (wr, tr) = (plan.worker_range(s), plan.task_range(s));
+            let state = Arc::clone(snapshot);
+            move || FirstMoments::gather(&state, wr, tr)
+        })
+        .collect();
+    let parts: Result<Vec<FirstMoments>> = crowd_math::ScoringPool::global()
+        .run(first_jobs)
+        .into_iter()
+        .collect();
+    let first = FirstMoments::merge(parts?);
+    update_params_first(params, &first)?;
+
+    let mu_w = Arc::new(params.mu_w.clone());
+    let mu_c = Arc::new(params.mu_c.clone());
+    let second_jobs: Vec<_> = (0..plan.num_shards())
+        .map(|s| {
+            let (wr, tr) = (plan.worker_range(s), plan.task_range(s));
+            let state = Arc::clone(snapshot);
+            let tasks = Arc::clone(tasks);
+            let mu_w = Arc::clone(&mu_w);
+            let mu_c = Arc::clone(&mu_c);
+            move || SecondMoments::gather(&state, &tasks, &mu_w, &mu_c, vocab_size, wr, tr)
+        })
+        .collect();
+    let parts: Result<Vec<SecondMoments>> = crowd_math::ScoringPool::global()
+        .run(second_jobs)
+        .into_iter()
+        .collect();
+    let second = SecondMoments::merge(parts?);
+    update_params_second(params, &second, cfg, update_tau)
+}
+
 /// Fits TDPM models by variational EM.
 #[derive(Debug, Clone)]
 pub struct TdpmTrainer {
@@ -214,6 +382,30 @@ impl TdpmTrainer {
         self.fit_training_set(&ts).map(|(m, _)| m)
     }
 
+    /// Fits a model on a sharded store, returning diagnostics.
+    ///
+    /// The fit plan mirrors the store's partitioning: unless the
+    /// configuration explicitly asks for a different shard count
+    /// (`num_shards > 1`), the E-step/M-step run with one plan shard per
+    /// store shard. Either way the result is bit-identical to an unsharded
+    /// fit of the same data — [`crowd_store::ShardedDb::resolved_tasks`] is
+    /// shard-count invariant and the reduction scheme is fixed-block
+    /// (DESIGN §11).
+    pub fn fit_sharded(&self, db: &ShardedDb) -> Result<(TdpmModel, FitReport)> {
+        let ts = TrainingSet::from_sharded(db);
+        if self.config.num_shards > 1 {
+            return self.fit_training_set(&ts);
+        }
+        let trainer = TdpmTrainer {
+            config: TdpmConfig {
+                num_shards: db.num_shards(),
+                ..self.config.clone()
+            },
+            obs: self.obs.clone(),
+        };
+        trainer.fit_training_set(&ts)
+    }
+
     /// Fits a model on a prepared training set, returning diagnostics.
     pub fn fit_training_set(&self, ts: &TrainingSet) -> Result<(TdpmModel, FitReport)> {
         self.config.validate()?;
@@ -224,13 +416,22 @@ impl TdpmTrainer {
 
         let mut params = self.initial_params(ts);
         let mut state = VariationalState::init(ts, k, self.config.seed);
-        let by_worker = ts.scores_by_worker();
+        let by_worker = Arc::new(ts.scores_by_worker());
+
+        // The shard plan cuts both entity axes into block-aligned contiguous
+        // ranges; every phase below is driven off it, and the fixed-block
+        // sufficient-statistics scheme keeps the fit bit-identical to the
+        // serial unsharded path for every shard count (DESIGN §11).
+        let shards = self.config.num_shards.max(1);
+        let plan = ShardPlan::new(ts.num_workers(), ts.num_tasks(), shards);
+        let sharded = plan.num_shards() > 1;
+        let tasks_shared = ts.tasks_shared();
 
         let mut trace = Vec::with_capacity(self.config.max_em_iters);
         let mut converged = false;
         let mut iterations = 0;
-        // One scratch for the whole EM run: the worker E-step resets it per
-        // worker instead of cloning fresh precision/RHS buffers each time.
+        // One scratch for the whole EM run: the serial worker E-step resets
+        // it per worker instead of cloning fresh precision/RHS buffers.
         let mut scratch = EStepScratch::new(k);
 
         let m = &self.obs.metrics;
@@ -241,6 +442,7 @@ impl TdpmTrainer {
         let validations = m.counter("validate", "checks");
         let estep_worker_secs = m.histogram("trainer", "estep_worker_seconds");
         let mstep_secs = m.histogram("trainer", "mstep_seconds");
+        let rss_gauge = m.gauge("trainer", "peak_rss_bytes");
 
         for _ in 0..self.config.max_em_iters {
             iterations += 1;
@@ -251,7 +453,7 @@ impl TdpmTrainer {
             // symmetry breaker that pulls each task's category toward the
             // workers who scored well on it.
             let t0 = std::time::Instant::now();
-            update_all_tasks(ts, &mut state, &ctx, &self.config)?;
+            update_all_tasks(ts, &mut state, &ctx, &self.config, &plan)?;
             estep_task_secs.observe_duration(t0.elapsed());
             crate::validate::run(&validations, "E-step (task posteriors)", || {
                 Validate::validate(&state)
@@ -259,13 +461,24 @@ impl TdpmTrainer {
 
             // E-step (b): worker posteriors, Eqs. 10–11.
             let t1 = std::time::Instant::now();
-            update_workers(&mut state, ts, &ctx, &by_worker, &mut scratch)?;
+            if sharded || self.config.num_threads > 1 {
+                update_workers_pooled(&mut state, &ctx, &by_worker, &self.config, &plan)?;
+            } else {
+                update_workers(&mut state, ts, &ctx, &by_worker, &mut scratch)?;
+            }
             estep_worker_secs.observe_duration(t1.elapsed());
             crate::validate::run(&validations, "E-step (worker posteriors)", || {
                 Validate::validate(&state)
             });
 
-            let bound = elbo(&state, ts, &ctx).total();
+            // One shared read-only snapshot serves the sharded ELBO gather
+            // and both M-step rounds this epoch.
+            let snapshot = sharded.then(|| Arc::new(state.clone()));
+
+            let bound = match &snapshot {
+                Some(snap) => elbo_sharded(snap, &tasks_shared, &ctx, &plan).total(),
+                None => elbo(&state, ts, &ctx).total(),
+            };
             let improved = trace
                 .last()
                 .map(|&prev: &f64| {
@@ -278,7 +491,18 @@ impl TdpmTrainer {
             // M-step: Eqs. 16–21 (τ held during warm-up).
             let update_tau = iterations > self.config.tau_warmup_iters;
             let t2 = std::time::Instant::now();
-            update_params(&mut params, &state, ts, &self.config, update_tau)?;
+            match &snapshot {
+                Some(snap) => update_params_sharded(
+                    &mut params,
+                    snap,
+                    &tasks_shared,
+                    ts.vocab_size(),
+                    &plan,
+                    &self.config,
+                    update_tau,
+                )?,
+                None => update_params(&mut params, &state, ts, &self.config, update_tau)?,
+            }
             mstep_secs.observe_duration(t2.elapsed());
             crate::validate::run(&validations, "M-step (model parameters)", || {
                 Validate::validate(&params)
@@ -286,6 +510,9 @@ impl TdpmTrainer {
 
             epochs.inc();
             elbo_gauge.set(bound);
+            if let Some(bytes) = crowd_obs::peak_rss_bytes() {
+                rss_gauge.set(bytes as f64);
+            }
             if improved.is_finite() {
                 delta_gauge.set(improved);
             }

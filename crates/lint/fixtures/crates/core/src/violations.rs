@@ -36,6 +36,11 @@ pub struct SeededSnapshot {
     counters: HashMap<String, u64>,
 }
 
+fn merge_seeded_shards(per_shard: HashMap<usize, f64>) -> f64 {
+    // rule: ordered-shard-merge (hash order feeding a cross-shard sum)
+    per_shard.values().sum()
+}
+
 fn seeded_truncation(n: u64) -> u32 {
     // rule: no-silent-truncation
     n as u32

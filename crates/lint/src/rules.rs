@@ -43,6 +43,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoPerCallThreadSpawn),
         Box::new(NoPartialCmpUnwrap),
         Box::new(DeterministicSnapshotMaps),
+        Box::new(OrderedShardMerge),
         Box::new(NoSilentTruncation),
         Box::new(PubFnPanicsDocumented),
     ]
@@ -278,6 +279,59 @@ impl Rule for DeterministicSnapshotMaps {
                             "`HashMap` inside {what}: its iteration order is random per \
                              process — use `BTreeMap` or sort before emitting"
                         ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `ordered-shard-merge`: shard merge paths must reduce per-shard state in
+/// fixed shard-index order. The fit's bit-identity argument (DESIGN §11)
+/// rests on every cross-shard sum being a left-to-right fold over
+/// shard-indexed `Vec`s; a `HashMap`/`HashSet` inside a merge/reduce/fold
+/// function that touches shards re-orders the reduction at random per
+/// process and silently breaks `fit(N shards) == fit(serial)`.
+#[derive(Debug)]
+pub struct OrderedShardMerge;
+
+/// Declaration substrings that put a function on the merge path.
+const MERGE_FN_PATTERNS: &[&str] = &["fn merge", "fn reduce", "fn fold", "fn resolved"];
+
+impl Rule for OrderedShardMerge {
+    fn name(&self) -> &'static str {
+        "ordered-shard-merge"
+    }
+    fn describe(&self) -> &'static str {
+        "shard merge/reduce paths must fold Vec-indexed partials in shard order, not hash order"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let regions =
+            file.item_blocks_after(|code| MERGE_FN_PATTERNS.iter().any(|pat| code.contains(pat)));
+        for (start, end) in regions {
+            let end = end.min(file.lines.len().saturating_sub(1));
+            // Only merge paths that actually touch shards are in scope —
+            // `BagOfWords::merge` and friends order nothing across shards.
+            let touches_shards = (start..=end).any(|i| {
+                file.lines[i].code.contains("shard") || file.lines[i].code.contains("Shard")
+            });
+            if !touches_shards {
+                continue;
+            }
+            for i in start..=end {
+                let line = &file.lines[i];
+                if line.in_test {
+                    continue;
+                }
+                if line.code.contains("HashMap") || line.code.contains("HashSet") {
+                    out.push(diag(
+                        self.name(),
+                        file,
+                        i,
+                        "hash collection on a shard merge path: per-shard partials must \
+                         live in `Vec`s indexed by shard and fold in shard-index order, \
+                         or the fitted model stops being bit-identical across shard counts"
+                            .to_string(),
                     ));
                 }
             }

@@ -20,12 +20,14 @@
 //!   so observability is strictly opt-in and costs nothing when off.
 
 pub mod metrics;
+pub mod rss;
 pub mod trace;
 
 pub use metrics::{
     default_latency_buckets, Bucket, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram,
     HistogramSnapshot, MetricsSnapshot, Registry,
 };
+pub use rss::peak_rss_bytes;
 pub use trace::{FieldValue, JsonlSink, MemorySink, NoopSink, Span, TraceEvent, TraceSink, Tracer};
 
 use std::sync::Arc;

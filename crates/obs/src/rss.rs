@@ -1,0 +1,53 @@
+//! Process peak-RSS probe.
+//!
+//! Reads `VmHWM` (the high-water mark of the resident set) from
+//! `/proc/self/status` — the same procfs surface the pool lifecycle stress
+//! tests use for their `Threads:` probe. The trainer stamps this into a
+//! `trainer/peak_rss_bytes` gauge once per fit epoch, and the `fit_smoke`
+//! bench gates the million-worker tier on it (DESIGN §11).
+
+/// Peak resident set size of the current process in bytes, or `None` where
+/// `/proc/self/status` is unavailable (non-Linux hosts) or unparseable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            // Format: "VmHWM:    123456 kB".
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_reports_a_sane_peak_on_linux() {
+        // A running test process has touched at least a few hundred KiB and
+        // far less than a few TiB; anything outside that means we parsed the
+        // wrong field.
+        let Some(bytes) = peak_rss_bytes() else {
+            return; // non-Linux host: probe is allowed to be absent
+        };
+        assert!(bytes > 100 * 1024, "peak RSS {bytes} implausibly small");
+        assert!(
+            bytes < 4 * 1024 * 1024 * 1024 * 1024u64,
+            "peak RSS {bytes} implausibly large"
+        );
+    }
+
+    #[test]
+    fn peak_is_monotone_across_an_allocation() {
+        let Some(before) = peak_rss_bytes() else {
+            return;
+        };
+        // Touch 8 MiB so the high-water mark cannot be below it afterwards.
+        let block = vec![1u8; 8 * 1024 * 1024];
+        std::hint::black_box(&block);
+        let after = peak_rss_bytes().unwrap();
+        assert!(after >= before, "VmHWM went backwards: {before} → {after}");
+    }
+}

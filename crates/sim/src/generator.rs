@@ -42,6 +42,112 @@ fn dense_term_id(v: usize) -> TermId {
     TermId(v as u32)
 }
 
+/// One answered slot of a streamed task: the answerer's pool index, the
+/// platform feedback score, and (Yahoo! only) the simulated answer bag.
+#[derive(Debug, Clone)]
+pub struct AnswerEvent {
+    /// Dense pool index of the answering worker.
+    pub worker: usize,
+    /// Platform feedback score `s_ij` (thumbs count or Jaccard similarity).
+    pub score: f64,
+    /// Simulated answer text bag, where the platform records answers.
+    pub answer: Option<BagOfWords>,
+}
+
+/// One fully-drawn task from [`PlatformGenerator::stream_assignments`]:
+/// everything a store needs to materialize the task, its assignments and
+/// its feedback, with no reference back to the stream.
+#[derive(Debug, Clone)]
+pub struct TaskEvent {
+    /// Task text (tokens joined in draw order).
+    pub text: String,
+    /// Bag of words over the dense topic vocabulary (term index == TermId).
+    pub bow: BagOfWords,
+    /// Planted category mixture (ground truth for evaluation).
+    pub mixture: Vec<f64>,
+    /// Answerers in platform order, each with its feedback score.
+    pub answers: Vec<AnswerEvent>,
+}
+
+/// Streaming assignment generation: one [`TaskEvent`] per `next()`, drawn
+/// from the identical RNG sequence the eager pipeline uses — so consuming
+/// the stream into a store reproduces [`PlatformGenerator::generate`]
+/// byte for byte (pinned by `stream_matches_eager_generation`). Memory is
+/// O(one task), which is what lets the million-worker tier run without
+/// materializing a [`GeneratedPlatform`].
+#[derive(Debug)]
+pub struct AssignmentStream<'a> {
+    config: &'a SimConfig,
+    topics: &'a TopicSpace,
+    pool: &'a WorkerPool,
+    rng: StdRng,
+    token_dist: Poisson,
+    answer_dist: Poisson,
+    noise: Normal,
+    remaining: usize,
+}
+
+impl AssignmentStream<'_> {
+    fn draw_task(&mut self) -> TaskEvent {
+        let cfg = self.config;
+        let mixture = self.topics.sample_mixture(0.85, &mut self.rng);
+        let num_tokens = (self.token_dist.sample(&mut self.rng) as usize).max(3);
+        let (text, bow) = draw_task_content(self.topics, &mixture, num_tokens, &mut self.rng);
+
+        let num_answerers =
+            (self.answer_dist.sample(&mut self.rng) as usize + 1).min(cfg.num_workers);
+        let answerers = self.pool.sample_answerers(
+            &mixture,
+            num_answerers,
+            cfg.affinity_strength,
+            &mut self.rng,
+        );
+
+        // True qualities with observation noise.
+        let qualities: Vec<f64> = answerers
+            .iter()
+            .map(|&i| self.pool.quality(i, &mixture) + self.noise.sample(&mut self.rng))
+            .collect();
+
+        let answers = match cfg.kind {
+            PlatformKind::Quora | PlatformKind::StackOverflow => {
+                draw_thumbs_feedback(&answerers, &qualities, &mut self.rng)
+            }
+            PlatformKind::Yahoo => draw_best_answer_feedback(
+                self.topics,
+                &mixture,
+                &answerers,
+                &qualities,
+                &mut self.rng,
+            ),
+        };
+        TaskEvent {
+            text,
+            bow,
+            mixture,
+            answers,
+        }
+    }
+}
+
+impl Iterator for AssignmentStream<'_> {
+    type Item = TaskEvent;
+
+    fn next(&mut self) -> Option<TaskEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.draw_task())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for AssignmentStream<'_> {}
+
 /// Generates platforms from [`SimConfig`]s.
 #[derive(Debug, Clone)]
 pub struct PlatformGenerator {
@@ -60,7 +166,62 @@ impl PlatformGenerator {
         PlatformGenerator { config }
     }
 
-    /// Runs the full generation pipeline.
+    /// The planted topic space this generator's seed implies.
+    pub fn topic_space(&self) -> TopicSpace {
+        let cfg = &self.config;
+        TopicSpace::generate(
+            cfg.num_categories,
+            cfg.vocab_size,
+            0.9,
+            cfg.seed ^ 0xA5A5_5A5A,
+        )
+    }
+
+    /// The planted worker pool this generator's seed implies.
+    pub fn worker_pool(&self) -> WorkerPool {
+        let cfg = &self.config;
+        WorkerPool::generate(
+            cfg.num_workers,
+            cfg.num_categories,
+            cfg.activity_exponent,
+            cfg.seed ^ 0x0F0F_F0F0,
+        )
+    }
+
+    /// Streams the platform one task at a time (chunked generation).
+    ///
+    /// The stream draws from the identical seeded RNG sequence as
+    /// [`PlatformGenerator::generate`], so feeding its events into a store
+    /// in order rebuilds the exact same platform; unlike `generate` it
+    /// retains nothing between tasks. `topics` and `pool` come from
+    /// [`PlatformGenerator::topic_space`] / [`PlatformGenerator::worker_pool`]
+    /// (kept caller-owned so one pair can serve several streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured token/answer rates are not valid Poisson
+    /// parameters (zero or negative) — the same bounds `generate` requires.
+    pub fn stream_assignments<'a>(
+        &'a self,
+        topics: &'a TopicSpace,
+        pool: &'a WorkerPool,
+    ) -> AssignmentStream<'a> {
+        let cfg = &self.config;
+        AssignmentStream {
+            config: cfg,
+            topics,
+            pool,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            token_dist: Poisson::new(cfg.tokens_per_task).expect("positive mean"),
+            answer_dist: Poisson::new((cfg.avg_answers_per_task - 1.0).max(0.05))
+                .expect("positive mean"),
+            noise: Normal::new(0.0, cfg.quality_noise.max(1e-9)).expect("valid parameters"),
+            remaining: cfg.num_tasks,
+        }
+    }
+
+    /// Runs the full generation pipeline by consuming
+    /// [`PlatformGenerator::stream_assignments`] into a fresh [`CrowdDb`].
     ///
     /// # Panics
     ///
@@ -68,19 +229,8 @@ impl PlatformGenerator {
     /// ids always fit `u32`; the config was validated in [`Self::new`]).
     pub fn generate(&self) -> GeneratedPlatform {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let topics = TopicSpace::generate(
-            cfg.num_categories,
-            cfg.vocab_size,
-            0.9,
-            cfg.seed ^ 0xA5A5_5A5A,
-        );
-        let pool = WorkerPool::generate(
-            cfg.num_workers,
-            cfg.num_categories,
-            cfg.activity_exponent,
-            cfg.seed ^ 0x0F0F_F0F0,
-        );
+        let topics = self.topic_space();
+        let pool = self.worker_pool();
 
         let mut db = CrowdDb::new();
         // Intern the full vocabulary up front so term index == TermId.
@@ -91,45 +241,10 @@ impl PlatformGenerator {
             .map(|i| db.add_worker(format!("worker{i:05}")))
             .collect();
 
-        let token_dist = Poisson::new(cfg.tokens_per_task).expect("positive mean");
-        let answer_dist =
-            Poisson::new((cfg.avg_answers_per_task - 1.0).max(0.05)).expect("positive mean");
-        let noise = Normal::new(0.0, cfg.quality_noise.max(1e-9)).expect("valid parameters");
-
         let mut true_mixtures = Vec::with_capacity(cfg.num_tasks);
-        for _ in 0..cfg.num_tasks {
-            let mixture = topics.sample_mixture(0.85, &mut rng);
-            let num_tokens = (token_dist.sample(&mut rng) as usize).max(3);
-            let task_id = self.emit_task(&mut db, &topics, &mixture, num_tokens, &mut rng);
-
-            let num_answerers = (answer_dist.sample(&mut rng) as usize + 1).min(cfg.num_workers);
-            let answerers =
-                pool.sample_answerers(&mixture, num_answerers, cfg.affinity_strength, &mut rng);
-
-            // True qualities with observation noise.
-            let qualities: Vec<f64> = answerers
-                .iter()
-                .map(|&i| pool.quality(i, &mixture) + noise.sample(&mut rng))
-                .collect();
-
-            for &i in &answerers {
-                db.assign(workers[i], task_id).expect("fresh assignment");
-            }
-
-            match cfg.kind {
-                PlatformKind::Quora | PlatformKind::StackOverflow => {
-                    self.emit_thumbs_feedback(
-                        &mut db, task_id, &answerers, &qualities, &workers, &mut rng,
-                    );
-                }
-                PlatformKind::Yahoo => {
-                    self.emit_best_answer_feedback(
-                        &mut db, &topics, &mixture, task_id, &answerers, &qualities, &workers,
-                        &mut rng,
-                    );
-                }
-            }
-            true_mixtures.push(mixture);
+        for event in self.stream_assignments(&topics, &pool) {
+            apply_task_event(&mut db, &workers, &event);
+            true_mixtures.push(event.mixture);
         }
 
         let true_skills = (0..cfg.num_workers)
@@ -142,121 +257,148 @@ impl PlatformGenerator {
             true_mixtures,
         }
     }
+}
 
-    fn emit_task(
-        &self,
-        db: &mut CrowdDb,
-        topics: &TopicSpace,
-        mixture: &[f64],
-        num_tokens: usize,
-        rng: &mut StdRng,
-    ) -> TaskId {
-        let mut counts = vec![0u32; topics.vocab_size()];
-        let mut token_order = Vec::with_capacity(num_tokens);
-        for _ in 0..num_tokens {
-            let v = topics.sample_term(mixture, rng);
-            counts[v] += 1;
-            token_order.push(v);
-        }
-        let text = token_order
-            .iter()
-            .map(|&v| topics.vocab()[v].as_str())
-            .collect::<Vec<_>>()
-            .join(" ");
-        let bow = BagOfWords::from_counts(
-            counts
-                .iter()
-                .enumerate()
-                .filter(|&(_, &c)| c > 0)
-                .map(|(v, &c)| (dense_term_id(v), c))
-                .collect(),
-        );
-        db.add_task_raw(text, bow)
+/// Materializes one streamed task into a [`CrowdDb`]: the task row, every
+/// assignment, then answers + feedback in platform order.
+///
+/// # Panics
+///
+/// Panics if an event references a worker outside `workers` or replays an
+/// assignment the store already holds — both impossible for events drawn
+/// from the stream that `workers` was registered for.
+pub fn apply_task_event(db: &mut CrowdDb, workers: &[WorkerId], event: &TaskEvent) -> TaskId {
+    let task_id = db.add_task_raw(event.text.clone(), event.bow.clone());
+    for a in &event.answers {
+        db.assign(workers[a.worker], task_id)
+            .expect("fresh assignment");
     }
+    for a in &event.answers {
+        if let Some(bag) = &a.answer {
+            db.record_answer_bow(workers[a.worker], task_id, bag.clone())
+                .expect("assigned");
+        }
+        db.record_feedback(workers[a.worker], task_id, a.score)
+            .expect("assigned");
+    }
+    task_id
+}
 
-    /// Quora / Stack Overflow: thumbs-up counts, Poisson around a softplus of
-    /// the answer quality (good answers attract votes, bad ones get none).
-    fn emit_thumbs_feedback(
-        &self,
-        db: &mut CrowdDb,
-        task: TaskId,
-        answerers: &[usize],
-        qualities: &[f64],
-        workers: &[WorkerId],
-        rng: &mut StdRng,
-    ) {
-        for (&i, &q) in answerers.iter().zip(qualities) {
+/// Draws a task's token sequence: text in draw order plus its bag of words.
+fn draw_task_content(
+    topics: &TopicSpace,
+    mixture: &[f64],
+    num_tokens: usize,
+    rng: &mut StdRng,
+) -> (String, BagOfWords) {
+    let mut counts = vec![0u32; topics.vocab_size()];
+    let mut token_order = Vec::with_capacity(num_tokens);
+    for _ in 0..num_tokens {
+        let v = topics.sample_term(mixture, rng);
+        counts[v] += 1;
+        token_order.push(v);
+    }
+    let text = token_order
+        .iter()
+        .map(|&v| topics.vocab()[v].as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let bow = BagOfWords::from_counts(
+        counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| (dense_term_id(v), c))
+            .collect(),
+    );
+    (text, bow)
+}
+
+/// Quora / Stack Overflow: thumbs-up counts, Poisson around a softplus of
+/// the answer quality (good answers attract votes, bad ones get none).
+fn draw_thumbs_feedback(
+    answerers: &[usize],
+    qualities: &[f64],
+    rng: &mut StdRng,
+) -> Vec<AnswerEvent> {
+    answerers
+        .iter()
+        .zip(qualities)
+        .map(|(&i, &q)| {
             let rate = THUMBS_RATE * softplus(q);
             let votes = if rate > 0.0 {
                 Poisson::new(rate).map(|d| d.sample(rng)).unwrap_or(0.0)
             } else {
                 0.0
             };
-            db.record_feedback(workers[i], task, votes)
-                .expect("assigned");
-        }
-    }
+            AnswerEvent {
+                worker: i,
+                score: votes,
+                answer: None,
+            }
+        })
+        .collect()
+}
 
-    /// Yahoo! Answers: the asker marks the highest-quality answer as best
-    /// (score 1.0); every other answer scores its Jaccard similarity to the
-    /// best answer (paper Section 4.1.5).
-    #[allow(clippy::too_many_arguments)]
-    fn emit_best_answer_feedback(
-        &self,
-        db: &mut CrowdDb,
-        topics: &TopicSpace,
-        mixture: &[f64],
-        task: TaskId,
-        answerers: &[usize],
-        qualities: &[f64],
-        workers: &[WorkerId],
-        rng: &mut StdRng,
-    ) {
-        // Simulate answer texts: high-quality answers stay on topic, low
-        // quality answers drift to random vocabulary.
-        let answer_bags: Vec<BagOfWords> = qualities
-            .iter()
-            .map(|&q| {
-                let fidelity = sigmoid(FIDELITY_SLOPE * (q - FIDELITY_MIDPOINT));
-                let mut counts = vec![0u32; topics.vocab_size()];
-                for _ in 0..ANSWER_TOKENS {
-                    let v = if rng.random::<f64>() < fidelity {
-                        topics.sample_term(mixture, rng)
-                    } else {
-                        rng.random_range(0..topics.vocab_size())
-                    };
-                    counts[v] += 1;
-                }
-                BagOfWords::from_counts(
-                    counts
-                        .iter()
-                        .enumerate()
-                        .filter(|&(_, &c)| c > 0)
-                        .map(|(v, &c)| (dense_term_id(v), c))
-                        .collect(),
-                )
-            })
-            .collect();
+/// Yahoo! Answers: the asker marks the highest-quality answer as best
+/// (score 1.0); every other answer scores its Jaccard similarity to the
+/// best answer (paper Section 4.1.5).
+fn draw_best_answer_feedback(
+    topics: &TopicSpace,
+    mixture: &[f64],
+    answerers: &[usize],
+    qualities: &[f64],
+    rng: &mut StdRng,
+) -> Vec<AnswerEvent> {
+    // Simulate answer texts: high-quality answers stay on topic, low
+    // quality answers drift to random vocabulary.
+    let answer_bags: Vec<BagOfWords> = qualities
+        .iter()
+        .map(|&q| {
+            let fidelity = sigmoid(FIDELITY_SLOPE * (q - FIDELITY_MIDPOINT));
+            let mut counts = vec![0u32; topics.vocab_size()];
+            for _ in 0..ANSWER_TOKENS {
+                let v = if rng.random::<f64>() < fidelity {
+                    topics.sample_term(mixture, rng)
+                } else {
+                    rng.random_range(0..topics.vocab_size())
+                };
+                counts[v] += 1;
+            }
+            BagOfWords::from_counts(
+                counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(v, &c)| (dense_term_id(v), c))
+                    .collect(),
+            )
+        })
+        .collect();
 
-        let best = qualities
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(slot, _)| slot)
-            .expect("at least one answerer");
+    let best = qualities
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(slot, _)| slot)
+        .expect("at least one answerer");
 
-        for (slot, &i) in answerers.iter().enumerate() {
-            db.record_answer_bow(workers[i], task, answer_bags[slot].clone())
-                .expect("assigned");
+    answerers
+        .iter()
+        .enumerate()
+        .map(|(slot, &i)| {
             let score = if slot == best {
                 1.0
             } else {
                 jaccard(&answer_bags[slot], &answer_bags[best])
             };
-            db.record_feedback(workers[i], task, score)
-                .expect("assigned");
-        }
-    }
+            AnswerEvent {
+                worker: i,
+                score,
+                answer: Some(answer_bags[slot].clone()),
+            }
+        })
+        .collect()
 }
 
 impl GeneratedPlatform {
@@ -398,6 +540,47 @@ mod tests {
         let ta = a.db.task(TaskId(0)).unwrap();
         let tb = b.db.task(TaskId(0)).unwrap();
         assert_eq!(ta.text, tb.text);
+    }
+
+    /// Consuming the public stream into a fresh store must rebuild exactly
+    /// what the eager pipeline produces — same seeds, byte for byte. This
+    /// pins the contract that [`TaskEvent`]s carry *all* platform state, so
+    /// the million-worker tier can stream into a sharded store without a
+    /// [`GeneratedPlatform`] ever existing.
+    #[test]
+    fn stream_matches_eager_generation() {
+        for cfg in [SimConfig::quora(0.04, 11), SimConfig::yahoo(0.04, 11)] {
+            let generator = PlatformGenerator::new(cfg);
+            let eager = generator.generate();
+
+            let topics = generator.topic_space();
+            let pool = generator.worker_pool();
+            let mut db = CrowdDb::new();
+            for term in topics.vocab() {
+                db.vocab_mut().intern(term);
+            }
+            let workers: Vec<WorkerId> = (0..eager.config.num_workers)
+                .map(|i| db.add_worker(format!("worker{i:05}")))
+                .collect();
+            let stream = generator.stream_assignments(&topics, &pool);
+            assert_eq!(stream.len(), eager.config.num_tasks);
+            for event in stream {
+                apply_task_event(&mut db, &workers, &event);
+            }
+
+            assert_eq!(db.num_tasks(), eager.db.num_tasks());
+            assert_eq!(db.num_assignments(), eager.db.num_assignments());
+            assert_eq!(db.num_resolved(), eager.db.num_resolved());
+            for t in db.task_ids() {
+                assert_eq!(db.task(t).unwrap().text, eager.db.task(t).unwrap().text);
+                let got: Vec<_> = db.workers_of(t).collect();
+                let want: Vec<_> = eager.db.workers_of(t).collect();
+                assert_eq!(got, want, "assignments + scores of {t:?}");
+                for (w, _) in got {
+                    assert_eq!(db.answer(w, t), eager.db.answer(w, t));
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!   fault mixes,
 //! - a seeded [`QueryFaultPlan`] assigning transient-error / latency /
 //!   partial-read faults to query-layer *storage operations*, the
-//!   deterministic schedule behind the query executor's chaos suite.
+//!   deterministic schedule behind the query executor's chaos suite,
+//! - chunked generation ([`PlatformGenerator::stream_assignments`])
+//!   yielding one [`TaskEvent`] at a time from the same RNG sequence as
+//!   the eager path (which now consumes it), and a counter-based
+//!   [`ScaleGenerator`] whose draws are pure functions of their indices —
+//!   the million-worker / ten-million-assignment tier behind the
+//!   `fit_smoke` bounded-memory gate.
 //!
 //! Because skills and categories are planted, the generator provides the
 //! ground truth the paper's metrics need (who the "right worker" is) while
@@ -29,11 +35,16 @@
 pub mod config;
 pub mod faults;
 pub mod generator;
+pub mod scale;
 pub mod topics;
 pub mod workers;
 
 pub use config::{PlatformKind, SimConfig};
 pub use faults::{FaultKind, FaultPlan, QueryFault, QueryFaultPlan};
-pub use generator::{GeneratedPlatform, PlatformGenerator};
+pub use generator::{
+    apply_task_event, AnswerEvent, AssignmentStream, GeneratedPlatform, PlatformGenerator,
+    TaskEvent,
+};
+pub use scale::{ScaleConfig, ScaleGenerator};
 pub use topics::TopicSpace;
 pub use workers::WorkerPool;

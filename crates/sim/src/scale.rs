@@ -1,0 +1,264 @@
+//! Counter-based platform generation for the million-worker tier.
+//!
+//! The planted-truth pipeline ([`crate::PlatformGenerator`]) draws every
+//! task from one sequential RNG stream and simulates answer texts — ideal
+//! for fidelity, wrong for scale: at 1M workers / 10M assignments the
+//! point is to stress the *store and fit*, not the text model. This
+//! generator replaces the stream with a counter-based scheme (splitmix64
+//! of the entity index): any assignment is recomputable from its indices
+//! alone in O(1), generation is a single pass with O(answers-per-task)
+//! transient memory, and task text is one short token so the vocabulary —
+//! and therefore `β` — stays a few dozen entries no matter how many tasks
+//! exist. `fit_smoke` drives this into a [`ShardedDb`] to pin the
+//! bounded-memory claim of DESIGN §11.
+
+use crowd_store::{CrowdDb, Result, ShardedDb};
+
+/// Shape of a counter-generated platform.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// Registered workers `M`.
+    pub num_workers: usize,
+    /// Generated tasks `N`.
+    pub num_tasks: usize,
+    /// Mean scored assignments per task (exact count varies per task in
+    /// `1..2·avg` by hash).
+    pub avg_answers_per_task: usize,
+    /// Distinct task terms; bounds the vocabulary and the `β` matrix.
+    pub vocab_size: usize,
+    /// Seed folded into every hash.
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    /// The BENCH_9 speedup tier: 100k workers, enough assignments to make
+    /// the worker E-step the dominant phase.
+    pub fn speedup_tier(seed: u64) -> Self {
+        ScaleConfig {
+            num_workers: 100_000,
+            num_tasks: 20_000,
+            avg_answers_per_task: 10,
+            vocab_size: 32,
+            seed,
+        }
+    }
+
+    /// The BENCH_9 memory tier: 1M workers / ~10M assignments.
+    pub fn million_tier(seed: u64) -> Self {
+        ScaleConfig {
+            num_workers: 1_000_000,
+            num_tasks: 1_000_000,
+            avg_answers_per_task: 10,
+            vocab_size: 32,
+            seed,
+        }
+    }
+}
+
+/// splitmix64 finalizer — the same mixer the sharded store's worker
+/// placement uses; here it decorrelates per-index draws.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Counter-based generator: every draw is a pure function of
+/// `(seed, task index, slot)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleGenerator {
+    config: ScaleConfig,
+}
+
+impl ScaleGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(config: ScaleConfig) -> Self {
+        assert!(config.num_workers > 0, "need at least one worker");
+        assert!(config.num_tasks > 0, "need at least one task");
+        assert!(config.avg_answers_per_task > 0, "need answers");
+        assert!(config.vocab_size > 0, "need a vocabulary");
+        ScaleGenerator { config }
+    }
+
+    /// The shape being generated.
+    pub fn config(&self) -> &ScaleConfig {
+        &self.config
+    }
+
+    /// The vocabulary index of task `j`'s single term. Callers that skip
+    /// the store (e.g. `fit_smoke` building a `TrainingSet` directly) use
+    /// this as the canonical term column; store-backed paths re-derive it
+    /// by interning [`Self::task_text`], which permutes indexes but not
+    /// content.
+    pub fn task_term(&self, j: usize) -> usize {
+        let h = mix(self.config.seed ^ mix(j as u64));
+        // crowd-lint: allow(no-silent-truncation) -- modulo vocab_size, a small bound
+        (h % self.config.vocab_size as u64) as usize
+    }
+
+    /// The single-token text of task `j`.
+    pub fn task_text(&self, j: usize) -> String {
+        format!("term{}", self.task_term(j))
+    }
+
+    /// The scored assignments of task `j` as `(worker index, score)`,
+    /// deduplicated, ascending by worker. O(answers) time and memory.
+    pub fn assignments_of(&self, j: usize) -> Vec<(usize, f64)> {
+        let cfg = &self.config;
+        let base = mix(cfg.seed ^ mix(j as u64).rotate_left(17));
+        let spread = (2 * cfg.avg_answers_per_task - 1) as u64;
+        // crowd-lint: allow(no-silent-truncation) -- modulo spread < 2·avg, a small bound
+        let count = 1 + (base % spread) as usize;
+        let mut out: Vec<(usize, f64)> = (0..count)
+            .map(|slot| {
+                let h = mix(base ^ mix(slot as u64));
+                // crowd-lint: allow(no-silent-truncation) -- modulo num_workers ≤ usize::MAX
+                let worker = (h % cfg.num_workers as u64) as usize;
+                // Map 8 hash bits to a score in [0, 5) — enough resolution
+                // for the fit to have real structure to chew on.
+                let score = ((h >> 32) & 0xFF) as f64 * (5.0 / 256.0);
+                (worker, score)
+            })
+            .collect();
+        out.sort_by_key(|&(w, _)| w);
+        out.dedup_by_key(|&mut (w, _)| w);
+        out
+    }
+
+    /// Streams every `(task, worker, score)` triple to `f`, task-major.
+    pub fn for_each_assignment(&self, mut f: impl FnMut(usize, usize, f64)) {
+        for j in 0..self.config.num_tasks {
+            for (w, s) in self.assignments_of(j) {
+                f(j, w, s);
+            }
+        }
+    }
+
+    /// Materializes the platform into a sharded store: the roster, then
+    /// one pass of tasks with their assignments and feedback. Transient
+    /// memory beyond the store itself is O(answers-per-task).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers` exceeds the `u32` worker-id space.
+    pub fn populate_sharded(&self, db: &mut ShardedDb) -> Result<()> {
+        let cfg = &self.config;
+        for i in 0..cfg.num_workers {
+            db.add_worker(format!("w{i}"))?;
+        }
+        for j in 0..cfg.num_tasks {
+            let task = db.add_task(self.task_text(j))?;
+            for (w, s) in self.assignments_of(j) {
+                let worker = crowd_store::WorkerId(u32::try_from(w).expect("worker id fits u32"));
+                db.assign(worker, task)?;
+                db.record_feedback(worker, task, s)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes the identical platform into an unsharded store —
+    /// the oracle side of shard-invariance checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers` exceeds the `u32` worker-id space.
+    pub fn populate_db(&self, db: &mut CrowdDb) -> Result<()> {
+        let cfg = &self.config;
+        for i in 0..cfg.num_workers {
+            db.add_worker(format!("w{i}"));
+        }
+        for j in 0..cfg.num_tasks {
+            let task = db.add_task(self.task_text(j));
+            for (w, s) in self.assignments_of(j) {
+                let worker = crowd_store::WorkerId(u32::try_from(w).expect("worker id fits u32"));
+                db.assign(worker, task)?;
+                db.record_feedback(worker, task, s)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScaleGenerator {
+        ScaleGenerator::new(ScaleConfig {
+            num_workers: 300,
+            num_tasks: 120,
+            avg_answers_per_task: 5,
+            vocab_size: 16,
+            seed: 77,
+        })
+    }
+
+    #[test]
+    fn draws_are_pure_functions_of_indices() {
+        let g = small();
+        assert_eq!(g.assignments_of(17), g.assignments_of(17));
+        assert_eq!(g.task_text(17), g.task_text(17));
+        assert_ne!(g.assignments_of(17), g.assignments_of(18));
+    }
+
+    #[test]
+    fn assignment_counts_hit_the_configured_mean() {
+        let g = small();
+        let mut total = 0usize;
+        g.for_each_assignment(|_, _, _| total += 1);
+        let avg = total as f64 / g.config().num_tasks as f64;
+        // Mean of 1 + U{0..2·avg-2} is avg; dedup removes a little.
+        assert!(
+            (3.0..=7.0).contains(&avg),
+            "average answers/task = {avg}, want ≈ 5"
+        );
+    }
+
+    #[test]
+    fn scores_are_valid_feedback() {
+        let g = small();
+        g.for_each_assignment(|_, w, s| {
+            assert!(w < 300);
+            assert!((0.0..5.0).contains(&s), "score {s}");
+        });
+    }
+
+    #[test]
+    fn sharded_and_unsharded_stores_hold_identical_content() {
+        let g = small();
+        let mut plain = CrowdDb::new();
+        g.populate_db(&mut plain).unwrap();
+        let mut sharded = ShardedDb::new(4);
+        g.populate_sharded(&mut sharded).unwrap();
+
+        assert_eq!(plain.num_workers(), sharded.num_workers());
+        assert_eq!(plain.num_assignments(), sharded.num_assignments());
+        let mut a = plain.resolved_tasks();
+        let b = sharded.resolved_tasks();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter_mut().zip(&b) {
+            assert_eq!(x.task, y.task);
+            // ShardedDb sorts scores by worker; canonicalize the plain side.
+            x.scores.sort_by_key(|&(w, _)| w);
+            assert_eq!(x.scores, y.scores, "scores of {:?}", x.task);
+        }
+    }
+
+    #[test]
+    fn vocabulary_stays_bounded() {
+        let g = small();
+        let mut db = CrowdDb::new();
+        g.populate_db(&mut db).unwrap();
+        assert!(
+            db.vocab().len() <= 16,
+            "vocab {} exceeds the configured bound",
+            db.vocab().len()
+        );
+    }
+}

@@ -26,6 +26,7 @@ pub mod feedback;
 pub mod groups;
 pub mod ids;
 pub mod online;
+pub mod sharded;
 pub mod shared;
 pub mod snapshot;
 pub mod task;
@@ -38,6 +39,7 @@ pub use feedback::Feedback;
 pub use groups::{GroupStats, WorkerGroup};
 pub use ids::{TaskId, WorkerId};
 pub use online::OnlineRegistry;
+pub use sharded::{ShardMap, ShardedDb};
 pub use shared::SharedCrowdDb;
 pub use task::TaskRecord;
 pub use wal::{

@@ -1,0 +1,933 @@
+//! Hash-partitioned store: N shards of the single-writer [`CrowdDb`], each
+//! with its own WAL, behind one global id space (DESIGN §11).
+//!
+//! **Partitioning.** Workers are the sharding axis: a worker's home shard is
+//! `splitmix64(global id) % N`, fixed for the lifetime of the deployment
+//! ([`ShardMap`]). Every assignment, answer and feedback row for a worker
+//! lives in that worker's home shard, so the heavy tables (`A`, `S`) are
+//! cut roughly `1/N` per shard and each shard's WAL sees only its own
+//! traffic. Tasks are *replicated*: the canonical text and bag of words live
+//! in the global registry (against one global [`Vocabulary`]), and a shard
+//! receives a lightweight placeholder replica lazily, the first time one of
+//! its workers is assigned the task. Placeholders carry empty text, so
+//! per-shard vocabularies never diverge from the global one.
+//!
+//! **Durability.** Each shard reuses the PR 2 WAL machinery verbatim
+//! ([`LoggedDb`]: CRC-framed records, skip-and-report recovery, compaction).
+//! Global structure that no single shard can reconstruct — the interleaved
+//! order of worker/task registration and replica placement — goes to a
+//! *manifest log*, CRC-framed with the same codec as WAL lines. Recovery
+//! opens every shard independently (corruption in one shard's log is
+//! confined to that shard; see [`ShardedDb::open`]), then replays the
+//! manifest to rebuild the global↔local id maps, re-appending any trailing
+//! structure rows a shard lost to a torn tail.
+//!
+//! **Determinism.** All scan APIs are shard-count invariant:
+//! [`ShardedDb::resolved_tasks`] yields tasks in global [`TaskId`] order
+//! with each task's scores sorted by global [`WorkerId`], so a
+//! `TrainingSet` built from a sharded store is byte-for-byte the set built
+//! from an equivalent unsharded [`CrowdDb`], for every N.
+
+use crate::db::ResolvedTask;
+use crate::wal::{crc32, escape, unescape};
+use crate::{CrowdDb, LoggedDb, RecoveryReport, Result, StoreError, TaskId, WalOptions, WorkerId};
+use crowd_text::{tokenize_filtered, BagOfWords, Vocabulary};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Shard map
+// ---------------------------------------------------------------------------
+
+/// Fincher/Steele splitmix64 finalizer — a cheap, well-mixed hash so that
+/// dense sequential worker ids spread evenly over shards instead of
+/// striping.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic worker → shard placement.
+///
+/// The map is pure: it owns no state beyond the shard count, so any process
+/// that knows `N` computes the same placement — recovery never needs to
+/// persist it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    num_shards: usize,
+}
+
+impl ShardMap {
+    /// A map over `num_shards` partitions (clamped to at least 1).
+    pub fn new(num_shards: usize) -> Self {
+        ShardMap {
+            num_shards: num_shards.max(1),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Home shard of a worker.
+    pub fn shard_of(&self, worker: WorkerId) -> usize {
+        // crowd-lint: allow(no-silent-truncation) -- modulo num_shards ≤ usize::MAX by construction
+        (splitmix64(u64::from(worker.0)) % self.num_shards as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest records
+// ---------------------------------------------------------------------------
+
+/// One global-structure event. Shard placement for `Worker` is *derived*
+/// (via [`ShardMap`]) rather than stored, so a manifest can never disagree
+/// with the map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ManifestRec {
+    /// A worker joined the global roster.
+    Worker { handle: String },
+    /// A task was registered globally.
+    Task { text: String },
+    /// Task `task` gained a placeholder replica in `shard`.
+    Replica { task: TaskId, shard: usize },
+}
+
+fn encode_manifest(rec: &ManifestRec) -> String {
+    let payload = match rec {
+        ManifestRec::Worker { handle } => format!("W {}", escape(handle)),
+        ManifestRec::Task { text } => format!("T {}", escape(text)),
+        ManifestRec::Replica { task, shard } => format!("R {} {}", task.0, shard),
+    };
+    format!("{:08x} {payload}", crc32(payload.as_bytes()))
+}
+
+fn decode_manifest(line: &str) -> std::result::Result<ManifestRec, String> {
+    let (crc_hex, payload) = line
+        .split_once(' ')
+        .ok_or_else(|| "missing CRC field".to_string())?;
+    if crc_hex.len() != 8 {
+        return Err(format!("bad CRC field {crc_hex:?}"));
+    }
+    let want = u32::from_str_radix(crc_hex, 16).map_err(|e| format!("bad CRC field: {e}"))?;
+    let got = crc32(payload.as_bytes());
+    if want != got {
+        return Err(format!(
+            "CRC mismatch: stored {want:08x}, computed {got:08x}"
+        ));
+    }
+    let (tag, rest) = payload.split_once(' ').unwrap_or((payload, ""));
+    match tag {
+        "W" => Ok(ManifestRec::Worker {
+            handle: unescape(rest)?,
+        }),
+        "T" => Ok(ManifestRec::Task {
+            text: unescape(rest)?,
+        }),
+        "R" => {
+            let (t, s) = rest
+                .split_once(' ')
+                .ok_or_else(|| "replica record needs task and shard".to_string())?;
+            let task = t.parse::<u32>().map_err(|e| format!("bad task id: {e}"))?;
+            let shard = s.parse::<usize>().map_err(|e| format!("bad shard: {e}"))?;
+            Ok(ManifestRec::Replica {
+                task: TaskId(task),
+                shard,
+            })
+        }
+        other => Err(format!("unknown manifest tag {other:?}")),
+    }
+}
+
+/// Reads every manifest record. A corrupt *final* record is treated as a
+/// torn tail and dropped (the paired shard write may not have landed
+/// either); a corrupt interior record is an error — unlike per-shard data,
+/// global structure cannot be skipped without corrupting every later id.
+fn read_manifest(path: &Path) -> Result<Vec<ManifestRec>> {
+    let mut raw = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut raw)
+                .map_err(|e| StoreError::Snapshot(format!("manifest read: {e}")))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(StoreError::Snapshot(format!("manifest open: {e}"))),
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match decode_manifest(line) {
+            Ok(rec) => out.push(rec),
+            Err(_) if i + 1 == lines.len() => break, // torn tail
+            Err(e) => {
+                return Err(StoreError::Snapshot(format!(
+                    "manifest record {}: {e}",
+                    i + 1
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// ShardedDb
+// ---------------------------------------------------------------------------
+
+/// A shard's storage: plain in-memory for [`ShardedDb::new`], WAL-backed
+/// for [`ShardedDb::open`].
+#[derive(Debug)]
+enum ShardBacking {
+    Mem(Box<CrowdDb>),
+    Logged(Box<LoggedDb>),
+}
+
+impl ShardBacking {
+    fn db(&self) -> &CrowdDb {
+        match self {
+            ShardBacking::Mem(db) => db,
+            ShardBacking::Logged(db) => db.db(),
+        }
+    }
+
+    fn add_worker(&mut self, handle: &str) -> Result<WorkerId> {
+        match self {
+            ShardBacking::Mem(db) => Ok(db.add_worker(handle)),
+            ShardBacking::Logged(db) => db.add_worker(handle),
+        }
+    }
+
+    fn add_task(&mut self, text: &str) -> Result<TaskId> {
+        match self {
+            ShardBacking::Mem(db) => Ok(db.add_task(text)),
+            ShardBacking::Logged(db) => db.add_task(text),
+        }
+    }
+
+    fn assign(&mut self, worker: WorkerId, task: TaskId) -> Result<()> {
+        match self {
+            ShardBacking::Mem(db) => db.assign(worker, task),
+            ShardBacking::Logged(db) => db.assign(worker, task),
+        }
+    }
+
+    fn record_feedback(&mut self, worker: WorkerId, task: TaskId, score: f64) -> Result<()> {
+        match self {
+            ShardBacking::Mem(db) => db.record_feedback(worker, task, score),
+            ShardBacking::Logged(db) => db.record_feedback(worker, task, score),
+        }
+    }
+
+    fn record_answer(&mut self, worker: WorkerId, task: TaskId, text: &str) -> Result<()> {
+        match self {
+            ShardBacking::Mem(db) => db.record_answer(worker, task, text),
+            ShardBacking::Logged(db) => db.record_answer(worker, task, text),
+        }
+    }
+}
+
+/// A worker's placement: home shard plus its dense id *within* that shard.
+#[derive(Debug, Clone, Copy)]
+struct WorkerHome {
+    shard: usize,
+    local: WorkerId,
+}
+
+/// A globally-registered task: canonical text/BOW plus the shards holding a
+/// placeholder replica, as `(shard, local id)` pairs in creation order.
+#[derive(Debug, Clone)]
+struct TaskEntry {
+    text: String,
+    bow: BagOfWords,
+    replicas: Vec<(usize, TaskId)>,
+}
+
+impl TaskEntry {
+    fn replica_in(&self, shard: usize) -> Option<TaskId> {
+        self.replicas
+            .iter()
+            .find(|&&(s, _)| s == shard)
+            .map(|&(_, t)| t)
+    }
+}
+
+/// The one audited usize → u32 narrowing for global dense ids, mirroring
+/// [`CrowdDb`]'s: the roster cannot reach 2^32 rows in memory.
+fn global_id(n: usize) -> u32 {
+    debug_assert!(u32::try_from(n).is_ok(), "global id space exhausted");
+    // crowd-lint: allow(no-silent-truncation) -- single audited choke point; debug-asserted, unreachable before memory exhaustion
+    n as u32
+}
+
+/// N hash-partitioned [`CrowdDb`] shards behind one global id space.
+///
+/// All public ids are **global**: callers never see shard-local ids. The
+/// translation tables live here; scans merge across shards in fixed global
+/// order so results are identical for every shard count.
+#[derive(Debug)]
+pub struct ShardedDb {
+    map: ShardMap,
+    shards: Vec<ShardBacking>,
+    /// Global vocabulary — the only one task text is tokenized against.
+    vocab: Vocabulary,
+    /// Global worker id → placement.
+    workers: Vec<WorkerHome>,
+    /// Per shard: local worker index → global id (inverse of `workers`).
+    shard_workers: Vec<Vec<WorkerId>>,
+    /// Global task id → canonical content + replicas.
+    tasks: Vec<TaskEntry>,
+    /// Manifest append handle; `None` for in-memory stores.
+    manifest: Option<BufWriter<File>>,
+    manifest_path: Option<PathBuf>,
+}
+
+impl ShardedDb {
+    /// An in-memory sharded store (no durability) over `num_shards`
+    /// partitions.
+    pub fn new(num_shards: usize) -> Self {
+        let map = ShardMap::new(num_shards);
+        let shards = (0..map.num_shards())
+            .map(|_| ShardBacking::Mem(Box::new(CrowdDb::new())))
+            .collect();
+        ShardedDb {
+            shards,
+            shard_workers: vec![Vec::new(); map.num_shards()],
+            map,
+            vocab: Vocabulary::new(),
+            workers: Vec::new(),
+            tasks: Vec::new(),
+            manifest: None,
+            manifest_path: None,
+        }
+    }
+
+    /// Opens (or creates) a WAL-backed sharded store under `dir`, with
+    /// default per-shard WAL options.
+    ///
+    /// Returns the store plus one [`RecoveryReport`] per shard, in shard
+    /// order. Shards recover independently: a corrupt record in shard 3's
+    /// log costs (at most) records of shard 3, never the other shards.
+    pub fn open(dir: impl AsRef<Path>, num_shards: usize) -> Result<(Self, Vec<RecoveryReport>)> {
+        ShardedDb::open_with(dir, num_shards, WalOptions::default())
+    }
+
+    /// [`ShardedDb::open`] with explicit per-shard [`WalOptions`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        num_shards: usize,
+        options: WalOptions,
+    ) -> Result<(Self, Vec<RecoveryReport>)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StoreError::Snapshot(format!("create {}: {e}", dir.display())))?;
+        let map = ShardMap::new(num_shards);
+
+        // 1. Recover every shard independently (skip-and-report per shard).
+        let mut shards = Vec::with_capacity(map.num_shards());
+        let mut reports = Vec::with_capacity(map.num_shards());
+        for s in 0..map.num_shards() {
+            let logged =
+                LoggedDb::open_with(dir.join(format!("shard-{s:02}.wal")), options.clone())?;
+            reports.push(logged.recovery_report().clone());
+            shards.push(ShardBacking::Logged(Box::new(logged)));
+        }
+
+        // 2. Replay the manifest to rebuild global structure and the
+        //    global↔local id maps. Trailing structure rows a shard lost to
+        //    a torn tail are re-appended (self-healing); rows lost to
+        //    *interior* corruption shift that shard's later local ids, which
+        //    confines the damage to the shard but may misattribute its
+        //    post-loss feedback — the conservative trade documented in
+        //    DESIGN §11.
+        let manifest_path = dir.join("manifest.log");
+        let recs = read_manifest(&manifest_path)?;
+        let mut shard_task_counts = vec![0usize; map.num_shards()];
+        let mut db = ShardedDb {
+            shards,
+            shard_workers: vec![Vec::new(); map.num_shards()],
+            map,
+            vocab: Vocabulary::new(),
+            workers: Vec::new(),
+            tasks: Vec::new(),
+            manifest: None,
+            manifest_path: Some(manifest_path.clone()),
+        };
+        for rec in recs {
+            match rec {
+                ManifestRec::Worker { handle } => {
+                    let g = WorkerId(global_id(db.workers.len()));
+                    let s = db.map.shard_of(g);
+                    let expected = db.shard_workers[s].len();
+                    let local = if db.shards[s].db().num_workers() > expected {
+                        WorkerId(global_id(expected))
+                    } else {
+                        db.shards[s].add_worker(&handle)?
+                    };
+                    db.workers.push(WorkerHome { shard: s, local });
+                    db.shard_workers[s].push(g);
+                }
+                ManifestRec::Task { text } => {
+                    db.register_task(text);
+                }
+                ManifestRec::Replica { task, shard } => {
+                    if task.index() >= db.tasks.len() || shard >= db.map.num_shards() {
+                        return Err(StoreError::Snapshot(format!(
+                            "manifest replica {task:?}@shard {shard} references unknown structure"
+                        )));
+                    }
+                    let expected = shard_task_counts[shard];
+                    shard_task_counts[shard] += 1;
+                    let local = if db.shards[shard].db().num_tasks() > expected {
+                        TaskId(global_id(expected))
+                    } else {
+                        db.shards[shard].add_task("")?
+                    };
+                    db.tasks[task.index()].replicas.push((shard, local));
+                }
+            }
+        }
+
+        // 3. Open the manifest for appends.
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&manifest_path)
+            .map_err(|e| StoreError::Snapshot(format!("manifest append: {e}")))?;
+        db.manifest = Some(BufWriter::new(file));
+        Ok((db, reports))
+    }
+
+    fn log_manifest(&mut self, rec: &ManifestRec) -> Result<()> {
+        if let Some(w) = self.manifest.as_mut() {
+            writeln!(w, "{}", encode_manifest(rec))
+                .map_err(|e| StoreError::Snapshot(format!("manifest write: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Tokenizes against the global vocabulary and registers the task
+    /// globally (no shard interaction, no manifest write).
+    fn register_task(&mut self, text: String) -> TaskId {
+        let id = TaskId(global_id(self.tasks.len()));
+        let tokens = tokenize_filtered(&text);
+        let bow = BagOfWords::from_tokens(&tokens, &mut self.vocab);
+        self.tasks.push(TaskEntry {
+            text,
+            bow,
+            replicas: Vec::new(),
+        });
+        id
+    }
+
+    // ---- mutation ---------------------------------------------------------
+
+    /// Registers a worker; its home shard is fixed by the [`ShardMap`].
+    pub fn add_worker(&mut self, handle: impl Into<String>) -> Result<WorkerId> {
+        let handle = handle.into();
+        let g = WorkerId(global_id(self.workers.len()));
+        let s = self.map.shard_of(g);
+        self.log_manifest(&ManifestRec::Worker {
+            handle: handle.clone(),
+        })?;
+        let local = self.shards[s].add_worker(&handle)?;
+        self.workers.push(WorkerHome { shard: s, local });
+        self.shard_workers[s].push(g);
+        Ok(g)
+    }
+
+    /// Registers a task globally. No shard holds it until a worker is
+    /// assigned; then the worker's home shard gets a placeholder replica.
+    pub fn add_task(&mut self, text: impl Into<String>) -> Result<TaskId> {
+        let text = text.into();
+        self.log_manifest(&ManifestRec::Task { text: text.clone() })?;
+        Ok(self.register_task(text))
+    }
+
+    /// Looks up a worker's placement.
+    fn home(&self, worker: WorkerId) -> Result<WorkerHome> {
+        self.workers
+            .get(worker.index())
+            .copied()
+            .ok_or(StoreError::UnknownWorker(worker))
+    }
+
+    /// Ensures `task` has a replica in `shard`, creating the placeholder
+    /// lazily, and returns the local id.
+    fn ensure_replica(&mut self, task: TaskId, shard: usize) -> Result<TaskId> {
+        let entry = self
+            .tasks
+            .get(task.index())
+            .ok_or(StoreError::UnknownTask(task))?;
+        if let Some(local) = entry.replica_in(shard) {
+            return Ok(local);
+        }
+        self.log_manifest(&ManifestRec::Replica { task, shard })?;
+        let local = self.shards[shard].add_task("")?;
+        self.tasks[task.index()].replicas.push((shard, local));
+        Ok(local)
+    }
+
+    /// Rewrites shard-local ids in an error back to the caller's global ids.
+    fn globalize(err: StoreError, worker: WorkerId, task: TaskId) -> StoreError {
+        match err {
+            StoreError::AlreadyAssigned(_, _) => StoreError::AlreadyAssigned(worker, task),
+            StoreError::NotAssigned(_, _) => StoreError::NotAssigned(worker, task),
+            StoreError::UnknownWorker(_) => StoreError::UnknownWorker(worker),
+            StoreError::UnknownTask(_) => StoreError::UnknownTask(task),
+            other => other,
+        }
+    }
+
+    /// Assigns `task` to `worker` in the worker's home shard, replicating
+    /// the task there first if needed.
+    pub fn assign(&mut self, worker: WorkerId, task: TaskId) -> Result<()> {
+        let home = self.home(worker)?;
+        let local_task = self.ensure_replica(task, home.shard)?;
+        self.shards[home.shard]
+            .assign(home.local, local_task)
+            .map_err(|e| Self::globalize(e, worker, task))
+    }
+
+    /// Records feedback for an assigned pair (routed to the home shard).
+    pub fn record_feedback(&mut self, worker: WorkerId, task: TaskId, score: f64) -> Result<()> {
+        let home = self.home(worker)?;
+        let entry = self
+            .tasks
+            .get(task.index())
+            .ok_or(StoreError::UnknownTask(task))?;
+        let local_task = entry
+            .replica_in(home.shard)
+            .ok_or(StoreError::NotAssigned(worker, task))?;
+        self.shards[home.shard]
+            .record_feedback(home.local, local_task, score)
+            .map_err(|e| Self::globalize(e, worker, task))
+    }
+
+    /// Records a worker's answer text (routed to the home shard).
+    pub fn record_answer(&mut self, worker: WorkerId, task: TaskId, text: &str) -> Result<()> {
+        let home = self.home(worker)?;
+        let entry = self
+            .tasks
+            .get(task.index())
+            .ok_or(StoreError::UnknownTask(task))?;
+        let local_task = entry
+            .replica_in(home.shard)
+            .ok_or(StoreError::NotAssigned(worker, task))?;
+        self.shards[home.shard]
+            .record_answer(home.local, local_task, text)
+            .map_err(|e| Self::globalize(e, worker, task))
+    }
+
+    // ---- retrieval --------------------------------------------------------
+
+    /// Number of partitions.
+    pub fn num_shards(&self) -> usize {
+        self.map.num_shards()
+    }
+
+    /// The shard map (worker → shard placement).
+    pub fn shard_map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// Read access to one shard's database.
+    pub fn shard(&self, i: usize) -> &CrowdDb {
+        self.shards[i].db()
+    }
+
+    /// Number of globally registered workers (`M`).
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of globally registered tasks (`N`).
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total assignments across all shards.
+    pub fn num_assignments(&self) -> usize {
+        self.shards.iter().map(|s| s.db().num_assignments()).sum()
+    }
+
+    /// Total resolved assignments across all shards.
+    pub fn num_resolved(&self) -> usize {
+        self.shards.iter().map(|s| s.db().num_resolved()).sum()
+    }
+
+    /// All global worker ids, in registration order.
+    pub fn worker_ids(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        (0..global_id(self.workers.len())).map(WorkerId)
+    }
+
+    /// The global vocabulary every task's bag of words addresses.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// A task's canonical text.
+    pub fn task_text(&self, task: TaskId) -> Result<&str> {
+        self.tasks
+            .get(task.index())
+            .map(|t| t.text.as_str())
+            .ok_or(StoreError::UnknownTask(task))
+    }
+
+    /// A task's canonical bag of words (global term ids).
+    pub fn task_bow(&self, task: TaskId) -> Result<&BagOfWords> {
+        self.tasks
+            .get(task.index())
+            .map(|t| &t.bow)
+            .ok_or(StoreError::UnknownTask(task))
+    }
+
+    /// The feedback score for a pair, if assigned and resolved.
+    pub fn feedback(&self, worker: WorkerId, task: TaskId) -> Option<f64> {
+        let home = self.home(worker).ok()?;
+        let local_task = self.tasks.get(task.index())?.replica_in(home.shard)?;
+        self.shards[home.shard]
+            .db()
+            .feedback(home.local, local_task)
+    }
+
+    /// `true` if the pair is assigned.
+    pub fn is_assigned(&self, worker: WorkerId, task: TaskId) -> bool {
+        let Ok(home) = self.home(worker) else {
+            return false;
+        };
+        let Some(local_task) = self
+            .tasks
+            .get(task.index())
+            .and_then(|t| t.replica_in(home.shard))
+        else {
+            return false;
+        };
+        self.shards[home.shard]
+            .db()
+            .is_assigned(home.local, local_task)
+    }
+
+    /// The cross-shard training view: every task with at least one scored
+    /// assignment anywhere.
+    ///
+    /// Deterministic and shard-count invariant by construction — tasks in
+    /// global [`TaskId`] order, each task's scores merged over its replica
+    /// shards and **sorted by global [`WorkerId`]**. Bags of words come from
+    /// the global registry (placeholder replicas are never consulted for
+    /// content).
+    pub fn resolved_tasks(&self) -> Vec<ResolvedTask> {
+        let mut out = Vec::new();
+        for (t, entry) in self.tasks.iter().enumerate() {
+            let mut scores: Vec<(WorkerId, f64)> = Vec::new();
+            for &(s, local_task) in &entry.replicas {
+                let shard = self.shards[s].db();
+                scores.extend(shard.workers_of(local_task).filter_map(|(lw, score)| {
+                    score.map(|sc| (self.shard_workers[s][lw.index()], sc))
+                }));
+            }
+            if scores.is_empty() {
+                continue;
+            }
+            scores.sort_by_key(|&(w, _)| w);
+            out.push(ResolvedTask {
+                task: TaskId(global_id(t)),
+                bow: entry.bow.clone(),
+                scores,
+            });
+        }
+        out
+    }
+
+    // ---- durability -------------------------------------------------------
+
+    /// Flushes the manifest and every shard WAL to the OS.
+    pub fn flush(&mut self) -> Result<()> {
+        if let Some(w) = self.manifest.as_mut() {
+            w.flush()
+                .map_err(|e| StoreError::Snapshot(format!("manifest flush: {e}")))?;
+        }
+        for shard in &mut self.shards {
+            if let ShardBacking::Logged(db) = shard {
+                db.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Compacts every shard's WAL; returns per-shard stats (empty for
+    /// in-memory stores). The manifest is pure structure and stays as-is.
+    pub fn compact(&mut self) -> Result<Vec<crate::CompactionStats>> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            if let ShardBacking::Logged(db) = shard {
+                out.push(db.compact()?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The manifest path, if WAL-backed.
+    pub fn manifest_path(&self) -> Option<&Path> {
+        self.manifest_path.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("crowd_store_sharded_tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A small but non-trivial workload: w workers, t tasks, each worker
+    /// scores a deterministic spread of tasks.
+    fn populate(db: &mut ShardedDb, num_workers: usize, num_tasks: usize) {
+        let workers: Vec<WorkerId> = (0..num_workers)
+            .map(|i| db.add_worker(format!("w{i}")).unwrap())
+            .collect();
+        let tasks: Vec<TaskId> = (0..num_tasks)
+            .map(|j| {
+                db.add_task(format!("task number {j} btree split merge"))
+                    .unwrap()
+            })
+            .collect();
+        for (i, &w) in workers.iter().enumerate() {
+            for k in 0..3usize {
+                let t = tasks[(i * 7 + k * 3) % num_tasks];
+                if !db.is_assigned(w, t) {
+                    db.assign(w, t).unwrap();
+                    // crowd-lint: allow(no-silent-truncation) -- test fixture arithmetic, values < 16
+                    db.record_feedback(w, t, ((i + k) % 5) as f64).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_is_deterministic_and_covers_all_shards() {
+        let map = ShardMap::new(8);
+        for w in 0..100u32 {
+            assert_eq!(map.shard_of(WorkerId(w)), map.shard_of(WorkerId(w)));
+            assert!(map.shard_of(WorkerId(w)) < 8);
+        }
+        // splitmix64 over 1000 dense ids should touch every one of 8 shards.
+        let mut seen = [false; 8];
+        for w in 0..1000u32 {
+            seen[map.shard_of(WorkerId(w))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some shard never used: {seen:?}");
+        // Zero clamps to one shard.
+        assert_eq!(ShardMap::new(0).num_shards(), 1);
+    }
+
+    #[test]
+    fn resolved_view_is_shard_count_invariant() {
+        let reference = {
+            let mut db = ShardedDb::new(1);
+            populate(&mut db, 40, 13);
+            db.resolved_tasks()
+        };
+        for n in [2usize, 3, 8] {
+            let mut db = ShardedDb::new(n);
+            populate(&mut db, 40, 13);
+            let got = db.resolved_tasks();
+            assert_eq!(reference.len(), got.len(), "n={n}: task count");
+            for (a, b) in reference.iter().zip(&got) {
+                assert_eq!(a.task, b.task, "n={n}");
+                assert_eq!(a.scores, b.scores, "n={n}: scores of {:?}", a.task);
+                let aw: Vec<_> = a.bow.iter().collect();
+                let bw: Vec<_> = b.bow.iter().collect();
+                assert_eq!(aw, bw, "n={n}: bow of {:?}", a.task);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_tables_are_partitioned_not_replicated() {
+        let mut db = ShardedDb::new(4);
+        populate(&mut db, 40, 13);
+        let total: usize = (0..4).map(|s| db.shard(s).num_assignments()).sum();
+        assert_eq!(
+            total,
+            db.num_assignments(),
+            "assignments live in exactly one shard"
+        );
+        // No shard holds everything (hash placement spreads 40 workers).
+        for s in 0..4 {
+            assert!(
+                db.shard(s).num_assignments() < total,
+                "shard {s} holds all assignments"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_carry_global_ids() {
+        let mut db = ShardedDb::new(4);
+        let w = db.add_worker("w0").unwrap();
+        let t = db.add_task("a task").unwrap();
+        assert_eq!(
+            db.record_feedback(w, t, 1.0),
+            Err(StoreError::NotAssigned(w, t))
+        );
+        db.assign(w, t).unwrap();
+        assert_eq!(db.assign(w, t), Err(StoreError::AlreadyAssigned(w, t)));
+        assert_eq!(
+            db.assign(WorkerId(99), t),
+            Err(StoreError::UnknownWorker(WorkerId(99)))
+        );
+        assert_eq!(
+            db.assign(w, TaskId(99)),
+            Err(StoreError::UnknownTask(TaskId(99)))
+        );
+        assert_eq!(db.feedback(w, t), None);
+        db.record_feedback(w, t, 4.0).unwrap();
+        assert_eq!(db.feedback(w, t), Some(4.0));
+    }
+
+    #[test]
+    fn replicas_are_lazy() {
+        let mut db = ShardedDb::new(4);
+        let _w = db.add_worker("w0").unwrap();
+        let _t = db.add_task("some text").unwrap();
+        let held: usize = (0..4).map(|s| db.shard(s).num_tasks()).sum();
+        assert_eq!(held, 0, "no replica before first assignment");
+        db.assign(WorkerId(0), TaskId(0)).unwrap();
+        let held: usize = (0..4).map(|s| db.shard(s).num_tasks()).sum();
+        assert_eq!(held, 1, "exactly the home shard replica");
+    }
+
+    #[test]
+    fn durable_roundtrip_recovers_identically() {
+        let dir = temp_dir("roundtrip");
+        let before = {
+            let (mut db, reports) = ShardedDb::open(&dir, 4).unwrap();
+            assert!(reports.iter().all(|r| r.is_clean()));
+            populate(&mut db, 40, 13);
+            db.flush().unwrap();
+            db.resolved_tasks()
+        };
+        let (db, reports) = ShardedDb::open(&dir, 4).unwrap();
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| r.is_clean()), "{reports:?}");
+        assert_eq!(db.num_workers(), 40);
+        assert_eq!(db.num_tasks(), 13);
+        let after = db.resolved_tasks();
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.scores, b.scores);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_in_one_shard_is_confined_to_that_shard() {
+        let dir = temp_dir("confined");
+        {
+            let (mut db, _) = ShardedDb::open(&dir, 4).unwrap();
+            populate(&mut db, 40, 13);
+            db.flush().unwrap();
+        }
+        // Flip bytes inside one feedback record of shard 2's log.
+        let victim = dir.join("shard-02.wal");
+        let mut raw = std::fs::read(&victim).unwrap();
+        let text = String::from_utf8(raw.clone()).unwrap();
+        let target = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.split(' ').nth(1) == Some("f"))
+            .map(|(i, _)| i)
+            .next()
+            .expect("shard 2 has at least one feedback record");
+        let offset: usize = text.lines().take(target).map(|l| l.len() + 1).sum();
+        raw[offset] ^= 0xFF;
+        std::fs::write(&victim, &raw).unwrap();
+
+        let (db, reports) = ShardedDb::open(&dir, 4).unwrap();
+        assert_eq!(reports[2].skipped.len(), 1, "{:?}", reports[2]);
+        for (s, r) in reports.iter().enumerate() {
+            if s != 2 {
+                assert!(r.is_clean(), "shard {s} must be untouched: {r:?}");
+            }
+        }
+        // Exactly one score lost, everything else intact.
+        let total: usize = db.resolved_tasks().iter().map(|t| t.scores.len()).sum();
+        let expected: usize = {
+            let mut reference = ShardedDb::new(4);
+            populate(&mut reference, 40, 13);
+            reference
+                .resolved_tasks()
+                .iter()
+                .map(|t| t.scores.len())
+                .sum()
+        };
+        assert_eq!(total, expected - 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_manifest_tail_is_dropped() {
+        let dir = temp_dir("torn-manifest");
+        {
+            let (mut db, _) = ShardedDb::open(&dir, 2).unwrap();
+            db.add_worker("w0").unwrap();
+            db.add_worker("w1").unwrap();
+            db.flush().unwrap();
+        }
+        // Truncate the manifest mid-record.
+        let path = dir.join("manifest.log");
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 3]).unwrap();
+        let (db, _) = ShardedDb::open(&dir, 2).unwrap();
+        assert_eq!(db.num_workers(), 1, "torn tail record dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_self_heals_missing_trailing_shard_rows() {
+        let dir = temp_dir("self-heal");
+        {
+            let (mut db, _) = ShardedDb::open(&dir, 2).unwrap();
+            for i in 0..6 {
+                db.add_worker(format!("w{i}")).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        // Simulate a crash where a shard WAL lost its tail but the manifest
+        // survived: truncate one shard's log by one record.
+        let victim = dir.join("shard-00.wal");
+        let text = std::fs::read_to_string(&victim).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty());
+        lines.pop();
+        std::fs::write(&victim, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let (db, _) = ShardedDb::open(&dir, 2).unwrap();
+        assert_eq!(db.num_workers(), 6, "manifest re-appends the lost row");
+        for s in 0..2 {
+            assert_eq!(
+                db.shard(s).num_workers(),
+                db.shard_workers_len(s),
+                "shard {s} roster matches the map"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    impl ShardedDb {
+        fn shard_workers_len(&self, s: usize) -> usize {
+            self.shard_workers[s].len()
+        }
+    }
+}

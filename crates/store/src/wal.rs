@@ -101,7 +101,10 @@ pub fn apply(db: &mut CrowdDb, op: &Op) -> Result<()> {
 // ---------------------------------------------------------------------------
 
 /// CRC-32 (IEEE 802.3, reflected) over `bytes`.
-fn crc32(bytes: &[u8]) -> u32 {
+///
+/// Shared with the sharded store's manifest log, which frames its records
+/// the same way as WAL lines.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     // Nibble-driven table: 16 entries, built in const context — fast enough
     // for a line-oriented log and free of external dependencies.
     const TABLE: [u32; 16] = {
@@ -132,7 +135,7 @@ fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -145,7 +148,7 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> std::result::Result<String, String> {
+pub(crate) fn unescape(s: &str) -> std::result::Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(ch) = chars.next() {
