@@ -17,17 +17,20 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
-# Static analysis gate: crowd-lint must report zero unsuppressed findings
-# (report lands in results/LINT_8.json), and its own fixture must still
-# trip every rule — a lint pass that stops failing on known-bad input is
-# a broken gate, not a clean tree.
+# Static analysis gate: crowd-lint (lexical rules + call-graph determinism
+# and bounded-wait packs) must report zero unsuppressed findings — the
+# versioned report lands in results/LINT_10.json — and the seeded fixture
+# tree must still trip EVERY rule pack individually. A lint pass that
+# stops failing on known-bad input is a broken gate, not a clean tree.
 mkdir -p results
-run cargo run -q -p crowd-lint -- --json results/LINT_8.json
-echo "==> crowd-lint fixture must fail"
-if cargo run -q -p crowd-lint -- --root crates/lint/fixtures --quiet; then
-    echo "crowd-lint fixture unexpectedly passed; the lint gate is broken" >&2
-    exit 1
-fi
+run cargo run -q -p crowd-lint -- --json results/LINT_10.json
+for pack in lexical det wait meta; do
+    echo "==> crowd-lint fixture must fail (--pack $pack)"
+    if cargo run -q -p crowd-lint -- --root crates/lint/fixtures --pack "$pack" --quiet; then
+        echo "crowd-lint fixture passed pack '$pack'; the lint gate is broken" >&2
+        exit 1
+    fi
+done
 
 run cargo build --release
 run cargo test -q --workspace --no-fail-fast

@@ -121,6 +121,7 @@ fn moment_blocks(means: &[Vector], range: Range<usize>) -> Result<Vec<MomentBloc
 }
 
 /// Folds block partials in order into a mean; `None` for an empty set.
+// crowd-lint: root(det)
 fn fold_mean(parts: &[MomentBlock]) -> Result<Option<Vector>> {
     let Some(first) = parts.first() else {
         return Ok(None);
@@ -157,6 +158,7 @@ impl FirstMoments {
     }
 
     /// Concatenates per-shard partials in shard-index order.
+    // crowd-lint: root(det)
     pub fn merge(parts: impl IntoIterator<Item = FirstMoments>) -> Self {
         let mut out = FirstMoments::default();
         for p in parts {
@@ -296,6 +298,7 @@ impl SecondMoments {
     }
 
     /// Concatenates per-shard partials in shard-index order.
+    // crowd-lint: root(det)
     pub fn merge(parts: impl IntoIterator<Item = SecondMoments>) -> Self {
         let mut out = SecondMoments::default();
         for p in parts {
@@ -352,6 +355,7 @@ impl SecondMoments {
 /// Folds scatter blocks in order into the moment covariance
 /// `1/n Σ (diag(ν²) + (λ − μ)(λ − μ)ᵀ) + ridge·I`, optionally diagonalized —
 /// the block-reduction form of the former `moment_covariance`.
+// crowd-lint: root(det)
 fn fold_covariance(parts: &[ScatterBlock], ridge: f64, diagonal: bool) -> Result<Option<Matrix>> {
     let Some(first) = parts.first() else {
         return Ok(None);
@@ -478,6 +482,7 @@ impl ElboPartials {
     }
 
     /// Concatenates per-shard partials in shard-index order.
+    // crowd-lint: root(det)
     pub fn merge(parts: impl IntoIterator<Item = ElboPartials>) -> Self {
         let mut out = ElboPartials::default();
         for p in parts {
@@ -488,6 +493,7 @@ impl ElboPartials {
     }
 
     /// Folds the block partials in order into the bound.
+    // crowd-lint: root(det)
     pub fn fold(&self) -> ElboBreakdown {
         let mut worker_prior = 0.0;
         for b in &self.worker {

@@ -391,6 +391,7 @@ impl TdpmTrainer {
     /// fit of the same data — [`crowd_store::ShardedDb::resolved_tasks`] is
     /// shard-count invariant and the reduction scheme is fixed-block
     /// (DESIGN §11).
+    // crowd-lint: root(det)
     pub fn fit_sharded(&self, db: &ShardedDb) -> Result<(TdpmModel, FitReport)> {
         let ts = TrainingSet::from_sharded(db);
         if self.config.num_shards > 1 {

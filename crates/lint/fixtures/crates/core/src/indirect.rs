@@ -1,0 +1,35 @@
+//! Indirect (multi-hop) violations only the call-graph packs can see.
+//!
+//! The lexical baseline provably misses everything here: the hash-ordered
+//! float sum sits in `hidden_tally`, whose name matches none of
+//! `ordered-shard-merge`'s `fn merge/reduce/fold/resolved` patterns, and
+//! the unbounded block is a `.recv()`, which `bounded-wait-on-serve-path`
+//! (pattern `.wait(`) never matches. The golden-report test asserts that
+//! `--pack lexical` reports nothing in this file while the `det` and
+//! `wait` packs each produce a witness chain through the helpers below.
+
+use std::collections::HashMap;
+
+// Two hops: root → det_middle_hop → hidden_tally.
+// crowd-lint: root(det)
+pub fn indirect_det_entry(m: &HashMap<u64, f64>) -> f64 {
+    det_middle_hop(m)
+}
+
+fn det_middle_hop(m: &HashMap<u64, f64>) -> f64 {
+    hidden_tally(m)
+}
+
+fn hidden_tally(m: &HashMap<u64, f64>) -> f64 {
+    m.values().sum()
+}
+
+// One hop through helper indirection: root → blocking_helper.
+// crowd-lint: root(wait)
+pub fn indirect_wait_entry(rx: &std::sync::mpsc::Receiver<u64>) -> u64 {
+    blocking_helper(rx)
+}
+
+fn blocking_helper(rx: &std::sync::mpsc::Receiver<u64>) -> u64 {
+    rx.recv().unwrap_or(0)
+}

@@ -63,3 +63,48 @@ fn legitimately_suppressed(n: u64) -> u8 {
     // crowd-lint: allow(no-silent-truncation) -- fixture: n is a dice roll in 1..=6
     n as u8
 }
+
+// rule: invalid-pragma (stale: the cast below widens, so the suppressed
+// rule never fires and the pragma is dead weight)
+fn seeded_stale_pragma(n: u32) -> u64 {
+    // crowd-lint: allow(no-silent-truncation) -- fixture: stale on purpose, the cast widens
+    u64::from(n)
+}
+
+// ---- call-graph pack seeds: one direct hit per rule ----------------------
+
+// rule: det-no-hash-iter (hash iteration directly inside a det root)
+// crowd-lint: root(det)
+fn seeded_det_hash_iter(m: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for v in m.values() {
+        total += v;
+    }
+    total
+}
+
+// rule: det-no-unordered-float-sum (hash order feeding a float reduce)
+// crowd-lint: root(det)
+fn seeded_det_unordered_sum(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum()
+}
+
+// rule: det-no-mul-add (fused rounding on a determinism path)
+// crowd-lint: root(det)
+fn seeded_det_mul_add(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c)
+}
+
+// rule: wait-bounded-block-reachable (unbounded recv at a serve root)
+// crowd-lint: root(wait)
+fn seeded_wait_unbounded_recv(rx: &std::sync::mpsc::Receiver<u32>) -> u32 {
+    rx.recv().unwrap_or(0)
+}
+
+// rule: wait-guard-checkpoint-loop (spin loop that never checkpoints)
+// crowd-lint: root(wait)
+fn seeded_wait_uncheckpointed_loop() {
+    loop {
+        std::hint::spin_loop();
+    }
+}

@@ -1,13 +1,18 @@
 #![warn(missing_docs)]
 
-//! `crowd-lint` — the workspace's lexical static-analysis pass.
+//! `crowd-lint` — the workspace's static-analysis pass.
 //!
 //! TDPM's correctness rests on invariants the compiler cannot see: no
 //! panics on serving paths, total-order float comparisons, deterministic
 //! snapshot serialization, no silent integer truncation, documented panic
-//! contracts. This crate walks every workspace `*.rs` file line by line
-//! (string/comment aware — see [`strip`]), runs the rule registry
-//! ([`rules::default_rules`]) over the code channel, honours per-site
+//! contracts — and, since the sharded fit, *cross-function* properties:
+//! nothing reachable from a parallel-reduce root may iterate a hash
+//! collection, and nothing reachable from a serve root may block without
+//! a bound. This crate walks every workspace `*.rs` file (string/comment
+//! aware — see [`strip`]), runs the lexical rule registry
+//! ([`rules::default_rules`]) over the code channel, builds an
+//! intra-workspace call graph ([`graph`]) over the token-tree model
+//! ([`syntax`]) for the reachability rule packs, honours per-site
 //! suppression pragmas, and renders `file:line` diagnostics plus a
 //! machine-readable JSON report (see [`report::Report`]).
 //!
@@ -15,23 +20,29 @@
 //!
 //! ```text
 //! // crowd-lint: allow(<rule-name>) -- <reason>
+//! // crowd-lint: root(<pack>)
 //! ```
 //!
-//! placed either trailing on the offending line or on its own line(s)
-//! directly above it. The reason is mandatory: a pragma without one is
-//! itself a finding (`invalid-pragma`), so every suppression in the tree
-//! carries a written justification.
+//! `allow` is placed either trailing on the offending line or on its own
+//! line(s) directly above it. The reason is mandatory, and a reasoned
+//! pragma that suppresses nothing is *stale* — both are `invalid-pragma`
+//! findings, so every suppression in the tree is justified and live.
+//! `root` marks the `fn` it annotates (trailing or directly above) as a
+//! reachability root for a rule pack (`det` or `wait`); built-in seeds
+//! cover the fit/serve entry points even without annotations.
 //!
-//! No dependencies, no proc macros, no type information: the tool stays
-//! trivially buildable in the offline CI image and runs in milliseconds.
+//! No dependencies, no proc macros: the tool stays trivially buildable in
+//! the offline CI image and runs in milliseconds.
 
+pub mod graph;
 pub mod report;
 pub mod rules;
 pub mod source;
 pub mod strip;
+pub mod syntax;
 
-use report::{Report, RuleStat};
-use rules::{default_rules, Diagnostic};
+use report::Report;
+use rules::{default_rules, rule_catalog, Diagnostic};
 use source::SourceFile;
 use std::path::{Path, PathBuf};
 
@@ -79,15 +90,36 @@ fn parse_pragma(comment: &str) -> Option<Pragma> {
     Some(Pragma { rule, reason })
 }
 
+/// `true` when the comment is a `root(<pack>)` annotation — those belong
+/// to the call-graph layer ([`graph`]), which validates them itself.
+fn is_root_pragma(comment: &str) -> bool {
+    pragma_body(comment).is_some_and(|b| b.trim_start().starts_with("root("))
+}
+
+fn invalid_pragma(file: &SourceFile, line_idx: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: "invalid-pragma",
+        path: file.path.clone(),
+        line: line_idx + 1,
+        message,
+        suppressed: false,
+        reason: None,
+        witness: Vec::new(),
+    }
+}
+
 /// Applies suppression pragmas to raw diagnostics and appends
-/// `invalid-pragma` findings for malformed or unreasoned pragmas.
+/// `invalid-pragma` findings for malformed, unreasoned, unknown-rule, or
+/// stale pragmas. Must run after *all* rules (lexical and call-graph)
+/// have emitted for this file, or live pragmas would be reported stale.
 fn apply_pragmas(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
     // Pragmas visible from line `l`: on `l` itself, or on the contiguous
-    // run of pragma-only lines directly above it.
-    let pragmas_for = |l: usize| -> Vec<Pragma> {
+    // run of pragma-only lines directly above it. Each comes with the
+    // line it lives on so usage can be tracked for stale detection.
+    let pragmas_for = |l: usize| -> Vec<(usize, Pragma)> {
         let mut out = Vec::new();
         if let Some(p) = parse_pragma(&file.lines[l].comment) {
-            out.push(p);
+            out.push((l, p));
         }
         let mut j = l;
         while j > 0 {
@@ -95,7 +127,7 @@ fn apply_pragmas(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
             let line = &file.lines[j];
             if line.code.trim().is_empty() && pragma_body(&line.comment).is_some() {
                 if let Some(p) = parse_pragma(&line.comment) {
-                    out.push(p);
+                    out.push((j, p));
                 }
             } else {
                 break;
@@ -104,73 +136,114 @@ fn apply_pragmas(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
         out
     };
 
+    let mut used: Vec<usize> = Vec::new();
     for d in diags.iter_mut() {
         let l = d.line - 1;
-        for p in pragmas_for(l) {
+        for (pl, p) in pragmas_for(l) {
             if p.rule == d.rule {
                 if let Some(reason) = p.reason {
                     d.suppressed = true;
                     d.reason = Some(reason);
+                    used.push(pl);
                 }
                 break;
             }
         }
     }
 
-    // Every pragma in the file must be well-formed and reasoned,
-    // independently of whether it matched a finding.
-    let known: Vec<&'static str> = default_rules().iter().map(|r| r.name()).collect();
+    // Every pragma in the file must be well-formed, reasoned, name a known
+    // rule, and actually suppress something.
+    let known: Vec<&'static str> = rule_catalog()
+        .iter()
+        .map(|r| r.name)
+        .filter(|&n| n != "invalid-pragma")
+        .collect();
     for (i, line) in file.lines.iter().enumerate() {
-        if pragma_body(&line.comment).is_none() {
+        if pragma_body(&line.comment).is_none() || is_root_pragma(&line.comment) {
             continue;
         }
         match parse_pragma(&line.comment) {
-            Some(p) if p.reason.is_none() => diags.push(Diagnostic {
-                rule: "invalid-pragma",
-                path: file.path.clone(),
-                line: i + 1,
-                message: format!(
+            Some(p) if p.reason.is_none() => diags.push(invalid_pragma(
+                file,
+                i,
+                format!(
                     "pragma for `{}` has no written reason (`-- <why>` is mandatory)",
                     p.rule
                 ),
-                suppressed: false,
-                reason: None,
-            }),
-            Some(p) if !known.contains(&p.rule.as_str()) => diags.push(Diagnostic {
-                rule: "invalid-pragma",
-                path: file.path.clone(),
-                line: i + 1,
-                message: format!("pragma names unknown rule `{}`", p.rule),
-                suppressed: false,
-                reason: None,
-            }),
-            Some(_) => {}
-            None => diags.push(Diagnostic {
-                rule: "invalid-pragma",
-                path: file.path.clone(),
-                line: i + 1,
-                message: "malformed crowd-lint pragma (expected \
-                          `crowd-lint: allow(<rule>) -- <reason>`)"
+            )),
+            Some(p) if !known.contains(&p.rule.as_str()) => diags.push(invalid_pragma(
+                file,
+                i,
+                format!("pragma names unknown rule `{}`", p.rule),
+            )),
+            Some(p) => {
+                if !used.contains(&i) {
+                    diags.push(invalid_pragma(
+                        file,
+                        i,
+                        format!(
+                            "stale pragma: `{}` no longer fires on the line this \
+                             suppression covers — remove it",
+                            p.rule
+                        ),
+                    ));
+                }
+            }
+            None => diags.push(invalid_pragma(
+                file,
+                i,
+                "malformed crowd-lint pragma (expected \
+                 `crowd-lint: allow(<rule>) -- <reason>` or `crowd-lint: root(<pack>)`)"
                     .to_string(),
-                suppressed: false,
-                reason: None,
-            }),
+            )),
         }
     }
 }
 
-/// Lints a single source text as if it lived at `rel_path` under the root.
-/// This is the seam the unit tests drive.
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
-    let test_file = is_test_path(rel_path);
-    let file = SourceFile::parse(rel_path, src, test_file);
-    let mut diags = Vec::new();
-    for rule in default_rules() {
-        rule.check(&file, &mut diags);
+/// Lints a set of in-memory sources as one workspace: per-file lexical
+/// rules, the cross-file call-graph packs, then pragma application and
+/// stale detection per file. This is the seam both the unit tests and
+/// [`lint_root`] drive.
+pub fn lint_sources(inputs: &[(String, String)]) -> Vec<Diagnostic> {
+    let files: Vec<SourceFile> = inputs
+        .iter()
+        .map(|(rel, src)| SourceFile::parse(rel.clone(), src, is_test_path(rel)))
+        .collect();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for file in &files {
+        for rule in default_rules() {
+            rule.check(file, &mut diags);
+        }
     }
-    apply_pragmas(&file, &mut diags);
-    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    diags
+    graph::check(&files, &mut diags);
+
+    // Pragmas are per-file, but they can only be applied once every rule
+    // (including the workspace-wide ones) has finished emitting.
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for file in &files {
+        let mut file_diags: Vec<Diagnostic> = Vec::new();
+        let mut rest = Vec::new();
+        for d in diags {
+            if d.path == file.path {
+                file_diags.push(d);
+            } else {
+                rest.push(d);
+            }
+        }
+        diags = rest;
+        apply_pragmas(file, &mut file_diags);
+        out.extend(file_diags);
+    }
+    out.extend(diags);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// Lints a single source text as if it lived at `rel_path` under the root
+/// (a one-file workspace: call-graph packs still run, scoped to the file).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    lint_sources(&[(rel_path.to_string(), src.to_string())])
 }
 
 /// `true` for paths whose whole file is test/bench code.
@@ -213,43 +286,16 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<String>> {
     Ok(out)
 }
 
-/// Lints every workspace source file under `root` and builds the report.
+/// Lints every workspace source file under `root` — one call-graph over
+/// the whole tree — and builds the report.
 pub fn lint_root(root: &Path) -> std::io::Result<Report> {
     let files = collect_files(root)?;
-    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(files.len());
     for rel in &files {
-        let src = std::fs::read_to_string(root.join(rel))?;
-        diagnostics.extend(lint_source(rel, &src));
+        inputs.push((rel.clone(), std::fs::read_to_string(root.join(rel))?));
     }
-    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-
-    let mut stats: Vec<RuleStat> = default_rules()
-        .iter()
-        .map(|r| RuleStat {
-            name: r.name(),
-            unsuppressed: 0,
-            suppressed: 0,
-        })
-        .collect();
-    stats.push(RuleStat {
-        name: "invalid-pragma",
-        unsuppressed: 0,
-        suppressed: 0,
-    });
-    for d in &diagnostics {
-        if let Some(st) = stats.iter_mut().find(|s| s.name == d.rule) {
-            if d.suppressed {
-                st.suppressed += 1;
-            } else {
-                st.unsuppressed += 1;
-            }
-        }
-    }
-    Ok(Report {
-        files_scanned: files.len(),
-        stats,
-        diagnostics,
-    })
+    let diagnostics = lint_sources(&inputs);
+    Ok(Report::build(files.len(), diagnostics))
 }
 
 #[cfg(test)]

@@ -17,26 +17,32 @@ USAGE:
 OPTIONS:
     --root <DIR>     lint the tree rooted at DIR (default: .)
     --json <PATH>    also write the machine-readable report to PATH
+    --pack <PACK>    gate only one rule pack: lexical | det | wait | meta
     --quiet          print only the summary, not per-site diagnostics
     --help           this text
 
 RULES:"
     );
-    for rule in crowd_lint::rules::default_rules() {
-        println!("    {:<28} {}", rule.name(), rule.describe());
+    for rule in crowd_lint::rules::rule_catalog() {
+        println!("    {:<28} [{:<7}] {}", rule.name, rule.pack, rule.describe);
     }
     println!(
         "
-PRAGMA:
+PRAGMAS:
     // crowd-lint: allow(<rule>) -- <reason>
 placed on the offending line or the line(s) directly above it. The reason
-is mandatory; a pragma without one is an `invalid-pragma` finding."
+is mandatory, and a pragma that suppresses nothing is stale; both are
+`invalid-pragma` findings.
+    // crowd-lint: root(<pack>)
+on (or directly above) a fn declaration marks it as a reachability root
+for the `det` or `wait` call-graph pack."
     );
 }
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json: Option<PathBuf> = None;
+    let mut pack: Option<String> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -60,6 +66,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--pack" => match args.next() {
+                Some(v) if ["lexical", "det", "wait", "meta"].contains(&v.as_str()) => {
+                    pack = Some(v);
+                }
+                Some(v) => {
+                    eprintln!("crowd-lint: unknown pack `{v}` (lexical | det | wait | meta)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("crowd-lint: --pack needs a value");
+                    return ExitCode::from(2);
+                }
+            },
             "--quiet" => quiet = true,
             other => {
                 eprintln!("crowd-lint: unknown argument `{other}` (try --help)");
@@ -68,13 +87,16 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match crowd_lint::lint_root(&root) {
+    let mut report = match crowd_lint::lint_root(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("crowd-lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if let Some(p) = &pack {
+        report = report.filter_pack(p);
+    }
 
     if !quiet {
         for d in &report.diagnostics {

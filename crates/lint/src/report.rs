@@ -1,12 +1,23 @@
-//! Machine-readable lint report (`results/LINT_5.json`).
+//! Machine-readable lint report (`results/LINT_10.json`).
+//!
+//! Schema v2 (PR 10): a top-level `schema_version`, a `pack` per rule
+//! (`lexical`, `det`, `wait`, `meta`), and a `witness` call chain on
+//! call-graph diagnostics. Paths are workspace-relative and
+//! `/`-separated; key order, rule order, and diagnostic order are all
+//! deterministic so the artifact is byte-stable across runs.
 
-use crate::rules::Diagnostic;
+use crate::rules::{rule_catalog, Diagnostic};
+
+/// The JSON schema version this build of the tool emits.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Per-rule hit counts.
 #[derive(Debug, Clone)]
 pub struct RuleStat {
     /// Rule name.
     pub name: &'static str,
+    /// Rule pack (`lexical`, `det`, `wait`, `meta`).
+    pub pack: &'static str,
     /// Findings not covered by a pragma — the CI gate requires 0.
     pub unsuppressed: usize,
     /// Findings covered by a reasoned pragma.
@@ -41,6 +52,54 @@ fn json_escape(s: &str) -> String {
 }
 
 impl Report {
+    /// Builds the report from sorted diagnostics, counting per-rule stats
+    /// in catalog order.
+    pub fn build(files_scanned: usize, diagnostics: Vec<Diagnostic>) -> Report {
+        let mut stats: Vec<RuleStat> = rule_catalog()
+            .iter()
+            .map(|r| RuleStat {
+                name: r.name,
+                pack: r.pack,
+                unsuppressed: 0,
+                suppressed: 0,
+            })
+            .collect();
+        for d in &diagnostics {
+            if let Some(st) = stats.iter_mut().find(|s| s.name == d.rule) {
+                if d.suppressed {
+                    st.suppressed += 1;
+                } else {
+                    st.unsuppressed += 1;
+                }
+            }
+        }
+        Report {
+            files_scanned,
+            stats,
+            diagnostics,
+        }
+    }
+
+    /// Restricts the report to one rule pack (for the per-pack fixture
+    /// must-fail gates). Unknown pack names yield an empty report.
+    pub fn filter_pack(self, pack: &str) -> Report {
+        let keep: Vec<&'static str> = self
+            .stats
+            .iter()
+            .filter(|s| s.pack == pack)
+            .map(|s| s.name)
+            .collect();
+        Report {
+            files_scanned: self.files_scanned,
+            stats: self.stats.into_iter().filter(|s| s.pack == pack).collect(),
+            diagnostics: self
+                .diagnostics
+                .into_iter()
+                .filter(|d| keep.contains(&d.rule))
+                .collect(),
+        }
+    }
+
     /// Total findings the gate counts against the build.
     pub fn total_unsuppressed(&self) -> usize {
         self.stats.iter().map(|s| s.unsuppressed).sum()
@@ -52,6 +111,7 @@ impl Report {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str("  \"tool\": \"crowd-lint\",\n");
+        s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         s.push_str(&format!(
             "  \"total_unsuppressed\": {},\n",
@@ -60,8 +120,10 @@ impl Report {
         s.push_str("  \"rules\": [\n");
         for (i, st) in self.stats.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"rule\": \"{}\", \"unsuppressed\": {}, \"suppressed\": {}}}{}\n",
+                "    {{\"rule\": \"{}\", \"pack\": \"{}\", \"unsuppressed\": {}, \
+                 \"suppressed\": {}}}{}\n",
                 st.name,
+                st.pack,
                 st.unsuppressed,
                 st.suppressed,
                 if i + 1 < self.stats.len() { "," } else { "" }
@@ -70,9 +132,21 @@ impl Report {
         s.push_str("  ],\n");
         s.push_str("  \"diagnostics\": [\n");
         for (i, d) in self.diagnostics.iter().enumerate() {
+            let witness = if d.witness.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", \"witness\": [{}]",
+                    d.witness
+                        .iter()
+                        .map(|w| format!("\"{}\"", json_escape(w)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
             s.push_str(&format!(
                 "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
-                 \"suppressed\": {}, \"message\": \"{}\"{}}}{}\n",
+                 \"suppressed\": {}, \"message\": \"{}\"{}{}}}{}\n",
                 d.rule,
                 json_escape(&d.path),
                 d.line,
@@ -82,6 +156,7 @@ impl Report {
                     Some(r) => format!(", \"reason\": \"{}\"", json_escape(r)),
                     None => String::new(),
                 },
+                witness,
                 if i + 1 < self.diagnostics.len() {
                     ","
                 } else {
@@ -99,8 +174,8 @@ impl Report {
         let mut s = String::new();
         for st in &self.stats {
             s.push_str(&format!(
-                "  {:<28} {:>4} unsuppressed  {:>4} suppressed\n",
-                st.name, st.unsuppressed, st.suppressed
+                "  {:<28} [{:<7}] {:>4} unsuppressed  {:>4} suppressed\n",
+                st.name, st.pack, st.unsuppressed, st.suppressed
             ));
         }
         s.push_str(&format!(

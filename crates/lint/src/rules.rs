@@ -23,6 +23,49 @@ pub struct Diagnostic {
     pub suppressed: bool,
     /// The pragma's written reason, when suppressed.
     pub reason: Option<String>,
+    /// Call chain `root → … → offender` for call-graph rules (empty for
+    /// lexical findings).
+    pub witness: Vec<String>,
+}
+
+/// One row of the full rule catalog (lexical rules, call-graph packs, and
+/// the meta rule), carrying the pack each rule gates under.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable kebab-case rule name.
+    pub name: &'static str,
+    /// `lexical`, `det`, `wait`, or `meta`.
+    pub pack: &'static str,
+    /// One-line description.
+    pub describe: &'static str,
+}
+
+/// The complete catalog in report order: lexical rules first, then the
+/// call-graph packs, then `invalid-pragma`.
+pub fn rule_catalog() -> Vec<RuleInfo> {
+    let mut out: Vec<RuleInfo> = default_rules()
+        .iter()
+        .map(|r| RuleInfo {
+            name: r.name(),
+            pack: "lexical",
+            describe: r.describe(),
+        })
+        .collect();
+    out.extend(
+        crate::graph::GRAPH_RULES
+            .iter()
+            .map(|&(name, pack, describe)| RuleInfo {
+                name,
+                pack,
+                describe,
+            }),
+    );
+    out.push(RuleInfo {
+        name: "invalid-pragma",
+        pack: "meta",
+        describe: "suppression/root pragmas must be well-formed, reasoned, and non-stale",
+    });
+    out
 }
 
 /// A lint rule.
@@ -57,6 +100,7 @@ fn diag(rule: &'static str, file: &SourceFile, line_idx: usize, message: String)
         message,
         suppressed: false,
         reason: None,
+        witness: Vec::new(),
     }
 }
 

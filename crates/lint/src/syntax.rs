@@ -1,0 +1,1155 @@
+//! Token-tree syntax layer: the bridge from [`crate::strip`]'s per-line
+//! code channel to a structural model of a Rust file.
+//!
+//! The lexical rules of PR 5–9 see lines; the call-graph rule packs need
+//! *items*: which `fn`s a file defines, which impl/trait block each lives
+//! in, where its body starts and ends, what it calls, and which local
+//! names are bound to hash collections. This module answers those
+//! questions with a small token stream over the stripped code channel —
+//! no new dependencies, no proc macros, and (by construction) no string or
+//! comment content, because the stripper already removed both.
+//!
+//! Precision contract: the parser is *best effort* on exotic syntax
+//! (higher-ranked bounds, macro-generated items) but exact on the
+//! workspace's idioms. Where type information is genuinely absent the
+//! model records "unknown" and the resolver in [`crate::graph`] falls back
+//! to name-based matching — a deliberate over-approximation, because a
+//! reachability analysis used as a CI gate must not silently *miss* edges.
+
+use crate::strip::Line;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// One token of the code channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Identifier text, or the punctuation lexeme (`::` is one token).
+    pub text: String,
+    /// `true` for identifiers/keywords, `false` for punctuation.
+    pub ident: bool,
+    /// 0-based source line.
+    pub line: usize,
+}
+
+/// Tokenizes the stripped code channels. Number literals and lifetimes are
+/// dropped: no rule needs them, and skipping them keeps `'a` from ever
+/// looking like an identifier.
+pub fn tokenize(lines: &[Line]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (ln, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    ident: true,
+                    line: ln,
+                });
+            } else if c.is_ascii_digit() {
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '.' || chars[i] == '_')
+                {
+                    i += 1;
+                }
+            } else if c == '\'' {
+                // Lifetime or (blanked) char literal: skip the quote and any
+                // identifier tail.
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                if i < chars.len() && chars[i] == '\'' {
+                    i += 1;
+                }
+            } else if c == ':' && chars.get(i + 1) == Some(&':') {
+                out.push(Token {
+                    text: "::".to_string(),
+                    ident: false,
+                    line: ln,
+                });
+                i += 2;
+            } else if c == '-' && chars.get(i + 1) == Some(&'>') {
+                out.push(Token {
+                    text: "->".to_string(),
+                    ident: false,
+                    line: ln,
+                });
+                i += 2;
+            } else if c == '=' && chars.get(i + 1) == Some(&'>') {
+                out.push(Token {
+                    text: "=>".to_string(),
+                    ident: false,
+                    line: ln,
+                });
+                i += 2;
+            } else {
+                out.push(Token {
+                    text: c.to_string(),
+                    ident: false,
+                    line: ln,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallKind {
+    /// `foo(...)` — a free (or `use`-imported) function.
+    Free,
+    /// `recv.foo(...)`; the receiver's core type when lexically resolvable.
+    Method {
+        /// Core type of the receiver (`None` when unknown).
+        recv_type: Option<String>,
+    },
+    /// `Qual::foo(...)`; the path segment directly before the callee.
+    Path {
+        /// The qualifying segment (a type, module, or `crate`/`self`).
+        qualifier: String,
+    },
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub name: String,
+    /// Resolution hint.
+    pub kind: CallKind,
+    /// 0-based line of the callee token.
+    pub line: usize,
+}
+
+/// A hash-collection iteration site (the determinism hazard).
+#[derive(Debug, Clone)]
+pub struct HashIterSite {
+    /// 0-based line.
+    pub line: usize,
+    /// Rendered receiver for the message (`per_shard.values()`).
+    pub what: String,
+    /// `true` when the same line feeds the iteration into a float reduce
+    /// (`.sum(` / `.fold(` / `.product(`).
+    pub feeds_reduce: bool,
+}
+
+/// A bare `loop { … }` block (the bounded-wait hazard surface).
+#[derive(Debug, Clone)]
+pub struct LoopSpan {
+    /// 0-based first line (the `loop` keyword).
+    pub start: usize,
+    /// 0-based line of the matching close brace.
+    pub end: usize,
+}
+
+/// A function definition with everything the graph layer needs.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Name as written.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when inside one.
+    pub qual: Option<String>,
+    /// Trait name for `impl Trait for Type` blocks (`qual` holds `Type`).
+    pub trait_name: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 0-based *exclusive* line range `decl..close+1` covering the body
+    /// (just the decl line for body-less trait signatures).
+    pub body: Range<usize>,
+    /// `true` when the declaration sits in test code.
+    pub is_test: bool,
+    /// Calls made from the body (nested items included — attributing a
+    /// nested helper's calls to the outer fn keeps reachability sound).
+    pub calls: Vec<CallSite>,
+    /// Hash-collection iterations in the body.
+    pub hash_iters: Vec<HashIterSite>,
+    /// `.mul_add(` call lines in the body.
+    pub mul_add_lines: Vec<usize>,
+    /// Unbounded blocking calls in the body: `(line, method name)`.
+    pub unbounded_block_lines: Vec<(usize, String)>,
+    /// Bare `loop { … }` spans in the body.
+    pub loops: Vec<LoopSpan>,
+}
+
+/// The parsed structural model of one file.
+#[derive(Debug, Default)]
+pub struct FileSyntax {
+    /// Every `fn` definition, nested ones included, in source order.
+    pub fns: Vec<FnDef>,
+    /// `struct Name { field: Type }` field types: `(struct, field) → type`.
+    pub fields: BTreeMap<(String, String), String>,
+}
+
+/// Rust keywords that must never be mistaken for callees or receivers.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "async"
+            | "await"
+            | "box"
+    )
+}
+
+/// Smart-pointer / container wrappers peeled away when extracting the core
+/// type of an annotation like `Option<Arc<AdmissionController>>`.
+const TYPE_WRAPPERS: &[&str] = &[
+    "Option",
+    "Arc",
+    "Rc",
+    "Box",
+    "Result",
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "Cow",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "Weak",
+    "Pin",
+    "ManuallyDrop",
+];
+
+/// First non-wrapper capitalized ident of a type annotation: the "core"
+/// type used for method resolution. `Vec`/`VecDeque` and friends stay
+/// terminal (their methods are std's, not the workspace's), so a known
+/// `Vec<T>` receiver resolves to nothing rather than to `T`'s methods.
+pub fn core_type(type_text: &str) -> Option<String> {
+    for word in type_text
+        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .filter(|w| !w.is_empty())
+    {
+        if TYPE_WRAPPERS.contains(&word) || is_keyword(word) {
+            continue;
+        }
+        if word.chars().next().is_some_and(char::is_uppercase) {
+            return Some(word.to_string());
+        }
+    }
+    None
+}
+
+/// `true` when a type annotation names a hash collection anywhere.
+pub fn is_hash_type(type_text: &str) -> bool {
+    type_text.contains("HashMap") || type_text.contains("HashSet")
+}
+
+/// Iterator-producing methods whose order is the hash table's.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Blocking primitives that park without a bound. `wait_timeout` /
+/// `recv_timeout` / `try_recv` are distinct idents, so they never match.
+const UNBOUNDED_BLOCK_METHODS: &[&str] = &["wait", "recv"];
+
+/// Skips a balanced `<...>` run starting at `j` (which must point at `<`).
+fn skip_angles(toks: &[Token], mut j: usize) -> usize {
+    let mut a = 0i64;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => a += 1,
+            ">" => {
+                a -= 1;
+                if a == 0 {
+                    return j + 1;
+                }
+            }
+            // `{`/`;` inside what we took for generics means we misread —
+            // bail where we are rather than swallow an item.
+            ";" | "{" => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// `(fn index, first param-list token, closing paren token)`.
+type ParamSpan = (usize, usize, usize);
+
+/// Parses one file. `lines` must be the stripped lines of the same source
+/// (used for per-line test flags and reduce detection).
+pub fn parse_file(lines: &[Line]) -> FileSyntax {
+    let toks = tokenize(lines);
+    let mut out = FileSyntax::default();
+    let mut param_spans: Vec<ParamSpan> = Vec::new();
+
+    // ---- pass 1: scopes, struct fields, fn extents ----------------------
+    #[derive(Debug, Clone)]
+    struct Scope {
+        depth_at_open: i64,
+        qual: Option<String>,
+        trait_name: Option<String>,
+    }
+    let mut depth: i64 = 0;
+    let mut scopes: Vec<Scope> = Vec::new();
+    // `(fn index, depth to close at)` for extent tracking.
+    let mut open_fns: Vec<(usize, i64)> = Vec::new();
+    let mut i = 0usize;
+
+    while i < toks.len() {
+        let t = &toks[i];
+        if !t.ident {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    while scopes.last().is_some_and(|s| s.depth_at_open >= depth) {
+                        scopes.pop();
+                    }
+                    while let Some(&(fi, d)) = open_fns.last() {
+                        if d == depth {
+                            out.fns[fi].body = out.fns[fi].body.start..t.line + 1;
+                            open_fns.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" | "trait" => {
+                let is_trait = t.text == "trait";
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|x| x.text == "<") {
+                    j = skip_angles(&toks, j);
+                }
+                let mut before_for: Vec<String> = Vec::new();
+                let mut after_for: Vec<String> = Vec::new();
+                let mut seen_for = false;
+                while j < toks.len() {
+                    let x = &toks[j];
+                    match x.text.as_str() {
+                        "{" | "where" | ";" => break,
+                        "for" => {
+                            seen_for = true;
+                            j += 1;
+                        }
+                        "<" => j = skip_angles(&toks, j),
+                        _ => {
+                            if x.ident && !is_keyword(&x.text) {
+                                if seen_for {
+                                    after_for.push(x.text.clone());
+                                } else {
+                                    before_for.push(x.text.clone());
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+                let (qual, trait_name) = if is_trait {
+                    (before_for.first().cloned(), None)
+                } else if seen_for {
+                    (after_for.last().cloned(), before_for.last().cloned())
+                } else {
+                    (before_for.last().cloned(), None)
+                };
+                while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|x| x.text == "{") {
+                    scopes.push(Scope {
+                        depth_at_open: depth,
+                        qual,
+                        trait_name,
+                    });
+                    depth += 1;
+                    j += 1;
+                }
+                i = j.max(i + 1);
+            }
+            "struct" => {
+                if let Some(x) = toks.get(i + 1) {
+                    if x.ident && !is_keyword(&x.text) {
+                        let name = x.text.clone();
+                        let mut j = i + 2;
+                        if toks.get(j).is_some_and(|y| y.text == "<") {
+                            j = skip_angles(&toks, j);
+                        }
+                        while j < toks.len()
+                            && toks[j].text != "{"
+                            && toks[j].text != ";"
+                            && toks[j].text != "("
+                        {
+                            j += 1;
+                        }
+                        if toks.get(j).is_some_and(|y| y.text == "{") {
+                            collect_fields(&toks, j + 1, &name, &mut out.fields);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            "fn" => {
+                let Some(name_tok) = toks.get(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                if !name_tok.ident || is_keyword(&name_tok.text) {
+                    i += 1;
+                    continue;
+                }
+                let scope = scopes.last();
+                let decl_line = t.line;
+                let mut j = i + 2;
+                if toks.get(j).is_some_and(|x| x.text == "<") {
+                    j = skip_angles(&toks, j);
+                }
+                // Parameter list extent.
+                let params_start = j;
+                let mut pdepth = 0i64;
+                let mut params_end = j;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" => pdepth += 1,
+                        ")" => {
+                            pdepth -= 1;
+                            if pdepth == 0 {
+                                params_end = j;
+                                j += 1;
+                                break;
+                            }
+                        }
+                        "{" | ";" => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                // Body `{` or trailing `;` (skipping return type / where).
+                let mut a = 0i64;
+                let mut body_open: Option<usize> = None;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "<" => a += 1,
+                        ">" => a -= 1,
+                        "{" if a <= 0 => {
+                            body_open = Some(j);
+                            break;
+                        }
+                        ";" if a <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let fi = out.fns.len();
+                out.fns.push(FnDef {
+                    name: name_tok.text.clone(),
+                    qual: scope.and_then(|s| s.qual.clone()),
+                    trait_name: scope.and_then(|s| s.trait_name.clone()),
+                    decl_line,
+                    body: decl_line..decl_line + 1,
+                    is_test: lines.get(decl_line).is_some_and(|l| l.in_test),
+                    calls: Vec::new(),
+                    hash_iters: Vec::new(),
+                    mul_add_lines: Vec::new(),
+                    unbounded_block_lines: Vec::new(),
+                    loops: Vec::new(),
+                });
+                param_spans.push((fi, params_start, params_end));
+                if let Some(open) = body_open {
+                    open_fns.push((fi, depth));
+                    depth += 1;
+                    i = open + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Close any fn left open at EOF.
+    let last_line = lines.len().saturating_sub(1);
+    while let Some((fi, _)) = open_fns.pop() {
+        out.fns[fi].body = out.fns[fi].body.start..last_line + 1;
+    }
+
+    analyze_bodies(&toks, lines, &mut out, &param_spans);
+    out
+}
+
+/// Collects `field: Type` pairs of a named-field struct body starting just
+/// inside its `{`.
+fn collect_fields(
+    toks: &[Token],
+    start: usize,
+    struct_name: &str,
+    fields: &mut BTreeMap<(String, String), String>,
+) {
+    let mut k = start;
+    let mut fdepth = 1i64;
+    let mut adepth = 0i64;
+    while k < toks.len() && fdepth > 0 {
+        match toks[k].text.as_str() {
+            "{" | "(" => fdepth += 1,
+            "}" | ")" => fdepth -= 1,
+            "<" => adepth += 1,
+            ">" => adepth -= 1,
+            ":" if fdepth == 1 && adepth == 0 => {
+                if let Some(prev) = k.checked_sub(1).and_then(|p| toks.get(p)) {
+                    if prev.ident && !is_keyword(&prev.text) {
+                        let mut ty = String::new();
+                        let mut m = k + 1;
+                        let mut a = 0i64;
+                        let mut d = 0i64;
+                        while m < toks.len() {
+                            match toks[m].text.as_str() {
+                                "<" => a += 1,
+                                ">" => a -= 1,
+                                "(" | "{" => d += 1,
+                                ")" | "}" if d > 0 => d -= 1,
+                                "," if a <= 0 && d == 0 => break,
+                                "}" if a <= 0 && d == 0 => break,
+                                _ => {}
+                            }
+                            if !ty.is_empty() {
+                                ty.push(' ');
+                            }
+                            ty.push_str(&toks[m].text);
+                            m += 1;
+                        }
+                        fields.insert((struct_name.to_string(), prev.text.clone()), ty);
+                    }
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+}
+
+/// Pass 2: walk every fn's token slice, binding local/param types and
+/// extracting call sites and hazard sites.
+fn analyze_bodies(toks: &[Token], lines: &[Line], out: &mut FileSyntax, spans: &[ParamSpan]) {
+    // Token index ranges per fn: from decl to end of body (by line).
+    for &(fi, pstart, pend) in spans {
+        let (body_lines, qual) = {
+            let f = &out.fns[fi];
+            (f.body.clone(), f.qual.clone())
+        };
+        // Local name → type text. Params first.
+        let mut locals: BTreeMap<String, String> = BTreeMap::new();
+        let mut k = pstart;
+        // Split the param list on top-level commas; record `name : Type`.
+        let mut a = 0i64;
+        let mut d = 0i64;
+        let mut cur_name: Option<String> = None;
+        let mut cur_ty: Option<String> = None;
+        while k <= pend && k < toks.len() {
+            let x = &toks[k];
+            match x.text.as_str() {
+                "<" => a += 1,
+                ">" => a -= 1,
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => d -= 1,
+                "," if a == 0 && d == 1 => {
+                    if let (Some(n), Some(ty)) = (cur_name.take(), cur_ty.take()) {
+                        locals.insert(n, ty);
+                    }
+                    cur_name = None;
+                    cur_ty = None;
+                }
+                ":" if a == 0 && d == 1 && cur_ty.is_none() => {
+                    cur_name = k
+                        .checked_sub(1)
+                        .and_then(|p| toks.get(p))
+                        .filter(|p| p.ident && !is_keyword(&p.text))
+                        .map(|p| p.text.clone());
+                    cur_ty = Some(String::new());
+                }
+                _ => {
+                    if let Some(ty) = cur_ty.as_mut() {
+                        if !ty.is_empty() {
+                            ty.push(' ');
+                        }
+                        ty.push_str(&x.text);
+                    }
+                }
+            }
+            k += 1;
+        }
+        if let (Some(n), Some(ty)) = (cur_name.take(), cur_ty.take()) {
+            locals.insert(n, ty);
+        }
+
+        // Token slice of the body (by line range).
+        let body_tok: Vec<usize> = (0..toks.len())
+            .filter(|&ti| toks[ti].line >= body_lines.start && toks[ti].line < body_lines.end)
+            .collect();
+
+        // First sweep: `let` bindings (type annotations and `Type::ctor()`).
+        let mut bi = 0usize;
+        while bi < body_tok.len() {
+            let ti = body_tok[bi];
+            if toks[ti].text == "let" {
+                let mut m = bi + 1;
+                while m < body_tok.len() && toks[body_tok[m]].text == "mut" {
+                    m += 1;
+                }
+                if let Some(&nti) = body_tok.get(m) {
+                    let name_tok = &toks[nti];
+                    if name_tok.ident && !is_keyword(&name_tok.text) {
+                        let name = name_tok.text.clone();
+                        match body_tok.get(m + 1).map(|&x| toks[x].text.as_str()) {
+                            Some(":") => {
+                                let mut ty = String::new();
+                                let mut n = m + 2;
+                                let mut aa = 0i64;
+                                while n < body_tok.len() {
+                                    let tt = &toks[body_tok[n]];
+                                    match tt.text.as_str() {
+                                        "<" => aa += 1,
+                                        ">" => aa -= 1,
+                                        "=" | ";" if aa <= 0 => break,
+                                        _ => {}
+                                    }
+                                    if !ty.is_empty() {
+                                        ty.push(' ');
+                                    }
+                                    ty.push_str(&tt.text);
+                                    n += 1;
+                                }
+                                locals.insert(name, ty);
+                            }
+                            Some("=") => {
+                                // `let x = Type::ctor(...)` — constructor
+                                // heuristic: an uppercase path segment.
+                                if let (Some(&t1), Some(&t2), Some(&t3)) = (
+                                    body_tok.get(m + 2),
+                                    body_tok.get(m + 3),
+                                    body_tok.get(m + 4),
+                                ) {
+                                    if toks[t1].ident
+                                        && toks[t1]
+                                            .text
+                                            .chars()
+                                            .next()
+                                            .is_some_and(char::is_uppercase)
+                                        && toks[t2].text == "::"
+                                        && toks[t3].ident
+                                    {
+                                        locals.insert(name, toks[t1].text.clone());
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            bi += 1;
+        }
+
+        // Resolve a receiver token run ending at `end_bi` (the token just
+        // before the `.`), returning a core type when known.
+        let recv_type = |end_bi: usize, body_tok: &[usize]| -> (Option<String>, String) {
+            let ti = body_tok[end_bi];
+            let t = &toks[ti];
+            if t.text == ")" {
+                // Chained call: find the matching `(`, then the callee.
+                let mut d2 = 0i64;
+                let mut m = end_bi;
+                loop {
+                    let x = &toks[body_tok[m]];
+                    if x.text == ")" {
+                        d2 += 1;
+                    } else if x.text == "(" {
+                        d2 -= 1;
+                        if d2 == 0 {
+                            break;
+                        }
+                    }
+                    if m == 0 {
+                        return (None, String::new());
+                    }
+                    m -= 1;
+                }
+                // Callee ident before `(`; qualifier before `::`.
+                if m >= 1 {
+                    let callee = &toks[body_tok[m - 1]];
+                    if callee.ident && m >= 3 && toks[body_tok[m - 2]].text == "::" {
+                        let q = &toks[body_tok[m - 3]];
+                        if q.ident && q.text.chars().next().is_some_and(char::is_uppercase) {
+                            // `Type::ctor(..)` chains: assume the ctor
+                            // returns (a handle to) `Type`.
+                            return (
+                                Some(q.text.clone()),
+                                format!("{}::{}()", q.text, callee.text),
+                            );
+                        }
+                    }
+                }
+                (None, String::new())
+            } else if t.ident {
+                if t.text == "self" {
+                    return (qual.clone(), "self".to_string());
+                }
+                // `self.field` receiver?
+                if end_bi >= 2
+                    && toks[body_tok[end_bi - 1]].text == "."
+                    && toks[body_tok[end_bi - 2]].text == "self"
+                {
+                    if let Some(q) = &qual {
+                        if let Some(ty) = out.fields.get(&(q.clone(), t.text.clone())) {
+                            return (core_type(ty), format!("self.{}", t.text));
+                        }
+                    }
+                    return (None, format!("self.{}", t.text));
+                }
+                if let Some(ty) = locals.get(&t.text) {
+                    return (core_type(ty), t.text.clone());
+                }
+                (None, t.text.clone())
+            } else {
+                (None, String::new())
+            }
+        };
+
+        // Hash-typedness of a receiver run ending at `end_bi`.
+        let recv_is_hash = |end_bi: usize, body_tok: &[usize]| -> bool {
+            let t = &toks[body_tok[end_bi]];
+            if !t.ident {
+                return false;
+            }
+            if end_bi >= 2
+                && toks[body_tok[end_bi - 1]].text == "."
+                && toks[body_tok[end_bi - 2]].text == "self"
+            {
+                if let Some(q) = &qual {
+                    if let Some(ty) = out.fields.get(&(q.clone(), t.text.clone())) {
+                        return is_hash_type(ty);
+                    }
+                }
+                return false;
+            }
+            locals.get(&t.text).is_some_and(|ty| is_hash_type(ty))
+        };
+
+        let mut calls = Vec::new();
+        let mut hash_iters = Vec::new();
+        let mut mul_add_lines = Vec::new();
+        let mut unbounded = Vec::new();
+        let mut loops = Vec::new();
+
+        let mut bi = 0usize;
+        while bi < body_tok.len() {
+            let ti = body_tok[bi];
+            let t = &toks[ti];
+            if lines[t.line].in_test {
+                bi += 1;
+                continue;
+            }
+            // Bare `loop {` spans.
+            if t.ident && t.text == "loop" {
+                if let Some(&nti) = body_tok.get(bi + 1) {
+                    if toks[nti].text == "{" {
+                        let mut d2 = 0i64;
+                        let mut m = bi + 1;
+                        let mut end_line = t.line;
+                        while m < body_tok.len() {
+                            match toks[body_tok[m]].text.as_str() {
+                                "{" => d2 += 1,
+                                "}" => {
+                                    d2 -= 1;
+                                    if d2 == 0 {
+                                        end_line = toks[body_tok[m]].line;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        loops.push(LoopSpan {
+                            start: t.line,
+                            end: end_line,
+                        });
+                    }
+                }
+            }
+            // `for pat in [&][mut] ident {` over a hash-typed ident.
+            if t.ident && t.text == "for" {
+                let mut m = bi + 1;
+                while m < body_tok.len()
+                    && toks[body_tok[m]].text != "in"
+                    && toks[body_tok[m]].text != "{"
+                {
+                    m += 1;
+                }
+                if m < body_tok.len() && toks[body_tok[m]].text == "in" {
+                    let mut n = m + 1;
+                    while n < body_tok.len()
+                        && matches!(toks[body_tok[n]].text.as_str(), "&" | "mut")
+                    {
+                        n += 1;
+                    }
+                    if let Some(&iti) = body_tok.get(n) {
+                        let it = &toks[iti];
+                        let follows = body_tok.get(n + 1).map(|&x| toks[x].text.as_str());
+                        if it.ident
+                            && !is_keyword(&it.text)
+                            && matches!(follows, Some("{"))
+                            && locals.get(&it.text).is_some_and(|ty| is_hash_type(ty))
+                        {
+                            hash_iters.push(HashIterSite {
+                                line: it.line,
+                                what: format!("for … in {}", it.text),
+                                feeds_reduce: false,
+                            });
+                        }
+                    }
+                }
+            }
+            // Call sites: Ident followed by `(`.
+            if t.ident
+                && !is_keyword(&t.text)
+                && body_tok.get(bi + 1).is_some_and(|&x| toks[x].text == "(")
+            {
+                let prev = bi.checked_sub(1).map(|p| toks[body_tok[p]].text.clone());
+                let prev2 = bi.checked_sub(2).map(|p| toks[body_tok[p]].text.clone());
+                let is_macro = false; // `name!(` tokenizes as Ident,`!`,`(` — prev of `(` is `!`
+                let followed_by_bang = false;
+                let _ = (is_macro, followed_by_bang);
+                match prev.as_deref() {
+                    Some("fn") => {}
+                    Some(".") => {
+                        let name = t.text.clone();
+                        let (rt, rendered) = if bi >= 2 {
+                            recv_type(bi - 2, &body_tok)
+                        } else {
+                            (None, String::new())
+                        };
+                        // Hazards on method calls.
+                        if HASH_ITER_METHODS.contains(&name.as_str())
+                            && bi >= 2
+                            && recv_is_hash(bi - 2, &body_tok)
+                        {
+                            let code = &lines[t.line].code;
+                            let feeds = code.contains(".sum(")
+                                || code.contains(".fold(")
+                                || code.contains(".product(");
+                            hash_iters.push(HashIterSite {
+                                line: t.line,
+                                what: format!("{rendered}.{name}()"),
+                                feeds_reduce: feeds,
+                            });
+                        }
+                        if name == "mul_add" {
+                            mul_add_lines.push(t.line);
+                        }
+                        if UNBOUNDED_BLOCK_METHODS.contains(&name.as_str()) {
+                            unbounded.push((t.line, name.clone()));
+                        }
+                        calls.push(CallSite {
+                            name,
+                            kind: CallKind::Method { recv_type: rt },
+                            line: t.line,
+                        });
+                    }
+                    Some("::") => {
+                        let qualifier = prev2.unwrap_or_default();
+                        calls.push(CallSite {
+                            name: t.text.clone(),
+                            kind: CallKind::Path { qualifier },
+                            line: t.line,
+                        });
+                    }
+                    _ => {
+                        calls.push(CallSite {
+                            name: t.text.clone(),
+                            kind: CallKind::Free,
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+            // Macro invocations `name!(` are *not* calls: the `!` sits
+            // between ident and paren, so the pattern above skips them.
+            bi += 1;
+        }
+
+        let f = &mut out.fns[fi];
+        f.calls = calls;
+        f.hash_iters = hash_iters;
+        f.mul_add_lines = mul_add_lines;
+        f.unbounded_block_lines = unbounded;
+        f.loops = loops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::{mark_test_regions, strip};
+
+    fn parse(src: &str) -> FileSyntax {
+        let mut lines = strip(src);
+        mark_test_regions(&mut lines);
+        parse_file(&lines)
+    }
+
+    #[test]
+    fn fns_and_extents_are_found() {
+        let src = "\
+pub fn top(x: u32) -> u32 {
+    helper(x)
+}
+fn helper(x: u32) -> u32 {
+    x + 1
+}
+";
+        let s = parse(src);
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "top");
+        assert_eq!(s.fns[0].body, 0..3);
+        assert_eq!(s.fns[1].name, "helper");
+        assert_eq!(s.fns[1].body, 3..6);
+        assert_eq!(s.fns[0].calls.len(), 1);
+        assert_eq!(s.fns[0].calls[0].name, "helper");
+        assert_eq!(s.fns[0].calls[0].kind, CallKind::Free);
+    }
+
+    #[test]
+    fn impl_methods_get_their_type() {
+        let src = "\
+struct Pool { q: Vec<u32> }
+impl Pool {
+    pub fn run(&self) { self.step(); }
+    fn step(&self) {}
+}
+impl Drop for Pool {
+    fn drop(&mut self) {}
+}
+";
+        let s = parse(src);
+        let run = s.fns.iter().find(|f| f.name == "run").unwrap();
+        assert_eq!(run.qual.as_deref(), Some("Pool"));
+        let drop = s.fns.iter().find(|f| f.name == "drop").unwrap();
+        assert_eq!(drop.qual.as_deref(), Some("Pool"));
+        assert_eq!(drop.trait_name.as_deref(), Some("Drop"));
+        // `self.step()` resolves the receiver to the impl type.
+        let call = &run.calls[0];
+        assert_eq!(call.name, "step");
+        assert_eq!(
+            call.kind,
+            CallKind::Method {
+                recv_type: Some("Pool".to_string())
+            }
+        );
+    }
+
+    #[test]
+    fn ctor_chain_receiver_is_typed() {
+        let src = "fn f() { ScoringPool::global().run(jobs); }\n";
+        let s = parse(src);
+        let calls = &s.fns[0].calls;
+        let run = calls.iter().find(|c| c.name == "run").unwrap();
+        assert_eq!(
+            run.kind,
+            CallKind::Method {
+                recv_type: Some("ScoringPool".to_string())
+            }
+        );
+        let global = calls.iter().find(|c| c.name == "global").unwrap();
+        assert_eq!(
+            global.kind,
+            CallKind::Path {
+                qualifier: "ScoringPool".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn local_and_param_hash_types_are_tracked() {
+        let src = "\
+fn tally(per_shard: &HashMap<u64, f64>) -> f64 {
+    per_shard.values().sum()
+}
+fn collect(xs: &[u64]) {
+    let mut seen: HashSet<u64> = HashSet::new();
+    for s in seen {
+        let _ = s;
+    }
+}
+";
+        let s = parse(src);
+        let tally = &s.fns[0];
+        assert_eq!(tally.hash_iters.len(), 1);
+        assert!(tally.hash_iters[0].feeds_reduce);
+        assert!(tally.hash_iters[0].what.contains("values"));
+        let collect = &s.fns[1];
+        assert_eq!(collect.hash_iters.len(), 1, "{:?}", collect.hash_iters);
+        assert!(!collect.hash_iters[0].feeds_reduce);
+    }
+
+    #[test]
+    fn field_hash_iteration_is_detected_via_struct_fields() {
+        let src = "\
+struct Reg { by_name: HashMap<String, u32>, tag: String }
+impl Reg {
+    fn dump(&self) -> Vec<u32> {
+        self.by_name.values().copied().collect()
+    }
+    fn lookup(&self, k: &str) -> Option<&u32> {
+        self.by_name.get(k)
+    }
+}
+";
+        let s = parse(src);
+        let dump = s.fns.iter().find(|f| f.name == "dump").unwrap();
+        assert_eq!(dump.hash_iters.len(), 1);
+        let lookup = s.fns.iter().find(|f| f.name == "lookup").unwrap();
+        assert!(
+            lookup.hash_iters.is_empty(),
+            "lookups are not iteration: {:?}",
+            lookup.hash_iters
+        );
+    }
+
+    #[test]
+    fn non_hash_values_method_is_not_flagged() {
+        // `Matrix::values()` exists in crowd-math; a known non-hash type
+        // must not trip the hash-iteration detector.
+        let src = "\
+fn check(phi: &Matrix) -> f64 {
+    phi.values().iter().sum()
+}
+";
+        let s = parse(src);
+        assert!(s.fns[0].hash_iters.is_empty());
+    }
+
+    #[test]
+    fn loops_waits_and_mul_add_are_recorded() {
+        let src = "\
+fn spin(cv: &Condvar, g: G) {
+    loop {
+        let _ = cv.wait(g);
+    }
+    let x = a.mul_add(b, c);
+    let _ = rx.recv();
+    let _ = rx.recv_timeout(d);
+    let _ = cv.wait_timeout(g, d);
+}
+";
+        let s = parse(src);
+        let f = &s.fns[0];
+        assert_eq!(f.loops.len(), 1);
+        assert_eq!(f.loops[0].start, 1);
+        assert_eq!(f.loops[0].end, 3);
+        assert_eq!(f.mul_add_lines, vec![4]);
+        let names: Vec<&str> = f
+            .unbounded_block_lines
+            .iter()
+            .map(|(_, n)| n.as_str())
+            .collect();
+        assert_eq!(names, vec!["wait", "recv"], "timeout variants excluded");
+    }
+
+    #[test]
+    fn test_fns_are_marked_and_macros_are_not_calls() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { helper(); }
+}
+fn live() { println!(\"x\"); assert_eq!(1, 1); real(); }
+";
+        let s = parse(src);
+        let t = s.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.is_test);
+        let live = s.fns.iter().find(|f| f.name == "live").unwrap();
+        assert!(!live.is_test);
+        let names: Vec<&str> = live.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["real"], "macros must not register as calls");
+    }
+
+    #[test]
+    fn core_type_peels_wrappers() {
+        assert_eq!(
+            core_type("Option < Arc < AdmissionController > >").as_deref(),
+            Some("AdmissionController")
+        );
+        assert_eq!(
+            core_type("& mut Vec < FirstMoments >").as_deref(),
+            Some("Vec")
+        );
+        assert_eq!(core_type("usize"), None);
+        assert_eq!(core_type("& dyn WorkGuard").as_deref(), Some("WorkGuard"));
+    }
+
+    #[test]
+    fn trait_sigs_without_bodies_are_recorded() {
+        let src = "\
+trait Backend {
+    fn select(&self, k: usize) -> Vec<u32>;
+    fn name(&self) -> &str { \"x\" }
+}
+";
+        let s = parse(src);
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "select");
+        assert_eq!(s.fns[0].qual.as_deref(), Some("Backend"));
+        assert_eq!(s.fns[0].body, 1..2, "sig-only fn spans its decl line");
+        assert_eq!(s.fns[1].body, 2..3);
+    }
+}

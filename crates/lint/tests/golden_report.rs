@@ -1,0 +1,103 @@
+//! Golden-report snapshot over the seeded fixture tree, plus the
+//! lexical-vs-call-graph separation proof: the indirect fixture
+//! violations must be invisible to the lexical pack and caught — with
+//! witness chains — by the `det` and `wait` packs.
+
+use std::path::Path;
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures"))
+}
+
+fn fixture_report() -> crowd_lint::report::Report {
+    crowd_lint::lint_root(fixture_root()).expect("fixture tree must scan")
+}
+
+#[test]
+fn fixture_report_matches_golden_snapshot() {
+    let expected = include_str!("../fixtures/expected_report.json");
+    let actual = fixture_report().to_json();
+    assert_eq!(
+        actual, expected,
+        "fixture report drifted from the golden snapshot; if the change is \
+         intentional, regenerate with `cargo run -p crowd-lint -- --root \
+         crates/lint/fixtures --quiet --json crates/lint/fixtures/expected_report.json`"
+    );
+}
+
+#[test]
+fn every_rule_fires_at_least_once_on_the_fixture() {
+    let report = fixture_report();
+    for st in &report.stats {
+        assert!(
+            st.unsuppressed > 0,
+            "rule `{}` has no unsuppressed fixture hit — the must-fail gate \
+             would not notice if it silently stopped firing",
+            st.name
+        );
+    }
+}
+
+#[test]
+fn indirect_violations_are_invisible_to_the_lexical_baseline() {
+    let lexical = fixture_report().filter_pack("lexical");
+    let in_indirect: Vec<_> = lexical
+        .diagnostics
+        .iter()
+        .filter(|d| d.path.ends_with("indirect.rs"))
+        .collect();
+    assert!(
+        in_indirect.is_empty(),
+        "the lexical rules must NOT see the indirect fixture (that is the \
+         point of the call-graph packs), but found: {in_indirect:?}"
+    );
+}
+
+#[test]
+fn indirect_det_violation_is_caught_two_hops_deep_with_witness() {
+    let det = fixture_report().filter_pack("det");
+    let hit = det
+        .diagnostics
+        .iter()
+        .find(|d| d.path.ends_with("indirect.rs") && d.rule == "det-no-unordered-float-sum")
+        .expect("the hidden hash-ordered sum must be det-reachable");
+    assert_eq!(
+        hit.witness,
+        vec!["indirect_det_entry", "det_middle_hop", "hidden_tally"],
+        "witness chain must walk root → helper → offender"
+    );
+}
+
+#[test]
+fn indirect_wait_violation_is_caught_through_helper_with_witness() {
+    let wait = fixture_report().filter_pack("wait");
+    let hit = wait
+        .diagnostics
+        .iter()
+        .find(|d| d.path.ends_with("indirect.rs") && d.rule == "wait-bounded-block-reachable")
+        .expect("the hidden .recv() must be wait-reachable");
+    assert_eq!(hit.witness, vec!["indirect_wait_entry", "blocking_helper"]);
+}
+
+#[test]
+fn stale_pragma_in_fixture_is_flagged() {
+    let report = fixture_report();
+    assert!(
+        report.diagnostics.iter().any(|d| {
+            d.rule == "invalid-pragma" && !d.suppressed && d.message.contains("stale")
+        }),
+        "the seeded stale suppression must surface as invalid-pragma"
+    );
+}
+
+#[test]
+fn every_pack_fails_the_fixture_gate() {
+    for pack in ["lexical", "det", "wait", "meta"] {
+        let filtered = fixture_report().filter_pack(pack);
+        assert!(
+            filtered.total_unsuppressed() > 0,
+            "pack `{pack}` has no unsuppressed fixture finding — its CI \
+             must-fail check would pass vacuously"
+        );
+    }
+}

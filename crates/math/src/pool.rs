@@ -268,6 +268,7 @@ impl ScoringPool {
     /// Re-raises the first (by input order) panic of any task on the
     /// calling thread, after every task of the batch has finished — the
     /// same observable behavior as the scoped spawn/join this replaces.
+    // crowd-lint: root(det)
     pub fn run<R, F>(&self, tasks: Vec<F>) -> Vec<R>
     where
         R: Send + 'static,

@@ -200,11 +200,13 @@ impl QueryEngine {
 
     /// Executes a parsed statement by compiling it into a [`LogicalPlan`]
     /// and walking the plan.
+    // crowd-lint: root(wait)
     pub fn execute(&mut self, stmt: Statement) -> Result<QueryOutput, QueryError> {
         self.execute_with(stmt, &QueryContext::unbounded())
     }
 
     /// [`QueryEngine::execute`] under a caller-supplied [`QueryContext`].
+    // crowd-lint: root(wait)
     pub fn execute_with(
         &mut self,
         stmt: Statement,
@@ -242,6 +244,7 @@ impl QueryEngine {
     /// metrics: the `query/selects` counter advances by the number of
     /// result tables and `select_seconds_<backend>` observes the whole
     /// plan's latency once.
+    // crowd-lint: root(wait)
     pub fn execute_plan(&mut self, plan: &LogicalPlan) -> Result<Vec<QueryOutput>, QueryError> {
         self.execute_plan_with(plan, &QueryContext::unbounded())
     }
@@ -252,6 +255,7 @@ impl QueryEngine {
     /// counting `query/admission_{admitted,queued,shed}` and observing
     /// `query/queue_wait_seconds` — and sheds or times out with
     /// [`QueryError::Admission`] under overload.
+    // crowd-lint: root(wait)
     pub fn execute_plan_with(
         &mut self,
         plan: &LogicalPlan,

@@ -115,6 +115,7 @@ impl Parser {
         let mut limit = 1usize;
         let mut backend = BackendName::default();
         let mut min_group = None;
+        // crowd-lint: allow(wait-guard-checkpoint-loop) -- input-bounded: every arm either consumes a clause token or breaks; the token stream is finite
         loop {
             if self.peek_keyword("LIMIT") {
                 self.advance();

@@ -97,7 +97,6 @@ impl ScaleGenerator {
     /// content.
     pub fn task_term(&self, j: usize) -> usize {
         let h = mix(self.config.seed ^ mix(j as u64));
-        // crowd-lint: allow(no-silent-truncation) -- modulo vocab_size, a small bound
         (h % self.config.vocab_size as u64) as usize
     }
 
@@ -112,12 +111,10 @@ impl ScaleGenerator {
         let cfg = &self.config;
         let base = mix(cfg.seed ^ mix(j as u64).rotate_left(17));
         let spread = (2 * cfg.avg_answers_per_task - 1) as u64;
-        // crowd-lint: allow(no-silent-truncation) -- modulo spread < 2·avg, a small bound
         let count = 1 + (base % spread) as usize;
         let mut out: Vec<(usize, f64)> = (0..count)
             .map(|slot| {
                 let h = mix(base ^ mix(slot as u64));
-                // crowd-lint: allow(no-silent-truncation) -- modulo num_workers ≤ usize::MAX
                 let worker = (h % cfg.num_workers as u64) as usize;
                 // Map 8 hash bits to a score in [0, 5) — enough resolution
                 // for the fit to have real structure to chew on.

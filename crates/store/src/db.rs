@@ -274,6 +274,7 @@ impl CrowdDb {
 
     /// Materializes the training view: every task with at least one scored
     /// assignment, with its scores.
+    // crowd-lint: root(det)
     pub fn resolved_tasks(&self) -> Vec<ResolvedTask> {
         let mut out = Vec::new();
         for (t, entry_ids) in self.by_task.iter().enumerate() {

@@ -75,7 +75,6 @@ impl ShardMap {
 
     /// Home shard of a worker.
     pub fn shard_of(&self, worker: WorkerId) -> usize {
-        // crowd-lint: allow(no-silent-truncation) -- modulo num_shards ≤ usize::MAX by construction
         (splitmix64(u64::from(worker.0)) % self.num_shards as u64) as usize
     }
 }
@@ -620,6 +619,7 @@ impl ShardedDb {
     /// shards and **sorted by global [`WorkerId`]**. Bags of words come from
     /// the global registry (placeholder replicas are never consulted for
     /// content).
+    // crowd-lint: root(det)
     pub fn resolved_tasks(&self) -> Vec<ResolvedTask> {
         let mut out = Vec::new();
         for (t, entry) in self.tasks.iter().enumerate() {
@@ -706,7 +706,6 @@ mod tests {
                 let t = tasks[(i * 7 + k * 3) % num_tasks];
                 if !db.is_assigned(w, t) {
                     db.assign(w, t).unwrap();
-                    // crowd-lint: allow(no-silent-truncation) -- test fixture arithmetic, values < 16
                     db.record_feedback(w, t, ((i + k) % 5) as f64).unwrap();
                 }
             }
